@@ -1,0 +1,39 @@
+//! Criterion bench of the boundary exchange: original (pack/unpack
+//! staging) vs redesigned (direct, overlapped) on real concurrent ranks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cubesphere::{CubedSphere, Partition, NPTS};
+use homme::bndry::{CopyStats, ExchangeMode, ExchangePlan};
+use swmpi::run_ranks;
+
+fn bench_exchange(c: &mut Criterion) {
+    let grid = CubedSphere::new(6);
+    let nranks = 6;
+    let part = Partition::new(&grid, nranks);
+    let plans: Vec<ExchangePlan> =
+        (0..nranks).map(|r| ExchangePlan::new(&grid, &part, r)).collect();
+    let mut group = c.benchmark_group("bndry_exchangev");
+    group.sample_size(10);
+    for mode in [ExchangeMode::Original, ExchangeMode::Redesigned] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    run_ranks(nranks, |ctx| {
+                        let plan = &plans[ctx.rank()];
+                        let mut fields: Vec<Vec<f64>> =
+                            plan.owned.iter().map(|&e| vec![e as f64; NPTS]).collect();
+                        let mut s = CopyStats::default();
+                        plan.dss_level(ctx, &mut fields, mode, 0, || {}, &mut s);
+                        s.sent_bytes
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exchange);
+criterion_main!(benches);

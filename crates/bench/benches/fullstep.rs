@@ -1,0 +1,32 @@
+//! Criterion bench of one full dycore step (the per-step cost behind the
+//! Figure 6 SYPD curves) at two resolutions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use homme::{Dims, Dycore, DycoreConfig};
+use cubesphere::NPTS;
+
+fn bench_fullstep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prim_run_step");
+    group.sample_size(10);
+    for ne in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("ne{ne}")), &ne, |b, &ne| {
+            let dims = Dims { nlev: 8, qsize: 2 };
+            let mut dy = Dycore::new(ne, dims, 2000.0, DycoreConfig::for_ne(ne));
+            let mut st = dy.zero_state();
+            for es in &mut st.elems {
+                for k in 0..8 {
+                    for p in 0..NPTS {
+                        es.t[k * NPTS + p] = 280.0 + k as f64;
+                        es.dp3d[k * NPTS + p] = dy.rhs.vert.dp_ref(k, cubesphere::P0);
+                        es.qdp[k * NPTS + p] = 0.01 * es.dp3d[k * NPTS + p];
+                    }
+                }
+            }
+            b.iter(|| dy.step(&mut st));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fullstep);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench over the Table-1 kernels: host wall time of the four
+//! variants on a reduced workload (the table/figure binaries report the
+//! *modeled* SW26010 times; this bench tracks the simulator itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use homme::kernels::{verify, KernelData, KernelId, Variant};
+
+fn bench_kernels(c: &mut Criterion) {
+    let env = verify::KernelEnv::default();
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+    for kernel in KernelId::ALL {
+        for variant in [Variant::Reference, Variant::Athread] {
+            group.bench_with_input(
+                BenchmarkId::new(kernel.name(), format!("{variant:?}")),
+                &(kernel, variant),
+                |b, &(kernel, variant)| {
+                    let mut data = KernelData::synth(8, 32, 4, 11);
+                    b.iter(|| verify::run(kernel, variant, &mut data, &env).seconds)
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

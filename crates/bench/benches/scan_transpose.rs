@@ -1,0 +1,54 @@
+//! Criterion bench of the Section 7.4/7.5 primitives: the register-
+//! communication scan chain and the shuffle-based 4x4 transpose.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sw26010::{transpose4x4, CpeCluster, SharedSliceMut, V4F64};
+
+fn bench_scan(c: &mut Criterion) {
+    let cluster = CpeCluster::with_defaults();
+    let mut group = c.benchmark_group("scan");
+    group.sample_size(10);
+    group.bench_function("regcomm_chain_64cpe", |b| {
+        b.iter(|| {
+            let mut out = vec![0.0; 64];
+            let view = SharedSliceMut::new(&mut out);
+            cluster.run(|ctx| {
+                let local = [(ctx.row() + 1) as f64; 16];
+                let prefix = homme::kernels::athread::chain_exclusive_prefix(ctx, &local);
+                ctx.gst(&view, ctx.id(), prefix[0]);
+            });
+            out[63]
+        })
+    });
+    group.finish();
+}
+
+fn bench_transpose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transpose");
+    group.bench_function("shuffle_4x4", |b| {
+        let rows = [
+            V4F64([0.0, 1.0, 2.0, 3.0]),
+            V4F64([4.0, 5.0, 6.0, 7.0]),
+            V4F64([8.0, 9.0, 10.0, 11.0]),
+            V4F64([12.0, 13.0, 14.0, 15.0]),
+        ];
+        b.iter(|| transpose4x4(std::hint::black_box(rows)))
+    });
+    group.bench_function("naive_4x4", |b| {
+        let m: [[f64; 4]; 4] = [[0.0, 1.0, 2.0, 3.0]; 4];
+        b.iter(|| {
+            let m = std::hint::black_box(m);
+            let mut t = [[0.0; 4]; 4];
+            for i in 0..4 {
+                for j in 0..4 {
+                    t[j][i] = m[i][j];
+                }
+            }
+            t
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan, bench_transpose);
+criterion_main!(benches);

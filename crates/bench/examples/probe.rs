@@ -1,0 +1,35 @@
+//! Held-Suarez stability probe: day-by-day maximum wind and surface
+//! pressure range over a 40-day ne4 integration. Useful when retuning
+//! dissipation settings.
+
+use swcam_core::{ModelConfig, SuiteChoice, Swcam};
+
+fn main() {
+    let mut cfg = ModelConfig::for_ne(4);
+    cfg.nlev = 8;
+    cfg.qsize = 0;
+    cfg.suite = SuiteChoice::HeldSuarez;
+    cfg.dt = 600.0;
+    let mut model = Swcam::new(cfg);
+    model.init_with(
+        |_, _| cubesphere::P0,
+        |lat, _lon, _k, pm| {
+            let t = 290.0 - 40.0 * lat.sin().powi(2) * (pm / cubesphere::P0).powf(0.3);
+            (0.0, 0.0, t.max(210.0), 0.0)
+        },
+    );
+    for day in 0..40 {
+        for _ in 0..144 {
+            model.step();
+        }
+        let ps = model.surface_pressure();
+        let psmin = ps.iter().cloned().fold(f64::MAX, f64::min);
+        let psmax = ps.iter().cloned().fold(f64::MIN, f64::max);
+        println!(
+            "day {day}: maxwind={:.1} ps=[{:.0},{:.0}]",
+            model.dycore.max_wind(&model.state),
+            psmin,
+            psmax
+        );
+    }
+}

@@ -1,0 +1,13 @@
+use katrina::{run, KatrinaConfig};
+fn main() {
+    let nlev: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let hours: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(24.0);
+    let mut cfg = KatrinaConfig::ne120_class();
+    cfg.nlev = nlev;
+    cfg.earth_hours = hours;
+    cfg.output_every = 3.0;
+    let r = run(cfg);
+    for f in &r.earth_track {
+        println!("h={:5.1} msw={:5.1}kt ps={:7.1} lat={:.1} lon={:.1}", f.hours, f.msw_kt, f.min_ps_hpa, f.lat_deg, f.lon_deg);
+    }
+}

@@ -1,0 +1,28 @@
+//! Figure 5: per-kernel speedups relative to one Intel core.
+
+use perfmodel::report::table;
+use swcam_bench::{table1_times, Table1Config};
+
+fn main() {
+    let cfg = Table1Config::default();
+    let rows: Vec<Vec<String>> = table1_times(&cfg)
+        .into_iter()
+        .map(|(k, [intel, mpe, acc, ath])| {
+            vec![
+                k.name().to_string(),
+                format!("{:.2}x", intel / mpe),
+                format!("{:.2}x", intel / acc),
+                format!("{:.2}x", intel / ath),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            "Figure 5: speedup over one Intel core (values > 1 are faster)",
+            &["kernel", "MPE", "OpenACC (64 CPEs)", "Athread (64 CPEs)"],
+            &rows
+        )
+    );
+    println!("Paper: MPE 0.1-0.5x; OpenACC near 1x; Athread 7-46x.");
+}

@@ -1,0 +1,43 @@
+//! Figure 6: whole-CAM simulation speed (SYPD), ne30 and ne120.
+
+use homme::kernels::Variant;
+use perfmodel::report::table;
+use perfmodel::{sypd, CamRun, Machine};
+
+fn main() {
+    let m = Machine::taihulight();
+    let ne30 = CamRun::ne30();
+    let mut rows = Vec::new();
+    for &nranks in &[216usize, 600, 900, 1350, 5400] {
+        rows.push(vec![
+            format!("{nranks}"),
+            format!("{:.2}", sypd(&m, ne30, Variant::Mpe, nranks)),
+            format!("{:.2}", sypd(&m, ne30, Variant::OpenAcc, nranks)),
+            format!("{:.2}", sypd(&m, ne30, Variant::Athread, nranks)),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            "Figure 6 (left): ne30 SYPD",
+            &["processes", "ori (MPE)", "openacc", "athread"],
+            &rows
+        )
+    );
+    println!("Paper: 21.5 SYPD at 5,400 processes (athread); openacc 1.4-1.5x over ori.\n");
+
+    let ne120 = CamRun::ne120();
+    let mut rows = Vec::new();
+    for &nranks in &[2400usize, 9600, 14400, 21600, 24000, 28800] {
+        rows.push(vec![
+            format!("{nranks}"),
+            format!("{:.2}", sypd(&m, ne120, Variant::OpenAcc, nranks)),
+            format!("{:.2}", sypd(&m, ne120, Variant::Athread, nranks)),
+        ]);
+    }
+    println!(
+        "{}",
+        table("Figure 6 (right): ne120 SYPD", &["processes", "openacc", "athread"], &rows)
+    );
+    println!("Paper: 3.4 SYPD at 28,800 processes (openacc version).");
+}

@@ -1,0 +1,42 @@
+//! Figure 7: HOMME strong scaling, ne256 and ne1024.
+
+use perfmodel::report::table;
+use perfmodel::scaling::{figure_model, strong_scaling, HommeWorkload};
+use perfmodel::Machine;
+
+fn main() {
+    let m = Machine::taihulight();
+    let model = figure_model(&m);
+    for (ne, ranks) in [
+        (256usize, vec![4096usize, 8192, 16384, 32768, 65536, 131072]),
+        (1024, vec![8192, 16384, 32768, 65536, 131072]),
+    ] {
+        let points = strong_scaling(
+            &model,
+            HommeWorkload { ne, nlev: 128, qsize: perfmodel::NGGPS_QSIZE },
+            &ranks,
+        );
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{}", p.nranks),
+                    format!("{}", p.cores),
+                    format!("{:.1}", p.elems_per_rank),
+                    format!("{:.4}", p.step_seconds),
+                    format!("{:.3}", p.pflops),
+                    format!("{:.1}%", p.efficiency * 100.0),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            table(
+                &format!("Figure 7: strong scaling, ne{ne}"),
+                &["processes", "cores", "elem/proc", "s/step", "PFlops", "efficiency"],
+                &rows
+            )
+        );
+    }
+    println!("Paper: ne256 0.07 -> 0.64 PFlops (21.7% at 131,072); ne1024 0.18 -> 1.76 (51.2%).");
+}

@@ -1,0 +1,43 @@
+//! Figure 8: weak scaling at 48/192/650/768 elements per process, up to
+//! the 10,075,000-core full machine.
+
+use perfmodel::report::table;
+use perfmodel::scaling::{figure_model, weak_scaling};
+use perfmodel::Machine;
+
+fn main() {
+    let m = Machine::taihulight();
+    let model = figure_model(&m);
+    for &elems in &[48usize, 192, 768] {
+        let ranks = [512usize, 2048, 8192, 32768, 131072];
+        print_sweep(elems, &weak_scaling(&model, elems, 128, perfmodel::NGGPS_QSIZE, &ranks));
+    }
+    // The 650-element case extends to 155,000 processes = 10,075,000 cores.
+    let ranks = [512usize, 2048, 8192, 32768, 131072, 155000];
+    print_sweep(650, &weak_scaling(&model, 650, 128, perfmodel::NGGPS_QSIZE, &ranks));
+    println!("Paper: efficiencies 88.3% (48), 92.3% (192), 92.2% (768); 98.5% and");
+    println!("3.3 PFlops for 650 elements/process on 155,000 processes (10,075,000 cores).");
+}
+
+fn print_sweep(elems: usize, points: &[perfmodel::ScalePoint]) {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{}", p.nranks),
+                format!("{}", p.cores),
+                format!("{:.4}", p.step_seconds),
+                format!("{:.3}", p.pflops),
+                format!("{:.1}%", p.efficiency * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &format!("Figure 8: weak scaling, {elems} elements/process"),
+            &["processes", "cores", "s/step", "PFlops", "efficiency"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,71 @@
+//! Figure 9: the hurricane-Katrina lifecycle — track and intensity at
+//! 100 km-class ("ne30") vs 25 km-class ("ne120") effective resolution,
+//! against the NOAA/NHC observed best track.
+
+use katrina::{run, KatrinaConfig, OBSERVED};
+use perfmodel::report::table;
+
+fn main() {
+    let hours = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24.0);
+    let mut coarse_cfg = KatrinaConfig::ne30_class();
+    coarse_cfg.earth_hours = hours;
+    let mut fine_cfg = KatrinaConfig::ne120_class();
+    fine_cfg.earth_hours = hours;
+    println!(
+        "Simulating {hours} Earth-equivalent hours at {:.0} km and {:.0} km effective resolution...",
+        coarse_cfg.effective_resolution_km(),
+        fine_cfg.effective_resolution_km()
+    );
+    let coarse = run(coarse_cfg);
+    let fine = run(fine_cfg);
+
+    let mut rows = Vec::new();
+    for fix in &fine.earth_track {
+        let (olat, olon) = katrina::observed_position(fix.hours);
+        let obs_msw = OBSERVED
+            .windows(2)
+            .find(|w| fix.hours >= w[0].hours && fix.hours <= w[1].hours)
+            .map(|w| w[0].msw_kt)
+            .unwrap_or(OBSERVED[0].msw_kt);
+        let coarse_fix = coarse
+            .earth_track
+            .iter()
+            .min_by(|a, b| {
+                (a.hours - fix.hours).abs().partial_cmp(&(b.hours - fix.hours).abs()).unwrap()
+            })
+            .expect("coarse track non-empty");
+        rows.push(vec![
+            format!("{:.0}", fix.hours),
+            format!("{olat:.1}N {:.1}W", -olon),
+            format!("{:.1}N {:.1}W", fix.lat_deg, -fix.lon_deg),
+            format!("{obs_msw:.0}"),
+            format!("{:.0}", fix.msw_kt),
+            format!("{:.0}", coarse_fix.msw_kt),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            "Figure 9: Katrina track and maximum sustained wind (kt)",
+            &["hour", "obs position", "ne120 position", "obs MSW", "ne120 MSW", "ne30 MSW"],
+            &rows
+        )
+    );
+    println!(
+        "peak MSW: ne120-class {:.0} kt, ne30-class {:.0} kt (obs peak 145 kt)",
+        fine.peak_msw_kt, coarse.peak_msw_kt
+    );
+    println!("\nfinal surface-wind snapshots (Fig. 9 a/b analog; darker = stronger):");
+    println!("--- ne120-class ({:.0} km): a coherent cyclone ---", fine.config.effective_resolution_km());
+    println!("{}", fine.final_map);
+    println!("--- ne30-class ({:.0} km): the storm is gone ---", coarse.config.effective_resolution_km());
+    println!("{}", coarse.final_map);
+    println!(
+        "min ps:   ne120-class {:.0} hPa, ne30-class {:.0} hPa (obs min 902 hPa)",
+        fine.min_ps_hpa, coarse.min_ps_hpa
+    );
+    println!("Paper: the ne30 run fails to capture Katrina; ne120 tracks it closely.");
+}

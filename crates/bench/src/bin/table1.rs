@@ -1,0 +1,38 @@
+//! Table 1: key dycore kernel timings at the 6,144-process working set
+//! (64 elements/rank, 128 levels, 25 tracers) across the four variants.
+
+use perfmodel::report::{secs, table};
+use swcam_bench::{table1_times, Table1Config};
+
+fn main() {
+    let cfg = Table1Config::default();
+    println!(
+        "Workload: {} elements/rank (ne256 over 6,144 processes), nlev = {}, qsize = {}\n",
+        cfg.nelem, cfg.nlev, cfg.qsize
+    );
+    let rows: Vec<Vec<String>> = table1_times(&cfg)
+        .into_iter()
+        .map(|(k, [intel, mpe, acc, ath])| {
+            vec![
+                k.name().to_string(),
+                secs(intel),
+                secs(mpe),
+                secs(acc),
+                secs(ath),
+                format!("{:.1}x", mpe / intel),
+                format!("{:.1}x", mpe / acc),
+                format!("{:.1}x", acc / ath),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            "Table 1: kernel timings (modeled per-rank seconds)",
+            &["kernel", "Intel", "MPE", "OpenACC", "Athread", "MPE/Intel", "MPE/Acc", "Acc/Ath"],
+            &rows
+        )
+    );
+    println!("Paper reference ratios (Table 1 + Fig. 5): MPE 2.4-11x slower than");
+    println!("Intel; OpenACC 3-22x over MPE; Athread up to 50x over OpenACC.");
+}

@@ -1,0 +1,27 @@
+//! Table 2: mesh configurations of the paper's experiments.
+
+use cubesphere::resolution_km;
+use perfmodel::report::table;
+
+fn main() {
+    let rows: Vec<Vec<String>> = [64usize, 256, 512, 1024, 2048, 4096]
+        .into_iter()
+        .map(|ne| {
+            vec![
+                format!("ne{ne}"),
+                format!("{ne} x {ne} x 6"),
+                "128".to_string(),
+                format!("{}", 6 * ne * ne),
+                format!("{:.2} km", resolution_km(ne)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            "Table 2: mesh configurations",
+            &["problem size", "horizontal", "vertical", "# elements", "resolution"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,172 @@
+//! Model configuration ("namelist").
+
+use homme::{DycoreConfig, HypervisConfig};
+use serde::{Deserialize, Serialize};
+
+/// Planet geometry: Earth by default; small-planet runs divide the radius
+/// by `reduction` and multiply the rotation rate by the same factor
+/// (DCMIP convention), keeping the dynamical regime while shrinking the
+/// horizontal scale so coarse meshes reach storm-resolving *effective*
+/// resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Planet {
+    /// Radius, m.
+    pub radius: f64,
+    /// Rotation rate, 1/s.
+    pub omega: f64,
+}
+
+impl Default for Planet {
+    fn default() -> Self {
+        Planet { radius: cubesphere::EARTH_RADIUS, omega: cubesphere::OMEGA }
+    }
+}
+
+impl Planet {
+    /// Reduced-radius planet with reduction factor `x`.
+    pub fn small(x: f64) -> Self {
+        assert!(x >= 1.0, "reduction factor must be >= 1");
+        Planet { radius: cubesphere::EARTH_RADIUS / x, omega: cubesphere::OMEGA * x }
+    }
+
+    /// The reduction factor relative to Earth.
+    pub fn reduction(&self) -> f64 {
+        cubesphere::EARTH_RADIUS / self.radius
+    }
+}
+
+/// Physics suite selector (serializable namelist mirror of
+/// [`swphysics::PhysicsSuite`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SuiteChoice {
+    /// Adiabatic dynamical core only.
+    None,
+    /// Held–Suarez dry climate forcing.
+    HeldSuarez,
+    /// Reed–Jablonowski simple physics.
+    Simple,
+    /// Simple physics + Kessler + gray radiation.
+    Full,
+}
+
+/// Complete model configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Elements per cube edge.
+    pub ne: usize,
+    /// Vertical layers.
+    pub nlev: usize,
+    /// Advected tracers (>= 3 when moist physics is on: qv, qc, qr).
+    pub qsize: usize,
+    /// Model-top pressure, Pa.
+    pub ptop: f64,
+    /// Dynamics time step, s.
+    pub dt: f64,
+    /// Physics suite.
+    pub suite: SuiteChoice,
+    /// Planet geometry.
+    pub planet: Planet,
+    /// Apply the tracer limiter.
+    pub limiter: bool,
+    /// Hyperviscosity coefficient override (None = CAM scaling for `ne`).
+    pub nu: Option<f64>,
+    /// Physics calls every `nsplit` dynamics steps.
+    pub nsplit: usize,
+    /// Sea-surface temperature for moist suites, K.
+    pub sst: f64,
+}
+
+impl ModelConfig {
+    /// Baseline configuration for resolution `ne`.
+    pub fn for_ne(ne: usize) -> Self {
+        ModelConfig {
+            ne,
+            nlev: 20,
+            qsize: 3,
+            ptop: 2000.0,
+            dt: 300.0 * 30.0 / ne as f64,
+            suite: SuiteChoice::Simple,
+            planet: Planet::default(),
+            limiter: true,
+            nu: None,
+            nsplit: 1,
+            sst: 302.15,
+        }
+    }
+
+    /// The dycore configuration implied by this namelist. On a reduced
+    /// planet both dt and the hyperviscosity shrink with the reduction
+    /// factor (horizontal scales contract by `x`, so `nu ~ dx^3.2`).
+    pub fn dycore_config(&self) -> DycoreConfig {
+        let x = self.planet.reduction();
+        let mut hv = HypervisConfig::for_ne(self.ne);
+        hv.nu /= x.powf(3.2);
+        hv.nu_p = hv.nu;
+        if let Some(nu) = self.nu {
+            hv.nu = nu;
+            hv.nu_p = nu;
+        }
+        DycoreConfig { dt: self.dt / x, hypervis: hv, limiter: self.limiter, rsplit: 1 }
+    }
+
+    /// Moist suites require the three water tracers.
+    pub fn validate(&self) -> Result<(), String> {
+        if matches!(self.suite, SuiteChoice::Simple | SuiteChoice::Full) && self.qsize < 3 {
+            return Err(format!(
+                "suite {:?} needs qsize >= 3 (qv, qc, qr), got {}",
+                self.suite, self.qsize
+            ));
+        }
+        if self.nlev == 0 || self.ne == 0 {
+            return Err("ne and nlev must be positive".into());
+        }
+        if self.ptop <= 0.0 || self.ptop >= cubesphere::P0 {
+            return Err(format!("ptop {} out of range", self.ptop));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_planet_scales_radius_and_omega() {
+        let p = Planet::small(10.0);
+        assert!((p.radius - cubesphere::EARTH_RADIUS / 10.0).abs() < 1.0);
+        assert!((p.omega - cubesphere::OMEGA * 10.0).abs() < 1e-12);
+        assert!((p.reduction() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dycore_config_scales_with_reduction() {
+        let mut cfg = ModelConfig::for_ne(8);
+        let dt_earth = cfg.dycore_config().dt;
+        let nu_earth = cfg.dycore_config().hypervis.nu;
+        cfg.planet = Planet::small(20.0);
+        let dc = cfg.dycore_config();
+        assert!((dc.dt - dt_earth / 20.0).abs() < 1e-9);
+        assert!(dc.hypervis.nu < nu_earth / 1e3);
+    }
+
+    #[test]
+    fn validation_catches_missing_tracers() {
+        let mut cfg = ModelConfig::for_ne(4);
+        cfg.qsize = 1;
+        assert!(cfg.validate().is_err());
+        cfg.suite = SuiteChoice::HeldSuarez;
+        assert!(cfg.validate().is_ok());
+        cfg.ptop = -5.0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        for ne in [4usize, 30, 120] {
+            let cfg = ModelConfig::for_ne(ne);
+            assert!(cfg.validate().is_ok(), "ne = {ne}");
+            assert!(cfg.dycore_config().dt > 0.0);
+        }
+    }
+}

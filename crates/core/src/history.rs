@@ -1,0 +1,158 @@
+//! History output: time series and lat–lon snapshots, CAM's `h0`/`h1`
+//! streams reduced to dependency-free CSV and ASCII artifacts.
+
+use crate::model::Swcam;
+use cubesphere::{LatLonGrid, Regridder, NPTS};
+use homme::budgets;
+use std::fmt::Write as _;
+
+/// A time-series recorder for scalar diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    rows: Vec<Row>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Row {
+    days: f64,
+    max_wind: f64,
+    min_ps: f64,
+    dry_mass: f64,
+    total_energy: f64,
+    kinetic_energy: f64,
+    tracer_mass: f64,
+    precip_total: f64,
+}
+
+impl History {
+    /// Fresh recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the model's current diagnostics.
+    pub fn sample(&mut self, model: &Swcam) {
+        let b = budgets(&model.dycore, &model.state);
+        let ps = model.surface_pressure();
+        self.rows.push(Row {
+            days: model.sim_days(),
+            max_wind: model.dycore.max_wind(&model.state),
+            min_ps: ps.iter().cloned().fold(f64::MAX, f64::min),
+            dry_mass: b.dry_mass,
+            total_energy: b.total_energy,
+            kinetic_energy: b.kinetic_energy,
+            tracer_mass: b.tracer_mass,
+            precip_total: model.precip_accum.iter().sum(),
+        });
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Serialize as CSV (header + one row per sample).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from(
+            "days,max_wind_ms,min_ps_pa,dry_mass_kg,total_energy_j,kinetic_energy_j,tracer_mass_kg,precip_sum_kgm2\n",
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                s,
+                "{:.6},{:.4},{:.2},{:.6e},{:.6e},{:.6e},{:.6e},{:.4}",
+                r.days,
+                r.max_wind,
+                r.min_ps,
+                r.dry_mass,
+                r.total_energy,
+                r.kinetic_energy,
+                r.tracer_mass,
+                r.precip_total
+            );
+        }
+        s
+    }
+
+    /// Relative drift of the dry-mass budget across the recorded window
+    /// (a regression guard for long runs).
+    pub fn mass_drift(&self) -> f64 {
+        match (self.rows.first(), self.rows.last()) {
+            (Some(a), Some(b)) if a.dry_mass != 0.0 => {
+                ((b.dry_mass - a.dry_mass) / a.dry_mass).abs()
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Regrid the lowest-level temperature to a lat–lon raster (the Figure-4
+/// map field), returned row-major with the raster.
+pub fn surface_temperature_raster(model: &Swcam, nlat: usize, nlon: usize) -> (LatLonGrid, Vec<f64>) {
+    let nlev = model.config.nlev;
+    let field: Vec<Vec<f64>> = model
+        .state
+        .elems
+        .iter()
+        .map(|es| (0..NPTS).map(|p| es.t[(nlev - 1) * NPTS + p]).collect())
+        .collect();
+    let raster = LatLonGrid::new(nlat, nlon);
+    let rg = Regridder::new(&model.dycore.grid);
+    let vals = rg.to_latlon(&field, &raster);
+    (raster, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ModelConfig, SuiteChoice};
+
+    fn small_model() -> Swcam {
+        let mut cfg = ModelConfig::for_ne(2);
+        cfg.nlev = 6;
+        cfg.qsize = 0;
+        cfg.suite = SuiteChoice::None;
+        let mut m = Swcam::new(cfg);
+        m.init_with(
+            |_, _| cubesphere::P0,
+            |lat, _, _, _| (5.0 * lat.cos(), 0.0, 285.0, 0.0),
+        );
+        m
+    }
+
+    #[test]
+    fn history_records_and_serializes() {
+        let mut model = small_model();
+        let mut h = History::new();
+        h.sample(&model);
+        model.run_steps(2);
+        h.sample(&model);
+        assert_eq!(h.len(), 2);
+        assert!(!h.is_empty());
+        let csv = h.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("days,max_wind_ms"));
+        assert!(h.mass_drift() < 1e-10, "drift {}", h.mass_drift());
+    }
+
+    #[test]
+    fn surface_raster_has_physical_values() {
+        let model = small_model();
+        let (raster, vals) = surface_temperature_raster(&model, 9, 18);
+        assert_eq!(vals.len(), 9 * 18);
+        assert_eq!(raster.lats.len(), 9);
+        assert!(vals.iter().all(|&t| (270.0..300.0).contains(&t)), "{vals:?}");
+    }
+
+    #[test]
+    fn empty_history_is_benign() {
+        let h = History::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mass_drift(), 0.0);
+        assert_eq!(h.to_csv().lines().count(), 1);
+    }
+}

@@ -1,0 +1,299 @@
+//! The assembled model: dynamical core + physics + diagnostics, behind one
+//! builder-style API (the reproduction's equivalent of a configured CAM
+//! executable).
+
+use crate::config::{ModelConfig, SuiteChoice};
+use crate::coupling::apply_physics;
+use cubesphere::{CubedSphere, NPTS};
+use homme::{Dims, Dycore, State};
+use swphysics::{GrayRadiation, HeldSuarez, Kessler, PhysicsSuite, SimplePhysics};
+
+/// A running model instance.
+pub struct Swcam {
+    /// The configuration it was built with.
+    pub config: ModelConfig,
+    /// The dynamical core.
+    pub dycore: Dycore,
+    /// The physics suite.
+    pub suite: PhysicsSuite,
+    /// Prognostic state.
+    pub state: State,
+    /// Simulated time, s.
+    pub time: f64,
+    /// Accumulated precipitation per (element, point), kg/m^2.
+    pub precip_accum: Vec<f64>,
+    steps: usize,
+}
+
+impl Swcam {
+    /// Build a model from a validated configuration; the state starts as a
+    /// resting isothermal atmosphere (use the initializers to overwrite).
+    ///
+    /// # Panics
+    /// Panics if the configuration fails validation.
+    pub fn new(config: ModelConfig) -> Self {
+        config.validate().expect("invalid model configuration");
+        let dims = Dims { nlev: config.nlev, qsize: config.qsize };
+        let grid = CubedSphere::new_planet(config.ne, config.planet.radius, config.planet.omega);
+        let dycore = Dycore::from_grid(grid, dims, config.ptop, config.dycore_config());
+        let suite = match config.suite {
+            SuiteChoice::None => PhysicsSuite::None,
+            SuiteChoice::HeldSuarez => PhysicsSuite::HeldSuarez(HeldSuarez::default()),
+            SuiteChoice::Simple => {
+                let mut sp = SimplePhysics::default();
+                sp.sst = config.sst;
+                PhysicsSuite::Simple(sp)
+            }
+            SuiteChoice::Full => {
+                let mut sp = SimplePhysics::default();
+                sp.sst = config.sst;
+                PhysicsSuite::Full {
+                    simple: sp,
+                    convection: swphysics::BettsMiller::default(),
+                    kessler: Kessler::default(),
+                    radiation: GrayRadiation::default(),
+                }
+            }
+        };
+        let mut state = dycore.zero_state();
+        // Resting isothermal default initial condition.
+        for es in &mut state.elems {
+            for k in 0..config.nlev {
+                for p in 0..NPTS {
+                    es.t[k * NPTS + p] = 285.0;
+                    es.dp3d[k * NPTS + p] = dycore.rhs.vert.dp_ref(k, cubesphere::P0);
+                }
+            }
+        }
+        let npts = state.elems.len() * NPTS;
+        Swcam {
+            config,
+            dycore,
+            suite,
+            state,
+            time: 0.0,
+            precip_accum: vec![0.0; npts],
+            steps: 0,
+        }
+    }
+
+    /// Initialize the state point-by-point: `f(lat, lon, k, p_mid) ->
+    /// (u, v, t, qv)` with hydrostatic `dp3d` from `ps(lat, lon)`.
+    pub fn init_with(
+        &mut self,
+        ps: impl Fn(f64, f64) -> f64,
+        f: impl Fn(f64, f64, usize, f64) -> (f64, f64, f64, f64),
+    ) {
+        let nlev = self.config.nlev;
+        let vert = self.dycore.rhs.vert.clone();
+        let grid_elems = self.dycore.grid.elements.clone();
+        for (es, el) in self.state.elems.iter_mut().zip(&grid_elems) {
+            for p in 0..NPTS {
+                let (lat, lon) = (el.metric[p].lat, el.metric[p].lon);
+                let psv = ps(lat, lon);
+                for k in 0..nlev {
+                    let dp = vert.dp_ref(k, psv);
+                    es.dp3d[k * NPTS + p] = dp;
+                    let pm = vert.p_mid(k, psv);
+                    let (u, v, t, qv) = f(lat, lon, k, pm);
+                    es.u[k * NPTS + p] = u;
+                    es.v[k * NPTS + p] = v;
+                    es.t[k * NPTS + p] = t;
+                    if self.config.qsize > 0 {
+                        es.qdp[k * NPTS + p] = qv * dp;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Install surface topography: `phis(lat, lon)` in m^2/s^2 (geopotential
+    /// = g * surface height), with the surface pressure re-balanced
+    /// hydrostatically (`ps = p0 exp(-phis / (Rd T0))`, the isothermal
+    /// balance) so a resting isothermal atmosphere over the terrain starts
+    /// near equilibrium. Call after `init_with` (it rebuilds `dp3d`).
+    pub fn set_topography(&mut self, phis: impl Fn(f64, f64) -> f64, t0: f64) {
+        let nlev = self.config.nlev;
+        let vert = self.dycore.rhs.vert.clone();
+        let grid_elems = self.dycore.grid.elements.clone();
+        for (es, el) in self.state.elems.iter_mut().zip(&grid_elems) {
+            for p in 0..NPTS {
+                let (lat, lon) = (el.metric[p].lat, el.metric[p].lon);
+                let phi = phis(lat, lon);
+                es.phis[p] = phi;
+                let ps = cubesphere::P0 * (-phi / (cubesphere::RD * t0)).exp();
+                for k in 0..nlev {
+                    es.dp3d[k * NPTS + p] = vert.dp_ref(k, ps);
+                }
+            }
+        }
+    }
+
+    /// Advance one coupled step (dynamics + physics). Physics runs every
+    /// `nsplit` dynamics steps with the accumulated interval.
+    ///
+    /// On a reduced-radius planet the physics interval is multiplied by the
+    /// reduction factor ("diabatic scaling", standard DCMIP small-planet
+    /// practice): advective timescales contract by `X` while physical rate
+    /// constants (evaporation, condensation relaxation) do not, so the
+    /// diabatic forcing must be accelerated by `X` to preserve the
+    /// dynamics-to-physics balance of the full-size planet.
+    pub fn step(&mut self) {
+        self.dycore.step(&mut self.state);
+        self.steps += 1;
+        self.time += self.dycore.cfg.dt;
+        if self.steps % self.config.nsplit == 0 {
+            let phys_dt = self.dycore.cfg.dt
+                * self.config.nsplit as f64
+                * self.config.planet.reduction();
+            let diags = apply_physics(
+                &self.dycore,
+                &mut self.state,
+                &self.suite,
+                phys_dt,
+                self.config.sst,
+            );
+            for (acc, d) in self.precip_accum.iter_mut().zip(&diags) {
+                *acc += d.precip;
+            }
+        }
+    }
+
+    /// Run `n` steps.
+    pub fn run_steps(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Simulated days so far.
+    pub fn sim_days(&self) -> f64 {
+        self.time / 86_400.0
+    }
+
+    /// Surface pressure field per (element, point).
+    pub fn surface_pressure(&self) -> Vec<f64> {
+        let nlev = self.config.nlev;
+        let ptop = self.dycore.rhs.vert.ptop();
+        self.state
+            .elems
+            .iter()
+            .flat_map(|es| {
+                (0..NPTS).map(move |p| {
+                    ptop + (0..nlev).map(|k| es.dp3d[k * NPTS + p]).sum::<f64>()
+                })
+            })
+            .collect()
+    }
+
+    /// Lowest-level temperature per (element, point) — the "surface
+    /// temperature" diagnostic of the Figure-4 climatology.
+    pub fn surface_temperature(&self) -> Vec<f64> {
+        let nlev = self.config.nlev;
+        self.state
+            .elems
+            .iter()
+            .flat_map(|es| (0..NPTS).map(move |p| es.t[(nlev - 1) * NPTS + p]))
+            .collect()
+    }
+
+    /// Maximum surface-level wind speed, m/s.
+    pub fn max_surface_wind(&self) -> f64 {
+        let nlev = self.config.nlev;
+        let mut m: f64 = 0.0;
+        for es in &self.state.elems {
+            for p in 0..NPTS {
+                let i = (nlev - 1) * NPTS + p;
+                m = m.max((es.u[i] * es.u[i] + es.v[i] * es.v[i]).sqrt());
+            }
+        }
+        m
+    }
+
+    /// Latitude/longitude (radians) of every (element, point) column.
+    pub fn column_coords(&self) -> Vec<(f64, f64)> {
+        self.dycore
+            .grid
+            .elements
+            .iter()
+            .flat_map(|el| el.metric.iter().map(|m| (m.lat, m.lon)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Planet;
+
+    #[test]
+    fn default_model_is_stable_dry() {
+        let mut cfg = ModelConfig::for_ne(2);
+        cfg.suite = SuiteChoice::None;
+        cfg.qsize = 0;
+        cfg.nlev = 6;
+        let mut model = Swcam::new(cfg);
+        model.run_steps(3);
+        assert!(model.sim_days() > 0.0);
+        assert!(model.dycore.max_wind(&model.state) < 1.0);
+    }
+
+    #[test]
+    fn moist_model_runs_and_accumulates_precip_fields() {
+        let mut cfg = ModelConfig::for_ne(2);
+        cfg.nlev = 8;
+        cfg.suite = SuiteChoice::Simple;
+        let mut model = Swcam::new(cfg);
+        // Moist, warm lower atmosphere over a warm ocean.
+        model.init_with(
+            |_, _| cubesphere::P0,
+            |lat, _, _k, pm| {
+                let t = 300.0 * (pm / cubesphere::P0).powf(0.19).max(0.6);
+                let qv = 0.015 * (pm / cubesphere::P0).powi(3);
+                (5.0 * lat.cos(), 0.0, t.max(200.0), qv)
+            },
+        );
+        model.run_steps(3);
+        assert!(model.max_surface_wind() < 100.0, "blow-up");
+        let ps = model.surface_pressure();
+        assert!(ps.iter().all(|&p| p > 9.0e4 && p < 1.1e5));
+        assert_eq!(model.precip_accum.len(), ps.len());
+        let ts = model.surface_temperature();
+        assert!(ts.iter().all(|&t| t > 230.0 && t < 330.0));
+    }
+
+    #[test]
+    fn small_planet_model_builds_and_steps() {
+        let mut cfg = ModelConfig::for_ne(2);
+        cfg.planet = Planet::small(50.0);
+        cfg.nlev = 6;
+        cfg.suite = SuiteChoice::None;
+        cfg.qsize = 0;
+        let mut model = Swcam::new(cfg);
+        // dt shrank by the reduction factor.
+        assert!(model.dycore.cfg.dt < 100.0);
+        model.run_steps(2);
+        assert!(model.dycore.max_wind(&model.state).is_finite());
+    }
+
+    #[test]
+    fn coords_cover_the_sphere() {
+        let mut cfg = ModelConfig::for_ne(2);
+        cfg.suite = SuiteChoice::None;
+        cfg.qsize = 0;
+        cfg.nlev = 4;
+        let model = Swcam::new(cfg);
+        let coords = model.column_coords();
+        assert_eq!(coords.len(), 24 * NPTS);
+        let (mut north, mut south) = (false, false);
+        for (lat, _) in coords {
+            if lat > 0.7 {
+                north = true;
+            }
+            if lat < -0.7 {
+                south = true;
+            }
+        }
+        assert!(north && south);
+    }
+}

@@ -1,0 +1,47 @@
+//! Physical constants, matching the values CAM/CESM uses (`shr_const_mod`).
+
+/// Earth radius, m.
+pub const EARTH_RADIUS: f64 = 6.371_22e6;
+/// Earth rotation rate, 1/s.
+pub const OMEGA: f64 = 7.292_115e-5;
+/// Gravitational acceleration, m/s^2.
+pub const GRAV: f64 = 9.806_16;
+/// Dry-air gas constant, J/(kg K).
+pub const RD: f64 = 287.042_31;
+/// Dry-air specific heat at constant pressure, J/(kg K).
+pub const CP: f64 = 1004.64;
+/// `RD / CP`.
+pub const KAPPA: f64 = RD / CP;
+/// Reference surface pressure, Pa.
+pub const P0: f64 = 100_000.0;
+/// Gas constant for water vapour, J/(kg K).
+pub const RV: f64 = 461.5;
+/// Latent heat of vaporization, J/kg.
+pub const LATVAP: f64 = 2.501e6;
+/// Quarter pi: the half-width of a cubed-sphere face in equiangular coords.
+pub const QUARTER_PI: f64 = std::f64::consts::FRAC_PI_4;
+
+/// Approximate horizontal grid spacing (km) for a given `ne`, using the
+/// paper's convention (ne30 ~ 100 km, ne120 ~ 25 km, ne4096 ~ 750 m).
+pub fn resolution_km(ne: usize) -> f64 {
+    3000.0 / ne as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_resolution_mapping() {
+        assert!((resolution_km(30) - 100.0).abs() < 1e-12);
+        assert!((resolution_km(120) - 25.0).abs() < 1e-12);
+        assert!((resolution_km(256) - 11.72).abs() < 0.1); // "12.5 km class"
+        assert!((resolution_km(1024) - 2.93).abs() < 0.1); // "3 km class"
+        assert!((resolution_km(4096) - 0.732).abs() < 0.01); // "750 m class"
+    }
+
+    #[test]
+    fn kappa_is_r_over_cp() {
+        assert!((KAPPA - 0.2857).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,192 @@
+//! The six faces of the equiangular gnomonic cubed sphere.
+//!
+//! Each face covers `(alpha, beta) in [-pi/4, pi/4]^2`. A face is described
+//! by three constant vectors: the face-center direction `c` and two edge
+//! directions `e1`, `e2`; a face point is the normalized
+//! `Q = c + tan(alpha) e1 + tan(beta) e2`. Faces 0–3 ring the equator
+//! (centers at longitudes 0, 90, 180, 270 degrees), face 4 is the Arctic
+//! cap, face 5 the Antarctic cap. All faces are oriented right-handed:
+//! `t_alpha x t_beta` points outward.
+
+use crate::consts::QUARTER_PI;
+use crate::geom::Vec3;
+
+/// Number of cube faces.
+pub const NUM_FACES: usize = 6;
+
+/// One cubed-sphere face.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Face {
+    /// Face index, 0..6.
+    pub index: usize,
+    /// Face-center direction.
+    pub center: Vec3,
+    /// Direction of increasing `alpha`.
+    pub e1: Vec3,
+    /// Direction of increasing `beta`.
+    pub e2: Vec3,
+}
+
+/// The table of face frames.
+const FACES: [(Vec3, Vec3, Vec3); NUM_FACES] = [
+    // center                      e1 (alpha)                    e2 (beta)
+    (Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 0.0, 1.0)),
+    (Vec3::new(0.0, 1.0, 0.0), Vec3::new(-1.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0)),
+    (Vec3::new(-1.0, 0.0, 0.0), Vec3::new(0.0, -1.0, 0.0), Vec3::new(0.0, 0.0, 1.0)),
+    (Vec3::new(0.0, -1.0, 0.0), Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0)),
+    (Vec3::new(0.0, 0.0, 1.0), Vec3::new(0.0, 1.0, 0.0), Vec3::new(-1.0, 0.0, 0.0)),
+    (Vec3::new(0.0, 0.0, -1.0), Vec3::new(0.0, 1.0, 0.0), Vec3::new(1.0, 0.0, 0.0)),
+];
+
+impl Face {
+    /// Face `index` (0..6).
+    ///
+    /// # Panics
+    /// Panics if `index >= 6`.
+    pub fn new(index: usize) -> Self {
+        assert!(index < NUM_FACES, "face index {index} out of range");
+        let (center, e1, e2) = FACES[index];
+        Face { index, center, e1, e2 }
+    }
+
+    /// All six faces.
+    pub fn all() -> impl Iterator<Item = Face> {
+        (0..NUM_FACES).map(Face::new)
+    }
+
+    /// Unit sphere direction of face point `(alpha, beta)`.
+    pub fn to_sphere(&self, alpha: f64, beta: f64) -> Vec3 {
+        debug_assert!(alpha.abs() <= QUARTER_PI + 1e-12 && beta.abs() <= QUARTER_PI + 1e-12);
+        let q = self.center + self.e1 * alpha.tan() + self.e2 * beta.tan();
+        q.normalized()
+    }
+
+    /// Unit-sphere tangent vectors `(dP/dalpha, dP/dbeta)` at `(alpha, beta)`.
+    ///
+    /// With `x = tan(alpha)`, `Q = c + x e1 + y e2`, `P = Q/|Q|`:
+    /// `dP/dx = (e1 - P (P . e1)) / |Q|` and `dP/dalpha = (1 + x^2) dP/dx`.
+    pub fn tangents(&self, alpha: f64, beta: f64) -> (Vec3, Vec3) {
+        let x = alpha.tan();
+        let y = beta.tan();
+        let q = self.center + self.e1 * x + self.e2 * y;
+        let r = q.norm();
+        let p = q * (1.0 / r);
+        let dp_dx = (self.e1 - p * p.dot(self.e1)) * (1.0 / r);
+        let dp_dy = (self.e2 - p * p.dot(self.e2)) * (1.0 / r);
+        (dp_dx * (1.0 + x * x), dp_dy * (1.0 + y * y))
+    }
+
+    /// Which face contains the unit direction `p` (ties broken by index).
+    pub fn containing(p: Vec3) -> usize {
+        let mut best = 0;
+        let mut best_dot = f64::MIN;
+        for f in Face::all() {
+            let d = f.center.dot(p);
+            if d > best_dot {
+                best_dot = d;
+                best = f.index;
+            }
+        }
+        best
+    }
+
+    /// Inverse map: `(alpha, beta)` of the unit direction `p`, which must
+    /// lie on this face (`center . p > 0`).
+    pub fn from_sphere(&self, p: Vec3) -> (f64, f64) {
+        let c = self.center.dot(p);
+        assert!(c > 0.0, "point is on the far side of face {}", self.index);
+        let x = self.e1.dot(p) / c;
+        let y = self.e2.dot(p) / c;
+        (x.atan(), y.atan())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centers_are_axes_and_frames_right_handed() {
+        for f in Face::all() {
+            assert!((f.center.norm() - 1.0).abs() < 1e-15);
+            assert!((f.e1.norm() - 1.0).abs() < 1e-15);
+            assert!(f.e1.dot(f.e2).abs() < 1e-15);
+            assert!(f.center.dot(f.e1).abs() < 1e-15);
+            // Right-handed with outward normal.
+            assert!((f.e1.cross(f.e2) - f.center).norm() < 1e-15, "face {}", f.index);
+        }
+    }
+
+    #[test]
+    fn face_centers_map_to_themselves() {
+        for f in Face::all() {
+            let p = f.to_sphere(0.0, 0.0);
+            assert!((p - f.center).norm() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_inverse_map() {
+        for f in Face::all() {
+            for &a in &[-0.7, -0.3, 0.0, 0.45, QUARTER_PI * 0.999] {
+                for &b in &[-0.6, 0.2, 0.7] {
+                    let p = f.to_sphere(a, b);
+                    let (a2, b2) = f.from_sphere(p);
+                    assert!((a - a2).abs() < 1e-12 && (b - b2).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn containing_face_agrees_with_construction() {
+        for f in Face::all() {
+            // Strictly interior points should classify to their own face.
+            let p = f.to_sphere(0.3, -0.5);
+            assert_eq!(Face::containing(p), f.index);
+        }
+    }
+
+    #[test]
+    fn tangents_match_finite_differences() {
+        let h = 1e-6;
+        for f in Face::all() {
+            let (a, b) = (0.31, -0.44);
+            let (ta, tb) = f.tangents(a, b);
+            let fd_a = (f.to_sphere(a + h, b) - f.to_sphere(a - h, b)) * (1.0 / (2.0 * h));
+            let fd_b = (f.to_sphere(a, b + h) - f.to_sphere(a, b - h)) * (1.0 / (2.0 * h));
+            assert!((ta - fd_a).norm() < 1e-8, "face {} alpha", f.index);
+            assert!((tb - fd_b).norm() < 1e-8, "face {} beta", f.index);
+        }
+    }
+
+    #[test]
+    fn tangents_are_tangent_to_sphere() {
+        for f in Face::all() {
+            let p = f.to_sphere(0.2, 0.6);
+            let (ta, tb) = f.tangents(0.2, 0.6);
+            assert!(ta.dot(p).abs() < 1e-14);
+            assert!(tb.dot(p).abs() < 1e-14);
+            // Outward orientation.
+            assert!(ta.cross(tb).dot(p) > 0.0);
+        }
+    }
+
+    #[test]
+    fn neighbouring_faces_meet_at_edges() {
+        // Face 0's alpha = +pi/4 edge is face 1's alpha = -pi/4 edge.
+        let f0 = Face::new(0);
+        let f1 = Face::new(1);
+        for &b in &[-0.5, 0.0, 0.5] {
+            let p0 = f0.to_sphere(QUARTER_PI, b);
+            let p1 = f1.to_sphere(-QUARTER_PI, b);
+            assert!((p0 - p1).norm() < 1e-14);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_face_index() {
+        let _ = Face::new(6);
+    }
+}

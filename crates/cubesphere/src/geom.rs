@@ -1,0 +1,172 @@
+//! Minimal 3-vector math for sphere geometry.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A 3-component double-precision vector.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Construct from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Zero vector.
+    #[inline]
+    pub const fn zero() -> Self {
+        Vec3::new(0.0, 0.0, 0.0)
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Unit vector in this direction.
+    ///
+    /// # Panics
+    /// Panics (debug) on the zero vector.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        debug_assert!(n > 0.0, "normalizing zero vector");
+        self * (1.0 / n)
+    }
+
+    /// Latitude (radians) of this point interpreted as a direction.
+    #[inline]
+    pub fn latitude(self) -> f64 {
+        (self.z / self.norm()).asin()
+    }
+
+    /// Longitude (radians, in (-pi, pi]) of this direction.
+    #[inline]
+    pub fn longitude(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        self * -1.0
+    }
+}
+
+/// Unit vector pointing east at the given (lat, lon).
+#[inline]
+pub fn east_unit(lon: f64) -> Vec3 {
+    Vec3::new(-lon.sin(), lon.cos(), 0.0)
+}
+
+/// Unit vector pointing north at the given (lat, lon).
+#[inline]
+pub fn north_unit(lat: f64, lon: f64) -> Vec3 {
+    Vec3::new(-lat.sin() * lon.cos(), -lat.sin() * lon.sin(), lat.cos())
+}
+
+/// Great-circle distance between two unit directions, radians.
+pub fn great_circle(a: Vec3, b: Vec3) -> f64 {
+    let an = a.normalized();
+    let bn = b.normalized();
+    an.cross(bn).norm().atan2(an.dot(bn))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn dot_cross_identities() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-2.0, 0.5, 4.0);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-14);
+        assert!(c.dot(b).abs() < 1e-14);
+        // |a x b|^2 + (a.b)^2 = |a|^2 |b|^2
+        let lhs = c.dot(c) + a.dot(b) * a.dot(b);
+        let rhs = a.dot(a) * b.dot(b);
+        assert!((lhs - rhs).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lat_lon_of_axes() {
+        assert!((Vec3::new(1.0, 0.0, 0.0).latitude()).abs() < 1e-15);
+        assert!((Vec3::new(1.0, 0.0, 0.0).longitude()).abs() < 1e-15);
+        assert!((Vec3::new(0.0, 1.0, 0.0).longitude() - FRAC_PI_2).abs() < 1e-15);
+        assert!((Vec3::new(0.0, 0.0, 2.0).latitude() - FRAC_PI_2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn local_basis_is_orthonormal() {
+        let (lat, lon) = (0.7, -2.1);
+        let e = east_unit(lon);
+        let n = north_unit(lat, lon);
+        let r = Vec3::new(lat.cos() * lon.cos(), lat.cos() * lon.sin(), lat.sin());
+        assert!((e.norm() - 1.0).abs() < 1e-14);
+        assert!((n.norm() - 1.0).abs() < 1e-14);
+        assert!(e.dot(n).abs() < 1e-14);
+        assert!(e.dot(r).abs() < 1e-14);
+        assert!(n.dot(r).abs() < 1e-14);
+        // Right-handed: east x north = up.
+        assert!((e.cross(n) - r).norm() < 1e-14);
+    }
+
+    #[test]
+    fn great_circle_quarter_turn() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        assert!((great_circle(a, b) - FRAC_PI_2).abs() < 1e-14);
+        let c = Vec3::new(-1.0, 0.0, 0.0);
+        assert!((great_circle(a, c) - PI).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,261 @@
+//! Gauss–Lobatto–Legendre (GLL) basis: nodes, quadrature weights, and the
+//! spectral derivative matrix.
+//!
+//! CAM-SE places `np x np` GLL points in each spectral element (CAM uses
+//! `np = 4`, i.e. cubic elements). The same nodes serve as interpolation
+//! points and quadrature points, which is what makes the mass matrix
+//! diagonal and Direct Stiffness Summation (DSS) an averaging operation.
+
+/// The number of GLL points per element edge used by CAM-SE.
+pub const NP: usize = 4;
+
+/// GLL basis data for `np` points on the reference interval [-1, 1].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GllBasis {
+    /// Number of points.
+    pub np: usize,
+    /// Node coordinates, ascending, `points[0] = -1`, `points[np-1] = 1`.
+    pub points: Vec<f64>,
+    /// Quadrature weights (sum to 2).
+    pub weights: Vec<f64>,
+    /// Derivative matrix: `deriv[i][j] = L_j'(x_i)` where `L_j` is the
+    /// Lagrange cardinal function of node `j`. Stored row-major,
+    /// `deriv[i * np + j]`.
+    pub deriv: Vec<f64>,
+}
+
+/// Evaluate Legendre polynomial `P_n` and its derivative at `x` by the
+/// three-term recurrence. Returns `(P_n(x), P_n'(x))`.
+fn legendre(n: usize, x: f64) -> (f64, f64) {
+    if n == 0 {
+        return (1.0, 0.0);
+    }
+    let (mut p_prev, mut p) = (1.0, x);
+    for k in 1..n {
+        let p_next = ((2 * k + 1) as f64 * x * p - k as f64 * p_prev) / (k + 1) as f64;
+        p_prev = p;
+        p = p_next;
+    }
+    // P_n'(x) = n (x P_n - P_{n-1}) / (x^2 - 1), regular away from the
+    // endpoints (the endpoints are handled analytically by callers).
+    let dp = if (x * x - 1.0).abs() < 1e-14 {
+        // P_n'(+-1) = (+-1)^{n-1} n(n+1)/2
+        let sign = if x > 0.0 || n % 2 == 1 { 1.0 } else { -1.0 };
+        sign * (n * (n + 1)) as f64 / 2.0
+    } else {
+        n as f64 * (x * p - p_prev) / (x * x - 1.0)
+    };
+    (p, dp)
+}
+
+impl GllBasis {
+    /// Construct the basis for `np >= 2` points.
+    ///
+    /// Interior nodes are the roots of `P_{np-1}'`, found by Newton
+    /// iteration from Chebyshev–Lobatto initial guesses; weights are
+    /// `2 / (np (np-1) P_{np-1}(x_i)^2)`.
+    ///
+    /// # Panics
+    /// Panics if `np < 2`.
+    pub fn new(np: usize) -> Self {
+        assert!(np >= 2, "GLL basis needs at least 2 points");
+        let n = np - 1; // polynomial degree
+        let mut points = vec![0.0; np];
+        points[0] = -1.0;
+        points[np - 1] = 1.0;
+        for i in 1..np - 1 {
+            // Chebyshev-Lobatto initial guess (descending in cos, so flip).
+            let mut x = -(std::f64::consts::PI * i as f64 / n as f64).cos();
+            for _ in 0..100 {
+                // Newton on f(x) = P_n'(x). f'(x) = P_n''(x) from the
+                // Legendre ODE: (1-x^2) P'' = 2x P' - n(n+1) P.
+                let (p, dp) = legendre(n, x);
+                let ddp = (2.0 * x * dp - (n * (n + 1)) as f64 * p) / (1.0 - x * x);
+                let step = dp / ddp;
+                x -= step;
+                if step.abs() < 1e-15 {
+                    break;
+                }
+            }
+            points[i] = x;
+        }
+        // Enforce exact symmetry.
+        for i in 0..np / 2 {
+            let avg = 0.5 * (points[i] - points[np - 1 - i]);
+            points[i] = avg;
+            points[np - 1 - i] = -avg;
+        }
+        if np % 2 == 1 {
+            points[np / 2] = 0.0;
+        }
+
+        let weights: Vec<f64> = points
+            .iter()
+            .map(|&x| {
+                let (p, _) = legendre(n, x);
+                2.0 / ((np * n) as f64 * p * p)
+            })
+            .collect();
+
+        // Derivative matrix for GLL-Legendre nodes (Canuto et al.):
+        //   D_ij = P_n(x_i) / (P_n(x_j) (x_i - x_j))     i != j
+        //   D_00 = -n(n+1)/4,  D_{n,n} = n(n+1)/4,  else 0.
+        let mut deriv = vec![0.0; np * np];
+        for i in 0..np {
+            for j in 0..np {
+                if i == j {
+                    deriv[i * np + j] = if i == 0 {
+                        -((n * (n + 1)) as f64) / 4.0
+                    } else if i == np - 1 {
+                        (n * (n + 1)) as f64 / 4.0
+                    } else {
+                        0.0
+                    };
+                } else {
+                    let (pi, _) = legendre(n, points[i]);
+                    let (pj, _) = legendre(n, points[j]);
+                    deriv[i * np + j] = pi / (pj * (points[i] - points[j]));
+                }
+            }
+        }
+
+        GllBasis { np, points, weights, deriv }
+    }
+
+    /// The CAM-SE basis (`np = 4`).
+    pub fn cam_se() -> Self {
+        Self::new(NP)
+    }
+
+    /// `deriv[i][j]`.
+    #[inline]
+    pub fn d(&self, i: usize, j: usize) -> f64 {
+        self.deriv[i * self.np + j]
+    }
+
+    /// Differentiate nodal values `f` (length `np`), writing `f'` at the
+    /// nodes into `out`.
+    pub fn differentiate(&self, f: &[f64], out: &mut [f64]) {
+        assert_eq!(f.len(), self.np);
+        assert_eq!(out.len(), self.np);
+        for i in 0..self.np {
+            let mut acc = 0.0;
+            for j in 0..self.np {
+                acc += self.d(i, j) * f[j];
+            }
+            out[i] = acc;
+        }
+    }
+
+    /// Quadrature of nodal values: `sum_i w_i f_i`.
+    pub fn integrate(&self, f: &[f64]) -> f64 {
+        assert_eq!(f.len(), self.np);
+        f.iter().zip(&self.weights).map(|(a, w)| a * w).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn np4_nodes_and_weights_match_known_values() {
+        let b = GllBasis::cam_se();
+        let s5 = 1.0 / 5.0_f64.sqrt();
+        let expect = [-1.0, -s5, s5, 1.0];
+        for (x, e) in b.points.iter().zip(expect) {
+            assert!((x - e).abs() < TOL, "{x} vs {e}");
+        }
+        let wexpect = [1.0 / 6.0, 5.0 / 6.0, 5.0 / 6.0, 1.0 / 6.0];
+        for (w, e) in b.weights.iter().zip(wexpect) {
+            assert!((w - e).abs() < TOL, "{w} vs {e}");
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_two_for_various_np() {
+        for np in 2..=8 {
+            let b = GllBasis::new(np);
+            let sum: f64 = b.weights.iter().sum();
+            assert!((sum - 2.0).abs() < 1e-11, "np={np}: {sum}");
+        }
+    }
+
+    #[test]
+    fn quadrature_exact_to_degree_2np_minus_3() {
+        for np in 3..=7 {
+            let b = GllBasis::new(np);
+            for deg in 0..=(2 * np - 3) {
+                let f: Vec<f64> = b.points.iter().map(|x| x.powi(deg as i32)).collect();
+                let got = b.integrate(&f);
+                let exact = if deg % 2 == 1 { 0.0 } else { 2.0 / (deg as f64 + 1.0) };
+                assert!((got - exact).abs() < 1e-10, "np={np} deg={deg}: {got} vs {exact}");
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_exact_for_polynomials() {
+        for np in 2..=7 {
+            let b = GllBasis::new(np);
+            for deg in 0..np {
+                let f: Vec<f64> = b.points.iter().map(|x| x.powi(deg as i32)).collect();
+                let mut df = vec![0.0; np];
+                b.differentiate(&f, &mut df);
+                for (i, &x) in b.points.iter().enumerate() {
+                    let exact =
+                        if deg == 0 { 0.0 } else { deg as f64 * x.powi(deg as i32 - 1) };
+                    assert!(
+                        (df[i] - exact).abs() < 1e-9,
+                        "np={np} deg={deg} i={i}: {} vs {exact}",
+                        df[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_rows_annihilate_constants() {
+        let b = GllBasis::new(6);
+        for i in 0..6 {
+            let row_sum: f64 = (0..6).map(|j| b.d(i, j)).sum();
+            assert!(row_sum.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn summation_by_parts() {
+        // GLL quadrature + derivative satisfy integration by parts exactly
+        // for products of polynomials of total degree <= 2np-3:
+        //   sum_i w_i (f' g + f g')_i = [f g]_{-1}^{1}
+        let b = GllBasis::new(5);
+        let f: Vec<f64> = b.points.iter().map(|x| x * x).collect();
+        let g: Vec<f64> = b.points.iter().map(|x| x * x * x - x).collect();
+        let mut df = vec![0.0; 5];
+        let mut dg = vec![0.0; 5];
+        b.differentiate(&f, &mut df);
+        b.differentiate(&g, &mut dg);
+        let lhs: f64 =
+            (0..5).map(|i| b.weights[i] * (df[i] * g[i] + f[i] * dg[i])).sum();
+        let boundary = f[4] * g[4] - f[0] * g[0];
+        assert!((lhs - boundary).abs() < 1e-10, "{lhs} vs {boundary}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_np_below_two() {
+        let _ = GllBasis::new(1);
+    }
+
+    #[test]
+    fn legendre_endpoint_derivative() {
+        // P_3'(1) = 6, P_3'(-1) = 6 (sign (+1)^{n-1} n(n+1)/2 with n=3).
+        let (_, dp1) = legendre(3, 1.0);
+        assert!((dp1 - 6.0).abs() < TOL);
+        let (_, dpm1) = legendre(3, -1.0);
+        assert!((dpm1 - 6.0).abs() < TOL);
+    }
+}

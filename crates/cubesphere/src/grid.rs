@@ -1,0 +1,335 @@
+//! The assembled cubed-sphere spectral-element grid.
+//!
+//! A [`CubedSphere`] holds every element's GLL-point metric data plus the
+//! global assembly map used by Direct Stiffness Summation: GLL points on
+//! shared element edges receive one global id, found by geometric hashing of
+//! their (exactly coincident) sphere positions. This sidesteps the 12-case
+//! face-edge orientation bookkeeping of the Fortran original while producing
+//! the identical assembly structure — including the eight cube corners where
+//! three elements meet.
+
+use crate::consts::QUARTER_PI;
+use crate::face::{Face, NUM_FACES};
+use crate::gll::{GllBasis, NP};
+use crate::metric::PointMetric;
+use std::collections::HashMap;
+
+/// GLL points per element (`np x np`).
+pub const NPTS: usize = NP * NP;
+
+/// Flat index of GLL point `(i, j)` — `i` along `alpha`, `j` along `beta`.
+#[inline]
+pub const fn pidx(i: usize, j: usize) -> usize {
+    i * NP + j
+}
+
+/// One spectral element.
+#[derive(Debug, Clone)]
+pub struct Element {
+    /// Cube face this element lies on.
+    pub face: usize,
+    /// Element index along `alpha` within the face, 0..ne.
+    pub ei: usize,
+    /// Element index along `beta` within the face, 0..ne.
+    pub ej: usize,
+    /// `alpha` of the element's low edge.
+    pub alpha0: f64,
+    /// `beta` of the element's low edge.
+    pub beta0: f64,
+    /// Element width in `alpha` (= width in `beta`).
+    pub dab: f64,
+    /// Metric data at each GLL point, indexed by [`pidx`].
+    pub metric: Vec<PointMetric>,
+    /// Quadrature/assembly weight at each GLL point:
+    /// `w_i w_j (dab/2)^2 metdet` (HOMME's `spheremp`).
+    pub spheremp: Vec<f64>,
+    /// Global GLL ids for assembly, indexed by [`pidx`].
+    pub gids: Vec<usize>,
+}
+
+impl Element {
+    /// `2 / dab`: factor converting reference-interval derivatives to
+    /// derivatives in `alpha`/`beta`.
+    #[inline]
+    pub fn dscale(&self) -> f64 {
+        2.0 / self.dab
+    }
+}
+
+/// The full grid.
+#[derive(Debug, Clone)]
+pub struct CubedSphere {
+    /// Elements along each cube-face edge.
+    pub ne: usize,
+    /// The GLL basis (np = 4).
+    pub basis: GllBasis,
+    /// All `6 ne^2` elements, ordered face-major then `ei`-major.
+    pub elements: Vec<Element>,
+    /// Number of unique (assembled) GLL points.
+    pub nglobal: usize,
+    /// `1 / sum(spheremp)` per global id: the inverse DSS mass.
+    pub inv_mass: Vec<f64>,
+    /// How many elements share each global point (1, 2, 3 or 4).
+    pub multiplicity: Vec<u8>,
+    /// Edge-adjacent neighbours of each element (always 4 on the sphere).
+    pub edge_neighbors: Vec<[usize; 4]>,
+    /// All neighbours sharing at least one GLL point (edge + corner).
+    pub all_neighbors: Vec<Vec<usize>>,
+}
+
+/// Quantization scale for geometric hashing of unit directions. GLL point
+/// separations are O(1/ne) on the unit sphere; 1e-8 absolute tolerance is
+/// safe for any feasible `ne` while absorbing floating-point noise (~1e-15)
+/// between coordinate charts.
+const HASH_SCALE: f64 = 1.0e8;
+
+fn hash_key(p: crate::geom::Vec3) -> (i64, i64, i64) {
+    (
+        (p.x * HASH_SCALE).round() as i64,
+        (p.y * HASH_SCALE).round() as i64,
+        (p.z * HASH_SCALE).round() as i64,
+    )
+}
+
+impl CubedSphere {
+    /// Build the grid with `ne` elements per cube-face edge on the Earth.
+    ///
+    /// # Panics
+    /// Panics if `ne == 0`.
+    pub fn new(ne: usize) -> Self {
+        Self::new_planet(ne, crate::consts::EARTH_RADIUS, crate::consts::OMEGA)
+    }
+
+    /// Build the grid on a general planet (see
+    /// [`PointMetric::at_planet`] for the small-planet convention).
+    ///
+    /// # Panics
+    /// Panics if `ne == 0` or `radius <= 0`.
+    pub fn new_planet(ne: usize, radius: f64, omega: f64) -> Self {
+        assert!(ne > 0, "ne must be positive");
+        assert!(radius > 0.0, "radius must be positive");
+        let basis = GllBasis::cam_se();
+        let dab = 2.0 * QUARTER_PI / ne as f64;
+        let nelem = NUM_FACES * ne * ne;
+
+        let mut elements = Vec::with_capacity(nelem);
+        let mut gid_map: HashMap<(i64, i64, i64), usize> = HashMap::new();
+        let mut mass: Vec<f64> = Vec::new();
+        let mut multiplicity: Vec<u8> = Vec::new();
+        // Elements sharing each global id (for adjacency).
+        let mut owners: Vec<Vec<usize>> = Vec::new();
+
+        for face_idx in 0..NUM_FACES {
+            let face = Face::new(face_idx);
+            for ei in 0..ne {
+                for ej in 0..ne {
+                    let alpha0 = -QUARTER_PI + ei as f64 * dab;
+                    let beta0 = -QUARTER_PI + ej as f64 * dab;
+                    let mut metric = Vec::with_capacity(NPTS);
+                    let mut spheremp = Vec::with_capacity(NPTS);
+                    let mut gids = Vec::with_capacity(NPTS);
+                    let eidx = elements.len();
+                    for i in 0..NP {
+                        let alpha = alpha0 + 0.5 * dab * (basis.points[i] + 1.0);
+                        for j in 0..NP {
+                            let beta = beta0 + 0.5 * dab * (basis.points[j] + 1.0);
+                            let m = PointMetric::at_planet(&face, alpha, beta, radius, omega);
+                            let w = basis.weights[i]
+                                * basis.weights[j]
+                                * (0.5 * dab) * (0.5 * dab)
+                                * m.metdet;
+                            let gid = *gid_map.entry(hash_key(m.dir)).or_insert_with(|| {
+                                mass.push(0.0);
+                                multiplicity.push(0);
+                                owners.push(Vec::new());
+                                mass.len() - 1
+                            });
+                            mass[gid] += w;
+                            if owners[gid].last() != Some(&eidx) {
+                                multiplicity[gid] += 1;
+                                owners[gid].push(eidx);
+                            }
+                            metric.push(m);
+                            spheremp.push(w);
+                            gids.push(gid);
+                        }
+                    }
+                    elements.push(Element {
+                        face: face_idx,
+                        ei,
+                        ej,
+                        alpha0,
+                        beta0,
+                        dab,
+                        metric,
+                        spheremp,
+                        gids,
+                    });
+                }
+            }
+        }
+
+        // Adjacency: count shared global points per element pair.
+        let mut edge_neighbors = Vec::with_capacity(nelem);
+        let mut all_neighbors = Vec::with_capacity(nelem);
+        let mut shared: HashMap<usize, usize> = HashMap::new();
+        for (eidx, el) in elements.iter().enumerate() {
+            shared.clear();
+            for &gid in &el.gids {
+                for &other in &owners[gid] {
+                    if other != eidx {
+                        *shared.entry(other).or_insert(0) += 1;
+                    }
+                }
+            }
+            let mut edges: Vec<usize> =
+                shared.iter().filter(|&(_, &n)| n >= 2).map(|(&e, _)| e).collect();
+            edges.sort_unstable();
+            assert_eq!(
+                edges.len(),
+                4,
+                "element {eidx} has {} edge neighbours (expected 4)",
+                edges.len()
+            );
+            edge_neighbors.push([edges[0], edges[1], edges[2], edges[3]]);
+            let mut all: Vec<usize> = shared.keys().copied().collect();
+            all.sort_unstable();
+            all_neighbors.push(all);
+        }
+
+        let inv_mass = mass.iter().map(|&m| 1.0 / m).collect();
+        CubedSphere {
+            ne,
+            basis,
+            elements,
+            nglobal: mass.len(),
+            inv_mass,
+            multiplicity,
+            edge_neighbors,
+            all_neighbors,
+        }
+    }
+
+    /// Total number of elements (`6 ne^2`).
+    #[inline]
+    pub fn nelem(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Global surface integral of a per-element nodal field.
+    ///
+    /// `field[e]` holds the NPTS nodal values of element `e`. Shared points
+    /// are intentionally counted once per element with their element-local
+    /// weights — that is exactly the spectral-element quadrature rule
+    /// (weights of shared points sum across elements).
+    pub fn global_integral(&self, field: &[Vec<f64>]) -> f64 {
+        assert_eq!(field.len(), self.nelem());
+        let mut acc = 0.0;
+        for (el, f) in self.elements.iter().zip(field) {
+            debug_assert_eq!(f.len(), NPTS);
+            for p in 0..NPTS {
+                acc += el.spheremp[p] * f[p];
+            }
+        }
+        acc
+    }
+
+    /// Surface area of the sphere as represented by the grid.
+    pub fn total_area(&self) -> f64 {
+        self.elements.iter().map(|el| el.spheremp.iter().sum::<f64>()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consts::EARTH_RADIUS;
+
+    #[test]
+    fn element_count_matches_table2() {
+        // The paper's Table 2: #elements = horizontal mesh x 6 faces.
+        for &(ne, nelem) in &[(2usize, 24usize), (4, 96), (8, 384)] {
+            let g = CubedSphere::new(ne);
+            assert_eq!(g.nelem(), nelem);
+        }
+        // The Table 2 formula itself at paper scales (not instantiated).
+        assert_eq!(6 * 64 * 64, 24_576);
+        assert_eq!(6 * 256 * 256, 393_216);
+        assert_eq!(6 * 1024 * 1024, 6_291_456);
+        assert_eq!(6 * 4096 * 4096, 100_663_296);
+    }
+
+    #[test]
+    fn unique_gll_points_match_euler_formula() {
+        // A cube-surface grid with n = 3 ne quads per face edge has
+        // 6 n^2 + 2 vertices.
+        for ne in [1usize, 2, 3, 5] {
+            let g = CubedSphere::new(ne);
+            let n = 3 * ne;
+            assert_eq!(g.nglobal, 6 * n * n + 2, "ne = {ne}");
+        }
+    }
+
+    #[test]
+    fn multiplicities_are_cube_topology() {
+        let g = CubedSphere::new(3);
+        let mut counts = [0usize; 5];
+        for &m in &g.multiplicity {
+            counts[m as usize] += 1;
+        }
+        assert_eq!(counts[3], 8, "exactly the 8 cube corners have 3 owners");
+        assert_eq!(counts[0], 0);
+        // Interior points: each element contributes 4 (the 2x2 interior GLL
+        // block), so 6 ne^2 * 4.
+        assert_eq!(counts[1], g.nelem() * 4);
+        // Sanity: elements x NPTS point-slots distribute over the classes.
+        let slots: usize =
+            g.multiplicity.iter().map(|&m| m as usize).sum();
+        assert_eq!(slots, g.nelem() * NPTS);
+    }
+
+    #[test]
+    fn every_element_has_four_edge_neighbors_and_some_corners() {
+        let g = CubedSphere::new(4);
+        for e in 0..g.nelem() {
+            assert_eq!(g.edge_neighbors[e].len(), 4);
+            assert!(g.all_neighbors[e].len() >= 7, "elem {e}: {:?}", g.all_neighbors[e]);
+            assert!(g.all_neighbors[e].len() <= 8);
+            for &n in &g.edge_neighbors[e] {
+                assert!(g.edge_neighbors[n].contains(&e), "adjacency not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn area_converges_to_sphere_area() {
+        let exact = 4.0 * std::f64::consts::PI * EARTH_RADIUS * EARTH_RADIUS;
+        let coarse = (CubedSphere::new(2).total_area() - exact).abs() / exact;
+        let fine = (CubedSphere::new(4).total_area() - exact).abs() / exact;
+        assert!(coarse < 1e-4, "coarse err {coarse}");
+        assert!(fine < coarse / 4.0, "no convergence: {coarse} -> {fine}");
+    }
+
+    #[test]
+    fn global_integral_of_one_is_total_area() {
+        let g = CubedSphere::new(3);
+        let ones = vec![vec![1.0; NPTS]; g.nelem()];
+        assert!((g.global_integral(&ones) - g.total_area()).abs() < 1.0);
+    }
+
+    #[test]
+    fn mass_is_positive_everywhere() {
+        let g = CubedSphere::new(2);
+        assert!(g.inv_mass.iter().all(|&m| m.is_finite() && m > 0.0));
+    }
+
+    #[test]
+    fn dscale_and_pidx() {
+        let g = CubedSphere::new(2);
+        let el = &g.elements[0];
+        assert!((el.dscale() - 2.0 / el.dab).abs() < 1e-15);
+        assert_eq!(pidx(0, 0), 0);
+        assert_eq!(pidx(3, 3), NPTS - 1);
+        assert_eq!(pidx(1, 2), 6);
+    }
+}

@@ -1,0 +1,171 @@
+//! Metric terms of the equiangular cubed-sphere mapping.
+//!
+//! At every GLL point the dynamical core needs the Jacobian determinant
+//! (`metdet`, for quadrature and DSS weights) and the 2x2 matrices `D` /
+//! `Dinv` converting between contravariant cube-coordinate velocities and
+//! physical (eastward, northward) velocities. Everything is derived from the
+//! analytic tangent vectors of [`Face`](crate::face::Face), scaled by the
+//! Earth radius.
+
+use crate::consts::{EARTH_RADIUS, OMEGA};
+use crate::face::Face;
+use crate::geom::{east_unit, north_unit, Vec3};
+
+/// Metric data at one GLL point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointMetric {
+    /// Unit sphere direction of the point.
+    pub dir: Vec3,
+    /// Latitude, radians.
+    pub lat: f64,
+    /// Longitude, radians.
+    pub lon: f64,
+    /// Coriolis parameter `2 Omega sin(lat)`, 1/s.
+    pub coriolis: f64,
+    /// `sqrt(det g)`: area element per unit `dalpha dbeta`, m^2.
+    pub metdet: f64,
+    /// `d[r][c]`: maps contravariant `(d alpha/dt, d beta/dt)` to physical
+    /// `(u, v)` in m/s.
+    pub d: [[f64; 2]; 2],
+    /// Inverse of `d`: physical `(u, v)` to contravariant rates.
+    pub dinv: [[f64; 2]; 2],
+}
+
+impl PointMetric {
+    /// Compute the metric at face point `(alpha, beta)` on the Earth-radius
+    /// sphere with the Earth's rotation rate.
+    pub fn at(face: &Face, alpha: f64, beta: f64) -> Self {
+        Self::at_planet(face, alpha, beta, EARTH_RADIUS, OMEGA)
+    }
+
+    /// Compute the metric on a general planet. Reduced-radius ("small
+    /// planet") configurations — the standard DCMIP device for reaching
+    /// fine effective resolution with few elements — pass
+    /// `radius = a_earth / X` and usually `omega_planet = X * omega`.
+    pub fn at_planet(face: &Face, alpha: f64, beta: f64, radius: f64, omega: f64) -> Self {
+        let dir = face.to_sphere(alpha, beta);
+        let (ta_unit, tb_unit) = face.tangents(alpha, beta);
+        // Scale tangents to the physical sphere.
+        let ta = ta_unit * radius;
+        let tb = tb_unit * radius;
+
+        let g11 = ta.dot(ta);
+        let g12 = ta.dot(tb);
+        let g22 = tb.dot(tb);
+        let metdet = (g11 * g22 - g12 * g12).sqrt();
+
+        let lat = dir.latitude();
+        let lon = dir.longitude();
+        let e = east_unit(lon);
+        let n = north_unit(lat, lon);
+
+        // Columns of d are the physical components of the tangent vectors:
+        // a contravariant velocity (adot, bdot) moves the point with
+        // physical velocity adot * ta + bdot * tb.
+        let d = [[ta.dot(e), tb.dot(e)], [ta.dot(n), tb.dot(n)]];
+        let det = d[0][0] * d[1][1] - d[0][1] * d[1][0];
+        debug_assert!(det.abs() > 0.0, "singular metric at ({alpha}, {beta})");
+        let inv_det = 1.0 / det;
+        let dinv = [
+            [d[1][1] * inv_det, -d[0][1] * inv_det],
+            [-d[1][0] * inv_det, d[0][0] * inv_det],
+        ];
+
+        PointMetric { dir, lat, lon, coriolis: 2.0 * omega * lat.sin(), metdet, d, dinv }
+    }
+
+    /// Convert physical `(u, v)` to contravariant components.
+    #[inline]
+    pub fn to_contra(&self, u: f64, v: f64) -> (f64, f64) {
+        (
+            self.dinv[0][0] * u + self.dinv[0][1] * v,
+            self.dinv[1][0] * u + self.dinv[1][1] * v,
+        )
+    }
+
+    /// Convert contravariant components to physical `(u, v)`.
+    #[inline]
+    pub fn to_physical(&self, c1: f64, c2: f64) -> (f64, f64) {
+        (
+            self.d[0][0] * c1 + self.d[0][1] * c2,
+            self.d[1][0] * c1 + self.d[1][1] * c2,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consts::QUARTER_PI;
+
+    #[test]
+    fn metdet_matches_determinant_of_d() {
+        // |det d| equals sqrt(det g) because d expresses the same tangent
+        // vectors in an orthonormal basis.
+        for f in Face::all() {
+            let m = PointMetric::at(&f, 0.37, -0.21);
+            let det = m.d[0][0] * m.d[1][1] - m.d[0][1] * m.d[1][0];
+            assert!(
+                (det.abs() - m.metdet).abs() < m.metdet * 1e-12,
+                "face {}: {det} vs {}",
+                f.index,
+                m.metdet
+            );
+        }
+    }
+
+    #[test]
+    fn velocity_roundtrip() {
+        for f in Face::all() {
+            let m = PointMetric::at(&f, -0.5, 0.62);
+            let (u, v) = (13.5, -4.2);
+            let (c1, c2) = m.to_contra(u, v);
+            let (u2, v2) = m.to_physical(c1, c2);
+            assert!((u - u2).abs() < 1e-9 && (v - v2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn face_center_metric_is_diagonal_radius() {
+        // At an equatorial face center alpha/beta align with east/north and
+        // |t| = a, so d ~ diag(a, a).
+        let f = Face::new(0);
+        let m = PointMetric::at(&f, 0.0, 0.0);
+        assert!((m.d[0][0] - EARTH_RADIUS).abs() < 1.0);
+        assert!((m.d[1][1] - EARTH_RADIUS).abs() < 1.0);
+        assert!(m.d[0][1].abs() < 1e-6 && m.d[1][0].abs() < 1e-6);
+        assert!((m.metdet - EARTH_RADIUS * EARTH_RADIUS).abs() < 1.0);
+        assert!(m.coriolis.abs() < 1e-12);
+    }
+
+    #[test]
+    fn coriolis_sign_by_hemisphere() {
+        let north = PointMetric::at(&Face::new(4), 0.1, 0.1);
+        let south = PointMetric::at(&Face::new(5), 0.1, 0.1);
+        assert!(north.coriolis > 0.0);
+        assert!(south.coriolis < 0.0);
+    }
+
+    #[test]
+    fn sphere_area_from_quadrature() {
+        // Midpoint-rule integral of metdet over all six faces must give
+        // 4 pi a^2 (coarse grid, so ~1e-3 relative accuracy).
+        let n = 24;
+        let h = 2.0 * QUARTER_PI / n as f64;
+        let mut area = 0.0;
+        for f in Face::all() {
+            for i in 0..n {
+                for j in 0..n {
+                    let a = -QUARTER_PI + (i as f64 + 0.5) * h;
+                    let b = -QUARTER_PI + (j as f64 + 0.5) * h;
+                    area += PointMetric::at(&f, a, b).metdet * h * h;
+                }
+            }
+        }
+        let exact = 4.0 * std::f64::consts::PI * EARTH_RADIUS * EARTH_RADIUS;
+        assert!(
+            ((area - exact) / exact).abs() < 1e-3,
+            "area {area} vs {exact}"
+        );
+    }
+}

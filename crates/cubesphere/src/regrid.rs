@@ -1,0 +1,203 @@
+//! Regridding element fields to a regular latitude–longitude raster.
+//!
+//! CAM's history output interpolates the cubed-sphere GLL fields to
+//! lat–lon grids; the reproduction needs the same to render the Figure-4
+//! climatology maps and the Figure-9 storm snapshots. The interpolation is
+//! the natural one for spectral elements: locate the containing element,
+//! convert to its reference coordinates, and evaluate the GLL cardinal
+//! basis (exact for the polynomial data the elements actually hold).
+
+use crate::face::Face;
+use crate::geom::Vec3;
+use crate::gll::GllBasis;
+use crate::grid::CubedSphere;
+
+/// A regular lat–lon raster of `nlat x nlon` cell centers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatLonGrid {
+    /// Latitude rows, radians, south to north.
+    pub lats: Vec<f64>,
+    /// Longitude columns, radians, -pi to pi.
+    pub lons: Vec<f64>,
+}
+
+impl LatLonGrid {
+    /// Cell-centered global raster.
+    pub fn new(nlat: usize, nlon: usize) -> Self {
+        assert!(nlat > 0 && nlon > 0);
+        let lats = (0..nlat)
+            .map(|i| -std::f64::consts::FRAC_PI_2 + (i as f64 + 0.5) * std::f64::consts::PI / nlat as f64)
+            .collect();
+        let lons = (0..nlon)
+            .map(|j| -std::f64::consts::PI + (j as f64 + 0.5) * 2.0 * std::f64::consts::PI / nlon as f64)
+            .collect();
+        LatLonGrid { lats, lons }
+    }
+}
+
+/// Lagrange cardinal values of the GLL basis at reference coordinate `x`.
+fn cardinal(basis: &GllBasis, x: f64) -> Vec<f64> {
+    let np = basis.np;
+    let mut vals = vec![0.0; np];
+    for (j, v) in vals.iter_mut().enumerate() {
+        let mut acc = 1.0;
+        for m in 0..np {
+            if m != j {
+                acc *= (x - basis.points[m]) / (basis.points[j] - basis.points[m]);
+            }
+        }
+        *v = acc;
+    }
+    vals
+}
+
+/// Interpolator from a grid's element fields to arbitrary sphere points.
+pub struct Regridder<'g> {
+    grid: &'g CubedSphere,
+}
+
+impl<'g> Regridder<'g> {
+    /// Build for a grid.
+    pub fn new(grid: &'g CubedSphere) -> Self {
+        Regridder { grid }
+    }
+
+    /// Evaluate the element field at `(lat, lon)`. `field[e]` holds NPTS
+    /// nodal values per element.
+    pub fn sample(&self, field: &[Vec<f64>], lat: f64, lon: f64) -> f64 {
+        let dir = Vec3::new(lat.cos() * lon.cos(), lat.cos() * lon.sin(), lat.sin());
+        let face_idx = Face::containing(dir);
+        let face = Face::new(face_idx);
+        let (alpha, beta) = face.from_sphere(dir);
+        // Element indices within the face.
+        let ne = self.grid.ne;
+        let dab = 2.0 * crate::consts::QUARTER_PI / ne as f64;
+        let fi = (((alpha + crate::consts::QUARTER_PI) / dab).floor() as isize)
+            .clamp(0, ne as isize - 1) as usize;
+        let fj = (((beta + crate::consts::QUARTER_PI) / dab).floor() as isize)
+            .clamp(0, ne as isize - 1) as usize;
+        let e = face_idx * ne * ne + fi * ne + fj;
+        let el = &self.grid.elements[e];
+        // Reference coordinates in [-1, 1].
+        let xi = 2.0 * (alpha - el.alpha0) / el.dab - 1.0;
+        let eta = 2.0 * (beta - el.beta0) / el.dab - 1.0;
+        let ci = cardinal(&self.grid.basis, xi.clamp(-1.0, 1.0));
+        let cj = cardinal(&self.grid.basis, eta.clamp(-1.0, 1.0));
+        let mut acc = 0.0;
+        for i in 0..self.grid.basis.np {
+            for j in 0..self.grid.basis.np {
+                acc += ci[i] * cj[j] * field[e][i * self.grid.basis.np + j];
+            }
+        }
+        acc
+    }
+
+    /// Regrid the whole field onto a raster (row-major, `lats x lons`).
+    pub fn to_latlon(&self, field: &[Vec<f64>], raster: &LatLonGrid) -> Vec<f64> {
+        let mut out = Vec::with_capacity(raster.lats.len() * raster.lons.len());
+        for &lat in &raster.lats {
+            for &lon in &raster.lons {
+                out.push(self.sample(field, lat, lon));
+            }
+        }
+        out
+    }
+}
+
+/// Render a raster as a coarse ASCII map (for terminal output of the
+/// figure binaries); `levels` characters map min..max.
+pub fn ascii_map(values: &[f64], nlat: usize, nlon: usize, levels: &str) -> String {
+    assert_eq!(values.len(), nlat * nlon);
+    let chars: Vec<char> = levels.chars().collect();
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let span = (max - min).max(1e-300);
+    let mut s = String::new();
+    // North at the top.
+    for i in (0..nlat).rev() {
+        for j in 0..nlon {
+            let f = (values[i * nlon + j] - min) / span;
+            let idx = ((f * (chars.len() - 1) as f64).round() as usize).min(chars.len() - 1);
+            s.push(chars[idx]);
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // sin(lat) cos(lat) cos(lon) = z*x on the unit sphere: a polynomial in
+    // Cartesian coordinates, smooth in every face chart (unlike cos(2 lon),
+    // which is singular at the poles in gnomonic coordinates).
+    fn smooth_field(grid: &CubedSphere) -> Vec<Vec<f64>> {
+        grid.elements
+            .iter()
+            .map(|el| {
+                el.metric
+                    .iter()
+                    .map(|m| m.lat.sin() * m.lat.cos() * m.lon.cos())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sampling_reproduces_nodal_values() {
+        let grid = CubedSphere::new(3);
+        let field = smooth_field(&grid);
+        let rg = Regridder::new(&grid);
+        // At interior GLL points the interpolant must reproduce the data.
+        for (e, el) in grid.elements.iter().enumerate().step_by(7) {
+            for p in [5usize, 6, 9, 10] {
+                let m = &el.metric[p];
+                let got = rg.sample(&field, m.lat, m.lon);
+                assert!(
+                    (got - field[e][p]).abs() < 1e-10,
+                    "elem {e} pt {p}: {got} vs {}",
+                    field[e][p]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn regridded_smooth_field_is_accurate() {
+        let grid = CubedSphere::new(4);
+        let field = smooth_field(&grid);
+        let rg = Regridder::new(&grid);
+        let raster = LatLonGrid::new(13, 24);
+        let vals = rg.to_latlon(&field, &raster);
+        let mut worst: f64 = 0.0;
+        let mut idx = 0;
+        for &lat in &raster.lats {
+            for &lon in &raster.lons {
+                let exact = lat.sin() * lat.cos() * lon.cos();
+                worst = worst.max((vals[idx] - exact).abs());
+                idx += 1;
+            }
+        }
+        assert!(worst < 0.02, "interpolation error {worst}");
+    }
+
+    #[test]
+    fn raster_covers_the_globe() {
+        let g = LatLonGrid::new(10, 20);
+        assert_eq!(g.lats.len(), 10);
+        assert_eq!(g.lons.len(), 20);
+        assert!(g.lats[0] < -1.2 && g.lats[9] > 1.2);
+        assert!(g.lons[0] < -2.9 && g.lons[19] > 2.9);
+    }
+
+    #[test]
+    fn ascii_map_shape_and_extremes() {
+        let vals = vec![0.0, 0.5, 1.0, 0.25, 0.75, 0.5];
+        let map = ascii_map(&vals, 2, 3, " .:#");
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), 3);
+        assert!(map.contains('#') && map.contains(' '));
+    }
+}

@@ -1,0 +1,290 @@
+//! Space-filling-curve domain decomposition.
+//!
+//! CAM-SE assigns elements to MPI ranks by cutting a space-filling curve
+//! through the cubed sphere into contiguous, equally sized chunks, which
+//! keeps each rank's patch compact (small halo perimeter). We use a Hilbert
+//! curve within each face when `ne` is a power of two and a boustrophedon
+//! ("snake") ordering otherwise, chaining the six faces.
+//!
+//! The partition statistics computed here — elements per rank and halo edge
+//! counts — feed the `perfmodel` crate's communication model for the
+//! strong/weak scaling figures.
+
+use crate::grid::CubedSphere;
+
+/// Map Hilbert-curve position `d` to `(x, y)` on a `n x n` grid
+/// (`n` a power of two). Classic bit-twiddling construction.
+fn hilbert_d2xy(n: usize, d: usize) -> (usize, usize) {
+    let (mut x, mut y) = (0usize, 0usize);
+    let mut t = d;
+    let mut s = 1usize;
+    while s < n {
+        let rx = 1 & (t / 2);
+        let ry = 1 & (t ^ rx);
+        // Rotate quadrant.
+        if ry == 0 {
+            if rx == 1 {
+                x = s - 1 - x;
+                y = s - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        x += s * rx;
+        y += s * ry;
+        t /= 4;
+        s *= 2;
+    }
+    (x, y)
+}
+
+/// Ordering of a face's `ne x ne` elements along a space-filling curve.
+/// Returns (ei, ej) pairs in curve order.
+pub fn face_curve(ne: usize) -> Vec<(usize, usize)> {
+    if ne.is_power_of_two() && ne > 1 {
+        (0..ne * ne).map(|d| hilbert_d2xy(ne, d)).collect()
+    } else {
+        // Snake ordering: even rows left-to-right, odd rows right-to-left.
+        let mut out = Vec::with_capacity(ne * ne);
+        for ei in 0..ne {
+            if ei % 2 == 0 {
+                for ej in 0..ne {
+                    out.push((ei, ej));
+                }
+            } else {
+                for ej in (0..ne).rev() {
+                    out.push((ei, ej));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A domain decomposition of the grid over `nranks` ranks.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Owning rank of each element (element-indexed).
+    pub owner: Vec<usize>,
+    /// Elements of each rank, in curve order (rank-indexed).
+    pub elems_of: Vec<Vec<usize>>,
+}
+
+impl Partition {
+    /// Cut the space-filling curve into `nranks` contiguous chunks whose
+    /// sizes differ by at most one element.
+    ///
+    /// # Panics
+    /// Panics if `nranks == 0` or `nranks > nelem`.
+    pub fn new(grid: &CubedSphere, nranks: usize) -> Self {
+        let ne = grid.ne;
+        let nelem = grid.nelem();
+        assert!(nranks > 0 && nranks <= nelem, "bad rank count {nranks} for {nelem} elements");
+
+        // Global curve: face-major chaining of per-face curves. Element
+        // storage order in the grid is face-major, ei-major, so the index is
+        // face * ne^2 + ei * ne + ej.
+        let face_order = face_curve(ne);
+        let mut curve = Vec::with_capacity(nelem);
+        for face in 0..6 {
+            for &(ei, ej) in &face_order {
+                curve.push(face * ne * ne + ei * ne + ej);
+            }
+        }
+
+        let mut owner = vec![0usize; nelem];
+        let mut elems_of = vec![Vec::new(); nranks];
+        let base = nelem / nranks;
+        let extra = nelem % nranks;
+        let mut pos = 0;
+        for (rank, bucket) in elems_of.iter_mut().enumerate() {
+            let count = base + usize::from(rank < extra);
+            for _ in 0..count {
+                let e = curve[pos];
+                owner[e] = rank;
+                bucket.push(e);
+                pos += 1;
+            }
+        }
+        Partition { owner, elems_of }
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.elems_of.len()
+    }
+
+    /// Per-rank halo statistics under this partition.
+    pub fn halo_stats(&self, grid: &CubedSphere) -> Vec<HaloStats> {
+        let mut stats: Vec<HaloStats> = (0..self.nranks())
+            .map(|_| HaloStats::default())
+            .collect();
+        for rank in 0..self.nranks() {
+            let mut peer_ranks = std::collections::HashSet::new();
+            for &e in &self.elems_of[rank] {
+                stats[rank].elements += 1;
+                let mut is_boundary = false;
+                for &n in &grid.all_neighbors[e] {
+                    let o = self.owner[n];
+                    if o != rank {
+                        is_boundary = true;
+                        peer_ranks.insert(o);
+                        // Count cut *edges* (the 4-point element faces that
+                        // dominate message volume) separately from corners.
+                        if grid.edge_neighbors[e].contains(&n) {
+                            stats[rank].cut_edges += 1;
+                        }
+                    }
+                }
+                if is_boundary {
+                    stats[rank].boundary_elements += 1;
+                }
+            }
+            stats[rank].peers = peer_ranks.len();
+        }
+        stats
+    }
+}
+
+/// Communication-relevant statistics of one rank's patch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HaloStats {
+    /// Elements owned by the rank.
+    pub elements: usize,
+    /// Owned elements with at least one off-rank neighbour — the "boundary
+    /// part" of the paper's redesigned `bndry_exchangev` (Section 7.6).
+    pub boundary_elements: usize,
+    /// Element edges cut by the partition (each needs a 4-GLL-point halo
+    /// message per field per direction).
+    pub cut_edges: usize,
+    /// Distinct neighbouring ranks.
+    pub peers: usize,
+}
+
+impl HaloStats {
+    /// Interior (fully local) elements.
+    pub fn interior_elements(&self) -> usize {
+        self.elements - self.boundary_elements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hilbert_visits_every_cell_once() {
+        for n in [2usize, 4, 8] {
+            let mut seen = vec![false; n * n];
+            for d in 0..n * n {
+                let (x, y) = hilbert_d2xy(n, d);
+                assert!(x < n && y < n);
+                assert!(!seen[y * n + x], "revisited ({x},{y})");
+                seen[y * n + x] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn hilbert_consecutive_cells_are_adjacent() {
+        let n = 8;
+        for d in 1..n * n {
+            let (x0, y0) = hilbert_d2xy(n, d - 1);
+            let (x1, y1) = hilbert_d2xy(n, d);
+            let dist = x0.abs_diff(x1) + y0.abs_diff(y1);
+            assert_eq!(dist, 1, "jump between d={} and d={}", d - 1, d);
+        }
+    }
+
+    #[test]
+    fn snake_visits_every_cell_once() {
+        let ne = 5;
+        let order = face_curve(ne);
+        let mut seen = vec![false; ne * ne];
+        for &(i, j) in &order {
+            assert!(!seen[i * ne + j]);
+            seen[i * ne + j] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn partition_is_balanced() {
+        let grid = CubedSphere::new(4);
+        for nranks in [1usize, 2, 5, 24, 96] {
+            let p = Partition::new(&grid, nranks);
+            let sizes: Vec<usize> = p.elems_of.iter().map(Vec::len).collect();
+            let min = *sizes.iter().min().unwrap();
+            let max = *sizes.iter().max().unwrap();
+            assert!(max - min <= 1, "nranks={nranks}: {min}..{max}");
+            assert_eq!(sizes.iter().sum::<usize>(), grid.nelem());
+        }
+    }
+
+    #[test]
+    fn every_element_owned_consistently() {
+        let grid = CubedSphere::new(2);
+        let p = Partition::new(&grid, 6);
+        for (rank, elems) in p.elems_of.iter().enumerate() {
+            for &e in elems {
+                assert_eq!(p.owner[e], rank);
+            }
+        }
+    }
+
+    #[test]
+    fn halo_stats_sane() {
+        let grid = CubedSphere::new(4);
+        let p = Partition::new(&grid, 6);
+        let stats = p.halo_stats(&grid);
+        for s in &stats {
+            assert_eq!(s.elements, 16);
+            assert!(s.boundary_elements > 0 && s.boundary_elements <= s.elements);
+            assert!(s.peers >= 1);
+            assert!(s.cut_edges >= 4, "a compact patch still has a perimeter");
+            assert_eq!(s.interior_elements(), s.elements - s.boundary_elements);
+        }
+        // Cut edges are symmetric: total must be even.
+        let total_cut: usize = stats.iter().map(|s| s.cut_edges).sum();
+        assert_eq!(total_cut % 2, 0);
+    }
+
+    #[test]
+    fn single_rank_has_no_halo() {
+        let grid = CubedSphere::new(2);
+        let p = Partition::new(&grid, 1);
+        let stats = p.halo_stats(&grid);
+        assert_eq!(stats[0].boundary_elements, 0);
+        assert_eq!(stats[0].cut_edges, 0);
+        assert_eq!(stats[0].peers, 0);
+    }
+
+    #[test]
+    fn compact_patches_beat_round_robin_perimeter() {
+        // The point of the SFC: fewer cut edges than a scattered assignment.
+        let grid = CubedSphere::new(8);
+        let p = Partition::new(&grid, 16);
+        let sfc_cut: usize = p.halo_stats(&grid).iter().map(|s| s.cut_edges).sum();
+        // Round-robin strawman.
+        let mut rr = p.clone();
+        for (e, o) in rr.owner.iter_mut().enumerate() {
+            *o = e % 16;
+        }
+        rr.elems_of = vec![Vec::new(); 16];
+        for e in 0..grid.nelem() {
+            rr.elems_of[rr.owner[e]].push(e);
+        }
+        let rr_cut: usize = rr.halo_stats(&grid).iter().map(|s| s.cut_edges).sum();
+        assert!(
+            sfc_cut * 2 < rr_cut,
+            "SFC cut {sfc_cut} not clearly better than round-robin {rr_cut}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bad rank count")]
+    fn rejects_more_ranks_than_elements() {
+        let grid = CubedSphere::new(1);
+        let _ = Partition::new(&grid, 7);
+    }
+}

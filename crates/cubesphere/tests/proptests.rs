@@ -1,0 +1,95 @@
+//! Property-based tests of the mesh substrate.
+
+use cubesphere::{CubedSphere, Face, GllBasis, Partition, PointMetric};
+use proptest::prelude::*;
+
+proptest! {
+    /// GLL quadrature integrates random polynomials of exactness degree
+    /// (2 np - 3) exactly.
+    #[test]
+    fn gll_quadrature_exact_on_random_polynomials(
+        np in 3usize..8,
+        coeffs in proptest::collection::vec(-10.0f64..10.0, 12),
+    ) {
+        let b = GllBasis::new(np);
+        let deg = 2 * np - 3;
+        let poly = |x: f64| -> f64 {
+            coeffs.iter().take(deg + 1).enumerate().map(|(k, c)| c * x.powi(k as i32)).sum()
+        };
+        let exact: f64 = coeffs
+            .iter()
+            .take(deg + 1)
+            .enumerate()
+            .map(|(k, c)| if k % 2 == 0 { 2.0 * c / (k as f64 + 1.0) } else { 0.0 })
+            .sum();
+        let nodal: Vec<f64> = b.points.iter().map(|&x| poly(x)).collect();
+        let got = b.integrate(&nodal);
+        prop_assert!((got - exact).abs() < 1e-9 * exact.abs().max(1.0), "{got} vs {exact}");
+    }
+
+    /// Face mapping round-trips for arbitrary interior coordinates.
+    #[test]
+    fn face_roundtrip(
+        face in 0usize..6,
+        a in -0.78f64..0.78,
+        b in -0.78f64..0.78,
+    ) {
+        let f = Face::new(face);
+        let p = f.to_sphere(a, b);
+        prop_assert!((p.norm() - 1.0).abs() < 1e-14);
+        let (a2, b2) = f.from_sphere(p);
+        prop_assert!((a - a2).abs() < 1e-11 && (b - b2).abs() < 1e-11);
+    }
+
+    /// The metric velocity transform round-trips arbitrary vectors at
+    /// arbitrary points.
+    #[test]
+    fn metric_velocity_roundtrip(
+        face in 0usize..6,
+        a in -0.7f64..0.7,
+        b in -0.7f64..0.7,
+        u in -300.0f64..300.0,
+        v in -300.0f64..300.0,
+    ) {
+        let m = PointMetric::at(&Face::new(face), a, b);
+        let (c1, c2) = m.to_contra(u, v);
+        let (u2, v2) = m.to_physical(c1, c2);
+        prop_assert!((u - u2).abs() < 1e-8 && (v - v2).abs() < 1e-8);
+    }
+
+    /// Every partition of every small grid is balanced and covers every
+    /// element exactly once.
+    #[test]
+    fn partitions_are_balanced_covers(ne in 1usize..5, denom in 1usize..12) {
+        let grid = CubedSphere::new(ne);
+        let nranks = (grid.nelem() / denom).max(1);
+        let p = Partition::new(&grid, nranks);
+        let mut seen = vec![false; grid.nelem()];
+        let mut min = usize::MAX;
+        let mut max = 0;
+        for (rank, elems) in p.elems_of.iter().enumerate() {
+            min = min.min(elems.len());
+            max = max.max(elems.len());
+            for &e in elems {
+                prop_assert!(!seen[e], "element {e} assigned twice");
+                seen[e] = true;
+                prop_assert_eq!(p.owner[e], rank);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        prop_assert!(max - min <= 1, "imbalance {min}..{max}");
+    }
+
+    /// Grid invariants hold for every ne: Euler point count, positive
+    /// masses, four edge neighbours.
+    #[test]
+    fn grid_invariants(ne in 1usize..6) {
+        let g = CubedSphere::new(ne);
+        prop_assert_eq!(g.nelem(), 6 * ne * ne);
+        prop_assert_eq!(g.nglobal, 6 * (3 * ne) * (3 * ne) + 2);
+        prop_assert!(g.inv_mass.iter().all(|&m| m > 0.0 && m.is_finite()));
+        for e in 0..g.nelem() {
+            prop_assert_eq!(g.edge_neighbors[e].len(), 4);
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! `bndry_exchangev`: the distributed boundary exchange behind DSS.
+//!
+//! Two implementations, matching the paper's Section 7.6:
+//!
+//! * [`ExchangeMode::Original`] — HOMME's abstraction: element edge values
+//!   are copied into a unified *pack buffer*, per-peer send buffers are cut
+//!   from it, received bytes land in a *unpack buffer*, and a final copy
+//!   scatters them to elements. Clean layering, redundant memcpys, and no
+//!   overlap: sends happen only after all packing, waits before any compute.
+//! * [`ExchangeMode::Redesigned`] — the paper's rewrite: receives are posted
+//!   first, partial sums for each peer are packed straight into the send
+//!   message, *interior work runs while messages fly*, and received data is
+//!   accumulated directly from the receive buffer into the assembly array
+//!   ("fetch the data directly from receive buffer to the corresponding
+//!   elements"), eliminating the staging copies.
+//!
+//! Both modes produce bit-identical DSS results; they differ in memcpy
+//! volume (counted) and overlap capability (exercised by tests and the
+//! `ablation_overlap` bench binary).
+
+use cubesphere::{CubedSphere, Partition, NPTS};
+use std::collections::HashMap;
+use swmpi::RankCtx;
+
+/// Which exchange implementation to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExchangeMode {
+    /// Unified pack/unpack buffers, no overlap.
+    Original,
+    /// Direct pack/unpack with compute-communication overlap.
+    Redesigned,
+}
+
+/// Bytes moved by intermediate staging copies (not the MPI payload itself).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CopyStats {
+    /// Bytes copied into/out of staging buffers.
+    pub staged_bytes: u64,
+    /// MPI payload bytes sent.
+    pub sent_bytes: u64,
+}
+
+/// One rank's exchange plan for a given grid + partition.
+#[derive(Debug, Clone)]
+pub struct ExchangePlan {
+    /// This rank.
+    pub rank: usize,
+    /// Global element ids owned by this rank (grid indexing).
+    pub owned: Vec<usize>,
+    /// Local indices (into `owned`) of elements with an off-rank neighbour.
+    pub boundary: Vec<usize>,
+    /// Local indices of fully interior elements.
+    pub interior: Vec<usize>,
+    /// Peers and the global-point ids shared with each (sorted; both sides
+    /// derive the identical list, which fixes the message layout).
+    pub links: Vec<(usize, Vec<usize>)>,
+    /// Slot of each shared gid in the partial-sum scratch (gid -> slot).
+    pub gid_slot: HashMap<usize, usize>,
+    /// Number of shared gids (scratch length).
+    pub nshared: usize,
+    /// Per-owned-element copies of gids and weights.
+    pub gids: Vec<[usize; NPTS]>,
+    /// DSS weights per owned element.
+    pub spheremp: Vec<[f64; NPTS]>,
+    /// Global inverse mass (replicated — the mesh is static metadata).
+    pub inv_mass: Vec<f64>,
+}
+
+impl ExchangePlan {
+    /// Build the plan of `rank` under `part`.
+    pub fn new(grid: &CubedSphere, part: &Partition, rank: usize) -> Self {
+        let owned = part.elems_of[rank].clone();
+        let owned_set: std::collections::HashSet<usize> = owned.iter().copied().collect();
+
+        // gid -> owning ranks (only needed for gids this rank touches).
+        let mut links_map: HashMap<usize, Vec<usize>> = HashMap::new(); // peer -> gids
+        let mut boundary = Vec::new();
+        let mut interior = Vec::new();
+        for (li, &e) in owned.iter().enumerate() {
+            let mut is_boundary = false;
+            for &n in &grid.all_neighbors[e] {
+                if !owned_set.contains(&n) {
+                    is_boundary = true;
+                    let peer = part.owner[n];
+                    // Shared gids between element e and neighbour n.
+                    let ngids: std::collections::HashSet<usize> =
+                        grid.elements[n].gids.iter().copied().collect();
+                    for &g in &grid.elements[e].gids {
+                        if ngids.contains(&g) {
+                            links_map.entry(peer).or_default().push(g);
+                        }
+                    }
+                }
+            }
+            if is_boundary {
+                boundary.push(li);
+            } else {
+                interior.push(li);
+            }
+        }
+        let mut links: Vec<(usize, Vec<usize>)> = links_map
+            .into_iter()
+            .map(|(peer, mut gids)| {
+                gids.sort_unstable();
+                gids.dedup();
+                (peer, gids)
+            })
+            .collect();
+        links.sort_by_key(|(p, _)| *p);
+
+        let mut gid_slot = HashMap::new();
+        for (_, gids) in &links {
+            for &g in gids {
+                let next = gid_slot.len();
+                gid_slot.entry(g).or_insert(next);
+            }
+        }
+        let nshared = gid_slot.len();
+
+        let gids = owned
+            .iter()
+            .map(|&e| {
+                let mut a = [0usize; NPTS];
+                a.copy_from_slice(&grid.elements[e].gids);
+                a
+            })
+            .collect();
+        let spheremp = owned
+            .iter()
+            .map(|&e| {
+                let mut a = [0f64; NPTS];
+                a.copy_from_slice(&grid.elements[e].spheremp);
+                a
+            })
+            .collect();
+
+        ExchangePlan {
+            rank,
+            owned,
+            boundary,
+            interior,
+            links,
+            gid_slot,
+            nshared,
+            gids,
+            spheremp,
+            inv_mass: grid.inv_mass.clone(),
+        }
+    }
+
+    /// Distributed DSS of one level across ranks. `fields[li]` holds the 16
+    /// nodal values of owned element `li`. `interior_work` runs while
+    /// messages are in flight in `Redesigned` mode (and before any
+    /// communication in `Original` mode, i.e. without overlap).
+    pub fn dss_level(
+        &self,
+        ctx: &mut RankCtx,
+        fields: &mut [Vec<f64>],
+        mode: ExchangeMode,
+        tag: u64,
+        mut interior_work: impl FnMut(),
+        stats: &mut CopyStats,
+    ) {
+        assert_eq!(fields.len(), self.owned.len());
+
+        // Local weighted accumulation over *all* local gids.
+        let mut accum: HashMap<usize, f64> = HashMap::with_capacity(self.owned.len() * NPTS);
+        for (li, f) in fields.iter().enumerate() {
+            for p in 0..NPTS {
+                *accum.entry(self.gids[li][p]).or_insert(0.0) += self.spheremp[li][p] * f[p];
+            }
+        }
+
+        match mode {
+            ExchangeMode::Original => {
+                // No overlap: interior work happens strictly before the
+                // exchange (the legacy schedule).
+                interior_work();
+
+                // Stage 1: pack ALL shared partial sums into one unified
+                // pack buffer (extra copy #1).
+                let mut pack = vec![0.0; self.nshared];
+                for (&g, &slot) in &self.gid_slot {
+                    pack[slot] = accum[&g];
+                }
+                stats.staged_bytes += (self.nshared * 8) as u64;
+
+                // Stage 2: cut per-peer send buffers from the pack buffer
+                // (extra copy #2) and send.
+                let reqs: Vec<_> = self
+                    .links
+                    .iter()
+                    .map(|(peer, _)| ctx.comm.irecv(*peer, tag))
+                    .collect();
+                for (peer, gids) in &self.links {
+                    let msg: Vec<f64> =
+                        gids.iter().map(|g| pack[self.gid_slot[g]]).collect();
+                    stats.staged_bytes += (msg.len() * 8) as u64;
+                    stats.sent_bytes += (msg.len() * 8) as u64;
+                    ctx.comm.send(*peer, tag, &msg);
+                }
+
+                // Stage 3: receive into a unified unpack buffer (extra copy
+                // #3), then apply.
+                let mut unpack = vec![0.0; self.nshared];
+                for (req, (_, gids)) in reqs.into_iter().zip(&self.links) {
+                    let m = ctx.comm.wait(req);
+                    for (g, &val) in gids.iter().zip(&m.data) {
+                        unpack[self.gid_slot[g]] += val;
+                    }
+                    stats.staged_bytes += (m.data.len() * 8) as u64;
+                }
+                for (&g, &slot) in &self.gid_slot {
+                    *accum.get_mut(&g).expect("shared gid is local") += unpack[slot];
+                }
+            }
+            ExchangeMode::Redesigned => {
+                // Post receives first, pack straight into the messages,
+                // send, then overlap interior work with the flight time.
+                let reqs: Vec<_> = self
+                    .links
+                    .iter()
+                    .map(|(peer, _)| ctx.comm.irecv(*peer, tag))
+                    .collect();
+                for (peer, gids) in &self.links {
+                    let msg: Vec<f64> = gids.iter().map(|g| accum[g]).collect();
+                    stats.sent_bytes += (msg.len() * 8) as u64;
+                    ctx.comm.send(*peer, tag, &msg);
+                }
+
+                interior_work();
+
+                // Accumulate directly from each receive buffer.
+                for (req, (_, gids)) in reqs.into_iter().zip(&self.links) {
+                    let m = ctx.comm.wait(req);
+                    for (g, &val) in gids.iter().zip(&m.data) {
+                        *accum.get_mut(g).expect("shared gid is local") += val;
+                    }
+                }
+            }
+        }
+
+        // Normalize and scatter back.
+        for (li, f) in fields.iter_mut().enumerate() {
+            for p in 0..NPTS {
+                let g = self.gids[li][p];
+                f[p] = accum[&g] * self.inv_mass[g];
+            }
+        }
+    }
+}
+
+/// An in-flight halo exchange started by [`ExchangePlan::start_halo`].
+pub struct PendingHalo {
+    reqs: Vec<(usize, swmpi::RecvRequest)>,
+}
+
+impl ExchangePlan {
+    /// Start a halo exchange for one level of one field: post receives and
+    /// send this rank's partial sums for every shared global point.
+    ///
+    /// Only **boundary** elements contribute to shared points (a point
+    /// shared with a peer lies on the patch perimeter, and every element
+    /// containing it has an off-rank neighbour), so `fields` only needs
+    /// valid data for boundary elements at this moment — the foundation of
+    /// the paper's compute/communication overlap.
+    pub fn start_halo(
+        &self,
+        ctx: &mut RankCtx,
+        fields: &[Vec<f64>],
+        tag: u64,
+        stats: &mut CopyStats,
+    ) -> PendingHalo {
+        let mut accum: HashMap<usize, f64> = HashMap::with_capacity(self.nshared);
+        for &li in &self.boundary {
+            for p in 0..NPTS {
+                let g = self.gids[li][p];
+                if self.gid_slot.contains_key(&g) {
+                    *accum.entry(g).or_insert(0.0) += self.spheremp[li][p] * fields[li][p];
+                }
+            }
+        }
+        let reqs: Vec<(usize, swmpi::RecvRequest)> = self
+            .links
+            .iter()
+            .map(|(peer, _)| (*peer, ctx.comm.irecv(*peer, tag)))
+            .collect();
+        for (peer, gids) in &self.links {
+            let msg: Vec<f64> = gids.iter().map(|g| *accum.get(g).unwrap_or(&0.0)).collect();
+            stats.sent_bytes += (msg.len() * 8) as u64;
+            ctx.comm.send(*peer, tag, &msg);
+        }
+        PendingHalo { reqs }
+    }
+
+    /// Complete a halo exchange: accumulate all local contributions, add
+    /// the received peer partials, normalize by the global mass and scatter
+    /// back. `fields` must now hold valid data for **every** owned element.
+    pub fn finish_halo(&self, ctx: &mut RankCtx, pending: PendingHalo, fields: &mut [Vec<f64>]) {
+        let mut accum: HashMap<usize, f64> = HashMap::with_capacity(self.owned.len() * NPTS);
+        for (li, f) in fields.iter().enumerate() {
+            for p in 0..NPTS {
+                *accum.entry(self.gids[li][p]).or_insert(0.0) += self.spheremp[li][p] * f[p];
+            }
+        }
+        for ((_, req), (_, gids)) in pending.reqs.into_iter().zip(&self.links) {
+            let m = ctx.comm.wait(req);
+            for (g, &val) in gids.iter().zip(&m.data) {
+                *accum.get_mut(g).expect("shared gid is local") += val;
+            }
+        }
+        for (li, f) in fields.iter_mut().enumerate() {
+            for p in 0..NPTS {
+                let g = self.gids[li][p];
+                f[p] = accum[&g] * self.inv_mass[g];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dss::Dss;
+    use swmpi::run_ranks;
+
+    fn test_field(e: usize, p: usize) -> f64 {
+        ((e * 37 + p * 11) % 23) as f64 - 11.0
+    }
+
+    fn serial_reference(grid: &CubedSphere) -> Vec<Vec<f64>> {
+        let mut dss = Dss::new(grid);
+        let mut fields: Vec<Vec<f64>> = (0..grid.nelem())
+            .map(|e| (0..NPTS).map(|p| test_field(e, p)).collect())
+            .collect();
+        let mut views: Vec<&mut [f64]> = fields.iter_mut().map(|f| &mut f[..]).collect();
+        dss.apply_level(&mut views);
+        drop(views);
+        fields
+    }
+
+    fn run_distributed(mode: ExchangeMode, nranks: usize) -> (Vec<Vec<f64>>, CopyStats) {
+        let grid = CubedSphere::new(4);
+        let part = Partition::new(&grid, nranks);
+        let plans: Vec<ExchangePlan> =
+            (0..nranks).map(|r| ExchangePlan::new(&grid, &part, r)).collect();
+        let results = run_ranks(nranks, |ctx| {
+            let plan = &plans[ctx.rank()];
+            let mut fields: Vec<Vec<f64>> = plan
+                .owned
+                .iter()
+                .map(|&e| (0..NPTS).map(|p| test_field(e, p)).collect())
+                .collect();
+            let mut stats = CopyStats::default();
+            plan.dss_level(ctx, &mut fields, mode, 0, || {}, &mut stats);
+            (plan.owned.clone(), fields, stats)
+        });
+        let mut gathered = vec![Vec::new(); 6 * 4 * 4];
+        let mut total = CopyStats::default();
+        for (owned, fields, stats) in results {
+            for (e, f) in owned.into_iter().zip(fields) {
+                gathered[e] = f;
+            }
+            total.staged_bytes += stats.staged_bytes;
+            total.sent_bytes += stats.sent_bytes;
+        }
+        (gathered, total)
+    }
+
+    #[test]
+    fn both_modes_match_serial_dss() {
+        let grid = CubedSphere::new(4);
+        let reference = serial_reference(&grid);
+        for mode in [ExchangeMode::Original, ExchangeMode::Redesigned] {
+            for nranks in [2usize, 6] {
+                let (got, _) = run_distributed(mode, nranks);
+                for (e, (g, r)) in got.iter().zip(&reference).enumerate() {
+                    for p in 0..NPTS {
+                        assert!(
+                            (g[p] - r[p]).abs() < 1e-11,
+                            "{mode:?} nranks={nranks} elem {e} pt {p}: {} vs {}",
+                            g[p],
+                            r[p]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn redesign_eliminates_staging_copies() {
+        let (_, orig) = run_distributed(ExchangeMode::Original, 6);
+        let (_, redesigned) = run_distributed(ExchangeMode::Redesigned, 6);
+        assert_eq!(orig.sent_bytes, redesigned.sent_bytes, "same payload");
+        assert!(orig.staged_bytes > 2 * orig.sent_bytes, "legacy path stages heavily");
+        assert_eq!(redesigned.staged_bytes, 0, "redesign copies nothing extra");
+    }
+
+    #[test]
+    fn overlap_runs_interior_work_between_send_and_wait() {
+        // In Redesigned mode the interior closure runs after sends are
+        // posted; we verify it executes (and the exchange still completes)
+        // even when the interior work is substantial on every rank.
+        let grid = CubedSphere::new(4);
+        let nranks = 4;
+        let part = Partition::new(&grid, nranks);
+        let plans: Vec<ExchangePlan> =
+            (0..nranks).map(|r| ExchangePlan::new(&grid, &part, r)).collect();
+        let sums = run_ranks(nranks, |ctx| {
+            let plan = &plans[ctx.rank()];
+            let mut fields: Vec<Vec<f64>> =
+                plan.owned.iter().map(|_| vec![1.0; NPTS]).collect();
+            let mut stats = CopyStats::default();
+            let mut interior_ran = 0u64;
+            plan.dss_level(
+                ctx,
+                &mut fields,
+                ExchangeMode::Redesigned,
+                7,
+                || {
+                    interior_ran = (0..20_000u64).map(|i| i % 7).sum();
+                },
+                &mut stats,
+            );
+            interior_ran
+        });
+        for s in sums {
+            assert!(s > 0, "interior work did not run");
+        }
+    }
+
+    #[test]
+    fn boundary_interior_split_covers_all_elements() {
+        let grid = CubedSphere::new(4);
+        let part = Partition::new(&grid, 6);
+        for r in 0..6 {
+            let plan = ExchangePlan::new(&grid, &part, r);
+            assert_eq!(plan.boundary.len() + plan.interior.len(), plan.owned.len());
+            assert!(!plan.boundary.is_empty());
+            // Links are symmetric: each peer lists us too.
+            for (peer, gids) in &plan.links {
+                let peer_plan = ExchangePlan::new(&grid, &part, *peer);
+                let back = peer_plan
+                    .links
+                    .iter()
+                    .find(|(p, _)| *p == r)
+                    .expect("peer link missing");
+                assert_eq!(&back.1, gids, "gid lists must agree for message layout");
+            }
+        }
+    }
+}

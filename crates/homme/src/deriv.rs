@@ -1,0 +1,368 @@
+//! Element-local horizontal operators: gradient, divergence, vorticity,
+//! Laplacian on the sphere.
+//!
+//! These are the flop kernels inside `compute_and_apply_rhs`, `euler_step`
+//! and the viscosity operators. Each works on one element's 16 GLL values
+//! of one level, using the precomputed per-element metric ([`ElemOps`]) and
+//! the GLL derivative matrix. Results are element-local (discontinuous at
+//! element boundaries); continuity is restored by DSS.
+
+use cubesphere::{pidx, Element, GllBasis, NP, NPTS};
+
+/// Precomputed per-element operator data (a flattened, cache-friendly copy
+/// of what the dycore needs from [`Element`]).
+#[derive(Debug, Clone)]
+pub struct ElemOps {
+    /// GLL derivative matrix `dvv[i][k] = L_k'(x_i)`, row-major.
+    pub dvv: [f64; NP * NP],
+    /// `2 / dab`: reference-to-cube derivative scale.
+    pub dscale: f64,
+    /// `dinv[p]`: physical (u, v) -> contravariant.
+    pub dinv: [[[f64; 2]; 2]; NPTS],
+    /// `d[p]`: contravariant -> physical.
+    pub d: [[[f64; 2]; 2]; NPTS],
+    /// Jacobian determinant at each point.
+    pub metdet: [f64; NPTS],
+    /// `1 / metdet`.
+    pub rmetdet: [f64; NPTS],
+    /// Coriolis parameter at each point.
+    pub fcor: [f64; NPTS],
+    /// DSS/quadrature weight at each point.
+    pub spheremp: [f64; NPTS],
+}
+
+impl ElemOps {
+    /// Extract the operator data of one element.
+    pub fn new(el: &Element, basis: &GllBasis) -> Self {
+        assert_eq!(basis.np, NP, "ElemOps requires np = 4");
+        let mut dvv = [0.0; NP * NP];
+        dvv.copy_from_slice(&basis.deriv);
+        let mut dinv = [[[0.0; 2]; 2]; NPTS];
+        let mut d = [[[0.0; 2]; 2]; NPTS];
+        let mut metdet = [0.0; NPTS];
+        let mut rmetdet = [0.0; NPTS];
+        let mut fcor = [0.0; NPTS];
+        let mut spheremp = [0.0; NPTS];
+        for p in 0..NPTS {
+            let m = &el.metric[p];
+            dinv[p] = m.dinv;
+            d[p] = m.d;
+            metdet[p] = m.metdet;
+            rmetdet[p] = 1.0 / m.metdet;
+            fcor[p] = m.coriolis;
+            spheremp[p] = el.spheremp[p];
+        }
+        ElemOps { dvv, dscale: el.dscale(), dinv, d, metdet, rmetdet, fcor, spheremp }
+    }
+
+    /// `d/dalpha` and `d/dbeta` of a 16-point nodal field.
+    #[inline]
+    pub fn deriv_ab(&self, s: &[f64], da: &mut [f64; NPTS], db: &mut [f64; NPTS]) {
+        debug_assert_eq!(s.len(), NPTS);
+        for i in 0..NP {
+            for j in 0..NP {
+                let mut acc_a = 0.0;
+                let mut acc_b = 0.0;
+                for k in 0..NP {
+                    acc_a += self.dvv[i * NP + k] * s[pidx(k, j)];
+                    acc_b += self.dvv[j * NP + k] * s[pidx(i, k)];
+                }
+                da[pidx(i, j)] = acc_a * self.dscale;
+                db[pidx(i, j)] = acc_b * self.dscale;
+            }
+        }
+    }
+
+    /// Physical gradient `(ds/dx_east, ds/dy_north)` of a scalar.
+    pub fn gradient_sphere(&self, s: &[f64], gx: &mut [f64; NPTS], gy: &mut [f64; NPTS]) {
+        let mut da = [0.0; NPTS];
+        let mut db = [0.0; NPTS];
+        self.deriv_ab(s, &mut da, &mut db);
+        for p in 0..NPTS {
+            // Covariant components transform by Dinv^T.
+            gx[p] = self.dinv[p][0][0] * da[p] + self.dinv[p][1][0] * db[p];
+            gy[p] = self.dinv[p][0][1] * da[p] + self.dinv[p][1][1] * db[p];
+        }
+    }
+
+    /// Divergence of a physical vector field `(u, v)`.
+    pub fn divergence_sphere(&self, u: &[f64], v: &[f64], div: &mut [f64; NPTS]) {
+        let mut gv1 = [0.0; NPTS];
+        let mut gv2 = [0.0; NPTS];
+        for p in 0..NPTS {
+            let c1 = self.dinv[p][0][0] * u[p] + self.dinv[p][0][1] * v[p];
+            let c2 = self.dinv[p][1][0] * u[p] + self.dinv[p][1][1] * v[p];
+            gv1[p] = self.metdet[p] * c1;
+            gv2[p] = self.metdet[p] * c2;
+        }
+        for i in 0..NP {
+            for j in 0..NP {
+                let mut acc = 0.0;
+                for k in 0..NP {
+                    acc += self.dvv[i * NP + k] * gv1[pidx(k, j)];
+                    acc += self.dvv[j * NP + k] * gv2[pidx(i, k)];
+                }
+                div[pidx(i, j)] = acc * self.dscale * self.rmetdet[pidx(i, j)];
+            }
+        }
+    }
+
+    /// Relative vorticity of a physical vector field `(u, v)`.
+    pub fn vorticity_sphere(&self, u: &[f64], v: &[f64], vort: &mut [f64; NPTS]) {
+        // Covariant components: cov_i = t_i . v = (D^T v)_i.
+        let mut ucov = [0.0; NPTS];
+        let mut vcov = [0.0; NPTS];
+        for p in 0..NPTS {
+            ucov[p] = self.d[p][0][0] * u[p] + self.d[p][1][0] * v[p];
+            vcov[p] = self.d[p][0][1] * u[p] + self.d[p][1][1] * v[p];
+        }
+        for i in 0..NP {
+            for j in 0..NP {
+                let mut dv_da = 0.0;
+                let mut du_db = 0.0;
+                for k in 0..NP {
+                    dv_da += self.dvv[i * NP + k] * vcov[pidx(k, j)];
+                    du_db += self.dvv[j * NP + k] * ucov[pidx(i, k)];
+                }
+                vort[pidx(i, j)] = (dv_da - du_db) * self.dscale * self.rmetdet[pidx(i, j)];
+            }
+        }
+    }
+
+    /// Scalar Laplacian `div(grad s)`.
+    pub fn laplace_sphere(&self, s: &[f64], lap: &mut [f64; NPTS]) {
+        let mut gx = [0.0; NPTS];
+        let mut gy = [0.0; NPTS];
+        self.gradient_sphere(s, &mut gx, &mut gy);
+        self.divergence_sphere(&gx, &gy, lap);
+    }
+
+    /// Weak-form scalar Laplacian (HOMME's `laplace_sphere_wk`):
+    /// `out_i = -(1/M_i) integral(grad(phi_i) . grad(s))` over the element,
+    /// in strong-operator units (divide-by-mass included). Summed across
+    /// elements by a spheremp-weighted DSS it assembles the continuous
+    /// Galerkin Laplacian, whose global integral vanishes *exactly*
+    /// (row sums of the derivative matrix are zero) — the property that
+    /// makes the subcycled `dp3d` hyperviscosity mass-conserving.
+    pub fn laplace_sphere_wk(&self, s: &[f64], out: &mut [f64; NPTS]) {
+        let mut gx = [0.0; NPTS];
+        let mut gy = [0.0; NPTS];
+        self.gradient_sphere(s, &mut gx, &mut gy);
+        // Contravariant gradient components, pre-weighted by the full
+        // quadrature weight (spheremp = w_i w_j (dab/2)^2 metdet).
+        let mut c1 = [0.0; NPTS];
+        let mut c2 = [0.0; NPTS];
+        for p in 0..NPTS {
+            let w = self.spheremp[p];
+            c1[p] = w * (self.dinv[p][0][0] * gx[p] + self.dinv[p][0][1] * gy[p]);
+            c2[p] = w * (self.dinv[p][1][0] * gx[p] + self.dinv[p][1][1] * gy[p]);
+        }
+        for a in 0..NP {
+            for b in 0..NP {
+                let mut acc = 0.0;
+                for i in 0..NP {
+                    acc += self.dvv[i * NP + a] * c1[pidx(i, b)];
+                }
+                for j in 0..NP {
+                    acc += self.dvv[j * NP + b] * c2[pidx(a, j)];
+                }
+                out[pidx(a, b)] = -self.dscale * acc / self.spheremp[pidx(a, b)];
+            }
+        }
+    }
+
+    /// Vector Laplacian via the vector identity
+    /// `lap(v) = grad(div v) - curl(vort v)`.
+    pub fn vlaplace_sphere(
+        &self,
+        u: &[f64],
+        v: &[f64],
+        lap_u: &mut [f64; NPTS],
+        lap_v: &mut [f64; NPTS],
+    ) {
+        let mut div = [0.0; NPTS];
+        let mut vort = [0.0; NPTS];
+        self.divergence_sphere(u, v, &mut div);
+        self.vorticity_sphere(u, v, &mut vort);
+        let mut gdx = [0.0; NPTS];
+        let mut gdy = [0.0; NPTS];
+        self.gradient_sphere(&div, &mut gdx, &mut gdy);
+        let mut cx = [0.0; NPTS];
+        let mut cy = [0.0; NPTS];
+        self.curl_sphere(&vort, &mut cx, &mut cy);
+        for p in 0..NPTS {
+            lap_u[p] = gdx[p] - cx[p];
+            lap_v[p] = gdy[p] - cy[p];
+        }
+    }
+
+    /// Curl of a scalar (vertical) field: the rotated gradient, physical
+    /// components. `curl(psi) = k x grad(psi)` on the sphere surface.
+    pub fn curl_sphere(&self, psi: &[f64], cx: &mut [f64; NPTS], cy: &mut [f64; NPTS]) {
+        let mut da = [0.0; NPTS];
+        let mut db = [0.0; NPTS];
+        self.deriv_ab(psi, &mut da, &mut db);
+        for p in 0..NPTS {
+            // Contravariant components of k x grad: (dpsi/dbeta, -dpsi/dalpha)
+            // / metdet; then to physical via d.
+            let c1 = db[p] * self.rmetdet[p];
+            let c2 = -da[p] * self.rmetdet[p];
+            cx[p] = self.d[p][0][0] * c1 + self.d[p][0][1] * c2;
+            cy[p] = self.d[p][1][0] * c1 + self.d[p][1][1] * c2;
+        }
+    }
+}
+
+/// Build the operator tables for every element of a grid.
+pub fn build_ops(grid: &cubesphere::CubedSphere) -> Vec<ElemOps> {
+    grid.elements.iter().map(|el| ElemOps::new(el, &grid.basis)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubesphere::{CubedSphere, EARTH_RADIUS};
+
+    /// Evaluate a (lat, lon) function at every GLL point of every element.
+    fn sample(grid: &CubedSphere, f: impl Fn(f64, f64) -> f64) -> Vec<Vec<f64>> {
+        grid.elements
+            .iter()
+            .map(|el| el.metric.iter().map(|m| f(m.lat, m.lon)).collect())
+            .collect()
+    }
+
+    /// Max error over *interior* GLL points (operators are discontinuous at
+    /// element edges before DSS).
+    fn max_interior_err(
+        grid: &CubedSphere,
+        got: &[Vec<f64>],
+        expect: impl Fn(f64, f64) -> f64,
+    ) -> f64 {
+        let mut worst: f64 = 0.0;
+        for (el, g) in grid.elements.iter().zip(got) {
+            for i in 1..NP - 1 {
+                for j in 1..NP - 1 {
+                    let p = pidx(i, j);
+                    let m = &el.metric[p];
+                    worst = worst.max((g[p] - expect(m.lat, m.lon)).abs());
+                }
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn gradient_of_sin_lat() {
+        // s = sin(lat): grad = (0, cos(lat)/a).
+        let grid = CubedSphere::new(6);
+        let ops = build_ops(&grid);
+        let s = sample(&grid, |lat, _| lat.sin());
+        let mut gx_all = Vec::new();
+        let mut gy_all = Vec::new();
+        for (op, se) in ops.iter().zip(&s) {
+            let mut gx = [0.0; NPTS];
+            let mut gy = [0.0; NPTS];
+            op.gradient_sphere(se, &mut gx, &mut gy);
+            gx_all.push(gx.to_vec());
+            gy_all.push(gy.to_vec());
+        }
+        let scale = 1.0 / EARTH_RADIUS;
+        let ex = max_interior_err(&grid, &gx_all, |_, _| 0.0);
+        let ey = max_interior_err(&grid, &gy_all, |lat, _| lat.cos() / EARTH_RADIUS);
+        assert!(ex < 1e-3 * scale, "gx err {ex}");
+        assert!(ey < 1e-3 * scale, "gy err {ey}");
+    }
+
+    #[test]
+    fn vorticity_of_solid_body_rotation() {
+        // u = U cos(lat), v = 0: vort = 2 U sin(lat) / a.
+        let grid = CubedSphere::new(6);
+        let ops = build_ops(&grid);
+        let uu = 20.0;
+        let u = sample(&grid, |lat, _| uu * lat.cos());
+        let v = sample(&grid, |_, _| 0.0);
+        let mut vort_all = Vec::new();
+        let mut div_all = Vec::new();
+        for ((op, ue), ve) in ops.iter().zip(&u).zip(&v) {
+            let mut vo = [0.0; NPTS];
+            let mut di = [0.0; NPTS];
+            op.vorticity_sphere(ue, ve, &mut vo);
+            op.divergence_sphere(ue, ve, &mut di);
+            vort_all.push(vo.to_vec());
+            div_all.push(di.to_vec());
+        }
+        let scale = 2.0 * uu / EARTH_RADIUS;
+        let ev = max_interior_err(&grid, &vort_all, |lat, _| 2.0 * uu * lat.sin() / EARTH_RADIUS);
+        let ed = max_interior_err(&grid, &div_all, |_, _| 0.0);
+        assert!(ev < 1e-3 * scale, "vort err {ev} (scale {scale})");
+        assert!(ed < 1e-3 * scale, "div err {ed}");
+    }
+
+    #[test]
+    fn curl_of_grad_is_zero_and_vort_of_grad_is_zero() {
+        let grid = CubedSphere::new(4);
+        let ops = build_ops(&grid);
+        let s = sample(&grid, |lat, lon| lat.sin() * (2.0 * lon).cos());
+        for (op, se) in ops.iter().zip(&s) {
+            let mut gx = [0.0; NPTS];
+            let mut gy = [0.0; NPTS];
+            op.gradient_sphere(se, &mut gx, &mut gy);
+            let mut vort = [0.0; NPTS];
+            op.vorticity_sphere(&gx, &gy, &mut vort);
+            // Exact to round-off *within* an element: the discrete curl of a
+            // discrete gradient cancels identically on the GLL grid.
+            for p in 0..NPTS {
+                assert!(vort[p].abs() < 1e-17, "vort(grad) = {}", vort[p]);
+            }
+        }
+    }
+
+    #[test]
+    fn divergence_of_curl_is_zero() {
+        let grid = CubedSphere::new(4);
+        let ops = build_ops(&grid);
+        let psi = sample(&grid, |lat, lon| (2.0 * lat).sin() * lon.cos());
+        for (op, pe) in ops.iter().zip(&psi) {
+            let mut cx = [0.0; NPTS];
+            let mut cy = [0.0; NPTS];
+            op.curl_sphere(pe, &mut cx, &mut cy);
+            let mut div = [0.0; NPTS];
+            op.divergence_sphere(&cx, &cy, &mut div);
+            for p in 0..NPTS {
+                assert!(div[p].abs() < 1e-17, "div(curl) = {}", div[p]);
+            }
+        }
+    }
+
+    #[test]
+    fn laplacian_of_spherical_harmonic() {
+        // Y = sin(lat) is the l=1, m=0 harmonic: lap(Y) = -2 Y / a^2.
+        let grid = CubedSphere::new(8);
+        let ops = build_ops(&grid);
+        let s = sample(&grid, |lat, _| lat.sin());
+        let mut lap_all = Vec::new();
+        for (op, se) in ops.iter().zip(&s) {
+            let mut lap = [0.0; NPTS];
+            op.laplace_sphere(se, &mut lap);
+            lap_all.push(lap.to_vec());
+        }
+        let a2 = EARTH_RADIUS * EARTH_RADIUS;
+        let err = max_interior_err(&grid, &lap_all, |lat, _| -2.0 * lat.sin() / a2);
+        assert!(err < 2e-2 / a2, "lap err {err} (scale {})", 2.0 / a2);
+    }
+
+    #[test]
+    fn derivative_of_constant_is_zero() {
+        let grid = CubedSphere::new(2);
+        let ops = build_ops(&grid);
+        let ones = vec![1.0; NPTS];
+        for op in &ops {
+            let mut gx = [0.0; NPTS];
+            let mut gy = [0.0; NPTS];
+            op.gradient_sphere(&ones, &mut gx, &mut gy);
+            for p in 0..NPTS {
+                assert!(gx[p].abs() < 1e-18 && gy[p].abs() < 1e-18);
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Global conservation diagnostics: the quantities CAM's `check_energy`
+//! machinery tracks each step, computed from the spectral-element state
+//! with the same quadrature the dycore uses.
+
+use crate::prim::Dycore;
+use crate::state::State;
+use cubesphere::consts::{CP, GRAV};
+use cubesphere::NPTS;
+
+/// One snapshot of the global budgets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Budgets {
+    /// Dry-air mass, `integral(sum_k dp) dA / g`, kg.
+    pub dry_mass: f64,
+    /// Total energy `integral((cp T + 0.5 (u^2+v^2)) dp) dA / g`, J.
+    pub total_energy: f64,
+    /// Kinetic part of `total_energy`, J.
+    pub kinetic_energy: f64,
+    /// Relative enstrophy `0.5 integral(zeta^2) dA` of the lowest layer,
+    /// 1/s^2 m^2 (a turbulence-cascade diagnostic).
+    pub enstrophy: f64,
+    /// Mass of tracer 0 (water vapour when moist), kg.
+    pub tracer_mass: f64,
+}
+
+/// Compute the budgets of `state` on `dy`'s grid.
+pub fn budgets(dy: &Dycore, state: &State) -> Budgets {
+    let nlev = dy.dims.nlev;
+    let mut dry = vec![vec![0.0; NPTS]; state.elems.len()];
+    let mut te = vec![vec![0.0; NPTS]; state.elems.len()];
+    let mut ke = vec![vec![0.0; NPTS]; state.elems.len()];
+    let mut qm = vec![vec![0.0; NPTS]; state.elems.len()];
+    let mut ens = vec![vec![0.0; NPTS]; state.elems.len()];
+
+    for (e, es) in state.elems.iter().enumerate() {
+        for p in 0..NPTS {
+            let mut col_dp = 0.0;
+            let mut col_te = 0.0;
+            let mut col_ke = 0.0;
+            let mut col_q = 0.0;
+            for k in 0..nlev {
+                let i = k * NPTS + p;
+                let dp = es.dp3d[i];
+                let kin = 0.5 * (es.u[i] * es.u[i] + es.v[i] * es.v[i]);
+                col_dp += dp;
+                col_ke += kin * dp;
+                col_te += (CP * es.t[i] + kin) * dp;
+                if dy.dims.qsize > 0 {
+                    col_q += es.qdp[i];
+                }
+            }
+            dry[e][p] = col_dp / GRAV;
+            te[e][p] = col_te / GRAV;
+            ke[e][p] = col_ke / GRAV;
+            qm[e][p] = col_q / GRAV;
+        }
+        // Lowest-layer relative vorticity for the enstrophy diagnostic.
+        let r = (nlev - 1) * NPTS..nlev * NPTS;
+        let mut vort = [0.0; NPTS];
+        dy.ops[e].vorticity_sphere(&es.u[r.clone()], &es.v[r], &mut vort);
+        for p in 0..NPTS {
+            ens[e][p] = 0.5 * vort[p] * vort[p];
+        }
+    }
+
+    Budgets {
+        dry_mass: dy.grid.global_integral(&dry),
+        total_energy: dy.grid.global_integral(&te),
+        kinetic_energy: dy.grid.global_integral(&ke),
+        enstrophy: dy.grid.global_integral(&ens),
+        tracer_mass: dy.grid.global_integral(&qm),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypervis::HypervisConfig;
+    use crate::prim::DycoreConfig;
+    use crate::state::Dims;
+    use cubesphere::consts::P0;
+
+    fn test_model() -> (Dycore, State) {
+        let dims = Dims { nlev: 6, qsize: 1 };
+        let cfg = DycoreConfig {
+            dt: 300.0,
+            hypervis: HypervisConfig::for_ne(3),
+            limiter: true,
+            rsplit: 1,
+        };
+        let dy = Dycore::new(3, dims, 2000.0, cfg);
+        let mut st = dy.zero_state();
+        let elems = dy.grid.elements.clone();
+        for (es, el) in st.elems.iter_mut().zip(&elems) {
+            for p in 0..NPTS {
+                let lat = el.metric[p].lat;
+                for k in 0..6 {
+                    let i = k * NPTS + p;
+                    es.u[i] = 15.0 * lat.cos();
+                    es.t[i] = 280.0 + 3.0 * lat.cos();
+                    es.dp3d[i] = dy.rhs.vert.dp_ref(k, P0);
+                    es.qdp[i] = 0.008 * es.dp3d[i];
+                }
+            }
+        }
+        (dy, st)
+    }
+
+    #[test]
+    fn budgets_have_physical_magnitudes() {
+        let (dy, st) = test_model();
+        let b = budgets(&dy, &st);
+        // Earth's atmosphere: ~5.2e18 kg of dry air.
+        assert!(b.dry_mass > 4.5e18 && b.dry_mass < 6.0e18, "mass {}", b.dry_mass);
+        // Thermal energy dominates: cp T ~ 2.8e5 J/kg x 5e18 kg ~ 1.4e24 J.
+        assert!(b.total_energy > 1.0e24 && b.total_energy < 2.0e24);
+        assert!(b.kinetic_energy > 0.0 && b.kinetic_energy < 1e-3 * b.total_energy);
+        assert!(b.enstrophy > 0.0);
+        assert!((b.tracer_mass / b.dry_mass - 0.008).abs() < 1e-4);
+    }
+
+    #[test]
+    fn budgets_evolve_sensibly_under_stepping() {
+        let (mut dy, mut st) = test_model();
+        let b0 = budgets(&dy, &st);
+        for _ in 0..5 {
+            dy.step(&mut st);
+        }
+        let b1 = budgets(&dy, &st);
+        // Mass and tracer mass conserved tightly.
+        assert!(((b1.dry_mass - b0.dry_mass) / b0.dry_mass).abs() < 1e-11);
+        assert!(((b1.tracer_mass - b0.tracer_mass) / b0.tracer_mass).abs() < 1e-11);
+        // Total energy bounded (the explicit dycore is not exactly
+        // energy-conserving, but five steps must not move it measurably).
+        assert!(((b1.total_energy - b0.total_energy) / b0.total_energy).abs() < 1e-4);
+        // Hyperviscosity dissipates kinetic energy monotonically for this
+        // smooth state (no forcing).
+        assert!(b1.kinetic_energy < b0.kinetic_energy * 1.01);
+    }
+}

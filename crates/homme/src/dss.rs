@@ -1,0 +1,237 @@
+//! Direct Stiffness Summation (DSS).
+//!
+//! Spectral elements duplicate the GLL points on shared edges and corners;
+//! after computing element-local operators, the duplicated values must be
+//! made continuous by mass-weighted averaging over every element sharing
+//! the point. This serial implementation is the single-rank reference; the
+//! distributed version (with the paper's redesigned boundary exchange)
+//! lives in [`crate::bndry`] and must agree with this one exactly.
+
+use cubesphere::{CubedSphere, NPTS};
+
+/// Serial DSS engine for a grid.
+#[derive(Debug, Clone)]
+pub struct Dss {
+    nglobal: usize,
+    inv_mass: Vec<f64>,
+    /// Per element: global ids and spheremp, flattened.
+    gids: Vec<usize>,
+    spheremp: Vec<f64>,
+    /// Scratch accumulator.
+    accum: Vec<f64>,
+}
+
+impl Dss {
+    /// Build from the grid's assembly map.
+    pub fn new(grid: &CubedSphere) -> Self {
+        let mut gids = Vec::with_capacity(grid.nelem() * NPTS);
+        let mut spheremp = Vec::with_capacity(grid.nelem() * NPTS);
+        for el in &grid.elements {
+            gids.extend_from_slice(&el.gids);
+            spheremp.extend_from_slice(&el.spheremp);
+        }
+        Dss {
+            nglobal: grid.nglobal,
+            inv_mass: grid.inv_mass.clone(),
+            gids,
+            spheremp,
+            accum: vec![0.0; grid.nglobal],
+        }
+    }
+
+    /// Assemble one horizontal level stored as per-element 16-value chunks.
+    ///
+    /// `field` is a mutable per-element view: `field[e][p]`. After the call
+    /// every shared point holds the identical mass-weighted average.
+    pub fn apply_level(&mut self, field: &mut [&mut [f64]]) {
+        debug_assert_eq!(field.len() * NPTS, self.gids.len());
+        for a in &mut self.accum {
+            *a = 0.0;
+        }
+        for (e, chunk) in field.iter().enumerate() {
+            let base = e * NPTS;
+            for p in 0..NPTS {
+                self.accum[self.gids[base + p]] += self.spheremp[base + p] * chunk[p];
+            }
+        }
+        for (e, chunk) in field.iter_mut().enumerate() {
+            let base = e * NPTS;
+            for p in 0..NPTS {
+                let g = self.gids[base + p];
+                chunk[p] = self.accum[g] * self.inv_mass[g];
+            }
+        }
+    }
+
+    /// Assemble a full 3-D field: `fields[e]` holds `[nlev][NPTS]` values.
+    /// Levels are assembled independently.
+    pub fn apply(&mut self, fields: &mut [Vec<f64>], nlev: usize) {
+        let nelem = fields.len();
+        for k in 0..nlev {
+            // Reborrow each element's level-k chunk.
+            let mut views: Vec<&mut [f64]> = Vec::with_capacity(nelem);
+            // SAFETY-free approach: split progressively.
+            let mut rest: &mut [Vec<f64>] = fields;
+            while let Some((head, tail)) = rest.split_first_mut() {
+                views.push(&mut head[k * NPTS..(k + 1) * NPTS]);
+                rest = tail;
+            }
+            self.apply_level(&mut views);
+        }
+    }
+
+    /// Number of assembled (unique) points.
+    pub fn nglobal(&self) -> usize {
+        self.nglobal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubesphere::pidx;
+
+    fn level_views(fields: &mut [Vec<f64>]) -> Vec<&mut [f64]> {
+        fields.iter_mut().map(|f| &mut f[..]).collect()
+    }
+
+    #[test]
+    fn dss_is_idempotent() {
+        let grid = CubedSphere::new(3);
+        let mut dss = Dss::new(&grid);
+        let mut fields: Vec<Vec<f64>> = (0..grid.nelem())
+            .map(|e| (0..NPTS).map(|p| ((e * 31 + p * 7) % 17) as f64).collect())
+            .collect();
+        {
+            let mut v = level_views(&mut fields);
+            dss.apply_level(&mut v);
+        }
+        let once = fields.clone();
+        {
+            let mut v = level_views(&mut fields);
+            dss.apply_level(&mut v);
+        }
+        for (a, b) in once.iter().zip(&fields) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn dss_preserves_continuous_fields() {
+        // A field already continuous (sampled from lat/lon) is unchanged.
+        let grid = CubedSphere::new(3);
+        let mut dss = Dss::new(&grid);
+        let mut fields: Vec<Vec<f64>> = grid
+            .elements
+            .iter()
+            .map(|el| el.metric.iter().map(|m| m.lat.sin() * m.lon.cos()).collect())
+            .collect();
+        let before = fields.clone();
+        let mut v = level_views(&mut fields);
+        dss.apply_level(&mut v);
+        drop(v);
+        for (a, b) in before.iter().zip(&fields) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn dss_conserves_the_global_integral() {
+        let grid = CubedSphere::new(3);
+        let mut dss = Dss::new(&grid);
+        let mut fields: Vec<Vec<f64>> = (0..grid.nelem())
+            .map(|e| (0..NPTS).map(|p| ((e + p) % 13) as f64 - 6.0).collect())
+            .collect();
+        let before = grid.global_integral(&fields);
+        let mut v = level_views(&mut fields);
+        dss.apply_level(&mut v);
+        drop(v);
+        let after = grid.global_integral(&fields);
+        assert!(
+            ((before - after) / before.abs().max(1.0)).abs() < 1e-12,
+            "{before} vs {after}"
+        );
+    }
+
+    #[test]
+    fn shared_points_become_identical() {
+        let grid = CubedSphere::new(2);
+        let mut dss = Dss::new(&grid);
+        let mut fields: Vec<Vec<f64>> =
+            (0..grid.nelem()).map(|e| vec![e as f64; NPTS]).collect();
+        let mut v = level_views(&mut fields);
+        dss.apply_level(&mut v);
+        drop(v);
+        // Group values by global id; all must agree.
+        let mut by_gid: std::collections::HashMap<usize, f64> = Default::default();
+        for (e, el) in grid.elements.iter().enumerate() {
+            for p in 0..NPTS {
+                let g = el.gids[p];
+                let val = fields[e][p];
+                if let Some(prev) = by_gid.insert(g, val) {
+                    assert!((prev - val).abs() < 1e-12, "gid {g}: {prev} vs {val}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_level_apply_matches_per_level() {
+        let grid = CubedSphere::new(2);
+        let mut dss = Dss::new(&grid);
+        let nlev = 3;
+        let mut full: Vec<Vec<f64>> = (0..grid.nelem())
+            .map(|e| {
+                (0..nlev * NPTS)
+                    .map(|i| ((e * 13 + i * 5) % 29) as f64)
+                    .collect()
+            })
+            .collect();
+        let mut by_level = full.clone();
+        dss.apply(&mut full, nlev);
+        for k in 0..nlev {
+            let mut views: Vec<&mut [f64]> = by_level
+                .iter_mut()
+                .map(|f| &mut f[k * NPTS..(k + 1) * NPTS])
+                .collect();
+            dss.apply_level(&mut views);
+        }
+        for (a, b) in full.iter().zip(&by_level) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn dss_makes_gradients_continuous_across_edges() {
+        use crate::deriv::build_ops;
+        let grid = CubedSphere::new(4);
+        let ops = build_ops(&grid);
+        let mut dss = Dss::new(&grid);
+        // Non-polynomial field -> discontinuous element-local derivative.
+        let mut gx_all: Vec<Vec<f64>> = Vec::new();
+        for (el, op) in grid.elements.iter().zip(&ops) {
+            let s: Vec<f64> = el.metric.iter().map(|m| (3.0 * m.lat).sin()).collect();
+            let mut gx = [0.0; NPTS];
+            let mut gy = [0.0; NPTS];
+            op.gradient_sphere(&s, &mut gx, &mut gy);
+            gx_all.push(gx.to_vec());
+        }
+        let mut v: Vec<&mut [f64]> = gx_all.iter_mut().map(|f| &mut f[..]).collect();
+        dss.apply_level(&mut v);
+        drop(v);
+        // After DSS, every copy of a shared point agrees.
+        let mut by_gid: std::collections::HashMap<usize, f64> = Default::default();
+        for (e, el) in grid.elements.iter().enumerate() {
+            for p in 0..NPTS {
+                if let Some(prev) = by_gid.insert(el.gids[p], gx_all[e][p]) {
+                    assert!((prev - gx_all[e][p]).abs() < 1e-18 * 1e6);
+                }
+            }
+        }
+        let _ = pidx(0, 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! `euler_step`: tracer advection.
+//!
+//! "construct strong stability preserving (SSP) second order Runge–Kutta
+//! method" (Table 1). Tracer mass `qdp` advances with the flux-form
+//! equation `d(qdp)/dt = -div(v q dp)` in a 3-stage SSP-RK2 scheme, with an
+//! optional sign-preserving mass-conserving limiter. Each stage ends with a
+//! DSS — the "3 sub-cycles edge packing/unpacking and boundary exchange"
+//! whose communication cost Section 7.6 attacks.
+
+use crate::deriv::ElemOps;
+use crate::state::Dims;
+use cubesphere::NPTS;
+
+/// Element-local tracer tendency: `out = -div(u q dp, v q dp)` for one
+/// level of one tracer. `q` is derived point-wise as `qdp / dp`.
+pub fn tracer_flux_divergence(
+    op: &ElemOps,
+    u: &[f64],
+    v: &[f64],
+    dp: &[f64],
+    qdp: &[f64],
+    out: &mut [f64; NPTS],
+) {
+    let mut fx = [0.0; NPTS];
+    let mut fy = [0.0; NPTS];
+    for p in 0..NPTS {
+        let q = qdp[p] / dp[p];
+        fx[p] = u[p] * dp[p] * q;
+        fy[p] = v[p] * dp[p] * q;
+    }
+    let mut div = [0.0; NPTS];
+    op.divergence_sphere(&fx, &fy, &mut div);
+    for p in 0..NPTS {
+        out[p] = -div[p];
+    }
+}
+
+/// One forward-Euler sub-step of all tracers of all elements:
+/// `qdp_out = qdp_in + dt * RHS(qdp_in)` (no DSS; the caller assembles).
+#[allow(clippy::too_many_arguments)]
+pub fn euler_substep(
+    ops: &[ElemOps],
+    dims: Dims,
+    u: &[Vec<f64>],
+    v: &[Vec<f64>],
+    dp: &[Vec<f64>],
+    qdp_in: &[Vec<f64>],
+    dt: f64,
+    qdp_out: &mut [Vec<f64>],
+) {
+    for (e, op) in ops.iter().enumerate() {
+        for q in 0..dims.qsize {
+            for k in 0..dims.nlev {
+                let r = dims.at(k, 0)..dims.at(k, 0) + NPTS;
+                let rq = dims.atq(q, k, 0)..dims.atq(q, k, 0) + NPTS;
+                let mut tend = [0.0; NPTS];
+                tracer_flux_divergence(
+                    op,
+                    &u[e][r.clone()],
+                    &v[e][r.clone()],
+                    &dp[e][r.clone()],
+                    &qdp_in[e][rq.clone()],
+                    &mut tend,
+                );
+                for p in 0..NPTS {
+                    qdp_out[e][rq.start + p] = qdp_in[e][rq.start + p] + dt * tend[p];
+                }
+            }
+        }
+    }
+}
+
+/// Sign-preserving limiter: eliminate negative `qdp` within one element
+/// level while conserving the element-level mass (the spirit of HOMME's
+/// `limiter_optim_iter_full`, reduced to its non-iterative core).
+///
+/// Negative values are clipped to zero and the created mass is removed
+/// proportionally from the positive values. If the level's total mass is
+/// negative nothing can be conserved positively; values clip to zero.
+pub fn limit_nonnegative(spheremp: &[f64; NPTS], qdp: &mut [f64]) {
+    debug_assert_eq!(qdp.len(), NPTS);
+    let mut deficit = 0.0;
+    let mut positive_mass = 0.0;
+    for p in 0..NPTS {
+        let m = spheremp[p] * qdp[p];
+        if qdp[p] < 0.0 {
+            deficit += -m;
+            qdp[p] = 0.0;
+        } else {
+            positive_mass += m;
+        }
+    }
+    if deficit == 0.0 {
+        return;
+    }
+    if positive_mass <= deficit {
+        for v in qdp.iter_mut() {
+            *v = 0.0;
+        }
+        return;
+    }
+    let scale = (positive_mass - deficit) / positive_mass;
+    for v in qdp.iter_mut() {
+        *v *= scale;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deriv::build_ops;
+    use cubesphere::CubedSphere;
+
+    #[test]
+    fn flux_divergence_of_uniform_q_matches_dp_flux() {
+        // With q = 2 everywhere, tendency must equal 2 x (-div(v dp)).
+        let grid = CubedSphere::new(3);
+        let ops = build_ops(&grid);
+        for (el, op) in grid.elements.iter().zip(&ops).take(8) {
+            let u: Vec<f64> = el.metric.iter().map(|m| 10.0 * m.lat.cos()).collect();
+            let v: Vec<f64> = el.metric.iter().map(|m| 3.0 * m.lon.sin()).collect();
+            let dp: Vec<f64> = el.metric.iter().map(|m| 850.0 + 5.0 * m.lat.sin()).collect();
+            let qdp: Vec<f64> = dp.iter().map(|d| 2.0 * d).collect();
+            let mut tend_q = [0.0; NPTS];
+            tracer_flux_divergence(op, &u, &v, &dp, &qdp, &mut tend_q);
+            // Reference: -div(u dp, v dp) scaled by 2.
+            let mut fx = [0.0; NPTS];
+            let mut fy = [0.0; NPTS];
+            for p in 0..NPTS {
+                fx[p] = u[p] * dp[p];
+                fy[p] = v[p] * dp[p];
+            }
+            let mut div = [0.0; NPTS];
+            op.divergence_sphere(&fx, &fy, &mut div);
+            for p in 0..NPTS {
+                assert!(
+                    (tend_q[p] + 2.0 * div[p]).abs() < 1e-9 * div[p].abs().max(1e-6),
+                    "{} vs {}",
+                    tend_q[p],
+                    -2.0 * div[p]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn limiter_clips_and_conserves() {
+        let spheremp = [1.0; NPTS];
+        let mut qdp = [1.0; NPTS];
+        qdp[3] = -0.5;
+        qdp[7] = -0.3;
+        let mass_before: f64 = qdp.iter().sum();
+        limit_nonnegative(&spheremp, &mut qdp);
+        let mass_after: f64 = qdp.iter().sum();
+        assert!(qdp.iter().all(|&x| x >= 0.0));
+        assert!((mass_before - mass_after).abs() < 1e-12);
+    }
+
+    #[test]
+    fn limiter_weighted_conservation() {
+        let mut spheremp = [0.0; NPTS];
+        for (i, w) in spheremp.iter_mut().enumerate() {
+            *w = 1.0 + (i % 4) as f64;
+        }
+        let mut qdp = [0.5; NPTS];
+        qdp[0] = -1.0;
+        let before: f64 = spheremp.iter().zip(&qdp).map(|(w, q)| w * q).sum();
+        limit_nonnegative(&spheremp, &mut qdp);
+        let after: f64 = spheremp.iter().zip(&qdp).map(|(w, q)| w * q).sum();
+        assert!((before - after).abs() < 1e-12);
+        assert!(qdp.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn limiter_all_negative_floors_to_zero() {
+        let spheremp = [1.0; NPTS];
+        let mut qdp = [-1.0; NPTS];
+        limit_nonnegative(&spheremp, &mut qdp);
+        assert!(qdp.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn limiter_noop_when_nonnegative() {
+        let spheremp = [1.0; NPTS];
+        let mut qdp = [0.25; NPTS];
+        let before = qdp;
+        limit_nonnegative(&spheremp, &mut qdp);
+        assert_eq!(qdp, before);
+    }
+}

@@ -1,0 +1,194 @@
+//! Horizontal dissipation: the `hypervis_dp1` / `hypervis_dp2` /
+//! `biharmonic_dp3d` kernels of Table 1.
+//!
+//! CAM-SE stabilizes the spectral-element discretization with scale-
+//! selective hyperviscosity: `df/dt = -nu lap^2(f)` applied (subcycled) to
+//! `u, v, T, dp3d`. The building blocks are the element Laplacian
+//! ([`crate::deriv::ElemOps::laplace_sphere`]) and a DSS between the two
+//! Laplacian applications — the "weak biharmonic operator". A plain
+//! Laplacian viscosity (`hypervis_dp1` in the paper's kernel table) is also
+//! provided.
+
+use crate::deriv::ElemOps;
+use crate::dss::Dss;
+use cubesphere::NPTS;
+
+/// Hyperviscosity configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HypervisConfig {
+    /// Biharmonic coefficient for momentum and temperature, m^4/s.
+    pub nu: f64,
+    /// Biharmonic coefficient for `dp3d`, m^4/s.
+    pub nu_p: f64,
+    /// Subcycles per dynamics step.
+    pub subcycles: usize,
+    /// Sponge-layer Laplacian coefficient applied to the top layers,
+    /// m^2/s (HOMME's `nu_top`; damps vertically-propagating waves that
+    /// would otherwise reflect off the model top).
+    pub nu_top: f64,
+    /// Number of top layers the sponge covers.
+    pub sponge_layers: usize,
+}
+
+impl HypervisConfig {
+    /// CAM's resolution scaling: `nu = 1e15 (30/ne)^3.2` m^4/s.
+    pub fn for_ne(ne: usize) -> Self {
+        let nu = 1.0e15 * (30.0 / ne as f64).powf(3.2);
+        HypervisConfig { nu, nu_p: nu, subcycles: 3, nu_top: 2.5e5, sponge_layers: 3 }
+    }
+
+    /// Disabled dissipation (for steady-state tests).
+    pub fn off() -> Self {
+        HypervisConfig { nu: 0.0, nu_p: 0.0, subcycles: 1, nu_top: 0.0, sponge_layers: 0 }
+    }
+}
+
+/// In-place `lap(f)` per element level with DSS, using the weak-form
+/// (Galerkin) Laplacian [`ElemOps::laplace_sphere_wk`]: conservative to
+/// round-off, which is what makes the subcycled `dp3d` dissipation
+/// mass-conserving. `fields[e]` is `[nlev][NPTS]`.
+pub fn laplace_fields(ops: &[ElemOps], dss: &mut Dss, nlev: usize, fields: &mut [Vec<f64>]) {
+    for (e, op) in ops.iter().enumerate() {
+        for k in 0..nlev {
+            let r = k * NPTS..(k + 1) * NPTS;
+            let mut lap = [0.0; NPTS];
+            op.laplace_sphere_wk(&fields[e][r.clone()], &mut lap);
+            fields[e][r].copy_from_slice(&lap);
+        }
+    }
+    dss.apply(fields, nlev);
+}
+
+/// In-place weak biharmonic `lap(lap(f))` with DSS after each Laplacian —
+/// the paper's `biharmonic_dp3d` kernel when applied to `dp3d`.
+pub fn biharmonic_fields(ops: &[ElemOps], dss: &mut Dss, nlev: usize, fields: &mut [Vec<f64>]) {
+    laplace_fields(ops, dss, nlev, fields);
+    laplace_fields(ops, dss, nlev, fields);
+}
+
+/// In-place vector Laplacian with DSS for `(u, v)` per level.
+pub fn vlaplace_fields(
+    ops: &[ElemOps],
+    dss: &mut Dss,
+    nlev: usize,
+    u: &mut [Vec<f64>],
+    v: &mut [Vec<f64>],
+) {
+    for (e, op) in ops.iter().enumerate() {
+        for k in 0..nlev {
+            let r = k * NPTS..(k + 1) * NPTS;
+            let mut lu = [0.0; NPTS];
+            let mut lv = [0.0; NPTS];
+            op.vlaplace_sphere(&u[e][r.clone()], &v[e][r.clone()], &mut lu, &mut lv);
+            u[e][r.clone()].copy_from_slice(&lu);
+            v[e][r].copy_from_slice(&lv);
+        }
+    }
+    dss.apply(u, nlev);
+    dss.apply(v, nlev);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deriv::build_ops;
+    use cubesphere::CubedSphere;
+
+    fn field_of(grid: &CubedSphere, f: impl Fn(f64, f64) -> f64) -> Vec<Vec<f64>> {
+        grid.elements
+            .iter()
+            .map(|el| el.metric.iter().map(|m| f(m.lat, m.lon)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn laplace_of_constant_is_zero() {
+        let grid = CubedSphere::new(3);
+        let ops = build_ops(&grid);
+        let mut dss = Dss::new(&grid);
+        let mut fields = field_of(&grid, |_, _| 4.2);
+        laplace_fields(&ops, &mut dss, 1, &mut fields);
+        for f in &fields {
+            for &x in f {
+                assert!(x.abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn laplacian_conserves_the_global_integral() {
+        // integral of lap(f) over the closed sphere is zero.
+        let grid = CubedSphere::new(4);
+        let ops = build_ops(&grid);
+        let mut dss = Dss::new(&grid);
+        let mut fields = field_of(&grid, |lat, lon| lat.sin() * (2.0 * lon).cos() + 0.3);
+        laplace_fields(&ops, &mut dss, 1, &mut fields);
+        let integral = grid.global_integral(&fields);
+        let area = grid.total_area();
+        assert!(
+            (integral / area).abs() < 1e-15,
+            "mean of lap = {}",
+            integral / area
+        );
+    }
+
+    #[test]
+    fn biharmonic_damps_high_wavenumbers_more() {
+        // lap^2 of Y_l scales as (l(l+1)/a^2)^2: the l=4 harmonic must come
+        // back with a much larger amplitude ratio than l=1.
+        let grid = CubedSphere::new(6);
+        let ops = build_ops(&grid);
+        let mut dss = Dss::new(&grid);
+        let mut ratio = |l: i32| -> f64 {
+            let f = |lat: f64, lon: f64| (l as f64 * lon).cos() * lat.cos().powi(l);
+            let mut fields = field_of(&grid, f);
+            let before: f64 =
+                fields.iter().flat_map(|v| v.iter()).map(|x| x * x).sum::<f64>().sqrt();
+            biharmonic_fields(&ops, &mut dss, 1, &mut fields);
+            let after: f64 =
+                fields.iter().flat_map(|v| v.iter()).map(|x| x * x).sum::<f64>().sqrt();
+            after / before
+        };
+        let r1 = ratio(1);
+        let r4 = ratio(4);
+        // (4*5 / 1*2)^2 = 100; allow generous slack for the cos^l proxy.
+        assert!(r4 > 20.0 * r1, "r1 = {r1}, r4 = {r4}");
+    }
+
+    #[test]
+    fn config_scaling_matches_cam() {
+        let ne30 = HypervisConfig::for_ne(30);
+        assert!((ne30.nu - 1.0e15).abs() < 1e9);
+        let ne120 = HypervisConfig::for_ne(120);
+        // (30/120)^3.2 ~ 0.0117.
+        assert!((ne120.nu / 1.0e15 - 0.25f64.powf(3.2)).abs() < 1e-6);
+        assert!(ne120.nu < ne30.nu);
+        let off = HypervisConfig::off();
+        assert_eq!(off.nu, 0.0);
+    }
+
+    #[test]
+    fn vlaplace_of_rigid_rotation_is_small_and_tangent() {
+        // Rigid rotation u = U cos(lat) is an l=1 vector harmonic:
+        // vlap(v) = -2 v / a^2 (for the rotational part). Check magnitude.
+        use cubesphere::EARTH_RADIUS;
+        let grid = CubedSphere::new(6);
+        let ops = build_ops(&grid);
+        let mut dss = Dss::new(&grid);
+        let uu = 10.0;
+        let mut u = field_of(&grid, |lat, _| uu * lat.cos());
+        let mut v = field_of(&grid, |_, _| 0.0);
+        vlaplace_fields(&ops, &mut dss, 1, &mut u, &mut v);
+        let scale = 2.0 * uu / (EARTH_RADIUS * EARTH_RADIUS);
+        for (el, (ue, _ve)) in grid.elements.iter().zip(u.iter().zip(&v)) {
+            for p in 0..NPTS {
+                let expect = -2.0 * uu * el.metric[p].lat.cos() / (EARTH_RADIUS * EARTH_RADIUS);
+                assert!(
+                    (ue[p] - expect).abs() < 0.1 * scale,
+                    "{} vs {expect}",
+                    ue[p]
+                );
+            }
+        }
+    }
+}

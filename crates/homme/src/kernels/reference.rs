@@ -1,0 +1,297 @@
+//! Reference (plain Rust / "Intel") implementations of the six kernels.
+//!
+//! These are the ground truth every other variant must match bit-for-bit
+//! (or to strict tolerance where summation order differs), and the code the
+//! single-rank dycore driver runs. Timing on conventional CPUs is modeled
+//! by pricing [`crate::kernels::op_count`] on a
+//! [`sw26010::CpuCoreModel`] / [`sw26010::Mpe`] roofline.
+
+use super::KernelData;
+use crate::euler::tracer_flux_divergence;
+use crate::remap::remap_column_ppm;
+use crate::rhs::element_rhs_raw;
+use cubesphere::NPTS;
+
+/// `compute_and_apply_rhs`: tendencies into `tend_*`.
+pub fn compute_and_apply_rhs(data: &mut KernelData) {
+    let nlev = data.nlev;
+    for e in 0..data.nelem {
+        let r = e * nlev * NPTS..(e + 1) * nlev * NPTS;
+        let rp = e * NPTS..(e + 1) * NPTS;
+        // Split the tendency arrays element-wise to satisfy the borrow
+        // checker while keeping the flat layout.
+        let (tu, tv, tt, tdp) = (
+            &mut data.tend_u[r.clone()],
+            &mut data.tend_v[r.clone()],
+            &mut data.tend_t[r.clone()],
+            &mut data.tend_dp[r.clone()],
+        );
+        element_rhs_raw(
+            &data.ops[e],
+            nlev,
+            data.ptop,
+            &data.u[r.clone()],
+            &data.v[r.clone()],
+            &data.t[r.clone()],
+            &data.dp3d[r.clone()],
+            &data.phis[rp],
+            tu,
+            tv,
+            tt,
+            tdp,
+        );
+    }
+}
+
+/// `euler_step`: one tracer advection sub-step,
+/// `out_a = qdp + dt * (-div(v q dp))`.
+pub fn euler_step(data: &mut KernelData, dt: f64) {
+    let nlev = data.nlev;
+    for e in 0..data.nelem {
+        for q in 0..data.qsize {
+            for k in 0..nlev {
+                let r = data.at(e, k, 0)..data.at(e, k, 0) + NPTS;
+                let rq = data.atq(e, q, k, 0)..data.atq(e, q, k, 0) + NPTS;
+                let mut tend = [0.0; NPTS];
+                tracer_flux_divergence(
+                    &data.ops[e],
+                    &data.u[r.clone()],
+                    &data.v[r.clone()],
+                    &data.dp3d[r.clone()],
+                    &data.qdp[rq.clone()],
+                    &mut tend,
+                );
+                for p in 0..NPTS {
+                    data.out_a[rq.start + p] = data.qdp[rq.start + p] + dt * tend[p];
+                }
+            }
+        }
+    }
+}
+
+/// `vertical_remap`: remap u, v, T (into `tend_u/v/t`), tracers (into
+/// `out_a`) and the new reference `dp` (into `tend_dp`). The target grid is
+/// uniform thickness per column — the kernel-benchmark stand-in for the
+/// reference hybrid levels (same arithmetic, no vertical-coordinate table
+/// needed in the workspace).
+pub fn vertical_remap(data: &mut KernelData) {
+    let nlev = data.nlev;
+    let mut src = vec![0.0; nlev];
+    let mut dst = vec![0.0; nlev];
+    let mut col = vec![0.0; nlev];
+    let mut out = vec![0.0; nlev];
+    for e in 0..data.nelem {
+        for p in 0..NPTS {
+            let mut total = 0.0;
+            for k in 0..nlev {
+                src[k] = data.dp3d[data.at(e, k, p)];
+                total += src[k];
+            }
+            for k in 0..nlev {
+                dst[k] = total / nlev as f64;
+            }
+            // u, v, T.
+            for f in 0..3 {
+                for k in 0..nlev {
+                    col[k] = match f {
+                        0 => data.u[data.at(e, k, p)],
+                        1 => data.v[data.at(e, k, p)],
+                        _ => data.t[data.at(e, k, p)],
+                    };
+                }
+                remap_column_ppm(&src, &col, &dst, &mut out);
+                for k in 0..nlev {
+                    let i = data.at(e, k, p);
+                    match f {
+                        0 => data.tend_u[i] = out[k],
+                        1 => data.tend_v[i] = out[k],
+                        _ => data.tend_t[i] = out[k],
+                    }
+                }
+            }
+            // Tracers: mixing ratio remap.
+            for q in 0..data.qsize {
+                for k in 0..nlev {
+                    col[k] = data.qdp[data.atq(e, q, k, p)] / src[k];
+                }
+                remap_column_ppm(&src, &col, &dst, &mut out);
+                for k in 0..nlev {
+                    let i = data.atq(e, q, k, p);
+                    data.out_a[i] = out[k] * dst[k];
+                }
+            }
+            for k in 0..nlev {
+                let i = data.at(e, k, p);
+                data.tend_dp[i] = dst[k];
+            }
+        }
+    }
+}
+
+/// `hypervis_dp1`: element-local Laplacian viscosity operator on momentum
+/// and temperature. `tend_u/v` get the vector Laplacian, `tend_t` the
+/// scalar Laplacian.
+pub fn hypervis_dp1(data: &mut KernelData) {
+    let nlev = data.nlev;
+    for e in 0..data.nelem {
+        let op = &data.ops[e];
+        for k in 0..nlev {
+            let r = data.at(e, k, 0)..data.at(e, k, 0) + NPTS;
+            let mut lu = [0.0; NPTS];
+            let mut lv = [0.0; NPTS];
+            op.vlaplace_sphere(&data.u[r.clone()], &data.v[r.clone()], &mut lu, &mut lv);
+            let mut lt = [0.0; NPTS];
+            op.laplace_sphere(&data.t[r.clone()], &mut lt);
+            data.tend_u[r.clone()].copy_from_slice(&lu);
+            data.tend_v[r.clone()].copy_from_slice(&lv);
+            data.tend_t[r.clone()].copy_from_slice(&lt);
+        }
+    }
+}
+
+/// `hypervis_dp2`: element-local *hyper* viscosity (double Laplacian) on
+/// momentum and temperature.
+pub fn hypervis_dp2(data: &mut KernelData) {
+    let nlev = data.nlev;
+    for e in 0..data.nelem {
+        let op = &data.ops[e];
+        for k in 0..nlev {
+            let r = data.at(e, k, 0)..data.at(e, k, 0) + NPTS;
+            let mut lu = [0.0; NPTS];
+            let mut lv = [0.0; NPTS];
+            op.vlaplace_sphere(&data.u[r.clone()], &data.v[r.clone()], &mut lu, &mut lv);
+            let mut lu2 = [0.0; NPTS];
+            let mut lv2 = [0.0; NPTS];
+            op.vlaplace_sphere(&lu, &lv, &mut lu2, &mut lv2);
+            let mut lt = [0.0; NPTS];
+            op.laplace_sphere(&data.t[r.clone()], &mut lt);
+            let mut lt2 = [0.0; NPTS];
+            op.laplace_sphere(&lt, &mut lt2);
+            data.tend_u[r.clone()].copy_from_slice(&lu2);
+            data.tend_v[r.clone()].copy_from_slice(&lv2);
+            data.tend_t[r.clone()].copy_from_slice(&lt2);
+        }
+    }
+}
+
+/// `biharmonic_dp3d`: element-local weak biharmonic operator on `dp3d`
+/// into `tend_dp`.
+pub fn biharmonic_dp3d(data: &mut KernelData) {
+    let nlev = data.nlev;
+    for e in 0..data.nelem {
+        let op = &data.ops[e];
+        for k in 0..nlev {
+            let r = data.at(e, k, 0)..data.at(e, k, 0) + NPTS;
+            let mut l1 = [0.0; NPTS];
+            op.laplace_sphere(&data.dp3d[r.clone()], &mut l1);
+            let mut l2 = [0.0; NPTS];
+            op.laplace_sphere(&l1, &mut l2);
+            data.tend_dp[r.clone()].copy_from_slice(&l2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rhs_reference_matches_dycore_path() {
+        // The kernel-workspace RHS must agree exactly with the Rhs struct
+        // used by the driver (same function underneath).
+        use crate::rhs::{ElemTend, Rhs};
+        use crate::state::{Dims, ElemState};
+        use crate::vert::VertCoord;
+        let mut data = KernelData::synth(4, 8, 0, 7);
+        compute_and_apply_rhs(&mut data);
+        let dims = Dims { nlev: 8, qsize: 0 };
+        // VertCoord only supplies ptop here; synth uses ptop = 200.
+        let rhs = Rhs::new(VertCoord::standard(8, 200.0), dims);
+        for e in 0..data.nelem {
+            let mut es = ElemState::zeros(dims);
+            let r = e * 8 * NPTS..(e + 1) * 8 * NPTS;
+            es.u.copy_from_slice(&data.u[r.clone()]);
+            es.v.copy_from_slice(&data.v[r.clone()]);
+            es.t.copy_from_slice(&data.t[r.clone()]);
+            es.dp3d.copy_from_slice(&data.dp3d[r.clone()]);
+            es.phis.copy_from_slice(&data.phis[e * NPTS..(e + 1) * NPTS]);
+            let mut tend = ElemTend::zeros(dims);
+            rhs.element_tend(&data.ops[e], &es, &mut tend);
+            for (i, gi) in r.enumerate() {
+                assert_eq!(tend.u[i], data.tend_u[gi]);
+                assert_eq!(tend.t[i], data.tend_t[gi]);
+            }
+        }
+    }
+
+    #[test]
+    fn euler_step_free_stream() {
+        // q uniform = c: updated qdp stays consistent with dp advection:
+        // out = qdp - dt c div(v dp). With u = v = 0 nothing moves at all.
+        let mut data = KernelData::synth(3, 4, 2, 9);
+        for x in data.u.iter_mut() {
+            *x = 0.0;
+        }
+        for x in data.v.iter_mut() {
+            *x = 0.0;
+        }
+        euler_step(&mut data, 100.0);
+        for (o, q) in data.out_a.iter().zip(&data.qdp) {
+            assert_eq!(o, q, "zero wind must not move tracers");
+        }
+    }
+
+    #[test]
+    fn vertical_remap_conserves_columns() {
+        let mut data = KernelData::synth(2, 12, 1, 3);
+        vertical_remap(&mut data);
+        for e in 0..data.nelem {
+            for p in 0..NPTS {
+                let m_u_before: f64 =
+                    (0..12).map(|k| data.u[data.at(e, k, p)] * data.dp3d[data.at(e, k, p)]).sum();
+                let m_u_after: f64 = (0..12)
+                    .map(|k| data.tend_u[data.at(e, k, p)] * data.tend_dp[data.at(e, k, p)])
+                    .sum();
+                assert!(
+                    (m_u_before - m_u_after).abs() < 1e-8 * m_u_before.abs().max(1.0),
+                    "momentum not conserved: {m_u_before} vs {m_u_after}"
+                );
+                let q_before: f64 = (0..12).map(|k| data.qdp[data.atq(e, 0, k, p)]).sum();
+                let q_after: f64 = (0..12).map(|k| data.out_a[data.atq(e, 0, k, p)]).sum();
+                assert!((q_before - q_after).abs() < 1e-8 * q_before.max(1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn hypervis_variants_are_consistent() {
+        // dp2 must equal dp1 applied twice (element-local, same operator).
+        let mut d1 = KernelData::synth(2, 4, 0, 5);
+        let mut d2 = d1.clone();
+        hypervis_dp2(&mut d2);
+        hypervis_dp1(&mut d1);
+        // Feed dp1's output back as input.
+        d1.u.copy_from_slice(&d1.tend_u.clone());
+        d1.v.copy_from_slice(&d1.tend_v.clone());
+        d1.t.copy_from_slice(&d1.tend_t.clone());
+        hypervis_dp1(&mut d1);
+        for (a, b) in d1.tend_u.iter().zip(&d2.tend_u) {
+            assert!((a - b).abs() <= 1e-12 * b.abs().max(1e-20), "{a} vs {b}");
+        }
+        for (a, b) in d1.tend_t.iter().zip(&d2.tend_t) {
+            assert!((a - b).abs() <= 1e-12 * b.abs().max(1e-20), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn biharmonic_dp3d_annihilates_constants() {
+        let mut data = KernelData::synth(2, 3, 0, 11);
+        for x in data.dp3d.iter_mut() {
+            *x = 750.0;
+        }
+        biharmonic_dp3d(&mut data);
+        for &x in &data.tend_dp {
+            assert!(x.abs() < 1e-12, "{x}");
+        }
+    }
+}

@@ -1,0 +1,511 @@
+//! `prim_run`: the dynamics driver.
+//!
+//! One dynamics step is the paper's kernel pipeline end to end:
+//! a 5-stage Kinnmark–Gray second-order Runge–Kutta loop over
+//! `compute_and_apply_rhs` (each stage followed by DSS), subcycled
+//! hyperviscosity, the 3-stage SSP-RK2 `euler_step` for tracers, and
+//! `vertical_remap` back to reference levels.
+
+use crate::deriv::{build_ops, ElemOps};
+use crate::dss::Dss;
+use crate::euler::{euler_substep, limit_nonnegative};
+use crate::hypervis::{biharmonic_fields, vlaplace_fields, HypervisConfig};
+use crate::remap::remap_column_ppm;
+use crate::rhs::{ElemTend, Rhs};
+use crate::state::{Dims, State};
+use crate::vert::VertCoord;
+use cubesphere::{CubedSphere, NPTS};
+
+/// Kinnmark–Gray 5-stage RK coefficients: stage `i` computes
+/// `u_i = u_0 + c_i dt RHS(u_{i-1})`.
+pub const KG5_COEFFS: [f64; 5] = [1.0 / 5.0, 1.0 / 5.0, 1.0 / 3.0, 1.0 / 2.0, 1.0];
+
+/// Dycore configuration knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DycoreConfig {
+    /// Dynamics time step, s.
+    pub dt: f64,
+    /// Hyperviscosity settings.
+    pub hypervis: HypervisConfig,
+    /// Apply the sign-preserving tracer limiter.
+    pub limiter: bool,
+    /// Apply vertical remap every `rsplit` dynamics steps.
+    pub rsplit: usize,
+}
+
+impl DycoreConfig {
+    /// Reasonable defaults for resolution `ne`: dt scaled from the CAM-SE
+    /// rule of thumb (ne30 -> 300 s dynamics step).
+    pub fn for_ne(ne: usize) -> Self {
+        DycoreConfig {
+            dt: 300.0 * 30.0 / ne as f64,
+            hypervis: HypervisConfig::for_ne(ne),
+            limiter: true,
+            rsplit: 1,
+        }
+    }
+}
+
+/// The assembled single-rank dynamical core.
+pub struct Dycore {
+    /// The horizontal grid.
+    pub grid: CubedSphere,
+    /// Per-element operator tables.
+    pub ops: Vec<ElemOps>,
+    /// DSS engine.
+    pub dss: Dss,
+    /// RHS evaluator (owns the vertical coordinate).
+    pub rhs: Rhs,
+    /// Dimensions.
+    pub dims: Dims,
+    /// Configuration.
+    pub cfg: DycoreConfig,
+    steps_since_remap: usize,
+}
+
+impl Dycore {
+    /// Build a dycore on an `ne` cubed sphere (Earth radius and rotation).
+    pub fn new(ne: usize, dims: Dims, ptop: f64, cfg: DycoreConfig) -> Self {
+        Self::from_grid(CubedSphere::new(ne), dims, ptop, cfg)
+    }
+
+    /// Build a dycore on an arbitrary (e.g. reduced-radius "small planet")
+    /// grid.
+    pub fn from_grid(grid: CubedSphere, dims: Dims, ptop: f64, cfg: DycoreConfig) -> Self {
+        let ops = build_ops(&grid);
+        let dss = Dss::new(&grid);
+        let vert = VertCoord::standard(dims.nlev, ptop);
+        let rhs = Rhs::new(vert, dims);
+        Dycore { grid, ops, dss, rhs, dims, cfg, steps_since_remap: 0 }
+    }
+
+    /// Fresh zero state sized for this dycore.
+    pub fn zero_state(&self) -> State {
+        State::zeros(self.dims, self.grid.nelem())
+    }
+
+    /// One explicit sub-step: `out = base + c dt RHS(eval)`, then DSS.
+    fn rk_substep(&mut self, base: &State, eval: &State, c_dt: f64, out: &mut State) {
+        let nlev = self.dims.nlev;
+        let mut tend = ElemTend::zeros(self.dims);
+        for e in 0..eval.elems.len() {
+            self.rhs.element_tend(&self.ops[e], &eval.elems[e], &mut tend);
+            let oe = &mut out.elems[e];
+            let be = &base.elems[e];
+            for i in 0..self.dims.field_len() {
+                oe.u[i] = be.u[i] + c_dt * tend.u[i];
+                oe.v[i] = be.v[i] + c_dt * tend.v[i];
+                oe.t[i] = be.t[i] + c_dt * tend.t[i];
+                oe.dp3d[i] = be.dp3d[i] + c_dt * tend.dp3d[i];
+            }
+        }
+        // DSS the four updated prognostics.
+        let mut u: Vec<Vec<f64>> = out.elems.iter().map(|e| e.u.clone()).collect();
+        let mut v: Vec<Vec<f64>> = out.elems.iter().map(|e| e.v.clone()).collect();
+        let mut t: Vec<Vec<f64>> = out.elems.iter().map(|e| e.t.clone()).collect();
+        let mut dp: Vec<Vec<f64>> = out.elems.iter().map(|e| e.dp3d.clone()).collect();
+        self.dss.apply(&mut u, nlev);
+        self.dss.apply(&mut v, nlev);
+        self.dss.apply(&mut t, nlev);
+        self.dss.apply(&mut dp, nlev);
+        for (e, oe) in out.elems.iter_mut().enumerate() {
+            oe.u.copy_from_slice(&u[e]);
+            oe.v.copy_from_slice(&v[e]);
+            oe.t.copy_from_slice(&t[e]);
+            oe.dp3d.copy_from_slice(&dp[e]);
+        }
+    }
+
+    /// Advance the dynamics (u, v, T, dp3d) by one dt with the 5-stage RK.
+    pub fn dynamics_step(&mut self, state: &mut State) {
+        let dt = self.cfg.dt;
+        let base = state.clone();
+        let mut stage = state.clone();
+        let mut next = state.clone();
+        for &c in &KG5_COEFFS {
+            self.rk_substep(&base, &stage, c * dt, &mut next);
+            std::mem::swap(&mut stage, &mut next);
+        }
+        *state = stage;
+    }
+
+    /// Stability-limited hyperviscosity subcycle count: the explicit
+    /// forward-Euler biharmonic update needs `nu k_max^4 dt_sub < ~0.4`,
+    /// with `k_max` the spectral-element grid Nyquist (smallest GLL gap,
+    /// with a factor-2 margin for the spectral operator's eigenvalue
+    /// excess). Production HOMME computes `hypervis_subcycle` the same way.
+    pub fn hypervis_subcycles(&self) -> usize {
+        let hv = self.cfg.hypervis;
+        let nu = hv.nu.max(hv.nu_p);
+        if nu == 0.0 {
+            return hv.subcycles.max(1);
+        }
+        let el = &self.grid.elements[0];
+        // Smallest GLL gap: |x1 - x0| = 1 - 1/sqrt(5) on [-1, 1].
+        let ref_gap = 1.0 - 1.0 / 5.0_f64.sqrt();
+        // metdet ~ (physical area)/(dalpha dbeta): sqrt gives the length
+        // scale per unit angle.
+        let scale = el.metric[0].metdet.sqrt();
+        let gap = (ref_gap * 0.5 * el.dab * scale).max(1.0);
+        let k_max = 2.0 * std::f64::consts::PI / gap;
+        let needed = (nu * k_max.powi(4) * self.cfg.dt / 0.4).ceil() as usize;
+        needed.max(hv.subcycles).max(1)
+    }
+
+    /// Apply subcycled biharmonic hyperviscosity to u, v, T, dp3d.
+    pub fn apply_hypervis(&mut self, state: &mut State) {
+        let hv = self.cfg.hypervis;
+        if hv.nu == 0.0 && hv.nu_p == 0.0 {
+            return;
+        }
+        let nlev = self.dims.nlev;
+        // Top-of-model sponge: ordinary Laplacian damping on the top
+        // layers (sign +nu_top lap, i.e. diffusion).
+        if hv.nu_top > 0.0 && hv.sponge_layers > 0 {
+            let ks = hv.sponge_layers.min(nlev);
+            let mut u: Vec<Vec<f64>> =
+                state.elems.iter().map(|e| e.u[..ks * NPTS].to_vec()).collect();
+            let mut v: Vec<Vec<f64>> =
+                state.elems.iter().map(|e| e.v[..ks * NPTS].to_vec()).collect();
+            let mut t: Vec<Vec<f64>> =
+                state.elems.iter().map(|e| e.t[..ks * NPTS].to_vec()).collect();
+            vlaplace_fields(&self.ops, &mut self.dss, ks, &mut u, &mut v);
+            crate::hypervis::laplace_fields(&self.ops, &mut self.dss, ks, &mut t);
+            for (e, es) in state.elems.iter_mut().enumerate() {
+                for (k_rel, damp) in (0..ks).map(|k| (k, 1.0 / (1 << k) as f64)) {
+                    for p in 0..NPTS {
+                        let i = k_rel * NPTS + p;
+                        es.u[i] += self.cfg.dt * hv.nu_top * damp * u[e][i];
+                        es.v[i] += self.cfg.dt * hv.nu_top * damp * v[e][i];
+                        es.t[i] += self.cfg.dt * hv.nu_top * damp * t[e][i];
+                    }
+                }
+            }
+        }
+        let subcycles = self.hypervis_subcycles();
+        let dt_sub = self.cfg.dt / subcycles as f64;
+        for _ in 0..subcycles {
+            let mut u: Vec<Vec<f64>> = state.elems.iter().map(|e| e.u.clone()).collect();
+            let mut v: Vec<Vec<f64>> = state.elems.iter().map(|e| e.v.clone()).collect();
+            let mut t: Vec<Vec<f64>> = state.elems.iter().map(|e| e.t.clone()).collect();
+            let mut dp: Vec<Vec<f64>> = state.elems.iter().map(|e| e.dp3d.clone()).collect();
+            // del^4 via two Laplacians with DSS (vector Laplacian for wind).
+            vlaplace_fields(&self.ops, &mut self.dss, nlev, &mut u, &mut v);
+            vlaplace_fields(&self.ops, &mut self.dss, nlev, &mut u, &mut v);
+            biharmonic_fields(&self.ops, &mut self.dss, nlev, &mut t);
+            biharmonic_fields(&self.ops, &mut self.dss, nlev, &mut dp);
+            for (e, es) in state.elems.iter_mut().enumerate() {
+                for i in 0..self.dims.field_len() {
+                    es.u[i] -= dt_sub * hv.nu * u[e][i];
+                    es.v[i] -= dt_sub * hv.nu * v[e][i];
+                    es.t[i] -= dt_sub * hv.nu * t[e][i];
+                    es.dp3d[i] -= dt_sub * hv.nu_p * dp[e][i];
+                }
+            }
+        }
+    }
+
+    /// Advance tracers by one dt with 3-stage SSP-RK2 (`euler_step`).
+    pub fn euler_step_tracers(&mut self, state: &mut State) {
+        if self.dims.qsize == 0 {
+            return;
+        }
+        let dt = self.cfg.dt;
+        let nlev = self.dims.nlev;
+        let u: Vec<Vec<f64>> = state.elems.iter().map(|e| e.u.clone()).collect();
+        let v: Vec<Vec<f64>> = state.elems.iter().map(|e| e.v.clone()).collect();
+        let dp: Vec<Vec<f64>> = state.elems.iter().map(|e| e.dp3d.clone()).collect();
+        let qdp0: Vec<Vec<f64>> = state.elems.iter().map(|e| e.qdp.clone()).collect();
+        let mut q1 = qdp0.clone();
+        let mut q2 = qdp0.clone();
+
+        // Stage 1: q1 = q0 + dt L(q0)
+        euler_substep(&self.ops, self.dims, &u, &v, &dp, &qdp0, dt, &mut q1);
+        self.finish_tracer_stage(&mut q1, nlev);
+        // Stage 2: q2 = 3/4 q0 + 1/4 (q1 + dt L(q1))
+        let mut tmp = qdp0.clone();
+        euler_substep(&self.ops, self.dims, &u, &v, &dp, &q1, dt, &mut tmp);
+        for (q2e, (q0e, te)) in q2.iter_mut().zip(qdp0.iter().zip(&tmp)) {
+            for i in 0..q2e.len() {
+                q2e[i] = 0.75 * q0e[i] + 0.25 * te[i];
+            }
+        }
+        self.finish_tracer_stage(&mut q2, nlev);
+        // Stage 3: q^{n+1} = 1/3 q0 + 2/3 (q2 + dt L(q2))
+        euler_substep(&self.ops, self.dims, &u, &v, &dp, &q2, dt, &mut tmp);
+        for (es, (q0e, te)) in state.elems.iter_mut().zip(qdp0.iter().zip(&tmp)) {
+            for i in 0..es.qdp.len() {
+                es.qdp[i] = q0e[i] / 3.0 + 2.0 / 3.0 * te[i];
+            }
+        }
+        let mut qf: Vec<Vec<f64>> = state.elems.iter().map(|e| e.qdp.clone()).collect();
+        self.finish_tracer_stage(&mut qf, nlev);
+        for (es, qe) in state.elems.iter_mut().zip(&qf) {
+            es.qdp.copy_from_slice(qe);
+        }
+    }
+
+    /// DSS + optional limiter for one tracer stage.
+    fn finish_tracer_stage(&mut self, qdp: &mut [Vec<f64>], nlev: usize) {
+        self.dss.apply(qdp, self.dims.qsize * nlev);
+        if self.cfg.limiter {
+            for (e, qe) in qdp.iter_mut().enumerate() {
+                let mut spheremp = [0.0; NPTS];
+                spheremp.copy_from_slice(&self.ops[e].spheremp);
+                for q in 0..self.dims.qsize {
+                    for k in 0..nlev {
+                        let r = (q * nlev + k) * NPTS..(q * nlev + k + 1) * NPTS;
+                        limit_nonnegative(&spheremp, &mut qe[r]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Remap the column back to reference hybrid levels (`vertical_remap`).
+    pub fn vertical_remap(&mut self, state: &mut State) {
+        let nlev = self.dims.nlev;
+        let vert = &self.rhs.vert;
+        let ptop = vert.ptop();
+        let mut src = vec![0.0; nlev];
+        let mut dst = vec![0.0; nlev];
+        let mut col = vec![0.0; nlev];
+        let mut out = vec![0.0; nlev];
+        for es in &mut state.elems {
+            for p in 0..NPTS {
+                let mut ps = ptop;
+                for k in 0..nlev {
+                    src[k] = es.dp3d[k * NPTS + p];
+                    ps += src[k];
+                }
+                for k in 0..nlev {
+                    dst[k] = vert.dp_ref(k, ps);
+                }
+                // Momentum, heat: conserve integral(f dp).
+                for field in [&mut es.u, &mut es.v, &mut es.t] {
+                    for k in 0..nlev {
+                        col[k] = field[k * NPTS + p];
+                    }
+                    remap_column_ppm(&src, &col, &dst, &mut out);
+                    for k in 0..nlev {
+                        field[k * NPTS + p] = out[k];
+                    }
+                }
+                // Tracers: remap mixing ratio, rebuild mass.
+                for q in 0..self.dims.qsize {
+                    for k in 0..nlev {
+                        col[k] = es.qdp[(q * nlev + k) * NPTS + p] / src[k];
+                    }
+                    remap_column_ppm(&src, &col, &dst, &mut out);
+                    for k in 0..nlev {
+                        es.qdp[(q * nlev + k) * NPTS + p] = out[k] * dst[k];
+                    }
+                }
+                for k in 0..nlev {
+                    es.dp3d[k * NPTS + p] = dst[k];
+                }
+            }
+        }
+    }
+
+    /// One full model step: dynamics RK + hyperviscosity + tracer advection
+    /// + (every `rsplit` steps) vertical remap.
+    pub fn step(&mut self, state: &mut State) {
+        self.dynamics_step(state);
+        self.apply_hypervis(state);
+        self.euler_step_tracers(state);
+        self.steps_since_remap += 1;
+        if self.steps_since_remap >= self.cfg.rsplit {
+            self.vertical_remap(state);
+            self.steps_since_remap = 0;
+        }
+    }
+
+    /// Global dry-air mass (`integral of sum_k dp3d dA`), Pa m^2.
+    pub fn total_mass(&self, state: &State) -> f64 {
+        let fields: Vec<Vec<f64>> = state
+            .elems
+            .iter()
+            .map(|es| {
+                (0..NPTS)
+                    .map(|p| (0..self.dims.nlev).map(|k| es.dp3d[k * NPTS + p]).sum())
+                    .collect()
+            })
+            .collect();
+        self.grid.global_integral(&fields)
+    }
+
+    /// Global mass of tracer `q`.
+    pub fn total_tracer_mass(&self, state: &State, q: usize) -> f64 {
+        let nlev = self.dims.nlev;
+        let fields: Vec<Vec<f64>> = state
+            .elems
+            .iter()
+            .map(|es| {
+                (0..NPTS)
+                    .map(|p| (0..nlev).map(|k| es.qdp[(q * nlev + k) * NPTS + p]).sum())
+                    .collect()
+            })
+            .collect();
+        self.grid.global_integral(&fields)
+    }
+
+    /// Maximum wind speed (stability diagnostic).
+    pub fn max_wind(&self, state: &State) -> f64 {
+        let mut m: f64 = 0.0;
+        for es in &state.elems {
+            for (u, v) in es.u.iter().zip(&es.v) {
+                m = m.max((u * u + v * v).sqrt());
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubesphere::consts::P0;
+
+    fn resting_state(dy: &Dycore) -> State {
+        let mut st = dy.zero_state();
+        for es in &mut st.elems {
+            for k in 0..dy.dims.nlev {
+                for p in 0..NPTS {
+                    es.t[k * NPTS + p] = 300.0;
+                    es.dp3d[k * NPTS + p] = dy.rhs.vert.dp_ref(k, P0);
+                    for q in 0..dy.dims.qsize {
+                        es.qdp[(q * dy.dims.nlev + k) * NPTS + p] =
+                            0.01 * es.dp3d[k * NPTS + p];
+                    }
+                }
+            }
+        }
+        st
+    }
+
+    #[test]
+    fn resting_atmosphere_stays_at_rest() {
+        let dims = Dims { nlev: 6, qsize: 1 };
+        let cfg = DycoreConfig {
+            dt: 600.0,
+            hypervis: HypervisConfig::off(),
+            limiter: true,
+            rsplit: 1,
+        };
+        let mut dy = Dycore::new(2, dims, 200.0, cfg);
+        let mut st = resting_state(&dy);
+        let ref_st = st.clone();
+        for _ in 0..5 {
+            dy.step(&mut st);
+        }
+        assert!(dy.max_wind(&st) < 1e-10, "wind grew: {}", dy.max_wind(&st));
+        assert!(st.max_abs_diff(&ref_st) < 1e-8, "state drifted: {}", st.max_abs_diff(&ref_st));
+    }
+
+    #[test]
+    fn mass_and_tracer_mass_are_conserved() {
+        let dims = Dims { nlev: 6, qsize: 2 };
+        let cfg = DycoreConfig {
+            dt: 300.0,
+            hypervis: HypervisConfig::off(),
+            limiter: true,
+            rsplit: 1,
+        };
+        let mut dy = Dycore::new(3, dims, 200.0, cfg);
+        let mut st = resting_state(&dy);
+        // Perturb the temperature field to get the flow moving.
+        for es in &mut st.elems {
+            for (i, t) in es.t.iter_mut().enumerate() {
+                *t += 2.0 * ((i % 11) as f64 / 11.0 - 0.5);
+            }
+        }
+        let m0 = dy.total_mass(&st);
+        let q0 = dy.total_tracer_mass(&st, 0);
+        let q1 = dy.total_tracer_mass(&st, 1);
+        for _ in 0..5 {
+            dy.step(&mut st);
+        }
+        let dm = ((dy.total_mass(&st) - m0) / m0).abs();
+        let dq0 = ((dy.total_tracer_mass(&st, 0) - q0) / q0).abs();
+        let dq1 = ((dy.total_tracer_mass(&st, 1) - q1) / q1).abs();
+        assert!(dm < 1e-11, "dry mass drift {dm}");
+        assert!(dq0 < 1e-11, "tracer 0 drift {dq0}");
+        assert!(dq1 < 1e-11, "tracer 1 drift {dq1}");
+        assert!(dy.max_wind(&st) < 30.0, "blow-up: {}", dy.max_wind(&st));
+    }
+
+    #[test]
+    fn balanced_flow_survives_time_stepping() {
+        use cubesphere::consts::{EARTH_RADIUS, OMEGA, RD};
+        let dims = Dims { nlev: 6, qsize: 0 };
+        let cfg = DycoreConfig {
+            dt: 200.0,
+            hypervis: HypervisConfig::off(),
+            limiter: false,
+            rsplit: 1,
+        };
+        let mut dy = Dycore::new(4, dims, 200.0, cfg);
+        let mut st = dy.zero_state();
+        let (t0, u0) = (300.0, 30.0);
+        let c = (EARTH_RADIUS * OMEGA * u0 + 0.5 * u0 * u0) / (RD * t0);
+        let grid_elems: Vec<_> = dy.grid.elements.clone();
+        for (es, el) in st.elems.iter_mut().zip(&grid_elems) {
+            for p in 0..NPTS {
+                let lat = el.metric[p].lat;
+                let ps = P0 * (-c * lat.sin() * lat.sin()).exp();
+                for k in 0..dims.nlev {
+                    es.u[k * NPTS + p] = u0 * lat.cos();
+                    es.t[k * NPTS + p] = t0;
+                    es.dp3d[k * NPTS + p] = dy.rhs.vert.dp_ref(k, ps);
+                }
+            }
+        }
+        let init = st.clone();
+        for _ in 0..10 {
+            dy.step(&mut st);
+        }
+        // The balanced jet must persist: wind change small vs u0.
+        let mut max_du: f64 = 0.0;
+        for (a, b) in st.elems.iter().zip(&init.elems) {
+            for (x, y) in a.u.iter().zip(&b.u) {
+                max_du = max_du.max((x - y).abs());
+            }
+        }
+        assert!(max_du < 0.05 * u0, "jet decayed/blew up: du = {max_du}");
+    }
+
+    #[test]
+    fn hypervis_damps_grid_noise() {
+        let dims = Dims { nlev: 2, qsize: 0 };
+        let mut cfg = DycoreConfig::for_ne(4);
+        // At ne4 the grid Nyquist wavenumber is tiny, so scale nu up to get
+        // visible damping within a few applications (still well inside the
+        // explicit stability bound nu k^4 dt_sub < 1).
+        cfg.dt = 100.0;
+        cfg.hypervis = HypervisConfig { nu: 2.0e19, nu_p: 2.0e19, subcycles: 3, nu_top: 0.0, sponge_layers: 0 };
+        let mut dy = Dycore::new(4, dims, 200.0, cfg);
+        let mut st = resting_state(&dy);
+        // Checkerboard temperature noise.
+        for es in &mut st.elems {
+            for (i, t) in es.t.iter_mut().enumerate() {
+                *t += if i % 2 == 0 { 1.0 } else { -1.0 };
+            }
+        }
+        let noise = |s: &State| -> f64 {
+            let mut acc = 0.0;
+            for es in &s.elems {
+                for w in es.t.windows(2) {
+                    acc += (w[1] - w[0]).powi(2);
+                }
+            }
+            acc
+        };
+        let n0 = noise(&st);
+        for _ in 0..10 {
+            dy.apply_hypervis(&mut st);
+        }
+        let n1 = noise(&st);
+        assert!(n1 < 0.8 * n0, "noise not damped: {n0} -> {n1}");
+    }
+}

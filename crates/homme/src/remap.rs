@@ -1,0 +1,259 @@
+//! `vertical_remap`: conservative remapping from the drifted Lagrangian
+//! layers back to the reference hybrid coordinate.
+//!
+//! "compute the vertical flux needed to get back to reference eta-coordinate
+//! levels" (Table 1). The vertically-Lagrangian dynamics lets `dp3d` evolve
+//! freely; after each dynamics step the column is rebuilt on reference
+//! levels with a monotone piecewise-parabolic (PPM) reconstruction, exactly
+//! conserving column mass, momentum, internal energy and tracer mass.
+
+use cubesphere::NPTS;
+
+/// Conservatively remap one column.
+///
+/// `src_dp[k]` / `vals[k]` are source thicknesses and cell averages (top
+/// first); `dst_dp` are target thicknesses with the same column total (to
+/// round-off); `out` receives the target averages.
+///
+/// # Panics
+/// Panics if lengths disagree, any thickness is non-positive, or the column
+/// totals differ by more than a relative `1e-10`.
+pub fn remap_column_ppm(src_dp: &[f64], vals: &[f64], dst_dp: &[f64], out: &mut [f64]) {
+    let n = src_dp.len();
+    assert_eq!(vals.len(), n);
+    assert_eq!(dst_dp.len(), out.len());
+    assert!(src_dp.iter().all(|&d| d > 0.0), "non-positive source thickness");
+    assert!(dst_dp.iter().all(|&d| d > 0.0), "non-positive target thickness");
+    let total_src: f64 = src_dp.iter().sum();
+    let total_dst: f64 = dst_dp.iter().sum();
+    assert!(
+        (total_src - total_dst).abs() <= 1e-10 * total_src,
+        "column totals differ: {total_src} vs {total_dst}"
+    );
+
+    // Source interface positions (mass coordinate, 0 at the top).
+    let mut zs = vec![0.0; n + 1];
+    for k in 0..n {
+        zs[k + 1] = zs[k] + src_dp[k];
+    }
+
+    // --- PPM reconstruction -------------------------------------------------
+    // Interface values by thickness-weighted interpolation.
+    let mut ae = vec![0.0; n + 1];
+    ae[0] = vals[0];
+    ae[n] = vals[n - 1];
+    for k in 1..n {
+        let w = src_dp[k] / (src_dp[k - 1] + src_dp[k]);
+        ae[k] = w * vals[k - 1] + (1.0 - w) * vals[k];
+    }
+    // Limited parabola coefficients per cell.
+    let mut a_l = vec![0.0; n];
+    let mut a_r = vec![0.0; n];
+    for k in 0..n {
+        let a = vals[k];
+        let mut l = ae[k];
+        let mut r = ae[k + 1];
+        if (r - a) * (a - l) <= 0.0 {
+            // Local extremum: flatten.
+            l = a;
+            r = a;
+        } else {
+            let d = r - l;
+            let c = a - 0.5 * (l + r);
+            if d * c > d * d / 6.0 {
+                l = 3.0 * a - 2.0 * r;
+            } else if -(d * d) / 6.0 > d * c {
+                r = 3.0 * a - 2.0 * l;
+            }
+        }
+        a_l[k] = l;
+        a_r[k] = r;
+    }
+
+    // Mass within source cell k from its top down to local coordinate xi.
+    let cell_mass = |k: usize, xi: f64| -> f64 {
+        let da = a_r[k] - a_l[k];
+        let a6 = 6.0 * (vals[k] - 0.5 * (a_l[k] + a_r[k]));
+        src_dp[k] * (a_l[k] * xi + 0.5 * da * xi * xi + a6 * (0.5 * xi * xi - xi * xi * xi / 3.0))
+    };
+
+    // --- integrate over target cells ----------------------------------------
+    let mut zt_lo = 0.0f64;
+    let mut k = 0usize; // current source cell
+    for (j, (&dpj, oj)) in dst_dp.iter().zip(out.iter_mut()).enumerate() {
+        let zt_hi = if j == dst_dp.len() - 1 { total_src } else { (zt_lo + dpj).min(total_src) };
+        let mut mass = 0.0;
+        let mut lo = zt_lo;
+        while lo < zt_hi - 1e-14 * total_src {
+            // Advance to the source cell containing `lo`.
+            while k + 1 < n && zs[k + 1] <= lo {
+                k += 1;
+            }
+            let hi = zt_hi.min(zs[k + 1]).max(lo);
+            let xi1 = ((lo - zs[k]) / src_dp[k]).clamp(0.0, 1.0);
+            let xi2 = ((hi - zs[k]) / src_dp[k]).clamp(0.0, 1.0);
+            mass += cell_mass(k, xi2) - cell_mass(k, xi1);
+            if hi >= zs[k + 1] - 1e-300 && k + 1 < n {
+                k += 1;
+            }
+            if hi <= lo {
+                break;
+            }
+            lo = hi;
+        }
+        *oj = mass / dpj;
+        zt_lo = zt_hi;
+    }
+}
+
+/// Remap a `[nlev][NPTS]` field in place for one element: for each GLL
+/// point, the column moves from `src_dp` to `dst_dp` (both `[nlev][NPTS]`).
+pub fn remap_field(nlev: usize, src_dp: &[f64], dst_dp: &[f64], field: &mut [f64]) {
+    let mut col_src = vec![0.0; nlev];
+    let mut col_dst = vec![0.0; nlev];
+    let mut col_val = vec![0.0; nlev];
+    let mut col_out = vec![0.0; nlev];
+    for p in 0..NPTS {
+        for k in 0..nlev {
+            col_src[k] = src_dp[k * NPTS + p];
+            col_dst[k] = dst_dp[k * NPTS + p];
+            col_val[k] = field[k * NPTS + p];
+        }
+        remap_column_ppm(&col_src, &col_val, &col_dst, &mut col_out);
+        for k in 0..nlev {
+            field[k * NPTS + p] = col_out[k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mass(dp: &[f64], v: &[f64]) -> f64 {
+        dp.iter().zip(v).map(|(d, x)| d * x).sum()
+    }
+
+    #[test]
+    fn constant_profile_is_exact() {
+        let src = [100.0, 150.0, 200.0, 120.0];
+        let vals = [7.5; 4];
+        let dst = [140.0, 140.0, 140.0, 150.0];
+        let mut out = [0.0; 4];
+        remap_column_ppm(&src, &vals, &dst, &mut out);
+        for &o in &out {
+            assert!((o - 7.5).abs() < 1e-12, "{o}");
+        }
+    }
+
+    #[test]
+    fn identity_remap_is_exact() {
+        let src = [100.0, 150.0, 200.0, 120.0, 80.0];
+        let vals = [1.0, 3.0, 2.0, 5.0, 4.0];
+        let mut out = [0.0; 5];
+        remap_column_ppm(&src, &vals, &src, &mut out);
+        for (o, v) in out.iter().zip(&vals) {
+            assert!((o - v).abs() < 1e-12, "{o} vs {v}");
+        }
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        let n = 24;
+        let src: Vec<f64> = (0..n).map(|k| 80.0 + 10.0 * ((k * 7) % 5) as f64).collect();
+        let total: f64 = src.iter().sum();
+        let vals: Vec<f64> = (0..n).map(|k| ((k * 13) % 9) as f64 - 2.0).collect();
+        // Target: uniform thicknesses with the same total.
+        let dst = vec![total / n as f64; n];
+        let mut out = vec![0.0; n];
+        remap_column_ppm(&src, &vals, &dst, &mut out);
+        let m0 = mass(&src, &vals);
+        let m1 = mass(&dst, &out);
+        assert!((m0 - m1).abs() < 1e-9 * m0.abs().max(1.0), "{m0} vs {m1}");
+    }
+
+    #[test]
+    fn monotone_profile_stays_in_bounds() {
+        let n = 16;
+        let src: Vec<f64> = (0..n).map(|k| 100.0 + 5.0 * (k % 3) as f64).collect();
+        let total: f64 = src.iter().sum();
+        let vals: Vec<f64> = (0..n).map(|k| (k as f64).powi(2)).collect();
+        let dst = vec![total / n as f64; n];
+        let mut out = vec![0.0; n];
+        remap_column_ppm(&src, &vals, &dst, &mut out);
+        let lo = vals.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = vals.iter().cloned().fold(f64::MIN, f64::max);
+        for &o in &out {
+            assert!(o >= lo - 1e-9 && o <= hi + 1e-9, "{o} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn smooth_profile_remaps_accurately() {
+        // sin profile on a fine column; remap to a shifted grid and compare
+        // to the analytic cell averages.
+        let n = 64;
+        let src = vec![1.0; n];
+        let f = |z: f64| (std::f64::consts::PI * z / n as f64).sin();
+        // Analytic cell average over [a, b]: -(cos(pi b / n) - cos(pi a / n)) * n/pi / (b-a)
+        let avg = |a: f64, b: f64| {
+            let s = std::f64::consts::PI / n as f64;
+            (-(b * s).cos() + (a * s).cos()) / s / (b - a)
+        };
+        let vals: Vec<f64> = (0..n).map(|k| avg(k as f64, k as f64 + 1.0)).collect();
+        // Uneven target grid.
+        let mut dst = Vec::new();
+        let mut left = n as f64;
+        for _ in 0..n - 1 {
+            let d = left / (n as f64) * 0.9 + 0.05;
+            dst.push(d);
+            left -= d;
+        }
+        dst.push(left);
+        let mut out = vec![0.0; n];
+        remap_column_ppm(&src, &vals, &dst, &mut out);
+        let mut z = 0.0;
+        for (j, &o) in out.iter().enumerate() {
+            let expect = avg(z, z + dst[j]);
+            // Boundary cells use a one-sided first-order edge value; interior
+            // cells carry the full PPM accuracy.
+            let tol = if j < 2 || j >= n - 2 { 5e-3 } else { 5e-4 };
+            assert!((o - expect).abs() < tol, "cell {j}: {o} vs {expect}");
+            z += dst[j];
+        }
+        let _ = f;
+    }
+
+    #[test]
+    #[should_panic(expected = "column totals differ")]
+    fn rejects_mismatched_totals() {
+        let mut out = [0.0; 2];
+        remap_column_ppm(&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.5], &mut out);
+    }
+
+    #[test]
+    fn remap_field_handles_all_points() {
+        let nlev = 6;
+        let mut src_dp = vec![0.0; nlev * NPTS];
+        let mut dst_dp = vec![0.0; nlev * NPTS];
+        let mut field = vec![0.0; nlev * NPTS];
+        for p in 0..NPTS {
+            for k in 0..nlev {
+                src_dp[k * NPTS + p] = 100.0 + (p % 3) as f64 * 10.0 + k as f64;
+                field[k * NPTS + p] = (k * k) as f64 + p as f64;
+            }
+            let total: f64 = (0..nlev).map(|k| src_dp[k * NPTS + p]).sum();
+            for k in 0..nlev {
+                dst_dp[k * NPTS + p] = total / nlev as f64;
+            }
+        }
+        let before: Vec<f64> = (0..NPTS)
+            .map(|p| (0..nlev).map(|k| src_dp[k * NPTS + p] * field[k * NPTS + p]).sum())
+            .collect();
+        remap_field(nlev, &src_dp, &dst_dp, &mut field);
+        for p in 0..NPTS {
+            let after: f64 = (0..nlev).map(|k| dst_dp[k * NPTS + p] * field[k * NPTS + p]).sum();
+            assert!((before[p] - after).abs() < 1e-9 * before[p].abs().max(1.0));
+        }
+    }
+}

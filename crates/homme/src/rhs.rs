@@ -1,0 +1,379 @@
+//! `compute_and_apply_rhs`: the right-hand side of the hydrostatic
+//! primitive equations in vector-invariant form.
+//!
+//! Per element and per Runge–Kutta stage this kernel:
+//!
+//! 1. scans the column for interface/midpoint pressures
+//!    (`p(k) = p(k-1) + dp(k)` — the dependency chain the paper
+//!    parallelizes with register communication, Section 7.4/Figure 2);
+//! 2. integrates the hydrostatic equation upward for the geopotential
+//!    (a second scan);
+//! 3. evaluates horizontal gradients, vorticity and flux divergences;
+//! 4. accumulates the `(u, v, T, dp3d)` tendencies.
+//!
+//! The caller applies the tendencies (`state += dt * tend`) and performs the
+//! DSS — "compute the RHS, accumulate into velocity and apply DSS"
+//! (Table 1).
+
+use crate::deriv::ElemOps;
+use crate::state::{Dims, ElemState};
+use crate::vert::VertCoord;
+use cubesphere::consts::{CP, RD};
+use cubesphere::NPTS;
+
+/// Tendencies of one element's prognostic dynamics fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElemTend {
+    /// du/dt, `[nlev][NPTS]`.
+    pub u: Vec<f64>,
+    /// dv/dt.
+    pub v: Vec<f64>,
+    /// dT/dt.
+    pub t: Vec<f64>,
+    /// d(dp3d)/dt.
+    pub dp3d: Vec<f64>,
+}
+
+impl ElemTend {
+    /// Zero tendency container.
+    pub fn zeros(dims: Dims) -> Self {
+        let n = dims.field_len();
+        ElemTend { u: vec![0.0; n], v: vec![0.0; n], t: vec![0.0; n], dp3d: vec![0.0; n] }
+    }
+}
+
+/// Column scan: interface and midpoint pressures from layer thicknesses.
+///
+/// `dp` is `[nlev][NPTS]`; `p_int` gets `[nlev+1][NPTS]`, `p_mid`
+/// `[nlev][NPTS]`. This is the sequential reference for the paper's
+/// three-stage register-communication scan.
+pub fn pressure_scan(nlev: usize, ptop: f64, dp: &[f64], p_int: &mut [f64], p_mid: &mut [f64]) {
+    debug_assert_eq!(dp.len(), nlev * NPTS);
+    debug_assert_eq!(p_int.len(), (nlev + 1) * NPTS);
+    debug_assert_eq!(p_mid.len(), nlev * NPTS);
+    for p in 0..NPTS {
+        p_int[p] = ptop;
+    }
+    for k in 0..nlev {
+        for p in 0..NPTS {
+            let below = p_int[k * NPTS + p] + dp[k * NPTS + p];
+            p_int[(k + 1) * NPTS + p] = below;
+            p_mid[k * NPTS + p] = p_int[k * NPTS + p] + 0.5 * dp[k * NPTS + p];
+        }
+    }
+}
+
+/// Reverse column scan: hydrostatic geopotential at layer midpoints.
+///
+/// `phi_mid(k) = phis + sum_{l>k} Rd T(l) ln(p_int(l+1)/p_int(l))
+///             + Rd T(k) ln(p_int(k+1)/p_mid(k))`.
+pub fn geopotential_scan(
+    nlev: usize,
+    phis: &[f64],
+    t: &[f64],
+    p_int: &[f64],
+    p_mid: &[f64],
+    phi_mid: &mut [f64],
+) {
+    debug_assert_eq!(phis.len(), NPTS);
+    let mut phi_below = [0.0; NPTS];
+    phi_below.copy_from_slice(phis);
+    for k in (0..nlev).rev() {
+        for p in 0..NPTS {
+            let i = k * NPTS + p;
+            let tk = t[i];
+            phi_mid[i] = phi_below[p] + RD * tk * (p_int[(k + 1) * NPTS + p] / p_mid[i]).ln();
+            phi_below[p] += RD * tk * (p_int[(k + 1) * NPTS + p] / p_int[k * NPTS + p]).ln();
+        }
+    }
+}
+
+/// The RHS evaluator (owns the vertical coordinate).
+#[derive(Debug, Clone)]
+pub struct Rhs {
+    /// Vertical coordinate tables.
+    pub vert: VertCoord,
+    /// Problem dimensions.
+    pub dims: Dims,
+}
+
+impl Rhs {
+    /// Construct; `vert.nlev` must match `dims.nlev`.
+    pub fn new(vert: VertCoord, dims: Dims) -> Self {
+        assert_eq!(vert.nlev, dims.nlev, "vertical tables disagree with dims");
+        Rhs { vert, dims }
+    }
+
+    /// Evaluate the dynamics tendencies of one element into `tend`.
+    pub fn element_tend(&self, op: &ElemOps, es: &ElemState, tend: &mut ElemTend) {
+        element_rhs_raw(
+            op,
+            self.dims.nlev,
+            self.vert.ptop(),
+            &es.u,
+            &es.v,
+            &es.t,
+            &es.dp3d,
+            &es.phis,
+            &mut tend.u,
+            &mut tend.v,
+            &mut tend.t,
+            &mut tend.dp3d,
+        );
+    }
+}
+
+/// The raw `compute_and_apply_rhs` math on flat `[nlev][NPTS]` slices —
+/// shared by the dycore driver and every kernel variant.
+#[allow(clippy::too_many_arguments)]
+pub fn element_rhs_raw(
+    op: &ElemOps,
+    nlev: usize,
+    ptop: f64,
+    es_u: &[f64],
+    es_v: &[f64],
+    es_t: &[f64],
+    es_dp3d: &[f64],
+    es_phis: &[f64],
+    tend_u: &mut [f64],
+    tend_v: &mut [f64],
+    tend_t: &mut [f64],
+    tend_dp3d: &mut [f64],
+) {
+    {
+        struct EsView<'a> {
+            u: &'a [f64],
+            v: &'a [f64],
+            t: &'a [f64],
+            dp3d: &'a [f64],
+            phis: &'a [f64],
+        }
+        let es = EsView { u: es_u, v: es_v, t: es_t, dp3d: es_dp3d, phis: es_phis };
+        let tend = TendView { u: tend_u, v: tend_v, t: tend_t, dp3d: tend_dp3d };
+        struct TendView<'a> {
+            u: &'a mut [f64],
+            v: &'a mut [f64],
+            t: &'a mut [f64],
+            dp3d: &'a mut [f64],
+        }
+        let tend = tend;
+
+        // --- column scans -------------------------------------------------
+        let mut p_int = vec![0.0; (nlev + 1) * NPTS];
+        let mut p_mid = vec![0.0; nlev * NPTS];
+        pressure_scan(nlev, ptop, &es.dp3d, &mut p_int, &mut p_mid);
+        let mut phi_mid = vec![0.0; nlev * NPTS];
+        geopotential_scan(nlev, &es.phis, &es.t, &p_int, &p_mid, &mut phi_mid);
+
+        // --- per-level horizontal operators -------------------------------
+        // div(v dp) per level, needed by the omega scan and the dp tendency.
+        let mut divdp = vec![0.0; nlev * NPTS];
+        let mut vgrad_p = vec![0.0; nlev * NPTS];
+        for k in 0..nlev {
+            let r = k * NPTS..(k + 1) * NPTS;
+            let u = &es.u[r.clone()];
+            let v = &es.v[r.clone()];
+            let dp = &es.dp3d[r.clone()];
+            let mut udp = [0.0; NPTS];
+            let mut vdp = [0.0; NPTS];
+            for p in 0..NPTS {
+                udp[p] = u[p] * dp[p];
+                vdp[p] = v[p] * dp[p];
+            }
+            let mut div = [0.0; NPTS];
+            op.divergence_sphere(&udp, &vdp, &mut div);
+            divdp[r.clone()].copy_from_slice(&div);
+
+            let mut gpx = [0.0; NPTS];
+            let mut gpy = [0.0; NPTS];
+            op.gradient_sphere(&p_mid[r.clone()], &mut gpx, &mut gpy);
+            for p in 0..NPTS {
+                vgrad_p[k * NPTS + p] = u[p] * gpx[p] + v[p] * gpy[p];
+            }
+        }
+
+        // --- omega/p scan --------------------------------------------------
+        // omega/p(k) = (vgrad_p(k) - sum_{l<k} divdp(l) - 0.5 divdp(k)) / pmid(k)
+        let mut omega_p = vec![0.0; nlev * NPTS];
+        let mut acc = [0.0; NPTS];
+        for k in 0..nlev {
+            for p in 0..NPTS {
+                let i = k * NPTS + p;
+                omega_p[i] = (vgrad_p[i] - acc[p] - 0.5 * divdp[i]) / p_mid[i];
+                acc[p] += divdp[i];
+            }
+        }
+
+        // --- tendencies -----------------------------------------------------
+        let kappa = RD / CP;
+        for k in 0..nlev {
+            let r = k * NPTS..(k + 1) * NPTS;
+            let u = &es.u[r.clone()];
+            let v = &es.v[r.clone()];
+            let t = &es.t[r.clone()];
+
+            let mut vort = [0.0; NPTS];
+            op.vorticity_sphere(u, v, &mut vort);
+
+            // Energy E = phi + KE; grad E.
+            let mut energy = [0.0; NPTS];
+            for p in 0..NPTS {
+                energy[p] = phi_mid[k * NPTS + p] + 0.5 * (u[p] * u[p] + v[p] * v[p]);
+            }
+            let mut gex = [0.0; NPTS];
+            let mut gey = [0.0; NPTS];
+            op.gradient_sphere(&energy, &mut gex, &mut gey);
+
+            let mut gpx = [0.0; NPTS];
+            let mut gpy = [0.0; NPTS];
+            op.gradient_sphere(&p_mid[r.clone()], &mut gpx, &mut gpy);
+
+            let mut gtx = [0.0; NPTS];
+            let mut gty = [0.0; NPTS];
+            op.gradient_sphere(t, &mut gtx, &mut gty);
+
+            for p in 0..NPTS {
+                let i = k * NPTS + p;
+                let abs_vort = op.fcor[p] + vort[p];
+                let rtp = RD * t[p] / p_mid[i];
+                tend.u[i] = abs_vort * v[p] - gex[p] - rtp * gpx[p];
+                tend.v[i] = -abs_vort * u[p] - gey[p] - rtp * gpy[p];
+                tend.t[i] = -(u[p] * gtx[p] + v[p] * gty[p]) + kappa * t[p] * omega_p[i];
+                tend.dp3d[i] = -divdp[i];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deriv::build_ops;
+    use crate::state::State;
+    use cubesphere::consts::{EARTH_RADIUS, OMEGA, P0};
+    use cubesphere::CubedSphere;
+
+    fn resting_isothermal(grid: &CubedSphere, vert: &VertCoord, dims: Dims) -> State {
+        let mut st = State::zeros(dims, grid.nelem());
+        for (e, es) in st.elems.iter_mut().enumerate() {
+            let _ = e;
+            for k in 0..dims.nlev {
+                for p in 0..NPTS {
+                    es.t[dims.at(k, p)] = 300.0;
+                    es.dp3d[dims.at(k, p)] = vert.dp_ref(k, P0);
+                }
+            }
+        }
+        st
+    }
+
+    #[test]
+    fn pressure_scan_matches_direct_sum() {
+        let nlev = 8;
+        let dp: Vec<f64> = (0..nlev * NPTS).map(|i| 100.0 + (i % 7) as f64).collect();
+        let mut p_int = vec![0.0; (nlev + 1) * NPTS];
+        let mut p_mid = vec![0.0; nlev * NPTS];
+        pressure_scan(nlev, 50.0, &dp, &mut p_int, &mut p_mid);
+        for p in 0..NPTS {
+            let mut acc = 50.0;
+            for k in 0..nlev {
+                assert!((p_int[k * NPTS + p] - acc).abs() < 1e-12);
+                assert!((p_mid[k * NPTS + p] - (acc + 0.5 * dp[k * NPTS + p])).abs() < 1e-12);
+                acc += dp[k * NPTS + p];
+            }
+            assert!((p_int[nlev * NPTS + p] - acc).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn geopotential_of_isothermal_column_is_analytic() {
+        // Isothermal: phi(p) = phis + Rd T ln(ps / p).
+        let nlev = 16;
+        let vert = VertCoord::standard(nlev, 200.0);
+        let t0 = 280.0;
+        let dp: Vec<f64> = (0..nlev)
+            .flat_map(|k| std::iter::repeat(vert.dp_ref(k, P0)).take(NPTS))
+            .collect();
+        let t = vec![t0; nlev * NPTS];
+        let phis = vec![123.0; NPTS];
+        let mut p_int = vec![0.0; (nlev + 1) * NPTS];
+        let mut p_mid = vec![0.0; nlev * NPTS];
+        pressure_scan(nlev, vert.ptop(), &dp, &mut p_int, &mut p_mid);
+        let mut phi = vec![0.0; nlev * NPTS];
+        geopotential_scan(nlev, &phis, &t, &p_int, &p_mid, &mut phi);
+        for k in 0..nlev {
+            for p in 0..NPTS {
+                let expect = 123.0 + RD * t0 * (P0 / p_mid[k * NPTS + p]).ln();
+                let got = phi[k * NPTS + p];
+                assert!(
+                    (got - expect).abs() < 1e-6 * expect.abs().max(1.0),
+                    "k={k}: {got} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resting_isothermal_atmosphere_is_steady() {
+        let grid = CubedSphere::new(2);
+        let ops = build_ops(&grid);
+        let dims = Dims { nlev: 8, qsize: 0 };
+        let vert = VertCoord::standard(8, 200.0);
+        let st = resting_isothermal(&grid, &vert, dims);
+        let rhs = Rhs::new(vert, dims);
+        let mut tend = ElemTend::zeros(dims);
+        for (op, es) in ops.iter().zip(&st.elems) {
+            rhs.element_tend(op, es, &mut tend);
+            for i in 0..dims.field_len() {
+                assert!(tend.u[i].abs() < 1e-12, "du = {}", tend.u[i]);
+                assert!(tend.v[i].abs() < 1e-12, "dv = {}", tend.v[i]);
+                assert!(tend.t[i].abs() < 1e-12, "dT = {}", tend.t[i]);
+                assert!(tend.dp3d[i].abs() < 1e-12, "ddp = {}", tend.dp3d[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_solid_body_rotation_has_small_residual() {
+        // u = u0 cos(lat), T = T0, ps = p0 exp(-(a O u0 + u0^2/2) sin^2(lat)
+        // / (Rd T0)) is an exact steady state; the discrete residual must be
+        // small relative to the Coriolis term and shrink with resolution.
+        let t0 = 300.0;
+        let u0 = 40.0;
+        let c = (EARTH_RADIUS * OMEGA * u0 + 0.5 * u0 * u0) / (RD * t0);
+        let residual = |ne: usize| -> f64 {
+            let grid = CubedSphere::new(ne);
+            let ops = build_ops(&grid);
+            let nlev = 6;
+            let dims = Dims { nlev, qsize: 0 };
+            let vert = VertCoord::standard(nlev, 200.0);
+            let mut st = State::zeros(dims, grid.nelem());
+            for (es, el) in st.elems.iter_mut().zip(&grid.elements) {
+                for p in 0..NPTS {
+                    let lat = el.metric[p].lat;
+                    let ps = P0 * (-c * lat.sin() * lat.sin()).exp();
+                    for k in 0..nlev {
+                        es.u[dims.at(k, p)] = u0 * lat.cos();
+                        es.t[dims.at(k, p)] = t0;
+                        es.dp3d[dims.at(k, p)] = vert.dp_ref(k, ps);
+                    }
+                }
+            }
+            let rhs = Rhs::new(vert, dims);
+            let mut tend = ElemTend::zeros(dims);
+            let mut worst: f64 = 0.0;
+            for (op, es) in ops.iter().zip(&st.elems) {
+                rhs.element_tend(op, es, &mut tend);
+                for i in 0..dims.field_len() {
+                    worst = worst.max(tend.u[i].abs().max(tend.v[i].abs()));
+                }
+            }
+            worst
+        };
+        let coriolis_scale = 2.0 * OMEGA * u0; // ~ 6e-3 m/s^2
+        let r4 = residual(4);
+        let r8 = residual(8);
+        assert!(r4 < 0.05 * coriolis_scale, "ne4 residual {r4}");
+        assert!(r8 < r4 / 3.0, "no convergence: {r4} -> {r8}");
+    }
+}

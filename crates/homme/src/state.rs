@@ -1,0 +1,204 @@
+//! Prognostic state of the dynamical core.
+//!
+//! Per element, per layer, per GLL point: horizontal velocity `(u, v)`
+//! (physical east/north components, m/s), temperature `T` (K), layer
+//! pressure thickness `dp3d` (Pa, the vertically-Lagrangian prognostic),
+//! and tracer mass `qdp = q * dp3d` (Pa kg/kg). Layout is
+//! `[level][gll point]` with the 16 GLL values of one level contiguous —
+//! the horizontal operators work on 16-point slices, while vertical scans
+//! stride by `NPTS` (the axis switch whose cost motivates the paper's
+//! shuffle transposition, Section 7.5).
+
+use cubesphere::NPTS;
+
+/// Problem dimensions shared by all state containers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dims {
+    /// Vertical layers.
+    pub nlev: usize,
+    /// Number of advected tracers.
+    pub qsize: usize,
+}
+
+impl Dims {
+    /// Values per 3-D field per element.
+    #[inline]
+    pub fn field_len(&self) -> usize {
+        self.nlev * NPTS
+    }
+
+    /// Flat index of `(k, p)`.
+    #[inline]
+    pub fn at(&self, k: usize, p: usize) -> usize {
+        debug_assert!(k < self.nlev && p < NPTS);
+        k * NPTS + p
+    }
+
+    /// Flat index of `(q, k, p)` in a tracer array.
+    #[inline]
+    pub fn atq(&self, q: usize, k: usize, p: usize) -> usize {
+        debug_assert!(q < self.qsize);
+        (q * self.nlev + k) * NPTS + p
+    }
+}
+
+/// Prognostic + fixed fields of one element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElemState {
+    /// Eastward wind, `[nlev][NPTS]`.
+    pub u: Vec<f64>,
+    /// Northward wind, `[nlev][NPTS]`.
+    pub v: Vec<f64>,
+    /// Temperature, `[nlev][NPTS]`.
+    pub t: Vec<f64>,
+    /// Layer pressure thickness, `[nlev][NPTS]`.
+    pub dp3d: Vec<f64>,
+    /// Tracer mass, `[qsize][nlev][NPTS]`.
+    pub qdp: Vec<f64>,
+    /// Surface geopotential (fixed), `[NPTS]`.
+    pub phis: Vec<f64>,
+}
+
+impl ElemState {
+    /// Zero-initialized state.
+    pub fn zeros(dims: Dims) -> Self {
+        let n = dims.field_len();
+        ElemState {
+            u: vec![0.0; n],
+            v: vec![0.0; n],
+            t: vec![0.0; n],
+            dp3d: vec![0.0; n],
+            qdp: vec![0.0; dims.qsize * n],
+            phis: vec![0.0; NPTS],
+        }
+    }
+
+    /// Diagnostic surface pressure: `ptop + sum_k dp3d`.
+    pub fn surface_pressure(&self, dims: Dims, ptop: f64, p: usize) -> f64 {
+        let mut ps = ptop;
+        for k in 0..dims.nlev {
+            ps += self.dp3d[dims.at(k, p)];
+        }
+        ps
+    }
+
+    /// `a += s * b` over every prognostic field (used by RK stages).
+    pub fn axpy(&mut self, s: f64, other: &ElemState) {
+        for (a, b) in self.u.iter_mut().zip(&other.u) {
+            *a += s * b;
+        }
+        for (a, b) in self.v.iter_mut().zip(&other.v) {
+            *a += s * b;
+        }
+        for (a, b) in self.t.iter_mut().zip(&other.t) {
+            *a += s * b;
+        }
+        for (a, b) in self.dp3d.iter_mut().zip(&other.dp3d) {
+            *a += s * b;
+        }
+        for (a, b) in self.qdp.iter_mut().zip(&other.qdp) {
+            *a += s * b;
+        }
+    }
+}
+
+/// The whole (local) model state: one [`ElemState`] per owned element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct State {
+    /// Shared dimensions.
+    pub dims: Dims,
+    /// Per-element states, indexed like the grid's element list.
+    pub elems: Vec<ElemState>,
+}
+
+impl State {
+    /// Zero state for `nelem` elements.
+    pub fn zeros(dims: Dims, nelem: usize) -> Self {
+        State { dims, elems: (0..nelem).map(|_| ElemState::zeros(dims)).collect() }
+    }
+
+    /// Maximum absolute difference of all prognostic fields vs `other`
+    /// (used by the variant-equivalence tests).
+    pub fn max_abs_diff(&self, other: &State) -> f64 {
+        let mut m: f64 = 0.0;
+        for (a, b) in self.elems.iter().zip(&other.elems) {
+            for (x, y) in a.u.iter().zip(&b.u) {
+                m = m.max((x - y).abs());
+            }
+            for (x, y) in a.v.iter().zip(&b.v) {
+                m = m.max((x - y).abs());
+            }
+            for (x, y) in a.t.iter().zip(&b.t) {
+                m = m.max((x - y).abs());
+            }
+            for (x, y) in a.dp3d.iter().zip(&b.dp3d) {
+                m = m.max((x - y).abs());
+            }
+            for (x, y) in a.qdp.iter().zip(&b.qdp) {
+                m = m.max((x - y).abs());
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_layout() {
+        let d = Dims { nlev: 4, qsize: 2 };
+        assert_eq!(d.field_len(), 64);
+        assert_eq!(d.at(0, 0), 0);
+        assert_eq!(d.at(1, 0), NPTS);
+        assert_eq!(d.at(3, 15), 63);
+        assert_eq!(d.atq(1, 0, 0), 64);
+        assert_eq!(d.atq(1, 3, 15), 127);
+    }
+
+    #[test]
+    fn surface_pressure_accumulates() {
+        let d = Dims { nlev: 3, qsize: 0 };
+        let mut e = ElemState::zeros(d);
+        for k in 0..3 {
+            for p in 0..NPTS {
+                e.dp3d[d.at(k, p)] = 100.0 * (k + 1) as f64;
+            }
+        }
+        assert_eq!(e.surface_pressure(d, 50.0, 7), 650.0);
+    }
+
+    #[test]
+    fn axpy_touches_all_prognostics() {
+        let d = Dims { nlev: 2, qsize: 1 };
+        let mut a = ElemState::zeros(d);
+        let mut b = ElemState::zeros(d);
+        b.u[0] = 1.0;
+        b.v[1] = 2.0;
+        b.t[2] = 3.0;
+        b.dp3d[3] = 4.0;
+        b.qdp[4] = 5.0;
+        a.axpy(2.0, &b);
+        assert_eq!(a.u[0], 2.0);
+        assert_eq!(a.v[1], 4.0);
+        assert_eq!(a.t[2], 6.0);
+        assert_eq!(a.dp3d[3], 8.0);
+        assert_eq!(a.qdp[4], 10.0);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_every_field() {
+        let d = Dims { nlev: 1, qsize: 1 };
+        let a = State::zeros(d, 2);
+        for (field, idx) in [("u", 0), ("qdp", 5)] {
+            let mut b = a.clone();
+            match field {
+                "u" => b.elems[1].u[idx] = 0.5,
+                _ => b.elems[1].qdp[idx] = 0.5,
+            }
+            assert_eq!(a.max_abs_diff(&b), 0.5);
+        }
+        assert_eq!(a.max_abs_diff(&a), 0.0);
+    }
+}

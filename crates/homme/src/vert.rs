@@ -1,0 +1,115 @@
+//! Hybrid pressure vertical coordinate.
+//!
+//! CAM-SE uses a terrain-following hybrid coordinate: interface pressures
+//! are `p(k) = hyai(k) p0 + hybi(k) ps`. The dynamical core is *vertically
+//! Lagrangian* — layer pressure thicknesses `dp3d` evolve freely during a
+//! dynamics step and are remapped back to these reference levels by
+//! `vertical_remap` (the Table 1 kernel). The paper's experiments run 128
+//! layers; the reproduction keeps the layer count configurable.
+
+use cubesphere::consts::P0;
+
+/// Hybrid-coordinate coefficient tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VertCoord {
+    /// Number of layers.
+    pub nlev: usize,
+    /// Interface `A` coefficients, length `nlev + 1`, `hyai[0]` at the top.
+    pub hyai: Vec<f64>,
+    /// Interface `B` coefficients, length `nlev + 1`.
+    pub hybi: Vec<f64>,
+    /// Midpoint `A` coefficients, length `nlev`.
+    pub hyam: Vec<f64>,
+    /// Midpoint `B` coefficients, length `nlev`.
+    pub hybm: Vec<f64>,
+}
+
+impl VertCoord {
+    /// Standard table: model top at `ptop`, pure sigma at the surface,
+    /// transitioning linearly in between (`A(eta) = eta_top (1 - s)`,
+    /// `B(eta) = s` with `s` uniform in [0, 1]).
+    ///
+    /// # Panics
+    /// Panics if `nlev == 0` or `ptop` is not in `(0, P0)`.
+    pub fn standard(nlev: usize, ptop: f64) -> Self {
+        assert!(nlev > 0, "nlev must be positive");
+        assert!(ptop > 0.0 && ptop < P0, "ptop {ptop} out of range");
+        let eta_top = ptop / P0;
+        let mut hyai = Vec::with_capacity(nlev + 1);
+        let mut hybi = Vec::with_capacity(nlev + 1);
+        for i in 0..=nlev {
+            let s = i as f64 / nlev as f64;
+            hyai.push(eta_top * (1.0 - s));
+            hybi.push(s);
+        }
+        let hyam = (0..nlev).map(|k| 0.5 * (hyai[k] + hyai[k + 1])).collect();
+        let hybm = (0..nlev).map(|k| 0.5 * (hybi[k] + hybi[k + 1])).collect();
+        VertCoord { nlev, hyai, hybi, hyam, hybm }
+    }
+
+    /// Model-top pressure, Pa.
+    #[inline]
+    pub fn ptop(&self) -> f64 {
+        self.hyai[0] * P0
+    }
+
+    /// Interface pressure `k` (0 = top, `nlev` = surface) for surface
+    /// pressure `ps`.
+    #[inline]
+    pub fn p_int(&self, k: usize, ps: f64) -> f64 {
+        self.hyai[k] * P0 + self.hybi[k] * ps
+    }
+
+    /// Midpoint pressure of layer `k` for surface pressure `ps`.
+    #[inline]
+    pub fn p_mid(&self, k: usize, ps: f64) -> f64 {
+        self.hyam[k] * P0 + self.hybm[k] * ps
+    }
+
+    /// Reference layer thickness `dp(k)` for surface pressure `ps`.
+    #[inline]
+    pub fn dp_ref(&self, k: usize, ps: f64) -> f64 {
+        (self.hyai[k + 1] - self.hyai[k]) * P0 + (self.hybi[k + 1] - self.hybi[k]) * ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_conditions() {
+        let v = VertCoord::standard(30, 500.0);
+        assert!((v.ptop() - 500.0).abs() < 1e-9);
+        // Top interface: pure A; surface interface: pure B.
+        assert!((v.p_int(0, 98_000.0) - 500.0).abs() < 1e-9);
+        assert!((v.p_int(30, 98_000.0) - 98_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thicknesses_sum_to_column() {
+        let v = VertCoord::standard(20, 200.0);
+        for &ps in &[90_000.0, 100_000.0, 103_000.0] {
+            let total: f64 = (0..20).map(|k| v.dp_ref(k, ps)).sum();
+            assert!((total - (ps - v.ptop())).abs() < 1e-6, "ps={ps}: {total}");
+        }
+    }
+
+    #[test]
+    fn interfaces_monotone_and_midpoints_between() {
+        let v = VertCoord::standard(16, 300.0);
+        let ps = 101_325.0;
+        for k in 0..16 {
+            assert!(v.p_int(k, ps) < v.p_int(k + 1, ps));
+            assert!(v.p_mid(k, ps) > v.p_int(k, ps));
+            assert!(v.p_mid(k, ps) < v.p_int(k + 1, ps));
+            assert!(v.dp_ref(k, ps) > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_ptop() {
+        let _ = VertCoord::standard(10, 200_000.0);
+    }
+}

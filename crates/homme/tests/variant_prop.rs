@@ -1,0 +1,68 @@
+//! Property-style sweeps of the kernel-variant equivalence: the Athread and
+//! OpenACC rewrites must match the reference across the size space the
+//! decomposition supports, not just one lucky configuration.
+
+use homme::kernels::{verify, KernelData, KernelId, Variant};
+
+#[test]
+fn athread_matches_reference_across_sizes() {
+    let env = verify::KernelEnv::default();
+    // (nelem, nlev, qsize): nlev multiples of 32 cover the remap
+    // transposition constraint; nelem both multiples of 8 and ragged.
+    let cases = [
+        (8usize, 32usize, 1usize),
+        (16, 32, 2),
+        (24, 32, 5),
+        (12, 64, 3), // ragged element count: idle CPE columns
+        (8, 64, 2),
+        (32, 32, 4),
+    ];
+    for (seed, &(nelem, nlev, qsize)) in cases.iter().enumerate() {
+        for kernel in KernelId::ALL {
+            let mut reference = KernelData::synth(nelem, nlev, qsize, 9_000 + seed as u64);
+            verify::run(kernel, Variant::Reference, &mut reference, &env);
+            let mut other = KernelData::synth(nelem, nlev, qsize, 9_000 + seed as u64);
+            verify::run(kernel, Variant::Athread, &mut other, &env);
+            let diff = verify::output_diff(kernel, &reference, &other);
+            assert!(
+                diff < 1e-7,
+                "{} athread differs by {diff} at ({nelem}, {nlev}, {qsize})",
+                kernel.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn openacc_matches_reference_across_sizes() {
+    let env = verify::KernelEnv::default();
+    let cases = [(8usize, 16usize, 2usize), (20, 32, 4), (64, 8, 1)];
+    for (seed, &(nelem, nlev, qsize)) in cases.iter().enumerate() {
+        for kernel in KernelId::ALL {
+            let mut reference = KernelData::synth(nelem, nlev, qsize, 9_100 + seed as u64);
+            verify::run(kernel, Variant::Reference, &mut reference, &env);
+            let mut other = KernelData::synth(nelem, nlev, qsize, 9_100 + seed as u64);
+            verify::run(kernel, Variant::OpenAcc, &mut other, &env);
+            let diff = verify::output_diff(kernel, &reference, &other);
+            assert!(
+                diff < 1e-9,
+                "{} openacc differs by {diff} at ({nelem}, {nlev}, {qsize})",
+                kernel.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn athread_counters_scale_with_workload() {
+    // DMA traffic of the Athread euler_step is an exact affine function of
+    // the workload: doubling the elements doubles every counter.
+    let env = verify::KernelEnv::default();
+    let mut small = KernelData::synth(8, 32, 3, 77);
+    let mut big = KernelData::synth(16, 32, 3, 77);
+    let a = verify::run(KernelId::EulerStep, Variant::Athread, &mut small, &env).counters;
+    let b = verify::run(KernelId::EulerStep, Variant::Athread, &mut big, &env).counters;
+    assert_eq!(b.dma_bytes_in, 2 * a.dma_bytes_in);
+    assert_eq!(b.dma_bytes_out, 2 * a.dma_bytes_out);
+    assert_eq!(b.vflops, 2 * a.vflops);
+}

@@ -1,0 +1,123 @@
+//! Observed best track of Hurricane Katrina (NOAA/NHC public record,
+//! 6-hourly, 2005-08-23 18 UTC through 2005-08-31 06 UTC).
+//!
+//! This is the same observational reference the paper plots in Figure 9
+//! (c) and (d): positions from the National Hurricane Center best track,
+//! maximum sustained winds in knots.
+
+/// One best-track fix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BestTrackPoint {
+    /// Hours since the first fix (2005-08-23 18 UTC).
+    pub hours: f64,
+    /// Latitude, degrees north.
+    pub lat: f64,
+    /// Longitude, degrees east (negative = west).
+    pub lon: f64,
+    /// Maximum sustained wind, knots.
+    pub msw_kt: f64,
+    /// Minimum central pressure, hPa.
+    pub min_p_hpa: f64,
+}
+
+/// The observed record (abridged 6–12-hourly fixes covering genesis,
+/// Florida landfall, Gulf intensification to Category 5, Louisiana
+/// landfall, and decay).
+pub const OBSERVED: &[BestTrackPoint] = &[
+    BestTrackPoint { hours: 0.0, lat: 23.1, lon: -75.1, msw_kt: 30.0, min_p_hpa: 1008.0 },
+    BestTrackPoint { hours: 12.0, lat: 23.4, lon: -75.7, msw_kt: 35.0, min_p_hpa: 1007.0 },
+    BestTrackPoint { hours: 24.0, lat: 24.5, lon: -76.5, msw_kt: 45.0, min_p_hpa: 1003.0 },
+    BestTrackPoint { hours: 36.0, lat: 26.0, lon: -77.7, msw_kt: 55.0, min_p_hpa: 994.0 },
+    BestTrackPoint { hours: 48.0, lat: 26.2, lon: -79.6, msw_kt: 70.0, min_p_hpa: 984.0 },
+    BestTrackPoint { hours: 60.0, lat: 25.4, lon: -81.3, msw_kt: 65.0, min_p_hpa: 987.0 },
+    BestTrackPoint { hours: 72.0, lat: 24.9, lon: -83.3, msw_kt: 85.0, min_p_hpa: 959.0 },
+    BestTrackPoint { hours: 84.0, lat: 24.4, lon: -84.6, msw_kt: 95.0, min_p_hpa: 942.0 },
+    BestTrackPoint { hours: 96.0, lat: 24.8, lon: -86.2, msw_kt: 100.0, min_p_hpa: 948.0 },
+    BestTrackPoint { hours: 108.0, lat: 25.2, lon: -87.7, msw_kt: 125.0, min_p_hpa: 930.0 },
+    BestTrackPoint { hours: 120.0, lat: 26.3, lon: -88.6, msw_kt: 145.0, min_p_hpa: 902.0 },
+    BestTrackPoint { hours: 132.0, lat: 28.2, lon: -89.6, msw_kt: 125.0, min_p_hpa: 905.0 },
+    BestTrackPoint { hours: 138.0, lat: 29.5, lon: -89.6, msw_kt: 110.0, min_p_hpa: 920.0 },
+    BestTrackPoint { hours: 144.0, lat: 31.1, lon: -89.6, msw_kt: 80.0, min_p_hpa: 948.0 },
+    BestTrackPoint { hours: 156.0, lat: 34.1, lon: -88.6, msw_kt: 40.0, min_p_hpa: 985.0 },
+    BestTrackPoint { hours: 168.0, lat: 37.0, lon: -87.0, msw_kt: 30.0, min_p_hpa: 995.0 },
+    BestTrackPoint { hours: 180.0, lat: 40.1, lon: -82.9, msw_kt: 25.0, min_p_hpa: 1006.0 },
+];
+
+/// Knots per m/s.
+pub const KT_PER_MS: f64 = 1.943_844;
+
+/// Linear interpolation of the observed position at `hours`.
+pub fn observed_position(hours: f64) -> (f64, f64) {
+    let t = hours.clamp(0.0, OBSERVED.last().expect("non-empty").hours);
+    let i = OBSERVED
+        .windows(2)
+        .position(|w| t >= w[0].hours && t <= w[1].hours)
+        .unwrap_or(OBSERVED.len() - 2);
+    let (a, b) = (&OBSERVED[i], &OBSERVED[i + 1]);
+    let f = (t - a.hours) / (b.hours - a.hours);
+    (a.lat + f * (b.lat - a.lat), a.lon + f * (b.lon - a.lon))
+}
+
+/// Observed storm-motion ("steering") velocity at `hours`, in degrees of
+/// latitude/longitude per hour.
+pub fn observed_steering(hours: f64) -> (f64, f64) {
+    let t = hours.clamp(0.0, OBSERVED.last().expect("non-empty").hours - 1e-9);
+    let i = OBSERVED
+        .windows(2)
+        .position(|w| t >= w[0].hours && t < w[1].hours)
+        .unwrap_or(OBSERVED.len() - 2);
+    let (a, b) = (&OBSERVED[i], &OBSERVED[i + 1]);
+    let dt = b.hours - a.hours;
+    ((b.lat - a.lat) / dt, (b.lon - a.lon) / dt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_is_chronological_and_plausible() {
+        for w in OBSERVED.windows(2) {
+            assert!(w[1].hours > w[0].hours);
+        }
+        for p in OBSERVED {
+            assert!((20.0..45.0).contains(&p.lat));
+            assert!((-95.0..-70.0).contains(&p.lon));
+            assert!((20.0..160.0).contains(&p.msw_kt));
+            assert!((890.0..1015.0).contains(&p.min_p_hpa));
+        }
+    }
+
+    #[test]
+    fn peak_is_category_five_in_the_gulf() {
+        let peak = OBSERVED.iter().cloned().reduce(|a, b| if b.msw_kt > a.msw_kt { b } else { a }).unwrap();
+        assert!(peak.msw_kt >= 140.0);
+        assert!(peak.min_p_hpa <= 905.0);
+        assert!(peak.hours > 96.0 && peak.hours < 132.0, "peak in the central Gulf");
+    }
+
+    #[test]
+    fn interpolation_hits_fixes_exactly() {
+        let (lat, lon) = observed_position(120.0);
+        assert!((lat - 26.3).abs() < 1e-12 && (lon + 88.6).abs() < 1e-12);
+        let (lat2, _) = observed_position(126.0);
+        assert!(lat2 > 26.3 && lat2 < 28.2, "midpoint interpolates");
+    }
+
+    #[test]
+    fn steering_points_northwest_then_north() {
+        // Early: moving west/southwest-ish; at the end: accelerating
+        // north-northeast.
+        let (dlat_early, dlon_early) = observed_steering(30.0);
+        assert!(dlon_early < 0.0, "westward early");
+        let (dlat_late, dlon_late) = observed_steering(150.0);
+        assert!(dlat_late > 0.0, "northward late");
+        assert!(dlat_late > dlat_early.abs());
+        let _ = dlon_late;
+    }
+
+    #[test]
+    fn unit_conversion() {
+        assert!((KT_PER_MS * 51.4 - 100.0).abs() < 0.5, "100 kt ~ 51.4 m/s");
+    }
+}

@@ -1,0 +1,265 @@
+//! Analytic initial tropical-cyclone vortex (after Reed & Jablonowski
+//! 2011), placed on the model sphere in gradient-wind balance.
+//!
+//! The real Katrina run initialized CAM from analysis data; the
+//! reproduction substitutes the standard analytic TC seed the community
+//! uses for exactly this purpose: a warm-core low with a prescribed surface
+//! pressure deficit, a moist tropical sounding, and a balanced tangential
+//! wind that decays with height.
+
+use cubesphere::consts::{GRAV, P0, RD};
+use cubesphere::Vec3;
+
+/// Vortex parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VortexParams {
+    /// Center latitude, radians.
+    pub lat0: f64,
+    /// Center longitude, radians.
+    pub lon0: f64,
+    /// Surface pressure deficit at the center, Pa.
+    pub dp: f64,
+    /// Radial size parameter, m (on the *physical* planet in use).
+    pub rp: f64,
+    /// Vertical decay scale of the wind/pressure anomaly, m.
+    pub zp: f64,
+    /// Surface temperature of the background sounding, K.
+    pub ts: f64,
+    /// Tropospheric lapse rate, K/m.
+    pub gamma: f64,
+    /// Surface specific humidity, kg/kg.
+    pub q0: f64,
+    /// Humidity decay scales, m.
+    pub zq1: f64,
+    /// Second (quadratic) humidity decay scale, m.
+    pub zq2: f64,
+    /// Coriolis parameter at the vortex center, 1/s.
+    pub fc: f64,
+}
+
+impl VortexParams {
+    /// Reed–Jablonowski defaults, with the radial scale expressed relative
+    /// to the planet in use (`radius`): on Earth `rp ~ 282 km`.
+    pub fn reed_jablonowski(lat0: f64, lon0: f64, radius: f64, omega: f64) -> Self {
+        let earth_rp = 282_000.0;
+        VortexParams {
+            lat0,
+            lon0,
+            dp: 1115.0,
+            rp: earth_rp * radius / cubesphere::EARTH_RADIUS,
+            zp: 7000.0,
+            ts: 302.15,
+            gamma: 0.007,
+            q0: 0.021,
+            zq1: 3000.0,
+            zq2: 8000.0,
+            fc: 2.0 * omega * lat0.sin(),
+        }
+    }
+
+    /// Great-circle distance (m) from the vortex center to `(lat, lon)` on
+    /// a sphere of radius `radius`.
+    pub fn distance(&self, lat: f64, lon: f64, radius: f64) -> f64 {
+        let a = Vec3::new(
+            self.lat0.cos() * self.lon0.cos(),
+            self.lat0.cos() * self.lon0.sin(),
+            self.lat0.sin(),
+        );
+        let b = Vec3::new(lat.cos() * lon.cos(), lat.cos() * lon.sin(), lat.sin());
+        cubesphere::geom::great_circle(a, b) * radius
+    }
+
+    /// Surface pressure at radius `r` from the center.
+    pub fn ps(&self, r: f64) -> f64 {
+        P0 - self.dp * (-(r / self.rp).powf(1.5)).exp()
+    }
+
+    /// Background temperature at height `z` (capped tropopause).
+    pub fn t_background(&self, z: f64) -> f64 {
+        (self.ts - self.gamma * z).max(200.0)
+    }
+
+    /// Background specific humidity at height `z`.
+    pub fn q_background(&self, z: f64) -> f64 {
+        if z > 15_000.0 {
+            1.0e-8
+        } else {
+            self.q0 * (-z / self.zq1).exp() * (-(z / self.zq2).powi(2)).exp()
+        }
+    }
+
+    /// Approximate height of pressure level `p` in the background sounding
+    /// (isothermal-layer inversion of the hypsometric equation).
+    pub fn z_of_p(&self, p: f64) -> f64 {
+        // Constant-lapse-rate atmosphere: z = Ts/Gamma (1 - (p/p0)^(R Gamma/g)).
+        let ex = RD * self.gamma / GRAV;
+        self.ts / self.gamma * (1.0 - (p / P0).powf(ex))
+    }
+
+    /// Gradient-wind-balanced tangential speed at radius `r`, height `z`
+    /// (positive = cyclonic).
+    pub fn tangential_wind(&self, r: f64, z: f64) -> f64 {
+        if r < 1.0 {
+            return 0.0;
+        }
+        let decay = (-(z / self.zp).powi(2)).exp();
+        // Radial pressure-gradient force per unit mass from the ps profile:
+        // (1/rho) dp/dr with the anomaly decaying in height.
+        let x = (r / self.rp).powf(1.5);
+        let dpdr = self.dp * 1.5 * x / r * (-x).exp() * decay;
+        let rho = P0 / (RD * self.t_background(z));
+        let f = self.fc.abs();
+        let v = -f * r / 2.0 + ((f * r / 2.0).powi(2) + r * dpdr / rho).sqrt();
+        if self.fc >= 0.0 {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// The full initial condition at `(lat, lon, p)`: returns
+    /// `(u, v, T, qv)`. The wind is tangential around the center.
+    pub fn state_at(&self, lat: f64, lon: f64, p: f64, radius: f64) -> (f64, f64, f64, f64) {
+        let z = self.z_of_p(p);
+        let r = self.distance(lat, lon, radius);
+        let vt = self.tangential_wind(r, z);
+        // Unit vector tangential (counter-clockwise around the center for
+        // northern-hemisphere cyclones): rotate the radial direction by 90
+        // degrees in the local tangent plane.
+        let (du, dv) = self.tangential_direction(lat, lon);
+        // Warm core in hydrostatic balance with the height-decaying
+        // pressure anomaly: with ln p = ln pbar + ln(1 - A) and
+        // A = (dp/p0) exp(-(r/rp)^1.5) exp(-(z/zp)^2),
+        // T = Tbar / (1 - (Rd Tbar / g) * 2 z A / (zp^2 (1 - A))).
+        let tbar = self.t_background(z);
+        let a = self.dp / P0
+            * (-(r / self.rp).powf(1.5)).exp()
+            * (-(z / self.zp).powi(2)).exp();
+        let denom = 1.0
+            - RD * tbar / GRAV * 2.0 * z * a / (self.zp * self.zp * (1.0 - a));
+        let t = tbar / denom.max(0.5);
+        let qv = self.q_background(z);
+        (vt * du, vt * dv, t, qv)
+    }
+
+    /// Local east/north components of the cyclonic tangential unit vector.
+    fn tangential_direction(&self, lat: f64, lon: f64) -> (f64, f64) {
+        // Bearing from the point toward the center; tangential direction is
+        // 90 degrees to the left of it in the NH (cyclonic).
+        let dlon = self.lon0 - lon;
+        let y = dlon.sin() * self.lat0.cos();
+        let x = lat.cos() * self.lat0.sin() - lat.sin() * self.lat0.cos() * dlon.cos();
+        let norm = (x * x + y * y).sqrt();
+        if norm < 1e-12 {
+            return (0.0, 0.0);
+        }
+        // Unit vector toward the center: (east, north) = (y, x)/norm.
+        // The cyclonic (counter-clockwise) tangential direction is the
+        // inward vector rotated 90 degrees clockwise: (e, n) -> (n, -e).
+        (x / norm, -y / norm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubesphere::consts::{EARTH_RADIUS, OMEGA};
+
+    fn params() -> VortexParams {
+        VortexParams::reed_jablonowski(25f64.to_radians(), -80f64.to_radians(), EARTH_RADIUS, OMEGA)
+    }
+
+    #[test]
+    fn pressure_deficit_structure() {
+        let v = params();
+        assert!((v.ps(0.0) - (P0 - 1115.0)).abs() < 1e-9);
+        assert!(v.ps(5.0e6) > P0 - 1.0, "far field at ambient pressure");
+        assert!(v.ps(v.rp) > v.ps(0.0) && v.ps(v.rp) < P0);
+    }
+
+    #[test]
+    fn wind_profile_has_a_radius_of_maximum_wind() {
+        let v = params();
+        let winds: Vec<(f64, f64)> =
+            (1..200).map(|i| { let r = i as f64 * 5_000.0; (r, v.tangential_wind(r, 100.0)) }).collect();
+        let (rmax, vmax) =
+            winds.iter().cloned().reduce(|a, b| if b.1 > a.1 { b } else { a }).unwrap();
+        assert!(vmax > 15.0 && vmax < 80.0, "vmax = {vmax}");
+        assert!(rmax > 20_000.0 && rmax < 400_000.0, "rmax = {rmax}");
+        // Decays both inward and outward of the maximum.
+        assert!(v.tangential_wind(1_000.0, 100.0) < vmax / 2.0);
+        assert!(v.tangential_wind(3.0e6, 100.0) < vmax / 3.0);
+        // Cyclonic in the NH.
+        assert!(winds.iter().all(|&(_, w)| w >= 0.0));
+    }
+
+    #[test]
+    fn wind_decays_with_height() {
+        let v = params();
+        let r = 100_000.0;
+        assert!(v.tangential_wind(r, 0.0) > v.tangential_wind(r, 5_000.0));
+        assert!(v.tangential_wind(r, 12_000.0) < 0.2 * v.tangential_wind(r, 0.0));
+    }
+
+    #[test]
+    fn sounding_is_tropical() {
+        let v = params();
+        assert!((v.t_background(0.0) - 302.15).abs() < 1e-12);
+        assert!(v.t_background(20_000.0) >= 200.0);
+        assert!(v.q_background(0.0) > 0.02);
+        assert!(v.q_background(10_000.0) < 1e-3);
+        // z(p) inverts reasonably: 500 hPa near 5-6 km.
+        let z500 = v.z_of_p(50_000.0);
+        assert!(z500 > 4_500.0 && z500 < 7_000.0, "z500 = {z500}");
+    }
+
+    #[test]
+    fn circulation_is_counterclockwise_around_center() {
+        let v = params();
+        // Directly east of the center the cyclonic wind blows northward.
+        let (u, vv, _, _) =
+            v.state_at(v.lat0, v.lon0 + 0.05, 95_000.0, EARTH_RADIUS);
+        assert!(vv > 0.0, "east of center: northward, got v = {vv}");
+        assert!(u.abs() < vv.abs() * 0.5, "mostly meridional there, u = {u}");
+        // Directly north of the center: westward.
+        let (u2, v2, _, _) =
+            v.state_at(v.lat0 + 0.05, v.lon0, 95_000.0, EARTH_RADIUS);
+        assert!(u2 < 0.0, "north of center: westward, got u = {u2}");
+        let _ = v2;
+    }
+
+    #[test]
+    fn warm_core_is_warm_and_decays_with_radius_and_height() {
+        let v = params();
+        // Mid-troposphere, at the center vs far away.
+        let p_mid = 50_000.0;
+        let (_, _, t_core, _) = v.state_at(v.lat0, v.lon0, p_mid, EARTH_RADIUS);
+        let (_, _, t_far, _) =
+            v.state_at(v.lat0 + 0.5, v.lon0 + 0.5, p_mid, EARTH_RADIUS);
+        assert!(t_core > t_far + 0.5, "warm core: {t_core} vs {t_far}");
+        assert!(t_core - t_far < 20.0, "anomaly physically sized");
+        // Near the surface (z ~ 0) the hydrostatic anomaly vanishes.
+        let (_, _, t_sfc_core, _) = v.state_at(v.lat0, v.lon0, 99_000.0, EARTH_RADIUS);
+        let (_, _, t_sfc_far, _) =
+            v.state_at(v.lat0 + 0.5, v.lon0 + 0.5, 99_000.0, EARTH_RADIUS);
+        assert!((t_sfc_core - t_sfc_far).abs() < 1.0);
+    }
+
+    #[test]
+    fn small_planet_scaling_shrinks_the_core() {
+        let x = 20.0;
+        let small = VortexParams::reed_jablonowski(
+            25f64.to_radians(),
+            -80f64.to_radians(),
+            EARTH_RADIUS / x,
+            OMEGA * x,
+        );
+        let big = params();
+        assert!((small.rp - big.rp / x).abs() < 1.0);
+        // Same angular size -> same ps at the same angular distance.
+        let ang = 0.05;
+        let ps_small = small.ps(small.distance(25f64.to_radians() + ang, -80f64.to_radians(), EARTH_RADIUS / x));
+        let ps_big = big.ps(big.distance(25f64.to_radians() + ang, -80f64.to_radians(), EARTH_RADIUS));
+        assert!((ps_small - ps_big).abs() < 1.0, "{ps_small} vs {ps_big}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Machine description and kernel-time calibration.
+//!
+//! The scaling model is not hand-waved: per-kernel unit times come from
+//! actually running the four kernel variants on the simulated SW26010 at a
+//! reference workload and normalizing per (element x level [x tracer])
+//! work unit. The full-machine projections then compose these measured
+//! unit costs with the analytic workload sizes and the two-level network
+//! model.
+
+use homme::kernels::{verify::KernelEnv, verify::run, KernelData, KernelId, Variant};
+use std::collections::HashMap;
+use swmpi::NetworkModel;
+
+/// Calibrated per-unit kernel times, seconds.
+///
+/// Units: `ComputeAndApplyRhs`, `HypervisDp1/2`, `BiharmonicDp3d`,
+/// `VerticalRemap` per (element x level); `EulerStep` per
+/// (element x level x tracer).
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    unit_seconds: HashMap<(KernelId, Variant), f64>,
+    /// Fixed cost of one CPE-cluster kernel launch, seconds (zero for
+    /// host-style variants).
+    pub spawn_seconds: f64,
+}
+
+/// Reference workload used for calibration.
+const CAL_NELEM: usize = 8;
+const CAL_NLEV: usize = 32;
+const CAL_QSIZE: usize = 4;
+
+impl Calibration {
+    /// Measure every (kernel, variant) pair on the simulator.
+    pub fn measure() -> Self {
+        let env = KernelEnv::default();
+        let spawn = {
+            let cfg = sw26010::ChipConfig::default();
+            cfg.cost.seconds(cfg.cost.spawn_overhead_cycles)
+        };
+        let mut unit_seconds = HashMap::new();
+        for kernel in KernelId::ALL {
+            for variant in
+                [Variant::Reference, Variant::Mpe, Variant::OpenAcc, Variant::Athread]
+            {
+                let mut data = KernelData::synth(CAL_NELEM, CAL_NLEV, CAL_QSIZE, 99);
+                let res = run(kernel, variant, &mut data, &env);
+                // The launch overhead is booked separately at composition
+                // time; keep the unit cost purely proportional.
+                let net = match variant {
+                    Variant::OpenAcc | Variant::Athread => (res.seconds - spawn).max(1e-12),
+                    _ => res.seconds,
+                };
+                let units = Self::units(kernel, CAL_NELEM, CAL_NLEV, CAL_QSIZE);
+                unit_seconds.insert((kernel, variant), net / units);
+            }
+        }
+        Calibration { unit_seconds, spawn_seconds: spawn }
+    }
+
+    /// Work units of one kernel invocation on the given sizes.
+    pub fn units(kernel: KernelId, nelem: usize, nlev: usize, qsize: usize) -> f64 {
+        let base = (nelem * nlev) as f64;
+        match kernel {
+            KernelId::EulerStep => base * qsize as f64,
+            KernelId::VerticalRemap => base * (3 + qsize) as f64,
+            _ => base,
+        }
+    }
+
+    /// Seconds for one invocation of `kernel` in `variant` on the sizes.
+    pub fn kernel_seconds(
+        &self,
+        kernel: KernelId,
+        variant: Variant,
+        nelem: usize,
+        nlev: usize,
+        qsize: usize,
+    ) -> f64 {
+        let unit = self.unit_seconds[&(kernel, variant)];
+        let launch = match variant {
+            Variant::OpenAcc | Variant::Athread => self.spawn_seconds,
+            _ => 0.0,
+        };
+        launch + unit * Self::units(kernel, nelem, nlev, qsize)
+    }
+}
+
+/// The paper's machine: calibrated kernel costs + the TaihuLight network.
+pub struct Machine {
+    /// Kernel calibration.
+    pub cal: Calibration,
+    /// Interconnect model.
+    pub net: NetworkModel,
+    /// Per-exchange-round jitter coefficient (seconds per log2(ranks));
+    /// calibrated against the paper's Figure 7 strong-scaling endpoints.
+    pub jitter_per_round: f64,
+}
+
+impl Machine {
+    /// Build (runs the calibration once; takes a second or two of host
+    /// time because it actually exercises the simulated cluster).
+    pub fn taihulight() -> Self {
+        Machine {
+            cal: Calibration::measure(),
+            net: NetworkModel::default(),
+            jitter_per_round: 3.0e-5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_reproduces_variant_ordering() {
+        let cal = Calibration::measure();
+        for kernel in KernelId::ALL {
+            let t_ref = cal.kernel_seconds(kernel, Variant::Reference, 64, 128, 25);
+            let t_mpe = cal.kernel_seconds(kernel, Variant::Mpe, 64, 128, 25);
+            let t_ath = cal.kernel_seconds(kernel, Variant::Athread, 64, 128, 25);
+            assert!(t_mpe > t_ref, "{}: MPE must lose to one Intel core", kernel.name());
+            assert!(t_ath < t_ref, "{}: Athread must beat one Intel core", kernel.name());
+        }
+    }
+
+    #[test]
+    fn unit_scaling_is_linear() {
+        let cal = Calibration::measure();
+        let small = cal.kernel_seconds(KernelId::EulerStep, Variant::Reference, 8, 32, 4);
+        let big = cal.kernel_seconds(KernelId::EulerStep, Variant::Reference, 16, 32, 4);
+        assert!((big / small - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spawn_overhead_matters_for_cluster_variants() {
+        let cal = Calibration::measure();
+        // A tiny workload: launch overhead dominates the Athread time but
+        // not the Reference time.
+        let t_ath = cal.kernel_seconds(KernelId::HypervisDp1, Variant::Athread, 1, 1, 0);
+        assert!(t_ath >= cal.spawn_seconds);
+        let t_ref = cal.kernel_seconds(KernelId::HypervisDp1, Variant::Reference, 1, 1, 0);
+        assert!(t_ref < cal.spawn_seconds);
+    }
+}

@@ -1,0 +1,143 @@
+//! Whole-model simulation speed (SYPD) — the paper's Figure 6.
+//!
+//! The whole-CAM step is modeled as the variant's dynamical-core kernel
+//! time plus an MPE-resident serial remainder (physics bookkeeping,
+//! pack/unpack, I/O staging — the Amdahl term that keeps whole-model
+//! speedups at the paper's 1.4–1.5x / 1.1–1.4x rather than the 22x/50x of
+//! isolated kernels), plus communication. Column-parallel work (including
+//! physics) scales with elements and is absorbed in the calibrated work
+//! factor; the serial fraction is the paper-visible knob.
+
+use crate::machine::Machine;
+use crate::stepmodel::{CommMode, RankWork, StepModel};
+use homme::kernels::Variant;
+
+/// Amdahl serial fraction of the whole CAM step: the share of the model
+/// (hundreds of small routines, bookkeeping, I/O staging, MPE-resident
+/// physics glue) that the CPE offload does not touch. Calibrated once so
+/// the aggregate whole-model gains land at the paper's observed 1.4-1.5x
+/// (OpenACC over original) -- the paper's own explanation for why a 22x
+/// kernel speedup becomes a 1.45x model speedup ("a complex model that
+/// involves kernels accelerated as well as parts that are inherently
+/// serial").
+pub const AMDAHL_SERIAL: f64 = 0.5;
+
+/// Whole-CAM work factor: skeleton kernels to the full model *including*
+/// the column physics (which scales with elements exactly like the
+/// dycore). Calibrated against the paper's ne30 SYPD anchor.
+pub const CAM_WORK_FACTOR: f64 = 25.0;
+
+/// Days per simulated year used by the SYPD convention.
+pub const DAYS_PER_YEAR: f64 = 365.25;
+
+/// A whole-CAM configuration for the SYPD curves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CamRun {
+    /// Elements per cube edge.
+    pub ne: usize,
+    /// Vertical layers (CAM's 30 for the SYPD runs).
+    pub nlev: usize,
+    /// Tracers (CAM5's 25).
+    pub qsize: usize,
+}
+
+impl CamRun {
+    /// The paper's ne30 (100 km) configuration.
+    pub fn ne30() -> Self {
+        CamRun { ne: 30, nlev: 30, qsize: 25 }
+    }
+
+    /// The paper's ne120 (25 km) configuration.
+    pub fn ne120() -> Self {
+        CamRun { ne: 120, nlev: 30, qsize: 25 }
+    }
+
+    /// Dynamics time step, s (CAM rule of thumb: 300 s at ne30).
+    pub fn dt(&self) -> f64 {
+        300.0 * 30.0 / self.ne as f64
+    }
+
+    /// Total elements.
+    pub fn nelem(&self) -> usize {
+        6 * self.ne * self.ne
+    }
+}
+
+/// Modeled wall seconds of one whole-CAM step per rank.
+///
+/// The baseline is the MPE-only ("ori") step; accelerated variants apply
+/// an Amdahl-law speedup whose *kernel-aggregate* factor is measured from
+/// the calibrated kernel times (`D_mpe / D_variant`) and whose serial
+/// fraction is the documented [`AMDAHL_SERIAL`]. The Athread variant also
+/// benefits from the redesigned (overlapped) exchange.
+pub fn cam_step_seconds(
+    machine: &Machine,
+    run: CamRun,
+    variant: Variant,
+    nranks: usize,
+) -> f64 {
+    let elems = (run.nelem() as f64 / nranks as f64).ceil() as usize;
+    let w = RankWork { elems: elems.max(1), nlev: run.nlev, qsize: run.qsize };
+    let mpe_model =
+        StepModel::new(machine, Variant::Mpe, CommMode::Original).with_work_factor(CAM_WORK_FACTOR);
+    let t_ori = mpe_model.step_seconds(w, nranks);
+    if variant == Variant::Mpe {
+        return t_ori;
+    }
+    let comm_mode =
+        if variant == Variant::Athread { CommMode::Redesigned } else { CommMode::Original };
+    let model = StepModel::new(machine, variant, comm_mode).with_work_factor(CAM_WORK_FACTOR);
+    let kernel_speedup = (mpe_model.compute_seconds(w) / model.compute_seconds(w)).max(1.0);
+    let whole_model_speedup = 1.0 / (AMDAHL_SERIAL + (1.0 - AMDAHL_SERIAL) / kernel_speedup);
+    t_ori / whole_model_speedup
+}
+
+/// Simulated years per wall-clock day.
+pub fn sypd(machine: &Machine, run: CamRun, variant: Variant, nranks: usize) -> f64 {
+    let t = cam_step_seconds(machine, run, variant, nranks);
+    run.dt() / (DAYS_PER_YEAR * t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6_orderings_hold() {
+        let m = Machine::taihulight();
+        let run = CamRun::ne30();
+        for &nranks in &[216usize, 600, 1350, 5400] {
+            let s_ori = sypd(&m, run, Variant::Mpe, nranks);
+            let s_acc = sypd(&m, run, Variant::OpenAcc, nranks);
+            let s_ath = sypd(&m, run, Variant::Athread, nranks);
+            assert!(s_acc > s_ori, "{nranks}: acc {s_acc} vs ori {s_ori}");
+            assert!(s_ath > s_acc, "{nranks}: ath {s_ath} vs acc {s_acc}");
+            // Whole-model gains are modest (Amdahl), not kernel-scale.
+            assert!(s_acc / s_ori < 4.0, "{nranks}: acc/ori = {}", s_acc / s_ori);
+            assert!(s_ath / s_acc < 2.5, "{nranks}: ath/acc = {}", s_ath / s_acc);
+        }
+    }
+
+    #[test]
+    fn sypd_grows_with_ranks() {
+        let m = Machine::taihulight();
+        let run = CamRun::ne30();
+        let small = sypd(&m, run, Variant::Athread, 216);
+        let large = sypd(&m, run, Variant::Athread, 5400);
+        assert!(large > small, "{small} -> {large}");
+    }
+
+    #[test]
+    fn headline_sypd_magnitudes() {
+        // Paper: 21.5 SYPD for ne30 at 5,400 processes (Athread) and 3.4
+        // SYPD for ne120 at 28,800 (OpenACC). The model must land in the
+        // same decade; EXPERIMENTS.md records the exact values.
+        let m = Machine::taihulight();
+        let ne30 = sypd(&m, CamRun::ne30(), Variant::Athread, 5400);
+        assert!(ne30 > 7.0 && ne30 < 60.0, "ne30 athread SYPD = {ne30}");
+        let ne120 = sypd(&m, CamRun::ne120(), Variant::OpenAcc, 28_800);
+        assert!(ne120 > 1.0 && ne120 < 12.0, "ne120 openacc SYPD = {ne120}");
+        // Higher resolution is much slower in SYPD terms.
+        assert!(ne120 < ne30 / 2.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Held–Suarez (1994) forcing: Newtonian temperature relaxation toward an
+//! analytic radiative-equilibrium profile plus Rayleigh friction in the
+//! lower troposphere. The standard dry-dynamical-core climate benchmark —
+//! used here for the Figure-4 climatology validation (control vs test run).
+
+use crate::column::Column;
+use cubesphere::consts::{KAPPA, P0};
+
+/// HS94 parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeldSuarez {
+    /// Max equator-pole equilibrium temperature difference, K.
+    pub delta_t_y: f64,
+    /// Static-stability parameter, K.
+    pub delta_theta_z: f64,
+    /// Fastest thermal relaxation rate (boundary layer, equator), 1/s.
+    pub k_a: f64,
+    /// Free-atmosphere relaxation rate, 1/s.
+    pub k_f_t: f64,
+    /// Rayleigh friction rate at the surface, 1/s.
+    pub k_f: f64,
+    /// Sigma level above which friction/fast relaxation vanish.
+    pub sigma_b: f64,
+}
+
+impl Default for HeldSuarez {
+    fn default() -> Self {
+        HeldSuarez {
+            delta_t_y: 60.0,
+            delta_theta_z: 10.0,
+            k_a: 1.0 / (40.0 * 86400.0) * 10.0, // k_s = 1/4 day at surface
+            k_f_t: 1.0 / (40.0 * 86400.0),
+            k_f: 1.0 / 86400.0,
+            sigma_b: 0.7,
+        }
+    }
+}
+
+impl HeldSuarez {
+    /// HS94 radiative-equilibrium temperature at `(lat, p)`.
+    pub fn t_eq(&self, lat: f64, p: f64) -> f64 {
+        let sin2 = lat.sin() * lat.sin();
+        let cos2 = 1.0 - sin2;
+        let t = (315.0
+            - self.delta_t_y * sin2
+            - self.delta_theta_z * (p / P0).ln() * cos2)
+            * (p / P0).powf(KAPPA);
+        t.max(200.0)
+    }
+
+    /// Thermal relaxation rate at `(lat, sigma)`.
+    pub fn k_t(&self, lat: f64, sigma: f64) -> f64 {
+        let cos4 = lat.cos().powi(4);
+        let vert = ((sigma - self.sigma_b) / (1.0 - self.sigma_b)).max(0.0);
+        self.k_f_t + (self.k_a - self.k_f_t) * vert * cos4
+    }
+
+    /// Friction rate at `sigma`.
+    pub fn k_v(&self, sigma: f64) -> f64 {
+        self.k_f * ((sigma - self.sigma_b) / (1.0 - self.sigma_b)).max(0.0)
+    }
+
+    /// Apply the forcing over `dt` (implicit relaxation, unconditionally
+    /// stable).
+    pub fn step(&self, col: &mut Column, dt: f64) {
+        let ps = col.ps();
+        for k in 0..col.nlev() {
+            let sigma = col.p_mid[k] / ps;
+            let kt = self.k_t(col.lat, sigma);
+            let teq = self.t_eq(col.lat, col.p_mid[k]);
+            col.t[k] = (col.t[k] + dt * kt * teq) / (1.0 + dt * kt);
+            let kv = self.k_v(sigma);
+            let damp = 1.0 / (1.0 + dt * kv);
+            col.u[k] *= damp;
+            col.v[k] *= damp;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equilibrium_profile_structure() {
+        let hs = HeldSuarez::default();
+        // Warmer at the equator than at the pole (at the surface).
+        let te = hs.t_eq(0.0, P0);
+        let tp = hs.t_eq(std::f64::consts::FRAC_PI_2, P0);
+        assert!(te > tp, "{te} vs {tp}");
+        assert!((te - 315.0).abs() < 1e-9);
+        // Statically capped at 200 K aloft.
+        assert_eq!(hs.t_eq(0.0, 100.0), 200.0);
+        // Temperature decreases upward in the troposphere.
+        assert!(hs.t_eq(0.3, 50_000.0) < hs.t_eq(0.3, 90_000.0));
+    }
+
+    #[test]
+    fn friction_only_near_the_surface() {
+        let hs = HeldSuarez::default();
+        assert_eq!(hs.k_v(0.5), 0.0);
+        assert!(hs.k_v(0.9) > 0.0);
+        assert!((hs.k_v(1.0) - hs.k_f).abs() < 1e-15);
+    }
+
+    #[test]
+    fn relaxation_pulls_temperature_toward_teq() {
+        let hs = HeldSuarez::default();
+        let mut col = Column::isothermal(10, 1000.0, 101_000.0, 240.0);
+        col.lat = 0.0;
+        let teq_bottom = hs.t_eq(0.0, col.p_mid[9]);
+        let t0 = col.t[9];
+        // Long integration converges to the equilibrium.
+        for _ in 0..5000 {
+            hs.step(&mut col, 3600.0);
+        }
+        assert!(
+            (col.t[9] - teq_bottom).abs() < 0.5,
+            "t {} should reach teq {teq_bottom} (started {t0})",
+            col.t[9]
+        );
+    }
+
+    #[test]
+    fn friction_decays_surface_wind_only() {
+        let hs = HeldSuarez::default();
+        let mut col = Column::isothermal(10, 1000.0, 101_000.0, 280.0);
+        col.u = vec![20.0; 10];
+        for _ in 0..48 {
+            hs.step(&mut col, 3600.0);
+        }
+        assert!(col.u[9] < 5.0, "surface jet must decay: {}", col.u[9]);
+        assert!((col.u[0] - 20.0).abs() < 1e-9, "free atmosphere untouched");
+    }
+}

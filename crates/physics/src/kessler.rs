@@ -1,0 +1,175 @@
+//! Kessler warm-rain microphysics (autoconversion, accretion, rain
+//! evaporation, sedimentation) — the classic scheme whose GPU ports the
+//! paper's related-work section surveys (e.g. the WRF Kessler CUDA port).
+
+use crate::column::{sat_mixing_ratio, saturation_adjust, Column};
+use cubesphere::consts::{GRAV, RD};
+
+/// Kessler scheme parameters (Klemp–Wilhelmson values).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Kessler {
+    /// Autoconversion rate, 1/s.
+    pub k1: f64,
+    /// Autoconversion threshold, kg/kg.
+    pub qc0: f64,
+    /// Accretion rate, 1/s.
+    pub k2: f64,
+    /// Rain evaporation ventilation coefficient.
+    pub c_evap: f64,
+}
+
+impl Default for Kessler {
+    fn default() -> Self {
+        Kessler { k1: 1.0e-3, qc0: 5.0e-4, k2: 2.2, c_evap: 1.0e-3 }
+    }
+}
+
+impl Kessler {
+    /// Terminal fall speed of rain, m/s (Kessler's power law).
+    pub fn fall_speed(&self, qr: f64, rho: f64) -> f64 {
+        if qr <= 0.0 {
+            0.0
+        } else {
+            36.34 * (qr * rho).powf(0.1364) * (1.225 / rho).sqrt()
+        }
+    }
+
+    /// One microphysics step; returns surface rain, kg/m^2.
+    pub fn step(&self, col: &mut Column, dt: f64) -> f64 {
+        let nlev = col.nlev();
+
+        // 1. Saturation adjustment (condensation/evaporation of cloud).
+        for k in 0..nlev {
+            saturation_adjust(&mut col.t[k], &mut col.qv[k], &mut col.qc[k], col.p_mid[k]);
+            col.qc[k] = col.qc[k].max(0.0);
+        }
+
+        // 2. Autoconversion + accretion: cloud -> rain.
+        for k in 0..nlev {
+            let auto = self.k1 * (col.qc[k] - self.qc0).max(0.0);
+            let accr = if col.qr[k] > 0.0 && col.qc[k] > 0.0 {
+                self.k2 * col.qc[k] * col.qr[k].powf(0.875)
+            } else {
+                0.0
+            };
+            let transfer = ((auto + accr) * dt).min(col.qc[k]);
+            col.qc[k] -= transfer;
+            col.qr[k] += transfer;
+        }
+
+        // 3. Rain evaporation in sub-saturated air.
+        for k in 0..nlev {
+            if col.qr[k] > 0.0 {
+                let qsat = sat_mixing_ratio(col.t[k], col.p_mid[k]);
+                let deficit = (qsat - col.qv[k]).max(0.0);
+                let evap = (self.c_evap * deficit * col.qr[k].sqrt() * dt).min(col.qr[k]);
+                col.qr[k] -= evap;
+                col.qv[k] += evap;
+                col.t[k] -= cubesphere::consts::LATVAP / cubesphere::consts::CP * evap;
+            }
+        }
+
+        // 4. Sedimentation: upwind fall of rain through interfaces, with the
+        // flux through the surface leaving as precipitation.
+        let mut flux_in = 0.0; // rain falling in from above, kg/(m^2 s)
+        let mut precip = 0.0;
+        for k in 0..nlev {
+            let rho = col.p_mid[k] / (RD * col.t[k]);
+            let vt = self.fall_speed(col.qr[k], rho);
+            // Mass of rain leaving this layer per second.
+            let flux_out = (rho * vt * col.qr[k]).min(col.qr[k] * col.dp[k] / (GRAV * dt));
+            let dqr = (flux_in - flux_out) * GRAV * dt / col.dp[k];
+            col.qr[k] = (col.qr[k] + dqr).max(0.0);
+            flux_in = flux_out;
+        }
+        precip += flux_in * dt;
+        precip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloudy_column() -> Column {
+        let mut c = Column::isothermal(12, 5000.0, 100_000.0, 285.0);
+        for k in 6..12 {
+            c.qv[k] = 0.012;
+            c.qc[k] = 0.002;
+        }
+        c
+    }
+
+    #[test]
+    fn water_is_conserved_up_to_precip() {
+        let kes = Kessler::default();
+        let mut col = cloudy_column();
+        let w0 = col.total_water();
+        let mut precip = 0.0;
+        for _ in 0..20 {
+            precip += kes.step(&mut col, 60.0);
+        }
+        let w1 = col.total_water();
+        assert!(precip > 0.0, "cloudy column must rain");
+        assert!(
+            ((w0 - w1) - precip).abs() < 1e-9 * w0,
+            "water budget: lost {} vs precip {precip}",
+            w0 - w1
+        );
+    }
+
+    #[test]
+    fn autoconversion_respects_threshold() {
+        let kes = Kessler::default();
+        let mut col = Column::isothermal(4, 5000.0, 100_000.0, 250.0);
+        // Exactly saturated air so the adjustment neither condenses nor
+        // evaporates; sub-threshold cloud must not convert.
+        for k in 0..4 {
+            col.qv[k] = sat_mixing_ratio(col.t[k], col.p_mid[k]);
+        }
+        col.qc = vec![1.0e-4; 4];
+        let qc_before = col.qc.clone();
+        kes.step(&mut col, 60.0);
+        for k in 0..4 {
+            assert!((col.qc[k] - qc_before[k]).abs() < 1e-6, "level {k}");
+            assert!(col.qr[k] < 1e-7);
+        }
+    }
+
+    #[test]
+    fn rain_falls_downward() {
+        let kes = Kessler::default();
+        let mut col = Column::isothermal(10, 5000.0, 100_000.0, 290.0);
+        // Saturate everything so evaporation cannot eat the rain in flight.
+        for k in 0..10 {
+            col.qv[k] = sat_mixing_ratio(col.t[k], col.p_mid[k]);
+        }
+        col.qr[2] = 0.003; // rain aloft
+        let mut reached_surface = 0.0;
+        for _ in 0..300 {
+            reached_surface += kes.step(&mut col, 30.0);
+        }
+        assert!(reached_surface > 0.0, "rain must reach the ground");
+        assert!(col.qr[2] < 0.003, "source layer must drain");
+    }
+
+    #[test]
+    fn evaporation_cools_and_moistens_dry_air() {
+        let kes = Kessler::default();
+        let mut col = Column::isothermal(4, 5000.0, 100_000.0, 300.0);
+        col.qr[1] = 0.002;
+        col.qv[1] = 0.0; // bone dry
+        let t0 = col.t[1];
+        kes.step(&mut col, 120.0);
+        assert!(col.qv[1] > 0.0, "rain must evaporate into dry air");
+        assert!(col.t[1] < t0, "evaporative cooling");
+    }
+
+    #[test]
+    fn fall_speed_monotone_in_rain_content() {
+        let kes = Kessler::default();
+        assert_eq!(kes.fall_speed(0.0, 1.0), 0.0);
+        assert!(kes.fall_speed(0.002, 1.0) > kes.fall_speed(0.001, 1.0));
+        assert!(kes.fall_speed(0.001, 0.5) > kes.fall_speed(0.001, 1.2), "thin air: faster fall");
+    }
+}

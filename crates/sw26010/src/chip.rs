@@ -1,0 +1,93 @@
+//! Whole-chip view: four core groups on a network-on-chip.
+//!
+//! One SW26010 holds 4 core groups (CGs); in the "MPI + X" programming model
+//! each CG hosts one MPI process, so most of the reproduction works at CG
+//! granularity (`CpeCluster` + `Mpe`). The chip type exists for the places
+//! where whole-processor numbers matter: peak flops (the paper's "over
+//! 3 TFlops"), the shared 32 GB / 136 GB/s memory interface, and converting
+//! between process counts and core counts (the 10,075,000-core headline is
+//! 155,000 CGs x 65 cores).
+
+use crate::cluster::CpeCluster;
+use crate::config::{ChipConfig, CGS_PER_CHIP, CPES_PER_CG};
+use crate::mpe::Mpe;
+
+/// One core group: one MPE plus its 8x8 CPE cluster.
+pub struct CoreGroup {
+    /// The CPE cluster runtime.
+    pub cluster: CpeCluster,
+    /// The MPE accountant.
+    pub mpe: Mpe,
+}
+
+impl CoreGroup {
+    /// Core group with the given configuration.
+    pub fn new(cfg: ChipConfig) -> Self {
+        CoreGroup { cluster: CpeCluster::new(cfg), mpe: Mpe::new() }
+    }
+
+    /// Cores in one CG (1 MPE + 64 CPEs).
+    pub const CORES: usize = CPES_PER_CG + 1;
+}
+
+/// A full SW26010 processor.
+pub struct Chip {
+    /// The four core groups.
+    pub core_groups: Vec<CoreGroup>,
+    cfg: ChipConfig,
+}
+
+impl Chip {
+    /// Chip with the given per-CG configuration.
+    pub fn new(cfg: ChipConfig) -> Self {
+        Chip {
+            core_groups: (0..CGS_PER_CHIP).map(|_| CoreGroup::new(cfg.clone())).collect(),
+            cfg,
+        }
+    }
+
+    /// Total cores on the chip (260).
+    pub fn cores(&self) -> usize {
+        CGS_PER_CHIP * CoreGroup::CORES
+    }
+
+    /// Peak double-precision performance of the chip, flops/s.
+    pub fn peak_flops(&self) -> f64 {
+        self.cfg.cost.cluster_peak_flops() * CGS_PER_CHIP as f64
+    }
+
+    /// Convert a process (CG) count to the core count the paper reports.
+    pub fn cores_for_processes(processes: usize) -> usize {
+        processes * CoreGroup::CORES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chip_has_260_cores() {
+        let chip = Chip::new(ChipConfig::default());
+        assert_eq!(chip.cores(), 260);
+        assert_eq!(chip.core_groups.len(), 4);
+    }
+
+    #[test]
+    fn peak_is_about_3_tflops() {
+        let chip = Chip::new(ChipConfig::default());
+        let peak = chip.peak_flops();
+        assert!(peak > 2.9e12 && peak < 3.1e12, "peak = {peak}");
+    }
+
+    #[test]
+    fn headline_core_counts_reproduce() {
+        // 155,000 processes -> 10,075,000 cores (paper Section 8.4).
+        assert_eq!(Chip::cores_for_processes(155_000), 10_075_000);
+        // 131,072 processes -> 8,519,680 cores (Figure 7).
+        assert_eq!(Chip::cores_for_processes(131_072), 8_519_680);
+        // 28,800 processes -> 1,872,000 CPEs + MPEs (abstract: 1,872,000 CPEs).
+        assert_eq!(28_800 * CPES_PER_CG, 1_843_200);
+        assert_eq!(Chip::cores_for_processes(28_800), 1_872_000);
+    }
+}

@@ -1,0 +1,288 @@
+//! The Athread-style CPE cluster runtime.
+//!
+//! `CpeCluster::run` launches a kernel on all 64 CPEs of one core group —
+//! the equivalent of `athread_spawn` + `athread_join`. Each CPE executes the
+//! kernel body on its own OS thread with a fresh [`CpeCtx`]; the report
+//! combines the numerical side effects (already written to shared memory by
+//! the kernel) with the performance model: elapsed cycles are the spawn
+//! overhead plus the slowest CPE's clock, and PERF counters are aggregated
+//! across the cluster.
+
+use crate::config::{ChipConfig, CPE_COLS, CPE_ROWS};
+use crate::cpe::CpeCtx;
+use crate::perfctr::Counters;
+use crate::regcomm::RegFabric;
+use crate::trace::Trace;
+
+/// Result of one kernel launch on the CPE cluster.
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    /// Modeled elapsed cycles: spawn overhead + max over CPE clocks.
+    pub elapsed_cycles: f64,
+    /// PERF counters aggregated over all 64 CPEs.
+    pub counters: Counters,
+    /// Per-CPE final clocks (row-major), for load-balance analysis.
+    pub per_cpe_cycles: Vec<f64>,
+    /// Largest LDM high-water mark across CPEs, bytes.
+    pub ldm_high_water: usize,
+}
+
+impl KernelReport {
+    /// Modeled wall time of the launch under `cfg`'s clock.
+    pub fn seconds(&self, cfg: &ChipConfig) -> f64 {
+        cfg.cost.seconds(self.elapsed_cycles)
+    }
+
+    /// Load imbalance: max CPE cycles / mean CPE cycles (1.0 = perfect).
+    pub fn imbalance(&self) -> f64 {
+        let max = self.per_cpe_cycles.iter().cloned().fold(0.0, f64::max);
+        let mean: f64 =
+            self.per_cpe_cycles.iter().sum::<f64>() / self.per_cpe_cycles.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Achieved double-precision flop rate of the launch, flops/s.
+    pub fn flops_per_second(&self, cfg: &ChipConfig) -> f64 {
+        let secs = self.seconds(cfg);
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.counters.flops() as f64 / secs
+        }
+    }
+
+    /// Merge another launch into this one, serializing their timelines
+    /// (used to accumulate multi-launch kernels).
+    pub fn merge_sequential(&mut self, other: &KernelReport) {
+        self.elapsed_cycles += other.elapsed_cycles;
+        self.counters += &other.counters;
+        for (a, b) in self.per_cpe_cycles.iter_mut().zip(&other.per_cpe_cycles) {
+            *a += b;
+        }
+        self.ldm_high_water = self.ldm_high_water.max(other.ldm_high_water);
+    }
+}
+
+/// One core group's CPE cluster.
+pub struct CpeCluster {
+    cfg: ChipConfig,
+}
+
+impl CpeCluster {
+    /// Cluster with the given configuration.
+    pub fn new(cfg: ChipConfig) -> Self {
+        CpeCluster { cfg }
+    }
+
+    /// Cluster with default (production-chip) parameters.
+    pub fn with_defaults() -> Self {
+        Self::new(ChipConfig::default())
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ChipConfig {
+        &self.cfg
+    }
+
+    /// Launch `kernel` on all 64 CPEs and wait for completion
+    /// (`athread_spawn` + `athread_join`).
+    ///
+    /// The kernel body is shared by every CPE; it distinguishes its role via
+    /// `ctx.row()` / `ctx.col()`. Shared-memory arrays are captured by the
+    /// closure as [`SharedSlice`](crate::shared::SharedSlice) /
+    /// [`SharedSliceMut`](crate::shared::SharedSliceMut) views.
+    ///
+    /// # Panics
+    /// Propagates kernel panics, and panics if a kernel leaves unconsumed
+    /// register-communication messages (a protocol bug on real hardware).
+    pub fn run<F>(&self, kernel: F) -> KernelReport
+    where
+        F: Fn(&mut CpeCtx<'_>) + Sync,
+    {
+        self.launch(kernel, false).0
+    }
+
+    /// Launch with event tracing enabled; returns the report and the
+    /// recorded [`Trace`].
+    pub fn run_traced<F>(&self, kernel: F) -> (KernelReport, Trace)
+    where
+        F: Fn(&mut CpeCtx<'_>) + Sync,
+    {
+        self.launch(kernel, true)
+    }
+
+    fn launch<F>(&self, kernel: F, traced: bool) -> (KernelReport, Trace)
+    where
+        F: Fn(&mut CpeCtx<'_>) + Sync,
+    {
+        let fabric = RegFabric::new();
+        let cost = &self.cfg.cost;
+        let n = CPE_ROWS * CPE_COLS;
+        let mut per_cpe_cycles = vec![0.0; n];
+        let mut counters = Counters::default();
+        let mut ldm_high_water = 0;
+
+        let results = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for row in 0..CPE_ROWS {
+                for col in 0..CPE_COLS {
+                    let fabric = &fabric;
+                    let kernel = &kernel;
+                    handles.push(scope.spawn(move || {
+                        let mut ctx = CpeCtx::new(row, col, cost, fabric);
+                        if traced {
+                            ctx.enable_trace();
+                        }
+                        kernel(&mut ctx);
+                        let events = ctx.take_events();
+                        (ctx.cycles(), ctx.counters(), ctx.ldm.high_water(), events)
+                    }));
+                }
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("CPE kernel panicked"))
+                .collect::<Vec<_>>()
+        });
+
+        let mut trace = Trace::default();
+        for (i, (cycles, ctrs, hw, events)) in results.into_iter().enumerate() {
+            per_cpe_cycles[i] = cycles;
+            counters += &ctrs;
+            ldm_high_water = ldm_high_water.max(hw);
+            trace.events.extend(events);
+        }
+
+        assert_eq!(
+            fabric.pending_messages(),
+            0,
+            "kernel left unconsumed register-communication messages"
+        );
+
+        let max_cycles = per_cpe_cycles.iter().cloned().fold(0.0, f64::max);
+        (
+            KernelReport {
+                elapsed_cycles: cost.spawn_overhead_cycles + max_cycles,
+                counters,
+                per_cpe_cycles,
+                ldm_high_water,
+            },
+            trace,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shared::{SharedSlice, SharedSliceMut, WriteTracker};
+    use crate::vector::V4F64;
+
+    /// Each CPE scales its own 64-element strip of a 4096-element array.
+    #[test]
+    fn data_parallel_kernel_computes_and_accounts() {
+        let cluster = CpeCluster::with_defaults();
+        let src: Vec<f64> = (0..4096).map(|i| i as f64).collect();
+        let mut dst = vec![0.0; 4096];
+        let report = {
+            let s = SharedSlice::new(&src);
+            let d = SharedSliceMut::new(&mut dst).with_tracker(WriteTracker::new());
+            cluster.run(|ctx| {
+                let chunk = 64;
+                let start = ctx.id() * chunk;
+                let mut buf = ctx.ldm_alloc(chunk).unwrap();
+                ctx.dma_get(s, start..start + chunk, &mut buf);
+                for x in buf.iter_mut() {
+                    *x *= 2.0;
+                }
+                ctx.charge_vflops(chunk as u64);
+                ctx.dma_put(&d, start, &buf);
+            })
+        };
+        for (i, &x) in dst.iter().enumerate() {
+            assert_eq!(x, 2.0 * i as f64);
+        }
+        assert_eq!(report.counters.dma_bytes_in, 4096 * 8);
+        assert_eq!(report.counters.dma_bytes_out, 4096 * 8);
+        assert_eq!(report.counters.dma_transfers, 128);
+        assert_eq!(report.counters.vflops, 4096);
+        assert!(report.elapsed_cycles > cluster.config().cost.spawn_overhead_cycles);
+        assert!(report.seconds(cluster.config()) > 0.0);
+        assert!(report.imbalance() > 0.999 && report.imbalance() < 1.2);
+        assert_eq!(report.ldm_high_water, 64 * 8);
+    }
+
+    /// A column chain: CPE (r, c) receives from (r-1, c), adds, forwards.
+    #[test]
+    fn column_chain_over_register_communication() {
+        let cluster = CpeCluster::with_defaults();
+        let mut out = vec![0.0; 64];
+        let report = {
+            let d = SharedSliceMut::new(&mut out);
+            cluster.run(|ctx| {
+                let acc = if ctx.row() == 0 {
+                    V4F64::splat(1.0)
+                } else {
+                    let prev = ctx.reg_recv_col(ctx.row() - 1);
+                    prev + V4F64::splat(1.0)
+                };
+                if ctx.row() < 7 {
+                    ctx.reg_send_col(ctx.row() + 1, acc);
+                }
+                ctx.gst(&d, ctx.id(), acc[0]);
+            })
+        };
+        for row in 0..8 {
+            for col in 0..8 {
+                assert_eq!(out[row * 8 + col], (row + 1) as f64);
+            }
+        }
+        assert_eq!(report.counters.reg_sends, 56);
+        assert_eq!(report.counters.reg_recvs, 56);
+        // The chain serializes: last row's clock must exceed first row's.
+        let first = report.per_cpe_cycles[0];
+        let last = report.per_cpe_cycles[63];
+        assert!(last > first);
+    }
+
+    #[test]
+    fn sync_array_aligns_clocks() {
+        let cluster = CpeCluster::with_defaults();
+        let report = cluster.run(|ctx| {
+            // Uneven work before the barrier...
+            ctx.charge_sflops((ctx.id() as u64 + 1) * 100);
+            ctx.sync_array();
+            // ...identical work after.
+            ctx.charge_sflops(10);
+        });
+        let min = report.per_cpe_cycles.iter().cloned().fold(f64::MAX, f64::min);
+        let max = report.per_cpe_cycles.iter().cloned().fold(0.0, f64::max);
+        assert!((max - min).abs() < 1e-9, "clocks diverged: {min} vs {max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unconsumed register-communication")]
+    fn leftover_messages_are_rejected() {
+        let cluster = CpeCluster::with_defaults();
+        cluster.run(|ctx| {
+            if ctx.id() == 0 {
+                ctx.reg_send_row(1, V4F64::zero());
+            }
+        });
+    }
+
+    #[test]
+    fn merge_sequential_accumulates() {
+        let cluster = CpeCluster::with_defaults();
+        let mut a = cluster.run(|ctx| ctx.charge_vflops(8));
+        let b = cluster.run(|ctx| ctx.charge_vflops(8));
+        let total = a.elapsed_cycles + b.elapsed_cycles;
+        a.merge_sequential(&b);
+        assert_eq!(a.elapsed_cycles, total);
+        assert_eq!(a.counters.vflops, 2 * 64 * 8);
+    }
+}

@@ -1,0 +1,172 @@
+//! Chip configuration and cycle-cost parameters for the SW26010 model.
+//!
+//! The constants here are drawn from the public descriptions of the SW26010
+//! in the paper (Section 5) and the TaihuLight system paper (Fu et al.,
+//! *Science China Information Sciences*, 2016): 260 cores per chip grouped
+//! into 4 core groups (CGs), each CG holding one MPE, an 8x8 CPE mesh and a
+//! memory controller; 64 KB LDM per CPE; 32 GB memory per chip at 136 GB/s
+//! aggregate (34 GB/s per CG); 1.45 GHz clock; 256-bit vector units.
+//!
+//! Where the paper gives no exact figure (DMA latency, register-communication
+//! latency, gld/gst throughput) we use the values commonly reported in the
+//! SW26010 micro-benchmarking literature and mark them as calibration
+//! constants: the *ratios* between them are what drive every redesign
+//! decision the paper describes, and the reproduction targets those ratios.
+
+/// Geometry of one core group's CPE cluster (fixed by the hardware).
+pub const CPE_ROWS: usize = 8;
+/// Number of CPE columns in the mesh.
+pub const CPE_COLS: usize = 8;
+/// Total CPEs in one core group.
+pub const CPES_PER_CG: usize = CPE_ROWS * CPE_COLS;
+/// Core groups per chip.
+pub const CGS_PER_CHIP: usize = 4;
+/// Local Data Memory (scratchpad) per CPE, in bytes.
+pub const LDM_BYTES: usize = 64 * 1024;
+/// Vector width in `f64` lanes (256-bit vectors).
+pub const VLEN: usize = 4;
+
+/// Cycle-level cost parameters of one core group.
+///
+/// All throughputs are expressed per CPE unless stated otherwise. Times are
+/// derived as `cycles / clock_hz`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Core clock, Hz (1.45 GHz on the production chip).
+    pub clock_hz: f64,
+    /// Peak vector flops per cycle per CPE (4 lanes x FMA = 8).
+    pub vflops_per_cycle: f64,
+    /// Scalar flops per cycle per CPE (no dual issue for scalar FP).
+    pub sflops_per_cycle: f64,
+    /// DMA startup latency, cycles (descriptor setup + memory round trip).
+    pub dma_latency_cycles: f64,
+    /// Aggregate DMA bandwidth of the whole CPE cluster, bytes/s.
+    ///
+    /// Micro-benchmarks place the achievable cluster DMA bandwidth at
+    /// ~28 GB/s of the CG's 34 GB/s share.
+    pub dma_cluster_bw: f64,
+    /// Bandwidth of direct global loads/stores (`gld`/`gst`) issued by CPEs,
+    /// bytes/s for the whole cluster. These bypass the DMA engine, are not
+    /// coalesced, and are roughly an order of magnitude slower -- the reason
+    /// the OpenACC fallback path is so expensive.
+    pub gld_cluster_bw: f64,
+    /// Latency of a single gld/gst element access, cycles.
+    pub gld_latency_cycles: f64,
+    /// One register-communication send or receive, cycles ("within tens of
+    /// cycles" per the paper; ~10-11 measured).
+    pub regcomm_cycles: f64,
+    /// One 256-bit register shuffle, cycles.
+    pub shuffle_cycles: f64,
+    /// Fixed cost of launching a kernel on the CPE cluster, cycles
+    /// (thread wake-up + argument broadcast). This is the "threading
+    /// overhead" the paper calls out as a huge issue for OpenACC with many
+    /// small kernels.
+    pub spawn_overhead_cycles: f64,
+    /// MPE scalar flops per cycle.
+    pub mpe_flops_per_cycle: f64,
+    /// MPE effective memory bandwidth, bytes/s (cache-mediated).
+    pub mpe_mem_bw: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            clock_hz: 1.45e9,
+            vflops_per_cycle: 8.0,
+            sflops_per_cycle: 1.0,
+            dma_latency_cycles: 270.0,
+            dma_cluster_bw: 28.0e9,
+            gld_cluster_bw: 1.5e9,
+            gld_latency_cycles: 177.0,
+            regcomm_cycles: 11.0,
+            shuffle_cycles: 1.0,
+            spawn_overhead_cycles: 8_000.0,
+            mpe_flops_per_cycle: 1.0,
+            mpe_mem_bw: 4.0e9,
+        }
+    }
+}
+
+impl CostModel {
+    /// Seconds corresponding to `cycles` at the model clock.
+    #[inline]
+    pub fn seconds(&self, cycles: f64) -> f64 {
+        cycles / self.clock_hz
+    }
+
+    /// Cycles to move `bytes` by DMA as one transfer (per-CPE view: the
+    /// cluster bandwidth is shared by all 64 CPEs, so a single CPE's
+    /// transfer sees 1/64 of it when the cluster is fully busy).
+    #[inline]
+    pub fn dma_cycles(&self, bytes: usize) -> f64 {
+        let per_cpe_bw = self.dma_cluster_bw / CPES_PER_CG as f64;
+        self.dma_latency_cycles + bytes as f64 / per_cpe_bw * self.clock_hz
+    }
+
+    /// Cycles for a direct global load/store of `bytes` from a CPE.
+    #[inline]
+    pub fn gld_cycles(&self, bytes: usize) -> f64 {
+        let per_cpe_bw = self.gld_cluster_bw / CPES_PER_CG as f64;
+        self.gld_latency_cycles + bytes as f64 / per_cpe_bw * self.clock_hz
+    }
+
+    /// Peak double-precision performance of one CPE cluster, flops/s.
+    pub fn cluster_peak_flops(&self) -> f64 {
+        self.vflops_per_cycle * self.clock_hz * CPES_PER_CG as f64
+    }
+}
+
+/// Full chip configuration: geometry plus cost model.
+#[derive(Debug, Clone, Default)]
+pub struct ChipConfig {
+    pub cost: CostModel,
+    /// When true, DMA puts record written ranges and panic on overlapping
+    /// writes from different CPEs (a data-race detector for kernels).
+    pub check_write_races: bool,
+}
+
+impl ChipConfig {
+    /// Configuration with the write-race detector enabled (used by tests).
+    pub fn checked() -> Self {
+        ChipConfig { cost: CostModel::default(), check_write_races: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_matches_hardware() {
+        assert_eq!(CPES_PER_CG, 64);
+        assert_eq!(CGS_PER_CHIP * (CPES_PER_CG + 1), 260);
+        assert_eq!(LDM_BYTES, 65536);
+    }
+
+    #[test]
+    fn cluster_peak_is_about_742_gflops() {
+        // 64 CPEs * 8 flops/cycle * 1.45 GHz = 742.4 GFlops; 4 CGs ~ 3 TFlops
+        // which matches the paper's "over 3 TFlops per processor".
+        let m = CostModel::default();
+        let peak = m.cluster_peak_flops();
+        assert!((peak - 742.4e9).abs() < 1e9, "peak = {peak}");
+        assert!(peak * CGS_PER_CHIP as f64 > 2.9e12);
+    }
+
+    #[test]
+    fn dma_is_much_faster_than_gld() {
+        let m = CostModel::default();
+        // For a bulk 16 KB transfer the DMA path must be >10x cheaper than
+        // element-wise gld: this ratio is what motivates the Athread rewrite.
+        let dma = m.dma_cycles(16 * 1024);
+        let gld: f64 = (0..2048).map(|_| m.gld_cycles(8)).sum();
+        assert!(gld > 10.0 * dma, "dma={dma} gld={gld}");
+    }
+
+    #[test]
+    fn seconds_roundtrip() {
+        let m = CostModel::default();
+        let s = m.seconds(m.clock_hz);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+}

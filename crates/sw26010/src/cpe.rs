@@ -1,0 +1,287 @@
+//! Execution context of one Computing Processing Element (CPE).
+//!
+//! A kernel body receives a `CpeCtx` and, through it, everything a real
+//! Athread kernel has: its mesh coordinates, its 64 KB LDM, the DMA engine,
+//! direct (slow) global memory access, register communication, vector
+//! shuffles, and the array-wide barrier. Every operation is functionally
+//! executed *and* charged to the CPE's cycle clock and PERF counters, so the
+//! same kernel run yields both a numerical result and a performance
+//! measurement.
+
+use crate::config::{CostModel, CPE_COLS, CPE_ROWS};
+use crate::ldm::{Ldm, LdmBuf, LdmOverflow};
+use crate::perfctr::Counters;
+use crate::regcomm::{Axis, RegFabric, RegMsg};
+use crate::shared::{SharedSlice, SharedSliceMut};
+use crate::trace::{Event, EventKind};
+use crate::vector::{transpose4x4, V4F64, TRANSPOSE4X4_SHUFFLES};
+use std::ops::Range;
+
+/// Per-CPE kernel execution context.
+pub struct CpeCtx<'a> {
+    row: usize,
+    col: usize,
+    cost: &'a CostModel,
+    fabric: &'a RegFabric,
+    /// The CPE's scratchpad accountant.
+    pub ldm: Ldm,
+    cycles: f64,
+    counters: Counters,
+    events: Option<Vec<Event>>,
+}
+
+impl<'a> CpeCtx<'a> {
+    pub(crate) fn new(row: usize, col: usize, cost: &'a CostModel, fabric: &'a RegFabric) -> Self {
+        CpeCtx {
+            row,
+            col,
+            cost,
+            fabric,
+            ldm: Ldm::default(),
+            cycles: 0.0,
+            counters: Counters::default(),
+            events: None,
+        }
+    }
+
+    /// Enable event tracing for this context (used by `run_traced`).
+    pub(crate) fn enable_trace(&mut self) {
+        self.events = Some(Vec::new());
+    }
+
+    /// Take the recorded events (if tracing was enabled).
+    pub(crate) fn take_events(&mut self) -> Vec<Event> {
+        self.events.take().unwrap_or_default()
+    }
+
+    #[inline]
+    fn record(&mut self, kind: EventKind, start: f64, amount: u64) {
+        if let Some(ev) = &mut self.events {
+            ev.push(Event {
+                cpe: self.row * CPE_COLS + self.col,
+                kind,
+                start_cycles: start,
+                duration_cycles: self.cycles - start,
+                amount,
+            });
+        }
+    }
+
+    /// Row index in the 8x8 mesh (0..8).
+    #[inline]
+    pub fn row(&self) -> usize {
+        self.row
+    }
+
+    /// Column index in the 8x8 mesh (0..8).
+    #[inline]
+    pub fn col(&self) -> usize {
+        self.col
+    }
+
+    /// Linear CPE id, `row * 8 + col` (0..64).
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.row * CPE_COLS + self.col
+    }
+
+    /// Cycle clock of this CPE.
+    #[inline]
+    pub fn cycles(&self) -> f64 {
+        self.cycles
+    }
+
+    /// Snapshot of the PERF counters.
+    #[inline]
+    pub fn counters(&self) -> Counters {
+        self.counters
+    }
+
+    /// Allocate an LDM buffer of `n` doubles, charging the 64 KB budget.
+    pub fn ldm_alloc(&mut self, n: usize) -> Result<LdmBuf, LdmOverflow> {
+        self.ldm.alloc_f64(n)
+    }
+
+    // ---- DMA -------------------------------------------------------------
+
+    /// DMA get: copy `src[range]` from main memory into `dst[..range.len()]`.
+    ///
+    /// # Panics
+    /// Panics if `dst` is shorter than the range.
+    pub fn dma_get(&mut self, src: SharedSlice<'_>, range: Range<usize>, dst: &mut [f64]) {
+        let n = range.len();
+        assert!(dst.len() >= n, "DMA destination too small: {} < {n}", dst.len());
+        dst[..n].copy_from_slice(src.range(range));
+        let start = self.cycles;
+        self.charge_dma(n * 8, true);
+        self.record(EventKind::DmaGet, start, (n * 8) as u64);
+    }
+
+    /// DMA get from an array the kernel also writes (e.g. in-place update).
+    pub fn dma_get_mut(&mut self, src: &SharedSliceMut<'_>, range: Range<usize>, dst: &mut [f64]) {
+        let n = range.len();
+        assert!(dst.len() >= n, "DMA destination too small: {} < {n}", dst.len());
+        src.read_into(range, &mut dst[..n]);
+        let start = self.cycles;
+        self.charge_dma(n * 8, true);
+        self.record(EventKind::DmaGet, start, (n * 8) as u64);
+    }
+
+    /// DMA put: copy `src` into main memory at `dst[offset..]`.
+    pub fn dma_put(&mut self, dst: &SharedSliceMut<'_>, offset: usize, src: &[f64]) {
+        dst.write(offset, src, self.id());
+        let start = self.cycles;
+        self.charge_dma(src.len() * 8, false);
+        self.record(EventKind::DmaPut, start, (src.len() * 8) as u64);
+    }
+
+    /// Charge DMA traffic without performing a copy — used by executors
+    /// (e.g. the OpenACC analog) that model a transfer schedule while the
+    /// functional data movement happens at a different granularity.
+    pub fn charge_dma_traffic(&mut self, bytes: usize, inbound: bool) {
+        if bytes > 0 {
+            self.charge_dma(bytes, inbound);
+        }
+    }
+
+    /// Charge element-wise `gld` traffic for `bytes` of direct global reads
+    /// (each 8-byte element pays the full gld latency — the slow path).
+    pub fn charge_gld_traffic(&mut self, bytes: usize) {
+        let elems = bytes / 8;
+        self.cycles += elems as f64 * self.cost.gld_cycles(8);
+        self.counters.gld_bytes += bytes as u64;
+    }
+
+    fn charge_dma(&mut self, bytes: usize, inbound: bool) {
+        self.cycles += self.cost.dma_cycles(bytes);
+        self.counters.dma_transfers += 1;
+        if inbound {
+            self.counters.dma_bytes_in += bytes as u64;
+        } else {
+            self.counters.dma_bytes_out += bytes as u64;
+        }
+    }
+
+    // ---- Direct global access (gld/gst) -----------------------------------
+
+    /// Direct global load of one element — the slow path the OpenACC
+    /// fallback uses for data that was not staged into LDM.
+    pub fn gld(&mut self, src: SharedSlice<'_>, i: usize) -> f64 {
+        self.cycles += self.cost.gld_cycles(8);
+        self.counters.gld_bytes += 8;
+        src.get(i)
+    }
+
+    /// Direct global store of one element.
+    pub fn gst(&mut self, dst: &SharedSliceMut<'_>, i: usize, v: f64) {
+        self.cycles += self.cost.gld_cycles(8);
+        self.counters.gst_bytes += 8;
+        dst.set(i, v, self.id());
+    }
+
+    // ---- Register communication -------------------------------------------
+
+    /// Send a vector register to `target_col` in this CPE's row.
+    pub fn reg_send_row(&mut self, target_col: usize, v: V4F64) {
+        let start = self.cycles;
+        self.cycles += self.cost.regcomm_cycles;
+        self.record(EventKind::RegSend, start, 32);
+        self.counters.reg_sends += 1;
+        self.fabric.send(
+            Axis::Row,
+            self.row,
+            self.col,
+            target_col,
+            RegMsg { value: v, send_cycles: self.cycles },
+        );
+    }
+
+    /// Send a vector register to `target_row` in this CPE's column.
+    pub fn reg_send_col(&mut self, target_row: usize, v: V4F64) {
+        let start = self.cycles;
+        self.cycles += self.cost.regcomm_cycles;
+        self.record(EventKind::RegSend, start, 32);
+        self.counters.reg_sends += 1;
+        self.fabric.send(
+            Axis::Col,
+            self.row,
+            self.col,
+            target_row,
+            RegMsg { value: v, send_cycles: self.cycles },
+        );
+    }
+
+    /// Blocking receive from `source_col` in this CPE's row. The local clock
+    /// advances past the sender's send time: data cannot be observed before
+    /// it exists.
+    pub fn reg_recv_row(&mut self, source_col: usize) -> V4F64 {
+        let start = self.cycles;
+        let msg = self.fabric.recv(Axis::Row, self.row, self.col, source_col);
+        self.cycles = self.cycles.max(msg.send_cycles) + self.cost.regcomm_cycles;
+        self.counters.reg_recvs += 1;
+        self.record(EventKind::RegRecv, start, 32);
+        msg.value
+    }
+
+    /// Blocking receive from `source_row` in this CPE's column.
+    pub fn reg_recv_col(&mut self, source_row: usize) -> V4F64 {
+        let start = self.cycles;
+        let msg = self.fabric.recv(Axis::Col, self.row, self.col, source_row);
+        self.cycles = self.cycles.max(msg.send_cycles) + self.cost.regcomm_cycles;
+        self.counters.reg_recvs += 1;
+        self.record(EventKind::RegRecv, start, 32);
+        msg.value
+    }
+
+    // ---- Compute accounting -----------------------------------------------
+
+    /// Charge `n` retired vector flops (a 4-lane FMA is 8 flops).
+    #[inline]
+    pub fn charge_vflops(&mut self, n: u64) {
+        let start = self.cycles;
+        self.counters.vflops += n;
+        self.cycles += n as f64 / self.cost.vflops_per_cycle;
+        self.record(EventKind::Compute, start, n);
+    }
+
+    /// Charge `n` retired scalar flops.
+    #[inline]
+    pub fn charge_sflops(&mut self, n: u64) {
+        let start = self.cycles;
+        self.counters.sflops += n;
+        self.cycles += n as f64 / self.cost.sflops_per_cycle;
+        self.record(EventKind::Compute, start, n);
+    }
+
+    /// Charge non-FP overhead cycles (address arithmetic, branches, LDM
+    /// access serialization) without touching the flop counters.
+    #[inline]
+    pub fn charge_cycles(&mut self, cycles: f64) {
+        self.cycles += cycles;
+    }
+
+    /// Transpose a 4x4 register block, charging the 8 shuffles.
+    pub fn transpose4x4(&mut self, rows: [V4F64; 4]) -> [V4F64; 4] {
+        self.counters.shuffles += TRANSPOSE4X4_SHUFFLES as u64;
+        self.cycles += TRANSPOSE4X4_SHUFFLES as f64 * self.cost.shuffle_cycles;
+        transpose4x4(rows)
+    }
+
+    // ---- Synchronization ----------------------------------------------------
+
+    /// Array-wide barrier (`athread_syn`). All 64 CPEs must call it the same
+    /// number of times; every CPE resumes at the cluster-wide maximum clock.
+    pub fn sync_array(&mut self) {
+        let start = self.cycles;
+        let resumed = self.fabric.sync_array(self.id(), self.cycles);
+        // A modest fixed cost for the barrier instruction itself.
+        self.cycles = resumed + 16.0;
+        self.record(EventKind::Sync, start, 0);
+    }
+
+    /// Number of rows/cols in the mesh, for kernels that loop over peers.
+    #[inline]
+    pub fn mesh_dims(&self) -> (usize, usize) {
+        (CPE_ROWS, CPE_COLS)
+    }
+}

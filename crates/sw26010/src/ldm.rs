@@ -1,0 +1,207 @@
+//! The 64 KB Local Data Memory (LDM / SPM) of a CPE.
+//!
+//! The LDM replaces a conventional L1 data cache with a user-managed
+//! scratchpad. Every byte a kernel wants close to the core must be placed
+//! there explicitly, and the 64 KB budget is the central constraint the
+//! paper's memory-footprint analysis tool manages (Section 7.2). This module
+//! provides an accounting allocator that enforces the budget: kernels that
+//! exceed it fail loudly instead of silently spilling, exactly like real
+//! Athread code would fail to link its `__thread_local` data.
+
+use crate::config::LDM_BYTES;
+use std::fmt;
+
+/// Error returned when an allocation would exceed the LDM capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LdmOverflow {
+    /// Bytes requested by the failing allocation.
+    pub requested: usize,
+    /// Bytes already in use.
+    pub in_use: usize,
+    /// Total capacity.
+    pub capacity: usize,
+}
+
+impl fmt::Display for LdmOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LDM overflow: requested {} B with {} B of {} B in use",
+            self.requested, self.in_use, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for LdmOverflow {}
+
+/// A buffer living in LDM. Functionally a `Vec<f64>`, but its size was
+/// charged against the owning CPE's 64 KB budget at allocation time.
+#[derive(Debug)]
+pub struct LdmBuf {
+    data: Vec<f64>,
+    bytes: usize,
+}
+
+impl LdmBuf {
+    /// Number of `f64` elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the buffer holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size charged against the LDM budget, in bytes.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl std::ops::Deref for LdmBuf {
+    type Target = [f64];
+    #[inline]
+    fn deref(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+impl std::ops::DerefMut for LdmBuf {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+}
+
+/// Per-CPE LDM accountant.
+///
+/// Allocation and explicit free adjust a byte counter against the fixed
+/// capacity; `reset` releases everything (the usual pattern at kernel
+/// boundaries). The accountant also tracks the high-water mark so kernels
+/// can report their true footprint.
+#[derive(Debug)]
+pub struct Ldm {
+    capacity: usize,
+    in_use: usize,
+    high_water: usize,
+}
+
+impl Default for Ldm {
+    fn default() -> Self {
+        Self::new(LDM_BYTES)
+    }
+}
+
+impl Ldm {
+    /// Accountant with an explicit capacity (tests shrink it to force
+    /// overflow paths; the hardware value is [`LDM_BYTES`]).
+    pub fn new(capacity: usize) -> Self {
+        Ldm { capacity, in_use: 0, high_water: 0 }
+    }
+
+    /// Allocate a zero-initialized buffer of `n` doubles.
+    pub fn alloc_f64(&mut self, n: usize) -> Result<LdmBuf, LdmOverflow> {
+        let bytes = n * std::mem::size_of::<f64>();
+        if self.in_use + bytes > self.capacity {
+            return Err(LdmOverflow {
+                requested: bytes,
+                in_use: self.in_use,
+                capacity: self.capacity,
+            });
+        }
+        self.in_use += bytes;
+        self.high_water = self.high_water.max(self.in_use);
+        Ok(LdmBuf { data: vec![0.0; n], bytes })
+    }
+
+    /// Release a buffer, returning its bytes to the budget.
+    pub fn free(&mut self, buf: LdmBuf) {
+        debug_assert!(buf.bytes <= self.in_use, "freeing more than allocated");
+        self.in_use -= buf.bytes;
+    }
+
+    /// Release everything allocated so far (kernel epilogue).
+    pub fn reset(&mut self) {
+        self.in_use = 0;
+    }
+
+    /// Bytes currently allocated.
+    #[inline]
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Maximum bytes ever simultaneously allocated.
+    #[inline]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Remaining capacity in bytes.
+    #[inline]
+    pub fn available(&self) -> usize {
+        self.capacity - self.in_use
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_charges_budget() {
+        let mut ldm = Ldm::default();
+        let b = ldm.alloc_f64(1024).unwrap();
+        assert_eq!(b.len(), 1024);
+        assert_eq!(ldm.in_use(), 8192);
+        assert_eq!(ldm.available(), LDM_BYTES - 8192);
+        ldm.free(b);
+        assert_eq!(ldm.in_use(), 0);
+        assert_eq!(ldm.high_water(), 8192);
+    }
+
+    #[test]
+    fn overflow_is_an_error_not_a_panic() {
+        let mut ldm = Ldm::default();
+        // 64 KB holds exactly 8192 doubles.
+        let _a = ldm.alloc_f64(8000).unwrap();
+        let err = ldm.alloc_f64(500).unwrap_err();
+        assert_eq!(err.capacity, LDM_BYTES);
+        assert_eq!(err.in_use, 8000 * 8);
+        assert_eq!(err.requested, 4000);
+        assert!(err.to_string().contains("LDM overflow"));
+    }
+
+    #[test]
+    fn exact_fit_is_allowed() {
+        let mut ldm = Ldm::default();
+        let b = ldm.alloc_f64(8192).unwrap();
+        assert_eq!(ldm.available(), 0);
+        ldm.free(b);
+        assert!(ldm.alloc_f64(1).is_ok());
+    }
+
+    #[test]
+    fn reset_releases_everything() {
+        let mut ldm = Ldm::default();
+        let _a = ldm.alloc_f64(4000).unwrap();
+        let _b = ldm.alloc_f64(4000).unwrap();
+        ldm.reset();
+        assert_eq!(ldm.in_use(), 0);
+        assert!(ldm.alloc_f64(8192).is_ok());
+    }
+
+    #[test]
+    fn buffers_are_zeroed_and_writable() {
+        let mut ldm = Ldm::default();
+        let mut b = ldm.alloc_f64(16).unwrap();
+        assert!(b.iter().all(|&x| x == 0.0));
+        b[3] = 7.5;
+        assert_eq!(b[3], 7.5);
+        assert!(!b.is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Performance counters mirroring the Sunway `PERF` hardware monitor.
+//!
+//! The paper measures flops by "using hardware performance monitor of the
+//! Sunway TaihuLight supercomputer, PERF, to collect the retired
+//! double-precision arithmetic instructions on the CPE cluster" (Section
+//! 8.1.1). The simulator keeps the same books: every kernel accumulates
+//! retired scalar/vector flops, DMA traffic, direct global accesses, and
+//! register-communication operations, which the benchmark harness then turns
+//! into PFlops figures and data-transfer-volume comparisons (the 10x
+//! reduction of Algorithm 2 over Algorithm 1).
+
+/// Retired-operation counters for one CPE (or one MPE).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Retired vector flops (each 4-lane FMA counts 8).
+    pub vflops: u64,
+    /// Retired scalar flops.
+    pub sflops: u64,
+    /// Bytes moved main memory -> LDM by DMA.
+    pub dma_bytes_in: u64,
+    /// Bytes moved LDM -> main memory by DMA.
+    pub dma_bytes_out: u64,
+    /// Number of DMA descriptors issued.
+    pub dma_transfers: u64,
+    /// Bytes read by direct `gld` accesses.
+    pub gld_bytes: u64,
+    /// Bytes written by direct `gst` accesses.
+    pub gst_bytes: u64,
+    /// Register-communication messages sent.
+    pub reg_sends: u64,
+    /// Register-communication messages received.
+    pub reg_recvs: u64,
+    /// Vector shuffle instructions retired.
+    pub shuffles: u64,
+}
+
+impl Counters {
+    /// Total retired double-precision flops.
+    #[inline]
+    pub fn flops(&self) -> u64 {
+        self.vflops + self.sflops
+    }
+
+    /// Total bytes that crossed the memory interface (DMA + gld/gst).
+    /// This is the quantity the paper's Algorithm 2 reduces to 10% of the
+    /// OpenACC version.
+    #[inline]
+    pub fn mem_bytes(&self) -> u64 {
+        self.dma_bytes_in + self.dma_bytes_out + self.gld_bytes + self.gst_bytes
+    }
+
+    /// Arithmetic intensity, flops per memory byte.
+    pub fn intensity(&self) -> f64 {
+        let b = self.mem_bytes();
+        if b == 0 {
+            f64::INFINITY
+        } else {
+            self.flops() as f64 / b as f64
+        }
+    }
+
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &Counters) {
+        self.vflops += other.vflops;
+        self.sflops += other.sflops;
+        self.dma_bytes_in += other.dma_bytes_in;
+        self.dma_bytes_out += other.dma_bytes_out;
+        self.dma_transfers += other.dma_transfers;
+        self.gld_bytes += other.gld_bytes;
+        self.gst_bytes += other.gst_bytes;
+        self.reg_sends += other.reg_sends;
+        self.reg_recvs += other.reg_recvs;
+        self.shuffles += other.shuffles;
+    }
+}
+
+impl std::ops::AddAssign<&Counters> for Counters {
+    fn add_assign(&mut self, rhs: &Counters) {
+        self.add(rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_intensity() {
+        let c = Counters {
+            vflops: 800,
+            sflops: 200,
+            dma_bytes_in: 300,
+            dma_bytes_out: 100,
+            gld_bytes: 50,
+            gst_bytes: 50,
+            ..Default::default()
+        };
+        assert_eq!(c.flops(), 1000);
+        assert_eq!(c.mem_bytes(), 500);
+        assert!((c.intensity() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_bytes_gives_infinite_intensity() {
+        let c = Counters { vflops: 8, ..Default::default() };
+        assert!(c.intensity().is_infinite());
+    }
+
+    #[test]
+    fn accumulation() {
+        let mut a = Counters { vflops: 1, reg_sends: 2, ..Default::default() };
+        let b = Counters { vflops: 3, reg_recvs: 4, dma_transfers: 1, ..Default::default() };
+        a += &b;
+        assert_eq!(a.vflops, 4);
+        assert_eq!(a.reg_sends, 2);
+        assert_eq!(a.reg_recvs, 4);
+        assert_eq!(a.dma_transfers, 1);
+    }
+}

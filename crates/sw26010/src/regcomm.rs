@@ -1,0 +1,237 @@
+//! Register communication fabric of the 8x8 CPE mesh.
+//!
+//! "The cluster of CPEs supports low-latency register communication among the
+//! CPEs ... data can be directly exchanged between the LDMs of the two CPEs
+//! that belong to the same row or the same column within tens of cycles"
+//! (paper Sections 5.2, 7.4). Messages are one 256-bit vector register wide.
+//!
+//! The simulator gives every ordered same-row / same-column CPE pair a small
+//! bounded channel (the hardware has a 4-entry receive buffer). Receives are
+//! blocking, like the hardware's blocking register read; a generous timeout
+//! converts a communication deadlock — the classic register-communication
+//! programming bug — into a diagnosable panic instead of a hung test suite.
+//!
+//! Each message carries the sender's cycle timestamp. A receiver cannot
+//! observe data before it was sent, so its local clock advances to
+//! `max(own, sender) + latency`, which makes scan-style dependency chains
+//! (Section 7.4) cost what they would on silicon.
+
+use crate::config::{CPE_COLS, CPE_ROWS};
+use crate::vector::V4F64;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::sync::Barrier;
+use std::time::Duration;
+
+/// Hardware receive-buffer depth per link.
+pub const LINK_CAPACITY: usize = 4;
+
+/// How long a blocking register read waits before declaring deadlock.
+pub const RECV_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One register-communication message: a 256-bit payload plus the sender's
+/// cycle count at the time of the send.
+#[derive(Debug, Clone, Copy)]
+pub struct RegMsg {
+    pub value: V4F64,
+    pub send_cycles: f64,
+}
+
+/// Direction of a register-communication link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Between CPEs in the same row (differing columns).
+    Row,
+    /// Between CPEs in the same column (differing rows).
+    Col,
+}
+
+struct Link {
+    tx: Sender<RegMsg>,
+    rx: Receiver<RegMsg>,
+}
+
+/// The full mesh fabric: a channel for every ordered same-row and
+/// same-column pair, plus the array-wide synchronization barrier
+/// (`athread_syn`-equivalent).
+pub struct RegFabric {
+    /// Indexed by `row * 64 + from_col * 8 + to_col`.
+    row_links: Vec<Link>,
+    /// Indexed by `col * 64 + from_row * 8 + to_row`.
+    col_links: Vec<Link>,
+    barrier: Barrier,
+    sync_cycles: Mutex<Vec<f64>>,
+}
+
+impl Default for RegFabric {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RegFabric {
+    /// Build the fabric for one 8x8 cluster.
+    pub fn new() -> Self {
+        let mk = || {
+            let (tx, rx) = bounded(LINK_CAPACITY);
+            Link { tx, rx }
+        };
+        RegFabric {
+            row_links: (0..CPE_ROWS * CPE_COLS * CPE_COLS).map(|_| mk()).collect(),
+            col_links: (0..CPE_COLS * CPE_ROWS * CPE_ROWS).map(|_| mk()).collect(),
+            barrier: Barrier::new(CPE_ROWS * CPE_COLS),
+            sync_cycles: Mutex::new(vec![0.0; CPE_ROWS * CPE_COLS]),
+        }
+    }
+
+    fn row_link(&self, row: usize, from: usize, to: usize) -> &Link {
+        &self.row_links[row * CPE_COLS * CPE_COLS + from * CPE_COLS + to]
+    }
+
+    fn col_link(&self, col: usize, from: usize, to: usize) -> &Link {
+        &self.col_links[col * CPE_ROWS * CPE_ROWS + from * CPE_ROWS + to]
+    }
+
+    /// Send along a row or column. Blocks if the receive buffer is full
+    /// (back-pressure, as on hardware).
+    ///
+    /// # Panics
+    /// Panics if `from == to` along the axis, if indices are out of range,
+    /// or if the peer end has been dropped.
+    pub fn send(&self, axis: Axis, row: usize, col: usize, target: usize, msg: RegMsg) {
+        assert!(row < CPE_ROWS && col < CPE_COLS, "CPE ({row},{col}) out of range");
+        let link = match axis {
+            Axis::Row => {
+                assert!(target < CPE_COLS && target != col, "bad row target {target} from col {col}");
+                self.row_link(row, col, target)
+            }
+            Axis::Col => {
+                assert!(target < CPE_ROWS && target != row, "bad col target {target} from row {row}");
+                self.col_link(col, row, target)
+            }
+        };
+        link.tx.send(msg).expect("register-communication link closed");
+    }
+
+    /// Blocking receive from a row/column peer.
+    ///
+    /// # Panics
+    /// Panics after [`RECV_TIMEOUT`] with a deadlock diagnostic.
+    pub fn recv(&self, axis: Axis, row: usize, col: usize, source: usize) -> RegMsg {
+        assert!(row < CPE_ROWS && col < CPE_COLS, "CPE ({row},{col}) out of range");
+        let link = match axis {
+            Axis::Row => {
+                assert!(source < CPE_COLS && source != col, "bad row source {source} for col {col}");
+                self.row_link(row, source, col)
+            }
+            Axis::Col => {
+                assert!(source < CPE_ROWS && source != row, "bad col source {source} for row {row}");
+                self.col_link(col, source, row)
+            }
+        };
+        match link.rx.recv_timeout(RECV_TIMEOUT) {
+            Ok(m) => m,
+            Err(RecvTimeoutError::Timeout) => panic!(
+                "register-communication deadlock: CPE ({row},{col}) waited {RECV_TIMEOUT:?} \
+                 for a {axis:?} message from {source}"
+            ),
+            Err(RecvTimeoutError::Disconnected) => {
+                panic!("register-communication link from {source} closed")
+            }
+        }
+    }
+
+    /// Array-wide synchronization (`athread_syn(ARRAY_SCOPE)`).
+    ///
+    /// Returns the cycle count every participant resumes at: the maximum of
+    /// all participants' clocks at entry (a barrier cannot complete before
+    /// its slowest member arrives).
+    pub fn sync_array(&self, id: usize, cycles: f64) -> f64 {
+        self.sync_cycles.lock()[id] = cycles;
+        self.barrier.wait();
+        let max = self.sync_cycles.lock().iter().cloned().fold(0.0, f64::max);
+        // Second rendezvous so nobody races ahead and overwrites the slots
+        // for a subsequent sync before everyone has read the maximum.
+        self.barrier.wait();
+        max
+    }
+
+    /// Count of messages still sitting in receive buffers. A well-formed
+    /// kernel leaves zero; the cluster runtime asserts this after every
+    /// launch.
+    pub fn pending_messages(&self) -> usize {
+        self.row_links.iter().chain(self.col_links.iter()).map(|l| l.rx.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_message_roundtrip() {
+        let f = RegFabric::new();
+        let msg = RegMsg { value: V4F64::splat(3.5), send_cycles: 100.0 };
+        f.send(Axis::Row, 2, 1, 5, msg);
+        assert_eq!(f.pending_messages(), 1);
+        let got = f.recv(Axis::Row, 2, 5, 1);
+        assert_eq!(got.value, V4F64::splat(3.5));
+        assert_eq!(got.send_cycles, 100.0);
+        assert_eq!(f.pending_messages(), 0);
+    }
+
+    #[test]
+    fn col_links_are_distinct_from_row_links() {
+        let f = RegFabric::new();
+        f.send(Axis::Col, 0, 3, 7, RegMsg { value: V4F64::splat(1.0), send_cycles: 0.0 });
+        // Receiving on the row axis from the same indices must not find it.
+        f.send(Axis::Row, 7, 0, 3, RegMsg { value: V4F64::splat(2.0), send_cycles: 0.0 });
+        let col_msg = f.recv(Axis::Col, 7, 3, 0);
+        assert_eq!(col_msg.value, V4F64::splat(1.0));
+        let row_msg = f.recv(Axis::Row, 7, 3, 0);
+        assert_eq!(row_msg.value, V4F64::splat(2.0));
+    }
+
+    #[test]
+    fn ordered_pairs_do_not_collide() {
+        let f = RegFabric::new();
+        // a->b and b->a are different links.
+        f.send(Axis::Row, 0, 0, 1, RegMsg { value: V4F64::splat(1.0), send_cycles: 0.0 });
+        f.send(Axis::Row, 0, 1, 0, RegMsg { value: V4F64::splat(2.0), send_cycles: 0.0 });
+        assert_eq!(f.recv(Axis::Row, 0, 1, 0).value, V4F64::splat(1.0));
+        assert_eq!(f.recv(Axis::Row, 0, 0, 1).value, V4F64::splat(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad row target")]
+    fn self_send_rejected() {
+        let f = RegFabric::new();
+        f.send(Axis::Row, 0, 3, 3, RegMsg { value: V4F64::zero(), send_cycles: 0.0 });
+    }
+
+    #[test]
+    fn fifo_order_per_link() {
+        let f = RegFabric::new();
+        for i in 0..LINK_CAPACITY {
+            f.send(Axis::Col, 1, 2, 4, RegMsg { value: V4F64::splat(i as f64), send_cycles: 0.0 });
+        }
+        for i in 0..LINK_CAPACITY {
+            assert_eq!(f.recv(Axis::Col, 4, 2, 1).value, V4F64::splat(i as f64));
+        }
+    }
+
+    #[test]
+    fn sync_array_returns_global_max() {
+        use std::sync::Arc;
+        let f = Arc::new(RegFabric::new());
+        let handles: Vec<_> = (0..64)
+            .map(|id| {
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || f.sync_array(id, id as f64))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 63.0);
+        }
+    }
+}

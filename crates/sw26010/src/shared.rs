@@ -1,0 +1,267 @@
+//! Views of main (shared) memory as seen from CPE kernels.
+//!
+//! On the SW26010, the MPE and all 64 CPEs of a core group address the same
+//! DRAM. A kernel running on the CPE cluster receives *views* of arrays that
+//! live in main memory and moves data in and out through DMA (fast, bulk) or
+//! direct `gld`/`gst` accesses (slow, element-wise).
+//!
+//! Rust's aliasing rules do not allow 64 threads to hold `&mut` to one array,
+//! so writable views are pointer-based with an explicit safety contract:
+//! kernels must write disjoint ranges. A debug-time race detector
+//! ([`WriteTracker`]) can be attached to enforce the contract at test time,
+//! mirroring how real Athread kernels are validated.
+
+use parking_lot::Mutex;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Read-only view of a main-memory array, shareable across CPE threads.
+#[derive(Clone, Copy)]
+pub struct SharedSlice<'a> {
+    ptr: *const f64,
+    len: usize,
+    _life: PhantomData<&'a [f64]>,
+}
+
+// SAFETY: the view is read-only and constructed from a shared borrow, so
+// concurrent reads from many threads are sound.
+unsafe impl Send for SharedSlice<'_> {}
+unsafe impl Sync for SharedSlice<'_> {}
+
+impl<'a> SharedSlice<'a> {
+    /// Wrap a borrowed slice.
+    pub fn new(data: &'a [f64]) -> Self {
+        SharedSlice { ptr: data.as_ptr(), len: data.len(), _life: PhantomData }
+    }
+
+    /// Length of the underlying array.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the underlying array is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Borrow a sub-range.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    #[inline]
+    pub fn range(&self, r: Range<usize>) -> &'a [f64] {
+        assert!(r.end <= self.len, "SharedSlice range {r:?} out of bounds (len {})", self.len);
+        // SAFETY: bounds checked above; lifetime tied to the original borrow.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(r.start), r.end - r.start) }
+    }
+
+    /// Read one element (the functional payload of a `gld`).
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        assert!(i < self.len, "SharedSlice index {i} out of bounds (len {})", self.len);
+        // SAFETY: bounds checked above.
+        unsafe { *self.ptr.add(i) }
+    }
+}
+
+/// Interval log used to detect overlapping writes from different CPEs.
+#[derive(Debug, Default)]
+pub struct WriteTracker {
+    /// (start, end, writer id) of every committed write.
+    writes: Mutex<Vec<(usize, usize, usize)>>,
+}
+
+impl WriteTracker {
+    /// Fresh tracker (one per kernel launch).
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Record a write and panic if it overlaps a previous write by a
+    /// *different* writer (same-writer overlap is a legal read-modify-write).
+    pub fn record(&self, start: usize, end: usize, writer: usize) {
+        let mut w = self.writes.lock();
+        for &(s, e, by) in w.iter() {
+            if by != writer && start < e && s < end {
+                panic!(
+                    "write race: CPE {writer} wrote [{start}, {end}) overlapping \
+                     CPE {by}'s write [{s}, {e})"
+                );
+            }
+        }
+        w.push((start, end, writer));
+    }
+}
+
+/// Writable view of a main-memory array for CPE kernels.
+///
+/// Constructed from an exclusive borrow, so for the lifetime of the view the
+/// wrapped array is only reachable through it. Disjointness of writes from
+/// different CPEs is the kernel author's obligation; attach a
+/// [`WriteTracker`] (see [`SharedSliceMut::with_tracker`]) to check it.
+pub struct SharedSliceMut<'a> {
+    ptr: *mut f64,
+    len: usize,
+    tracker: Option<Arc<WriteTracker>>,
+    _life: PhantomData<&'a mut [f64]>,
+}
+
+// SAFETY: writes go through `write`/`set`, whose disjointness contract is
+// documented (and optionally enforced by the tracker); reads of ranges a
+// kernel does not concurrently write are sound for the same reason.
+unsafe impl Send for SharedSliceMut<'_> {}
+unsafe impl Sync for SharedSliceMut<'_> {}
+
+impl<'a> SharedSliceMut<'a> {
+    /// Wrap an exclusively borrowed slice.
+    pub fn new(data: &'a mut [f64]) -> Self {
+        SharedSliceMut { ptr: data.as_mut_ptr(), len: data.len(), tracker: None, _life: PhantomData }
+    }
+
+    /// Attach a write-race tracker (used by tests and `ChipConfig::checked`).
+    pub fn with_tracker(mut self, t: Arc<WriteTracker>) -> Self {
+        self.tracker = Some(t);
+        self
+    }
+
+    /// Length of the underlying array.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the underlying array is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Copy `src` into the array starting at `offset` on behalf of CPE
+    /// `writer` (the functional payload of a DMA put).
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds, or on an overlapping write by another CPE if
+    /// a tracker is attached.
+    pub fn write(&self, offset: usize, src: &[f64], writer: usize) {
+        let end = offset + src.len();
+        assert!(end <= self.len, "SharedSliceMut write [{offset}, {end}) out of bounds (len {})", self.len);
+        if let Some(t) = &self.tracker {
+            t.record(offset, end, writer);
+        }
+        // SAFETY: bounds checked; disjointness across CPEs is the caller's
+        // contract, checked by the tracker when attached.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr.add(offset), src.len());
+        }
+    }
+
+    /// Write a single element (the functional payload of a `gst`).
+    pub fn set(&self, i: usize, v: f64, writer: usize) {
+        assert!(i < self.len, "SharedSliceMut index {i} out of bounds (len {})", self.len);
+        if let Some(t) = &self.tracker {
+            t.record(i, i + 1, writer);
+        }
+        // SAFETY: bounds checked above.
+        unsafe { *self.ptr.add(i) = v }
+    }
+
+    /// Copy a sub-range out of the array (the functional payload of a DMA
+    /// get from an array the kernel also writes — e.g. accumulate-in-place).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn read_into(&self, r: Range<usize>, dst: &mut [f64]) {
+        assert!(r.end <= self.len, "SharedSliceMut read {r:?} out of bounds (len {})", self.len);
+        assert_eq!(dst.len(), r.len(), "destination length mismatch");
+        // SAFETY: bounds checked; concurrent reads of ranges being written by
+        // another CPE are excluded by the kernel disjointness contract.
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.ptr.add(r.start), dst.as_mut_ptr(), dst.len());
+        }
+    }
+
+    /// Read one element.
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        assert!(i < self.len, "SharedSliceMut index {i} out of bounds (len {})", self.len);
+        // SAFETY: bounds checked above.
+        unsafe { *self.ptr.add(i) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_slice_reads() {
+        let data = vec![1.0, 2.0, 3.0, 4.0];
+        let s = SharedSlice::new(&data);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.get(2), 3.0);
+        assert_eq!(s.range(1..3), &[2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn shared_slice_bounds_checked() {
+        let data = vec![1.0];
+        let s = SharedSlice::new(&data);
+        let _ = s.range(0..2);
+    }
+
+    #[test]
+    fn shared_slice_mut_write_and_read() {
+        let mut data = vec![0.0; 8];
+        let s = SharedSliceMut::new(&mut data);
+        s.write(2, &[5.0, 6.0], 0);
+        s.set(7, 9.0, 1);
+        assert_eq!(s.get(2), 5.0);
+        let mut out = [0.0; 3];
+        s.read_into(2..5, &mut out);
+        assert_eq!(out, [5.0, 6.0, 0.0]);
+        drop(s);
+        assert_eq!(data[7], 9.0);
+    }
+
+    #[test]
+    fn tracker_allows_disjoint_writes() {
+        let mut data = vec![0.0; 8];
+        let s = SharedSliceMut::new(&mut data).with_tracker(WriteTracker::new());
+        s.write(0, &[1.0, 2.0], 0);
+        s.write(2, &[3.0, 4.0], 1);
+        s.write(0, &[5.0], 0); // same writer may rewrite its own range
+    }
+
+    #[test]
+    #[should_panic(expected = "write race")]
+    fn tracker_catches_overlap() {
+        let mut data = vec![0.0; 8];
+        let s = SharedSliceMut::new(&mut data).with_tracker(WriteTracker::new());
+        s.write(0, &[1.0, 2.0, 3.0], 0);
+        s.write(2, &[9.0], 1);
+    }
+
+    #[test]
+    fn views_cross_threads() {
+        let mut data = vec![0.0; 64];
+        let view = SharedSliceMut::new(&mut data);
+        std::thread::scope(|sc| {
+            for t in 0..4 {
+                let v = &view;
+                sc.spawn(move || {
+                    let chunk: Vec<f64> = (0..16).map(|i| (t * 16 + i) as f64).collect();
+                    v.write(t * 16, &chunk, t);
+                });
+            }
+        });
+        drop(view);
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, i as f64);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Event tracing for kernel launches: a per-CPE timeline of DMA,
+//! register-communication and compute events, in the spirit of the Sunway
+//! performance tools the paper's team used to find the OpenACC bandwidth
+//! bottleneck.
+//!
+//! Tracing is opt-in per launch (`CpeCluster::run_traced`); the collected
+//! [`Trace`] can be queried (busy fractions, event counts) or dumped as a
+//! text timeline for debugging kernel schedules.
+
+use crate::perfctr::Counters;
+
+/// Kind of a traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// DMA main-memory -> LDM.
+    DmaGet,
+    /// DMA LDM -> main memory.
+    DmaPut,
+    /// Register-communication send.
+    RegSend,
+    /// Register-communication receive (includes blocking wait).
+    RegRecv,
+    /// Annotated compute.
+    Compute,
+    /// Array-wide barrier.
+    Sync,
+}
+
+/// One traced event on one CPE.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// CPE id (0..64).
+    pub cpe: usize,
+    /// Kind.
+    pub kind: EventKind,
+    /// Cycle at which the event began.
+    pub start_cycles: f64,
+    /// Cycles the event occupied.
+    pub duration_cycles: f64,
+    /// Payload bytes (DMA) or flops (compute); 0 otherwise.
+    pub amount: u64,
+}
+
+/// A recorded kernel timeline.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// All events, grouped per CPE in issue order.
+    pub events: Vec<Event>,
+}
+
+impl Trace {
+    /// Events of one CPE, in order.
+    pub fn of_cpe(&self, cpe: usize) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.cpe == cpe)
+    }
+
+    /// Total cycles a CPE spent in events of `kind`.
+    pub fn cycles_in(&self, cpe: usize, kind: EventKind) -> f64 {
+        self.of_cpe(cpe).filter(|e| e.kind == kind).map(|e| e.duration_cycles).sum()
+    }
+
+    /// Fraction of a CPE's active time spent in `kind`.
+    pub fn fraction_in(&self, cpe: usize, kind: EventKind) -> f64 {
+        let total: f64 = self.of_cpe(cpe).map(|e| e.duration_cycles).sum();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.cycles_in(cpe, kind) / total
+        }
+    }
+
+    /// Count of events of `kind` across the cluster.
+    pub fn count(&self, kind: EventKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Cross-check: the traced DMA bytes must equal the PERF counters'.
+    pub fn consistent_with(&self, counters: &Counters) -> bool {
+        let dma_in: u64 = self
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::DmaGet)
+            .map(|e| e.amount)
+            .sum();
+        let dma_out: u64 = self
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::DmaPut)
+            .map(|e| e.amount)
+            .sum();
+        dma_in == counters.dma_bytes_in && dma_out == counters.dma_bytes_out
+    }
+
+    /// A compact text timeline of one CPE (debugging aid).
+    pub fn timeline(&self, cpe: usize) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for e in self.of_cpe(cpe) {
+            let _ = writeln!(
+                s,
+                "[{:>12.0} +{:>8.0}] {:?} ({})",
+                e.start_cycles, e.duration_cycles, e.kind, e.amount
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::CpeCluster;
+    use crate::shared::{SharedSlice, SharedSliceMut};
+    use crate::vector::V4F64;
+
+    #[test]
+    fn traced_launch_records_everything() {
+        let cluster = CpeCluster::with_defaults();
+        let src: Vec<f64> = (0..512).map(|i| i as f64).collect();
+        let mut dst = vec![0.0; 512];
+        let (report, trace) = {
+            let s = SharedSlice::new(&src);
+            let d = SharedSliceMut::new(&mut dst);
+            cluster.run_traced(|ctx| {
+                let start = ctx.id() * 8;
+                let mut buf = ctx.ldm_alloc(8).unwrap();
+                ctx.dma_get(s, start..start + 8, &mut buf);
+                ctx.charge_vflops(8);
+                if ctx.col() < 7 {
+                    ctx.reg_send_row(ctx.col() + 1, V4F64::splat(1.0));
+                }
+                if ctx.col() > 0 {
+                    let _ = ctx.reg_recv_row(ctx.col() - 1);
+                }
+                ctx.dma_put(&d, start, &buf);
+            })
+        };
+        assert_eq!(trace.count(EventKind::DmaGet), 64);
+        assert_eq!(trace.count(EventKind::DmaPut), 64);
+        assert_eq!(trace.count(EventKind::RegSend), 56);
+        assert_eq!(trace.count(EventKind::RegRecv), 56);
+        assert_eq!(trace.count(EventKind::Compute), 64);
+        assert!(trace.consistent_with(&report.counters));
+        // Events on one CPE are chronologically ordered.
+        let ev: Vec<&Event> = trace.of_cpe(5).collect();
+        for w in ev.windows(2) {
+            assert!(w[1].start_cycles >= w[0].start_cycles);
+        }
+        // A DMA-bound toy kernel: DMA dominates compute on every CPE.
+        for cpe in 0..64 {
+            assert!(
+                trace.cycles_in(cpe, EventKind::DmaGet) > trace.cycles_in(cpe, EventKind::Compute),
+                "cpe {cpe}"
+            );
+            let f = trace.fraction_in(cpe, EventKind::DmaGet);
+            assert!(f > 0.0 && f < 1.0);
+        }
+        let text = trace.timeline(0);
+        assert!(text.contains("DmaGet") && text.contains("DmaPut"));
+    }
+
+    #[test]
+    fn untraced_launch_collects_no_events() {
+        let cluster = CpeCluster::with_defaults();
+        let report = cluster.run(|ctx| ctx.charge_sflops(10));
+        assert_eq!(report.counters.sflops, 640);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of the simulator's core data structures.
+
+use proptest::prelude::*;
+use sw26010::{transpose4x4, Ldm, ShuffleMask, V4F64};
+
+proptest! {
+    /// The shuffle-based 4x4 transpose is an involution and a true
+    /// transpose for arbitrary values (including NaN-free extremes).
+    #[test]
+    fn transpose4x4_is_transpose(vals in proptest::array::uniform16(-1e12f64..1e12)) {
+        let rows = [
+            V4F64([vals[0], vals[1], vals[2], vals[3]]),
+            V4F64([vals[4], vals[5], vals[6], vals[7]]),
+            V4F64([vals[8], vals[9], vals[10], vals[11]]),
+            V4F64([vals[12], vals[13], vals[14], vals[15]]),
+        ];
+        let cols = transpose4x4(rows);
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert_eq!(cols[j][i], rows[i][j]);
+            }
+        }
+        prop_assert_eq!(transpose4x4(cols), rows);
+    }
+
+    /// Any shuffle only ever moves lane values, never invents data.
+    #[test]
+    fn shuffle_only_permutes(
+        a in proptest::array::uniform4(-1e6f64..1e6),
+        b in proptest::array::uniform4(-1e6f64..1e6),
+        m in proptest::array::uniform4(0u8..4),
+    ) {
+        let r = V4F64::shuffle(V4F64(a), V4F64(b), ShuffleMask::new(m[0], m[1], m[2], m[3]));
+        for lane in 0..4 {
+            let v = r[lane];
+            prop_assert!(a.contains(&v) || b.contains(&v));
+        }
+    }
+
+    /// LDM accounting is exact under arbitrary alloc/free sequences: the
+    /// in-use count equals the sum of live buffer sizes, the budget is
+    /// never exceeded, and the high-water mark is monotone.
+    #[test]
+    fn ldm_accounting_is_exact(sizes in proptest::collection::vec(1usize..2048, 1..20)) {
+        let mut ldm = Ldm::default();
+        let mut live = Vec::new();
+        let mut live_bytes = 0usize;
+        let mut hw = 0usize;
+        for (i, &n) in sizes.iter().enumerate() {
+            match ldm.alloc_f64(n) {
+                Ok(buf) => {
+                    live_bytes += buf.bytes();
+                    live.push(buf);
+                }
+                Err(e) => {
+                    prop_assert_eq!(e.in_use, live_bytes);
+                    prop_assert!(live_bytes + n * 8 > e.capacity);
+                }
+            }
+            prop_assert_eq!(ldm.in_use(), live_bytes);
+            prop_assert!(ldm.in_use() <= sw26010::LDM_BYTES);
+            prop_assert!(ldm.high_water() >= hw);
+            hw = ldm.high_water();
+            // Free every other allocation to exercise the return path.
+            if i % 2 == 1 && !live.is_empty() {
+                let buf = live.remove(0);
+                live_bytes -= buf.bytes();
+                ldm.free(buf);
+                prop_assert_eq!(ldm.in_use(), live_bytes);
+            }
+        }
+    }
+
+    /// Vector FMA agrees with scalar mul_add in every lane.
+    #[test]
+    fn fma_matches_scalar(
+        a in proptest::array::uniform4(-1e8f64..1e8),
+        b in proptest::array::uniform4(-1e8f64..1e8),
+        c in proptest::array::uniform4(-1e8f64..1e8),
+    ) {
+        let r = V4F64(a).fma(V4F64(b), V4F64(c));
+        for i in 0..4 {
+            prop_assert_eq!(r[i], a[i].mul_add(b[i], c[i]));
+        }
+    }
+}
+
+/// The cluster runtime preserves arbitrary data through a DMA round trip
+/// regardless of how elements are assigned to CPEs.
+#[test]
+fn dma_roundtrip_preserves_random_data() {
+    use rand::prelude::*;
+    use sw26010::{CpeCluster, SharedSlice, SharedSliceMut};
+    let mut rng = StdRng::seed_from_u64(7);
+    let cluster = CpeCluster::with_defaults();
+    for _ in 0..3 {
+        let n = 64 * (1 + rng.gen_range(1..8)) * 4;
+        let src: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e6..1e6)).collect();
+        let mut dst = vec![0.0; n];
+        {
+            let s = SharedSlice::new(&src);
+            let d = SharedSliceMut::new(&mut dst);
+            let chunk = n / 64;
+            cluster.run(|ctx| {
+                let start = ctx.id() * chunk;
+                let mut buf = ctx.ldm_alloc(chunk).unwrap();
+                ctx.dma_get(s, start..start + chunk, &mut buf);
+                ctx.dma_put(&d, start, &buf);
+            });
+        }
+        assert_eq!(src, dst);
+    }
+}

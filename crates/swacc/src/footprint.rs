@@ -1,0 +1,220 @@
+//! The memory footprint analysis and reduction tool.
+//!
+//! "We also design a memory footprint analysis and reduction tool, and a
+//! number of customized Sunway OpenACC features, to fit the
+//! frequently-accessed variables into the local fast buffer of the CPE."
+//! (Section 7.2)
+//!
+//! For each array of a planned kernel the tool computes the LDM bytes one
+//! CPE iteration needs. If the total exceeds the budget, it *tiles* the
+//! serial loops — the `for s ← 1 to vlayers, step 32` blocking visible in
+//! the paper's Algorithm 1 — halving the tile until everything fits or the
+//! tile bottoms out (in which case the residual arrays are demoted to
+//! direct global access, the slow path).
+
+use crate::ir::{Intent, LoopNest};
+use crate::transform::ParallelPlan;
+
+/// Placement decision for one array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Buffered in LDM for the duration of a serial tile.
+    LdmTile,
+    /// Left in main memory; accessed by gld/gst (slow).
+    GlobalDirect,
+}
+
+/// Per-array analysis result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayFootprint {
+    /// Array name.
+    pub name: String,
+    /// Bytes of LDM one tile of this array occupies (0 for GlobalDirect).
+    pub tile_bytes: usize,
+    /// Placement decision.
+    pub placement: Placement,
+    /// Whether the array is invariant across at least one collapsed loop —
+    /// i.e. the OpenACC schedule will *re-transfer* data that fine-grained
+    /// Athread code could keep resident (the Algorithm 1 vs 2 gap).
+    pub redundant_transfer: bool,
+    /// Data-flow direction (drives copyin/copyout accounting).
+    pub intent: Intent,
+}
+
+/// Whole-kernel analysis result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FootprintReport {
+    /// Chosen tile length over the serial loops' combined extent.
+    pub tile: usize,
+    /// Combined extent of the serial loops.
+    pub serial_extent: usize,
+    /// Per-array decisions.
+    pub arrays: Vec<ArrayFootprint>,
+    /// Total LDM bytes of one tile.
+    pub ldm_bytes: usize,
+}
+
+impl FootprintReport {
+    /// Bytes DMA-transferred per collapsed iteration under the OpenACC
+    /// schedule (every LDM-placed array moves once per tile, every tile).
+    pub fn bytes_per_parallel_iter(&self) -> usize {
+        let tiles = self.serial_extent.div_ceil(self.tile);
+        self.arrays
+            .iter()
+            .map(|a| {
+                let per_tile = match (a.placement, a.intent) {
+                    (Placement::GlobalDirect, _) => 0,
+                    (Placement::LdmTile, Intent::In) | (Placement::LdmTile, Intent::Out) => {
+                        a.tile_bytes
+                    }
+                    (Placement::LdmTile, Intent::InOut) => 2 * a.tile_bytes,
+                };
+                per_tile * tiles
+            })
+            .sum()
+    }
+}
+
+/// LDM bytes reserved for the runtime, spill slots, and stack.
+pub const LDM_RESERVE: usize = 8 * 1024;
+
+/// Analyze a planned nest against the LDM budget.
+pub fn analyze(nest: &LoopNest, plan: &ParallelPlan, ldm_budget: usize) -> FootprintReport {
+    let budget = ldm_budget.saturating_sub(LDM_RESERVE);
+    let serial_extent = plan.serial.iter().map(|&i| nest.loops[i].extent).product::<usize>().max(1);
+
+    // Bytes per serial-iteration point for each array.
+    let per_point: Vec<usize> =
+        nest.arrays.iter().map(|a| a.elems_per_point * a.elem_bytes).collect();
+
+    let mut tile = serial_extent;
+    loop {
+        let total: usize = per_point.iter().map(|b| b * tile).sum();
+        if total <= budget || tile == 1 {
+            break;
+        }
+        tile = (tile / 2).max(1);
+    }
+
+    // If even tile = 1 does not fit, demote the largest arrays to direct
+    // global access until the rest fits.
+    let mut placement = vec![Placement::LdmTile; nest.arrays.len()];
+    let fits = |placement: &[Placement], tile: usize| -> usize {
+        placement
+            .iter()
+            .zip(&per_point)
+            .map(|(p, b)| if *p == Placement::LdmTile { b * tile } else { 0 })
+            .sum()
+    };
+    while fits(&placement, tile) > budget {
+        // Demote the largest still-resident array.
+        let victim = placement
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p == Placement::LdmTile)
+            .max_by_key(|(i, _)| per_point[*i])
+            .map(|(i, _)| i)
+            .expect("budget exceeded with nothing resident");
+        placement[victim] = Placement::GlobalDirect;
+    }
+
+    let arrays = nest
+        .arrays
+        .iter()
+        .zip(&placement)
+        .map(|(a, &p)| ArrayFootprint {
+            name: a.name.clone(),
+            tile_bytes: if p == Placement::LdmTile { a.elems_per_point * a.elem_bytes * tile } else { 0 },
+            placement: p,
+            // Invariant across a collapsed loop => that loop's iterations
+            // each re-transfer the array.
+            redundant_transfer: plan.collapsed.iter().any(|l| !a.indexed_by.contains(l)),
+            intent: a.intent,
+        })
+        .collect::<Vec<_>>();
+
+    let ldm_bytes = arrays.iter().map(|a| a.tile_bytes).sum();
+    FootprintReport { tile, serial_extent, arrays, ldm_bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ArrayRef, Loop};
+    use crate::transform::plan;
+    use sw26010::LDM_BYTES;
+
+    #[test]
+    fn euler_step_tiles_the_level_loop() {
+        let nest = LoopNest::euler_step_example(64, 25, 128);
+        let p = plan(&nest).unwrap();
+        let r = analyze(&nest, &p, LDM_BYTES);
+        // 128 levels x (16 + 16 + 32) elems x 8 B = 64 KB > budget, so the
+        // tool must tile below the full column: the paper blocks by 32.
+        assert!(r.tile < 128, "tile = {}", r.tile);
+        assert!(r.tile >= 16);
+        assert!(r.ldm_bytes <= LDM_BYTES - LDM_RESERVE);
+        assert!(r.arrays.iter().all(|a| a.placement == Placement::LdmTile));
+    }
+
+    #[test]
+    fn q_invariant_arrays_are_flagged_redundant() {
+        let nest = LoopNest::euler_step_example(64, 25, 128);
+        let p = plan(&nest).unwrap();
+        let r = analyze(&nest, &p, LDM_BYTES);
+        let by_name = |n: &str| r.arrays.iter().find(|a| a.name == n).unwrap();
+        assert!(!by_name("qdp").redundant_transfer);
+        assert!(by_name("derived_dp").redundant_transfer);
+        assert!(by_name("derived_vn0").redundant_transfer);
+    }
+
+    #[test]
+    fn oversized_arrays_get_demoted() {
+        let nest = LoopNest {
+            name: "fat".into(),
+            loops: vec![Loop::parallel("ie", 512)],
+            arrays: vec![
+                ArrayRef {
+                    name: "huge".into(),
+                    elem_bytes: 8,
+                    indexed_by: vec![0],
+                    elems_per_point: 20_000, // 160 KB per iteration point
+                    intent: Intent::In,
+                },
+                ArrayRef {
+                    name: "small".into(),
+                    elem_bytes: 8,
+                    indexed_by: vec![0],
+                    elems_per_point: 64,
+                    intent: Intent::Out,
+                },
+            ],
+            flops_per_point: 1,
+        };
+        let p = plan(&nest).unwrap();
+        let r = analyze(&nest, &p, LDM_BYTES);
+        let huge = r.arrays.iter().find(|a| a.name == "huge").unwrap();
+        let small = r.arrays.iter().find(|a| a.name == "small").unwrap();
+        assert_eq!(huge.placement, Placement::GlobalDirect);
+        assert_eq!(small.placement, Placement::LdmTile);
+        assert!(r.ldm_bytes <= LDM_BYTES - LDM_RESERVE);
+    }
+
+    #[test]
+    fn transfer_volume_counts_tiles_and_inout_twice() {
+        let nest = LoopNest::euler_step_example(64, 25, 128);
+        let p = plan(&nest).unwrap();
+        let r = analyze(&nest, &p, LDM_BYTES);
+        let tiles = r.serial_extent.div_ceil(r.tile);
+        let expect: usize = r
+            .arrays
+            .iter()
+            .map(|a| match a.intent {
+                Intent::InOut => 2 * a.tile_bytes * tiles,
+                _ => a.tile_bytes * tiles,
+            })
+            .sum();
+        assert_eq!(r.bytes_per_parallel_iter(), expect);
+        assert!(expect > 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! A loop-nest intermediate representation for the refactoring tools.
+//!
+//! The paper's OpenACC port of CAM did not hand-edit half a million lines:
+//! it ran source-to-source tools over the Fortran — a *loop transformation
+//! tool* that finds the right loop level to parallelize on the CPE cluster,
+//! and a *memory footprint analysis and reduction tool* that fits the
+//! frequently-accessed variables into the 64 KB LDM (Section 7.2). Those
+//! tools reason about a simple abstraction of each kernel: the loop nest,
+//! which loops carry dependences, and which arrays the body touches indexed
+//! by which loops. This module is that abstraction.
+
+/// One loop of a nest, outermost first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loop {
+    /// Source-level name of the induction variable (`ie`, `q`, `k`, ...).
+    pub name: String,
+    /// Trip count.
+    pub extent: usize,
+    /// True if iterations must run in order (loop-carried dependence) —
+    /// e.g. the vertical scan `p(k) = p(k-1) + a(k)`.
+    pub carries_dependence: bool,
+}
+
+impl Loop {
+    /// Convenience constructor for a parallelizable loop.
+    pub fn parallel(name: &str, extent: usize) -> Self {
+        Loop { name: name.into(), extent, carries_dependence: false }
+    }
+
+    /// Convenience constructor for a dependence-carrying loop.
+    pub fn sequential(name: &str, extent: usize) -> Self {
+        Loop { name: name.into(), extent, carries_dependence: true }
+    }
+}
+
+/// Data-flow direction of an array reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Intent {
+    /// Read only (`copyin`).
+    In,
+    /// Written only (`copyout`).
+    Out,
+    /// Read and written (`copy`).
+    InOut,
+}
+
+/// One array referenced by the loop body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayRef {
+    /// Source-level name.
+    pub name: String,
+    /// Bytes per element (8 for the double-precision model state).
+    pub elem_bytes: usize,
+    /// Indices (into `LoopNest::loops`) of the loops this array is indexed
+    /// by. A loop *not* listed here means the array is invariant across it —
+    /// the reuse opportunity Algorithm 2 exploits and Algorithm 1 wastes.
+    pub indexed_by: Vec<usize>,
+    /// Elements touched per combined innermost iteration.
+    pub elems_per_point: usize,
+    /// Data-flow direction.
+    pub intent: Intent,
+}
+
+/// A kernel's loop nest plus its array references.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopNest {
+    /// Kernel name (for reports).
+    pub name: String,
+    /// Loops, outermost first.
+    pub loops: Vec<Loop>,
+    /// Arrays the body touches.
+    pub arrays: Vec<ArrayRef>,
+    /// Double-precision flops per innermost iteration point.
+    pub flops_per_point: u64,
+}
+
+impl LoopNest {
+    /// Total iteration-space size.
+    pub fn points(&self) -> usize {
+        self.loops.iter().map(|l| l.extent).product()
+    }
+
+    /// Iteration count of the loops in `set` (product of extents).
+    pub fn extent_of(&self, set: &[usize]) -> usize {
+        set.iter().map(|&i| self.loops[i].extent).product()
+    }
+
+    /// The euler_step nest of the paper's Algorithm 1/2:
+    /// `ie` (elements) x `q` (tracers) x `k` (128 levels), with `qdp`
+    /// indexed by all three and the derived fields invariant in `q`.
+    pub fn euler_step_example(nelem: usize, qsize: usize, nlev: usize) -> Self {
+        LoopNest {
+            name: "euler_step".into(),
+            loops: vec![
+                Loop::parallel("ie", nelem),
+                Loop::parallel("q", qsize),
+                Loop::parallel("k", nlev),
+            ],
+            arrays: vec![
+                ArrayRef {
+                    name: "qdp".into(),
+                    elem_bytes: 8,
+                    indexed_by: vec![0, 1, 2],
+                    elems_per_point: 16, // np x np per (ie, q, k)
+                    intent: Intent::InOut,
+                },
+                ArrayRef {
+                    name: "derived_dp".into(),
+                    elem_bytes: 8,
+                    indexed_by: vec![0, 2], // invariant across q
+                    elems_per_point: 16,
+                    intent: Intent::In,
+                },
+                ArrayRef {
+                    name: "derived_vn0".into(),
+                    elem_bytes: 8,
+                    indexed_by: vec![0, 2], // invariant across q
+                    elems_per_point: 32, // two velocity components
+                    intent: Intent::In,
+                },
+            ],
+            flops_per_point: 250,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euler_step_nest_shape() {
+        let nest = LoopNest::euler_step_example(64, 25, 128);
+        assert_eq!(nest.points(), 64 * 25 * 128);
+        assert_eq!(nest.extent_of(&[0, 1]), 64 * 25);
+        assert_eq!(nest.loops[0].name, "ie");
+        assert!(!nest.loops[0].carries_dependence);
+        assert_eq!(nest.arrays[1].indexed_by, vec![0, 2]);
+    }
+
+    #[test]
+    fn loop_constructors() {
+        let p = Loop::parallel("i", 10);
+        let s = Loop::sequential("k", 5);
+        assert!(!p.carries_dependence);
+        assert!(s.carries_dependence);
+        assert_eq!(s.extent, 5);
+    }
+}

@@ -1,0 +1,156 @@
+//! The loop transformation tool.
+//!
+//! "For the physics parts, which includes numerous modules with different
+//! code styles by different scientists, we design a loop transformation tool
+//! to identify and expose the most suitable level of loop body for the
+//! parallelization on the CPE cluster." (Section 7.2)
+//!
+//! Given a [`LoopNest`], the tool selects the outermost run of
+//! dependence-free loops and collapses enough of them to feed 64 CPEs. The
+//! Sunway OpenACC compiler "only supports single collapse for multiple
+//! levels of loops, and we cannot insert code between two loops once it is
+//! collapsed" — the plan records that constraint: every array indexed by a
+//! collapsed loop *or inner to the collapse* must be re-transferred each
+//! collapsed iteration (no staging point exists between the loops), which
+//! is exactly why Algorithm 1 rereads the `q`-invariant arrays every `q`.
+
+use crate::ir::LoopNest;
+use sw26010::CPES_PER_CG;
+
+/// Result of the loop-selection pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelPlan {
+    /// Indices of the loops collapsed into the parallel dimension
+    /// (outermost first, always a prefix of the parallelizable run).
+    pub collapsed: Vec<usize>,
+    /// Indices of the loops that remain serial inside each CPE iteration.
+    pub serial: Vec<usize>,
+    /// Total collapsed iterations.
+    pub parallel_iters: usize,
+    /// Whether the nest offered enough parallelism for the cluster.
+    pub sufficient_parallelism: bool,
+}
+
+/// Reason the tool rejected a nest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The outermost loop already carries a dependence; the directive
+    /// approach has nothing to parallelize (the paper's
+    /// `compute_and_apply_rhs` situation before the register-communication
+    /// redesign).
+    OutermostDependence,
+    /// Empty nest.
+    Empty,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::OutermostDependence => {
+                write!(f, "outermost loop carries a dependence; no parallel level found")
+            }
+            PlanError::Empty => write!(f, "empty loop nest"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Select the collapse that feeds the CPE cluster.
+///
+/// Collapses the longest prefix of dependence-free loops, stopping early
+/// once at least `4 x 64` iterations are available (more collapse than that
+/// only shrinks the serial body and increases per-iteration transfer
+/// overhead).
+pub fn plan(nest: &LoopNest) -> Result<ParallelPlan, PlanError> {
+    if nest.loops.is_empty() {
+        return Err(PlanError::Empty);
+    }
+    if nest.loops[0].carries_dependence {
+        return Err(PlanError::OutermostDependence);
+    }
+
+    let target = 4 * CPES_PER_CG;
+    let mut collapsed = Vec::new();
+    let mut iters = 1usize;
+    for (i, l) in nest.loops.iter().enumerate() {
+        if l.carries_dependence {
+            break;
+        }
+        collapsed.push(i);
+        iters *= l.extent;
+        if iters >= target {
+            break;
+        }
+    }
+    let serial = (0..nest.loops.len()).filter(|i| !collapsed.contains(i)).collect();
+    Ok(ParallelPlan {
+        parallel_iters: iters,
+        sufficient_parallelism: iters >= CPES_PER_CG,
+        collapsed,
+        serial,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Loop;
+
+    #[test]
+    fn euler_step_collapses_ie_and_q() {
+        // 64 elements x 25 tracers = 1600 >= 256, so k stays serial: this is
+        // the paper's Algorithm 1 `collapse(2)`.
+        let nest = LoopNest::euler_step_example(64, 25, 128);
+        let p = plan(&nest).unwrap();
+        assert_eq!(p.collapsed, vec![0, 1]);
+        assert_eq!(p.serial, vec![2]);
+        assert_eq!(p.parallel_iters, 1600);
+        assert!(p.sufficient_parallelism);
+    }
+
+    #[test]
+    fn small_element_count_collapses_deeper() {
+        let nest = LoopNest::euler_step_example(4, 5, 128);
+        let p = plan(&nest).unwrap();
+        // 4 x 5 = 20 < 256, so the level loop joins the collapse.
+        assert_eq!(p.collapsed, vec![0, 1, 2]);
+        assert!(p.sufficient_parallelism);
+    }
+
+    #[test]
+    fn dependence_stops_the_collapse() {
+        let nest = LoopNest {
+            name: "hydrostatic".into(),
+            loops: vec![Loop::parallel("ie", 8), Loop::sequential("k", 128)],
+            arrays: vec![],
+            flops_per_point: 10,
+        };
+        let p = plan(&nest).unwrap();
+        assert_eq!(p.collapsed, vec![0]);
+        assert_eq!(p.serial, vec![1]);
+        assert_eq!(p.parallel_iters, 8);
+        // Only 8-way parallelism for 64 CPEs: the tool flags it. This is the
+        // "modules with heavy data dependency and inadequate parallelism"
+        // case that Section 7.4 solves with register communication instead.
+        assert!(!p.sufficient_parallelism);
+    }
+
+    #[test]
+    fn outermost_dependence_is_an_error() {
+        let nest = LoopNest {
+            name: "scan".into(),
+            loops: vec![Loop::sequential("k", 128)],
+            arrays: vec![],
+            flops_per_point: 2,
+        };
+        assert_eq!(plan(&nest).unwrap_err(), PlanError::OutermostDependence);
+    }
+
+    #[test]
+    fn empty_nest_is_an_error() {
+        let nest =
+            LoopNest { name: "x".into(), loops: vec![], arrays: vec![], flops_per_point: 0 };
+        assert_eq!(plan(&nest).unwrap_err(), PlanError::Empty);
+    }
+}

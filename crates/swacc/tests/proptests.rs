@@ -1,0 +1,73 @@
+//! Property-based tests of the refactoring tools.
+
+use proptest::prelude::*;
+use swacc::{analyze, plan, ArrayRef, Intent, Loop, LoopNest, Placement};
+
+fn arb_nest() -> impl Strategy<Value = LoopNest> {
+    (
+        1usize..6,                                      // number of loops
+        proptest::collection::vec(1usize..200, 5),      // extents
+        proptest::collection::vec(any::<bool>(), 5),    // dependences
+        1usize..5,                                      // number of arrays
+        proptest::collection::vec(1usize..4000, 4),     // footprints
+    )
+        .prop_map(|(nloops, extents, deps, narrays, footprints)| {
+            let loops: Vec<Loop> = (0..nloops)
+                .map(|i| Loop {
+                    name: format!("l{i}"),
+                    extent: extents[i % extents.len()],
+                    // The outermost loop is kept parallel so plan() succeeds.
+                    carries_dependence: i > 0 && deps[i % deps.len()],
+                })
+                .collect();
+            let arrays: Vec<ArrayRef> = (0..narrays)
+                .map(|a| ArrayRef {
+                    name: format!("a{a}"),
+                    elem_bytes: 8,
+                    indexed_by: (0..nloops).filter(|i| (i + a) % 2 == 0).collect(),
+                    elems_per_point: footprints[a % footprints.len()],
+                    intent: match a % 3 {
+                        0 => Intent::In,
+                        1 => Intent::Out,
+                        _ => Intent::InOut,
+                    },
+                })
+                .collect();
+            LoopNest { name: "fuzz".into(), loops, arrays, flops_per_point: 10 }
+        })
+}
+
+proptest! {
+    /// The footprint tool never plans an LDM tile over budget, and every
+    /// array is either resident or demoted — never lost.
+    #[test]
+    fn footprint_respects_budget(nest in arb_nest(), budget in 16_384usize..65_536) {
+        let p = plan(&nest).unwrap();
+        let r = analyze(&nest, &p, budget);
+        prop_assert!(r.ldm_bytes + swacc::LDM_RESERVE <= budget.max(swacc::LDM_RESERVE),
+            "tile {} over budget {budget}", r.ldm_bytes);
+        prop_assert_eq!(r.arrays.len(), nest.arrays.len());
+        prop_assert!(r.tile >= 1 && r.tile <= r.serial_extent.max(1));
+        // Residency implies a positive tile size.
+        for a in &r.arrays {
+            match a.placement {
+                Placement::LdmTile => prop_assert!(a.tile_bytes > 0 || r.tile == 0),
+                Placement::GlobalDirect => prop_assert_eq!(a.tile_bytes, 0),
+            }
+        }
+    }
+
+    /// The collapse is always a prefix of the loops, never crosses a
+    /// dependence, and covers the whole nest's parallel iterations.
+    #[test]
+    fn plan_collapse_is_a_dependence_free_prefix(nest in arb_nest()) {
+        let p = plan(&nest).unwrap();
+        prop_assert!(!p.collapsed.is_empty());
+        for (slot, &l) in p.collapsed.iter().enumerate() {
+            prop_assert_eq!(slot, l, "collapse must be a prefix");
+            prop_assert!(!nest.loops[l].carries_dependence);
+        }
+        let product: usize = p.collapsed.iter().map(|&l| nest.loops[l].extent).product();
+        prop_assert_eq!(product, p.parallel_iters);
+    }
+}

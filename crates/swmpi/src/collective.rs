@@ -1,0 +1,189 @@
+//! Collective operations over an in-process rank world.
+//!
+//! Barrier and allreduce are implemented with a shared generation-counted
+//! rendezvous (the in-process analog of the TaihuLight's hardware-assisted
+//! collectives). Every rank holds an [`Collectives`] handle cloned from the
+//! same world.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// Reduction operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Max,
+    Min,
+}
+
+impl ReduceOp {
+    fn identity(self) -> f64 {
+        match self {
+            ReduceOp::Sum => 0.0,
+            ReduceOp::Max => f64::NEG_INFINITY,
+            ReduceOp::Min => f64::INFINITY,
+        }
+    }
+
+    fn combine(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+        }
+    }
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+struct State {
+    arrived: usize,
+    generation: u64,
+    accum: Vec<f64>,
+    result: Vec<f64>,
+}
+
+/// Handle to the world's collective machinery; clone one per rank.
+#[derive(Clone)]
+pub struct Collectives {
+    size: usize,
+    shared: Arc<Shared>,
+}
+
+impl Collectives {
+    /// Machinery for an `n`-rank world.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        Collectives {
+            size: n,
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    arrived: 0,
+                    generation: 0,
+                    accum: Vec::new(),
+                    result: Vec::new(),
+                }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Block until all ranks have entered.
+    pub fn barrier(&self) {
+        self.allreduce(&[], ReduceOp::Sum);
+    }
+
+    /// Element-wise allreduce of `contrib` across all ranks.
+    pub fn allreduce(&self, contrib: &[f64], op: ReduceOp) -> Vec<f64> {
+        let shared = &*self.shared;
+        let mut st = shared.state.lock();
+        let my_gen = st.generation;
+        if st.arrived == 0 {
+            st.accum = vec![op.identity(); contrib.len()];
+        }
+        assert_eq!(
+            st.accum.len(),
+            contrib.len(),
+            "ranks disagree on allreduce length"
+        );
+        for (a, &c) in st.accum.iter_mut().zip(contrib) {
+            *a = op.combine(*a, c);
+        }
+        st.arrived += 1;
+        if st.arrived == self.size {
+            st.result = std::mem::take(&mut st.accum);
+            st.arrived = 0;
+            st.generation += 1;
+            shared.cv.notify_all();
+        } else {
+            while st.generation == my_gen {
+                shared.cv.wait(&mut st);
+            }
+        }
+        st.result.clone()
+    }
+
+    /// Allreduce of one scalar.
+    pub fn allreduce_scalar(&self, x: f64, op: ReduceOp) -> f64 {
+        self.allreduce(&[x], op)[0]
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn sum_max_min_over_threads() {
+        let coll = Collectives::new(8);
+        let handles: Vec<_> = (0..8)
+            .map(|r| {
+                let c = coll.clone();
+                thread::spawn(move || {
+                    let s = c.allreduce_scalar(r as f64, ReduceOp::Sum);
+                    let mx = c.allreduce_scalar(r as f64, ReduceOp::Max);
+                    let mn = c.allreduce_scalar(r as f64, ReduceOp::Min);
+                    (s, mx, mn)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (s, mx, mn) = h.join().unwrap();
+            assert_eq!(s, 28.0);
+            assert_eq!(mx, 7.0);
+            assert_eq!(mn, 0.0);
+        }
+    }
+
+    #[test]
+    fn vector_allreduce() {
+        let coll = Collectives::new(4);
+        let handles: Vec<_> = (0..4)
+            .map(|r| {
+                let c = coll.clone();
+                thread::spawn(move || c.allreduce(&[r as f64, 1.0], ReduceOp::Sum))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), vec![6.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn repeated_barriers_do_not_cross_generations() {
+        let coll = Collectives::new(4);
+        let handles: Vec<_> = (0..4)
+            .map(|r| {
+                let c = coll.clone();
+                thread::spawn(move || {
+                    let mut acc = 0.0;
+                    for round in 0..50 {
+                        acc += c.allreduce_scalar((r * round) as f64, ReduceOp::Sum);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        let expected: f64 = (0..50).map(|round| 6.0 * round as f64).sum();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn single_rank_world_is_trivial() {
+        let coll = Collectives::new(1);
+        assert_eq!(coll.allreduce_scalar(5.0, ReduceOp::Sum), 5.0);
+        coll.barrier();
+        assert_eq!(coll.size(), 1);
+    }
+}

@@ -1,0 +1,238 @@
+//! Point-to-point communication between in-process ranks.
+//!
+//! The reproduction runs "MPI processes" as threads inside one OS process:
+//! each rank owns a [`Comm`] handle with a mailbox channel. Sends are
+//! buffered (eager) and never block; receives match on `(source, tag)` and
+//! may be posted as nonblocking requests — which is the property the paper's
+//! redesigned `bndry_exchangev` relies on ("start the asynchronous MPI
+//! communication on the MPE with an MPI wait in the end", Section 7.6).
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Wildcard source for receives.
+pub const ANY_SOURCE: usize = usize::MAX;
+
+/// How long a blocking receive waits before declaring the job deadlocked.
+pub const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// One in-flight message.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sending rank.
+    pub source: usize,
+    /// User tag.
+    pub tag: u64,
+    /// Payload.
+    pub data: Vec<f64>,
+}
+
+/// Traffic counters for one rank (feed the network performance model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Messages sent.
+    pub sends: u64,
+    /// Bytes sent.
+    pub bytes_sent: u64,
+    /// Messages received.
+    pub recvs: u64,
+    /// Bytes received.
+    pub bytes_received: u64,
+}
+
+/// A nonblocking receive request. Call [`RecvRequest::wait`] on the owning
+/// rank's [`Comm`] to complete it.
+#[derive(Debug, Clone, Copy)]
+pub struct RecvRequest {
+    source: usize,
+    tag: u64,
+}
+
+/// Per-rank communicator handle.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    peers: Vec<Sender<Message>>,
+    inbox: Receiver<Message>,
+    /// Arrived-but-unmatched messages.
+    pending: VecDeque<Message>,
+    stats: CommStats,
+}
+
+impl Comm {
+    /// Build the communicator handles for an `n`-rank world.
+    pub(crate) fn world(n: usize) -> Vec<Comm> {
+        let channels: Vec<_> = (0..n).map(|_| unbounded::<Message>()).collect();
+        let senders: Vec<Sender<Message>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+        channels
+            .into_iter()
+            .enumerate()
+            .map(|(rank, (_, rx))| Comm {
+                rank,
+                size: n,
+                peers: senders.clone(),
+                inbox: rx,
+                pending: VecDeque::new(),
+                stats: CommStats::default(),
+            })
+            .collect()
+    }
+
+    /// This rank's id.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Traffic counters accumulated so far.
+    #[inline]
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Buffered (eager) send: copies the payload and returns immediately,
+    /// i.e. `MPI_Isend` with an implicit buffer.
+    ///
+    /// # Panics
+    /// Panics if `dest` is out of range or the destination has hung up.
+    pub fn send(&mut self, dest: usize, tag: u64, data: &[f64]) {
+        assert!(dest < self.size, "send to rank {dest} of {}", self.size);
+        self.stats.sends += 1;
+        self.stats.bytes_sent += (data.len() * 8) as u64;
+        self.peers[dest]
+            .send(Message { source: self.rank, tag, data: data.to_vec() })
+            .expect("destination rank terminated");
+    }
+
+    /// Post a nonblocking receive for `(source, tag)`. Matching happens at
+    /// [`Comm::wait`]; posting never blocks.
+    pub fn irecv(&self, source: usize, tag: u64) -> RecvRequest {
+        RecvRequest { source, tag }
+    }
+
+    /// Complete a posted receive, blocking until a matching message arrives.
+    ///
+    /// # Panics
+    /// Panics after [`RECV_TIMEOUT`] with a deadlock diagnostic.
+    pub fn wait(&mut self, req: RecvRequest) -> Message {
+        // First check messages that already arrived out of order.
+        if let Some(pos) = self.pending.iter().position(|m| Self::matches(m, &req)) {
+            let m = self.pending.remove(pos).expect("position valid");
+            self.account_recv(&m);
+            return m;
+        }
+        loop {
+            match self.inbox.recv_timeout(RECV_TIMEOUT) {
+                Ok(m) => {
+                    if Self::matches(&m, &req) {
+                        self.account_recv(&m);
+                        return m;
+                    }
+                    self.pending.push_back(m);
+                }
+                Err(RecvTimeoutError::Timeout) => panic!(
+                    "rank {} deadlocked waiting for (source {:?}, tag {}): {} unmatched pending",
+                    self.rank,
+                    req.source,
+                    req.tag,
+                    self.pending.len()
+                ),
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("rank {}: all senders terminated", self.rank)
+                }
+            }
+        }
+    }
+
+    /// Blocking receive (`irecv` + `wait`).
+    pub fn recv(&mut self, source: usize, tag: u64) -> Message {
+        let req = self.irecv(source, tag);
+        self.wait(req)
+    }
+
+    fn matches(m: &Message, req: &RecvRequest) -> bool {
+        (req.source == ANY_SOURCE || m.source == req.source) && m.tag == req.tag
+    }
+
+    fn account_recv(&mut self, m: &Message) {
+        self.stats.recvs += 1;
+        self.stats.bytes_received += (m.data.len() * 8) as u64;
+    }
+
+    /// Messages that have arrived but not been matched yet.
+    pub fn unmatched(&self) -> usize {
+        self.pending.len() + self.inbox.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_rank_roundtrip() {
+        let mut world = Comm::world(2);
+        let mut c1 = world.pop().unwrap();
+        let mut c0 = world.pop().unwrap();
+        c0.send(1, 7, &[1.0, 2.0]);
+        let m = c1.recv(0, 7);
+        assert_eq!(m.data, vec![1.0, 2.0]);
+        assert_eq!(m.source, 0);
+        assert_eq!(c0.stats().bytes_sent, 16);
+        assert_eq!(c1.stats().bytes_received, 16);
+    }
+
+    #[test]
+    fn out_of_order_matching() {
+        let mut world = Comm::world(2);
+        let mut c1 = world.pop().unwrap();
+        let mut c0 = world.pop().unwrap();
+        c0.send(1, 1, &[1.0]);
+        c0.send(1, 2, &[2.0]);
+        // Receive tag 2 first even though tag 1 arrived first.
+        assert_eq!(c1.recv(0, 2).data, vec![2.0]);
+        assert_eq!(c1.unmatched(), 1);
+        assert_eq!(c1.recv(0, 1).data, vec![1.0]);
+        assert_eq!(c1.unmatched(), 0);
+    }
+
+    #[test]
+    fn any_source_matches_first_arrival() {
+        let mut world = Comm::world(3);
+        let mut c2 = world.pop().unwrap();
+        let mut c1 = world.pop().unwrap();
+        let mut c0 = world.pop().unwrap();
+        c0.send(2, 9, &[0.5]);
+        c1.send(2, 9, &[1.5]);
+        let a = c2.recv(ANY_SOURCE, 9);
+        let b = c2.recv(ANY_SOURCE, 9);
+        let mut sources = [a.source, b.source];
+        sources.sort_unstable();
+        assert_eq!(sources, [0, 1]);
+    }
+
+    #[test]
+    fn irecv_can_be_posted_before_send() {
+        let mut world = Comm::world(2);
+        let mut c1 = world.pop().unwrap();
+        let mut c0 = world.pop().unwrap();
+        let req = c1.irecv(0, 3);
+        c0.send(1, 3, &[4.0]);
+        assert_eq!(c1.wait(req).data, vec![4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "send to rank")]
+    fn send_out_of_range() {
+        let mut world = Comm::world(1);
+        let mut c0 = world.pop().unwrap();
+        c0.send(1, 0, &[]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # swmpi — in-process MPI-like rank runtime + TaihuLight network model
+//!
+//! The paper's CAM-SE runs as "MPI + X": one MPI process per core group,
+//! OpenACC/Athread inside. This crate supplies the MPI side of the
+//! reproduction at two fidelities:
+//!
+//! * **Functional**: [`runner::run_ranks`] executes one closure per rank on
+//!   its own thread with real point-to-point channels ([`comm`]) and
+//!   collectives ([`collective`]) — enough concurrency to genuinely validate
+//!   the redesigned, overlap-capable boundary exchange of the paper's
+//!   Section 7.6.
+//! * **Modeled**: [`netmodel::NetworkModel`] prices messages on the
+//!   TaihuLight's two-level interconnect (fully connected supernodes of 256
+//!   processors under central switches) for the full-machine scaling figures
+//!   that no laptop can run functionally.
+
+pub mod collective;
+pub mod comm;
+pub mod netmodel;
+pub mod runner;
+pub mod topology;
+
+pub use collective::{Collectives, ReduceOp};
+pub use comm::{Comm, CommStats, Message, RecvRequest, ANY_SOURCE};
+pub use netmodel::{Locality, NetworkModel};
+pub use topology::{census, sfc_neighbor_pairs, LocalityCensus, Placement};
+pub use runner::{run_ranks, RankCtx};

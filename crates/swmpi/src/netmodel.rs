@@ -1,0 +1,158 @@
+//! Cost model of the TaihuLight interconnect.
+//!
+//! "The machine takes a two-level approach to build the network. Inside a
+//! supernode with 256 processors, all the processors are fully connected
+//! through a customized network board. Above the supernode, the central
+//! network switches process the communication packets." (paper Section 5.1)
+//!
+//! Each SW26010 processor hosts 4 CGs (MPI ranks), so a supernode holds
+//! 1024 ranks. Messages between ranks on the same processor move through
+//! shared memory; within a supernode they cross the network board; above
+//! that they traverse the central switch, with a modest contention factor
+//! that grows with job size.
+
+/// Parameters of the two-level network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkModel {
+    /// Ranks (CGs) per processor.
+    pub ranks_per_processor: usize,
+    /// Processors per supernode.
+    pub processors_per_supernode: usize,
+    /// Same-processor (shared-memory) latency, s.
+    pub lat_shm: f64,
+    /// Same-processor bandwidth, bytes/s.
+    pub bw_shm: f64,
+    /// Intra-supernode latency, s.
+    pub lat_supernode: f64,
+    /// Intra-supernode per-rank bandwidth, bytes/s.
+    pub bw_supernode: f64,
+    /// Cross-supernode (central switch) latency, s.
+    pub lat_central: f64,
+    /// Cross-supernode per-rank bandwidth, bytes/s.
+    pub bw_central: f64,
+    /// Per-hop software overhead of a collective stage, s.
+    pub collective_stage: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel {
+            ranks_per_processor: 4,
+            processors_per_supernode: 256,
+            lat_shm: 6.0e-7,
+            bw_shm: 12.0e9,
+            lat_supernode: 2.0e-6,
+            bw_supernode: 6.0e9,
+            lat_central: 4.5e-6,
+            bw_central: 3.0e9,
+            collective_stage: 3.0e-6,
+        }
+    }
+}
+
+/// Distance class between two ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Locality {
+    SameProcessor,
+    SameSupernode,
+    CrossSupernode,
+}
+
+impl NetworkModel {
+    /// Ranks per supernode.
+    pub fn ranks_per_supernode(&self) -> usize {
+        self.ranks_per_processor * self.processors_per_supernode
+    }
+
+    /// Distance class of a rank pair.
+    pub fn locality(&self, a: usize, b: usize) -> Locality {
+        if a / self.ranks_per_processor == b / self.ranks_per_processor {
+            Locality::SameProcessor
+        } else if a / self.ranks_per_supernode() == b / self.ranks_per_supernode() {
+            Locality::SameSupernode
+        } else {
+            Locality::CrossSupernode
+        }
+    }
+
+    /// Time for one point-to-point message of `bytes` between ranks `a`, `b`.
+    pub fn msg_time(&self, bytes: usize, a: usize, b: usize) -> f64 {
+        let (lat, bw) = match self.locality(a, b) {
+            Locality::SameProcessor => (self.lat_shm, self.bw_shm),
+            Locality::SameSupernode => (self.lat_supernode, self.bw_supernode),
+            Locality::CrossSupernode => (self.lat_central, self.bw_central),
+        };
+        lat + bytes as f64 / bw
+    }
+
+    /// Time of a halo exchange where a rank sends `messages` messages of
+    /// `bytes_each`, a fraction `remote_frac` of which cross supernodes.
+    /// Messages to different peers are pipelined: latency is paid per
+    /// message but bandwidth is the serialized injection cost.
+    pub fn halo_time(&self, messages: usize, bytes_each: usize, remote_frac: f64) -> f64 {
+        if messages == 0 {
+            return 0.0;
+        }
+        let lat = self.lat_supernode * (1.0 - remote_frac) + self.lat_central * remote_frac;
+        let bw = self.bw_supernode * (1.0 - remote_frac) + self.bw_central * remote_frac;
+        // Latency pipelines across peers (overlapped injection), volume does
+        // not: the NIC serializes outgoing bytes.
+        lat + (messages * bytes_each) as f64 / bw
+    }
+
+    /// Time of an allreduce of `bytes` over `nranks` (binomial tree up +
+    /// broadcast down, log2 stages each way).
+    pub fn allreduce_time(&self, nranks: usize, bytes: usize) -> f64 {
+        if nranks <= 1 {
+            return 0.0;
+        }
+        let stages = (nranks as f64).log2().ceil();
+        2.0 * stages * (self.collective_stage + bytes as f64 / self.bw_central)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality_classes() {
+        let m = NetworkModel::default();
+        assert_eq!(m.ranks_per_supernode(), 1024);
+        assert_eq!(m.locality(0, 3), Locality::SameProcessor);
+        assert_eq!(m.locality(0, 4), Locality::SameSupernode);
+        assert_eq!(m.locality(1023, 1024), Locality::CrossSupernode);
+        assert_eq!(m.locality(2048, 2050), Locality::SameProcessor);
+    }
+
+    #[test]
+    fn nearer_is_faster() {
+        let m = NetworkModel::default();
+        let b = 64 * 1024;
+        let shm = m.msg_time(b, 0, 1);
+        let sn = m.msg_time(b, 0, 100);
+        let cross = m.msg_time(b, 0, 5000);
+        assert!(shm < sn && sn < cross, "{shm} {sn} {cross}");
+    }
+
+    #[test]
+    fn halo_time_scales_with_volume_and_distance() {
+        let m = NetworkModel::default();
+        let near = m.halo_time(8, 4096, 0.0);
+        let far = m.halo_time(8, 4096, 1.0);
+        assert!(far > near);
+        let big = m.halo_time(8, 8192, 0.0);
+        assert!(big > near);
+        assert_eq!(m.halo_time(0, 4096, 0.5), 0.0);
+    }
+
+    #[test]
+    fn allreduce_is_logarithmic() {
+        let m = NetworkModel::default();
+        let t1k = m.allreduce_time(1024, 8);
+        let t1m = m.allreduce_time(1 << 20, 8);
+        // 2x the stages, so 2x the time.
+        assert!((t1m / t1k - 2.0).abs() < 1e-9);
+        assert_eq!(m.allreduce_time(1, 8), 0.0);
+    }
+}

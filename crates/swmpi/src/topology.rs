@@ -1,0 +1,151 @@
+//! Rank placement on the TaihuLight topology.
+//!
+//! The scheduler maps MPI ranks onto core groups; how it does so decides
+//! which halo messages stay inside a supernode's fully connected board and
+//! which cross the central switch. This module provides the two classic
+//! placements and measures a partition's communication locality under
+//! them — the inputs behind `perfmodel`'s `remote_frac`.
+
+use crate::netmodel::{Locality, NetworkModel};
+
+/// Placement strategy of ranks onto the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Consecutive ranks fill a processor, then a supernode (the scheduler
+    /// default; pairs naturally with space-filling-curve partitions).
+    Block,
+    /// Ranks scattered round-robin across supernodes (the pathological
+    /// placement; for contrast experiments).
+    RoundRobinSupernodes,
+}
+
+impl Placement {
+    /// Physical core-group slot of `rank` in a `nranks`-rank job.
+    pub fn slot(&self, rank: usize, nranks: usize, net: &NetworkModel) -> usize {
+        match self {
+            Placement::Block => rank,
+            Placement::RoundRobinSupernodes => {
+                let sn_count =
+                    nranks.div_ceil(net.ranks_per_supernode()).max(1);
+                let sn = rank % sn_count;
+                let within = rank / sn_count;
+                sn * net.ranks_per_supernode() + within
+            }
+        }
+    }
+}
+
+/// Locality census of a set of communicating rank pairs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LocalityCensus {
+    /// Pairs on the same processor (shared memory).
+    pub same_processor: usize,
+    /// Pairs within one supernode.
+    pub same_supernode: usize,
+    /// Pairs crossing supernodes.
+    pub cross_supernode: usize,
+}
+
+impl LocalityCensus {
+    /// Fraction of pairs that cross supernodes.
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.same_processor + self.same_supernode + self.cross_supernode;
+        if total == 0 {
+            0.0
+        } else {
+            self.cross_supernode as f64 / total as f64
+        }
+    }
+}
+
+/// Census of the communicating pairs under a placement.
+pub fn census(
+    pairs: &[(usize, usize)],
+    nranks: usize,
+    placement: Placement,
+    net: &NetworkModel,
+) -> LocalityCensus {
+    let mut c = LocalityCensus::default();
+    for &(a, b) in pairs {
+        let sa = placement.slot(a, nranks, net);
+        let sb = placement.slot(b, nranks, net);
+        match net.locality(sa, sb) {
+            Locality::SameProcessor => c.same_processor += 1,
+            Locality::SameSupernode => c.same_supernode += 1,
+            Locality::CrossSupernode => c.cross_supernode += 1,
+        }
+    }
+    c
+}
+
+/// Nearest-neighbour pairs of an SFC-style partition: each rank talks to a
+/// contiguous window of ranks around it (the compact-patch approximation).
+pub fn sfc_neighbor_pairs(nranks: usize, peers_each: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    for r in 0..nranks {
+        for d in 1..=peers_each / 2 {
+            let p = (r + d) % nranks;
+            pairs.push((r, p));
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_placement_is_identity() {
+        let net = NetworkModel::default();
+        for r in [0usize, 5, 1023, 5000] {
+            assert_eq!(Placement::Block.slot(r, 8192, &net), r);
+        }
+    }
+
+    #[test]
+    fn round_robin_scatters_consecutive_ranks() {
+        let net = NetworkModel::default();
+        let nranks = 4096; // 4 supernodes
+        let s0 = Placement::RoundRobinSupernodes.slot(0, nranks, &net);
+        let s1 = Placement::RoundRobinSupernodes.slot(1, nranks, &net);
+        assert_ne!(
+            s0 / net.ranks_per_supernode(),
+            s1 / net.ranks_per_supernode(),
+            "consecutive ranks must land in different supernodes"
+        );
+    }
+
+    #[test]
+    fn block_placement_keeps_sfc_neighbors_local() {
+        let net = NetworkModel::default();
+        let nranks = 8192; // 8 supernodes
+        let pairs = sfc_neighbor_pairs(nranks, 8);
+        let block = census(&pairs, nranks, Placement::Block, &net);
+        let rr = census(&pairs, nranks, Placement::RoundRobinSupernodes, &net);
+        assert!(
+            block.remote_fraction() < 0.05,
+            "block placement should keep SFC halos local: {}",
+            block.remote_fraction()
+        );
+        assert!(
+            rr.remote_fraction() > 0.9,
+            "round-robin should scatter them: {}",
+            rr.remote_fraction()
+        );
+    }
+
+    #[test]
+    fn census_totals_match_pair_count() {
+        let net = NetworkModel::default();
+        let pairs = sfc_neighbor_pairs(100, 6);
+        let c = census(&pairs, 100, Placement::Block, &net);
+        assert_eq!(
+            c.same_processor + c.same_supernode + c.cross_supernode,
+            pairs.len()
+        );
+        // 100 ranks fit in one supernode: nothing crosses.
+        assert_eq!(c.cross_supernode, 0);
+        assert_eq!(c.remote_fraction(), 0.0);
+    }
+}

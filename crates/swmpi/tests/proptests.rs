@@ -1,0 +1,60 @@
+//! Property-based tests of the rank runtime and network model.
+
+use proptest::prelude::*;
+use swmpi::{run_ranks, NetworkModel, ReduceOp};
+
+proptest! {
+    /// Allreduce equals the serial reduction for arbitrary contributions
+    /// and world sizes.
+    #[test]
+    fn allreduce_matches_serial(
+        contribs in proptest::collection::vec(-1e6f64..1e6, 2..9),
+    ) {
+        let n = contribs.len();
+        let contribs2 = contribs.clone();
+        let sums = run_ranks(n, move |ctx| {
+            ctx.coll.allreduce_scalar(contribs2[ctx.rank()], ReduceOp::Sum)
+        });
+        let expect: f64 = contribs.iter().sum();
+        for s in sums {
+            prop_assert!((s - expect).abs() < 1e-6 * expect.abs().max(1.0));
+        }
+    }
+
+    /// Message payloads survive arbitrary ring routing bit-exactly.
+    #[test]
+    fn ring_payloads_are_bit_exact(
+        data in proptest::collection::vec(-1e12f64..1e12, 1..33),
+        n in 2usize..7,
+    ) {
+        let data2 = data.clone();
+        let results = run_ranks(n, move |ctx| {
+            let next = (ctx.rank() + 1) % n;
+            let prev = (ctx.rank() + n - 1) % n;
+            ctx.comm.send(next, 42, &data2);
+            ctx.comm.recv(prev, 42).data
+        });
+        for r in results {
+            prop_assert_eq!(&r, &data);
+        }
+    }
+
+    /// The network cost model is monotone: more bytes never cost less, and
+    /// greater distance never costs less.
+    #[test]
+    fn network_model_is_monotone(
+        b1 in 0usize..1_000_000,
+        b2 in 0usize..1_000_000,
+        a in 0usize..200_000,
+    ) {
+        let m = NetworkModel::default();
+        let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+        prop_assert!(m.msg_time(lo, 0, 1) <= m.msg_time(hi, 0, 1));
+        // Same-processor <= same-supernode <= cross-supernode.
+        let t_proc = m.msg_time(lo, a, a / 4 * 4);
+        let t_sn = m.msg_time(lo, a, (a / 1024) * 1024 + (a + 5) % 1024);
+        let _ = (t_proc, t_sn);
+        prop_assert!(m.msg_time(lo, 0, 1) <= m.msg_time(lo, 0, 4));
+        prop_assert!(m.msg_time(lo, 0, 4) <= m.msg_time(lo, 0, 2048));
+    }
+}

@@ -1,0 +1,63 @@
+//! The paper's source-to-source refactoring tools at work: describe a
+//! kernel's loop nest, let the loop-transformation and footprint-analysis
+//! tools plan its CPE-cluster execution, and print the decisions.
+//!
+//! ```text
+//! cargo run -p swcam-core --example acc_tools
+//! ```
+
+use swcam_core::swacc::{AccRegion, ArrayRef, Intent, Loop, LoopNest};
+
+fn main() {
+    // The euler_step nest of the paper's Algorithm 1.
+    let euler = LoopNest::euler_step_example(64, 25, 128);
+    let region = AccRegion::compile(euler).expect("parallelizable");
+    println!("{}", region.explain());
+
+    // A physics-style column loop: plenty of parallelism, tiny footprint.
+    let physics = LoopNest {
+        name: "kessler_microphysics".into(),
+        loops: vec![Loop::parallel("col", 1024), Loop::sequential("k", 30)],
+        arrays: vec![
+            ArrayRef {
+                name: "t".into(),
+                elem_bytes: 8,
+                indexed_by: vec![0, 1],
+                elems_per_point: 1,
+                intent: Intent::InOut,
+            },
+            ArrayRef {
+                name: "qv".into(),
+                elem_bytes: 8,
+                indexed_by: vec![0, 1],
+                elems_per_point: 1,
+                intent: Intent::InOut,
+            },
+            ArrayRef {
+                name: "qc".into(),
+                elem_bytes: 8,
+                indexed_by: vec![0, 1],
+                elems_per_point: 1,
+                intent: Intent::InOut,
+            },
+        ],
+        flops_per_point: 60,
+    };
+    let region = AccRegion::compile(physics).expect("parallelizable");
+    println!("{}", region.explain());
+
+    // A vertical scan: the case the directive approach cannot handle and
+    // the paper solves with register communication (Section 7.4).
+    let scan = LoopNest {
+        name: "hydrostatic_integral".into(),
+        loops: vec![Loop::sequential("k", 128)],
+        arrays: vec![],
+        flops_per_point: 3,
+    };
+    match AccRegion::compile(scan) {
+        Ok(_) => unreachable!("a scan must not be parallelized naively"),
+        Err(e) => println!("region `hydrostatic_integral`: REJECTED — {e}"),
+    }
+    println!("\n(the Athread redesign handles this case with the 3-stage");
+    println!("register-communication scan; see homme::kernels::athread)");
+}

@@ -1,0 +1,43 @@
+//! The hurricane-Katrina experiment (paper Section 9) as a runnable
+//! example: simulate the storm at 25 km-class effective resolution, track
+//! it, and compare with the observed best track.
+//!
+//! ```text
+//! cargo run --release -p katrina --example katrina_lifecycle [earth_hours]
+//! ```
+
+use katrina::{observed_position, run, KatrinaConfig, OBSERVED};
+
+fn main() {
+    let hours: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12.0);
+    let mut cfg = KatrinaConfig::ne120_class();
+    cfg.earth_hours = hours;
+    println!(
+        "ne{} on a 1/{:.1} planet = {:.0} km effective resolution; {hours} Earth-hours",
+        cfg.ne,
+        cfg.reduction,
+        cfg.effective_resolution_km()
+    );
+    let result = run(cfg);
+    println!("\n  hour |    observed      |    simulated     |  obs MSW | sim MSW");
+    println!("  -----+------------------+------------------+----------+--------");
+    for fix in &result.earth_track {
+        let (olat, olon) = observed_position(fix.hours);
+        let obs_msw = OBSERVED
+            .iter()
+            .min_by(|a, b| {
+                (a.hours - fix.hours).abs().partial_cmp(&(b.hours - fix.hours).abs()).unwrap()
+            })
+            .map(|p| p.msw_kt)
+            .unwrap_or(0.0);
+        println!(
+            "  {:4.0} | {:5.1}N {:6.1}W   | {:5.1}N {:6.1}W   | {:5.0} kt | {:4.0} kt",
+            fix.hours, olat, -olon, fix.lat_deg, -fix.lon_deg, obs_msw, fix.msw_kt
+        );
+    }
+    println!(
+        "\npeak simulated MSW: {:.0} kt; min central pressure: {:.0} hPa",
+        result.peak_msw_kt, result.min_ps_hpa
+    );
+    println!("(observed lifecycle peak: 145 kt / 902 hPa)");
+}

@@ -1,0 +1,44 @@
+//! Drive the simulated SW26010 directly: run one kernel in all four
+//! implementation generations and print what the chip's PERF counters saw —
+//! the miniature version of the paper's whole redesign story.
+//!
+//! ```text
+//! cargo run --release -p swcam-core --example kernel_speedups
+//! ```
+
+use swcam_core::homme::kernels::{verify, KernelData, KernelId, Variant};
+
+fn main() {
+    let env = verify::KernelEnv::default();
+    let kernel = KernelId::EulerStep;
+    println!("kernel: {} (16 elements, 32 levels, 25 tracers)\n", kernel.name());
+
+    let mut base = None;
+    for variant in [Variant::Reference, Variant::Mpe, Variant::OpenAcc, Variant::Athread] {
+        let mut data = KernelData::synth(16, 32, 25, 2024);
+        let res = verify::run(kernel, variant, &mut data, &env);
+        let t = res.seconds;
+        let speedup = match base {
+            None => {
+                base = Some(t);
+                1.0
+            }
+            Some(b) => b / t,
+        };
+        println!(
+            "{:10}: {:10.3} ms  ({:5.2}x vs Intel) | flops: {:>12} | DMA in: {:>11} B | regcomm: {:>6} | shuffles: {:>5}",
+            format!("{variant:?}"),
+            t * 1e3,
+            speedup,
+            res.counters.flops(),
+            res.counters.dma_bytes_in,
+            res.counters.reg_sends,
+            res.counters.shuffles,
+        );
+    }
+
+    println!("\nThe OpenACC schedule re-reads the tracer-invariant arrays every");
+    println!("iteration (Algorithm 1); the Athread redesign keeps them resident in");
+    println!("the 64 KB LDM (Algorithm 2) and vectorizes the arithmetic — the");
+    println!("paper's Section 7.3 in one run.");
+}

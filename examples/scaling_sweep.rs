@@ -1,0 +1,42 @@
+//! Sweep the full-machine scaling model over a user-chosen configuration.
+//!
+//! ```text
+//! cargo run --release -p perfmodel --example scaling_sweep [ne] [qsize]
+//! ```
+
+use perfmodel::report::table;
+use perfmodel::scaling::{figure_model, strong_scaling, HommeWorkload};
+use perfmodel::Machine;
+
+fn main() {
+    let ne: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(512);
+    let qsize: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+    println!("calibrating the machine model on the simulated SW26010...");
+    let machine = Machine::taihulight();
+    let model = figure_model(&machine);
+    let ranks: Vec<usize> =
+        (0..8).map(|i| 1024usize << i).filter(|&n| n <= 6 * ne * ne).collect();
+    let points =
+        strong_scaling(&model, HommeWorkload { ne, nlev: 128, qsize }, &ranks);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{}", p.nranks),
+                format!("{}", p.cores),
+                format!("{:.1}", p.elems_per_rank),
+                format!("{:.4} s", p.step_seconds),
+                format!("{:.3}", p.pflops),
+                format!("{:.1}%", p.efficiency * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &format!("Strong scaling, ne{ne}, {qsize} tracers"),
+            &["processes", "cores", "elem/proc", "s/step", "PFlops", "efficiency"],
+            &rows
+        )
+    );
+}

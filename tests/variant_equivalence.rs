@@ -1,0 +1,76 @@
+//! Cross-crate integration: every Table-1 kernel produces the same answer
+//! in all four implementation generations on a production-shaped workload
+//! (the nlev = 128 column split of the paper's Figure 2), and the
+//! simulator's retired-operation counters stay consistent with the
+//! analytic op-count formulas that drive the performance model.
+
+use homme::kernels::{op_count, verify, KernelData, KernelId, Variant};
+
+#[test]
+fn production_shape_nlev128_equivalence() {
+    // 8 elements x 128 levels x 3 tracers: each CPE row owns 16 levels,
+    // exactly the paper's decomposition.
+    let env = verify::KernelEnv::default();
+    for kernel in KernelId::ALL {
+        let mut reference = KernelData::synth(8, 128, 3, 31);
+        verify::run(kernel, Variant::Reference, &mut reference, &env);
+        for variant in [Variant::OpenAcc, Variant::Athread] {
+            let mut other = KernelData::synth(8, 128, 3, 31);
+            verify::run(kernel, variant, &mut other, &env);
+            let diff = verify::output_diff(kernel, &reference, &other);
+            assert!(
+                diff < 1e-7,
+                "{} {variant:?} diverges by {diff} at nlev=128",
+                kernel.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn athread_wins_every_kernel_at_production_shape() {
+    let env = verify::KernelEnv::default();
+    for kernel in KernelId::ALL {
+        let mut d_ref = KernelData::synth(8, 128, 3, 32);
+        let t_ref = verify::run(kernel, Variant::Reference, &mut d_ref, &env).seconds;
+        let mut d_ath = KernelData::synth(8, 128, 3, 32);
+        let t_ath = verify::run(kernel, Variant::Athread, &mut d_ath, &env).seconds;
+        let speedup = t_ref / t_ath;
+        // The paper's Figure 5 band: one CG is worth 7-46 Intel cores. Allow
+        // a wide band, but the redesign must always win.
+        assert!(speedup > 1.5, "{}: athread speedup only {speedup}", kernel.name());
+        assert!(speedup < 200.0, "{}: implausible speedup {speedup}", kernel.name());
+    }
+}
+
+#[test]
+fn counters_track_op_count_formulas() {
+    let env = verify::KernelEnv::default();
+    for kernel in [KernelId::HypervisDp1, KernelId::HypervisDp2, KernelId::BiharmonicDp3d] {
+        let mut d = KernelData::synth(8, 32, 2, 33);
+        let oc = op_count(kernel, &d);
+        let res = verify::run(kernel, Variant::Athread, &mut d, &env);
+        assert_eq!(res.counters.vflops, oc.flops, "{}", kernel.name());
+    }
+    // euler_step: the simulator charges exactly the formula's flops.
+    let mut d = KernelData::synth(8, 32, 4, 34);
+    let oc = op_count(KernelId::EulerStep, &d);
+    let res = verify::run(KernelId::EulerStep, Variant::Athread, &mut d, &env);
+    assert_eq!(res.counters.vflops, oc.flops);
+}
+
+#[test]
+fn register_communication_volume_matches_the_decomposition() {
+    // The scan chain sends 3 chains x 7 hops x 4 vectors per element batch
+    // of the RHS kernel; verify the counters see exactly that.
+    let env = verify::KernelEnv::default();
+    let nelem = 16; // two batches of 8
+    let mut d = KernelData::synth(nelem, 32, 0, 35);
+    let res = verify::run(KernelId::ComputeAndApplyRhs, Variant::Athread, &mut d, &env);
+    // Per column (8 elements share a batch, one batch per CPE column):
+    // 3 scans x 7 hops x 4 V4F64 messages, for each of the 8 columns and
+    // each of the nelem/8 sweeps.
+    let expected = (nelem / 8) as u64 * 8 * 3 * 7 * 4;
+    assert_eq!(res.counters.reg_sends, expected);
+    assert_eq!(res.counters.reg_recvs, expected);
+}
