@@ -13,11 +13,12 @@ fn bench_fullstep(c: &mut Criterion) {
             let dims = Dims { nlev: 8, qsize: 2 };
             let mut dy = Dycore::new(ne, dims, 2000.0, DycoreConfig::for_ne(ne));
             let mut st = dy.zero_state();
-            for es in &mut st.elems {
+            let vert = dy.rhs.vert.clone();
+            for es in st.elems_mut() {
                 for k in 0..8 {
                     for p in 0..NPTS {
                         es.t[k * NPTS + p] = 280.0 + k as f64;
-                        es.dp3d[k * NPTS + p] = dy.rhs.vert.dp_ref(k, cubesphere::P0);
+                        es.dp3d[k * NPTS + p] = vert.dp_ref(k, cubesphere::P0);
                         es.qdp[k * NPTS + p] = 0.01 * es.dp3d[k * NPTS + p];
                     }
                 }

@@ -1,0 +1,122 @@
+//! Full-step wall-clock benchmark for the flat-arena pipeline refactor.
+//!
+//! Times one complete `prim_run` step (RK dynamics + DSS + hypervis +
+//! tracer advection + remap) at ne8 / 26 levels / 4 tracers in three
+//! configurations:
+//!
+//! 1. the seed per-element-`Vec` driver (`SeedStepper`, serial),
+//! 2. the flat-arena pipeline pinned to one worker,
+//! 3. the flat-arena pipeline on the available cores (>= 4).
+//!
+//! Emits `BENCH_fullstep.json` in the working directory. The refactor's
+//! target is >= 2x speedup of (3) over (1); the JSON records whether this
+//! run met it. Run with `cargo run --release -p swcam-bench --bin fullstep`.
+
+use std::time::Instant;
+
+use cubesphere::consts::P0;
+use cubesphere::NPTS;
+use homme::{Dims, Dycore, DycoreConfig, SeedStepper, State};
+
+const NE: usize = 8;
+const NLEV: usize = 26;
+const QSIZE: usize = 4;
+const WARMUP_STEPS: usize = 1;
+const MEASURE_STEPS: usize = 3;
+const TARGET_SPEEDUP: f64 = 2.0;
+
+fn build() -> Dycore {
+    let dims = Dims { nlev: NLEV, qsize: QSIZE };
+    Dycore::new(NE, dims, 200.0, DycoreConfig::for_ne(NE))
+}
+
+fn initial_state(dy: &Dycore) -> State {
+    let dims = dy.dims;
+    let vert = dy.rhs.vert.clone();
+    let elems: Vec<_> = dy.grid.elements.clone();
+    let mut st = dy.zero_state();
+    for (es, el) in st.elems_mut().zip(&elems) {
+        for p in 0..NPTS {
+            let lat = el.metric[p].lat;
+            let lon = el.metric[p].lon;
+            for k in 0..dims.nlev {
+                let i = k * NPTS + p;
+                es.u[i] = 20.0 * lat.cos();
+                es.t[i] = 300.0 + 2.0 * (3.0 * lon).sin() * lat.cos();
+                es.dp3d[i] = vert.dp_ref(k, P0);
+                for q in 0..dims.qsize {
+                    es.qdp[(q * dims.nlev + k) * NPTS + p] = 0.01 * es.dp3d[i];
+                }
+            }
+        }
+    }
+    st
+}
+
+/// Per-step wall time (ms) of `step` after warm-up.
+fn time_per_step(mut step: impl FnMut()) -> f64 {
+    for _ in 0..WARMUP_STEPS {
+        step();
+    }
+    let t0 = Instant::now();
+    for _ in 0..MEASURE_STEPS {
+        step();
+    }
+    t0.elapsed().as_secs_f64() * 1e3 / MEASURE_STEPS as f64
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = cores.max(4);
+    println!(
+        "fullstep: ne{NE}, nlev {NLEV}, qsize {QSIZE}; {cores} cores, parallel run uses {threads} threads"
+    );
+    if cores < 4 {
+        println!("  note: < 4 cores available; the parallel target needs real cores, not threads");
+    }
+
+    let mut dy = build();
+    let init = initial_state(&dy);
+
+    let mut seed_state = init.clone();
+    let mut oracle = SeedStepper::new();
+    let seed_ms = time_per_step(|| oracle.step(&mut dy, &mut seed_state));
+    println!("  seed serial      : {seed_ms:9.2} ms/step");
+
+    dy.set_threads(1);
+    let mut flat1_state = init.clone();
+    let flat1_ms = time_per_step(|| dy.step(&mut flat1_state));
+    println!("  flat, 1 thread   : {flat1_ms:9.2} ms/step  ({:.2}x vs seed)", seed_ms / flat1_ms);
+
+    dy.set_threads(threads);
+    let mut flatn_state = init.clone();
+    let flatn_ms = time_per_step(|| dy.step(&mut flatn_state));
+    let speedup = seed_ms / flatn_ms;
+    println!("  flat, {threads} threads  : {flatn_ms:9.2} ms/step  ({speedup:.2}x vs seed)");
+
+    // Sanity: all three drivers walked the same trajectory.
+    let d1 = flat1_state.max_abs_diff(&seed_state);
+    let dn = flatn_state.max_abs_diff(&seed_state);
+    assert_eq!(d1, 0.0, "flat serial diverged from seed by {d1:e}");
+    assert_eq!(dn, 0.0, "flat parallel diverged from seed by {dn:e}");
+
+    let meets = speedup >= TARGET_SPEEDUP;
+    println!(
+        "  target {TARGET_SPEEDUP:.1}x vs seed serial: {}",
+        if meets { "met" } else { "NOT met" }
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"fullstep\",\n  \"ne\": {NE},\n  \"nlev\": {NLEV},\n  \"qsize\": {QSIZE},\n  \
+         \"steps_measured\": {MEASURE_STEPS},\n  \"cores\": {cores},\n  \"threads\": {threads},\n  \
+         \"seed_serial_ms_per_step\": {seed_ms:.3},\n  \
+         \"flat_serial_ms_per_step\": {flat1_ms:.3},\n  \
+         \"flat_parallel_ms_per_step\": {flatn_ms:.3},\n  \
+         \"speedup_flat_serial_vs_seed\": {:.3},\n  \
+         \"speedup_parallel_vs_seed\": {speedup:.3},\n  \
+         \"target_speedup\": {TARGET_SPEEDUP},\n  \"meets_target\": {meets}\n}}\n",
+        seed_ms / flat1_ms,
+    );
+    std::fs::write("BENCH_fullstep.json", &json).expect("write BENCH_fullstep.json");
+    println!("wrote BENCH_fullstep.json");
+}

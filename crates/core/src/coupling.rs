@@ -12,7 +12,7 @@ use cubesphere::NPTS;
 pub fn extract_column(dy: &Dycore, state: &State, e: usize, p: usize, sst: f64) -> Column {
     let nlev = dy.dims.nlev;
     let qsize = dy.dims.qsize;
-    let es = &state.elems[e];
+    let es = state.elem(e);
     let ptop = dy.rhs.vert.ptop();
     let mut p_int = vec![0.0; nlev + 1];
     let mut p_mid = vec![0.0; nlev];
@@ -36,9 +36,9 @@ pub fn extract_column(dy: &Dycore, state: &State, e: usize, p: usize, sst: f64) 
         p_mid,
         p_int,
         dp,
-        t: get(&es.t),
-        u: get(&es.u),
-        v: get(&es.v),
+        t: get(es.t),
+        u: get(es.u),
+        v: get(es.v),
         qv,
         qc,
         qr,
@@ -51,7 +51,7 @@ pub fn extract_column(dy: &Dycore, state: &State, e: usize, p: usize, sst: f64) 
 pub fn insert_column(dy: &Dycore, state: &mut State, e: usize, p: usize, col: &Column) {
     let nlev = dy.dims.nlev;
     let qsize = dy.dims.qsize;
-    let es = &mut state.elems[e];
+    let es = state.elem_mut(e);
     for k in 0..nlev {
         es.t[k * NPTS + p] = col.t[k];
         es.u[k * NPTS + p] = col.u[k];
@@ -74,7 +74,7 @@ pub fn apply_physics(
     dt: f64,
     sst: f64,
 ) -> Vec<PhysicsDiag> {
-    let nelem = state.elems.len();
+    let nelem = state.nelem();
     let mut diags = Vec::with_capacity(nelem * NPTS);
     for e in 0..nelem {
         for p in 0..NPTS {
@@ -102,11 +102,12 @@ mod tests {
         };
         let dy = Dycore::new(2, dims, 2000.0, cfg);
         let mut st = dy.zero_state();
-        for es in &mut st.elems {
+        let vert = dy.rhs.vert.clone();
+        for es in st.elems_mut() {
             for k in 0..8 {
                 for p in 0..NPTS {
                     es.t[k * NPTS + p] = 280.0 + k as f64;
-                    es.dp3d[k * NPTS + p] = dy.rhs.vert.dp_ref(k, P0);
+                    es.dp3d[k * NPTS + p] = vert.dp_ref(k, P0);
                     es.u[k * NPTS + p] = 5.0;
                     es.qdp[(k) * NPTS + p] = 0.005 * es.dp3d[k * NPTS + p]; // qv
                 }
@@ -119,7 +120,7 @@ mod tests {
     fn column_roundtrip_is_identity() {
         let (dy, mut st) = test_dycore();
         let before = st.clone();
-        for e in 0..st.elems.len() {
+        for e in 0..st.nelem() {
             for p in 0..NPTS {
                 let col = extract_column(&dy, &st, e, p, 300.0);
                 insert_column(&dy, &mut st, e, p, &col);

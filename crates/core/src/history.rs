@@ -96,8 +96,7 @@ pub fn surface_temperature_raster(model: &Swcam, nlat: usize, nlon: usize) -> (L
     let nlev = model.config.nlev;
     let field: Vec<Vec<f64>> = model
         .state
-        .elems
-        .iter()
+        .elems()
         .map(|es| (0..NPTS).map(|p| es.t[(nlev - 1) * NPTS + p]).collect())
         .collect();
     let raster = LatLonGrid::new(nlat, nlon);

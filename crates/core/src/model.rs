@@ -40,13 +40,11 @@ impl Swcam {
             SuiteChoice::None => PhysicsSuite::None,
             SuiteChoice::HeldSuarez => PhysicsSuite::HeldSuarez(HeldSuarez::default()),
             SuiteChoice::Simple => {
-                let mut sp = SimplePhysics::default();
-                sp.sst = config.sst;
+                let sp = SimplePhysics { sst: config.sst, ..Default::default() };
                 PhysicsSuite::Simple(sp)
             }
             SuiteChoice::Full => {
-                let mut sp = SimplePhysics::default();
-                sp.sst = config.sst;
+                let sp = SimplePhysics { sst: config.sst, ..Default::default() };
                 PhysicsSuite::Full {
                     simple: sp,
                     convection: swphysics::BettsMiller::default(),
@@ -57,15 +55,16 @@ impl Swcam {
         };
         let mut state = dycore.zero_state();
         // Resting isothermal default initial condition.
-        for es in &mut state.elems {
+        let vert = dycore.rhs.vert.clone();
+        for es in state.elems_mut() {
             for k in 0..config.nlev {
                 for p in 0..NPTS {
                     es.t[k * NPTS + p] = 285.0;
-                    es.dp3d[k * NPTS + p] = dycore.rhs.vert.dp_ref(k, cubesphere::P0);
+                    es.dp3d[k * NPTS + p] = vert.dp_ref(k, cubesphere::P0);
                 }
             }
         }
-        let npts = state.elems.len() * NPTS;
+        let npts = state.nelem() * NPTS;
         Swcam {
             config,
             dycore,
@@ -87,7 +86,7 @@ impl Swcam {
         let nlev = self.config.nlev;
         let vert = self.dycore.rhs.vert.clone();
         let grid_elems = self.dycore.grid.elements.clone();
-        for (es, el) in self.state.elems.iter_mut().zip(&grid_elems) {
+        for (es, el) in self.state.elems_mut().zip(&grid_elems) {
             for p in 0..NPTS {
                 let (lat, lon) = (el.metric[p].lat, el.metric[p].lon);
                 let psv = ps(lat, lon);
@@ -116,7 +115,7 @@ impl Swcam {
         let nlev = self.config.nlev;
         let vert = self.dycore.rhs.vert.clone();
         let grid_elems = self.dycore.grid.elements.clone();
-        for (es, el) in self.state.elems.iter_mut().zip(&grid_elems) {
+        for (es, el) in self.state.elems_mut().zip(&grid_elems) {
             for p in 0..NPTS {
                 let (lat, lon) = (el.metric[p].lat, el.metric[p].lon);
                 let phi = phis(lat, lon);
@@ -142,7 +141,7 @@ impl Swcam {
         self.dycore.step(&mut self.state);
         self.steps += 1;
         self.time += self.dycore.cfg.dt;
-        if self.steps % self.config.nsplit == 0 {
+        if self.steps.is_multiple_of(self.config.nsplit) {
             let phys_dt = self.dycore.cfg.dt
                 * self.config.nsplit as f64
                 * self.config.planet.reduction();
@@ -176,8 +175,7 @@ impl Swcam {
         let nlev = self.config.nlev;
         let ptop = self.dycore.rhs.vert.ptop();
         self.state
-            .elems
-            .iter()
+            .elems()
             .flat_map(|es| {
                 (0..NPTS).map(move |p| {
                     ptop + (0..nlev).map(|k| es.dp3d[k * NPTS + p]).sum::<f64>()
@@ -191,8 +189,7 @@ impl Swcam {
     pub fn surface_temperature(&self) -> Vec<f64> {
         let nlev = self.config.nlev;
         self.state
-            .elems
-            .iter()
+            .elems()
             .flat_map(|es| (0..NPTS).map(move |p| es.t[(nlev - 1) * NPTS + p]))
             .collect()
     }
@@ -201,7 +198,7 @@ impl Swcam {
     pub fn max_surface_wind(&self) -> f64 {
         let nlev = self.config.nlev;
         let mut m: f64 = 0.0;
-        for es in &self.state.elems {
+        for es in self.state.elems() {
             for p in 0..NPTS {
                 let i = (nlev - 1) * NPTS + p;
                 m = m.max((es.u[i] * es.u[i] + es.v[i] * es.v[i]).sqrt());

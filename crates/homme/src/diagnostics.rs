@@ -26,13 +26,14 @@ pub struct Budgets {
 /// Compute the budgets of `state` on `dy`'s grid.
 pub fn budgets(dy: &Dycore, state: &State) -> Budgets {
     let nlev = dy.dims.nlev;
-    let mut dry = vec![vec![0.0; NPTS]; state.elems.len()];
-    let mut te = vec![vec![0.0; NPTS]; state.elems.len()];
-    let mut ke = vec![vec![0.0; NPTS]; state.elems.len()];
-    let mut qm = vec![vec![0.0; NPTS]; state.elems.len()];
-    let mut ens = vec![vec![0.0; NPTS]; state.elems.len()];
+    let nelem = state.nelem();
+    let mut dry = vec![vec![0.0; NPTS]; nelem];
+    let mut te = vec![vec![0.0; NPTS]; nelem];
+    let mut ke = vec![vec![0.0; NPTS]; nelem];
+    let mut qm = vec![vec![0.0; NPTS]; nelem];
+    let mut ens = vec![vec![0.0; NPTS]; nelem];
 
-    for (e, es) in state.elems.iter().enumerate() {
+    for (e, es) in state.elems().enumerate() {
         for p in 0..NPTS {
             let mut col_dp = 0.0;
             let mut col_te = 0.0;
@@ -91,14 +92,15 @@ mod tests {
         let dy = Dycore::new(3, dims, 2000.0, cfg);
         let mut st = dy.zero_state();
         let elems = dy.grid.elements.clone();
-        for (es, el) in st.elems.iter_mut().zip(&elems) {
+        let vert = dy.rhs.vert.clone();
+        for (es, el) in st.elems_mut().zip(&elems) {
             for p in 0..NPTS {
                 let lat = el.metric[p].lat;
                 for k in 0..6 {
                     let i = k * NPTS + p;
                     es.u[i] = 15.0 * lat.cos();
                     es.t[i] = 280.0 + 3.0 * lat.cos();
-                    es.dp3d[i] = dy.rhs.vert.dp_ref(k, P0);
+                    es.dp3d[i] = vert.dp_ref(k, P0);
                     es.qdp[i] = 0.008 * es.dp3d[i];
                 }
             }

@@ -14,13 +14,15 @@
 //!
 //! The `Original` mode runs the same numerics without overlap (all compute
 //! first, then the staging-buffer exchange). Both modes are verified
-//! equivalent to the serial [`Dycore`](crate::prim::Dycore).
+//! equivalent to the serial [`Dycore`](crate::prim::Dycore). Rank-local
+//! state lives in the same flat SoA [`State`] arena as the serial driver,
+//! sized for the owned elements only.
 
 use crate::bndry::{CopyStats, ExchangeMode, ExchangePlan};
 use crate::deriv::ElemOps;
 use crate::prim::KG5_COEFFS;
-use crate::rhs::{ElemTend, Rhs};
-use crate::state::{Dims, ElemState};
+use crate::rhs::{ElemTend, Rhs, RhsScratch};
+use crate::state::{Dims, State};
 use crate::vert::VertCoord;
 use cubesphere::{CubedSphere, Partition, NPTS};
 use swmpi::RankCtx;
@@ -47,21 +49,21 @@ pub struct DistDycore {
 /// The four DSS'd prognostics, in exchange order.
 const NFIELDS: usize = 4;
 
-fn field_of(es: &ElemState, f: usize) -> &Vec<f64> {
+fn field_of(st: &State, f: usize) -> &[f64] {
     match f {
-        0 => &es.u,
-        1 => &es.v,
-        2 => &es.t,
-        _ => &es.dp3d,
+        0 => &st.u,
+        1 => &st.v,
+        2 => &st.t,
+        _ => &st.dp3d,
     }
 }
 
-fn field_of_mut(es: &mut ElemState, f: usize) -> &mut Vec<f64> {
+fn field_of_mut(st: &mut State, f: usize) -> &mut [f64] {
     match f {
-        0 => &mut es.u,
-        1 => &mut es.v,
-        2 => &mut es.t,
-        _ => &mut es.dp3d,
+        0 => &mut st.u,
+        1 => &mut st.v,
+        2 => &mut st.t,
+        _ => &mut st.dp3d,
     }
 }
 
@@ -96,27 +98,41 @@ impl DistDycore {
         }
     }
 
-    /// Extract this rank's element states from a global state vector.
-    pub fn local_state(&self, global: &[ElemState]) -> Vec<ElemState> {
-        self.plan.owned.iter().map(|&e| global[e].clone()).collect()
+    /// Extract this rank's elements from a global state arena into a local
+    /// arena (local index `li` = position in `plan.owned`).
+    pub fn local_state(&self, global: &State) -> State {
+        let mut local = State::zeros(self.dims, self.plan.owned.len());
+        for (li, &e) in self.plan.owned.iter().enumerate() {
+            let src = global.elem(e);
+            let dst = local.elem_mut(li);
+            dst.u.copy_from_slice(src.u);
+            dst.v.copy_from_slice(src.v);
+            dst.t.copy_from_slice(src.t);
+            dst.dp3d.copy_from_slice(src.dp3d);
+            dst.qdp.copy_from_slice(src.qdp);
+            dst.phis.copy_from_slice(src.phis);
+        }
+        local
     }
 
     fn update_element(
         &self,
         li: usize,
-        base: &[ElemState],
-        eval: &[ElemState],
+        base: &State,
+        eval: &State,
         c_dt: f64,
-        out: &mut [ElemState],
+        out: &mut State,
         tend: &mut ElemTend,
+        scratch: &mut RhsScratch,
     ) {
-        self.rhs.element_tend(&self.ops[li], &eval[li], tend);
-        let n = self.dims.field_len();
-        for i in 0..n {
-            out[li].u[i] = base[li].u[i] + c_dt * tend.u[i];
-            out[li].v[i] = base[li].v[i] + c_dt * tend.v[i];
-            out[li].t[i] = base[li].t[i] + c_dt * tend.t[i];
-            out[li].dp3d[i] = base[li].dp3d[i] + c_dt * tend.dp3d[i];
+        self.rhs.element_tend(&self.ops[li], eval.elem(li), tend, scratch);
+        let be = base.elem(li);
+        let oe = out.elem_mut(li);
+        for i in 0..self.dims.field_len() {
+            oe.u[i] = be.u[i] + c_dt * tend.u[i];
+            oe.v[i] = be.v[i] + c_dt * tend.v[i];
+            oe.t[i] = be.t[i] + c_dt * tend.t[i];
+            oe.dp3d[i] = be.dp3d[i] + c_dt * tend.dp3d[i];
         }
     }
 
@@ -124,27 +140,34 @@ impl DistDycore {
     fn rk_substep(
         &mut self,
         ctx: &mut RankCtx,
-        base: &[ElemState],
-        eval: &[ElemState],
+        base: &State,
+        eval: &State,
         c_dt: f64,
-        out: &mut [ElemState],
+        out: &mut State,
     ) {
         let nlev = self.dims.nlev;
+        let fl = self.dims.field_len();
+        let nelem = eval.nelem();
         let mut tend = ElemTend::zeros(self.dims);
+        let mut scratch = RhsScratch::new(nlev);
+
+        let level_of = |st: &State, f: usize, k: usize| -> Vec<Vec<f64>> {
+            let arena = field_of(st, f);
+            (0..nelem)
+                .map(|e| arena[e * fl + k * NPTS..e * fl + (k + 1) * NPTS].to_vec())
+                .collect()
+        };
 
         match self.mode {
             ExchangeMode::Original => {
                 // Legacy schedule: all compute, then exchange (with the
                 // pack/unpack staging copies counted by dss_level).
-                for li in 0..eval.len() {
-                    self.update_element(li, base, eval, c_dt, out, &mut tend);
+                for li in 0..nelem {
+                    self.update_element(li, base, eval, c_dt, out, &mut tend, &mut scratch);
                 }
                 for f in 0..NFIELDS {
                     for k in 0..nlev {
-                        let mut level: Vec<Vec<f64>> = out
-                            .iter()
-                            .map(|es| field_of(es, f)[k * NPTS..(k + 1) * NPTS].to_vec())
-                            .collect();
+                        let mut level = level_of(out, f, k);
                         self.tag += 1;
                         let tag = self.tag;
                         let mut stats = std::mem::take(&mut self.stats);
@@ -157,8 +180,9 @@ impl DistDycore {
                             &mut stats,
                         );
                         self.stats = stats;
-                        for (es, l) in out.iter_mut().zip(&level) {
-                            field_of_mut(es, f)[k * NPTS..(k + 1) * NPTS].copy_from_slice(l);
+                        let arena = field_of_mut(out, f);
+                        for (e, l) in level.iter().enumerate() {
+                            arena[e * fl + k * NPTS..e * fl + (k + 1) * NPTS].copy_from_slice(l);
                         }
                     }
                 }
@@ -167,16 +191,13 @@ impl DistDycore {
                 // 1. boundary elements first.
                 let boundary = self.plan.boundary.clone();
                 for &li in &boundary {
-                    self.update_element(li, base, eval, c_dt, out, &mut tend);
+                    self.update_element(li, base, eval, c_dt, out, &mut tend, &mut scratch);
                 }
                 // 2. start every halo exchange from the boundary values.
                 let mut pendings = Vec::with_capacity(NFIELDS * nlev);
                 for f in 0..NFIELDS {
                     for k in 0..nlev {
-                        let level: Vec<Vec<f64>> = out
-                            .iter()
-                            .map(|es| field_of(es, f)[k * NPTS..(k + 1) * NPTS].to_vec())
-                            .collect();
+                        let level = level_of(out, f, k);
                         self.tag += 1;
                         let mut stats = std::mem::take(&mut self.stats);
                         let pending = self.plan.start_halo(ctx, &level, self.tag, &mut stats);
@@ -187,18 +208,16 @@ impl DistDycore {
                 // 3. interior elements overlap the communication.
                 let interior = self.plan.interior.clone();
                 for &li in &interior {
-                    self.update_element(li, base, eval, c_dt, out, &mut tend);
+                    self.update_element(li, base, eval, c_dt, out, &mut tend, &mut scratch);
                 }
                 // 4. complete every exchange against the now-complete local
                 // fields.
                 for (f, k, pending) in pendings {
-                    let mut level: Vec<Vec<f64>> = out
-                        .iter()
-                        .map(|es| field_of(es, f)[k * NPTS..(k + 1) * NPTS].to_vec())
-                        .collect();
+                    let mut level = level_of(out, f, k);
                     self.plan.finish_halo(ctx, pending, &mut level);
-                    for (es, l) in out.iter_mut().zip(&level) {
-                        field_of_mut(es, f)[k * NPTS..(k + 1) * NPTS].copy_from_slice(l);
+                    let arena = field_of_mut(out, f);
+                    for (e, l) in level.iter().enumerate() {
+                        arena[e * fl + k * NPTS..e * fl + (k + 1) * NPTS].copy_from_slice(l);
                     }
                 }
             }
@@ -206,7 +225,7 @@ impl DistDycore {
     }
 
     /// Advance the dynamics by one `dt` with the 5-stage Kinnmark–Gray RK.
-    pub fn dynamics_step(&mut self, ctx: &mut RankCtx, state: &mut Vec<ElemState>) {
+    pub fn dynamics_step(&mut self, ctx: &mut RankCtx, state: &mut State) {
         let base = state.clone();
         let mut stage = state.clone();
         let mut next = state.clone();
@@ -277,7 +296,7 @@ impl DistDycore {
     pub fn apply_hypervis(
         &mut self,
         ctx: &mut RankCtx,
-        state: &mut [ElemState],
+        state: &mut State,
         nu: f64,
         subcycles: usize,
     ) {
@@ -287,17 +306,17 @@ impl DistDycore {
         let nlev = self.dims.nlev;
         let dt_sub = self.dt / subcycles as f64;
         for _ in 0..subcycles {
-            let mut u: Vec<Vec<f64>> = state.iter().map(|es| es.u.clone()).collect();
-            let mut v: Vec<Vec<f64>> = state.iter().map(|es| es.v.clone()).collect();
-            let mut t: Vec<Vec<f64>> = state.iter().map(|es| es.t.clone()).collect();
-            let mut dp: Vec<Vec<f64>> = state.iter().map(|es| es.dp3d.clone()).collect();
+            let mut u: Vec<Vec<f64>> = state.elems().map(|es| es.u.to_vec()).collect();
+            let mut v: Vec<Vec<f64>> = state.elems().map(|es| es.v.to_vec()).collect();
+            let mut t: Vec<Vec<f64>> = state.elems().map(|es| es.t.to_vec()).collect();
+            let mut dp: Vec<Vec<f64>> = state.elems().map(|es| es.dp3d.to_vec()).collect();
             self.vlaplace_dist(ctx, nlev, &mut u, &mut v);
             self.vlaplace_dist(ctx, nlev, &mut u, &mut v);
             self.laplace_dist(ctx, nlev, &mut t);
             self.laplace_dist(ctx, nlev, &mut t);
             self.laplace_dist(ctx, nlev, &mut dp);
             self.laplace_dist(ctx, nlev, &mut dp);
-            for (li, es) in state.iter_mut().enumerate() {
+            for (li, es) in state.elems_mut().enumerate() {
                 for i in 0..self.dims.field_len() {
                     es.u[i] -= dt_sub * nu * u[li][i];
                     es.v[i] -= dt_sub * nu * v[li][i];
@@ -310,17 +329,17 @@ impl DistDycore {
 
     /// Distributed 3-stage SSP-RK2 tracer advection (`euler_step`) with a
     /// DSS per stage, matching the serial driver (without the limiter).
-    pub fn euler_step_tracers(&mut self, ctx: &mut RankCtx, state: &mut [ElemState]) {
+    pub fn euler_step_tracers(&mut self, ctx: &mut RankCtx, state: &mut State) {
         if self.dims.qsize == 0 {
             return;
         }
         let nlev = self.dims.nlev;
         let qsize = self.dims.qsize;
         let dt = self.dt;
-        let qdp0: Vec<Vec<f64>> = state.iter().map(|es| es.qdp.clone()).collect();
+        let qdp0: Vec<Vec<f64>> = state.elems().map(|es| es.qdp.to_vec()).collect();
 
-        let substep = |dy: &Self, input: &[Vec<f64>], out: &mut [Vec<f64>]| {
-            for (li, es) in state.iter().enumerate() {
+        let substep = |dy: &Self, st: &State, input: &[Vec<f64>], out: &mut [Vec<f64>]| {
+            for (li, es) in st.elems().enumerate() {
                 for q in 0..qsize {
                     for k in 0..nlev {
                         let r = k * NPTS..(k + 1) * NPTS;
@@ -343,10 +362,10 @@ impl DistDycore {
         };
 
         let mut q1 = qdp0.clone();
-        substep(self, &qdp0, &mut q1);
+        substep(self, state, &qdp0, &mut q1);
         self.dss_field(ctx, qsize * nlev, &mut q1);
         let mut tmp = qdp0.clone();
-        substep(self, &q1, &mut tmp);
+        substep(self, state, &q1, &mut tmp);
         let mut q2 = qdp0.clone();
         for (q2e, (q0e, te)) in q2.iter_mut().zip(qdp0.iter().zip(&tmp)) {
             for i in 0..q2e.len() {
@@ -354,7 +373,7 @@ impl DistDycore {
             }
         }
         self.dss_field(ctx, qsize * nlev, &mut q2);
-        substep(self, &q2, &mut tmp);
+        substep(self, state, &q2, &mut tmp);
         let mut qf = qdp0.clone();
         for (qfe, (q0e, te)) in qf.iter_mut().zip(qdp0.iter().zip(&tmp)) {
             for i in 0..qfe.len() {
@@ -362,13 +381,13 @@ impl DistDycore {
             }
         }
         self.dss_field(ctx, qsize * nlev, &mut qf);
-        for (es, qe) in state.iter_mut().zip(&qf) {
+        for (es, qe) in state.elems_mut().zip(&qf) {
             es.qdp.copy_from_slice(qe);
         }
     }
 
     /// Element-local vertical remap (no communication needed).
-    pub fn vertical_remap(&self, state: &mut [ElemState]) {
+    pub fn vertical_remap(&self, state: &mut State) {
         let nlev = self.dims.nlev;
         let vert = &self.rhs.vert;
         let ptop = vert.ptop();
@@ -376,7 +395,7 @@ impl DistDycore {
         let mut dst = vec![0.0; nlev];
         let mut col = vec![0.0; nlev];
         let mut out = vec![0.0; nlev];
-        for es in state.iter_mut() {
+        for es in state.elems_mut() {
             for p in 0..NPTS {
                 let mut ps = ptop;
                 for k in 0..nlev {
@@ -386,7 +405,7 @@ impl DistDycore {
                 for k in 0..nlev {
                     dst[k] = vert.dp_ref(k, ps);
                 }
-                for field in [&mut es.u, &mut es.v, &mut es.t] {
+                for field in [&mut *es.u, &mut *es.v, &mut *es.t] {
                     for k in 0..nlev {
                         col[k] = field[k * NPTS + p];
                     }
@@ -423,16 +442,19 @@ mod tests {
 
     fn initial_state(dy: &Dycore) -> State {
         let mut st = dy.zero_state();
-        for (es, el) in st.elems.iter_mut().zip(&dy.grid.elements) {
+        let elems = dy.grid.elements.clone();
+        let vert = dy.rhs.vert.clone();
+        let nlev = dy.dims.nlev;
+        for (es, el) in st.elems_mut().zip(&elems) {
             for p in 0..NPTS {
                 let lat = el.metric[p].lat;
                 let lon = el.metric[p].lon;
                 let ps = P0 * (1.0 - 0.001 * (2.0 * lat).sin());
-                for k in 0..dy.dims.nlev {
+                for k in 0..nlev {
                     es.u[k * NPTS + p] = 12.0 * lat.cos();
                     es.v[k * NPTS + p] = 2.0 * lon.sin();
                     es.t[k * NPTS + p] = 280.0 + 5.0 * lat.cos() + k as f64;
-                    es.dp3d[k * NPTS + p] = dy.rhs.vert.dp_ref(k, ps);
+                    es.dp3d[k * NPTS + p] = vert.dp_ref(k, ps);
                 }
             }
         }
@@ -465,7 +487,7 @@ mod tests {
             let results = run_ranks(nranks, |ctx| {
                 let mut dist =
                     DistDycore::new(&grid, &part, ctx.rank(), dims, 2000.0, dt, mode);
-                let mut local = dist.local_state(&initial.elems);
+                let mut local = dist.local_state(&initial);
                 dist.dynamics_step(ctx, &mut local);
                 dist.dynamics_step(ctx, &mut local);
                 (dist.plan.owned.clone(), local, dist.stats)
@@ -474,8 +496,9 @@ mod tests {
                 if mode == ExchangeMode::Redesigned {
                     assert_eq!(stats.staged_bytes, 0, "redesign stages nothing");
                 }
-                for (e, es) in owned.into_iter().zip(local) {
-                    let reference = &st.elems[e];
+                for (li, e) in owned.into_iter().enumerate() {
+                    let es = local.elem(li);
+                    let reference = st.elem(e);
                     for i in 0..dims.field_len() {
                         assert!(
                             (es.u[i] - reference.u[i]).abs() < 1e-9,
@@ -510,7 +533,8 @@ mod tests {
         let mut serial = Dycore::new(ne, dims, 2000.0, cfg);
         let subcycles = serial.hypervis_subcycles();
         let mut st = initial_state(&serial);
-        for (es, el) in st.elems.iter_mut().zip(&serial.grid.elements.clone()) {
+        let elems = serial.grid.elements.clone();
+        for (es, el) in st.elems_mut().zip(&elems) {
             for p in 0..NPTS {
                 for k in 0..dims.nlev {
                     es.qdp[k * NPTS + p] =
@@ -534,7 +558,7 @@ mod tests {
                 dt,
                 ExchangeMode::Redesigned,
             );
-            let mut local = dist.local_state(&initial.elems);
+            let mut local = dist.local_state(&initial);
             dist.dynamics_step(ctx, &mut local);
             dist.apply_hypervis(ctx, &mut local, nu, subcycles);
             dist.euler_step_tracers(ctx, &mut local);
@@ -542,8 +566,9 @@ mod tests {
             (dist.plan.owned.clone(), local)
         });
         for (owned, local) in results {
-            for (e, es) in owned.into_iter().zip(local) {
-                let reference = &st.elems[e];
+            for (li, e) in owned.into_iter().enumerate() {
+                let es = local.elem(li);
+                let reference = st.elem(e);
                 for i in 0..dims.field_len() {
                     assert!(
                         (es.u[i] - reference.u[i]).abs() < 1e-8,

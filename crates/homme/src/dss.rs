@@ -80,6 +80,37 @@ impl Dss {
         }
     }
 
+    /// Assemble a field stored in one flat structure-of-arrays buffer of
+    /// `[nelem][levels][NPTS]` (the [`crate::state::State`] arena layout;
+    /// pass `levels = qsize * nlev` for the tracer arena). Accumulation
+    /// order per level matches [`Dss::apply`] element-for-element, so the
+    /// two paths are bitwise identical. Allocation-free.
+    pub fn apply_flat(&mut self, field: &mut [f64], levels: usize) {
+        let nelem = self.gids.len() / NPTS;
+        debug_assert_eq!(field.len(), nelem * levels * NPTS);
+        let estride = levels * NPTS;
+        for k in 0..levels {
+            for a in &mut self.accum {
+                *a = 0.0;
+            }
+            for e in 0..nelem {
+                let base = e * NPTS;
+                let off = e * estride + k * NPTS;
+                for p in 0..NPTS {
+                    self.accum[self.gids[base + p]] += self.spheremp[base + p] * field[off + p];
+                }
+            }
+            for e in 0..nelem {
+                let base = e * NPTS;
+                let off = e * estride + k * NPTS;
+                for p in 0..NPTS {
+                    let g = self.gids[base + p];
+                    field[off + p] = self.accum[g] * self.inv_mass[g];
+                }
+            }
+        }
+    }
+
     /// Number of assembled (unique) points.
     pub fn nglobal(&self) -> usize {
         self.nglobal
@@ -202,6 +233,28 @@ mod tests {
         }
         for (a, b) in full.iter().zip(&by_level) {
             assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn flat_arena_apply_is_bitwise_identical_to_per_element_apply() {
+        let grid = CubedSphere::new(2);
+        let mut dss = Dss::new(&grid);
+        let nlev = 3;
+        let nelem = grid.nelem();
+        let mut per_elem: Vec<Vec<f64>> = (0..nelem)
+            .map(|e| {
+                (0..nlev * NPTS)
+                    .map(|i| ((e * 13 + i * 5) % 29) as f64 - 11.0)
+                    .collect()
+            })
+            .collect();
+        let mut flat: Vec<f64> = per_elem.iter().flatten().copied().collect();
+        dss.apply(&mut per_elem, nlev);
+        dss.apply_flat(&mut flat, nlev);
+        for (e, pe) in per_elem.iter().enumerate() {
+            let fl = &flat[e * nlev * NPTS..(e + 1) * nlev * NPTS];
+            assert_eq!(pe.as_slice(), fl, "element {e}");
         }
     }
 

@@ -8,6 +8,7 @@
 //! whose communication cost Section 7.6 attacks.
 
 use crate::deriv::ElemOps;
+use crate::sched::{ArenaMut, ElemScheduler};
 use crate::state::Dims;
 use cubesphere::NPTS;
 
@@ -68,6 +69,55 @@ pub fn euler_substep(
             }
         }
     }
+}
+
+/// Flat-arena forward-Euler sub-step: `u`/`v`/`dp` are `[nelem][nlev]
+/// [NPTS]` arenas, `qdp_in`/`qdp_out` are `[nelem][qsize][nlev][NPTS]`
+/// arenas (the state-arena layout). Elements run across the scheduler's
+/// workers; arithmetic is identical to [`euler_substep`] and the call is
+/// allocation-free.
+#[allow(clippy::too_many_arguments)]
+pub fn euler_substep_flat(
+    ops: &[ElemOps],
+    dims: Dims,
+    sched: &ElemScheduler,
+    u: &[f64],
+    v: &[f64],
+    dp: &[f64],
+    qdp_in: &[f64],
+    dt: f64,
+    qdp_out: &mut [f64],
+) {
+    let fl = dims.field_len();
+    let tl = dims.tracer_len();
+    let arena_out = ArenaMut::new(qdp_out);
+    sched.run(ops.len(), &|_w, e| {
+        let op = &ops[e];
+        let ue = &u[e * fl..(e + 1) * fl];
+        let ve = &v[e * fl..(e + 1) * fl];
+        let dpe = &dp[e * fl..(e + 1) * fl];
+        let qin = &qdp_in[e * tl..(e + 1) * tl];
+        // Disjoint per-element window of the output arena.
+        let qout = unsafe { arena_out.slice(e * tl, tl) };
+        for q in 0..dims.qsize {
+            for k in 0..dims.nlev {
+                let r = dims.at(k, 0)..dims.at(k, 0) + NPTS;
+                let rq = dims.atq(q, k, 0)..dims.atq(q, k, 0) + NPTS;
+                let mut tend = [0.0; NPTS];
+                tracer_flux_divergence(
+                    op,
+                    &ue[r.clone()],
+                    &ve[r.clone()],
+                    &dpe[r.clone()],
+                    &qin[rq.clone()],
+                    &mut tend,
+                );
+                for p in 0..NPTS {
+                    qout[rq.start + p] = qin[rq.start + p] + dt * tend[p];
+                }
+            }
+        }
+    });
 }
 
 /// Sign-preserving limiter: eliminate negative `qdp` within one element
@@ -140,6 +190,45 @@ mod tests {
                     -2.0 * div[p]
                 );
             }
+        }
+    }
+
+    #[test]
+    fn flat_substep_matches_per_element_substep() {
+        let grid = CubedSphere::new(2);
+        let ops = build_ops(&grid);
+        let dims = Dims { nlev: 3, qsize: 2 };
+        let nelem = grid.nelem();
+        let fl = dims.field_len();
+        let tl = dims.tracer_len();
+        let mk = |s: usize, len: usize| -> Vec<Vec<f64>> {
+            (0..nelem)
+                .map(|e| (0..len).map(|i| 800.0 + ((e * 31 + i * 7 + s) % 23) as f64).collect())
+                .collect()
+        };
+        let u = mk(0, fl);
+        let v = mk(1, fl);
+        let dp = mk(2, fl);
+        let qdp = mk(3, tl);
+        let mut out_pe = vec![vec![0.0; tl]; nelem];
+        euler_substep(&ops, dims, &u, &v, &dp, &qdp, 7.0, &mut out_pe);
+
+        let flat = |f: &[Vec<f64>]| -> Vec<f64> { f.iter().flatten().copied().collect() };
+        let sched = ElemScheduler::new(3);
+        let mut out_flat = vec![0.0; nelem * tl];
+        euler_substep_flat(
+            &ops,
+            dims,
+            &sched,
+            &flat(&u),
+            &flat(&v),
+            &flat(&dp),
+            &flat(&qdp),
+            7.0,
+            &mut out_flat,
+        );
+        for (e, pe) in out_pe.iter().enumerate() {
+            assert_eq!(pe.as_slice(), &out_flat[e * tl..(e + 1) * tl], "element {e}");
         }
     }
 

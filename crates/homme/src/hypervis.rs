@@ -11,6 +11,7 @@
 
 use crate::deriv::ElemOps;
 use crate::dss::Dss;
+use crate::sched::{ArenaMut, ElemScheduler};
 use cubesphere::NPTS;
 
 /// Hyperviscosity configuration.
@@ -88,6 +89,76 @@ pub fn vlaplace_fields(
     dss.apply(v, nlev);
 }
 
+/// Flat-arena `lap(f)` with DSS: `field` is one `[nelem][nlev][NPTS]`
+/// buffer (the state-arena layout). Element Laplacians run across the
+/// scheduler's workers; the DSS is the serial synchronization point.
+/// Identical arithmetic to [`laplace_fields`], allocation-free.
+pub fn laplace_flat(
+    ops: &[ElemOps],
+    dss: &mut Dss,
+    sched: &ElemScheduler,
+    nlev: usize,
+    field: &mut [f64],
+) {
+    let fl = nlev * NPTS;
+    {
+        let arena = ArenaMut::new(field);
+        sched.run(ops.len(), &|_w, e| {
+            // Disjoint per-element window of the arena.
+            let f = unsafe { arena.slice(e * fl, fl) };
+            for k in 0..nlev {
+                let r = k * NPTS..(k + 1) * NPTS;
+                let mut lap = [0.0; NPTS];
+                ops[e].laplace_sphere_wk(&f[r.clone()], &mut lap);
+                f[r].copy_from_slice(&lap);
+            }
+        });
+    }
+    dss.apply_flat(field, nlev);
+}
+
+/// Flat-arena weak biharmonic `lap(lap(f))` with DSS after each Laplacian.
+pub fn biharmonic_flat(
+    ops: &[ElemOps],
+    dss: &mut Dss,
+    sched: &ElemScheduler,
+    nlev: usize,
+    field: &mut [f64],
+) {
+    laplace_flat(ops, dss, sched, nlev, field);
+    laplace_flat(ops, dss, sched, nlev, field);
+}
+
+/// Flat-arena vector Laplacian with DSS for `(u, v)` per level.
+pub fn vlaplace_flat(
+    ops: &[ElemOps],
+    dss: &mut Dss,
+    sched: &ElemScheduler,
+    nlev: usize,
+    u: &mut [f64],
+    v: &mut [f64],
+) {
+    let fl = nlev * NPTS;
+    {
+        let au = ArenaMut::new(u);
+        let av = ArenaMut::new(v);
+        sched.run(ops.len(), &|_w, e| {
+            let ue = unsafe { au.slice(e * fl, fl) };
+            let ve = unsafe { av.slice(e * fl, fl) };
+            for k in 0..nlev {
+                let r = k * NPTS..(k + 1) * NPTS;
+                let mut lu = [0.0; NPTS];
+                let mut lv = [0.0; NPTS];
+                ops[e].vlaplace_sphere(&ue[r.clone()], &ve[r.clone()], &mut lu, &mut lv);
+                ue[r.clone()].copy_from_slice(&lu);
+                ve[r].copy_from_slice(&lv);
+            }
+        });
+    }
+    dss.apply_flat(u, nlev);
+    dss.apply_flat(v, nlev);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +224,50 @@ mod tests {
         let r4 = ratio(4);
         // (4*5 / 1*2)^2 = 100; allow generous slack for the cos^l proxy.
         assert!(r4 > 20.0 * r1, "r1 = {r1}, r4 = {r4}");
+    }
+
+    #[test]
+    fn flat_operators_match_per_element_operators() {
+        let grid = CubedSphere::new(3);
+        let ops = build_ops(&grid);
+        let mut dss = Dss::new(&grid);
+        let sched = ElemScheduler::new(4);
+        let nlev = 2;
+        let per_elem: Vec<Vec<f64>> = grid
+            .elements
+            .iter()
+            .enumerate()
+            .map(|(e, el)| {
+                (0..nlev)
+                    .flat_map(|k| {
+                        el.metric
+                            .iter()
+                            .map(move |m| (m.lat * (k + 1) as f64).sin() * m.lon.cos() + e as f64 * 1e-3)
+                            .collect::<Vec<_>>()
+                    })
+                    .collect()
+            })
+            .collect();
+        let flat0: Vec<f64> = per_elem.iter().flatten().copied().collect();
+
+        let mut a = per_elem.clone();
+        let mut b = flat0.clone();
+        biharmonic_fields(&ops, &mut dss, nlev, &mut a);
+        biharmonic_flat(&ops, &mut dss, &sched, nlev, &mut b);
+        for (e, ae) in a.iter().enumerate() {
+            assert_eq!(ae.as_slice(), &b[e * nlev * NPTS..(e + 1) * nlev * NPTS], "biharm e={e}");
+        }
+
+        let mut u1 = per_elem.clone();
+        let mut v1: Vec<Vec<f64>> = per_elem.iter().map(|f| f.iter().map(|x| -x).collect()).collect();
+        let mut u2 = flat0.clone();
+        let mut v2: Vec<f64> = flat0.iter().map(|x| -x).collect();
+        vlaplace_fields(&ops, &mut dss, nlev, &mut u1, &mut v1);
+        vlaplace_flat(&ops, &mut dss, &sched, nlev, &mut u2, &mut v2);
+        for (e, (ue, ve)) in u1.iter().zip(&v1).enumerate() {
+            assert_eq!(ue.as_slice(), &u2[e * nlev * NPTS..(e + 1) * nlev * NPTS], "vlap u e={e}");
+            assert_eq!(ve.as_slice(), &v2[e * nlev * NPTS..(e + 1) * nlev * NPTS], "vlap v e={e}");
+        }
     }
 
     #[test]

@@ -225,6 +225,7 @@ pub fn compute_and_apply_rhs(cluster: &CpeCluster, data: &mut KernelData) -> Ker
         let mut out_v = vec![0.0; n];
         let mut out_t = vec![0.0; n];
         let mut out_dp = vec![0.0; n];
+        let mut scratch = crate::rhs::RhsScratch::new(nlev);
         for ie in 0..nelem {
             let r = ie * n..(ie + 1) * n;
             // Tiled copyin of the 5 input fields and copyout of 4 outputs.
@@ -242,6 +243,7 @@ pub fn compute_and_apply_rhs(cluster: &CpeCluster, data: &mut KernelData) -> Ker
                 &mut out_v,
                 &mut out_t,
                 &mut out_dp,
+                &mut scratch,
             );
             tu.write(r.start, &out_u, ctx.id());
             tv.write(r.start, &out_v, ctx.id());

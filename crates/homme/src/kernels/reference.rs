@@ -9,12 +9,13 @@
 use super::KernelData;
 use crate::euler::tracer_flux_divergence;
 use crate::remap::remap_column_ppm;
-use crate::rhs::element_rhs_raw;
+use crate::rhs::{element_rhs_raw, RhsScratch};
 use cubesphere::NPTS;
 
 /// `compute_and_apply_rhs`: tendencies into `tend_*`.
 pub fn compute_and_apply_rhs(data: &mut KernelData) {
     let nlev = data.nlev;
+    let mut scratch = RhsScratch::new(nlev);
     for e in 0..data.nelem {
         let r = e * nlev * NPTS..(e + 1) * nlev * NPTS;
         let rp = e * NPTS..(e + 1) * NPTS;
@@ -39,6 +40,7 @@ pub fn compute_and_apply_rhs(data: &mut KernelData) {
             tv,
             tt,
             tdp,
+            &mut scratch,
         );
     }
 }
@@ -200,23 +202,26 @@ mod tests {
         // The kernel-workspace RHS must agree exactly with the Rhs struct
         // used by the driver (same function underneath).
         use crate::rhs::{ElemTend, Rhs};
-        use crate::state::{Dims, ElemState};
+        use crate::state::{Dims, State};
         use crate::vert::VertCoord;
         let mut data = KernelData::synth(4, 8, 0, 7);
         compute_and_apply_rhs(&mut data);
         let dims = Dims { nlev: 8, qsize: 0 };
         // VertCoord only supplies ptop here; synth uses ptop = 200.
         let rhs = Rhs::new(VertCoord::standard(8, 200.0), dims);
+        // The state arena uses the same flat (e, k, p) layout as the
+        // kernel workspace, so the fields copy over wholesale.
+        let mut st = State::zeros(dims, data.nelem);
+        st.u.copy_from_slice(&data.u);
+        st.v.copy_from_slice(&data.v);
+        st.t.copy_from_slice(&data.t);
+        st.dp3d.copy_from_slice(&data.dp3d);
+        st.phis.copy_from_slice(&data.phis);
+        let mut tend = ElemTend::zeros(dims);
+        let mut scratch = RhsScratch::new(8);
         for e in 0..data.nelem {
-            let mut es = ElemState::zeros(dims);
+            rhs.element_tend(&data.ops[e], st.elem(e), &mut tend, &mut scratch);
             let r = e * 8 * NPTS..(e + 1) * 8 * NPTS;
-            es.u.copy_from_slice(&data.u[r.clone()]);
-            es.v.copy_from_slice(&data.v[r.clone()]);
-            es.t.copy_from_slice(&data.t[r.clone()]);
-            es.dp3d.copy_from_slice(&data.dp3d[r.clone()]);
-            es.phis.copy_from_slice(&data.phis[e * NPTS..(e + 1) * NPTS]);
-            let mut tend = ElemTend::zeros(dims);
-            rhs.element_tend(&data.ops[e], &es, &mut tend);
             for (i, gi) in r.enumerate() {
                 assert_eq!(tend.u[i], data.tend_u[gi]);
                 assert_eq!(tend.t[i], data.tend_t[gi]);

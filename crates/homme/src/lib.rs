@@ -14,7 +14,11 @@
 //!   pack/unpack `bndry_exchangev` and the paper's redesigned overlapped,
 //!   copy-free version (Section 7.6).
 //! * [`prim`] — the `prim_run` driver: 5-stage Kinnmark–Gray RK dynamics,
-//!   subcycled hyperviscosity, tracer advection, vertical remap.
+//!   subcycled hyperviscosity, tracer advection, vertical remap. All state
+//!   lives in the flat SoA arena of [`state`], all temporaries in the
+//!   persistent [`workspace`], and per-element loops run across host
+//!   cores on the [`sched`] worker pool; [`seedref`] preserves the
+//!   original serial driver as the equivalence oracle.
 //! * [`kernels`] — the four implementation variants of every Table-1
 //!   kernel: Reference ("Intel"), MPE, OpenACC, and the Athread redesign
 //!   with register-communication scans and shuffle transposition
@@ -31,8 +35,11 @@ pub mod kernels;
 pub mod prim;
 pub mod remap;
 pub mod rhs;
+pub mod sched;
+pub mod seedref;
 pub mod state;
 pub mod vert;
+pub mod workspace;
 
 pub use bndry::{CopyStats, ExchangeMode, ExchangePlan};
 pub use deriv::{build_ops, ElemOps};
@@ -41,6 +48,9 @@ pub use dist::DistDycore;
 pub use dss::Dss;
 pub use hypervis::HypervisConfig;
 pub use prim::{Dycore, DycoreConfig, KG5_COEFFS};
-pub use rhs::{ElemTend, Rhs};
-pub use state::{Dims, ElemState, State};
+pub use rhs::{ElemTend, Rhs, RhsScratch};
+pub use sched::ElemScheduler;
+pub use seedref::SeedStepper;
+pub use state::{Dims, ElemMut, ElemRef, State};
 pub use vert::VertCoord;
+pub use workspace::StepWorkspace;

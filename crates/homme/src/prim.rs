@@ -5,15 +5,25 @@
 //! `compute_and_apply_rhs` (each stage followed by DSS), subcycled
 //! hyperviscosity, the 3-stage SSP-RK2 `euler_step` for tracers, and
 //! `vertical_remap` back to reference levels.
+//!
+//! The driver runs every per-element loop across the host cores through
+//! the persistent [`ElemScheduler`]; the serial DSS between phases is the
+//! synchronization point, so results are bitwise independent of thread
+//! count. All temporaries live in the [`StepWorkspace`] owned by the
+//! dycore — `step` allocates nothing on the heap (see the
+//! `alloc_regression` test). The allocation-heavy seed implementation is
+//! preserved in [`crate::seedref`] as the equivalence oracle.
 
 use crate::deriv::{build_ops, ElemOps};
 use crate::dss::Dss;
-use crate::euler::{euler_substep, limit_nonnegative};
-use crate::hypervis::{biharmonic_fields, vlaplace_fields, HypervisConfig};
-use crate::remap::remap_column_ppm;
-use crate::rhs::{ElemTend, Rhs};
+use crate::euler::{euler_substep_flat, limit_nonnegative};
+use crate::hypervis::{biharmonic_flat, laplace_flat, vlaplace_flat, HypervisConfig};
+use crate::remap::remap_column_ppm_with;
+use crate::rhs::{element_rhs_raw, Rhs};
+use crate::sched::{ArenaMut, ElemScheduler};
 use crate::state::{Dims, State};
 use crate::vert::VertCoord;
+use crate::workspace::{DynFields, StepWorkspace, WorkerScratch};
 use cubesphere::{CubedSphere, NPTS};
 
 /// Kinnmark–Gray 5-stage RK coefficients: stage `i` computes
@@ -60,7 +70,24 @@ pub struct Dycore {
     pub dims: Dims,
     /// Configuration.
     pub cfg: DycoreConfig,
+    /// Element scheduler (persistent worker pool).
+    pub sched: ElemScheduler,
+    ws: StepWorkspace,
     steps_since_remap: usize,
+}
+
+/// Default worker count: `SWCAM_THREADS` if set, else available
+/// parallelism capped at 8 (tests build many dycores; the cap keeps the
+/// idle-thread count sane while the cap can be lifted per dycore with
+/// [`Dycore::set_threads`]).
+fn default_threads() -> usize {
+    std::env::var("SWCAM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+        })
+        .max(1)
 }
 
 impl Dycore {
@@ -76,7 +103,21 @@ impl Dycore {
         let dss = Dss::new(&grid);
         let vert = VertCoord::standard(dims.nlev, ptop);
         let rhs = Rhs::new(vert, dims);
-        Dycore { grid, ops, dss, rhs, dims, cfg, steps_since_remap: 0 }
+        let sched = ElemScheduler::new(default_threads());
+        let ws = StepWorkspace::new(dims, grid.nelem(), cfg.hypervis.sponge_layers, sched.nthreads());
+        Dycore { grid, ops, dss, rhs, dims, cfg, sched, ws, steps_since_remap: 0 }
+    }
+
+    /// Replace the scheduler with an `n`-worker pool (and per-worker
+    /// scratch to match). `n = 1` forces serial execution.
+    pub fn set_threads(&mut self, n: usize) {
+        self.sched = ElemScheduler::new(n.max(1));
+        self.ws = StepWorkspace::new(
+            self.dims,
+            self.grid.nelem(),
+            self.cfg.hypervis.sponge_layers,
+            self.sched.nthreads(),
+        );
     }
 
     /// Fresh zero state sized for this dycore.
@@ -84,49 +125,32 @@ impl Dycore {
         State::zeros(self.dims, self.grid.nelem())
     }
 
-    /// One explicit sub-step: `out = base + c dt RHS(eval)`, then DSS.
-    fn rk_substep(&mut self, base: &State, eval: &State, c_dt: f64, out: &mut State) {
-        let nlev = self.dims.nlev;
-        let mut tend = ElemTend::zeros(self.dims);
-        for e in 0..eval.elems.len() {
-            self.rhs.element_tend(&self.ops[e], &eval.elems[e], &mut tend);
-            let oe = &mut out.elems[e];
-            let be = &base.elems[e];
-            for i in 0..self.dims.field_len() {
-                oe.u[i] = be.u[i] + c_dt * tend.u[i];
-                oe.v[i] = be.v[i] + c_dt * tend.v[i];
-                oe.t[i] = be.t[i] + c_dt * tend.t[i];
-                oe.dp3d[i] = be.dp3d[i] + c_dt * tend.dp3d[i];
-            }
-        }
-        // DSS the four updated prognostics.
-        let mut u: Vec<Vec<f64>> = out.elems.iter().map(|e| e.u.clone()).collect();
-        let mut v: Vec<Vec<f64>> = out.elems.iter().map(|e| e.v.clone()).collect();
-        let mut t: Vec<Vec<f64>> = out.elems.iter().map(|e| e.t.clone()).collect();
-        let mut dp: Vec<Vec<f64>> = out.elems.iter().map(|e| e.dp3d.clone()).collect();
-        self.dss.apply(&mut u, nlev);
-        self.dss.apply(&mut v, nlev);
-        self.dss.apply(&mut t, nlev);
-        self.dss.apply(&mut dp, nlev);
-        for (e, oe) in out.elems.iter_mut().enumerate() {
-            oe.u.copy_from_slice(&u[e]);
-            oe.v.copy_from_slice(&v[e]);
-            oe.t.copy_from_slice(&t[e]);
-            oe.dp3d.copy_from_slice(&dp[e]);
-        }
-    }
-
     /// Advance the dynamics (u, v, T, dp3d) by one dt with the 5-stage RK.
     pub fn dynamics_step(&mut self, state: &mut State) {
         let dt = self.cfg.dt;
-        let base = state.clone();
-        let mut stage = state.clone();
-        let mut next = state.clone();
+        let Dycore { ops, dss, rhs, dims, sched, ws, .. } = self;
+        ws.base.copy_from_state(state);
+        ws.stage.copy_from_state(state);
         for &c in &KG5_COEFFS {
-            self.rk_substep(&base, &stage, c * dt, &mut next);
-            std::mem::swap(&mut stage, &mut next);
+            rk_substep(
+                ops,
+                dss,
+                rhs,
+                *dims,
+                sched,
+                &ws.workers,
+                &ws.base,
+                &ws.stage,
+                &state.phis,
+                c * dt,
+                &mut ws.next,
+            );
+            std::mem::swap(&mut ws.stage, &mut ws.next);
         }
-        *state = stage;
+        state.u.copy_from_slice(&ws.stage.u);
+        state.v.copy_from_slice(&ws.stage.v);
+        state.t.copy_from_slice(&ws.stage.t);
+        state.dp3d.copy_from_slice(&ws.stage.dp3d);
     }
 
     /// Stability-limited hyperviscosity subcycle count: the explicit
@@ -158,49 +182,54 @@ impl Dycore {
         if hv.nu == 0.0 && hv.nu_p == 0.0 {
             return;
         }
-        let nlev = self.dims.nlev;
+        let subcycles = self.hypervis_subcycles();
+        let Dycore { ops, dss, dims, cfg, sched, ws, .. } = self;
+        let nlev = dims.nlev;
+        let fl = dims.field_len();
         // Top-of-model sponge: ordinary Laplacian damping on the top
         // layers (sign +nu_top lap, i.e. diffusion).
         if hv.nu_top > 0.0 && hv.sponge_layers > 0 {
             let ks = hv.sponge_layers.min(nlev);
-            let mut u: Vec<Vec<f64>> =
-                state.elems.iter().map(|e| e.u[..ks * NPTS].to_vec()).collect();
-            let mut v: Vec<Vec<f64>> =
-                state.elems.iter().map(|e| e.v[..ks * NPTS].to_vec()).collect();
-            let mut t: Vec<Vec<f64>> =
-                state.elems.iter().map(|e| e.t[..ks * NPTS].to_vec()).collect();
-            vlaplace_fields(&self.ops, &mut self.dss, ks, &mut u, &mut v);
-            crate::hypervis::laplace_fields(&self.ops, &mut self.dss, ks, &mut t);
-            for (e, es) in state.elems.iter_mut().enumerate() {
+            let sl = ks * NPTS;
+            for e in 0..ops.len() {
+                ws.sponge_u[e * sl..(e + 1) * sl].copy_from_slice(&state.u[e * fl..e * fl + sl]);
+                ws.sponge_v[e * sl..(e + 1) * sl].copy_from_slice(&state.v[e * fl..e * fl + sl]);
+                ws.sponge_t[e * sl..(e + 1) * sl].copy_from_slice(&state.t[e * fl..e * fl + sl]);
+            }
+            vlaplace_flat(ops, dss, sched, ks, &mut ws.sponge_u, &mut ws.sponge_v);
+            laplace_flat(ops, dss, sched, ks, &mut ws.sponge_t);
+            for e in 0..ops.len() {
                 for (k_rel, damp) in (0..ks).map(|k| (k, 1.0 / (1 << k) as f64)) {
                     for p in 0..NPTS {
                         let i = k_rel * NPTS + p;
-                        es.u[i] += self.cfg.dt * hv.nu_top * damp * u[e][i];
-                        es.v[i] += self.cfg.dt * hv.nu_top * damp * v[e][i];
-                        es.t[i] += self.cfg.dt * hv.nu_top * damp * t[e][i];
+                        let si = e * sl + i;
+                        let gi = e * fl + i;
+                        state.u[gi] += cfg.dt * hv.nu_top * damp * ws.sponge_u[si];
+                        state.v[gi] += cfg.dt * hv.nu_top * damp * ws.sponge_v[si];
+                        state.t[gi] += cfg.dt * hv.nu_top * damp * ws.sponge_t[si];
                     }
                 }
             }
         }
-        let subcycles = self.hypervis_subcycles();
-        let dt_sub = self.cfg.dt / subcycles as f64;
+        let dt_sub = cfg.dt / subcycles as f64;
         for _ in 0..subcycles {
-            let mut u: Vec<Vec<f64>> = state.elems.iter().map(|e| e.u.clone()).collect();
-            let mut v: Vec<Vec<f64>> = state.elems.iter().map(|e| e.v.clone()).collect();
-            let mut t: Vec<Vec<f64>> = state.elems.iter().map(|e| e.t.clone()).collect();
-            let mut dp: Vec<Vec<f64>> = state.elems.iter().map(|e| e.dp3d.clone()).collect();
+            ws.hyp.copy_from_state(state);
             // del^4 via two Laplacians with DSS (vector Laplacian for wind).
-            vlaplace_fields(&self.ops, &mut self.dss, nlev, &mut u, &mut v);
-            vlaplace_fields(&self.ops, &mut self.dss, nlev, &mut u, &mut v);
-            biharmonic_fields(&self.ops, &mut self.dss, nlev, &mut t);
-            biharmonic_fields(&self.ops, &mut self.dss, nlev, &mut dp);
-            for (e, es) in state.elems.iter_mut().enumerate() {
-                for i in 0..self.dims.field_len() {
-                    es.u[i] -= dt_sub * hv.nu * u[e][i];
-                    es.v[i] -= dt_sub * hv.nu * v[e][i];
-                    es.t[i] -= dt_sub * hv.nu * t[e][i];
-                    es.dp3d[i] -= dt_sub * hv.nu_p * dp[e][i];
-                }
+            vlaplace_flat(ops, dss, sched, nlev, &mut ws.hyp.u, &mut ws.hyp.v);
+            vlaplace_flat(ops, dss, sched, nlev, &mut ws.hyp.u, &mut ws.hyp.v);
+            biharmonic_flat(ops, dss, sched, nlev, &mut ws.hyp.t);
+            biharmonic_flat(ops, dss, sched, nlev, &mut ws.hyp.dp3d);
+            for (x, l) in state.u.iter_mut().zip(&ws.hyp.u) {
+                *x -= dt_sub * hv.nu * l;
+            }
+            for (x, l) in state.v.iter_mut().zip(&ws.hyp.v) {
+                *x -= dt_sub * hv.nu * l;
+            }
+            for (x, l) in state.t.iter_mut().zip(&ws.hyp.t) {
+                *x -= dt_sub * hv.nu * l;
+            }
+            for (x, l) in state.dp3d.iter_mut().zip(&ws.hyp.dp3d) {
+                *x -= dt_sub * hv.nu_p * l;
             }
         }
     }
@@ -211,105 +240,88 @@ impl Dycore {
             return;
         }
         let dt = self.cfg.dt;
-        let nlev = self.dims.nlev;
-        let u: Vec<Vec<f64>> = state.elems.iter().map(|e| e.u.clone()).collect();
-        let v: Vec<Vec<f64>> = state.elems.iter().map(|e| e.v.clone()).collect();
-        let dp: Vec<Vec<f64>> = state.elems.iter().map(|e| e.dp3d.clone()).collect();
-        let qdp0: Vec<Vec<f64>> = state.elems.iter().map(|e| e.qdp.clone()).collect();
-        let mut q1 = qdp0.clone();
-        let mut q2 = qdp0.clone();
+        let Dycore { ops, dss, dims, cfg, sched, ws, .. } = self;
+        ws.qdp0.copy_from_slice(&state.qdp);
 
         // Stage 1: q1 = q0 + dt L(q0)
-        euler_substep(&self.ops, self.dims, &u, &v, &dp, &qdp0, dt, &mut q1);
-        self.finish_tracer_stage(&mut q1, nlev);
+        euler_substep_flat(ops, *dims, sched, &state.u, &state.v, &state.dp3d, &ws.qdp0, dt, &mut ws.q1);
+        finish_tracer_stage(ops, dss, *dims, cfg.limiter, &mut ws.q1);
         // Stage 2: q2 = 3/4 q0 + 1/4 (q1 + dt L(q1))
-        let mut tmp = qdp0.clone();
-        euler_substep(&self.ops, self.dims, &u, &v, &dp, &q1, dt, &mut tmp);
-        for (q2e, (q0e, te)) in q2.iter_mut().zip(qdp0.iter().zip(&tmp)) {
-            for i in 0..q2e.len() {
-                q2e[i] = 0.75 * q0e[i] + 0.25 * te[i];
-            }
+        euler_substep_flat(ops, *dims, sched, &state.u, &state.v, &state.dp3d, &ws.q1, dt, &mut ws.qtmp);
+        for (q2, (q0, t)) in ws.q2.iter_mut().zip(ws.qdp0.iter().zip(&ws.qtmp)) {
+            *q2 = 0.75 * q0 + 0.25 * t;
         }
-        self.finish_tracer_stage(&mut q2, nlev);
+        finish_tracer_stage(ops, dss, *dims, cfg.limiter, &mut ws.q2);
         // Stage 3: q^{n+1} = 1/3 q0 + 2/3 (q2 + dt L(q2))
-        euler_substep(&self.ops, self.dims, &u, &v, &dp, &q2, dt, &mut tmp);
-        for (es, (q0e, te)) in state.elems.iter_mut().zip(qdp0.iter().zip(&tmp)) {
-            for i in 0..es.qdp.len() {
-                es.qdp[i] = q0e[i] / 3.0 + 2.0 / 3.0 * te[i];
-            }
+        euler_substep_flat(ops, *dims, sched, &state.u, &state.v, &state.dp3d, &ws.q2, dt, &mut ws.qtmp);
+        for (qf, (q0, t)) in state.qdp.iter_mut().zip(ws.qdp0.iter().zip(&ws.qtmp)) {
+            *qf = q0 / 3.0 + 2.0 / 3.0 * t;
         }
-        let mut qf: Vec<Vec<f64>> = state.elems.iter().map(|e| e.qdp.clone()).collect();
-        self.finish_tracer_stage(&mut qf, nlev);
-        for (es, qe) in state.elems.iter_mut().zip(&qf) {
-            es.qdp.copy_from_slice(qe);
-        }
-    }
-
-    /// DSS + optional limiter for one tracer stage.
-    fn finish_tracer_stage(&mut self, qdp: &mut [Vec<f64>], nlev: usize) {
-        self.dss.apply(qdp, self.dims.qsize * nlev);
-        if self.cfg.limiter {
-            for (e, qe) in qdp.iter_mut().enumerate() {
-                let mut spheremp = [0.0; NPTS];
-                spheremp.copy_from_slice(&self.ops[e].spheremp);
-                for q in 0..self.dims.qsize {
-                    for k in 0..nlev {
-                        let r = (q * nlev + k) * NPTS..(q * nlev + k + 1) * NPTS;
-                        limit_nonnegative(&spheremp, &mut qe[r]);
-                    }
-                }
-            }
-        }
+        finish_tracer_stage(ops, dss, *dims, cfg.limiter, &mut state.qdp);
     }
 
     /// Remap the column back to reference hybrid levels (`vertical_remap`).
     pub fn vertical_remap(&mut self, state: &mut State) {
-        let nlev = self.dims.nlev;
-        let vert = &self.rhs.vert;
+        let Dycore { ops, rhs, dims, sched, ws, .. } = self;
+        let nlev = dims.nlev;
+        let qsize = dims.qsize;
+        let fl = dims.field_len();
+        let tl = dims.tracer_len();
+        let vert = &rhs.vert;
         let ptop = vert.ptop();
-        let mut src = vec![0.0; nlev];
-        let mut dst = vec![0.0; nlev];
-        let mut col = vec![0.0; nlev];
-        let mut out = vec![0.0; nlev];
-        for es in &mut state.elems {
+        let workers = &ws.workers;
+        let au = ArenaMut::new(&mut state.u);
+        let av = ArenaMut::new(&mut state.v);
+        let at = ArenaMut::new(&mut state.t);
+        let adp = ArenaMut::new(&mut state.dp3d);
+        let aq = ArenaMut::new(&mut state.qdp);
+        sched.run(ops.len(), &|w, e| {
+            // One scratch slot per worker; windows are element-disjoint.
+            let scratch = unsafe { workers.get(w) };
+            let WorkerScratch { remap, col_src, col_dst, col_val, col_out, .. } = scratch;
+            let u = unsafe { au.slice(e * fl, fl) };
+            let v = unsafe { av.slice(e * fl, fl) };
+            let t = unsafe { at.slice(e * fl, fl) };
+            let dp3d = unsafe { adp.slice(e * fl, fl) };
+            let qdp = unsafe { aq.slice(e * tl, tl) };
             for p in 0..NPTS {
                 let mut ps = ptop;
                 for k in 0..nlev {
-                    src[k] = es.dp3d[k * NPTS + p];
-                    ps += src[k];
+                    col_src[k] = dp3d[k * NPTS + p];
+                    ps += col_src[k];
                 }
                 for k in 0..nlev {
-                    dst[k] = vert.dp_ref(k, ps);
+                    col_dst[k] = vert.dp_ref(k, ps);
                 }
                 // Momentum, heat: conserve integral(f dp).
-                for field in [&mut es.u, &mut es.v, &mut es.t] {
+                for field in [&mut *u, &mut *v, &mut *t] {
                     for k in 0..nlev {
-                        col[k] = field[k * NPTS + p];
+                        col_val[k] = field[k * NPTS + p];
                     }
-                    remap_column_ppm(&src, &col, &dst, &mut out);
+                    remap_column_ppm_with(col_src, col_val, col_dst, col_out, remap);
                     for k in 0..nlev {
-                        field[k * NPTS + p] = out[k];
+                        field[k * NPTS + p] = col_out[k];
                     }
                 }
                 // Tracers: remap mixing ratio, rebuild mass.
-                for q in 0..self.dims.qsize {
+                for q in 0..qsize {
                     for k in 0..nlev {
-                        col[k] = es.qdp[(q * nlev + k) * NPTS + p] / src[k];
+                        col_val[k] = qdp[(q * nlev + k) * NPTS + p] / col_src[k];
                     }
-                    remap_column_ppm(&src, &col, &dst, &mut out);
+                    remap_column_ppm_with(col_src, col_val, col_dst, col_out, remap);
                     for k in 0..nlev {
-                        es.qdp[(q * nlev + k) * NPTS + p] = out[k] * dst[k];
+                        qdp[(q * nlev + k) * NPTS + p] = col_out[k] * col_dst[k];
                     }
                 }
                 for k in 0..nlev {
-                    es.dp3d[k * NPTS + p] = dst[k];
+                    dp3d[k * NPTS + p] = col_dst[k];
                 }
             }
-        }
+        });
     }
 
     /// One full model step: dynamics RK + hyperviscosity + tracer advection
-    /// + (every `rsplit` steps) vertical remap.
+    /// + (every `rsplit` steps) vertical remap. Heap-allocation-free.
     pub fn step(&mut self, state: &mut State) {
         self.dynamics_step(state);
         self.apply_hypervis(state);
@@ -324,8 +336,7 @@ impl Dycore {
     /// Global dry-air mass (`integral of sum_k dp3d dA`), Pa m^2.
     pub fn total_mass(&self, state: &State) -> f64 {
         let fields: Vec<Vec<f64>> = state
-            .elems
-            .iter()
+            .elems()
             .map(|es| {
                 (0..NPTS)
                     .map(|p| (0..self.dims.nlev).map(|k| es.dp3d[k * NPTS + p]).sum())
@@ -339,8 +350,7 @@ impl Dycore {
     pub fn total_tracer_mass(&self, state: &State, q: usize) -> f64 {
         let nlev = self.dims.nlev;
         let fields: Vec<Vec<f64>> = state
-            .elems
-            .iter()
+            .elems()
             .map(|es| {
                 (0..NPTS)
                     .map(|p| (0..nlev).map(|k| es.qdp[(q * nlev + k) * NPTS + p]).sum())
@@ -353,12 +363,94 @@ impl Dycore {
     /// Maximum wind speed (stability diagnostic).
     pub fn max_wind(&self, state: &State) -> f64 {
         let mut m: f64 = 0.0;
-        for es in &state.elems {
-            for (u, v) in es.u.iter().zip(&es.v) {
-                m = m.max((u * u + v * v).sqrt());
-            }
+        for (u, v) in state.u.iter().zip(&state.v) {
+            m = m.max((u * u + v * v).sqrt());
         }
         m
+    }
+}
+
+/// One explicit sub-step across all elements: `out = base + c dt
+/// RHS(eval)`, then DSS. RHS evaluations run on the scheduler with
+/// per-worker scratch; the DSS is serial and bitwise identical to the
+/// per-element path.
+#[allow(clippy::too_many_arguments)]
+fn rk_substep(
+    ops: &[ElemOps],
+    dss: &mut Dss,
+    rhs: &Rhs,
+    dims: Dims,
+    sched: &ElemScheduler,
+    workers: &crate::sched::PerWorker<WorkerScratch>,
+    base: &DynFields,
+    eval: &DynFields,
+    phis: &[f64],
+    c_dt: f64,
+    out: &mut DynFields,
+) {
+    let nlev = dims.nlev;
+    let fl = dims.field_len();
+    let ptop = rhs.vert.ptop();
+    {
+        let ou = ArenaMut::new(&mut out.u);
+        let ov = ArenaMut::new(&mut out.v);
+        let ot = ArenaMut::new(&mut out.t);
+        let odp = ArenaMut::new(&mut out.dp3d);
+        sched.run(ops.len(), &|w, e| {
+            let scratch = unsafe { workers.get(w) };
+            let WorkerScratch { tend, rhs: rhs_scratch, .. } = scratch;
+            let r = e * fl..(e + 1) * fl;
+            element_rhs_raw(
+                &ops[e],
+                nlev,
+                ptop,
+                &eval.u[r.clone()],
+                &eval.v[r.clone()],
+                &eval.t[r.clone()],
+                &eval.dp3d[r.clone()],
+                &phis[e * NPTS..(e + 1) * NPTS],
+                &mut tend.u,
+                &mut tend.v,
+                &mut tend.t,
+                &mut tend.dp3d,
+                rhs_scratch,
+            );
+            let ou = unsafe { ou.slice(e * fl, fl) };
+            let ov = unsafe { ov.slice(e * fl, fl) };
+            let ot = unsafe { ot.slice(e * fl, fl) };
+            let odp = unsafe { odp.slice(e * fl, fl) };
+            for i in 0..fl {
+                ou[i] = base.u[r.start + i] + c_dt * tend.u[i];
+                ov[i] = base.v[r.start + i] + c_dt * tend.v[i];
+                ot[i] = base.t[r.start + i] + c_dt * tend.t[i];
+                odp[i] = base.dp3d[r.start + i] + c_dt * tend.dp3d[i];
+            }
+        });
+    }
+    // DSS the four updated prognostics (serial synchronization point).
+    dss.apply_flat(&mut out.u, nlev);
+    dss.apply_flat(&mut out.v, nlev);
+    dss.apply_flat(&mut out.t, nlev);
+    dss.apply_flat(&mut out.dp3d, nlev);
+}
+
+/// DSS + optional limiter for one tracer stage on a flat tracer arena.
+fn finish_tracer_stage(ops: &[ElemOps], dss: &mut Dss, dims: Dims, limiter: bool, qdp: &mut [f64]) {
+    let nlev = dims.nlev;
+    let tl = dims.tracer_len();
+    dss.apply_flat(qdp, dims.qsize * nlev);
+    if limiter {
+        for (e, op) in ops.iter().enumerate() {
+            let mut spheremp = [0.0; NPTS];
+            spheremp.copy_from_slice(&op.spheremp);
+            let qe = &mut qdp[e * tl..(e + 1) * tl];
+            for q in 0..dims.qsize {
+                for k in 0..nlev {
+                    let r = (q * nlev + k) * NPTS..(q * nlev + k + 1) * NPTS;
+                    limit_nonnegative(&spheremp, &mut qe[r]);
+                }
+            }
+        }
     }
 }
 
@@ -369,14 +461,15 @@ mod tests {
 
     fn resting_state(dy: &Dycore) -> State {
         let mut st = dy.zero_state();
-        for es in &mut st.elems {
-            for k in 0..dy.dims.nlev {
+        let dims = dy.dims;
+        let vert = dy.rhs.vert.clone();
+        for es in st.elems_mut() {
+            for k in 0..dims.nlev {
                 for p in 0..NPTS {
                     es.t[k * NPTS + p] = 300.0;
-                    es.dp3d[k * NPTS + p] = dy.rhs.vert.dp_ref(k, P0);
-                    for q in 0..dy.dims.qsize {
-                        es.qdp[(q * dy.dims.nlev + k) * NPTS + p] =
-                            0.01 * es.dp3d[k * NPTS + p];
+                    es.dp3d[k * NPTS + p] = vert.dp_ref(k, P0);
+                    for q in 0..dims.qsize {
+                        es.qdp[(q * dims.nlev + k) * NPTS + p] = 0.01 * es.dp3d[k * NPTS + p];
                     }
                 }
             }
@@ -415,7 +508,7 @@ mod tests {
         let mut dy = Dycore::new(3, dims, 200.0, cfg);
         let mut st = resting_state(&dy);
         // Perturb the temperature field to get the flow moving.
-        for es in &mut st.elems {
+        for es in st.elems_mut() {
             for (i, t) in es.t.iter_mut().enumerate() {
                 *t += 2.0 * ((i % 11) as f64 / 11.0 - 0.5);
             }
@@ -450,14 +543,15 @@ mod tests {
         let (t0, u0) = (300.0, 30.0);
         let c = (EARTH_RADIUS * OMEGA * u0 + 0.5 * u0 * u0) / (RD * t0);
         let grid_elems: Vec<_> = dy.grid.elements.clone();
-        for (es, el) in st.elems.iter_mut().zip(&grid_elems) {
+        let vert = dy.rhs.vert.clone();
+        for (es, el) in st.elems_mut().zip(&grid_elems) {
             for p in 0..NPTS {
                 let lat = el.metric[p].lat;
                 let ps = P0 * (-c * lat.sin() * lat.sin()).exp();
                 for k in 0..dims.nlev {
                     es.u[k * NPTS + p] = u0 * lat.cos();
                     es.t[k * NPTS + p] = t0;
-                    es.dp3d[k * NPTS + p] = dy.rhs.vert.dp_ref(k, ps);
+                    es.dp3d[k * NPTS + p] = vert.dp_ref(k, ps);
                 }
             }
         }
@@ -467,10 +561,8 @@ mod tests {
         }
         // The balanced jet must persist: wind change small vs u0.
         let mut max_du: f64 = 0.0;
-        for (a, b) in st.elems.iter().zip(&init.elems) {
-            for (x, y) in a.u.iter().zip(&b.u) {
-                max_du = max_du.max((x - y).abs());
-            }
+        for (x, y) in st.u.iter().zip(&init.u) {
+            max_du = max_du.max((x - y).abs());
         }
         assert!(max_du < 0.05 * u0, "jet decayed/blew up: du = {max_du}");
     }
@@ -487,14 +579,12 @@ mod tests {
         let mut dy = Dycore::new(4, dims, 200.0, cfg);
         let mut st = resting_state(&dy);
         // Checkerboard temperature noise.
-        for es in &mut st.elems {
-            for (i, t) in es.t.iter_mut().enumerate() {
-                *t += if i % 2 == 0 { 1.0 } else { -1.0 };
-            }
+        for (i, t) in st.t.iter_mut().enumerate() {
+            *t += if i % 2 == 0 { 1.0 } else { -1.0 };
         }
         let noise = |s: &State| -> f64 {
             let mut acc = 0.0;
-            for es in &s.elems {
+            for es in s.elems() {
                 for w in es.t.windows(2) {
                     acc += (w[1] - w[0]).powi(2);
                 }
@@ -507,5 +597,34 @@ mod tests {
         }
         let n1 = noise(&st);
         assert!(n1 < 0.8 * n0, "noise not damped: {n0} -> {n1}");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let dims = Dims { nlev: 4, qsize: 1 };
+        let cfg = DycoreConfig::for_ne(3);
+        let run = |threads: usize| -> State {
+            let mut dy = Dycore::new(3, dims, 200.0, cfg);
+            dy.set_threads(threads);
+            let mut st = resting_state(&dy);
+            for es in st.elems_mut() {
+                for (i, t) in es.t.iter_mut().enumerate() {
+                    *t += ((i % 7) as f64 - 3.0) * 0.5;
+                }
+            }
+            for _ in 0..3 {
+                dy.step(&mut st);
+            }
+            st
+        };
+        let serial = run(1);
+        for threads in [2, 4, 7] {
+            let par = run(threads);
+            assert_eq!(
+                serial.max_abs_diff(&par),
+                0.0,
+                "threads={threads} diverged from serial"
+            );
+        }
     }
 }

@@ -9,16 +9,67 @@
 
 use cubesphere::NPTS;
 
+/// Reusable buffers for the PPM reconstruction of one column. A scratch
+/// sized once for `nlev` serves every column of a run — the zero-alloc
+/// remap path keeps one per scheduler worker.
+#[derive(Debug, Clone, Default)]
+pub struct RemapScratch {
+    /// Source interface positions, `[n+1]`.
+    zs: Vec<f64>,
+    /// Interface values, `[n+1]`.
+    ae: Vec<f64>,
+    /// Limited left parabola edge per cell, `[n]`.
+    a_l: Vec<f64>,
+    /// Limited right parabola edge per cell, `[n]`.
+    a_r: Vec<f64>,
+}
+
+impl RemapScratch {
+    /// Scratch sized for columns of `nlev` cells.
+    pub fn new(nlev: usize) -> Self {
+        RemapScratch {
+            zs: vec![0.0; nlev + 1],
+            ae: vec![0.0; nlev + 1],
+            a_l: vec![0.0; nlev],
+            a_r: vec![0.0; nlev],
+        }
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.a_l.len() < n {
+            self.zs.resize(n + 1, 0.0);
+            self.ae.resize(n + 1, 0.0);
+            self.a_l.resize(n, 0.0);
+            self.a_r.resize(n, 0.0);
+        }
+    }
+}
+
+/// Conservatively remap one column (allocating convenience wrapper around
+/// [`remap_column_ppm_with`]).
+pub fn remap_column_ppm(src_dp: &[f64], vals: &[f64], dst_dp: &[f64], out: &mut [f64]) {
+    let mut scratch = RemapScratch::new(src_dp.len());
+    remap_column_ppm_with(src_dp, vals, dst_dp, out, &mut scratch);
+}
+
 /// Conservatively remap one column.
 ///
 /// `src_dp[k]` / `vals[k]` are source thicknesses and cell averages (top
 /// first); `dst_dp` are target thicknesses with the same column total (to
-/// round-off); `out` receives the target averages.
+/// round-off); `out` receives the target averages. `scratch` buffers are
+/// fully overwritten; a sufficiently-sized scratch makes the call
+/// allocation-free.
 ///
 /// # Panics
 /// Panics if lengths disagree, any thickness is non-positive, or the column
 /// totals differ by more than a relative `1e-10`.
-pub fn remap_column_ppm(src_dp: &[f64], vals: &[f64], dst_dp: &[f64], out: &mut [f64]) {
+pub fn remap_column_ppm_with(
+    src_dp: &[f64],
+    vals: &[f64],
+    dst_dp: &[f64],
+    out: &mut [f64],
+    scratch: &mut RemapScratch,
+) {
     let n = src_dp.len();
     assert_eq!(vals.len(), n);
     assert_eq!(dst_dp.len(), out.len());
@@ -31,15 +82,17 @@ pub fn remap_column_ppm(src_dp: &[f64], vals: &[f64], dst_dp: &[f64], out: &mut 
         "column totals differ: {total_src} vs {total_dst}"
     );
 
+    scratch.ensure(n);
+    let RemapScratch { zs, ae, a_l, a_r } = scratch;
+
     // Source interface positions (mass coordinate, 0 at the top).
-    let mut zs = vec![0.0; n + 1];
+    zs[0] = 0.0;
     for k in 0..n {
         zs[k + 1] = zs[k] + src_dp[k];
     }
 
     // --- PPM reconstruction -------------------------------------------------
     // Interface values by thickness-weighted interpolation.
-    let mut ae = vec![0.0; n + 1];
     ae[0] = vals[0];
     ae[n] = vals[n - 1];
     for k in 1..n {
@@ -47,8 +100,6 @@ pub fn remap_column_ppm(src_dp: &[f64], vals: &[f64], dst_dp: &[f64], out: &mut 
         ae[k] = w * vals[k - 1] + (1.0 - w) * vals[k];
     }
     // Limited parabola coefficients per cell.
-    let mut a_l = vec![0.0; n];
-    let mut a_r = vec![0.0; n];
     for k in 0..n {
         let a = vals[k];
         let mut l = ae[k];
@@ -222,6 +273,23 @@ mod tests {
             z += dst[j];
         }
         let _ = f;
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_allocation() {
+        let n = 12;
+        let src: Vec<f64> = (0..n).map(|k| 90.0 + ((k * 11) % 7) as f64).collect();
+        let total: f64 = src.iter().sum();
+        let dst = vec![total / n as f64; n];
+        let mut scratch = RemapScratch::new(n);
+        for round in 0..4 {
+            let vals: Vec<f64> = (0..n).map(|k| ((k * 5 + round * 3) % 11) as f64).collect();
+            let mut out_fresh = vec![0.0; n];
+            let mut out_reused = vec![0.0; n];
+            remap_column_ppm(&src, &vals, &dst, &mut out_fresh);
+            remap_column_ppm_with(&src, &vals, &dst, &mut out_reused, &mut scratch);
+            assert_eq!(out_fresh, out_reused, "round {round}");
+        }
     }
 
     #[test]

@@ -13,10 +13,12 @@
 //!
 //! The caller applies the tendencies (`state += dt * tend`) and performs the
 //! DSS — "compute the RHS, accumulate into velocity and apply DSS"
-//! (Table 1).
+//! (Table 1). Column temporaries live in a caller-owned [`RhsScratch`] so
+//! steady-state evaluation allocates nothing (one scratch per scheduler
+//! worker in the parallel driver).
 
 use crate::deriv::ElemOps;
-use crate::state::{Dims, ElemState};
+use crate::state::{Dims, ElemRef};
 use crate::vert::VertCoord;
 use cubesphere::consts::{CP, RD};
 use cubesphere::NPTS;
@@ -39,6 +41,39 @@ impl ElemTend {
     pub fn zeros(dims: Dims) -> Self {
         let n = dims.field_len();
         ElemTend { u: vec![0.0; n], v: vec![0.0; n], t: vec![0.0; n], dp3d: vec![0.0; n] }
+    }
+}
+
+/// Reusable column temporaries for one RHS evaluation. Every buffer is
+/// fully overwritten by [`element_rhs_raw`], so a scratch can be reused
+/// across elements and steps without re-zeroing.
+#[derive(Debug, Clone)]
+pub struct RhsScratch {
+    /// Interface pressures, `[nlev+1][NPTS]`.
+    pub p_int: Vec<f64>,
+    /// Midpoint pressures, `[nlev][NPTS]`.
+    pub p_mid: Vec<f64>,
+    /// Midpoint geopotential, `[nlev][NPTS]`.
+    pub phi_mid: Vec<f64>,
+    /// `div(v dp)` per level, `[nlev][NPTS]`.
+    pub divdp: Vec<f64>,
+    /// `v . grad p` per level, `[nlev][NPTS]`.
+    pub vgrad_p: Vec<f64>,
+    /// `omega / p` per level, `[nlev][NPTS]`.
+    pub omega_p: Vec<f64>,
+}
+
+impl RhsScratch {
+    /// Scratch sized for `nlev` layers.
+    pub fn new(nlev: usize) -> Self {
+        RhsScratch {
+            p_int: vec![0.0; (nlev + 1) * NPTS],
+            p_mid: vec![0.0; nlev * NPTS],
+            phi_mid: vec![0.0; nlev * NPTS],
+            divdp: vec![0.0; nlev * NPTS],
+            vgrad_p: vec![0.0; nlev * NPTS],
+            omega_p: vec![0.0; nlev * NPTS],
+        }
     }
 }
 
@@ -105,26 +140,34 @@ impl Rhs {
     }
 
     /// Evaluate the dynamics tendencies of one element into `tend`.
-    pub fn element_tend(&self, op: &ElemOps, es: &ElemState, tend: &mut ElemTend) {
+    pub fn element_tend(
+        &self,
+        op: &ElemOps,
+        es: ElemRef<'_>,
+        tend: &mut ElemTend,
+        scratch: &mut RhsScratch,
+    ) {
         element_rhs_raw(
             op,
             self.dims.nlev,
             self.vert.ptop(),
-            &es.u,
-            &es.v,
-            &es.t,
-            &es.dp3d,
-            &es.phis,
+            es.u,
+            es.v,
+            es.t,
+            es.dp3d,
+            es.phis,
             &mut tend.u,
             &mut tend.v,
             &mut tend.t,
             &mut tend.dp3d,
+            scratch,
         );
     }
 }
 
 /// The raw `compute_and_apply_rhs` math on flat `[nlev][NPTS]` slices —
-/// shared by the dycore driver and every kernel variant.
+/// shared by the dycore driver and every kernel variant. All column
+/// temporaries come from `scratch`; nothing is allocated.
 #[allow(clippy::too_many_arguments)]
 pub fn element_rhs_raw(
     op: &ElemOps,
@@ -139,108 +182,85 @@ pub fn element_rhs_raw(
     tend_v: &mut [f64],
     tend_t: &mut [f64],
     tend_dp3d: &mut [f64],
+    scratch: &mut RhsScratch,
 ) {
-    {
-        struct EsView<'a> {
-            u: &'a [f64],
-            v: &'a [f64],
-            t: &'a [f64],
-            dp3d: &'a [f64],
-            phis: &'a [f64],
+    // --- column scans -------------------------------------------------
+    let RhsScratch { p_int, p_mid, phi_mid, divdp, vgrad_p, omega_p } = scratch;
+    pressure_scan(nlev, ptop, es_dp3d, p_int, p_mid);
+    geopotential_scan(nlev, es_phis, es_t, p_int, p_mid, phi_mid);
+
+    // --- per-level horizontal operators -------------------------------
+    // div(v dp) per level, needed by the omega scan and the dp tendency.
+    for k in 0..nlev {
+        let r = k * NPTS..(k + 1) * NPTS;
+        let u = &es_u[r.clone()];
+        let v = &es_v[r.clone()];
+        let dp = &es_dp3d[r.clone()];
+        let mut udp = [0.0; NPTS];
+        let mut vdp = [0.0; NPTS];
+        for p in 0..NPTS {
+            udp[p] = u[p] * dp[p];
+            vdp[p] = v[p] * dp[p];
         }
-        let es = EsView { u: es_u, v: es_v, t: es_t, dp3d: es_dp3d, phis: es_phis };
-        let tend = TendView { u: tend_u, v: tend_v, t: tend_t, dp3d: tend_dp3d };
-        struct TendView<'a> {
-            u: &'a mut [f64],
-            v: &'a mut [f64],
-            t: &'a mut [f64],
-            dp3d: &'a mut [f64],
+        let mut div = [0.0; NPTS];
+        op.divergence_sphere(&udp, &vdp, &mut div);
+        divdp[r.clone()].copy_from_slice(&div);
+
+        let mut gpx = [0.0; NPTS];
+        let mut gpy = [0.0; NPTS];
+        op.gradient_sphere(&p_mid[r.clone()], &mut gpx, &mut gpy);
+        for p in 0..NPTS {
+            vgrad_p[k * NPTS + p] = u[p] * gpx[p] + v[p] * gpy[p];
         }
-        let tend = tend;
+    }
 
-        // --- column scans -------------------------------------------------
-        let mut p_int = vec![0.0; (nlev + 1) * NPTS];
-        let mut p_mid = vec![0.0; nlev * NPTS];
-        pressure_scan(nlev, ptop, &es.dp3d, &mut p_int, &mut p_mid);
-        let mut phi_mid = vec![0.0; nlev * NPTS];
-        geopotential_scan(nlev, &es.phis, &es.t, &p_int, &p_mid, &mut phi_mid);
-
-        // --- per-level horizontal operators -------------------------------
-        // div(v dp) per level, needed by the omega scan and the dp tendency.
-        let mut divdp = vec![0.0; nlev * NPTS];
-        let mut vgrad_p = vec![0.0; nlev * NPTS];
-        for k in 0..nlev {
-            let r = k * NPTS..(k + 1) * NPTS;
-            let u = &es.u[r.clone()];
-            let v = &es.v[r.clone()];
-            let dp = &es.dp3d[r.clone()];
-            let mut udp = [0.0; NPTS];
-            let mut vdp = [0.0; NPTS];
-            for p in 0..NPTS {
-                udp[p] = u[p] * dp[p];
-                vdp[p] = v[p] * dp[p];
-            }
-            let mut div = [0.0; NPTS];
-            op.divergence_sphere(&udp, &vdp, &mut div);
-            divdp[r.clone()].copy_from_slice(&div);
-
-            let mut gpx = [0.0; NPTS];
-            let mut gpy = [0.0; NPTS];
-            op.gradient_sphere(&p_mid[r.clone()], &mut gpx, &mut gpy);
-            for p in 0..NPTS {
-                vgrad_p[k * NPTS + p] = u[p] * gpx[p] + v[p] * gpy[p];
-            }
+    // --- omega/p scan --------------------------------------------------
+    // omega/p(k) = (vgrad_p(k) - sum_{l<k} divdp(l) - 0.5 divdp(k)) / pmid(k)
+    let mut acc = [0.0; NPTS];
+    for k in 0..nlev {
+        for p in 0..NPTS {
+            let i = k * NPTS + p;
+            omega_p[i] = (vgrad_p[i] - acc[p] - 0.5 * divdp[i]) / p_mid[i];
+            acc[p] += divdp[i];
         }
+    }
 
-        // --- omega/p scan --------------------------------------------------
-        // omega/p(k) = (vgrad_p(k) - sum_{l<k} divdp(l) - 0.5 divdp(k)) / pmid(k)
-        let mut omega_p = vec![0.0; nlev * NPTS];
-        let mut acc = [0.0; NPTS];
-        for k in 0..nlev {
-            for p in 0..NPTS {
-                let i = k * NPTS + p;
-                omega_p[i] = (vgrad_p[i] - acc[p] - 0.5 * divdp[i]) / p_mid[i];
-                acc[p] += divdp[i];
-            }
+    // --- tendencies -----------------------------------------------------
+    let kappa = RD / CP;
+    for k in 0..nlev {
+        let r = k * NPTS..(k + 1) * NPTS;
+        let u = &es_u[r.clone()];
+        let v = &es_v[r.clone()];
+        let t = &es_t[r.clone()];
+
+        let mut vort = [0.0; NPTS];
+        op.vorticity_sphere(u, v, &mut vort);
+
+        // Energy E = phi + KE; grad E.
+        let mut energy = [0.0; NPTS];
+        for p in 0..NPTS {
+            energy[p] = phi_mid[k * NPTS + p] + 0.5 * (u[p] * u[p] + v[p] * v[p]);
         }
+        let mut gex = [0.0; NPTS];
+        let mut gey = [0.0; NPTS];
+        op.gradient_sphere(&energy, &mut gex, &mut gey);
 
-        // --- tendencies -----------------------------------------------------
-        let kappa = RD / CP;
-        for k in 0..nlev {
-            let r = k * NPTS..(k + 1) * NPTS;
-            let u = &es.u[r.clone()];
-            let v = &es.v[r.clone()];
-            let t = &es.t[r.clone()];
+        let mut gpx = [0.0; NPTS];
+        let mut gpy = [0.0; NPTS];
+        op.gradient_sphere(&p_mid[r.clone()], &mut gpx, &mut gpy);
 
-            let mut vort = [0.0; NPTS];
-            op.vorticity_sphere(u, v, &mut vort);
+        let mut gtx = [0.0; NPTS];
+        let mut gty = [0.0; NPTS];
+        op.gradient_sphere(t, &mut gtx, &mut gty);
 
-            // Energy E = phi + KE; grad E.
-            let mut energy = [0.0; NPTS];
-            for p in 0..NPTS {
-                energy[p] = phi_mid[k * NPTS + p] + 0.5 * (u[p] * u[p] + v[p] * v[p]);
-            }
-            let mut gex = [0.0; NPTS];
-            let mut gey = [0.0; NPTS];
-            op.gradient_sphere(&energy, &mut gex, &mut gey);
-
-            let mut gpx = [0.0; NPTS];
-            let mut gpy = [0.0; NPTS];
-            op.gradient_sphere(&p_mid[r.clone()], &mut gpx, &mut gpy);
-
-            let mut gtx = [0.0; NPTS];
-            let mut gty = [0.0; NPTS];
-            op.gradient_sphere(t, &mut gtx, &mut gty);
-
-            for p in 0..NPTS {
-                let i = k * NPTS + p;
-                let abs_vort = op.fcor[p] + vort[p];
-                let rtp = RD * t[p] / p_mid[i];
-                tend.u[i] = abs_vort * v[p] - gex[p] - rtp * gpx[p];
-                tend.v[i] = -abs_vort * u[p] - gey[p] - rtp * gpy[p];
-                tend.t[i] = -(u[p] * gtx[p] + v[p] * gty[p]) + kappa * t[p] * omega_p[i];
-                tend.dp3d[i] = -divdp[i];
-            }
+        for p in 0..NPTS {
+            let i = k * NPTS + p;
+            let abs_vort = op.fcor[p] + vort[p];
+            let rtp = RD * t[p] / p_mid[i];
+            tend_u[i] = abs_vort * v[p] - gex[p] - rtp * gpx[p];
+            tend_v[i] = -abs_vort * u[p] - gey[p] - rtp * gpy[p];
+            tend_t[i] = -(u[p] * gtx[p] + v[p] * gty[p]) + kappa * t[p] * omega_p[i];
+            tend_dp3d[i] = -divdp[i];
         }
     }
 }
@@ -255,8 +275,7 @@ mod tests {
 
     fn resting_isothermal(grid: &CubedSphere, vert: &VertCoord, dims: Dims) -> State {
         let mut st = State::zeros(dims, grid.nelem());
-        for (e, es) in st.elems.iter_mut().enumerate() {
-            let _ = e;
+        for es in st.elems_mut() {
             for k in 0..dims.nlev {
                 for p in 0..NPTS {
                     es.t[dims.at(k, p)] = 300.0;
@@ -292,7 +311,7 @@ mod tests {
         let vert = VertCoord::standard(nlev, 200.0);
         let t0 = 280.0;
         let dp: Vec<f64> = (0..nlev)
-            .flat_map(|k| std::iter::repeat(vert.dp_ref(k, P0)).take(NPTS))
+            .flat_map(|k| std::iter::repeat_n(vert.dp_ref(k, P0), NPTS))
             .collect();
         let t = vec![t0; nlev * NPTS];
         let phis = vec![123.0; NPTS];
@@ -322,8 +341,9 @@ mod tests {
         let st = resting_isothermal(&grid, &vert, dims);
         let rhs = Rhs::new(vert, dims);
         let mut tend = ElemTend::zeros(dims);
-        for (op, es) in ops.iter().zip(&st.elems) {
-            rhs.element_tend(op, es, &mut tend);
+        let mut scratch = RhsScratch::new(dims.nlev);
+        for (e, op) in ops.iter().enumerate() {
+            rhs.element_tend(op, st.elem(e), &mut tend, &mut scratch);
             for i in 0..dims.field_len() {
                 assert!(tend.u[i].abs() < 1e-12, "du = {}", tend.u[i]);
                 assert!(tend.v[i].abs() < 1e-12, "dv = {}", tend.v[i]);
@@ -348,7 +368,7 @@ mod tests {
             let dims = Dims { nlev, qsize: 0 };
             let vert = VertCoord::standard(nlev, 200.0);
             let mut st = State::zeros(dims, grid.nelem());
-            for (es, el) in st.elems.iter_mut().zip(&grid.elements) {
+            for (es, el) in st.elems_mut().zip(&grid.elements) {
                 for p in 0..NPTS {
                     let lat = el.metric[p].lat;
                     let ps = P0 * (-c * lat.sin() * lat.sin()).exp();
@@ -361,9 +381,10 @@ mod tests {
             }
             let rhs = Rhs::new(vert, dims);
             let mut tend = ElemTend::zeros(dims);
+            let mut scratch = RhsScratch::new(nlev);
             let mut worst: f64 = 0.0;
-            for (op, es) in ops.iter().zip(&st.elems) {
-                rhs.element_tend(op, es, &mut tend);
+            for (e, op) in ops.iter().enumerate() {
+                rhs.element_tend(op, st.elem(e), &mut tend, &mut scratch);
                 for i in 0..dims.field_len() {
                     worst = worst.max(tend.u[i].abs().max(tend.v[i].abs()));
                 }

@@ -1,0 +1,242 @@
+//! Reference stepper preserving the original (allocation-heavy,
+//! serial, per-element `Vec`) driver algorithm, kept as the equivalence
+//! oracle for the flat-arena pipeline in [`crate::prim`].
+//!
+//! Every arithmetic expression here is copied verbatim from the seed
+//! `Dycore` methods; only the state access goes through the arena's
+//! element views. The `state_arena` integration test asserts that
+//! [`crate::prim::Dycore::step`] and [`SeedStepper::step`] produce
+//! bitwise-identical trajectories.
+
+use crate::euler::{euler_substep, limit_nonnegative};
+use crate::hypervis::{biharmonic_fields, laplace_fields, vlaplace_fields};
+use crate::prim::{Dycore, KG5_COEFFS};
+use crate::remap::remap_column_ppm;
+use crate::rhs::{ElemTend, RhsScratch};
+use crate::state::State;
+use cubesphere::NPTS;
+
+/// Serial reference driver. Owns only the remap cadence counter; all
+/// operators are borrowed from the [`Dycore`] so both paths share the
+/// exact same tables.
+#[derive(Debug, Default)]
+pub struct SeedStepper {
+    steps_since_remap: usize,
+}
+
+impl SeedStepper {
+    /// Fresh stepper (remap counter at zero, like a fresh `Dycore`).
+    pub fn new() -> Self {
+        SeedStepper::default()
+    }
+
+    /// One full model step with the seed algorithm.
+    pub fn step(&mut self, dy: &mut Dycore, state: &mut State) {
+        self.dynamics_step(dy, state);
+        self.apply_hypervis(dy, state);
+        self.euler_step_tracers(dy, state);
+        self.steps_since_remap += 1;
+        if self.steps_since_remap >= dy.cfg.rsplit {
+            self.vertical_remap(dy, state);
+            self.steps_since_remap = 0;
+        }
+    }
+
+    /// One explicit sub-step: `out = base + c dt RHS(eval)`, then DSS.
+    fn rk_substep(dy: &mut Dycore, base: &State, eval: &State, c_dt: f64, out: &mut State) {
+        let nlev = dy.dims.nlev;
+        let mut tend = ElemTend::zeros(dy.dims);
+        let mut scratch = RhsScratch::new(nlev);
+        for e in 0..eval.nelem() {
+            dy.rhs.element_tend(&dy.ops[e], eval.elem(e), &mut tend, &mut scratch);
+            let oe = out.elem_mut(e);
+            let be = eval_base(base, e);
+            for i in 0..dy.dims.field_len() {
+                oe.u[i] = be.0[i] + c_dt * tend.u[i];
+                oe.v[i] = be.1[i] + c_dt * tend.v[i];
+                oe.t[i] = be.2[i] + c_dt * tend.t[i];
+                oe.dp3d[i] = be.3[i] + c_dt * tend.dp3d[i];
+            }
+        }
+        // DSS the four updated prognostics via the per-element Vec path.
+        let mut u: Vec<Vec<f64>> = out.elems().map(|e| e.u.to_vec()).collect();
+        let mut v: Vec<Vec<f64>> = out.elems().map(|e| e.v.to_vec()).collect();
+        let mut t: Vec<Vec<f64>> = out.elems().map(|e| e.t.to_vec()).collect();
+        let mut dp: Vec<Vec<f64>> = out.elems().map(|e| e.dp3d.to_vec()).collect();
+        dy.dss.apply(&mut u, nlev);
+        dy.dss.apply(&mut v, nlev);
+        dy.dss.apply(&mut t, nlev);
+        dy.dss.apply(&mut dp, nlev);
+        for (e, oe) in out.elems_mut().enumerate() {
+            oe.u.copy_from_slice(&u[e]);
+            oe.v.copy_from_slice(&v[e]);
+            oe.t.copy_from_slice(&t[e]);
+            oe.dp3d.copy_from_slice(&dp[e]);
+        }
+    }
+
+    /// 5-stage Kinnmark–Gray RK, seed structure (full-state clones).
+    pub fn dynamics_step(&mut self, dy: &mut Dycore, state: &mut State) {
+        let dt = dy.cfg.dt;
+        let base = state.clone();
+        let mut stage = state.clone();
+        let mut next = state.clone();
+        for &c in &KG5_COEFFS {
+            Self::rk_substep(dy, &base, &stage, c * dt, &mut next);
+            std::mem::swap(&mut stage, &mut next);
+        }
+        *state = stage;
+    }
+
+    /// Subcycled biharmonic hyperviscosity, seed structure.
+    pub fn apply_hypervis(&mut self, dy: &mut Dycore, state: &mut State) {
+        let hv = dy.cfg.hypervis;
+        if hv.nu == 0.0 && hv.nu_p == 0.0 {
+            return;
+        }
+        let nlev = dy.dims.nlev;
+        if hv.nu_top > 0.0 && hv.sponge_layers > 0 {
+            let ks = hv.sponge_layers.min(nlev);
+            let mut u: Vec<Vec<f64>> = state.elems().map(|e| e.u[..ks * NPTS].to_vec()).collect();
+            let mut v: Vec<Vec<f64>> = state.elems().map(|e| e.v[..ks * NPTS].to_vec()).collect();
+            let mut t: Vec<Vec<f64>> = state.elems().map(|e| e.t[..ks * NPTS].to_vec()).collect();
+            vlaplace_fields(&dy.ops, &mut dy.dss, ks, &mut u, &mut v);
+            laplace_fields(&dy.ops, &mut dy.dss, ks, &mut t);
+            for (e, es) in state.elems_mut().enumerate() {
+                for (k_rel, damp) in (0..ks).map(|k| (k, 1.0 / (1 << k) as f64)) {
+                    for p in 0..NPTS {
+                        let i = k_rel * NPTS + p;
+                        es.u[i] += dy.cfg.dt * hv.nu_top * damp * u[e][i];
+                        es.v[i] += dy.cfg.dt * hv.nu_top * damp * v[e][i];
+                        es.t[i] += dy.cfg.dt * hv.nu_top * damp * t[e][i];
+                    }
+                }
+            }
+        }
+        let subcycles = dy.hypervis_subcycles();
+        let dt_sub = dy.cfg.dt / subcycles as f64;
+        for _ in 0..subcycles {
+            let mut u: Vec<Vec<f64>> = state.elems().map(|e| e.u.to_vec()).collect();
+            let mut v: Vec<Vec<f64>> = state.elems().map(|e| e.v.to_vec()).collect();
+            let mut t: Vec<Vec<f64>> = state.elems().map(|e| e.t.to_vec()).collect();
+            let mut dp: Vec<Vec<f64>> = state.elems().map(|e| e.dp3d.to_vec()).collect();
+            vlaplace_fields(&dy.ops, &mut dy.dss, nlev, &mut u, &mut v);
+            vlaplace_fields(&dy.ops, &mut dy.dss, nlev, &mut u, &mut v);
+            biharmonic_fields(&dy.ops, &mut dy.dss, nlev, &mut t);
+            biharmonic_fields(&dy.ops, &mut dy.dss, nlev, &mut dp);
+            for (e, es) in state.elems_mut().enumerate() {
+                for i in 0..dy.dims.field_len() {
+                    es.u[i] -= dt_sub * hv.nu * u[e][i];
+                    es.v[i] -= dt_sub * hv.nu * v[e][i];
+                    es.t[i] -= dt_sub * hv.nu * t[e][i];
+                    es.dp3d[i] -= dt_sub * hv.nu_p * dp[e][i];
+                }
+            }
+        }
+    }
+
+    /// 3-stage SSP-RK2 tracer advection, seed structure.
+    pub fn euler_step_tracers(&mut self, dy: &mut Dycore, state: &mut State) {
+        if dy.dims.qsize == 0 {
+            return;
+        }
+        let dt = dy.cfg.dt;
+        let nlev = dy.dims.nlev;
+        let u: Vec<Vec<f64>> = state.elems().map(|e| e.u.to_vec()).collect();
+        let v: Vec<Vec<f64>> = state.elems().map(|e| e.v.to_vec()).collect();
+        let dp: Vec<Vec<f64>> = state.elems().map(|e| e.dp3d.to_vec()).collect();
+        let qdp0: Vec<Vec<f64>> = state.elems().map(|e| e.qdp.to_vec()).collect();
+        let mut q1 = qdp0.clone();
+        let mut q2 = qdp0.clone();
+
+        euler_substep(&dy.ops, dy.dims, &u, &v, &dp, &qdp0, dt, &mut q1);
+        finish_tracer_stage(dy, &mut q1, nlev);
+        let mut tmp = qdp0.clone();
+        euler_substep(&dy.ops, dy.dims, &u, &v, &dp, &q1, dt, &mut tmp);
+        for (q2e, (q0e, te)) in q2.iter_mut().zip(qdp0.iter().zip(&tmp)) {
+            for i in 0..q2e.len() {
+                q2e[i] = 0.75 * q0e[i] + 0.25 * te[i];
+            }
+        }
+        finish_tracer_stage(dy, &mut q2, nlev);
+        euler_substep(&dy.ops, dy.dims, &u, &v, &dp, &q2, dt, &mut tmp);
+        for (es, (q0e, te)) in state.elems_mut().zip(qdp0.iter().zip(&tmp)) {
+            for i in 0..es.qdp.len() {
+                es.qdp[i] = q0e[i] / 3.0 + 2.0 / 3.0 * te[i];
+            }
+        }
+        let mut qf: Vec<Vec<f64>> = state.elems().map(|e| e.qdp.to_vec()).collect();
+        finish_tracer_stage(dy, &mut qf, nlev);
+        for (es, qe) in state.elems_mut().zip(&qf) {
+            es.qdp.copy_from_slice(qe);
+        }
+    }
+
+    /// PPM vertical remap, seed structure (fresh column Vecs).
+    pub fn vertical_remap(&mut self, dy: &mut Dycore, state: &mut State) {
+        let nlev = dy.dims.nlev;
+        let vert = &dy.rhs.vert;
+        let ptop = vert.ptop();
+        let qsize = dy.dims.qsize;
+        let mut src = vec![0.0; nlev];
+        let mut dst = vec![0.0; nlev];
+        let mut col = vec![0.0; nlev];
+        let mut out = vec![0.0; nlev];
+        for es in state.elems_mut() {
+            for p in 0..NPTS {
+                let mut ps = ptop;
+                for k in 0..nlev {
+                    src[k] = es.dp3d[k * NPTS + p];
+                    ps += src[k];
+                }
+                for k in 0..nlev {
+                    dst[k] = vert.dp_ref(k, ps);
+                }
+                for field in [&mut *es.u, &mut *es.v, &mut *es.t] {
+                    for k in 0..nlev {
+                        col[k] = field[k * NPTS + p];
+                    }
+                    remap_column_ppm(&src, &col, &dst, &mut out);
+                    for k in 0..nlev {
+                        field[k * NPTS + p] = out[k];
+                    }
+                }
+                for q in 0..qsize {
+                    for k in 0..nlev {
+                        col[k] = es.qdp[(q * nlev + k) * NPTS + p] / src[k];
+                    }
+                    remap_column_ppm(&src, &col, &dst, &mut out);
+                    for k in 0..nlev {
+                        es.qdp[(q * nlev + k) * NPTS + p] = out[k] * dst[k];
+                    }
+                }
+                for k in 0..nlev {
+                    es.dp3d[k * NPTS + p] = dst[k];
+                }
+            }
+        }
+    }
+}
+
+/// Borrow the four dynamics fields of element `e` from the base state.
+fn eval_base(base: &State, e: usize) -> (&[f64], &[f64], &[f64], &[f64]) {
+    let es = base.elem(e);
+    (es.u, es.v, es.t, es.dp3d)
+}
+
+/// DSS + optional limiter for one tracer stage (seed per-element path).
+fn finish_tracer_stage(dy: &mut Dycore, qdp: &mut [Vec<f64>], nlev: usize) {
+    dy.dss.apply(qdp, dy.dims.qsize * nlev);
+    if dy.cfg.limiter {
+        for (e, qe) in qdp.iter_mut().enumerate() {
+            let mut spheremp = [0.0; NPTS];
+            spheremp.copy_from_slice(&dy.ops[e].spheremp);
+            for q in 0..dy.dims.qsize {
+                for k in 0..nlev {
+                    let r = (q * nlev + k) * NPTS..(q * nlev + k + 1) * NPTS;
+                    limit_nonnegative(&spheremp, &mut qe[r]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Persistent per-step scratch owned by [`crate::prim::Dycore`].
+//!
+//! Every buffer the step pipeline needs — RK stage fields, RHS column
+//! temporaries, hyperviscosity and sponge temporaries, tracer stage
+//! double-buffers, remap columns — is allocated once here and reused, so
+//! `Dycore::step` performs no heap allocation after construction (enforced
+//! by the `alloc_regression` integration test).
+//!
+//! Reuse contract: no buffer carries information between steps. Each one
+//! is either fully overwritten before it is read (`copy_from` /
+//! full-range writes) or is write-only scratch whose every slot is
+//! written before use. The `state_arena` proptest drives this by checking
+//! that a dirtied workspace reproduces a fresh one bitwise.
+
+use crate::remap::RemapScratch;
+use crate::rhs::{ElemTend, RhsScratch};
+use crate::sched::PerWorker;
+use crate::state::{Dims, State};
+use cubesphere::NPTS;
+
+/// The four dynamics prognostics as flat arenas (`[nelem][nlev][NPTS]`
+/// each) — an RK stage buffer without the tracer/surface fields.
+#[derive(Debug, Clone)]
+pub struct DynFields {
+    /// Eastward wind arena.
+    pub u: Vec<f64>,
+    /// Northward wind arena.
+    pub v: Vec<f64>,
+    /// Temperature arena.
+    pub t: Vec<f64>,
+    /// Layer thickness arena.
+    pub dp3d: Vec<f64>,
+}
+
+impl DynFields {
+    /// Zeroed buffers of `len` values per field.
+    pub fn zeros(len: usize) -> Self {
+        DynFields { u: vec![0.0; len], v: vec![0.0; len], t: vec![0.0; len], dp3d: vec![0.0; len] }
+    }
+
+    /// Overwrite from the state arena's dynamics fields.
+    pub fn copy_from_state(&mut self, st: &State) {
+        self.u.copy_from_slice(&st.u);
+        self.v.copy_from_slice(&st.v);
+        self.t.copy_from_slice(&st.t);
+        self.dp3d.copy_from_slice(&st.dp3d);
+    }
+}
+
+/// Private scratch of one scheduler worker: tendency buffers, RHS column
+/// temporaries and remap columns. All fields are fully overwritten per
+/// element, so a slot can serve any element of any step.
+#[derive(Debug, Clone)]
+pub struct WorkerScratch {
+    /// Per-element tendency of the RK substep.
+    pub tend: ElemTend,
+    /// Column temporaries of `element_rhs_raw`.
+    pub rhs: RhsScratch,
+    /// PPM reconstruction buffers.
+    pub remap: RemapScratch,
+    /// Source thickness column, `[nlev]`.
+    pub col_src: Vec<f64>,
+    /// Target thickness column, `[nlev]`.
+    pub col_dst: Vec<f64>,
+    /// Field value column, `[nlev]`.
+    pub col_val: Vec<f64>,
+    /// Remapped value column, `[nlev]`.
+    pub col_out: Vec<f64>,
+}
+
+impl WorkerScratch {
+    /// Scratch sized for `dims`.
+    pub fn new(dims: Dims) -> Self {
+        WorkerScratch {
+            tend: ElemTend::zeros(dims),
+            rhs: RhsScratch::new(dims.nlev),
+            remap: RemapScratch::new(dims.nlev),
+            col_src: vec![0.0; dims.nlev],
+            col_dst: vec![0.0; dims.nlev],
+            col_val: vec![0.0; dims.nlev],
+            col_out: vec![0.0; dims.nlev],
+        }
+    }
+}
+
+/// All step-persistent buffers of the dycore pipeline.
+#[derive(Debug)]
+pub struct StepWorkspace {
+    /// RK base state `u_0`.
+    pub base: DynFields,
+    /// RK stage being evaluated `u_{i-1}`.
+    pub stage: DynFields,
+    /// RK stage being produced `u_i`.
+    pub next: DynFields,
+    /// Hyperviscosity Laplacian input/output (full depth).
+    pub hyp: DynFields,
+    /// Sponge-layer `u` temporary, `[nelem][sponge_layers][NPTS]`.
+    pub sponge_u: Vec<f64>,
+    /// Sponge-layer `v` temporary.
+    pub sponge_v: Vec<f64>,
+    /// Sponge-layer `T` temporary.
+    pub sponge_t: Vec<f64>,
+    /// Tracer stage `q_0` (step input), `[nelem][qsize][nlev][NPTS]`.
+    pub qdp0: Vec<f64>,
+    /// Tracer stage 1 buffer.
+    pub q1: Vec<f64>,
+    /// Tracer stage 2 buffer.
+    pub q2: Vec<f64>,
+    /// Tracer substep output buffer.
+    pub qtmp: Vec<f64>,
+    /// One private scratch per scheduler worker.
+    pub workers: PerWorker<WorkerScratch>,
+}
+
+impl StepWorkspace {
+    /// Buffers sized for `nelem` elements, `dims`, a sponge of
+    /// `sponge_layers` levels and `nworkers` scheduler workers.
+    pub fn new(dims: Dims, nelem: usize, sponge_layers: usize, nworkers: usize) -> Self {
+        let fl = nelem * dims.field_len();
+        let tl = nelem * dims.tracer_len();
+        let sl = nelem * sponge_layers.min(dims.nlev) * NPTS;
+        StepWorkspace {
+            base: DynFields::zeros(fl),
+            stage: DynFields::zeros(fl),
+            next: DynFields::zeros(fl),
+            hyp: DynFields::zeros(fl),
+            sponge_u: vec![0.0; sl],
+            sponge_v: vec![0.0; sl],
+            sponge_t: vec![0.0; sl],
+            qdp0: vec![0.0; tl],
+            q1: vec![0.0; tl],
+            q2: vec![0.0; tl],
+            qtmp: vec![0.0; tl],
+            workers: PerWorker::new(nworkers, || WorkerScratch::new(dims)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_buffers_are_sized_for_the_problem() {
+        let dims = Dims { nlev: 4, qsize: 2 };
+        let ws = StepWorkspace::new(dims, 6, 3, 5);
+        assert_eq!(ws.base.u.len(), 6 * 4 * NPTS);
+        assert_eq!(ws.hyp.dp3d.len(), 6 * 4 * NPTS);
+        assert_eq!(ws.sponge_t.len(), 6 * 3 * NPTS);
+        assert_eq!(ws.qdp0.len(), 6 * 2 * 4 * NPTS);
+        assert_eq!(ws.workers.len(), 5);
+        // Sponge deeper than the column clamps to nlev.
+        let ws2 = StepWorkspace::new(dims, 2, 9, 1);
+        assert_eq!(ws2.sponge_u.len(), 2 * 4 * NPTS);
+    }
+}

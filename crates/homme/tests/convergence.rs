@@ -94,14 +94,15 @@ fn balanced_state_error_shrinks_with_resolution() {
         let c = (EARTH_RADIUS * OMEGA * u0 + 0.5 * u0 * u0) / (RD * t0);
         let mut st = dy.zero_state();
         let elems = dy.grid.elements.clone();
-        for (es, el) in st.elems.iter_mut().zip(&elems) {
+        let vert = dy.rhs.vert.clone();
+        for (es, el) in st.elems_mut().zip(&elems) {
             for p in 0..NPTS {
                 let lat = el.metric[p].lat;
                 let ps = P0 * (-c * lat.sin() * lat.sin()).exp();
                 for k in 0..dims.nlev {
                     es.u[k * NPTS + p] = u0 * lat.cos();
                     es.t[k * NPTS + p] = t0;
-                    es.dp3d[k * NPTS + p] = dy.rhs.vert.dp_ref(k, ps);
+                    es.dp3d[k * NPTS + p] = vert.dp_ref(k, ps);
                 }
             }
         }

@@ -66,10 +66,8 @@ proptest! {
     ) {
         let mut qdp = [0.0; NPTS];
         let mut w = [0.0; NPTS];
-        for i in 0..NPTS {
-            qdp[i] = qdp_seed[i];
-            w[i] = w_seed[i];
-        }
+        qdp.copy_from_slice(&qdp_seed[..NPTS]);
+        w.copy_from_slice(&w_seed[..NPTS]);
         let mass0: f64 = (0..NPTS).map(|i| w[i] * qdp[i]).sum();
         limit_nonnegative(&w, &mut qdp);
         prop_assert!(qdp.iter().all(|&x| x >= 0.0));

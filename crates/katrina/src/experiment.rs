@@ -176,8 +176,7 @@ fn storm_snapshot(model: &swcam_core::Swcam, center: &TrackPoint) -> String {
     // Surface wind speed as an element field.
     let speed: Vec<Vec<f64>> = model
         .state
-        .elems
-        .iter()
+        .elems()
         .map(|es| {
             (0..cubesphere::NPTS)
                 .map(|p| {

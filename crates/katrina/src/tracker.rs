@@ -72,7 +72,7 @@ pub fn find_storm_near(
     let nlev = model.config.nlev;
     let mut msw = 0.0f64;
     let mut idx = 0usize;
-    for es in &model.state.elems {
+    for es in model.state.elems() {
         for p in 0..cubesphere::NPTS {
             let (lat, lon) = coords[idx];
             idx += 1;

@@ -94,8 +94,7 @@ impl BettsMiller {
         // Energy closure (Betts-Miller): the latent heat of the net rained
         // moisture must pay for the enthalpy change; rescale the rain to
         // balance and never allow negative precipitation.
-        let precip = (dq_total / GRAV).max(dh_total / (LATVAP * GRAV)).max(0.0);
-        precip
+        (dq_total / GRAV).max(dh_total / (LATVAP * GRAV)).max(0.0)
     }
 }
 

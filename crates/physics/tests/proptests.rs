@@ -94,8 +94,7 @@ proptest! {
         wind in 0.0f64..40.0,
         steps in 1usize..30,
     ) {
-        let mut sp = SimplePhysics::default();
-        sp.sst = sst;
+        let sp = SimplePhysics { sst, ..Default::default() };
         let mut col = Column::isothermal(12, 2_000.0, 101_000.0, 290.0);
         col.u[11] = wind;
         for _ in 0..steps {

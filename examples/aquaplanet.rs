@@ -49,6 +49,6 @@ fn main() {
     println!("{}", ascii_map(&vals, 18, 48, " .:-=+*#%@"));
 
     let precip_total: f64 = model.precip_accum.iter().sum::<f64>()
-        / (model.state.elems.len() * NPTS) as f64;
+        / (model.state.nelem() * NPTS) as f64;
     println!("mean accumulated precipitation: {precip_total:.2} kg/m^2");
 }

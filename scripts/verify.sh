@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, test, lint. Fully offline — all third-party
+# dependencies resolve to the vendored stubs in third_party/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "== cargo test -q --workspace"
+cargo test -q --workspace
+
+# Clippy is not part of every toolchain install; lint when present.
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "== cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "== clippy unavailable; skipping lint" >&2
+fi
+
+echo "verify: OK"

@@ -1,0 +1,178 @@
+//! Offline stand-in for the `criterion` API subset this workspace's
+//! benches use. No statistics engine, plots, or CLI — each benchmark is
+//! timed with a short warm-up and a fixed batch of timed iterations, and
+//! the median per-iteration wall time is printed as
+//! `bench <group>/<id> ... <time>`. Good enough to keep `cargo bench`
+//! runnable and comparable run-to-run offline; real criterion can be
+//! swapped back in by repointing the workspace dependency.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier for a benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing handle passed to the bench closure.
+pub struct Bencher {
+    /// Median per-iteration time of the last `iter` call.
+    last: Option<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: a few untimed runs so first-call effects (allocation,
+        // page faults, lazy init) don't land in the samples.
+        for _ in 0..2 {
+            std::hint::black_box(routine());
+        }
+        let samples = self.sample_size.max(1);
+        let mut times: Vec<Duration> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            times.push(t0.elapsed());
+        }
+        times.sort();
+        self.last = Some(times[times.len() / 2]);
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _c: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    fn run_one<F: FnOnce(&mut Bencher)>(&mut self, id: &str, f: F) {
+        let mut b = Bencher {
+            last: None,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        match b.last {
+            Some(t) => println!("bench {}/{id} ... {t:?}/iter", self.name),
+            None => println!("bench {}/{id} ... (no iter() call)", self.name),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.to_string();
+        self.run_one(&id, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = id.to_string();
+        self.run_one(&label, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level bench driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            _c: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.benchmark_group(&name).run_one("", f);
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+/// Re-export so `criterion::black_box` callers work; `std::hint::black_box`
+/// is the modern implementation anyway.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_demo(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, bench_demo);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,154 @@
+//! Offline stand-in for the `crossbeam` API subset this workspace uses:
+//! `channel::{unbounded, bounded, Sender, Receiver, RecvTimeoutError}` and
+//! `thread::scope`. Built on `std::sync::mpsc` / `std::thread::scope`.
+//!
+//! The one behavioural delta that matters: crossbeam's `Receiver` is `Sync`
+//! and cloneable (MPMC); std's is neither. The consumers here share a
+//! `Receiver` across threads behind `Arc` (sw26010 regcomm fabric), so the
+//! stub wraps the std receiver in a `Mutex` — receives serialize, which is
+//! fine for a simulator.
+
+pub mod channel {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvTimeoutError, SendError, TryRecvError};
+
+    /// Cloneable sender, mirroring `crossbeam_channel::Sender`. Carries the
+    /// queued-message counter backing `Receiver::len`.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+        queued: Arc<AtomicUsize>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+                queued: Arc::clone(&self.queued),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)?;
+            self.queued.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }
+    }
+
+    /// Shareable receiver, mirroring `crossbeam_channel::Receiver` (Sync +
+    /// Clone). Receives lock a mutex; contention only matters under heavy
+    /// multi-consumer load, which the simulator does not generate.
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+        queued: Arc<AtomicUsize>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: Arc::clone(&self.inner),
+                queued: Arc::clone(&self.queued),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            let v = self.inner.lock().unwrap_or_else(|p| p.into_inner()).recv()?;
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            Ok(v)
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let v = self
+                .inner
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .recv_timeout(timeout)?;
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            Ok(v)
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let v = self
+                .inner
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .try_recv()?;
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            Ok(v)
+        }
+
+        /// Messages queued but not yet received (approximate under
+        /// concurrency, exact when quiescent — matches how the regcomm
+        /// fabric uses it for drain checks).
+        pub fn len(&self) -> usize {
+            self.queued.load(Ordering::SeqCst)
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        let queued = Arc::new(AtomicUsize::new(0));
+        (
+            Sender {
+                inner: tx,
+                queued: Arc::clone(&queued),
+            },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+                queued,
+            },
+        )
+    }
+
+    /// Capacity is accepted for API compatibility but not enforced: std's
+    /// sync_channel would enforce it, at the cost of `send` blocking, which
+    /// changes deadlock behaviour vs crossbeam's disconnect semantics the
+    /// regcomm fabric relies on. Unbounded is strictly more permissive.
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+}
+
+pub mod thread {
+    /// Scoped threads via `std::thread::scope`. The closure receives the
+    /// std scope; `scope.spawn(..)` matches the crossbeam call shape used
+    /// in this workspace. Unlike crossbeam this returns `R` directly, not
+    /// `thread::Result<R>` — panics propagate, which every caller here
+    /// wants anyway.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn shared_receiver_across_threads() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        let rx2 = rx.clone();
+        let t = std::thread::spawn(move || rx2.recv().unwrap());
+        tx.send(7).unwrap();
+        assert_eq!(t.join().unwrap(), 7);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(channel::RecvTimeoutError::Timeout)
+        ));
+    }
+}

@@ -1,0 +1,361 @@
+//! Offline stand-in for the `proptest` API subset this workspace uses.
+//!
+//! Real proptest does generation + shrinking + persistence. This stub keeps
+//! the same *test surface* — the `proptest!` macro, `prop_assert!` /
+//! `prop_assert_eq!`, `Strategy` with `prop_map`, range / tuple / vec /
+//! array strategies, `any::<bool>()` — but runs a fixed number of
+//! deterministically seeded cases per test and simply panics (no
+//! shrinking) on failure. Each test's seed is derived from its name, so
+//! failures are reproducible run-to-run.
+
+use std::ops::Range;
+
+/// Cases per `proptest!` test. Real proptest defaults to 256; 48 keeps the
+/// heavier thread-spawning property tests fast while still exercising a
+/// spread of inputs.
+pub const NUM_CASES: u64 = 48;
+
+/// Deterministic case-generation RNG (xoshiro256++, seeded from the test
+/// name via FNV-1a + SplitMix64).
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name, then SplitMix64 expansion.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        let mut sm = h;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// A generator of values (subset of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Constant strategy (`Just(x)`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---- Range strategies -------------------------------------------------
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+// ---- Tuple strategies -------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ---- any::<T>() -------------------------------------------------------
+
+/// Types with a default "any value" strategy (subset of
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+pub struct AnyBool;
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty => $s:ident),*) => {$(
+        pub struct $s;
+        impl Strategy for $s {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = $s;
+            fn arbitrary() -> $s { $s }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8 => AnyU8, u16 => AnyU16, u32 => AnyU32, u64 => AnyU64,
+    usize => AnyUsize, i8 => AnyI8, i16 => AnyI16, i32 => AnyI32,
+    i64 => AnyI64, isize => AnyIsize);
+
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+// ---- collection::vec --------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Size spec for `collection::vec`: a fixed `usize` or a `Range<usize>`
+    /// (mirrors proptest's `SizeRange` conversions).
+    pub trait IntoSizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty vec size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    pub struct VecStrategy<S, L> {
+        elem: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy, L: IntoSizeRange>(elem: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { elem, len }
+    }
+}
+
+// ---- array::uniformN --------------------------------------------------
+
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    pub struct UniformArray<S, const N: usize> {
+        elem: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.elem.generate(rng))
+        }
+    }
+
+    pub fn uniform4<S: Strategy>(elem: S) -> UniformArray<S, 4> {
+        UniformArray { elem }
+    }
+
+    pub fn uniform16<S: Strategy>(elem: S) -> UniformArray<S, 16> {
+        UniformArray { elem }
+    }
+}
+
+// ---- macros -----------------------------------------------------------
+
+/// Subset of `proptest::proptest!`: each `fn name(arg in strategy, ...)`
+/// becomes a `#[test]` that runs `NUM_CASES` deterministically seeded
+/// cases. No shrinking — a failing case panics with the plain assert
+/// message (inputs are reproducible from the fixed per-test seed).
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::TestRng::from_name(stringify!($name));
+                for __case in 0..$crate::NUM_CASES {
+                    let _ = __case;
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!` → plain `assert!` (panic instead of proptest's
+/// Err-propagation; no shrinking in the stub anyway).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!` → plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!` → plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// `use proptest::prelude::*;` surface.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, bool)> {
+        (1usize..10, any::<bool>()).prop_map(|(n, b)| (n * 2, b))
+    }
+
+    proptest! {
+        /// Doc comments and cfg-style metas pass through.
+        #[test]
+        fn ranges_vecs_arrays_tuples(
+            x in -5.0f64..5.0,
+            n in 1usize..4,
+            v in crate::collection::vec(0u8..3, 2..6),
+            a in crate::array::uniform4(-1.0f64..1.0),
+            p in pair(),
+        ) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..4).contains(&n));
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&b| b < 3));
+            prop_assert!(a.iter().all(|&y| (-1.0..1.0).contains(&y)));
+            prop_assert_eq!(p.0 % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut r1 = crate::TestRng::from_name("seed");
+        let mut r2 = crate::TestRng::from_name("seed");
+        for _ in 0..64 {
+            assert_eq!(r1.next_u64(), r2.next_u64());
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Offline stand-in for the small slice of the `rand` crate API this
+//! workspace uses: a deterministic seeded generator (`rngs::StdRng` +
+//! `SeedableRng::seed_from_u64`) and `Rng::gen_range` over numeric ranges.
+//!
+//! The container this repo builds in has no crates.io access, so the real
+//! `rand` cannot be fetched; the workspace `Cargo.toml` path-patches the
+//! dependency to this crate instead. The generator is xoshiro256++ —
+//! high-quality, fast, and (unlike the real `StdRng`) guaranteed stable
+//! across versions, which is exactly what the deterministic test fixtures
+//! want. The streams differ from crates.io `rand`; nothing in the repo
+//! depends on the specific values, only on determinism.
+
+use std::ops::Range;
+
+/// Seedable generators (API-compatible subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The user-facing sampling surface (subset of `rand::Rng`).
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range` (half-open, like `rand`).
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, &range)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64 {
+        // 53 high bits -> [0, 1) double.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform bool.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+}
+
+/// Types `gen_range` can sample uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample<R: Rng + ?Sized>(rng: &mut R, range: &Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R, range: &Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty gen_range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Rejection-free modulo is fine here: spans are tiny vs 2^64
+                // and these are test fixtures, not statistics.
+                let off = (rng.next_u64() as u128) % span;
+                (range.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R, range: &Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty gen_range");
+        range.start + (range.end - range.start) * rng.gen_f64()
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R, range: &Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty gen_range");
+        range.start + (range.end - range.start) * rng.gen_f64() as f32
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++ with SplitMix64 seeding — the stand-in for
+    /// `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// `use rand::prelude::*;` compatibility.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = a.gen_range(-30.0f64..30.0);
+            assert_eq!(x, b.gen_range(-30.0f64..30.0));
+            assert!((-30.0..30.0).contains(&x));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn int_ranges_cover_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            let v = r.gen_range(1usize..8);
+            assert!((1..8).contains(&v));
+            seen[v - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 1..8 reachable");
+        for _ in 0..100 {
+            let v = r.gen_range(0u8..4);
+            assert!(v < 4);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`. The workspace only ever *derives*
+//! `Serialize`/`Deserialize` (on config structs, for forward compatibility
+//! with a future serialization backend) and never serializes anything —
+//! there is no serde_json in the tree. So the traits here are empty
+//! markers and the derive macros (from the sibling `serde_derive` stub)
+//! expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
