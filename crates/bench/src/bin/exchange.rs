@@ -1,0 +1,161 @@
+//! Boundary-exchange traffic benchmark: Original vs Redesigned schedule
+//! over one full distributed model step.
+//!
+//! Runs `DistDycore::step` (RK dynamics + hyperviscosity with sponge +
+//! limited tracer advection + remap) under both exchange schedules and
+//! reports, per step and summed over ranks:
+//!
+//! * messages sent — the redesign aggregates all fields and levels of an
+//!   exchange into ONE message per peer, vs one per (field, level);
+//! * payload bytes — identical in both modes (same partial sums move);
+//! * staged bytes — pack/unpack staging copies, zero after the redesign;
+//! * wall time per step.
+//!
+//! Emits `BENCH_exchange.json`. Run with
+//! `cargo run --release -p swcam-bench --bin exchange`.
+
+use std::time::Instant;
+
+use cubesphere::consts::P0;
+use cubesphere::{CubedSphere, Partition, NPTS};
+use homme::hypervis::HypervisConfig;
+use homme::{Dims, DistDycore, Dycore, DycoreConfig, ExchangeMode, State};
+use swmpi::run_ranks;
+
+const NE: usize = 8;
+const NLEV: usize = 26;
+const QSIZE: usize = 4;
+const NRANKS: usize = 6;
+const MEASURE_STEPS: usize = 2;
+
+fn config() -> DycoreConfig {
+    let nu = HypervisConfig::for_ne(NE).nu;
+    DycoreConfig {
+        dt: 300.0 * 30.0 / NE as f64,
+        hypervis: HypervisConfig { nu, nu_p: nu, subcycles: 3, nu_top: 2.5e5, sponge_layers: 3 },
+        limiter: true,
+        rsplit: 1,
+    }
+}
+
+fn initial_state(dy: &Dycore) -> State {
+    let dims = dy.dims;
+    let vert = dy.rhs.vert.clone();
+    let elems: Vec<_> = dy.grid.elements.clone();
+    let mut st = dy.zero_state();
+    for (es, el) in st.elems_mut().zip(&elems) {
+        for p in 0..NPTS {
+            let lat = el.metric[p].lat;
+            let lon = el.metric[p].lon;
+            let ps = P0 * (1.0 - 0.001 * (2.0 * lat).sin());
+            for k in 0..dims.nlev {
+                let i = k * NPTS + p;
+                es.u[i] = 20.0 * lat.cos();
+                es.v[i] = 2.0 * lon.sin();
+                es.t[i] = 300.0 + 2.0 * (3.0 * lon).sin() * lat.cos();
+                es.dp3d[i] = vert.dp_ref(k, ps);
+                for q in 0..dims.qsize {
+                    es.qdp[(q * dims.nlev + k) * NPTS + p] = 0.01 * es.dp3d[i];
+                }
+            }
+        }
+    }
+    st
+}
+
+struct ModeResult {
+    msgs_per_step: f64,
+    payload_bytes_per_step: f64,
+    staged_bytes_per_step: f64,
+    ms_per_step: f64,
+}
+
+fn run_mode(grid: &CubedSphere, part: &Partition, init: &State, mode: ExchangeMode) -> ModeResult {
+    let dims = Dims { nlev: NLEV, qsize: QSIZE };
+    let cfg = config();
+    let results = run_ranks(NRANKS, |ctx| {
+        let mut dist = DistDycore::new(grid, part, ctx.rank(), dims, 200.0, cfg, mode);
+        let mut local = dist.local_state(init);
+        // Warm-up grows workspace and communicator buffer pools.
+        dist.step(ctx, &mut local);
+        let base = dist.stats;
+        ctx.coll.barrier();
+        let t0 = Instant::now();
+        for _ in 0..MEASURE_STEPS {
+            dist.step(ctx, &mut local);
+        }
+        ctx.coll.barrier();
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert_eq!(ctx.comm.unmatched(), 0, "orphaned messages on rank {}", ctx.rank());
+        (
+            dist.stats.msgs_sent - base.msgs_sent,
+            dist.stats.sent_bytes - base.sent_bytes,
+            dist.stats.staged_bytes - base.staged_bytes,
+            elapsed,
+        )
+    });
+    let steps = MEASURE_STEPS as f64;
+    let mut msgs = 0u64;
+    let mut payload = 0u64;
+    let mut staged = 0u64;
+    let mut wall: f64 = 0.0;
+    for (m, p, s, t) in results {
+        msgs += m;
+        payload += p;
+        staged += s;
+        wall = wall.max(t);
+    }
+    ModeResult {
+        msgs_per_step: msgs as f64 / steps,
+        payload_bytes_per_step: payload as f64 / steps,
+        staged_bytes_per_step: staged as f64 / steps,
+        ms_per_step: wall * 1e3 / steps,
+    }
+}
+
+fn main() {
+    println!("exchange: ne{NE}, nlev {NLEV}, qsize {QSIZE}, {NRANKS} ranks");
+    let grid = CubedSphere::new(NE);
+    let part = Partition::new(&grid, NRANKS);
+    let dims = Dims { nlev: NLEV, qsize: QSIZE };
+    let serial = Dycore::new(NE, dims, 200.0, config());
+    let init = initial_state(&serial);
+
+    let orig = run_mode(&grid, &part, &init, ExchangeMode::Original);
+    println!(
+        "  original  : {:8.0} msgs/step, {:11.0} payload B/step, {:11.0} staged B/step, {:8.2} ms/step",
+        orig.msgs_per_step, orig.payload_bytes_per_step, orig.staged_bytes_per_step, orig.ms_per_step
+    );
+    let redesigned = run_mode(&grid, &part, &init, ExchangeMode::Redesigned);
+    println!(
+        "  redesigned: {:8.0} msgs/step, {:11.0} payload B/step, {:11.0} staged B/step, {:8.2} ms/step",
+        redesigned.msgs_per_step,
+        redesigned.payload_bytes_per_step,
+        redesigned.staged_bytes_per_step,
+        redesigned.ms_per_step
+    );
+
+    let msg_reduction = orig.msgs_per_step / redesigned.msgs_per_step;
+    println!("  message reduction: {msg_reduction:.1}x; redesigned staging: {} B", redesigned.staged_bytes_per_step);
+    assert_eq!(redesigned.staged_bytes_per_step, 0.0, "redesign must not stage");
+
+    let json = format!(
+        "{{\n  \"bench\": \"exchange\",\n  \"ne\": {NE},\n  \"nlev\": {NLEV},\n  \"qsize\": {QSIZE},\n  \
+         \"nranks\": {NRANKS},\n  \"steps_measured\": {MEASURE_STEPS},\n  \
+         \"original\": {{\n    \"msgs_per_step\": {:.1},\n    \"payload_bytes_per_step\": {:.0},\n    \
+         \"staged_bytes_per_step\": {:.0},\n    \"ms_per_step\": {:.3}\n  }},\n  \
+         \"redesigned\": {{\n    \"msgs_per_step\": {:.1},\n    \"payload_bytes_per_step\": {:.0},\n    \
+         \"staged_bytes_per_step\": {:.0},\n    \"ms_per_step\": {:.3}\n  }},\n  \
+         \"message_reduction\": {msg_reduction:.2}\n}}\n",
+        orig.msgs_per_step,
+        orig.payload_bytes_per_step,
+        orig.staged_bytes_per_step,
+        orig.ms_per_step,
+        redesigned.msgs_per_step,
+        redesigned.payload_bytes_per_step,
+        redesigned.staged_bytes_per_step,
+        redesigned.ms_per_step,
+    );
+    std::fs::write("BENCH_exchange.json", &json).expect("write BENCH_exchange.json");
+    println!("wrote BENCH_exchange.json");
+}

@@ -5,18 +5,31 @@
 //! * [`ExchangeMode::Original`] — HOMME's abstraction: element edge values
 //!   are copied into a unified *pack buffer*, per-peer send buffers are cut
 //!   from it, received bytes land in a *unpack buffer*, and a final copy
-//!   scatters them to elements. Clean layering, redundant memcpys, and no
-//!   overlap: sends happen only after all packing, waits before any compute.
-//! * [`ExchangeMode::Redesigned`] — the paper's rewrite: receives are posted
-//!   first, partial sums for each peer are packed straight into the send
-//!   message, *interior work runs while messages fly*, and received data is
-//!   accumulated directly from the receive buffer into the assembly array
-//!   ("fetch the data directly from receive buffer to the corresponding
-//!   elements"), eliminating the staging copies.
+//!   scatters them to elements. Clean layering, redundant memcpys, no
+//!   overlap, and one message per peer per (field, level): sends happen
+//!   only after all packing, waits before any compute.
+//! * [`ExchangeMode::Redesigned`] — the paper's rewrite, exposed as the
+//!   *aggregated* exchange ([`ExchangePlan::start_aggregated`] /
+//!   [`ExchangePlan::finish_aggregated`]): receives are posted first, the
+//!   boundary partial sums for **all fields and all levels** are packed
+//!   into a single per-peer message, *interior work runs while messages
+//!   fly*, and received data is accumulated directly from the receive
+//!   buffer into the flat SoA arenas ("fetch the data directly from
+//!   receive buffer to the corresponding elements") — no staging copies,
+//!   one message per peer per exchange.
+//!
+//! The aggregated message layout is fixed by data both sides already
+//! share: for a peer with `G` shared global points (the sorted gid list in
+//! [`ExchangePlan::links`], identical on both ranks) and `A` arenas of
+//! `L` levels each, the payload is `A * L * G` doubles with value index
+//! `(a * L + k) * G + j` — arena-major, then level, then shared gid in
+//! sorted order. Each value is the sender's spheremp-weighted partial sum
+//! for that point; because shared points live only on boundary elements
+//! (an invariant the tests pin down), boundary-only packing is complete.
 //!
 //! Both modes produce bit-identical DSS results; they differ in memcpy
-//! volume (counted) and overlap capability (exercised by tests and the
-//! `ablation_overlap` bench binary).
+//! volume and message count (both counted) and overlap capability
+//! (exercised by tests and the `ablation_overlap` bench binary).
 
 use cubesphere::{CubedSphere, Partition, NPTS};
 use std::collections::HashMap;
@@ -31,13 +44,17 @@ pub enum ExchangeMode {
     Redesigned,
 }
 
-/// Bytes moved by intermediate staging copies (not the MPI payload itself).
+/// Traffic accounting for the exchange layer: staging copies (not the MPI
+/// payload itself), payload volume, and message count — the quantities the
+/// paper's redesign moves.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CopyStats {
     /// Bytes copied into/out of staging buffers.
     pub staged_bytes: u64,
     /// MPI payload bytes sent.
     pub sent_bytes: u64,
+    /// MPI messages sent.
+    pub msgs_sent: u64,
 }
 
 /// One rank's exchange plan for a given grid + partition.
@@ -64,6 +81,18 @@ pub struct ExchangePlan {
     pub spheremp: Vec<[f64; NPTS]>,
     /// Global inverse mass (replicated — the mesh is static metadata).
     pub inv_mass: Vec<f64>,
+    /// Number of distinct global points this rank touches.
+    pub nlocal: usize,
+    /// Dense local point index of each owned (element, node), `owned.len() * NPTS`.
+    pub point_lidx: Vec<u32>,
+    /// Shared-gid slot of each owned (element, node), or -1 if not shared.
+    pub point_slot: Vec<i32>,
+    /// Shared slot -> dense local point index.
+    pub slot_lidx: Vec<u32>,
+    /// Per-peer shared slots, parallel to `links` (message order).
+    pub peer_slots: Vec<Vec<u32>>,
+    /// Inverse mass indexed by dense local point index.
+    pub lidx_inv_mass: Vec<f64>,
 }
 
 impl ExchangePlan {
@@ -134,6 +163,38 @@ impl ExchangePlan {
             })
             .collect();
 
+        // Dense indexing for the aggregated exchange: every distinct gid
+        // this rank touches gets a local point index, and every owned
+        // (element, node) resolves to that index (and its shared slot, if
+        // any) without hashing on the hot path.
+        let mut lidx_of: HashMap<usize, u32> = HashMap::new();
+        let mut lidx_inv_mass: Vec<f64> = Vec::new();
+        let mut point_lidx = vec![0u32; owned.len() * NPTS];
+        let mut point_slot = vec![-1i32; owned.len() * NPTS];
+        for (li, &e) in owned.iter().enumerate() {
+            for p in 0..NPTS {
+                let g = grid.elements[e].gids[p];
+                let next = lidx_of.len() as u32;
+                let d = *lidx_of.entry(g).or_insert(next);
+                if d == next {
+                    lidx_inv_mass.push(grid.inv_mass[g]);
+                }
+                point_lidx[li * NPTS + p] = d;
+                if let Some(&slot) = gid_slot.get(&g) {
+                    point_slot[li * NPTS + p] = slot as i32;
+                }
+            }
+        }
+        let nlocal = lidx_of.len();
+        let mut slot_lidx = vec![0u32; nshared];
+        for (&g, &slot) in &gid_slot {
+            slot_lidx[slot] = lidx_of[&g];
+        }
+        let peer_slots: Vec<Vec<u32>> = links
+            .iter()
+            .map(|(_, gids)| gids.iter().map(|g| gid_slot[g] as u32).collect())
+            .collect();
+
         ExchangePlan {
             rank,
             owned,
@@ -145,6 +206,12 @@ impl ExchangePlan {
             gids,
             spheremp,
             inv_mass: grid.inv_mass.clone(),
+            nlocal,
+            point_lidx,
+            point_slot,
+            slot_lidx,
+            peer_slots,
+            lidx_inv_mass,
         }
     }
 
@@ -197,6 +264,7 @@ impl ExchangePlan {
                         gids.iter().map(|g| pack[self.gid_slot[g]]).collect();
                     stats.staged_bytes += (msg.len() * 8) as u64;
                     stats.sent_bytes += (msg.len() * 8) as u64;
+                    stats.msgs_sent += 1;
                     ctx.comm.send(*peer, tag, &msg);
                 }
 
@@ -225,6 +293,7 @@ impl ExchangePlan {
                 for (peer, gids) in &self.links {
                     let msg: Vec<f64> = gids.iter().map(|g| accum[g]).collect();
                     stats.sent_bytes += (msg.len() * 8) as u64;
+                    stats.msgs_sent += 1;
                     ctx.comm.send(*peer, tag, &msg);
                 }
 
@@ -250,71 +319,185 @@ impl ExchangePlan {
     }
 }
 
-/// An in-flight halo exchange started by [`ExchangePlan::start_halo`].
-pub struct PendingHalo {
+/// Persistent scratch for the aggregated exchange. Grow-only: after the
+/// first (largest) exchange all later calls reuse the storage, so the hot
+/// path performs zero heap allocations.
+#[derive(Debug, Default)]
+pub struct ExchangeBuffers {
+    /// Shared-point partial sums, `nval * nshared`.
+    shared_accum: Vec<f64>,
+    /// Full local assembly, `nval * nlocal`.
+    accum: Vec<f64>,
+    /// Receive requests posted by `start_aggregated`, one per peer.
     reqs: Vec<(usize, swmpi::RecvRequest)>,
 }
 
+impl ExchangeBuffers {
+    /// Empty buffers; storage grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl ExchangePlan {
-    /// Start a halo exchange for one level of one field: post receives and
-    /// send this rank's partial sums for every shared global point.
+    /// Start an aggregated halo exchange over several flat SoA arenas at
+    /// once: post one receive per peer, then pack the boundary partial
+    /// sums of **every arena and every level** into a single per-peer
+    /// message and send it. See the module docs for the payload layout.
     ///
-    /// Only **boundary** elements contribute to shared points (a point
-    /// shared with a peer lies on the patch perimeter, and every element
-    /// containing it has an off-rank neighbour), so `fields` only needs
-    /// valid data for boundary elements at this moment — the foundation of
-    /// the paper's compute/communication overlap.
-    pub fn start_halo(
+    /// Each `arenas[a]` holds `owned.len() * nlev * NPTS` values indexed
+    /// `(li * nlev + k) * NPTS + p`. Only **boundary** elements contribute
+    /// to shared points (a point shared with a peer lies on the patch
+    /// perimeter, and every element containing it has an off-rank
+    /// neighbour), so the arenas only need valid boundary data at this
+    /// moment — the foundation of the paper's compute/communication
+    /// overlap. Interior elements may be updated while the messages fly;
+    /// call [`ExchangePlan::finish_aggregated`] once they are.
+    pub fn start_aggregated(
         &self,
         ctx: &mut RankCtx,
-        fields: &[Vec<f64>],
+        arenas: &[&[f64]],
+        nlev: usize,
         tag: u64,
+        bufs: &mut ExchangeBuffers,
         stats: &mut CopyStats,
-    ) -> PendingHalo {
-        let mut accum: HashMap<usize, f64> = HashMap::with_capacity(self.nshared);
+    ) {
+        self.start_with(ctx, arenas.len(), |a, i| arenas[a][i], nlev, tag, bufs, stats);
+    }
+
+    /// Generic core of [`ExchangePlan::start_aggregated`]: `read(a, i)`
+    /// yields arena `a` at flat index `i`. Allocation-free (send buffers
+    /// come from the communicator pool).
+    fn start_with(
+        &self,
+        ctx: &mut RankCtx,
+        narenas: usize,
+        read: impl Fn(usize, usize) -> f64,
+        nlev: usize,
+        tag: u64,
+        bufs: &mut ExchangeBuffers,
+        stats: &mut CopyStats,
+    ) {
+        let nval = narenas * nlev;
+        let fl = nlev * NPTS;
+        let need = nval * self.nshared;
+        if bufs.shared_accum.len() < need {
+            bufs.shared_accum.resize(need, 0.0);
+        }
+        bufs.shared_accum[..need].fill(0.0);
         for &li in &self.boundary {
             for p in 0..NPTS {
-                let g = self.gids[li][p];
-                if self.gid_slot.contains_key(&g) {
-                    *accum.entry(g).or_insert(0.0) += self.spheremp[li][p] * fields[li][p];
+                let slot = self.point_slot[li * NPTS + p];
+                if slot < 0 {
+                    continue;
+                }
+                let slot = slot as usize;
+                let w = self.spheremp[li][p];
+                for a in 0..narenas {
+                    let base = li * fl + p;
+                    for k in 0..nlev {
+                        bufs.shared_accum[(a * nlev + k) * self.nshared + slot] +=
+                            w * read(a, base + k * NPTS);
+                    }
                 }
             }
         }
-        let reqs: Vec<(usize, swmpi::RecvRequest)> = self
-            .links
-            .iter()
-            .map(|(peer, _)| (*peer, ctx.comm.irecv(*peer, tag)))
-            .collect();
-        for (peer, gids) in &self.links {
-            let msg: Vec<f64> = gids.iter().map(|g| *accum.get(g).unwrap_or(&0.0)).collect();
-            stats.sent_bytes += (msg.len() * 8) as u64;
-            ctx.comm.send(*peer, tag, &msg);
+        bufs.reqs.clear();
+        for (peer, _) in &self.links {
+            bufs.reqs.push((*peer, ctx.comm.irecv(*peer, tag)));
         }
-        PendingHalo { reqs }
+        for ((peer, _), slots) in self.links.iter().zip(&self.peer_slots) {
+            let npts_peer = slots.len();
+            let mut msg = ctx.comm.take_buffer(nval * npts_peer);
+            for v in 0..nval {
+                let row = v * self.nshared;
+                for (j, &slot) in slots.iter().enumerate() {
+                    msg[v * npts_peer + j] = bufs.shared_accum[row + slot as usize];
+                }
+            }
+            stats.sent_bytes += (msg.len() * 8) as u64;
+            stats.msgs_sent += 1;
+            ctx.comm.send_owned(*peer, tag, msg);
+        }
     }
 
-    /// Complete a halo exchange: accumulate all local contributions, add
-    /// the received peer partials, normalize by the global mass and scatter
-    /// back. `fields` must now hold valid data for **every** owned element.
-    pub fn finish_halo(&self, ctx: &mut RankCtx, pending: PendingHalo, fields: &mut [Vec<f64>]) {
-        let mut accum: HashMap<usize, f64> = HashMap::with_capacity(self.owned.len() * NPTS);
-        for (li, f) in fields.iter().enumerate() {
+    /// Complete an aggregated exchange: accumulate all local contributions
+    /// into the dense assembly array, add each peer's payload **directly
+    /// from the receive buffer** (no unpack staging), normalize by the
+    /// global inverse mass and scatter back. The arenas must now hold
+    /// valid data for every owned element.
+    pub fn finish_aggregated(
+        &self,
+        ctx: &mut RankCtx,
+        arenas: &mut [&mut [f64]],
+        nlev: usize,
+        bufs: &mut ExchangeBuffers,
+    ) {
+        let narenas = arenas.len();
+        let nval = narenas * nlev;
+        let fl = nlev * NPTS;
+        let ExchangeBuffers { accum, reqs, .. } = bufs;
+        let need = nval * self.nlocal;
+        if accum.len() < need {
+            accum.resize(need, 0.0);
+        }
+        accum[..need].fill(0.0);
+        for li in 0..self.owned.len() {
             for p in 0..NPTS {
-                *accum.entry(self.gids[li][p]).or_insert(0.0) += self.spheremp[li][p] * f[p];
+                let d = self.point_lidx[li * NPTS + p] as usize;
+                let w = self.spheremp[li][p];
+                for (a, arena) in arenas.iter().enumerate() {
+                    let base = li * fl + p;
+                    for k in 0..nlev {
+                        accum[(a * nlev + k) * self.nlocal + d] += w * arena[base + k * NPTS];
+                    }
+                }
             }
         }
-        for ((_, req), (_, gids)) in pending.reqs.into_iter().zip(&self.links) {
+        debug_assert_eq!(reqs.len(), self.links.len());
+        for ((_, req), slots) in reqs.drain(..).zip(&self.peer_slots) {
             let m = ctx.comm.wait(req);
-            for (g, &val) in gids.iter().zip(&m.data) {
-                *accum.get_mut(g).expect("shared gid is local") += val;
+            let npts_peer = slots.len();
+            debug_assert_eq!(m.data.len(), nval * npts_peer);
+            for v in 0..nval {
+                let row = v * self.nlocal;
+                for (j, &slot) in slots.iter().enumerate() {
+                    accum[row + self.slot_lidx[slot as usize] as usize] +=
+                        m.data[v * npts_peer + j];
+                }
             }
+            ctx.comm.recycle(m.data);
         }
-        for (li, f) in fields.iter_mut().enumerate() {
+        for li in 0..self.owned.len() {
             for p in 0..NPTS {
-                let g = self.gids[li][p];
-                f[p] = accum[&g] * self.inv_mass[g];
+                let d = self.point_lidx[li * NPTS + p] as usize;
+                let scale = self.lidx_inv_mass[d];
+                for (a, arena) in arenas.iter_mut().enumerate() {
+                    let base = li * fl + p;
+                    for k in 0..nlev {
+                        arena[base + k * NPTS] =
+                            accum[(a * nlev + k) * self.nlocal + d] * scale;
+                    }
+                }
             }
         }
+    }
+
+    /// One-shot aggregated DSS over several arenas (start + finish with no
+    /// interior work in between) — the distributed analog of
+    /// [`crate::dss::Dss::apply_flat`] for callers that have nothing to
+    /// overlap, e.g. hyperviscosity and tracer stages.
+    pub fn dss_aggregated(
+        &self,
+        ctx: &mut RankCtx,
+        arenas: &mut [&mut [f64]],
+        nlev: usize,
+        tag: u64,
+        bufs: &mut ExchangeBuffers,
+        stats: &mut CopyStats,
+    ) {
+        self.start_with(ctx, arenas.len(), |a, i| arenas[a][i], nlev, tag, bufs, stats);
+        self.finish_aggregated(ctx, arenas, nlev, bufs);
     }
 }
 
@@ -353,6 +536,7 @@ mod tests {
                 .collect();
             let mut stats = CopyStats::default();
             plan.dss_level(ctx, &mut fields, mode, 0, || {}, &mut stats);
+            assert_eq!(ctx.comm.unmatched(), 0, "orphaned messages on rank {}", ctx.rank());
             (plan.owned.clone(), fields, stats)
         });
         let mut gathered = vec![Vec::new(); 6 * 4 * 4];
@@ -363,6 +547,7 @@ mod tests {
             }
             total.staged_bytes += stats.staged_bytes;
             total.sent_bytes += stats.sent_bytes;
+            total.msgs_sent += stats.msgs_sent;
         }
         (gathered, total)
     }
@@ -423,10 +608,157 @@ mod tests {
                 },
                 &mut stats,
             );
+            assert_eq!(ctx.comm.unmatched(), 0, "orphaned messages on rank {}", ctx.rank());
             interior_ran
         });
         for s in sums {
             assert!(s > 0, "interior work did not run");
+        }
+    }
+
+    /// Distinct multi-level test data per (arena, element, level, point).
+    fn test_arena_value(a: usize, e: usize, k: usize, p: usize) -> f64 {
+        ((a * 53 + e * 37 + k * 19 + p * 11) % 29) as f64 - 14.0
+    }
+
+    #[test]
+    fn aggregated_exchange_matches_serial_dss() {
+        let nlev = 3;
+        let narenas = 2;
+        let grid = CubedSphere::new(4);
+        let nelem = grid.nelem();
+
+        // Serial reference: flat global arenas through Dss::apply_flat.
+        let mut dss = Dss::new(&grid);
+        let mut reference: Vec<Vec<f64>> = (0..narenas)
+            .map(|a| {
+                let mut arena = vec![0.0; nelem * nlev * NPTS];
+                for e in 0..nelem {
+                    for k in 0..nlev {
+                        for p in 0..NPTS {
+                            arena[(e * nlev + k) * NPTS + p] = test_arena_value(a, e, k, p);
+                        }
+                    }
+                }
+                arena
+            })
+            .collect();
+        for arena in &mut reference {
+            dss.apply_flat(arena, nlev);
+        }
+
+        for nranks in [2usize, 5] {
+            let part = Partition::new(&grid, nranks);
+            let plans: Vec<ExchangePlan> =
+                (0..nranks).map(|r| ExchangePlan::new(&grid, &part, r)).collect();
+            let results = run_ranks(nranks, |ctx| {
+                let plan = &plans[ctx.rank()];
+                let mut arenas: Vec<Vec<f64>> = (0..narenas)
+                    .map(|a| {
+                        let mut arena = vec![0.0; plan.owned.len() * nlev * NPTS];
+                        for (li, &e) in plan.owned.iter().enumerate() {
+                            for k in 0..nlev {
+                                for p in 0..NPTS {
+                                    arena[(li * nlev + k) * NPTS + p] =
+                                        test_arena_value(a, e, k, p);
+                                }
+                            }
+                        }
+                        arena
+                    })
+                    .collect();
+                let mut bufs = ExchangeBuffers::new();
+                let mut stats = CopyStats::default();
+                {
+                    let mut views: Vec<&mut [f64]> =
+                        arenas.iter_mut().map(|a| &mut a[..]).collect();
+                    plan.dss_aggregated(ctx, &mut views, nlev, 1, &mut bufs, &mut stats);
+                }
+                assert_eq!(ctx.comm.unmatched(), 0, "orphaned messages on rank {}", ctx.rank());
+                // Exactly one message per peer for the whole multi-arena,
+                // multi-level exchange.
+                assert_eq!(stats.msgs_sent, plan.links.len() as u64);
+                assert_eq!(ctx.comm.stats().sends, plan.links.len() as u64);
+                assert_eq!(stats.staged_bytes, 0);
+                (plan.owned.clone(), arenas)
+            });
+            for (owned, arenas) in results {
+                for (li, &e) in owned.iter().enumerate() {
+                    for (a, arena) in arenas.iter().enumerate() {
+                        for k in 0..nlev {
+                            for p in 0..NPTS {
+                                let got = arena[(li * nlev + k) * NPTS + p];
+                                let want = reference[a][(e * nlev + k) * NPTS + p];
+                                assert!(
+                                    (got - want).abs() < 1e-11,
+                                    "nranks={nranks} arena {a} elem {e} lev {k} pt {p}: \
+                                     {got} vs {want}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aggregated_overlap_interior_between_start_and_finish() {
+        // start_aggregated sees only boundary data; interior values are
+        // filled in while messages are in flight. The DSS result must be
+        // identical to the no-overlap path because shared points live only
+        // on boundary elements.
+        let nlev = 2;
+        let grid = CubedSphere::new(4);
+        let nranks = 4;
+        let part = Partition::new(&grid, nranks);
+        let plans: Vec<ExchangePlan> =
+            (0..nranks).map(|r| ExchangePlan::new(&grid, &part, r)).collect();
+        let results = run_ranks(nranks, |ctx| {
+            let plan = &plans[ctx.rank()];
+            let fill = |arena: &mut [f64], lis: &[usize]| {
+                for &li in lis {
+                    let e = plan.owned[li];
+                    for k in 0..nlev {
+                        for p in 0..NPTS {
+                            arena[(li * nlev + k) * NPTS + p] = test_arena_value(0, e, k, p);
+                        }
+                    }
+                }
+            };
+            let mut bufs = ExchangeBuffers::new();
+            let mut stats = CopyStats::default();
+            let mut arena = vec![0.0; plan.owned.len() * nlev * NPTS];
+            fill(&mut arena, &plan.boundary);
+            plan.start_aggregated(ctx, &[&arena], nlev, 3, &mut bufs, &mut stats);
+            // "Interior compute" while messages fly.
+            fill(&mut arena, &plan.interior);
+            let mut views = [&mut arena[..]];
+            plan.finish_aggregated(ctx, &mut views, nlev, &mut bufs);
+            assert_eq!(ctx.comm.unmatched(), 0, "orphaned messages on rank {}", ctx.rank());
+            (plan.owned.clone(), arena)
+        });
+
+        // Against the one-shot aggregated path on a single rank world view:
+        // recompute the serial reference.
+        let mut dss = Dss::new(&grid);
+        let mut reference = vec![0.0; grid.nelem() * nlev * NPTS];
+        for e in 0..grid.nelem() {
+            for k in 0..nlev {
+                for p in 0..NPTS {
+                    reference[(e * nlev + k) * NPTS + p] = test_arena_value(0, e, k, p);
+                }
+            }
+        }
+        dss.apply_flat(&mut reference, nlev);
+        for (owned, arena) in results {
+            for (li, &e) in owned.iter().enumerate() {
+                for i in 0..nlev * NPTS {
+                    let got = arena[li * nlev * NPTS + i];
+                    let want = reference[e * nlev * NPTS + i];
+                    assert!((got - want).abs() < 1e-11, "elem {e} idx {i}: {got} vs {want}");
+                }
+            }
         }
     }
 

@@ -5,25 +5,39 @@
 //! substep runs exactly as Section 7.6 prescribes:
 //!
 //! 1. evaluate tendencies and update the **boundary** elements first;
-//! 2. start the halo exchanges (post receives, send the boundary partial
-//!    sums — complete, because only boundary elements touch shared
-//!    points);
+//! 2. start ONE aggregated halo exchange — post one receive per peer and
+//!    send one message per peer carrying the boundary partial sums of all
+//!    four prognostics at every level (complete, because only boundary
+//!    elements touch shared points);
 //! 3. evaluate tendencies and update the **interior** elements *while the
 //!    messages are in flight*;
-//! 4. complete the DSS with the received peer partials.
+//! 4. complete the DSS by accumulating each peer's payload directly from
+//!    the receive buffer into the flat SoA arenas.
 //!
-//! The `Original` mode runs the same numerics without overlap (all compute
-//! first, then the staging-buffer exchange). Both modes are verified
-//! equivalent to the serial [`Dycore`](crate::prim::Dycore). Rank-local
-//! state lives in the same flat SoA [`State`] arena as the serial driver,
-//! sized for the owned elements only.
+//! The `Original` mode runs the same numerics without overlap or
+//! aggregation: all compute first, then one staging-buffer exchange per
+//! (field, level), which is the legacy `bndry_exchangev` message pattern
+//! the paper's Figure 11 starts from. Both modes are verified equivalent
+//! to the serial [`Dycore`](crate::prim::Dycore) — including the tracer
+//! limiter and the full hyperviscosity configuration (`nu_p`, `nu_top`,
+//! sponge layers), which the driver consumes via the same
+//! [`DycoreConfig`] as the serial driver.
+//!
+//! Rank-local state lives in the same flat SoA [`State`] arena as the
+//! serial driver, sized for the owned elements only, and all temporaries
+//! live in a persistent [`DistWorkspace`]: after a warm-up step the
+//! distributed step performs zero heap allocations (send buffers are
+//! pooled by the communicator; enforced by the `dist_alloc` test).
 
-use crate::bndry::{CopyStats, ExchangeMode, ExchangePlan};
+use crate::bndry::{CopyStats, ExchangeBuffers, ExchangeMode, ExchangePlan};
 use crate::deriv::ElemOps;
-use crate::prim::KG5_COEFFS;
-use crate::rhs::{ElemTend, Rhs, RhsScratch};
+use crate::euler::{limit_tracer_arena, tracer_flux_divergence};
+use crate::prim::{DycoreConfig, KG5_COEFFS};
+use crate::remap::remap_column_ppm_with;
+use crate::rhs::{element_rhs_raw, Rhs};
 use crate::state::{Dims, State};
 use crate::vert::VertCoord;
+use crate::workspace::{DistWorkspace, DynFields, WorkerScratch};
 use cubesphere::{CubedSphere, Partition, NPTS};
 use swmpi::RankCtx;
 
@@ -37,35 +51,22 @@ pub struct DistDycore {
     pub rhs: Rhs,
     /// Dimensions.
     pub dims: Dims,
-    /// Dynamics time step.
-    pub dt: f64,
+    /// Configuration (shared with the serial driver).
+    pub cfg: DycoreConfig,
     /// Exchange schedule.
     pub mode: ExchangeMode,
-    /// Accumulated staging-copy statistics.
+    /// Accumulated staging-copy / message statistics.
     pub stats: CopyStats,
+    /// Stability-derived hyperviscosity subcycles (identical on every rank
+    /// and to the serial driver: computed from global element 0).
+    subcycles: usize,
+    ws: DistWorkspace,
+    steps_since_remap: usize,
     tag: u64,
 }
 
-/// The four DSS'd prognostics, in exchange order.
+/// The four DSS'd prognostics, in exchange order (u, v, T, dp3d).
 const NFIELDS: usize = 4;
-
-fn field_of(st: &State, f: usize) -> &[f64] {
-    match f {
-        0 => &st.u,
-        1 => &st.v,
-        2 => &st.t,
-        _ => &st.dp3d,
-    }
-}
-
-fn field_of_mut(st: &mut State, f: usize) -> &mut [f64] {
-    match f {
-        0 => &mut st.u,
-        1 => &mut st.v,
-        2 => &mut st.t,
-        _ => &mut st.dp3d,
-    }
-}
 
 impl DistDycore {
     /// Build the driver for `rank` of `part` on `grid`.
@@ -76,26 +77,38 @@ impl DistDycore {
         rank: usize,
         dims: Dims,
         ptop: f64,
-        dt: f64,
+        cfg: DycoreConfig,
         mode: ExchangeMode,
     ) -> Self {
         let plan = ExchangePlan::new(grid, part, rank);
-        let ops = plan
+        let ops: Vec<ElemOps> = plan
             .owned
             .iter()
             .map(|&e| ElemOps::new(&grid.elements[e], &grid.basis))
             .collect();
         let vert = VertCoord::standard(dims.nlev, ptop);
+        let el0 = &grid.elements[0];
+        let subcycles = cfg.hypervis.stable_subcycles(el0.dab, el0.metric[0].metdet, cfg.dt);
+        let ws = DistWorkspace::new(dims, plan.owned.len(), cfg.hypervis.sponge_layers);
         DistDycore {
             plan,
             ops,
             rhs: Rhs::new(vert, dims),
             dims,
-            dt,
+            cfg,
             mode,
             stats: CopyStats::default(),
+            subcycles,
+            ws,
+            steps_since_remap: 0,
             tag: 0,
         }
+    }
+
+    /// Hyperviscosity subcycles this driver will run (same formula as
+    /// [`Dycore::hypervis_subcycles`](crate::prim::Dycore::hypervis_subcycles)).
+    pub fn hypervis_subcycles(&self) -> usize {
+        self.subcycles
     }
 
     /// Extract this rank's elements from a global state arena into a local
@@ -115,107 +128,338 @@ impl DistDycore {
         local
     }
 
-    fn update_element(
-        &self,
-        li: usize,
-        base: &State,
-        eval: &State,
-        c_dt: f64,
-        out: &mut State,
-        tend: &mut ElemTend,
-        scratch: &mut RhsScratch,
-    ) {
-        self.rhs.element_tend(&self.ops[li], eval.elem(li), tend, scratch);
-        let be = base.elem(li);
-        let oe = out.elem_mut(li);
-        for i in 0..self.dims.field_len() {
-            oe.u[i] = be.u[i] + c_dt * tend.u[i];
-            oe.v[i] = be.v[i] + c_dt * tend.v[i];
-            oe.t[i] = be.t[i] + c_dt * tend.t[i];
-            oe.dp3d[i] = be.dp3d[i] + c_dt * tend.dp3d[i];
+    /// Advance the dynamics by one `dt` with the 5-stage Kinnmark–Gray RK.
+    /// One aggregated exchange (one message per peer) per substep in
+    /// `Redesigned` mode.
+    pub fn dynamics_step(&mut self, ctx: &mut RankCtx, state: &mut State) {
+        let dt = self.cfg.dt;
+        let DistDycore { plan, ops, rhs, dims, mode, stats, ws, tag, .. } = self;
+        let DistWorkspace { base, stage, next, scratch, ex, .. } = ws;
+        base.copy_from_state(state);
+        stage.copy_from_state(state);
+        for &c in &KG5_COEFFS {
+            rk_substep(
+                plan,
+                ops,
+                rhs,
+                *dims,
+                *mode,
+                ctx,
+                base,
+                stage,
+                &state.phis,
+                c * dt,
+                next,
+                scratch,
+                ex,
+                stats,
+                tag,
+            );
+            std::mem::swap(stage, next);
         }
+        state.u.copy_from_slice(&stage.u);
+        state.v.copy_from_slice(&stage.v);
+        state.t.copy_from_slice(&stage.t);
+        state.dp3d.copy_from_slice(&stage.dp3d);
     }
 
-    /// One substep: `out = base + c_dt RHS(eval)` with distributed DSS.
-    fn rk_substep(
-        &mut self,
-        ctx: &mut RankCtx,
-        base: &State,
-        eval: &State,
-        c_dt: f64,
-        out: &mut State,
-    ) {
-        let nlev = self.dims.nlev;
-        let fl = self.dims.field_len();
-        let nelem = eval.nelem();
-        let mut tend = ElemTend::zeros(self.dims);
-        let mut scratch = RhsScratch::new(nlev);
-
-        let level_of = |st: &State, f: usize, k: usize| -> Vec<Vec<f64>> {
-            let arena = field_of(st, f);
-            (0..nelem)
-                .map(|e| arena[e * fl + k * NPTS..e * fl + (k + 1) * NPTS].to_vec())
-                .collect()
-        };
-
-        match self.mode {
-            ExchangeMode::Original => {
-                // Legacy schedule: all compute, then exchange (with the
-                // pack/unpack staging copies counted by dss_level).
-                for li in 0..nelem {
-                    self.update_element(li, base, eval, c_dt, out, &mut tend, &mut scratch);
-                }
-                for f in 0..NFIELDS {
-                    for k in 0..nlev {
-                        let mut level = level_of(out, f, k);
-                        self.tag += 1;
-                        let tag = self.tag;
-                        let mut stats = std::mem::take(&mut self.stats);
-                        self.plan.dss_level(
-                            ctx,
-                            &mut level,
-                            ExchangeMode::Original,
-                            tag,
-                            || {},
-                            &mut stats,
-                        );
-                        self.stats = stats;
-                        let arena = field_of_mut(out, f);
-                        for (e, l) in level.iter().enumerate() {
-                            arena[e * fl + k * NPTS..e * fl + (k + 1) * NPTS].copy_from_slice(l);
-                        }
+    /// Distributed subcycled biharmonic hyperviscosity, operator-for-
+    /// operator identical to
+    /// [`Dycore::apply_hypervis`](crate::prim::Dycore::apply_hypervis):
+    /// top-of-model sponge first (ordinary Laplacian, `+nu_top` damping
+    /// halved per layer down), then `subcycles` applications of the weak
+    /// biharmonic with `nu` on u/v/T and `nu_p` on dp3d. Each Laplacian
+    /// application DSSes all participating fields in one aggregated
+    /// exchange.
+    pub fn apply_hypervis(&mut self, ctx: &mut RankCtx, state: &mut State) {
+        let hv = self.cfg.hypervis;
+        if hv.nu == 0.0 && hv.nu_p == 0.0 {
+            return;
+        }
+        let dt = self.cfg.dt;
+        let subcycles = self.subcycles;
+        let DistDycore { plan, ops, dims, mode, stats, ws, tag, .. } = self;
+        let nlev = dims.nlev;
+        let fl = dims.field_len();
+        let nelem = ops.len();
+        if hv.nu_top > 0.0 && hv.sponge_layers > 0 {
+            let ks = hv.sponge_layers.min(nlev);
+            let sl = ks * NPTS;
+            for e in 0..nelem {
+                ws.sponge_u[e * sl..(e + 1) * sl]
+                    .copy_from_slice(&state.u[e * fl..e * fl + sl]);
+                ws.sponge_v[e * sl..(e + 1) * sl]
+                    .copy_from_slice(&state.v[e * fl..e * fl + sl]);
+                ws.sponge_t[e * sl..(e + 1) * sl]
+                    .copy_from_slice(&state.t[e * fl..e * fl + sl]);
+            }
+            vlaplace_elems(ops, ks, &mut ws.sponge_u, &mut ws.sponge_v);
+            laplace_elems(ops, ks, &mut ws.sponge_t);
+            {
+                let mut arenas: [&mut [f64]; 3] =
+                    [&mut ws.sponge_u, &mut ws.sponge_v, &mut ws.sponge_t];
+                dss_arenas(plan, *mode, ctx, &mut arenas, ks, &mut ws.ex, stats, tag);
+            }
+            for e in 0..nelem {
+                for (k, damp) in (0..ks).map(|k| (k, 1.0 / (1 << k) as f64)) {
+                    for p in 0..NPTS {
+                        let i = k * NPTS + p;
+                        let si = e * sl + i;
+                        let gi = e * fl + i;
+                        state.u[gi] += dt * hv.nu_top * damp * ws.sponge_u[si];
+                        state.v[gi] += dt * hv.nu_top * damp * ws.sponge_v[si];
+                        state.t[gi] += dt * hv.nu_top * damp * ws.sponge_t[si];
                     }
                 }
             }
-            ExchangeMode::Redesigned => {
-                // 1. boundary elements first.
-                let boundary = self.plan.boundary.clone();
-                for &li in &boundary {
-                    self.update_element(li, base, eval, c_dt, out, &mut tend, &mut scratch);
+        }
+        let dt_sub = dt / subcycles as f64;
+        for _ in 0..subcycles {
+            ws.hyp.copy_from_state(state);
+            // del^4 via two Laplacians with a DSS after each application
+            // (vector Laplacian for wind, weak-form scalar for T, dp3d).
+            for _ in 0..2 {
+                vlaplace_elems(ops, nlev, &mut ws.hyp.u, &mut ws.hyp.v);
+                laplace_elems(ops, nlev, &mut ws.hyp.t);
+                laplace_elems(ops, nlev, &mut ws.hyp.dp3d);
+                let mut arenas: [&mut [f64]; NFIELDS] =
+                    [&mut ws.hyp.u, &mut ws.hyp.v, &mut ws.hyp.t, &mut ws.hyp.dp3d];
+                dss_arenas(plan, *mode, ctx, &mut arenas, nlev, &mut ws.ex, stats, tag);
+            }
+            for (x, l) in state.u.iter_mut().zip(&ws.hyp.u) {
+                *x -= dt_sub * hv.nu * l;
+            }
+            for (x, l) in state.v.iter_mut().zip(&ws.hyp.v) {
+                *x -= dt_sub * hv.nu * l;
+            }
+            for (x, l) in state.t.iter_mut().zip(&ws.hyp.t) {
+                *x -= dt_sub * hv.nu * l;
+            }
+            for (x, l) in state.dp3d.iter_mut().zip(&ws.hyp.dp3d) {
+                *x -= dt_sub * hv.nu_p * l;
+            }
+        }
+    }
+
+    /// Distributed 3-stage SSP-RK2 tracer advection (`euler_step`): one
+    /// aggregated DSS per stage over the whole `[qsize][nlev]` tracer
+    /// arena, followed by the same sign-preserving limiter the serial
+    /// driver applies when `cfg.limiter` is set.
+    pub fn euler_step_tracers(&mut self, ctx: &mut RankCtx, state: &mut State) {
+        if self.dims.qsize == 0 {
+            return;
+        }
+        let dt = self.cfg.dt;
+        let limiter = self.cfg.limiter;
+        let DistDycore { plan, ops, dims, mode, stats, ws, tag, .. } = self;
+        ws.qdp0.copy_from_slice(&state.qdp);
+        // Stage 1: q1 = q0 + dt L(q0)
+        tracer_substep(ops, *dims, &state.u, &state.v, &state.dp3d, &ws.qdp0, dt, &mut ws.q1);
+        finish_stage(plan, ops, *dims, *mode, limiter, ctx, &mut ws.q1, &mut ws.ex, stats, tag);
+        // Stage 2: q2 = 3/4 q0 + 1/4 (q1 + dt L(q1))
+        tracer_substep(ops, *dims, &state.u, &state.v, &state.dp3d, &ws.q1, dt, &mut ws.qtmp);
+        for (q2, (q0, t)) in ws.q2.iter_mut().zip(ws.qdp0.iter().zip(&ws.qtmp)) {
+            *q2 = 0.75 * q0 + 0.25 * t;
+        }
+        finish_stage(plan, ops, *dims, *mode, limiter, ctx, &mut ws.q2, &mut ws.ex, stats, tag);
+        // Stage 3: q^{n+1} = 1/3 q0 + 2/3 (q2 + dt L(q2))
+        tracer_substep(ops, *dims, &state.u, &state.v, &state.dp3d, &ws.q2, dt, &mut ws.qtmp);
+        for (qf, (q0, t)) in state.qdp.iter_mut().zip(ws.qdp0.iter().zip(&ws.qtmp)) {
+            *qf = q0 / 3.0 + 2.0 / 3.0 * t;
+        }
+        finish_stage(plan, ops, *dims, *mode, limiter, ctx, &mut state.qdp, &mut ws.ex, stats, tag);
+    }
+
+    /// Element-local vertical remap (no communication needed). Columns
+    /// come from the workspace scratch — allocation-free.
+    pub fn vertical_remap(&mut self, state: &mut State) {
+        let DistDycore { rhs, dims, ws, .. } = self;
+        let nlev = dims.nlev;
+        let qsize = dims.qsize;
+        let vert = &rhs.vert;
+        let ptop = vert.ptop();
+        let WorkerScratch { remap, col_src, col_dst, col_val, col_out, .. } = &mut ws.scratch;
+        for es in state.elems_mut() {
+            for p in 0..NPTS {
+                let mut ps = ptop;
+                for k in 0..nlev {
+                    col_src[k] = es.dp3d[k * NPTS + p];
+                    ps += col_src[k];
                 }
-                // 2. start every halo exchange from the boundary values.
-                let mut pendings = Vec::with_capacity(NFIELDS * nlev);
-                for f in 0..NFIELDS {
+                for k in 0..nlev {
+                    col_dst[k] = vert.dp_ref(k, ps);
+                }
+                // Momentum, heat: conserve integral(f dp).
+                for field in [&mut *es.u, &mut *es.v, &mut *es.t] {
                     for k in 0..nlev {
-                        let level = level_of(out, f, k);
-                        self.tag += 1;
-                        let mut stats = std::mem::take(&mut self.stats);
-                        let pending = self.plan.start_halo(ctx, &level, self.tag, &mut stats);
-                        self.stats = stats;
-                        pendings.push((f, k, pending));
+                        col_val[k] = field[k * NPTS + p];
+                    }
+                    remap_column_ppm_with(col_src, col_val, col_dst, col_out, remap);
+                    for k in 0..nlev {
+                        field[k * NPTS + p] = col_out[k];
                     }
                 }
-                // 3. interior elements overlap the communication.
-                let interior = self.plan.interior.clone();
-                for &li in &interior {
-                    self.update_element(li, base, eval, c_dt, out, &mut tend, &mut scratch);
+                // Tracers: remap mixing ratio, rebuild mass.
+                for q in 0..qsize {
+                    for k in 0..nlev {
+                        col_val[k] = es.qdp[(q * nlev + k) * NPTS + p] / col_src[k];
+                    }
+                    remap_column_ppm_with(col_src, col_val, col_dst, col_out, remap);
+                    for k in 0..nlev {
+                        es.qdp[(q * nlev + k) * NPTS + p] = col_out[k] * col_dst[k];
+                    }
                 }
-                // 4. complete every exchange against the now-complete local
-                // fields.
-                for (f, k, pending) in pendings {
-                    let mut level = level_of(out, f, k);
-                    self.plan.finish_halo(ctx, pending, &mut level);
-                    let arena = field_of_mut(out, f);
+                for k in 0..nlev {
+                    es.dp3d[k * NPTS + p] = col_dst[k];
+                }
+            }
+        }
+    }
+
+    /// One full distributed model step mirroring
+    /// [`Dycore::step`](crate::prim::Dycore::step): dynamics RK +
+    /// hyperviscosity + tracer advection + (every `rsplit` steps)
+    /// vertical remap.
+    pub fn step(&mut self, ctx: &mut RankCtx, state: &mut State) {
+        self.dynamics_step(ctx, state);
+        self.apply_hypervis(ctx, state);
+        self.euler_step_tracers(ctx, state);
+        self.steps_since_remap += 1;
+        if self.steps_since_remap >= self.cfg.rsplit {
+            self.vertical_remap(state);
+            self.steps_since_remap = 0;
+        }
+    }
+}
+
+/// `out[li] = base[li] + c_dt RHS(eval[li])` for one owned element.
+#[allow(clippy::too_many_arguments)]
+fn update_element(
+    ops: &[ElemOps],
+    rhs: &Rhs,
+    dims: Dims,
+    li: usize,
+    base: &DynFields,
+    eval: &DynFields,
+    phis: &[f64],
+    c_dt: f64,
+    out: &mut DynFields,
+    scratch: &mut WorkerScratch,
+) {
+    let fl = dims.field_len();
+    let r = li * fl..(li + 1) * fl;
+    let WorkerScratch { tend, rhs: rhs_scratch, .. } = scratch;
+    element_rhs_raw(
+        &ops[li],
+        dims.nlev,
+        rhs.vert.ptop(),
+        &eval.u[r.clone()],
+        &eval.v[r.clone()],
+        &eval.t[r.clone()],
+        &eval.dp3d[r.clone()],
+        &phis[li * NPTS..(li + 1) * NPTS],
+        &mut tend.u,
+        &mut tend.v,
+        &mut tend.t,
+        &mut tend.dp3d,
+        rhs_scratch,
+    );
+    for i in 0..fl {
+        out.u[r.start + i] = base.u[r.start + i] + c_dt * tend.u[i];
+        out.v[r.start + i] = base.v[r.start + i] + c_dt * tend.v[i];
+        out.t[r.start + i] = base.t[r.start + i] + c_dt * tend.t[i];
+        out.dp3d[r.start + i] = base.dp3d[r.start + i] + c_dt * tend.dp3d[i];
+    }
+}
+
+/// One substep: `out = base + c_dt RHS(eval)` with distributed DSS of the
+/// four prognostics.
+#[allow(clippy::too_many_arguments)]
+fn rk_substep(
+    plan: &ExchangePlan,
+    ops: &[ElemOps],
+    rhs: &Rhs,
+    dims: Dims,
+    mode: ExchangeMode,
+    ctx: &mut RankCtx,
+    base: &DynFields,
+    eval: &DynFields,
+    phis: &[f64],
+    c_dt: f64,
+    out: &mut DynFields,
+    scratch: &mut WorkerScratch,
+    ex: &mut ExchangeBuffers,
+    stats: &mut CopyStats,
+    tag: &mut u64,
+) {
+    let nlev = dims.nlev;
+    match mode {
+        ExchangeMode::Original => {
+            // Legacy schedule: all compute, then one staged exchange per
+            // (field, level).
+            for li in 0..plan.owned.len() {
+                update_element(ops, rhs, dims, li, base, eval, phis, c_dt, out, scratch);
+            }
+            let mut arenas: [&mut [f64]; NFIELDS] =
+                [&mut out.u, &mut out.v, &mut out.t, &mut out.dp3d];
+            dss_arenas(plan, mode, ctx, &mut arenas, nlev, ex, stats, tag);
+        }
+        ExchangeMode::Redesigned => {
+            // 1. boundary elements first.
+            for &li in &plan.boundary {
+                update_element(ops, rhs, dims, li, base, eval, phis, c_dt, out, scratch);
+            }
+            // 2. one aggregated message per peer: all fields, all levels.
+            *tag += 1;
+            plan.start_aggregated(
+                ctx,
+                &[&out.u, &out.v, &out.t, &out.dp3d],
+                nlev,
+                *tag,
+                ex,
+                stats,
+            );
+            // 3. interior elements overlap the communication.
+            for &li in &plan.interior {
+                update_element(ops, rhs, dims, li, base, eval, phis, c_dt, out, scratch);
+            }
+            // 4. accumulate straight from the receive buffers.
+            let mut arenas: [&mut [f64]; NFIELDS] =
+                [&mut out.u, &mut out.v, &mut out.t, &mut out.dp3d];
+            plan.finish_aggregated(ctx, &mut arenas, nlev, ex);
+        }
+    }
+}
+
+/// Distributed DSS of several flat arenas: one aggregated exchange in
+/// `Redesigned` mode, the legacy per-(arena, level) staged exchange in
+/// `Original` mode.
+#[allow(clippy::too_many_arguments)]
+fn dss_arenas(
+    plan: &ExchangePlan,
+    mode: ExchangeMode,
+    ctx: &mut RankCtx,
+    arenas: &mut [&mut [f64]],
+    nlev: usize,
+    ex: &mut ExchangeBuffers,
+    stats: &mut CopyStats,
+    tag: &mut u64,
+) {
+    match mode {
+        ExchangeMode::Redesigned => {
+            *tag += 1;
+            plan.dss_aggregated(ctx, arenas, nlev, *tag, ex, stats);
+        }
+        ExchangeMode::Original => {
+            let fl = nlev * NPTS;
+            let nelem = plan.owned.len();
+            for arena in arenas.iter_mut() {
+                for k in 0..nlev {
+                    let mut level: Vec<Vec<f64>> = (0..nelem)
+                        .map(|e| arena[e * fl + k * NPTS..e * fl + (k + 1) * NPTS].to_vec())
+                        .collect();
+                    *tag += 1;
+                    plan.dss_level(ctx, &mut level, ExchangeMode::Original, *tag, || {}, stats);
                     for (e, l) in level.iter().enumerate() {
                         arena[e * fl + k * NPTS..e * fl + (k + 1) * NPTS].copy_from_slice(l);
                     }
@@ -223,210 +467,95 @@ impl DistDycore {
             }
         }
     }
+}
 
-    /// Advance the dynamics by one `dt` with the 5-stage Kinnmark–Gray RK.
-    pub fn dynamics_step(&mut self, ctx: &mut RankCtx, state: &mut State) {
-        let base = state.clone();
-        let mut stage = state.clone();
-        let mut next = state.clone();
-        for &c in &KG5_COEFFS {
-            self.rk_substep(ctx, &base, &stage, c * self.dt, &mut next);
-            std::mem::swap(&mut stage, &mut next);
-        }
-        *state = stage;
+/// Aggregated DSS + optional limiter for one tracer stage — the
+/// distributed counterpart of the serial driver's `finish_tracer_stage`.
+#[allow(clippy::too_many_arguments)]
+fn finish_stage(
+    plan: &ExchangePlan,
+    ops: &[ElemOps],
+    dims: Dims,
+    mode: ExchangeMode,
+    limiter: bool,
+    ctx: &mut RankCtx,
+    qdp: &mut [f64],
+    ex: &mut ExchangeBuffers,
+    stats: &mut CopyStats,
+    tag: &mut u64,
+) {
+    {
+        let mut arenas = [&mut *qdp];
+        dss_arenas(plan, mode, ctx, &mut arenas, dims.qsize * dims.nlev, ex, stats, tag);
     }
+    if limiter {
+        limit_tracer_arena(ops, dims, qdp);
+    }
+}
 
-    /// Distributed DSS of one multi-level per-element scratch field.
-    fn dss_field(&mut self, ctx: &mut RankCtx, nlev: usize, field: &mut [Vec<f64>]) {
+/// One tracer Euler substep over the owned elements:
+/// `qdp_out = qdp_in + dt L(qdp_in)` with the flux divergence evaluated
+/// against the (u, v, dp3d) arenas.
+#[allow(clippy::too_many_arguments)]
+fn tracer_substep(
+    ops: &[ElemOps],
+    dims: Dims,
+    u: &[f64],
+    v: &[f64],
+    dp: &[f64],
+    qdp_in: &[f64],
+    dt: f64,
+    qdp_out: &mut [f64],
+) {
+    let nlev = dims.nlev;
+    let fl = dims.field_len();
+    let tl = dims.tracer_len();
+    for (e, op) in ops.iter().enumerate() {
+        for q in 0..dims.qsize {
+            for k in 0..nlev {
+                let r = e * fl + k * NPTS..e * fl + (k + 1) * NPTS;
+                let rq = e * tl + (q * nlev + k) * NPTS..e * tl + (q * nlev + k + 1) * NPTS;
+                let mut tend = [0.0; NPTS];
+                tracer_flux_divergence(
+                    op,
+                    &u[r.clone()],
+                    &v[r.clone()],
+                    &dp[r.clone()],
+                    &qdp_in[rq.clone()],
+                    &mut tend,
+                );
+                for (p, o) in qdp_out[rq.clone()].iter_mut().enumerate() {
+                    *o = qdp_in[rq.start + p] + dt * tend[p];
+                }
+            }
+        }
+    }
+}
+
+/// Element-local weak-form Laplacian of one arena (no DSS).
+fn laplace_elems(ops: &[ElemOps], nlev: usize, field: &mut [f64]) {
+    let fl = nlev * NPTS;
+    for (e, op) in ops.iter().enumerate() {
         for k in 0..nlev {
-            let mut level: Vec<Vec<f64>> =
-                field.iter().map(|f| f[k * NPTS..(k + 1) * NPTS].to_vec()).collect();
-            self.tag += 1;
-            let tag = self.tag;
-            let mut stats = std::mem::take(&mut self.stats);
-            self.plan.dss_level(ctx, &mut level, self.mode, tag, || {}, &mut stats);
-            self.stats = stats;
-            for (f, l) in field.iter_mut().zip(&level) {
-                f[k * NPTS..(k + 1) * NPTS].copy_from_slice(l);
-            }
+            let r = e * fl + k * NPTS..e * fl + (k + 1) * NPTS;
+            let mut lap = [0.0; NPTS];
+            op.laplace_sphere_wk(&field[r.clone()], &mut lap);
+            field[r].copy_from_slice(&lap);
         }
     }
+}
 
-    /// Distributed weak-form Laplacian with DSS (one application).
-    fn laplace_dist(&mut self, ctx: &mut RankCtx, nlev: usize, field: &mut [Vec<f64>]) {
-        for (li, f) in field.iter_mut().enumerate() {
-            for k in 0..nlev {
-                let r = k * NPTS..(k + 1) * NPTS;
-                let mut lap = [0.0; NPTS];
-                self.ops[li].laplace_sphere_wk(&f[r.clone()], &mut lap);
-                f[r].copy_from_slice(&lap);
-            }
-        }
-        self.dss_field(ctx, nlev, field);
-    }
-
-    /// Distributed vector Laplacian of `(u, v)` with DSS (one application),
-    /// mirroring [`crate::hypervis::vlaplace_fields`].
-    fn vlaplace_dist(
-        &mut self,
-        ctx: &mut RankCtx,
-        nlev: usize,
-        u: &mut [Vec<f64>],
-        v: &mut [Vec<f64>],
-    ) {
-        for li in 0..u.len() {
-            for k in 0..nlev {
-                let r = k * NPTS..(k + 1) * NPTS;
-                let mut lu = [0.0; NPTS];
-                let mut lv = [0.0; NPTS];
-                self.ops[li].vlaplace_sphere(&u[li][r.clone()], &v[li][r.clone()], &mut lu, &mut lv);
-                u[li][r.clone()].copy_from_slice(&lu);
-                v[li][r].copy_from_slice(&lv);
-            }
-        }
-        self.dss_field(ctx, nlev, u);
-        self.dss_field(ctx, nlev, v);
-    }
-
-    /// Distributed subcycled biharmonic hyperviscosity on u, v, T, dp3d,
-    /// operator-for-operator identical to
-    /// [`Dycore::apply_hypervis`](crate::prim::Dycore::apply_hypervis)
-    /// (vector Laplacian for momentum, weak-form scalar Laplacian for T and
-    /// dp3d), with the serial DSS replaced by the boundary exchange.
-    pub fn apply_hypervis(
-        &mut self,
-        ctx: &mut RankCtx,
-        state: &mut State,
-        nu: f64,
-        subcycles: usize,
-    ) {
-        if nu == 0.0 {
-            return;
-        }
-        let nlev = self.dims.nlev;
-        let dt_sub = self.dt / subcycles as f64;
-        for _ in 0..subcycles {
-            let mut u: Vec<Vec<f64>> = state.elems().map(|es| es.u.to_vec()).collect();
-            let mut v: Vec<Vec<f64>> = state.elems().map(|es| es.v.to_vec()).collect();
-            let mut t: Vec<Vec<f64>> = state.elems().map(|es| es.t.to_vec()).collect();
-            let mut dp: Vec<Vec<f64>> = state.elems().map(|es| es.dp3d.to_vec()).collect();
-            self.vlaplace_dist(ctx, nlev, &mut u, &mut v);
-            self.vlaplace_dist(ctx, nlev, &mut u, &mut v);
-            self.laplace_dist(ctx, nlev, &mut t);
-            self.laplace_dist(ctx, nlev, &mut t);
-            self.laplace_dist(ctx, nlev, &mut dp);
-            self.laplace_dist(ctx, nlev, &mut dp);
-            for (li, es) in state.elems_mut().enumerate() {
-                for i in 0..self.dims.field_len() {
-                    es.u[i] -= dt_sub * nu * u[li][i];
-                    es.v[i] -= dt_sub * nu * v[li][i];
-                    es.t[i] -= dt_sub * nu * t[li][i];
-                    es.dp3d[i] -= dt_sub * nu * dp[li][i];
-                }
-            }
-        }
-    }
-
-    /// Distributed 3-stage SSP-RK2 tracer advection (`euler_step`) with a
-    /// DSS per stage, matching the serial driver (without the limiter).
-    pub fn euler_step_tracers(&mut self, ctx: &mut RankCtx, state: &mut State) {
-        if self.dims.qsize == 0 {
-            return;
-        }
-        let nlev = self.dims.nlev;
-        let qsize = self.dims.qsize;
-        let dt = self.dt;
-        let qdp0: Vec<Vec<f64>> = state.elems().map(|es| es.qdp.to_vec()).collect();
-
-        let substep = |dy: &Self, st: &State, input: &[Vec<f64>], out: &mut [Vec<f64>]| {
-            for (li, es) in st.elems().enumerate() {
-                for q in 0..qsize {
-                    for k in 0..nlev {
-                        let r = k * NPTS..(k + 1) * NPTS;
-                        let rq = (q * nlev + k) * NPTS..(q * nlev + k + 1) * NPTS;
-                        let mut tend = [0.0; NPTS];
-                        crate::euler::tracer_flux_divergence(
-                            &dy.ops[li],
-                            &es.u[r.clone()],
-                            &es.v[r.clone()],
-                            &es.dp3d[r.clone()],
-                            &input[li][rq.clone()],
-                            &mut tend,
-                        );
-                        for p in 0..NPTS {
-                            out[li][rq.start + p] = input[li][rq.start + p] + dt * tend[p];
-                        }
-                    }
-                }
-            }
-        };
-
-        let mut q1 = qdp0.clone();
-        substep(self, state, &qdp0, &mut q1);
-        self.dss_field(ctx, qsize * nlev, &mut q1);
-        let mut tmp = qdp0.clone();
-        substep(self, state, &q1, &mut tmp);
-        let mut q2 = qdp0.clone();
-        for (q2e, (q0e, te)) in q2.iter_mut().zip(qdp0.iter().zip(&tmp)) {
-            for i in 0..q2e.len() {
-                q2e[i] = 0.75 * q0e[i] + 0.25 * te[i];
-            }
-        }
-        self.dss_field(ctx, qsize * nlev, &mut q2);
-        substep(self, state, &q2, &mut tmp);
-        let mut qf = qdp0.clone();
-        for (qfe, (q0e, te)) in qf.iter_mut().zip(qdp0.iter().zip(&tmp)) {
-            for i in 0..qfe.len() {
-                qfe[i] = q0e[i] / 3.0 + 2.0 / 3.0 * te[i];
-            }
-        }
-        self.dss_field(ctx, qsize * nlev, &mut qf);
-        for (es, qe) in state.elems_mut().zip(&qf) {
-            es.qdp.copy_from_slice(qe);
-        }
-    }
-
-    /// Element-local vertical remap (no communication needed).
-    pub fn vertical_remap(&self, state: &mut State) {
-        let nlev = self.dims.nlev;
-        let vert = &self.rhs.vert;
-        let ptop = vert.ptop();
-        let mut src = vec![0.0; nlev];
-        let mut dst = vec![0.0; nlev];
-        let mut col = vec![0.0; nlev];
-        let mut out = vec![0.0; nlev];
-        for es in state.elems_mut() {
-            for p in 0..NPTS {
-                let mut ps = ptop;
-                for k in 0..nlev {
-                    src[k] = es.dp3d[k * NPTS + p];
-                    ps += src[k];
-                }
-                for k in 0..nlev {
-                    dst[k] = vert.dp_ref(k, ps);
-                }
-                for field in [&mut *es.u, &mut *es.v, &mut *es.t] {
-                    for k in 0..nlev {
-                        col[k] = field[k * NPTS + p];
-                    }
-                    crate::remap::remap_column_ppm(&src, &col, &dst, &mut out);
-                    for k in 0..nlev {
-                        field[k * NPTS + p] = out[k];
-                    }
-                }
-                for q in 0..self.dims.qsize {
-                    for k in 0..nlev {
-                        col[k] = es.qdp[(q * nlev + k) * NPTS + p] / src[k];
-                    }
-                    crate::remap::remap_column_ppm(&src, &col, &dst, &mut out);
-                    for k in 0..nlev {
-                        es.qdp[(q * nlev + k) * NPTS + p] = out[k] * dst[k];
-                    }
-                }
-                for k in 0..nlev {
-                    es.dp3d[k * NPTS + p] = dst[k];
-                }
-            }
+/// Element-local vector Laplacian of `(u, v)` (no DSS).
+fn vlaplace_elems(ops: &[ElemOps], nlev: usize, u: &mut [f64], v: &mut [f64]) {
+    let fl = nlev * NPTS;
+    for (e, op) in ops.iter().enumerate() {
+        for k in 0..nlev {
+            let r = e * fl + k * NPTS..e * fl + (k + 1) * NPTS;
+            let mut lu = [0.0; NPTS];
+            let mut lv = [0.0; NPTS];
+            op.vlaplace_sphere(&u[r.clone()], &v[r.clone()], &mut lu, &mut lv);
+            u[r.clone()].copy_from_slice(&lu);
+            v[r].copy_from_slice(&lv);
         }
     }
 }
@@ -461,15 +590,31 @@ mod tests {
         st
     }
 
+    fn seed_tracers(dy: &Dycore, st: &mut State) {
+        let elems = dy.grid.elements.clone();
+        let dims = dy.dims;
+        for (es, el) in st.elems_mut().zip(&elems) {
+            for p in 0..NPTS {
+                for q in 0..dims.qsize {
+                    for k in 0..dims.nlev {
+                        es.qdp[(q * dims.nlev + k) * NPTS + p] = 0.004
+                            * es.dp3d[k * NPTS + p]
+                            * (1.0 + 0.3 * el.metric[p].lat.sin() + 0.1 * q as f64);
+                    }
+                }
+            }
+        }
+    }
+
     /// The distributed dynamics step (both schedules) matches the serial
-    /// Dycore to round-off after two full RK steps.
+    /// Dycore to round-off after two full RK steps — and the redesigned
+    /// schedule sends exactly one message per peer per RK substep.
     #[test]
     fn distributed_dynamics_matches_serial() {
         let ne = 3;
         let dims = Dims { nlev: 4, qsize: 0 };
-        let dt = 300.0;
         let cfg = DycoreConfig {
-            dt,
+            dt: 300.0,
             hypervis: HypervisConfig::off(),
             limiter: false,
             rsplit: 1,
@@ -486,16 +631,27 @@ mod tests {
             let part = Partition::new(&grid, nranks);
             let results = run_ranks(nranks, |ctx| {
                 let mut dist =
-                    DistDycore::new(&grid, &part, ctx.rank(), dims, 2000.0, dt, mode);
+                    DistDycore::new(&grid, &part, ctx.rank(), dims, 2000.0, cfg, mode);
                 let mut local = dist.local_state(&initial);
                 dist.dynamics_step(ctx, &mut local);
                 dist.dynamics_step(ctx, &mut local);
-                (dist.plan.owned.clone(), local, dist.stats)
-            });
-            for (owned, local, stats) in results {
+                assert_eq!(ctx.comm.unmatched(), 0, "orphaned messages on rank {}", ctx.rank());
+                let npeers = dist.plan.links.len() as u64;
                 if mode == ExchangeMode::Redesigned {
-                    assert_eq!(stats.staged_bytes, 0, "redesign stages nothing");
+                    assert_eq!(dist.stats.staged_bytes, 0, "redesign stages nothing");
+                    // 2 steps x 5 RK substeps, ONE message per peer each.
+                    assert_eq!(dist.stats.msgs_sent, 10 * npeers);
+                    assert_eq!(ctx.comm.stats().sends, 10 * npeers);
+                } else {
+                    // Legacy: one message per peer per (field, level).
+                    assert_eq!(
+                        dist.stats.msgs_sent,
+                        10 * NFIELDS as u64 * dims.nlev as u64 * npeers
+                    );
                 }
+                (dist.plan.owned.clone(), local)
+            });
+            for (owned, local) in results {
                 for (li, e) in owned.into_iter().enumerate() {
                     let es = local.elem(li);
                     let reference = st.elem(e);
@@ -514,34 +670,51 @@ mod tests {
         }
     }
 
+    fn assert_states_match(
+        owned: &[usize],
+        local: &State,
+        reference: &State,
+        dims: Dims,
+        tol: f64,
+        qtol: f64,
+    ) {
+        for (li, &e) in owned.iter().enumerate() {
+            let es = local.elem(li);
+            let rs = reference.elem(e);
+            for i in 0..dims.field_len() {
+                assert!(
+                    (es.u[i] - rs.u[i]).abs() < tol,
+                    "elem {e} u[{i}]: {} vs {}",
+                    es.u[i],
+                    rs.u[i]
+                );
+                assert!((es.v[i] - rs.v[i]).abs() < tol);
+                assert!((es.t[i] - rs.t[i]).abs() < tol);
+                assert!((es.dp3d[i] - rs.dp3d[i]).abs() < tol);
+            }
+            for i in 0..dims.tracer_len() {
+                assert!(
+                    (es.qdp[i] - rs.qdp[i]).abs() < qtol,
+                    "elem {e} qdp[{i}]: {} vs {}",
+                    es.qdp[i],
+                    rs.qdp[i]
+                );
+            }
+        }
+    }
+
     /// The complete distributed step — dynamics + hyperviscosity + tracer
     /// advection + vertical remap — matches the serial driver.
     #[test]
     fn full_distributed_step_matches_serial() {
         let ne = 3;
         let dims = Dims { nlev: 4, qsize: 1 };
-        let dt = 300.0;
         let nu = 1.0e15;
-        let hv = HypervisConfig {
-            nu,
-            nu_p: nu,
-            subcycles: 3,
-            nu_top: 0.0,
-            sponge_layers: 0,
-        };
-        let cfg = DycoreConfig { dt, hypervis: hv, limiter: false, rsplit: 1 };
+        let hv = HypervisConfig { nu, nu_p: nu, subcycles: 3, nu_top: 0.0, sponge_layers: 0 };
+        let cfg = DycoreConfig { dt: 300.0, hypervis: hv, limiter: false, rsplit: 1 };
         let mut serial = Dycore::new(ne, dims, 2000.0, cfg);
-        let subcycles = serial.hypervis_subcycles();
         let mut st = initial_state(&serial);
-        let elems = serial.grid.elements.clone();
-        for (es, el) in st.elems_mut().zip(&elems) {
-            for p in 0..NPTS {
-                for k in 0..dims.nlev {
-                    es.qdp[k * NPTS + p] =
-                        0.004 * es.dp3d[k * NPTS + p] * (1.0 + 0.3 * el.metric[p].lat.sin());
-                }
-            }
-        }
+        seed_tracers(&serial, &mut st);
         let initial = st.clone();
         serial.step(&mut st);
 
@@ -555,37 +728,115 @@ mod tests {
                 ctx.rank(),
                 dims,
                 2000.0,
-                dt,
+                cfg,
                 ExchangeMode::Redesigned,
             );
             let mut local = dist.local_state(&initial);
-            dist.dynamics_step(ctx, &mut local);
-            dist.apply_hypervis(ctx, &mut local, nu, subcycles);
-            dist.euler_step_tracers(ctx, &mut local);
-            dist.vertical_remap(&mut local);
+            dist.step(ctx, &mut local);
+            assert_eq!(ctx.comm.unmatched(), 0, "orphaned messages on rank {}", ctx.rank());
             (dist.plan.owned.clone(), local)
         });
         for (owned, local) in results {
-            for (li, e) in owned.into_iter().enumerate() {
-                let es = local.elem(li);
-                let reference = st.elem(e);
-                for i in 0..dims.field_len() {
-                    assert!(
-                        (es.u[i] - reference.u[i]).abs() < 1e-8,
-                        "elem {e} u[{i}]: {} vs {}",
-                        es.u[i],
-                        reference.u[i]
-                    );
-                    assert!((es.t[i] - reference.t[i]).abs() < 1e-8);
-                    assert!((es.dp3d[i] - reference.dp3d[i]).abs() < 1e-8);
-                    assert!((es.qdp[i] - reference.qdp[i]).abs() < 1e-10);
-                }
+            assert_states_match(&owned, &local, &st, dims, 1e-8, 1e-10);
+        }
+    }
+
+    /// Same, with the previously-broken configuration: limiter on and a
+    /// full hyperviscosity config with `nu_p != nu`, `nu_top > 0` and
+    /// active sponge layers. Both exchange schedules must track the
+    /// serial driver.
+    #[test]
+    fn full_distributed_step_matches_serial_with_limiter_and_sponge() {
+        let ne = 3;
+        let dims = Dims { nlev: 4, qsize: 2 };
+        let nu = 1.0e15;
+        let hv = HypervisConfig {
+            nu,
+            nu_p: 1.7 * nu,
+            subcycles: 3,
+            nu_top: 2.5e5,
+            sponge_layers: 2,
+        };
+        let cfg = DycoreConfig { dt: 300.0, hypervis: hv, limiter: true, rsplit: 1 };
+        let mut serial = Dycore::new(ne, dims, 2000.0, cfg);
+        let mut st = initial_state(&serial);
+        seed_tracers(&serial, &mut st);
+        let initial = st.clone();
+        serial.step(&mut st);
+        serial.step(&mut st);
+
+        for mode in [ExchangeMode::Original, ExchangeMode::Redesigned] {
+            let nranks = 4;
+            let grid = CubedSphere::new(ne);
+            let part = Partition::new(&grid, nranks);
+            let results = run_ranks(nranks, |ctx| {
+                let mut dist =
+                    DistDycore::new(&grid, &part, ctx.rank(), dims, 2000.0, cfg, mode);
+                assert_eq!(
+                    dist.hypervis_subcycles(),
+                    3,
+                    "distributed subcycles must match the serial formula"
+                );
+                let mut local = dist.local_state(&initial);
+                dist.step(ctx, &mut local);
+                dist.step(ctx, &mut local);
+                assert_eq!(ctx.comm.unmatched(), 0, "orphaned messages on rank {}", ctx.rank());
+                (dist.plan.owned.clone(), local)
+            });
+            for (owned, local) in results {
+                assert_states_match(&owned, &local, &st, dims, 1e-8, 1e-9);
             }
         }
     }
 
-    /// The boundary-only partial sums of start_halo are complete: a point
-    /// shared with a peer never receives contributions from interior
+    /// Message accounting across the whole step: the redesigned schedule
+    /// aggregates every exchange (RK substeps, sponge, hyperviscosity
+    /// Laplacians, tracer stages) into exactly one message per peer, with
+    /// zero staging bytes.
+    #[test]
+    fn redesigned_step_sends_one_message_per_peer_per_exchange() {
+        let ne = 3;
+        let dims = Dims { nlev: 4, qsize: 1 };
+        let nu = 1.0e15;
+        let hv = HypervisConfig {
+            nu,
+            nu_p: nu,
+            subcycles: 2,
+            nu_top: 2.5e5,
+            sponge_layers: 2,
+        };
+        let cfg = DycoreConfig { dt: 300.0, hypervis: hv, limiter: true, rsplit: 1 };
+        let grid = CubedSphere::new(ne);
+        let nranks = 4;
+        let part = Partition::new(&grid, nranks);
+        let serial = Dycore::new(ne, dims, 2000.0, cfg);
+        let mut init = initial_state(&serial);
+        seed_tracers(&serial, &mut init);
+        run_ranks(nranks, |ctx| {
+            let mut dist = DistDycore::new(
+                &grid,
+                &part,
+                ctx.rank(),
+                dims,
+                2000.0,
+                cfg,
+                ExchangeMode::Redesigned,
+            );
+            let mut local = dist.local_state(&init);
+            dist.step(ctx, &mut local);
+            // Exchanges per step: 5 RK substeps + 1 sponge + 2 Laplacian
+            // applications per hypervis subcycle + 3 tracer stages.
+            let n_exchanges = (5 + 1 + 2 * dist.hypervis_subcycles() + 3) as u64;
+            let npeers = dist.plan.links.len() as u64;
+            assert_eq!(dist.stats.msgs_sent, n_exchanges * npeers);
+            assert_eq!(ctx.comm.stats().sends, n_exchanges * npeers);
+            assert_eq!(dist.stats.staged_bytes, 0);
+            assert_eq!(ctx.comm.unmatched(), 0, "orphaned messages on rank {}", ctx.rank());
+        });
+    }
+
+    /// The boundary-only partial sums of start_aggregated are complete: a
+    /// point shared with a peer never receives contributions from interior
     /// elements.
     #[test]
     fn shared_points_live_only_on_boundary_elements() {

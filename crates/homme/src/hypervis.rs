@@ -42,6 +42,31 @@ impl HypervisConfig {
     pub fn off() -> Self {
         HypervisConfig { nu: 0.0, nu_p: 0.0, subcycles: 1, nu_top: 0.0, sponge_layers: 0 }
     }
+
+    /// Stability-limited subcycle count: the explicit forward-Euler
+    /// biharmonic update needs `nu k_max^4 dt_sub < ~0.4`, with `k_max`
+    /// the spectral-element grid Nyquist (smallest GLL gap, with a
+    /// factor-2 margin for the spectral operator's eigenvalue excess).
+    /// `dab` is the element's angular width and `metdet0` the metric
+    /// determinant at its first GLL node (any representative element of a
+    /// quasi-uniform grid works). Production HOMME computes
+    /// `hypervis_subcycle` the same way; the serial and distributed
+    /// drivers share this so they always agree.
+    pub fn stable_subcycles(&self, dab: f64, metdet0: f64, dt: f64) -> usize {
+        let nu = self.nu.max(self.nu_p);
+        if nu == 0.0 {
+            return self.subcycles.max(1);
+        }
+        // Smallest GLL gap: |x1 - x0| = 1 - 1/sqrt(5) on [-1, 1].
+        let ref_gap = 1.0 - 1.0 / 5.0_f64.sqrt();
+        // metdet ~ (physical area)/(dalpha dbeta): sqrt gives the length
+        // scale per unit angle.
+        let scale = metdet0.sqrt();
+        let gap = (ref_gap * 0.5 * dab * scale).max(1.0);
+        let k_max = 2.0 * std::f64::consts::PI / gap;
+        let needed = (nu * k_max.powi(4) * dt / 0.4).ceil() as usize;
+        needed.max(self.subcycles).max(1)
+    }
 }
 
 /// In-place `lap(f)` per element level with DSS, using the weak-form

@@ -41,7 +41,7 @@ pub mod state;
 pub mod vert;
 pub mod workspace;
 
-pub use bndry::{CopyStats, ExchangeMode, ExchangePlan};
+pub use bndry::{CopyStats, ExchangeBuffers, ExchangeMode, ExchangePlan};
 pub use deriv::{build_ops, ElemOps};
 pub use diagnostics::{budgets, Budgets};
 pub use dist::DistDycore;
@@ -53,4 +53,4 @@ pub use sched::ElemScheduler;
 pub use seedref::SeedStepper;
 pub use state::{Dims, ElemMut, ElemRef, State};
 pub use vert::VertCoord;
-pub use workspace::StepWorkspace;
+pub use workspace::{DistWorkspace, StepWorkspace};

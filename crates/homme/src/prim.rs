@@ -16,7 +16,7 @@
 
 use crate::deriv::{build_ops, ElemOps};
 use crate::dss::Dss;
-use crate::euler::{euler_substep_flat, limit_nonnegative};
+use crate::euler::{euler_substep_flat, limit_tracer_arena};
 use crate::hypervis::{biharmonic_flat, laplace_flat, vlaplace_flat, HypervisConfig};
 use crate::remap::remap_column_ppm_with;
 use crate::rhs::{element_rhs_raw, Rhs};
@@ -153,27 +153,11 @@ impl Dycore {
         state.dp3d.copy_from_slice(&ws.stage.dp3d);
     }
 
-    /// Stability-limited hyperviscosity subcycle count: the explicit
-    /// forward-Euler biharmonic update needs `nu k_max^4 dt_sub < ~0.4`,
-    /// with `k_max` the spectral-element grid Nyquist (smallest GLL gap,
-    /// with a factor-2 margin for the spectral operator's eigenvalue
-    /// excess). Production HOMME computes `hypervis_subcycle` the same way.
+    /// Stability-limited hyperviscosity subcycle count
+    /// ([`HypervisConfig::stable_subcycles`] on a representative element).
     pub fn hypervis_subcycles(&self) -> usize {
-        let hv = self.cfg.hypervis;
-        let nu = hv.nu.max(hv.nu_p);
-        if nu == 0.0 {
-            return hv.subcycles.max(1);
-        }
         let el = &self.grid.elements[0];
-        // Smallest GLL gap: |x1 - x0| = 1 - 1/sqrt(5) on [-1, 1].
-        let ref_gap = 1.0 - 1.0 / 5.0_f64.sqrt();
-        // metdet ~ (physical area)/(dalpha dbeta): sqrt gives the length
-        // scale per unit angle.
-        let scale = el.metric[0].metdet.sqrt();
-        let gap = (ref_gap * 0.5 * el.dab * scale).max(1.0);
-        let k_max = 2.0 * std::f64::consts::PI / gap;
-        let needed = (nu * k_max.powi(4) * self.cfg.dt / 0.4).ceil() as usize;
-        needed.max(hv.subcycles).max(1)
+        self.cfg.hypervis.stable_subcycles(el.dab, el.metric[0].metdet, self.cfg.dt)
     }
 
     /// Apply subcycled biharmonic hyperviscosity to u, v, T, dp3d.
@@ -436,21 +420,9 @@ fn rk_substep(
 
 /// DSS + optional limiter for one tracer stage on a flat tracer arena.
 fn finish_tracer_stage(ops: &[ElemOps], dss: &mut Dss, dims: Dims, limiter: bool, qdp: &mut [f64]) {
-    let nlev = dims.nlev;
-    let tl = dims.tracer_len();
-    dss.apply_flat(qdp, dims.qsize * nlev);
+    dss.apply_flat(qdp, dims.qsize * dims.nlev);
     if limiter {
-        for (e, op) in ops.iter().enumerate() {
-            let mut spheremp = [0.0; NPTS];
-            spheremp.copy_from_slice(&op.spheremp);
-            let qe = &mut qdp[e * tl..(e + 1) * tl];
-            for q in 0..dims.qsize {
-                for k in 0..nlev {
-                    let r = (q * nlev + k) * NPTS..(q * nlev + k + 1) * NPTS;
-                    limit_nonnegative(&spheremp, &mut qe[r]);
-                }
-            }
-        }
+        limit_tracer_arena(ops, dims, qdp);
     }
 }
 

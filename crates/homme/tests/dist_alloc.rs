@@ -1,0 +1,122 @@
+//! Distributed allocation regression gate: after a warm-up step, a full
+//! `DistDycore::step` — RK dynamics with the aggregated boundary exchange,
+//! hyperviscosity (sponge + subcycles), limited tracer advection, vertical
+//! remap — must touch the heap exactly zero times on every rank. All
+//! temporaries live in the persistent `DistWorkspace`, receive queues and
+//! send buffers are pooled by the communicator, and the exchange packs
+//! straight into pooled buffers.
+//!
+//! The counting `#[global_allocator]` is per-binary state (and counts all
+//! rank threads while armed), so this file holds exactly one `#[test]` and
+//! shares its binary with nothing else.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use cubesphere::consts::P0;
+use cubesphere::{CubedSphere, Partition, NPTS};
+use homme::hypervis::HypervisConfig;
+use homme::{Dims, DistDycore, Dycore, DycoreConfig, ExchangeMode};
+use swmpi::run_ranks;
+
+/// Counts every allocation (from any thread, all ranks included) while
+/// armed; forwards everything to the system allocator.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn distributed_step_allocates_nothing_after_warmup() {
+    let ne = 3;
+    let dims = Dims { nlev: 4, qsize: 2 };
+    // Every phase on: sponge + subcycled hypervis, limiter, remap each step.
+    let hypervis =
+        HypervisConfig { nu: 1.0e15, nu_p: 1.0e15, subcycles: 2, nu_top: 2.5e5, sponge_layers: 2 };
+    let cfg = DycoreConfig { dt: 300.0, hypervis, limiter: true, rsplit: 1 };
+
+    // Seed a moving global state with tracers via the serial driver.
+    let serial = Dycore::new(ne, dims, 2000.0, cfg);
+    let vert = serial.rhs.vert.clone();
+    let elems = serial.grid.elements.clone();
+    let mut init = serial.zero_state();
+    for (es, el) in init.elems_mut().zip(&elems) {
+        for p in 0..NPTS {
+            let lat = el.metric[p].lat;
+            let ps = P0 * (1.0 - 0.001 * (2.0 * lat).sin());
+            for k in 0..dims.nlev {
+                es.u[k * NPTS + p] = 12.0 * lat.cos();
+                es.v[k * NPTS + p] = 2.0 * el.metric[p].lon.sin();
+                es.t[k * NPTS + p] = 280.0 + 5.0 * lat.cos() + k as f64;
+                es.dp3d[k * NPTS + p] = vert.dp_ref(k, ps);
+                for q in 0..dims.qsize {
+                    es.qdp[(q * dims.nlev + k) * NPTS + p] =
+                        0.004 * es.dp3d[k * NPTS + p] * (1.0 + 0.1 * q as f64);
+                }
+            }
+        }
+    }
+
+    let nranks = 4;
+    let grid = CubedSphere::new(ne);
+    let part = Partition::new(&grid, nranks);
+    let counts = run_ranks(nranks, |ctx| {
+        let mut dist =
+            DistDycore::new(&grid, &part, ctx.rank(), dims, 2000.0, cfg, ExchangeMode::Redesigned);
+        let mut local = dist.local_state(&init);
+
+        // Warm-up: grows the exchange buffers and the communicator's
+        // buffer pool, and may lazily touch thread-local libstd caches.
+        dist.step(ctx, &mut local);
+
+        // All ranks step together inside the armed window (the barrier
+        // itself is allocation-free: an empty allreduce).
+        ctx.coll.barrier();
+        if ctx.rank() == 0 {
+            ALLOCS.store(0, Ordering::SeqCst);
+            ARMED.store(true, Ordering::SeqCst);
+        }
+        ctx.coll.barrier();
+        dist.step(ctx, &mut local);
+        dist.step(ctx, &mut local);
+        ctx.coll.barrier();
+        if ctx.rank() == 0 {
+            ARMED.store(false, Ordering::SeqCst);
+        }
+        ctx.coll.barrier();
+        assert_eq!(ctx.comm.unmatched(), 0, "orphaned messages on rank {}", ctx.rank());
+        ALLOCS.load(Ordering::SeqCst)
+    });
+    let n = counts.into_iter().max().unwrap();
+    assert_eq!(n, 0, "DistDycore::step heap-allocated {n} times after warm-up");
+}

@@ -1,21 +1,36 @@
 //! Point-to-point communication between in-process ranks.
 //!
 //! The reproduction runs "MPI processes" as threads inside one OS process:
-//! each rank owns a [`Comm`] handle with a mailbox channel. Sends are
-//! buffered (eager) and never block; receives match on `(source, tag)` and
-//! may be posted as nonblocking requests — which is the property the paper's
+//! each rank owns a [`Comm`] handle with a mailbox. Sends are buffered
+//! (eager) and never block; receives match on `(source, tag)` and may be
+//! posted as nonblocking requests — which is the property the paper's
 //! redesigned `bndry_exchangev` relies on ("start the asynchronous MPI
 //! communication on the MPE with an MPI wait in the end", Section 7.6).
+//!
+//! The mailbox is a plain `Mutex<VecDeque>` + `Condvar` rather than a
+//! channel so that the steady-state hot path allocates nothing: payload
+//! buffers are pooled per rank ([`Comm::take_buffer`] /
+//! [`Comm::send_owned`] / [`Comm::recycle`]) and travel by move, and the
+//! queue storage is reserved up front. Symmetric exchange patterns (every
+//! halo exchange in this codebase) keep the pools balanced: each rank
+//! recycles exactly as many buffers as it hands out.
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::VecDeque;
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Wildcard source for receives.
 pub const ANY_SOURCE: usize = usize::MAX;
 
 /// How long a blocking receive waits before declaring the job deadlocked.
 pub const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Queue storage reserved per mailbox / unmatched list so steady-state
+/// traffic never grows them.
+const QUEUE_RESERVE: usize = 256;
+
+/// Pooled payload buffers kept per rank.
+const POOL_RESERVE: usize = 64;
 
 /// One in-flight message.
 #[derive(Debug, Clone)]
@@ -28,7 +43,8 @@ pub struct Message {
     pub data: Vec<f64>,
 }
 
-/// Traffic counters for one rank (feed the network performance model).
+/// Traffic counters for one rank (feed the network performance model and
+/// the aggregation assertions in the distributed tests).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CommStats {
     /// Messages sent.
@@ -41,39 +57,55 @@ pub struct CommStats {
     pub bytes_received: u64,
 }
 
-/// A nonblocking receive request. Call [`RecvRequest::wait`] on the owning
-/// rank's [`Comm`] to complete it.
+/// A nonblocking receive request. Call [`Comm::wait`] on the owning rank's
+/// [`Comm`] to complete it.
 #[derive(Debug, Clone, Copy)]
 pub struct RecvRequest {
     source: usize,
     tag: u64,
 }
 
+/// One rank's incoming message queue, shared with every sender.
+#[derive(Debug)]
+struct Mailbox {
+    queue: Mutex<VecDeque<Message>>,
+    arrived: Condvar,
+}
+
+impl Mailbox {
+    fn new() -> Self {
+        Mailbox {
+            queue: Mutex::new(VecDeque::with_capacity(QUEUE_RESERVE)),
+            arrived: Condvar::new(),
+        }
+    }
+}
+
 /// Per-rank communicator handle.
 pub struct Comm {
     rank: usize,
     size: usize,
-    peers: Vec<Sender<Message>>,
-    inbox: Receiver<Message>,
+    peers: Vec<Arc<Mailbox>>,
+    inbox: Arc<Mailbox>,
     /// Arrived-but-unmatched messages.
     pending: VecDeque<Message>,
+    /// Recycled payload buffers, reused by [`Comm::take_buffer`].
+    pool: Vec<Vec<f64>>,
     stats: CommStats,
 }
 
 impl Comm {
     /// Build the communicator handles for an `n`-rank world.
     pub(crate) fn world(n: usize) -> Vec<Comm> {
-        let channels: Vec<_> = (0..n).map(|_| unbounded::<Message>()).collect();
-        let senders: Vec<Sender<Message>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
-        channels
-            .into_iter()
-            .enumerate()
-            .map(|(rank, (_, rx))| Comm {
+        let boxes: Vec<Arc<Mailbox>> = (0..n).map(|_| Arc::new(Mailbox::new())).collect();
+        (0..n)
+            .map(|rank| Comm {
                 rank,
                 size: n,
-                peers: senders.clone(),
-                inbox: rx,
-                pending: VecDeque::new(),
+                peers: boxes.clone(),
+                inbox: Arc::clone(&boxes[rank]),
+                pending: VecDeque::with_capacity(QUEUE_RESERVE),
+                pool: Vec::with_capacity(POOL_RESERVE),
                 stats: CommStats::default(),
             })
             .collect()
@@ -97,18 +129,54 @@ impl Comm {
         self.stats
     }
 
+    /// Take a payload buffer of length `len` from the pool (zero-filled),
+    /// falling back to a fresh allocation when the pool is dry. Pair with
+    /// [`Comm::send_owned`] to send without copying, and [`Comm::recycle`]
+    /// on the receiving side to keep the pools stocked.
+    pub fn take_buffer(&mut self, len: usize) -> Vec<f64> {
+        if let Some(pos) = self.pool.iter().position(|b| b.capacity() >= len) {
+            let mut buf = self.pool.swap_remove(pos);
+            buf.clear();
+            buf.resize(len, 0.0);
+            buf
+        } else {
+            vec![0.0; len]
+        }
+    }
+
+    /// Return a received payload buffer to this rank's pool.
+    pub fn recycle(&mut self, buf: Vec<f64>) {
+        if self.pool.len() < self.pool.capacity() {
+            self.pool.push(buf);
+        }
+    }
+
     /// Buffered (eager) send: copies the payload and returns immediately,
-    /// i.e. `MPI_Isend` with an implicit buffer.
+    /// i.e. `MPI_Isend` with an implicit buffer. The copy goes into a
+    /// pooled buffer, so steady-state sends do not allocate.
     ///
     /// # Panics
-    /// Panics if `dest` is out of range or the destination has hung up.
+    /// Panics if `dest` is out of range.
     pub fn send(&mut self, dest: usize, tag: u64, data: &[f64]) {
+        let mut buf = self.take_buffer(data.len());
+        buf.copy_from_slice(data);
+        self.send_owned(dest, tag, buf);
+    }
+
+    /// Zero-copy send: the caller hands over the payload buffer (typically
+    /// obtained from [`Comm::take_buffer`]) and it travels by move.
+    ///
+    /// # Panics
+    /// Panics if `dest` is out of range.
+    pub fn send_owned(&mut self, dest: usize, tag: u64, data: Vec<f64>) {
         assert!(dest < self.size, "send to rank {dest} of {}", self.size);
         self.stats.sends += 1;
         self.stats.bytes_sent += (data.len() * 8) as u64;
-        self.peers[dest]
-            .send(Message { source: self.rank, tag, data: data.to_vec() })
-            .expect("destination rank terminated");
+        let mailbox = &self.peers[dest];
+        let mut queue = mailbox.queue.lock().expect("mailbox poisoned");
+        queue.push_back(Message { source: self.rank, tag, data });
+        drop(queue);
+        mailbox.arrived.notify_one();
     }
 
     /// Post a nonblocking receive for `(source, tag)`. Matching happens at
@@ -128,26 +196,31 @@ impl Comm {
             self.account_recv(&m);
             return m;
         }
+        let inbox = Arc::clone(&self.inbox);
+        let deadline = Instant::now() + RECV_TIMEOUT;
+        let mut queue = inbox.queue.lock().expect("mailbox poisoned");
         loop {
-            match self.inbox.recv_timeout(RECV_TIMEOUT) {
-                Ok(m) => {
-                    if Self::matches(&m, &req) {
-                        self.account_recv(&m);
-                        return m;
-                    }
-                    self.pending.push_back(m);
+            while let Some(m) = queue.pop_front() {
+                if Self::matches(&m, &req) {
+                    drop(queue);
+                    self.account_recv(&m);
+                    return m;
                 }
-                Err(RecvTimeoutError::Timeout) => panic!(
+                self.pending.push_back(m);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                panic!(
                     "rank {} deadlocked waiting for (source {:?}, tag {}): {} unmatched pending",
                     self.rank,
                     req.source,
                     req.tag,
                     self.pending.len()
-                ),
-                Err(RecvTimeoutError::Disconnected) => {
-                    panic!("rank {}: all senders terminated", self.rank)
-                }
+                );
             }
+            let (guard, _) =
+                inbox.arrived.wait_timeout(queue, deadline - now).expect("mailbox poisoned");
+            queue = guard;
         }
     }
 
@@ -168,7 +241,7 @@ impl Comm {
 
     /// Messages that have arrived but not been matched yet.
     pub fn unmatched(&self) -> usize {
-        self.pending.len() + self.inbox.len()
+        self.pending.len() + self.inbox.queue.lock().expect("mailbox poisoned").len()
     }
 }
 
@@ -226,6 +299,25 @@ mod tests {
         let req = c1.irecv(0, 3);
         c0.send(1, 3, &[4.0]);
         assert_eq!(c1.wait(req).data, vec![4.0]);
+    }
+
+    #[test]
+    fn send_owned_moves_payload_and_recycle_reuses_it() {
+        let mut world = Comm::world(2);
+        let mut c1 = world.pop().unwrap();
+        let mut c0 = world.pop().unwrap();
+        let mut buf = c0.take_buffer(3);
+        buf.copy_from_slice(&[1.0, 2.0, 3.0]);
+        let ptr = buf.as_ptr();
+        c0.send_owned(1, 5, buf);
+        let m = c1.wait(c1.irecv(0, 5));
+        assert_eq!(m.data, vec![1.0, 2.0, 3.0]);
+        // The payload travelled by move: same backing storage end to end.
+        assert_eq!(m.data.as_ptr(), ptr);
+        c1.recycle(m.data);
+        let reused = c1.take_buffer(2);
+        assert_eq!(reused.as_ptr(), ptr);
+        assert_eq!(reused, vec![0.0, 0.0]);
     }
 
     #[test]

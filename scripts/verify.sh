@@ -12,6 +12,16 @@ cargo build --release --workspace
 echo "== cargo test -q --workspace"
 cargo test -q --workspace
 
+# Distributed group: the aggregated boundary exchange, the distributed
+# driver's serial-equivalence suite, and the zero-allocation gate for the
+# distributed step. Redundant with the workspace run above but named
+# explicitly so a failure localizes immediately.
+echo "== distributed test group"
+cargo test -q -p homme --lib bndry
+cargo test -q -p homme --lib dist
+cargo test -q -p homme --test dist_alloc
+cargo test -q -p swcam-bench --test distributed_step
+
 # Clippy is not part of every toolchain install; lint when present.
 if cargo clippy --version >/dev/null 2>&1; then
     echo "== cargo clippy --workspace --all-targets -- -D warnings"
