@@ -25,7 +25,8 @@ fn bench_exchange(c: &mut Criterion) {
                         let mut fields: Vec<Vec<f64>> =
                             plan.owned.iter().map(|&e| vec![e as f64; NPTS]).collect();
                         let mut s = CopyStats::default();
-                        plan.dss_level(ctx, &mut fields, mode, 0, || {}, &mut s);
+                        plan.dss_level(ctx, &mut fields, mode, 0, || {}, &mut s)
+                            .expect("dss level");
                         s.sent_bytes
                     })
                 })

@@ -25,7 +25,7 @@ fn functional(mode: ExchangeMode) -> CopyStats {
             .collect();
         let mut s = CopyStats::default();
         for round in 0..10 {
-            plan.dss_level(ctx, &mut fields, mode, round, || {}, &mut s);
+            plan.dss_level(ctx, &mut fields, mode, round, || {}, &mut s).expect("dss level");
         }
         s
     });

@@ -77,12 +77,12 @@ fn run_mode(grid: &CubedSphere, part: &Partition, init: &State, mode: ExchangeMo
         let mut dist = DistDycore::new(grid, part, ctx.rank(), dims, 200.0, cfg, mode);
         let mut local = dist.local_state(init);
         // Warm-up grows workspace and communicator buffer pools.
-        dist.step(ctx, &mut local);
+        dist.step(ctx, &mut local).expect("warm-up step");
         let base = dist.stats;
         ctx.coll.barrier();
         let t0 = Instant::now();
         for _ in 0..MEASURE_STEPS {
-            dist.step(ctx, &mut local);
+            dist.step(ctx, &mut local).expect("step");
         }
         ctx.coll.barrier();
         let elapsed = t0.elapsed().as_secs_f64();

@@ -74,6 +74,10 @@ pub struct ModelConfig {
     pub nsplit: usize,
     /// Sea-surface temperature for moist suites, K.
     pub sst: f64,
+    /// Write a checkpoint file every this many coupled steps (0 = off).
+    pub checkpoint_interval: usize,
+    /// Directory checkpoint files go to (created on first write).
+    pub checkpoint_dir: String,
 }
 
 impl ModelConfig {
@@ -91,6 +95,8 @@ impl ModelConfig {
             nu: None,
             nsplit: 1,
             sst: 302.15,
+            checkpoint_interval: 0,
+            checkpoint_dir: "checkpoints".into(),
         }
     }
 

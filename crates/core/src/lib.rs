@@ -27,15 +27,19 @@
 //! assert!(model.sim_days() > 0.0);
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod coupling;
 pub mod history;
 pub mod model;
+pub mod resilient;
 
+pub use checkpoint::{CheckpointError, CheckpointMeta};
 pub use config::{ModelConfig, Planet, SuiteChoice};
 pub use coupling::{apply_physics, extract_column, insert_column};
 pub use history::{surface_temperature_raster, History};
 pub use model::Swcam;
+pub use resilient::{run_resilient, ResilienceConfig, ResilienceExhausted, ResilientReport};
 
 // Re-export the substrate crates so downstream users need only one import.
 pub use cubesphere;

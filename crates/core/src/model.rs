@@ -2,10 +2,12 @@
 //! builder-style API (the reproduction's equivalent of a configured CAM
 //! executable).
 
+use crate::checkpoint::{self, CheckpointError, CheckpointMeta};
 use crate::config::{ModelConfig, SuiteChoice};
 use crate::coupling::apply_physics;
 use cubesphere::{CubedSphere, NPTS};
 use homme::{Dims, Dycore, State};
+use std::path::{Path, PathBuf};
 use swphysics::{GrayRadiation, HeldSuarez, Kessler, PhysicsSuite, SimplePhysics};
 
 /// A running model instance.
@@ -23,6 +25,7 @@ pub struct Swcam {
     /// Accumulated precipitation per (element, point), kg/m^2.
     pub precip_accum: Vec<f64>,
     steps: usize,
+    checkpointing: Option<(usize, PathBuf)>,
 }
 
 impl Swcam {
@@ -65,6 +68,11 @@ impl Swcam {
             }
         }
         let npts = state.nelem() * NPTS;
+        let checkpointing = if config.checkpoint_interval > 0 {
+            Some((config.checkpoint_interval, PathBuf::from(&config.checkpoint_dir)))
+        } else {
+            None
+        };
         Swcam {
             config,
             dycore,
@@ -73,6 +81,7 @@ impl Swcam {
             time: 0.0,
             precip_accum: vec![0.0; npts],
             steps: 0,
+            checkpointing,
         }
     }
 
@@ -138,7 +147,11 @@ impl Swcam {
     /// diabatic forcing must be accelerated by `X` to preserve the
     /// dynamics-to-physics balance of the full-size planet.
     pub fn step(&mut self) {
-        self.dycore.step(&mut self.state);
+        // Guarded step: free when `dycore.health` is disabled (the
+        // default), fail-fast with a typed diagnostic when enabled.
+        if let Err(e) = self.dycore.step_checked(&mut self.state) {
+            panic!("step {} aborted by health guard: {e}", self.steps + 1);
+        }
         self.steps += 1;
         self.time += self.dycore.cfg.dt;
         if self.steps.is_multiple_of(self.config.nsplit) {
@@ -156,6 +169,15 @@ impl Swcam {
                 *acc += d.precip;
             }
         }
+        if let Some((interval, dir)) = &self.checkpointing {
+            if self.steps.is_multiple_of(*interval) {
+                let path = dir.join(format!("ckpt_{:08}.swckpt", self.steps));
+                std::fs::create_dir_all(dir).ok();
+                if let Err(e) = self.write_checkpoint(&path) {
+                    eprintln!("warning: checkpoint at step {} failed: {e}", self.steps);
+                }
+            }
+        }
     }
 
     /// Run `n` steps.
@@ -163,6 +185,45 @@ impl Swcam {
         for _ in 0..n {
             self.step();
         }
+    }
+
+    /// Write checkpoints every `interval` coupled steps into `dir`
+    /// (overrides the [`ModelConfig`] knobs; `interval = 0` disables).
+    pub fn enable_checkpointing(&mut self, interval: usize, dir: impl Into<PathBuf>) {
+        self.checkpointing =
+            if interval > 0 { Some((interval, dir.into())) } else { None };
+    }
+
+    /// Snapshot the prognostic state + step/time/remap-phase metadata to
+    /// `path` ([`checkpoint`] codec; restoring is bitwise-exact).
+    pub fn write_checkpoint(&self, path: &Path) -> Result<(), CheckpointError> {
+        let meta = CheckpointMeta {
+            step: self.steps as u64,
+            remap_phase: self.dycore.remap_phase() as u32,
+            rank: 0,
+            epoch: 0,
+            time: self.time,
+        };
+        checkpoint::write_file(path, &self.state, &meta)
+    }
+
+    /// Restore state, step count, simulated time and remap phase from a
+    /// checkpoint written by [`Swcam::write_checkpoint`]. The model must
+    /// have been built with the same configuration; continuing from here
+    /// reproduces the original run bitwise (physics cadence included:
+    /// `nsplit` divides into the restored step count exactly as it did in
+    /// the writing run).
+    pub fn restore_checkpoint(&mut self, path: &Path) -> Result<(), CheckpointError> {
+        let meta = checkpoint::read_file(path, &mut self.state)?;
+        self.steps = meta.step as usize;
+        self.time = meta.time;
+        self.dycore.set_remap_phase(meta.remap_phase as usize);
+        Ok(())
+    }
+
+    /// Coupled steps taken so far.
+    pub fn steps_taken(&self) -> usize {
+        self.steps
     }
 
     /// Simulated days so far.

@@ -1,0 +1,209 @@
+//! Fault-tolerant distributed stepping: checkpoint, detect, roll back,
+//! retry.
+//!
+//! [`run_resilient`] wraps [`DistDycore::step_checked`] in the protocol a
+//! peta-scale run needs to survive a flaky interconnect or a dying node:
+//!
+//! 1. every rank keeps an **in-memory snapshot** of its local state
+//!    (re-taken every [`ResilienceConfig::checkpoint_interval`] committed
+//!    steps, [`checkpoint`](crate::checkpoint) codec, bitwise-exact);
+//! 2. each step attempt ends in exactly ONE global verdict reduction,
+//!    executed by **every** rank — including ranks whose step aborted on a
+//!    [`CommError`](swmpi::CommError) timeout or a tripped health guard.
+//!    The verdict merges the failure flag with the worst-case
+//!    [`StepHealth`] so all ranks reach the same decision;
+//! 3. on failure, ranks flush any withheld sends, meet at a barrier (after
+//!    which no stale-epoch message can still be deposited), bump the
+//!    rollback epoch ([`DistDycore::set_epoch`] — the epoch lives in the
+//!    high tag bits), purge every sub-floor message
+//!    ([`swmpi::Comm::purge_below`]), restore the snapshot, and re-run
+//!    from the checkpointed step;
+//! 4. on success, a CFL breach in the *global* verdict arms the
+//!    degradation policy on every rank in lockstep
+//!    ([`DistDycore::arm_degradation`]).
+//!
+//! Because the snapshot restore is bitwise and every rank takes identical
+//! decisions, a run that survives injected faults (message drops,
+//! duplicates, delays, a crashed rank) commits the **same bits** as an
+//! undisturbed run — the property the `fault_injection` tests pin down.
+
+use crate::checkpoint::{self, CheckpointMeta};
+use homme::{DistDycore, State, StepHealth};
+use swmpi::{RankCtx, ReduceOp};
+
+/// Knobs for [`run_resilient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// Re-snapshot the local state every this many committed steps (the
+    /// initial state is always snapshotted before step 0).
+    pub checkpoint_interval: u64,
+    /// How many consecutive rollbacks of the same step to tolerate before
+    /// giving up (bounds the retry loop when a failure is deterministic,
+    /// e.g. a NaN that reappears on every replay).
+    pub max_rollbacks_per_step: u32,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig { checkpoint_interval: 5, max_rollbacks_per_step: 3 }
+    }
+}
+
+/// What a resilient run went through.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResilientReport {
+    /// Step attempts committed. A rollback restores the last snapshot, so
+    /// steps between the snapshot and the failure are committed *again* on
+    /// replay and count twice; `steps` >= the requested step count.
+    pub steps: u64,
+    /// Rollbacks performed (checkpoint restores).
+    pub rollbacks: u32,
+    /// Committed steps that ran under the degradation policy.
+    pub degraded_steps: u64,
+    /// Rollback epoch the run finished in.
+    pub final_epoch: u64,
+    /// Worst CFL number seen in any committed step.
+    pub worst_cfl: f64,
+}
+
+/// Terminal failure of a resilient run (retries exhausted).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceExhausted {
+    /// Rank reporting (all ranks report identically).
+    pub rank: usize,
+    /// The step that kept failing.
+    pub step: u64,
+    /// Rollbacks spent on it.
+    pub rollbacks: u32,
+}
+
+impl std::fmt::Display for ResilienceExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rank {}: step {} still failing after {} rollbacks",
+            self.rank, self.step, self.rollbacks
+        )
+    }
+}
+
+impl std::error::Error for ResilienceExhausted {}
+
+/// Width of the per-attempt verdict reduction: failure flag + the six
+/// [`StepHealth`] fields.
+const VERDICT_LEN: usize = 7;
+
+fn verdict(
+    ctx: &RankCtx,
+    failed: bool,
+    local: &StepHealth,
+) -> (bool, StepHealth) {
+    let contrib = [
+        failed as u64 as f64,
+        local.checked as u64 as f64,
+        local.nonfinite as f64,
+        -local.min_dp3d,
+        local.max_wind,
+        local.cfl,
+        local.degraded as u64 as f64,
+    ];
+    let mut out = [0.0; VERDICT_LEN];
+    ctx.coll.allreduce_into(&contrib, ReduceOp::Max, &mut out);
+    let global = StepHealth {
+        checked: out[1] > 0.0,
+        nonfinite: out[2] as u64,
+        min_dp3d: -out[3],
+        max_wind: out[4],
+        cfl: out[5],
+        degraded: out[6] > 0.0,
+    };
+    (out[0] > 0.0, global)
+}
+
+/// Advance `state` by `nsteps` committed steps, surviving message faults,
+/// rank crashes at step boundaries, and tripped health guards. See the
+/// module docs for the protocol. Returns the rank-identical report, or
+/// [`ResilienceExhausted`] once one step has been rolled back more than
+/// [`ResilienceConfig::max_rollbacks_per_step`] times in a row.
+pub fn run_resilient(
+    ctx: &mut RankCtx,
+    dist: &mut DistDycore,
+    state: &mut State,
+    nsteps: u64,
+    cfg: &ResilienceConfig,
+) -> Result<ResilientReport, ResilienceExhausted> {
+    assert!(cfg.checkpoint_interval > 0, "checkpoint interval must be positive");
+    let rank = ctx.rank() as u32;
+    let mut report = ResilientReport::default();
+    let mut snapshot = Vec::new();
+    let take_snapshot = |dist: &DistDycore, state: &State, step: u64, buf: &mut Vec<u8>| {
+        let meta = CheckpointMeta {
+            step,
+            remap_phase: dist.remap_phase() as u32,
+            rank,
+            epoch: dist.epoch(),
+            time: step as f64 * dist.cfg.dt,
+        };
+        checkpoint::encode_into(state, &meta, buf);
+    };
+    take_snapshot(dist, state, 0, &mut snapshot);
+
+    let mut step = 0u64;
+    let mut consecutive_rollbacks = 0u32;
+    while step < nsteps {
+        let crashed = ctx.begin_step(step);
+        let mut failed = crashed;
+        let mut local = StepHealth::unchecked();
+        if !crashed {
+            match dist.step_checked(ctx, state) {
+                Ok(h) => local = h,
+                Err(_) => failed = true,
+            }
+        }
+        // The one global decision point per attempt: every rank arrives
+        // here no matter how its step went, so generations never mix.
+        let (any_failed, global) = verdict(ctx, failed, &local);
+        if any_failed {
+            consecutive_rollbacks += 1;
+            report.rollbacks += 1;
+            if consecutive_rollbacks > cfg.max_rollbacks_per_step {
+                return Err(ResilienceExhausted {
+                    rank: rank as usize,
+                    step,
+                    rollbacks: consecutive_rollbacks,
+                });
+            }
+            // Deposit any withheld (fault-delayed) sends, then make sure
+            // every rank has done so before anyone purges: after this
+            // barrier no stale-epoch message can still appear.
+            ctx.comm.flush_delayed();
+            ctx.coll.barrier();
+            dist.set_epoch(dist.epoch() + 1);
+            ctx.comm.purge_below(dist.tag_floor());
+            let meta = checkpoint::decode(&snapshot, state)
+                .expect("in-memory checkpoint cannot be corrupt");
+            dist.set_remap_phase(meta.remap_phase as usize);
+            step = meta.step;
+            continue;
+        }
+        consecutive_rollbacks = 0;
+        step += 1;
+        report.steps += 1;
+        if global.degraded {
+            report.degraded_steps += 1;
+        }
+        if global.cfl > report.worst_cfl {
+            report.worst_cfl = global.cfl;
+        }
+        // Degradation is armed from the GLOBAL verdict so every rank
+        // halves dt for the same steps.
+        if global.checked && global.cfl > dist.health.cfl_limit {
+            dist.arm_degradation();
+        }
+        if step.is_multiple_of(cfg.checkpoint_interval) {
+            take_snapshot(dist, state, step, &mut snapshot);
+        }
+    }
+    report.final_epoch = dist.epoch();
+    Ok(report)
+}

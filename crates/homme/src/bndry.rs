@@ -33,7 +33,7 @@
 
 use cubesphere::{CubedSphere, Partition, NPTS};
 use std::collections::HashMap;
-use swmpi::RankCtx;
+use swmpi::{CommError, RankCtx};
 
 /// Which exchange implementation to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -227,7 +227,7 @@ impl ExchangePlan {
         tag: u64,
         mut interior_work: impl FnMut(),
         stats: &mut CopyStats,
-    ) {
+    ) -> Result<(), CommError> {
         assert_eq!(fields.len(), self.owned.len());
 
         // Local weighted accumulation over *all* local gids.
@@ -272,7 +272,7 @@ impl ExchangePlan {
                 // #3), then apply.
                 let mut unpack = vec![0.0; self.nshared];
                 for (req, (_, gids)) in reqs.into_iter().zip(&self.links) {
-                    let m = ctx.comm.wait(req);
+                    let m = ctx.comm.wait(req)?;
                     for (g, &val) in gids.iter().zip(&m.data) {
                         unpack[self.gid_slot[g]] += val;
                     }
@@ -301,7 +301,7 @@ impl ExchangePlan {
 
                 // Accumulate directly from each receive buffer.
                 for (req, (_, gids)) in reqs.into_iter().zip(&self.links) {
-                    let m = ctx.comm.wait(req);
+                    let m = ctx.comm.wait(req)?;
                     for (g, &val) in gids.iter().zip(&m.data) {
                         *accum.get_mut(g).expect("shared gid is local") += val;
                     }
@@ -316,6 +316,7 @@ impl ExchangePlan {
                 f[p] = accum[&g] * self.inv_mass[g];
             }
         }
+        Ok(())
     }
 }
 
@@ -432,7 +433,7 @@ impl ExchangePlan {
         arenas: &mut [&mut [f64]],
         nlev: usize,
         bufs: &mut ExchangeBuffers,
-    ) {
+    ) -> Result<(), CommError> {
         let narenas = arenas.len();
         let nval = narenas * nlev;
         let fl = nlev * NPTS;
@@ -456,7 +457,7 @@ impl ExchangePlan {
         }
         debug_assert_eq!(reqs.len(), self.links.len());
         for ((_, req), slots) in reqs.drain(..).zip(&self.peer_slots) {
-            let m = ctx.comm.wait(req);
+            let m = ctx.comm.wait(req)?;
             let npts_peer = slots.len();
             debug_assert_eq!(m.data.len(), nval * npts_peer);
             for v in 0..nval {
@@ -481,6 +482,7 @@ impl ExchangePlan {
                 }
             }
         }
+        Ok(())
     }
 
     /// One-shot aggregated DSS over several arenas (start + finish with no
@@ -495,9 +497,9 @@ impl ExchangePlan {
         tag: u64,
         bufs: &mut ExchangeBuffers,
         stats: &mut CopyStats,
-    ) {
+    ) -> Result<(), CommError> {
         self.start_with(ctx, arenas.len(), |a, i| arenas[a][i], nlev, tag, bufs, stats);
-        self.finish_aggregated(ctx, arenas, nlev, bufs);
+        self.finish_aggregated(ctx, arenas, nlev, bufs)
     }
 }
 
@@ -535,7 +537,7 @@ mod tests {
                 .map(|&e| (0..NPTS).map(|p| test_field(e, p)).collect())
                 .collect();
             let mut stats = CopyStats::default();
-            plan.dss_level(ctx, &mut fields, mode, 0, || {}, &mut stats);
+            plan.dss_level(ctx, &mut fields, mode, 0, || {}, &mut stats).expect("dss_level");
             assert_eq!(ctx.comm.unmatched(), 0, "orphaned messages on rank {}", ctx.rank());
             (plan.owned.clone(), fields, stats)
         });
@@ -607,7 +609,8 @@ mod tests {
                     interior_ran = (0..20_000u64).map(|i| i % 7).sum();
                 },
                 &mut stats,
-            );
+            )
+            .expect("dss_level");
             assert_eq!(ctx.comm.unmatched(), 0, "orphaned messages on rank {}", ctx.rank());
             interior_ran
         });
@@ -672,7 +675,7 @@ mod tests {
                 {
                     let mut views: Vec<&mut [f64]> =
                         arenas.iter_mut().map(|a| &mut a[..]).collect();
-                    plan.dss_aggregated(ctx, &mut views, nlev, 1, &mut bufs, &mut stats);
+                    plan.dss_aggregated(ctx, &mut views, nlev, 1, &mut bufs, &mut stats).expect("dss");
                 }
                 assert_eq!(ctx.comm.unmatched(), 0, "orphaned messages on rank {}", ctx.rank());
                 // Exactly one message per peer for the whole multi-arena,
@@ -734,7 +737,7 @@ mod tests {
             // "Interior compute" while messages fly.
             fill(&mut arena, &plan.interior);
             let mut views = [&mut arena[..]];
-            plan.finish_aggregated(ctx, &mut views, nlev, &mut bufs);
+            plan.finish_aggregated(ctx, &mut views, nlev, &mut bufs).expect("finish");
             assert_eq!(ctx.comm.unmatched(), 0, "orphaned messages on rank {}", ctx.rank());
             (plan.owned.clone(), arena)
         });

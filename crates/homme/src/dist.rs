@@ -32,6 +32,7 @@
 use crate::bndry::{CopyStats, ExchangeBuffers, ExchangeMode, ExchangePlan};
 use crate::deriv::ElemOps;
 use crate::euler::{limit_tracer_arena, tracer_flux_divergence};
+use crate::health::{commit_scan, scan_stage, DegradePolicy, HealthConfig, HealthError, StepHealth};
 use crate::prim::{DycoreConfig, KG5_COEFFS};
 use crate::remap::remap_column_ppm_with;
 use crate::rhs::{element_rhs_raw, Rhs};
@@ -39,7 +40,46 @@ use crate::state::{Dims, State};
 use crate::vert::VertCoord;
 use crate::workspace::{DistWorkspace, DynFields, WorkerScratch};
 use cubesphere::{CubedSphere, Partition, NPTS};
-use swmpi::RankCtx;
+use swmpi::{CommError, RankCtx};
+
+/// Why a distributed step could not be committed. Both variants mean the
+/// local state may be partially advanced: the resilient driver restores
+/// the last checkpoint before retrying.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// A halo exchange failed (peer timed out or a rank died).
+    Comm(CommError),
+    /// An in-step health guard tripped.
+    Health(HealthError),
+}
+
+impl From<CommError> for DistError {
+    fn from(e: CommError) -> Self {
+        DistError::Comm(e)
+    }
+}
+
+impl From<HealthError> for DistError {
+    fn from(e: HealthError) -> Self {
+        DistError::Health(e)
+    }
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Comm(e) => write!(f, "halo exchange failed: {e}"),
+            DistError::Health(e) => write!(f, "health guard tripped: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// How many low bits of the message tag carry the in-epoch sequence
+/// number; the bits above carry the rollback epoch, so one `purge_below`
+/// with [`DistDycore::tag_floor`] discards every stale-epoch message.
+pub const EPOCH_SHIFT: u32 = 48;
 
 /// Per-rank distributed dynamics driver.
 pub struct DistDycore {
@@ -57,11 +97,20 @@ pub struct DistDycore {
     pub mode: ExchangeMode,
     /// Accumulated staging-copy / message statistics.
     pub stats: CopyStats,
+    /// In-step health guard configuration ([`DistDycore::step_checked`]).
+    pub health: HealthConfig,
+    /// What a CFL breach does to the following steps.
+    pub degrade: DegradePolicy,
     /// Stability-derived hyperviscosity subcycles (identical on every rank
     /// and to the serial driver: computed from global element 0).
     subcycles: usize,
+    /// Same, for the halved `dt` the degradation policy runs under.
+    subcycles_half: usize,
     ws: DistWorkspace,
     steps_since_remap: usize,
+    degrade_pending: usize,
+    char_dx: f64,
+    epoch: u64,
     tag: u64,
 }
 
@@ -89,6 +138,12 @@ impl DistDycore {
         let vert = VertCoord::standard(dims.nlev, ptop);
         let el0 = &grid.elements[0];
         let subcycles = cfg.hypervis.stable_subcycles(el0.dab, el0.metric[0].metdet, cfg.dt);
+        let subcycles_half =
+            cfg.hypervis.stable_subcycles(el0.dab, el0.metric[0].metdet, cfg.dt / 2.0);
+        // Same CFL length scale as the serial driver: smallest GLL gap on
+        // global element 0, so every rank judges CFL identically.
+        let ref_gap = 1.0 - 1.0 / 5.0_f64.sqrt();
+        let char_dx = (ref_gap * 0.5 * el0.dab * el0.metric[0].metdet.sqrt()).max(1.0);
         let ws = DistWorkspace::new(dims, plan.owned.len(), cfg.hypervis.sponge_layers);
         DistDycore {
             plan,
@@ -98,9 +153,15 @@ impl DistDycore {
             cfg,
             mode,
             stats: CopyStats::default(),
+            health: HealthConfig::default(),
+            degrade: DegradePolicy::default(),
             subcycles,
+            subcycles_half,
             ws,
             steps_since_remap: 0,
+            degrade_pending: 0,
+            char_dx,
+            epoch: 0,
             tag: 0,
         }
     }
@@ -131,7 +192,7 @@ impl DistDycore {
     /// Advance the dynamics by one `dt` with the 5-stage Kinnmark–Gray RK.
     /// One aggregated exchange (one message per peer) per substep in
     /// `Redesigned` mode.
-    pub fn dynamics_step(&mut self, ctx: &mut RankCtx, state: &mut State) {
+    pub fn dynamics_step(&mut self, ctx: &mut RankCtx, state: &mut State) -> Result<(), CommError> {
         let dt = self.cfg.dt;
         let DistDycore { plan, ops, rhs, dims, mode, stats, ws, tag, .. } = self;
         let DistWorkspace { base, stage, next, scratch, ex, .. } = ws;
@@ -154,13 +215,57 @@ impl DistDycore {
                 ex,
                 stats,
                 tag,
-            );
+            )?;
             std::mem::swap(stage, next);
         }
         state.u.copy_from_slice(&stage.u);
         state.v.copy_from_slice(&stage.v);
         state.t.copy_from_slice(&stage.t);
         state.dp3d.copy_from_slice(&stage.dp3d);
+        Ok(())
+    }
+
+    /// [`DistDycore::dynamics_step`] with a health scan after each RK
+    /// stage (the distributed half of [`crate::prim::Dycore::step_checked`]).
+    fn dynamics_step_guarded(
+        &mut self,
+        ctx: &mut RankCtx,
+        state: &mut State,
+        health: &mut StepHealth,
+    ) -> Result<(), DistError> {
+        let dt = self.cfg.dt;
+        let hcfg = self.health;
+        let DistDycore { plan, ops, rhs, dims, mode, stats, ws, tag, .. } = self;
+        let DistWorkspace { base, stage, next, scratch, ex, .. } = ws;
+        base.copy_from_state(state);
+        stage.copy_from_state(state);
+        for (stage_ix, &c) in KG5_COEFFS.iter().enumerate() {
+            rk_substep(
+                plan,
+                ops,
+                rhs,
+                *dims,
+                *mode,
+                ctx,
+                base,
+                stage,
+                &state.phis,
+                c * dt,
+                next,
+                scratch,
+                ex,
+                stats,
+                tag,
+            )?;
+            let scan = scan_stage(&next.u, &next.v, &next.t, &next.dp3d);
+            commit_scan(health, &hcfg, stage_ix, scan)?;
+            std::mem::swap(stage, next);
+        }
+        state.u.copy_from_slice(&stage.u);
+        state.v.copy_from_slice(&stage.v);
+        state.t.copy_from_slice(&stage.t);
+        state.dp3d.copy_from_slice(&stage.dp3d);
+        Ok(())
     }
 
     /// Distributed subcycled biharmonic hyperviscosity, operator-for-
@@ -171,13 +276,24 @@ impl DistDycore {
     /// biharmonic with `nu` on u/v/T and `nu_p` on dp3d. Each Laplacian
     /// application DSSes all participating fields in one aggregated
     /// exchange.
-    pub fn apply_hypervis(&mut self, ctx: &mut RankCtx, state: &mut State) {
+    pub fn apply_hypervis(&mut self, ctx: &mut RankCtx, state: &mut State) -> Result<(), CommError> {
+        let subcycles = self.subcycles;
+        self.apply_hypervis_n(ctx, state, subcycles)
+    }
+
+    /// [`DistDycore::apply_hypervis`] with an explicit subcycle count (the
+    /// degradation policy adds extra subcycles on top of the stable count).
+    pub fn apply_hypervis_n(
+        &mut self,
+        ctx: &mut RankCtx,
+        state: &mut State,
+        subcycles: usize,
+    ) -> Result<(), CommError> {
         let hv = self.cfg.hypervis;
         if hv.nu == 0.0 && hv.nu_p == 0.0 {
-            return;
+            return Ok(());
         }
         let dt = self.cfg.dt;
-        let subcycles = self.subcycles;
         let DistDycore { plan, ops, dims, mode, stats, ws, tag, .. } = self;
         let nlev = dims.nlev;
         let fl = dims.field_len();
@@ -198,7 +314,7 @@ impl DistDycore {
             {
                 let mut arenas: [&mut [f64]; 3] =
                     [&mut ws.sponge_u, &mut ws.sponge_v, &mut ws.sponge_t];
-                dss_arenas(plan, *mode, ctx, &mut arenas, ks, &mut ws.ex, stats, tag);
+                dss_arenas(plan, *mode, ctx, &mut arenas, ks, &mut ws.ex, stats, tag)?;
             }
             for e in 0..nelem {
                 for (k, damp) in (0..ks).map(|k| (k, 1.0 / (1 << k) as f64)) {
@@ -224,7 +340,7 @@ impl DistDycore {
                 laplace_elems(ops, nlev, &mut ws.hyp.dp3d);
                 let mut arenas: [&mut [f64]; NFIELDS] =
                     [&mut ws.hyp.u, &mut ws.hyp.v, &mut ws.hyp.t, &mut ws.hyp.dp3d];
-                dss_arenas(plan, *mode, ctx, &mut arenas, nlev, &mut ws.ex, stats, tag);
+                dss_arenas(plan, *mode, ctx, &mut arenas, nlev, &mut ws.ex, stats, tag)?;
             }
             for (x, l) in state.u.iter_mut().zip(&ws.hyp.u) {
                 *x -= dt_sub * hv.nu * l;
@@ -239,15 +355,20 @@ impl DistDycore {
                 *x -= dt_sub * hv.nu_p * l;
             }
         }
+        Ok(())
     }
 
     /// Distributed 3-stage SSP-RK2 tracer advection (`euler_step`): one
     /// aggregated DSS per stage over the whole `[qsize][nlev]` tracer
     /// arena, followed by the same sign-preserving limiter the serial
     /// driver applies when `cfg.limiter` is set.
-    pub fn euler_step_tracers(&mut self, ctx: &mut RankCtx, state: &mut State) {
+    pub fn euler_step_tracers(
+        &mut self,
+        ctx: &mut RankCtx,
+        state: &mut State,
+    ) -> Result<(), CommError> {
         if self.dims.qsize == 0 {
-            return;
+            return Ok(());
         }
         let dt = self.cfg.dt;
         let limiter = self.cfg.limiter;
@@ -255,19 +376,19 @@ impl DistDycore {
         ws.qdp0.copy_from_slice(&state.qdp);
         // Stage 1: q1 = q0 + dt L(q0)
         tracer_substep(ops, *dims, &state.u, &state.v, &state.dp3d, &ws.qdp0, dt, &mut ws.q1);
-        finish_stage(plan, ops, *dims, *mode, limiter, ctx, &mut ws.q1, &mut ws.ex, stats, tag);
+        finish_stage(plan, ops, *dims, *mode, limiter, ctx, &mut ws.q1, &mut ws.ex, stats, tag)?;
         // Stage 2: q2 = 3/4 q0 + 1/4 (q1 + dt L(q1))
         tracer_substep(ops, *dims, &state.u, &state.v, &state.dp3d, &ws.q1, dt, &mut ws.qtmp);
         for (q2, (q0, t)) in ws.q2.iter_mut().zip(ws.qdp0.iter().zip(&ws.qtmp)) {
             *q2 = 0.75 * q0 + 0.25 * t;
         }
-        finish_stage(plan, ops, *dims, *mode, limiter, ctx, &mut ws.q2, &mut ws.ex, stats, tag);
+        finish_stage(plan, ops, *dims, *mode, limiter, ctx, &mut ws.q2, &mut ws.ex, stats, tag)?;
         // Stage 3: q^{n+1} = 1/3 q0 + 2/3 (q2 + dt L(q2))
         tracer_substep(ops, *dims, &state.u, &state.v, &state.dp3d, &ws.q2, dt, &mut ws.qtmp);
         for (qf, (q0, t)) in state.qdp.iter_mut().zip(ws.qdp0.iter().zip(&ws.qtmp)) {
             *qf = q0 / 3.0 + 2.0 / 3.0 * t;
         }
-        finish_stage(plan, ops, *dims, *mode, limiter, ctx, &mut state.qdp, &mut ws.ex, stats, tag);
+        finish_stage(plan, ops, *dims, *mode, limiter, ctx, &mut state.qdp, &mut ws.ex, stats, tag)
     }
 
     /// Element-local vertical remap (no communication needed). Columns
@@ -320,15 +441,119 @@ impl DistDycore {
     /// [`Dycore::step`](crate::prim::Dycore::step): dynamics RK +
     /// hyperviscosity + tracer advection + (every `rsplit` steps)
     /// vertical remap.
-    pub fn step(&mut self, ctx: &mut RankCtx, state: &mut State) {
-        self.dynamics_step(ctx, state);
-        self.apply_hypervis(ctx, state);
-        self.euler_step_tracers(ctx, state);
+    pub fn step(&mut self, ctx: &mut RankCtx, state: &mut State) -> Result<(), CommError> {
+        self.dynamics_step(ctx, state)?;
+        self.apply_hypervis(ctx, state)?;
+        self.euler_step_tracers(ctx, state)?;
         self.steps_since_remap += 1;
         if self.steps_since_remap >= self.cfg.rsplit {
             self.vertical_remap(state);
             self.steps_since_remap = 0;
         }
+        Ok(())
+    }
+
+    /// [`DistDycore::step`] with in-step health guards and the degradation
+    /// policy, mirroring [`Dycore::step_checked`](crate::prim::Dycore::step_checked)
+    /// decision-for-decision so a guarded distributed run tracks the
+    /// guarded serial run. The returned report is **rank-local**: the
+    /// driver must merge it (one [`StepHealth::reduce_global`] per step
+    /// attempt, executed by every rank) before acting on it, so all ranks
+    /// take identical degradation decisions.
+    ///
+    /// On `Err` the state may hold a partially advanced step; restore a
+    /// checkpoint before continuing.
+    pub fn step_checked(
+        &mut self,
+        ctx: &mut RankCtx,
+        state: &mut State,
+    ) -> Result<StepHealth, DistError> {
+        if !self.health.enabled {
+            self.step(ctx, state)?;
+            return Ok(StepHealth::unchecked());
+        }
+        let full_dt = self.cfg.dt;
+        let (splits, extra) = if self.degrade_pending > 0 {
+            self.degrade_pending -= 1;
+            (2usize, self.degrade.extra_subcycles)
+        } else {
+            (1usize, 0)
+        };
+        let mut health = StepHealth::begin();
+        health.degraded = splits > 1;
+        self.cfg.dt = full_dt / splits as f64;
+        let base_subcycles = if splits > 1 { self.subcycles_half } else { self.subcycles };
+        for _ in 0..splits {
+            if let Err(e) = self.dynamics_step_guarded(ctx, state, &mut health) {
+                self.cfg.dt = full_dt;
+                return Err(e);
+            }
+            if let Err(e) = self.apply_hypervis_n(ctx, state, base_subcycles + extra) {
+                self.cfg.dt = full_dt;
+                return Err(e.into());
+            }
+            if let Err(e) = self.euler_step_tracers(ctx, state) {
+                self.cfg.dt = full_dt;
+                return Err(e.into());
+            }
+        }
+        self.cfg.dt = full_dt;
+        self.steps_since_remap += 1;
+        if self.steps_since_remap >= self.cfg.rsplit {
+            self.vertical_remap(state);
+            self.steps_since_remap = 0;
+        }
+        // CFL against the nominal dt, from the LOCAL max wind. Unlike the
+        // serial driver this does NOT arm the degradation policy: ranks
+        // would diverge (each sees a different local wind). The driver
+        // reduces the verdict globally and calls
+        // [`DistDycore::arm_degradation`] on every rank in lockstep.
+        health.cfl = health.max_wind * full_dt / self.char_dx;
+        Ok(health)
+    }
+
+    /// Arm the degradation policy directly — the resilient driver calls
+    /// this after the *global* verdict breaches the CFL limit, so every
+    /// rank degrades in lockstep even when only one rank saw the breach.
+    pub fn arm_degradation(&mut self) {
+        self.degrade_pending = self.degrade_pending.max(self.degrade.halve_dt_steps);
+    }
+
+    /// Steps still owed to the degradation policy (0 = healthy cadence).
+    pub fn degrade_pending(&self) -> usize {
+        self.degrade_pending
+    }
+
+    /// How many dynamics steps have run since the last vertical remap
+    /// (recorded in checkpoints; see [`DistDycore::set_remap_phase`]).
+    pub fn remap_phase(&self) -> usize {
+        self.steps_since_remap
+    }
+
+    /// Restore the remap cadence (checkpoint restart).
+    pub fn set_remap_phase(&mut self, phase: usize) {
+        self.steps_since_remap = phase;
+    }
+
+    /// Current rollback epoch (high bits of every message tag).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Enter rollback epoch `epoch`: future exchanges tag their messages
+    /// `(epoch << EPOCH_SHIFT) | seq` with the sequence restarting at 1,
+    /// so a `Comm::purge_below(tag_floor())` after the epoch bump discards
+    /// every in-flight message from the aborted attempt.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        assert!(epoch >= self.epoch, "epochs only move forward");
+        self.epoch = epoch;
+        self.tag = epoch << EPOCH_SHIFT;
+    }
+
+    /// Smallest tag a current-epoch message can carry; anything below is
+    /// stale and safe to purge.
+    pub fn tag_floor(&self) -> u64 {
+        self.epoch << EPOCH_SHIFT
     }
 }
 
@@ -391,7 +616,7 @@ fn rk_substep(
     ex: &mut ExchangeBuffers,
     stats: &mut CopyStats,
     tag: &mut u64,
-) {
+) -> Result<(), CommError> {
     let nlev = dims.nlev;
     match mode {
         ExchangeMode::Original => {
@@ -402,7 +627,7 @@ fn rk_substep(
             }
             let mut arenas: [&mut [f64]; NFIELDS] =
                 [&mut out.u, &mut out.v, &mut out.t, &mut out.dp3d];
-            dss_arenas(plan, mode, ctx, &mut arenas, nlev, ex, stats, tag);
+            dss_arenas(plan, mode, ctx, &mut arenas, nlev, ex, stats, tag)
         }
         ExchangeMode::Redesigned => {
             // 1. boundary elements first.
@@ -426,7 +651,7 @@ fn rk_substep(
             // 4. accumulate straight from the receive buffers.
             let mut arenas: [&mut [f64]; NFIELDS] =
                 [&mut out.u, &mut out.v, &mut out.t, &mut out.dp3d];
-            plan.finish_aggregated(ctx, &mut arenas, nlev, ex);
+            plan.finish_aggregated(ctx, &mut arenas, nlev, ex)
         }
     }
 }
@@ -444,11 +669,11 @@ fn dss_arenas(
     ex: &mut ExchangeBuffers,
     stats: &mut CopyStats,
     tag: &mut u64,
-) {
+) -> Result<(), CommError> {
     match mode {
         ExchangeMode::Redesigned => {
             *tag += 1;
-            plan.dss_aggregated(ctx, arenas, nlev, *tag, ex, stats);
+            plan.dss_aggregated(ctx, arenas, nlev, *tag, ex, stats)
         }
         ExchangeMode::Original => {
             let fl = nlev * NPTS;
@@ -459,12 +684,13 @@ fn dss_arenas(
                         .map(|e| arena[e * fl + k * NPTS..e * fl + (k + 1) * NPTS].to_vec())
                         .collect();
                     *tag += 1;
-                    plan.dss_level(ctx, &mut level, ExchangeMode::Original, *tag, || {}, stats);
+                    plan.dss_level(ctx, &mut level, ExchangeMode::Original, *tag, || {}, stats)?;
                     for (e, l) in level.iter().enumerate() {
                         arena[e * fl + k * NPTS..e * fl + (k + 1) * NPTS].copy_from_slice(l);
                     }
                 }
             }
+            Ok(())
         }
     }
 }
@@ -483,14 +709,15 @@ fn finish_stage(
     ex: &mut ExchangeBuffers,
     stats: &mut CopyStats,
     tag: &mut u64,
-) {
+) -> Result<(), CommError> {
     {
         let mut arenas = [&mut *qdp];
-        dss_arenas(plan, mode, ctx, &mut arenas, dims.qsize * dims.nlev, ex, stats, tag);
+        dss_arenas(plan, mode, ctx, &mut arenas, dims.qsize * dims.nlev, ex, stats, tag)?;
     }
     if limiter {
         limit_tracer_arena(ops, dims, qdp);
     }
+    Ok(())
 }
 
 /// One tracer Euler substep over the owned elements:
@@ -633,8 +860,8 @@ mod tests {
                 let mut dist =
                     DistDycore::new(&grid, &part, ctx.rank(), dims, 2000.0, cfg, mode);
                 let mut local = dist.local_state(&initial);
-                dist.dynamics_step(ctx, &mut local);
-                dist.dynamics_step(ctx, &mut local);
+                dist.dynamics_step(ctx, &mut local).expect("dynamics step");
+                dist.dynamics_step(ctx, &mut local).expect("dynamics step");
                 assert_eq!(ctx.comm.unmatched(), 0, "orphaned messages on rank {}", ctx.rank());
                 let npeers = dist.plan.links.len() as u64;
                 if mode == ExchangeMode::Redesigned {
@@ -732,7 +959,7 @@ mod tests {
                 ExchangeMode::Redesigned,
             );
             let mut local = dist.local_state(&initial);
-            dist.step(ctx, &mut local);
+            dist.step(ctx, &mut local).expect("step");
             assert_eq!(ctx.comm.unmatched(), 0, "orphaned messages on rank {}", ctx.rank());
             (dist.plan.owned.clone(), local)
         });
@@ -778,8 +1005,8 @@ mod tests {
                     "distributed subcycles must match the serial formula"
                 );
                 let mut local = dist.local_state(&initial);
-                dist.step(ctx, &mut local);
-                dist.step(ctx, &mut local);
+                dist.step(ctx, &mut local).expect("step");
+                dist.step(ctx, &mut local).expect("step");
                 assert_eq!(ctx.comm.unmatched(), 0, "orphaned messages on rank {}", ctx.rank());
                 (dist.plan.owned.clone(), local)
             });
@@ -823,7 +1050,7 @@ mod tests {
                 ExchangeMode::Redesigned,
             );
             let mut local = dist.local_state(&init);
-            dist.step(ctx, &mut local);
+            dist.step(ctx, &mut local).expect("step");
             // Exchanges per step: 5 RK substeps + 1 sponge + 2 Laplacian
             // applications per hypervis subcycle + 3 tracer stages.
             let n_exchanges = (5 + 1 + 2 * dist.hypervis_subcycles() + 3) as u64;

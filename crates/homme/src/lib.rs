@@ -30,6 +30,7 @@ pub mod diagnostics;
 pub mod dist;
 pub mod dss;
 pub mod euler;
+pub mod health;
 pub mod hypervis;
 pub mod kernels;
 pub mod prim;
@@ -44,8 +45,9 @@ pub mod workspace;
 pub use bndry::{CopyStats, ExchangeBuffers, ExchangeMode, ExchangePlan};
 pub use deriv::{build_ops, ElemOps};
 pub use diagnostics::{budgets, Budgets};
-pub use dist::DistDycore;
+pub use dist::{DistDycore, DistError, EPOCH_SHIFT};
 pub use dss::Dss;
+pub use health::{DegradePolicy, HealthConfig, HealthError, StepHealth};
 pub use hypervis::HypervisConfig;
 pub use prim::{Dycore, DycoreConfig, KG5_COEFFS};
 pub use rhs::{ElemTend, Rhs, RhsScratch};

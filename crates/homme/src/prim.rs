@@ -17,6 +17,7 @@
 use crate::deriv::{build_ops, ElemOps};
 use crate::dss::Dss;
 use crate::euler::{euler_substep_flat, limit_tracer_arena};
+use crate::health::{commit_scan, scan_stage, DegradePolicy, HealthConfig, HealthError, StepHealth};
 use crate::hypervis::{biharmonic_flat, laplace_flat, vlaplace_flat, HypervisConfig};
 use crate::remap::remap_column_ppm_with;
 use crate::rhs::{element_rhs_raw, Rhs};
@@ -72,8 +73,14 @@ pub struct Dycore {
     pub cfg: DycoreConfig,
     /// Element scheduler (persistent worker pool).
     pub sched: ElemScheduler,
+    /// In-step health guard configuration ([`Dycore::step_checked`]).
+    pub health: HealthConfig,
+    /// What a CFL breach does to the following steps.
+    pub degrade: DegradePolicy,
     ws: StepWorkspace,
     steps_since_remap: usize,
+    degrade_pending: usize,
+    char_dx: f64,
 }
 
 /// Default worker count: `SWCAM_THREADS` if set, else available
@@ -105,7 +112,27 @@ impl Dycore {
         let rhs = Rhs::new(vert, dims);
         let sched = ElemScheduler::new(default_threads());
         let ws = StepWorkspace::new(dims, grid.nelem(), cfg.hypervis.sponge_layers, sched.nthreads());
-        Dycore { grid, ops, dss, rhs, dims, cfg, sched, ws, steps_since_remap: 0 }
+        // Characteristic grid spacing for the advective CFL estimate: the
+        // smallest GLL gap on a representative element (same geometry as
+        // [`HypervisConfig::stable_subcycles`], identical on every rank).
+        let el = &grid.elements[0];
+        let ref_gap = 1.0 - 1.0 / 5.0_f64.sqrt();
+        let char_dx = (ref_gap * 0.5 * el.dab * el.metric[0].metdet.sqrt()).max(1.0);
+        Dycore {
+            grid,
+            ops,
+            dss,
+            rhs,
+            dims,
+            cfg,
+            sched,
+            health: HealthConfig::default(),
+            degrade: DegradePolicy::default(),
+            ws,
+            steps_since_remap: 0,
+            degrade_pending: 0,
+            char_dx,
+        }
     }
 
     /// Replace the scheduler with an `n`-worker pool (and per-worker
@@ -162,11 +189,17 @@ impl Dycore {
 
     /// Apply subcycled biharmonic hyperviscosity to u, v, T, dp3d.
     pub fn apply_hypervis(&mut self, state: &mut State) {
+        let subcycles = self.hypervis_subcycles();
+        self.apply_hypervis_n(state, subcycles);
+    }
+
+    /// [`Dycore::apply_hypervis`] with an explicit subcycle count (the
+    /// degradation policy adds extra subcycles on top of the stable count).
+    pub fn apply_hypervis_n(&mut self, state: &mut State, subcycles: usize) {
         let hv = self.cfg.hypervis;
         if hv.nu == 0.0 && hv.nu_p == 0.0 {
             return;
         }
-        let subcycles = self.hypervis_subcycles();
         let Dycore { ops, dss, dims, cfg, sched, ws, .. } = self;
         let nlev = dims.nlev;
         let fl = dims.field_len();
@@ -315,6 +348,107 @@ impl Dycore {
             self.vertical_remap(state);
             self.steps_since_remap = 0;
         }
+    }
+
+    /// [`Dycore::step`] with in-step health guards: every RK stage is
+    /// scanned for non-finite values and collapsed layers, and the step's
+    /// advective CFL number is estimated afterwards. A CFL breach arms the
+    /// degradation policy, so the next [`DegradePolicy::halve_dt_steps`]
+    /// steps run as two `dt/2` substeps with extra hyperviscosity
+    /// subcycles. With guards disabled this is exactly [`Dycore::step`].
+    ///
+    /// On `Err` the state may hold a partially advanced step and must be
+    /// restored from a checkpoint before continuing.
+    pub fn step_checked(&mut self, state: &mut State) -> Result<StepHealth, HealthError> {
+        if !self.health.enabled {
+            self.step(state);
+            return Ok(StepHealth::unchecked());
+        }
+        let full_dt = self.cfg.dt;
+        let (splits, extra) = if self.degrade_pending > 0 {
+            self.degrade_pending -= 1;
+            (2usize, self.degrade.extra_subcycles)
+        } else {
+            (1usize, 0)
+        };
+        let mut health = StepHealth::begin();
+        health.degraded = splits > 1;
+        self.cfg.dt = full_dt / splits as f64;
+        for _ in 0..splits {
+            if let Err(e) = self.dynamics_step_guarded(state, &mut health) {
+                self.cfg.dt = full_dt;
+                return Err(e);
+            }
+            let subcycles = self.hypervis_subcycles() + extra;
+            self.apply_hypervis_n(state, subcycles);
+            self.euler_step_tracers(state);
+        }
+        self.cfg.dt = full_dt;
+        self.steps_since_remap += 1;
+        if self.steps_since_remap >= self.cfg.rsplit {
+            self.vertical_remap(state);
+            self.steps_since_remap = 0;
+        }
+        // CFL is judged against the nominal dt: while winds stay too fast
+        // for the full step, degraded (halved-dt) stepping keeps re-arming.
+        health.cfl = health.max_wind * full_dt / self.char_dx;
+        if health.cfl > self.health.cfl_limit {
+            self.degrade_pending = self.degrade_pending.max(self.degrade.halve_dt_steps);
+        }
+        Ok(health)
+    }
+
+    /// [`Dycore::dynamics_step`] with a health scan after each RK stage.
+    fn dynamics_step_guarded(
+        &mut self,
+        state: &mut State,
+        health: &mut StepHealth,
+    ) -> Result<(), HealthError> {
+        let dt = self.cfg.dt;
+        let hcfg = self.health;
+        let Dycore { ops, dss, rhs, dims, sched, ws, .. } = self;
+        ws.base.copy_from_state(state);
+        ws.stage.copy_from_state(state);
+        for (stage, &c) in KG5_COEFFS.iter().enumerate() {
+            rk_substep(
+                ops,
+                dss,
+                rhs,
+                *dims,
+                sched,
+                &ws.workers,
+                &ws.base,
+                &ws.stage,
+                &state.phis,
+                c * dt,
+                &mut ws.next,
+            );
+            let scan = scan_stage(&ws.next.u, &ws.next.v, &ws.next.t, &ws.next.dp3d);
+            commit_scan(health, &hcfg, stage, scan)?;
+            std::mem::swap(&mut ws.stage, &mut ws.next);
+        }
+        state.u.copy_from_slice(&ws.stage.u);
+        state.v.copy_from_slice(&ws.stage.v);
+        state.t.copy_from_slice(&ws.stage.t);
+        state.dp3d.copy_from_slice(&ws.stage.dp3d);
+        Ok(())
+    }
+
+    /// How many dynamics steps have run since the last vertical remap.
+    /// Checkpoints record this so a restart resumes the remap cadence
+    /// bitwise-identically.
+    pub fn remap_phase(&self) -> usize {
+        self.steps_since_remap
+    }
+
+    /// Restore the remap cadence (checkpoint restart).
+    pub fn set_remap_phase(&mut self, phase: usize) {
+        self.steps_since_remap = phase;
+    }
+
+    /// Steps still owed to the degradation policy (0 = healthy cadence).
+    pub fn degrade_pending(&self) -> usize {
+        self.degrade_pending
     }
 
     /// Global dry-air mass (`integral of sum_k dp3d dA`), Pa m^2.
@@ -569,6 +703,70 @@ mod tests {
         }
         let n1 = noise(&st);
         assert!(n1 < 0.8 * n0, "noise not damped: {n0} -> {n1}");
+    }
+
+    #[test]
+    fn guarded_step_matches_plain_step_bitwise() {
+        let dims = Dims { nlev: 4, qsize: 1 };
+        let cfg = DycoreConfig::for_ne(3);
+        let mut plain = Dycore::new(3, dims, 200.0, cfg);
+        let mut guarded = Dycore::new(3, dims, 200.0, cfg);
+        guarded.health = HealthConfig::on();
+        let perturb = |dy: &Dycore| {
+            let mut st = resting_state(dy);
+            for es in st.elems_mut() {
+                for (i, t) in es.t.iter_mut().enumerate() {
+                    *t += ((i % 7) as f64 - 3.0) * 0.5;
+                }
+            }
+            st
+        };
+        let mut a = perturb(&plain);
+        let mut b = perturb(&guarded);
+        for _ in 0..3 {
+            plain.step(&mut a);
+            let health = guarded.step_checked(&mut b).expect("healthy step");
+            assert!(health.checked);
+            assert!(!health.degraded);
+            assert!(health.cfl.is_finite());
+            assert!(health.min_dp3d > 0.0);
+        }
+        assert_eq!(a.max_abs_diff(&b), 0.0, "guards changed the trajectory");
+    }
+
+    #[test]
+    fn guarded_step_rejects_nan_state() {
+        let dims = Dims { nlev: 4, qsize: 0 };
+        let cfg = DycoreConfig::for_ne(2);
+        let mut dy = Dycore::new(2, dims, 200.0, cfg);
+        dy.health = HealthConfig::on();
+        let mut st = resting_state(&dy);
+        st.u[0] = f64::NAN;
+        let err = dy.step_checked(&mut st).unwrap_err();
+        assert!(matches!(err, HealthError::NonFinite { stage: 0, .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn cfl_breach_arms_degraded_stepping() {
+        let dims = Dims { nlev: 4, qsize: 0 };
+        let cfg = DycoreConfig {
+            dt: 100.0,
+            hypervis: HypervisConfig::off(),
+            limiter: false,
+            rsplit: 1,
+        };
+        let mut dy = Dycore::new(2, dims, 200.0, cfg);
+        dy.health = HealthConfig { cfl_limit: 1e-9, ..HealthConfig::on() };
+        let mut st = resting_state(&dy);
+        for u in st.u.iter_mut() {
+            *u = 10.0;
+        }
+        let h0 = dy.step_checked(&mut st).expect("step");
+        assert!(h0.cfl > dy.health.cfl_limit);
+        assert!(!h0.degraded);
+        assert_eq!(dy.degrade_pending(), dy.degrade.halve_dt_steps);
+        let h1 = dy.step_checked(&mut st).expect("degraded step");
+        assert!(h1.degraded, "next step should run under the degradation policy");
     }
 
     #[test]

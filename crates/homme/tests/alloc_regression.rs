@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use cubesphere::consts::P0;
 use cubesphere::NPTS;
 use homme::hypervis::HypervisConfig;
-use homme::{Dims, Dycore, DycoreConfig};
+use homme::{Dims, Dycore, DycoreConfig, HealthConfig};
 
 /// Counts every allocation (from any thread, scheduler workers included)
 /// while armed; forwards everything to the system allocator.
@@ -62,6 +62,8 @@ fn step_allocates_nothing_after_warmup() {
     let cfg = DycoreConfig { dt: 600.0, hypervis, limiter: true, rsplit: 1 };
     let mut dy = Dycore::new(2, dims, 200.0, cfg);
     dy.set_threads(4);
+    // Health guards on: the per-stage scans must be allocation-free too.
+    dy.health = HealthConfig::on();
 
     let vert = dy.rhs.vert.clone();
     let mut st = dy.zero_state();
@@ -79,14 +81,14 @@ fn step_allocates_nothing_after_warmup() {
     }
 
     // Warm-up: first step may lazily touch thread-local / libstd caches.
-    dy.step(&mut st);
+    dy.step_checked(&mut st).expect("warm-up step");
 
     ALLOCS.store(0, Ordering::SeqCst);
     ARMED.store(true, Ordering::SeqCst);
-    dy.step(&mut st);
-    dy.step(&mut st);
+    dy.step_checked(&mut st).expect("armed step");
+    dy.step_checked(&mut st).expect("armed step");
     ARMED.store(false, Ordering::SeqCst);
 
     let n = ALLOCS.load(Ordering::SeqCst);
-    assert_eq!(n, 0, "Dycore::step heap-allocated {n} times after warm-up");
+    assert_eq!(n, 0, "Dycore::step_checked heap-allocated {n} times after warm-up");
 }

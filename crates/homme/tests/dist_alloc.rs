@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use cubesphere::consts::P0;
 use cubesphere::{CubedSphere, Partition, NPTS};
 use homme::hypervis::HypervisConfig;
-use homme::{Dims, DistDycore, Dycore, DycoreConfig, ExchangeMode};
+use homme::{Dims, DistDycore, Dycore, DycoreConfig, ExchangeMode, HealthConfig};
 use swmpi::run_ranks;
 
 /// Counts every allocation (from any thread, all ranks included) while
@@ -93,11 +93,17 @@ fn distributed_step_allocates_nothing_after_warmup() {
     let counts = run_ranks(nranks, |ctx| {
         let mut dist =
             DistDycore::new(&grid, &part, ctx.rank(), dims, 2000.0, cfg, ExchangeMode::Redesigned);
+        // Health guards on: the per-stage scans and the per-step global
+        // verdict reduction must be allocation-free too.
+        dist.health = HealthConfig::on();
         let mut local = dist.local_state(&init);
 
         // Warm-up: grows the exchange buffers and the communicator's
         // buffer pool, and may lazily touch thread-local libstd caches.
-        dist.step(ctx, &mut local);
+        // Two reductions so both of the collectives' swap buffers reach
+        // verdict width.
+        let _ = dist.step_checked(ctx, &mut local).expect("warm-up step").reduce_global(&ctx.coll);
+        let _ = dist.step_checked(ctx, &mut local).expect("warm-up step").reduce_global(&ctx.coll);
 
         // All ranks step together inside the armed window (the barrier
         // itself is allocation-free: an empty allreduce).
@@ -107,8 +113,9 @@ fn distributed_step_allocates_nothing_after_warmup() {
             ARMED.store(true, Ordering::SeqCst);
         }
         ctx.coll.barrier();
-        dist.step(ctx, &mut local);
-        dist.step(ctx, &mut local);
+        let h1 = dist.step_checked(ctx, &mut local).expect("armed step").reduce_global(&ctx.coll);
+        let h2 = dist.step_checked(ctx, &mut local).expect("armed step").reduce_global(&ctx.coll);
+        assert!(h1.checked && h2.checked);
         ctx.coll.barrier();
         if ctx.rank() == 0 {
             ARMED.store(false, Ordering::SeqCst);

@@ -71,18 +71,31 @@ impl Collectives {
         }
     }
 
-    /// Block until all ranks have entered.
+    /// Block until all ranks have entered. Allocation-free.
     pub fn barrier(&self) {
-        self.allreduce(&[], ReduceOp::Sum);
+        self.allreduce_into(&[], ReduceOp::Sum, &mut []);
     }
 
     /// Element-wise allreduce of `contrib` across all ranks.
     pub fn allreduce(&self, contrib: &[f64], op: ReduceOp) -> Vec<f64> {
+        let mut out = vec![0.0; contrib.len()];
+        self.allreduce_into(contrib, op, &mut out);
+        out
+    }
+
+    /// Element-wise allreduce writing the result into a caller-provided
+    /// buffer. The shared accumulator is reused across generations, so
+    /// steady-state reductions allocate nothing — this is the path the
+    /// per-step health-verdict reduction takes inside the zero-allocation
+    /// gates.
+    pub fn allreduce_into(&self, contrib: &[f64], op: ReduceOp, out: &mut [f64]) {
+        assert_eq!(contrib.len(), out.len(), "allreduce output length mismatch");
         let shared = &*self.shared;
         let mut st = shared.state.lock();
         let my_gen = st.generation;
         if st.arrived == 0 {
-            st.accum = vec![op.identity(); contrib.len()];
+            st.accum.clear();
+            st.accum.resize(contrib.len(), op.identity());
         }
         assert_eq!(
             st.accum.len(),
@@ -94,7 +107,10 @@ impl Collectives {
         }
         st.arrived += 1;
         if st.arrived == self.size {
-            st.result = std::mem::take(&mut st.accum);
+            // Keep both buffers alive: the old result becomes the next
+            // generation's accumulator (cleared + resized above).
+            let s = &mut *st;
+            std::mem::swap(&mut s.result, &mut s.accum);
             st.arrived = 0;
             st.generation += 1;
             shared.cv.notify_all();
@@ -103,12 +119,14 @@ impl Collectives {
                 shared.cv.wait(&mut st);
             }
         }
-        st.result.clone()
+        out.copy_from_slice(&st.result);
     }
 
-    /// Allreduce of one scalar.
+    /// Allreduce of one scalar. Allocation-free.
     pub fn allreduce_scalar(&self, x: f64, op: ReduceOp) -> f64 {
-        self.allreduce(&[x], op)[0]
+        let mut out = [0.0];
+        self.allreduce_into(&[x], op, &mut out);
+        out[0]
     }
 
     /// World size.

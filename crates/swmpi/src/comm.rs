@@ -14,15 +14,44 @@
 //! queue storage is reserved up front. Symmetric exchange patterns (every
 //! halo exchange in this codebase) keep the pools balanced: each rank
 //! recycles exactly as many buffers as it hands out.
+//!
+//! # Failure semantics
+//!
+//! Receives are fallible: [`Comm::wait`] and [`Comm::recv`] return
+//! `Result<Message, CommError>` and time out after the configurable
+//! [`CommConfig::recv_timeout`] instead of killing the process. When a
+//! [`FaultPlan`] is armed on the world the communicator additionally runs
+//! in *reliable* mode:
+//!
+//! * messages the plan "drops" are diverted to a world-shared retransmit
+//!   log; the receiver's wait loop polls that log every
+//!   [`CommConfig::retry_interval`] (bounded by
+//!   [`CommConfig::max_retries`]) and recovers the exact payload — the
+//!   in-process model of a sender-side retransmission protocol;
+//! * every consumed message advances a per-source sequence watermark
+//!   (exchange tags are strictly increasing per sender), and any message
+//!   at or below the watermark is discarded on arrival — duplicated or
+//!   re-delivered messages therefore accumulate exactly once;
+//! * [`Comm::purge_below`] lets a recovery protocol advance the watermark
+//!   wholesale after a rollback, so stale in-flight messages from an
+//!   aborted step epoch can never contaminate the re-run.
+//!
+//! Reliable mode requires tags to be unique and non-decreasing per sender
+//! — the distributed dycore's monotone exchange counter satisfies this.
+//! Without an armed plan, none of this machinery is consulted: the hot
+//! path costs one `Option` check.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+use crate::fault::{FaultAction, FaultPlan};
 
 /// Wildcard source for receives.
 pub const ANY_SOURCE: usize = usize::MAX;
 
-/// How long a blocking receive waits before declaring the job deadlocked.
+/// Default for [`CommConfig::recv_timeout`]: how long a blocking receive
+/// waits before reporting the job deadlocked.
 pub const RECV_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Queue storage reserved per mailbox / unmatched list so steady-state
@@ -31,6 +60,76 @@ const QUEUE_RESERVE: usize = 256;
 
 /// Pooled payload buffers kept per rank.
 const POOL_RESERVE: usize = 64;
+
+/// Tunable communicator behavior, set per world via
+/// [`run_ranks_with`](crate::runner::run_ranks_with).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommConfig {
+    /// How long [`Comm::wait`] blocks before returning
+    /// [`CommError::Timeout`]. Replaces the old hard-coded 60 s const.
+    pub recv_timeout: Duration,
+    /// In reliable mode, how often a blocked receive re-checks the
+    /// retransmit log for a dropped-then-recovered message.
+    pub retry_interval: Duration,
+    /// In reliable mode, how many retransmit-log polls a single wait may
+    /// make before giving up (bounds retry work even under a long
+    /// `recv_timeout`).
+    pub max_retries: u32,
+}
+
+impl Default for CommConfig {
+    fn default() -> Self {
+        CommConfig {
+            recv_timeout: RECV_TIMEOUT,
+            retry_interval: Duration::from_millis(2),
+            max_retries: 100_000,
+        }
+    }
+}
+
+/// Typed communication failure, surfaced instead of a panic so drivers can
+/// abort a step, roll back to a checkpoint, and retry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// No matching message arrived within the configured window.
+    Timeout {
+        /// Receiving rank.
+        rank: usize,
+        /// Expected source ([`ANY_SOURCE`] shows as `usize::MAX`).
+        source: usize,
+        /// Expected tag.
+        tag: u64,
+        /// Arrived-but-unmatched messages held by the receiver.
+        unmatched: usize,
+        /// How long the receive waited, in milliseconds.
+        waited_ms: u64,
+    },
+    /// A rank was declared failed (by fault injection or by a driver's
+    /// failure detector) at the given step.
+    RankFailed {
+        /// The failed rank.
+        rank: usize,
+        /// The step at which it failed.
+        step: u64,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout { rank, source, tag, unmatched, waited_ms } => write!(
+                f,
+                "rank {rank} timed out after {waited_ms} ms waiting for (source {source:?}, \
+                 tag {tag}): {unmatched} unmatched pending"
+            ),
+            CommError::RankFailed { rank, step } => {
+                write!(f, "rank {rank} failed at step {step}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
 
 /// One in-flight message.
 #[derive(Debug, Clone)]
@@ -55,6 +154,11 @@ pub struct CommStats {
     pub recvs: u64,
     /// Bytes received.
     pub bytes_received: u64,
+    /// Dropped messages recovered from the retransmit log (reliable mode).
+    pub recovered: u64,
+    /// Stale (duplicated or superseded-epoch) messages discarded by the
+    /// sequence watermark (reliable mode).
+    pub stale_dropped: u64,
 }
 
 /// A nonblocking receive request. Call [`Comm::wait`] on the owning rank's
@@ -81,6 +185,25 @@ impl Mailbox {
     }
 }
 
+/// Lock a mailbox queue, reporting rank/tag context if the mutex was
+/// poisoned (i.e. some rank thread panicked mid-send — the poison is a
+/// symptom, the original panic is the disease, so name the scene).
+fn lock_queue<'a>(mb: &'a Mailbox, rank: usize, what: &str) -> MutexGuard<'a, VecDeque<Message>> {
+    mb.queue.lock().unwrap_or_else(|_| {
+        panic!("rank {rank}: mailbox mutex poisoned during {what} (a peer rank panicked)")
+    })
+}
+
+/// Per-rank message-fault machinery; only present when a plan that
+/// perturbs messages is armed.
+struct FaultLayer {
+    plan: Arc<FaultPlan>,
+    /// Messages sent so far by this rank (indexes the plan's schedule).
+    sent: u64,
+    /// Withheld messages: (remaining send slots, dest, message).
+    delayed: Vec<(u32, usize, Message)>,
+}
+
 /// Per-rank communicator handle.
 pub struct Comm {
     rank: usize,
@@ -92,12 +215,37 @@ pub struct Comm {
     /// Recycled payload buffers, reused by [`Comm::take_buffer`].
     pool: Vec<Vec<f64>>,
     stats: CommStats,
+    cfg: CommConfig,
+    /// Sequence-numbered idempotent delivery active (armed fault plan).
+    reliable: bool,
+    /// Per-source watermark: tags `< watermark[src]` have been consumed or
+    /// superseded and are discarded on sight. Only advanced in reliable mode.
+    watermark: Vec<u64>,
+    /// World-shared retransmit log, indexed by destination rank: messages
+    /// the fault plan "drops" land here and are recovered by the
+    /// receiver's retry path.
+    relay: Arc<Vec<Mutex<Vec<Message>>>>,
+    faults: Option<FaultLayer>,
 }
 
 impl Comm {
-    /// Build the communicator handles for an `n`-rank world.
+    /// Build the communicator handles for an `n`-rank world with default
+    /// config and no fault plan.
+    #[cfg(test)]
     pub(crate) fn world(n: usize) -> Vec<Comm> {
+        Self::world_with(n, CommConfig::default(), None)
+    }
+
+    /// Build an `n`-rank world with explicit config and an optional armed
+    /// fault plan.
+    pub(crate) fn world_with(
+        n: usize,
+        cfg: CommConfig,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Vec<Comm> {
         let boxes: Vec<Arc<Mailbox>> = (0..n).map(|_| Arc::new(Mailbox::new())).collect();
+        let relay: Arc<Vec<Mutex<Vec<Message>>>> =
+            Arc::new((0..n).map(|_| Mutex::new(Vec::new())).collect());
         (0..n)
             .map(|rank| Comm {
                 rank,
@@ -107,6 +255,15 @@ impl Comm {
                 pending: VecDeque::with_capacity(QUEUE_RESERVE),
                 pool: Vec::with_capacity(POOL_RESERVE),
                 stats: CommStats::default(),
+                cfg,
+                reliable: faults.is_some(),
+                watermark: vec![0; n],
+                relay: Arc::clone(&relay),
+                faults: faults.as_ref().filter(|p| p.perturbs_messages()).map(|p| FaultLayer {
+                    plan: Arc::clone(p),
+                    sent: 0,
+                    delayed: Vec::new(),
+                }),
             })
             .collect()
     }
@@ -127,6 +284,30 @@ impl Comm {
     #[inline]
     pub fn stats(&self) -> CommStats {
         self.stats
+    }
+
+    /// Current communicator configuration.
+    #[inline]
+    pub fn config(&self) -> CommConfig {
+        self.cfg
+    }
+
+    /// Adjust the receive timeout (the old hard-coded [`RECV_TIMEOUT`] is
+    /// now just this knob's default).
+    pub fn set_recv_timeout(&mut self, timeout: Duration) {
+        self.cfg.recv_timeout = timeout;
+    }
+
+    /// Buffers currently parked in this rank's recycle pool.
+    #[inline]
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Hard cap on pooled buffers (the pool never grows past this).
+    #[inline]
+    pub fn pool_capacity(&self) -> usize {
+        self.pool.capacity()
     }
 
     /// Take a payload buffer of length `len` from the pool (zero-filled),
@@ -172,11 +353,85 @@ impl Comm {
         assert!(dest < self.size, "send to rank {dest} of {}", self.size);
         self.stats.sends += 1;
         self.stats.bytes_sent += (data.len() * 8) as u64;
+        if self.faults.is_some() {
+            self.send_through_faults(dest, tag, data);
+        } else {
+            self.deliver(dest, Message { source: self.rank, tag, data });
+        }
+    }
+
+    /// Put a message in `dest`'s mailbox and wake it.
+    fn deliver(&self, dest: usize, m: Message) {
         let mailbox = &self.peers[dest];
-        let mut queue = mailbox.queue.lock().expect("mailbox poisoned");
-        queue.push_back(Message { source: self.rank, tag, data });
+        let mut queue = lock_queue(mailbox, self.rank, "send");
+        queue.push_back(m);
         drop(queue);
         mailbox.arrived.notify_one();
+    }
+
+    /// Fault-layer send path: consult the plan, then deliver / divert /
+    /// duplicate / withhold. Only reached with an armed plan, so this path
+    /// is allowed to allocate.
+    fn send_through_faults(&mut self, dest: usize, tag: u64, data: Vec<f64>) {
+        // Age withheld messages by one send slot and collect the due ones.
+        let mut due: Vec<(usize, Message)> = Vec::new();
+        let action = {
+            let layer = self.faults.as_mut().expect("fault layer present");
+            let idx = layer.sent;
+            layer.sent += 1;
+            let mut i = 0;
+            while i < layer.delayed.len() {
+                layer.delayed[i].0 -= 1;
+                if layer.delayed[i].0 == 0 {
+                    let (_, d, m) = layer.delayed.swap_remove(i);
+                    due.push((d, m));
+                } else {
+                    i += 1;
+                }
+            }
+            layer.plan.message_action(self.rank, idx)
+        };
+        for (d, m) in due {
+            self.deliver(d, m);
+        }
+        let msg = Message { source: self.rank, tag, data };
+        match action {
+            FaultAction::Deliver => self.deliver(dest, msg),
+            FaultAction::Drop => {
+                // Lost on the wire: park in the retransmit log for the
+                // receiver's retry path.
+                self.lock_relay(dest, "retransmit-log push").push(msg);
+            }
+            FaultAction::Duplicate => {
+                self.deliver(dest, msg.clone());
+                self.deliver(dest, msg);
+            }
+            FaultAction::Delay(k) => {
+                let layer = self.faults.as_mut().expect("fault layer present");
+                layer.delayed.push((k, dest, msg));
+            }
+        }
+    }
+
+    /// Deliver every withheld (fault-delayed) message now. Called whenever
+    /// this rank is about to block — a sender that is stalled in a wait
+    /// cannot credibly still have messages "in flight" — and on drop.
+    pub fn flush_delayed(&mut self) {
+        let Some(layer) = self.faults.as_mut() else { return };
+        if layer.delayed.is_empty() {
+            return;
+        }
+        let due: Vec<(usize, Message)> =
+            layer.delayed.drain(..).map(|(_, d, m)| (d, m)).collect();
+        for (d, m) in due {
+            self.deliver(d, m);
+        }
+    }
+
+    fn lock_relay(&self, slot: usize, what: &str) -> MutexGuard<'_, Vec<Message>> {
+        self.relay[slot].lock().unwrap_or_else(|_| {
+            panic!("rank {}: {what} mutex poisoned (a peer rank panicked)", self.rank)
+        })
     }
 
     /// Post a nonblocking receive for `(source, tag)`. Matching happens at
@@ -185,63 +440,202 @@ impl Comm {
         RecvRequest { source, tag }
     }
 
-    /// Complete a posted receive, blocking until a matching message arrives.
+    /// Complete a posted receive, blocking until a matching message
+    /// arrives or the configured timeout expires.
     ///
-    /// # Panics
-    /// Panics after [`RECV_TIMEOUT`] with a deadlock diagnostic.
-    pub fn wait(&mut self, req: RecvRequest) -> Message {
+    /// In reliable mode (armed fault plan) the wait also polls the
+    /// retransmit log every [`CommConfig::retry_interval`] to recover
+    /// dropped messages, and discards stale (below-watermark) arrivals so
+    /// duplicates accumulate exactly once.
+    pub fn wait(&mut self, req: RecvRequest) -> Result<Message, CommError> {
+        self.flush_delayed();
         // First check messages that already arrived out of order.
-        if let Some(pos) = self.pending.iter().position(|m| Self::matches(m, &req)) {
-            let m = self.pending.remove(pos).expect("position valid");
-            self.account_recv(&m);
-            return m;
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.reliable && self.is_stale(&self.pending[i]) {
+                let m = self.pending.remove(i).expect("position valid");
+                self.discard_stale(m);
+                continue;
+            }
+            if Self::matches(&self.pending[i], &req) {
+                let m = self.pending.remove(i).expect("position valid");
+                self.consume(&m);
+                return Ok(m);
+            }
+            i += 1;
         }
         let inbox = Arc::clone(&self.inbox);
-        let deadline = Instant::now() + RECV_TIMEOUT;
-        let mut queue = inbox.queue.lock().expect("mailbox poisoned");
+        let start = Instant::now();
+        let deadline = start + self.cfg.recv_timeout;
+        let mut retries = 0u32;
+        let mut queue = lock_queue(&inbox, self.rank, "wait");
         loop {
             while let Some(m) = queue.pop_front() {
+                if self.reliable && self.is_stale(&m) {
+                    self.discard_stale(m);
+                    continue;
+                }
                 if Self::matches(&m, &req) {
                     drop(queue);
-                    self.account_recv(&m);
-                    return m;
+                    self.consume(&m);
+                    return Ok(m);
                 }
                 self.pending.push_back(m);
             }
-            let now = Instant::now();
-            if now >= deadline {
-                panic!(
-                    "rank {} deadlocked waiting for (source {:?}, tag {}): {} unmatched pending",
-                    self.rank,
-                    req.source,
-                    req.tag,
-                    self.pending.len()
-                );
+            if self.reliable {
+                drop(queue);
+                if let Some(m) = self.take_from_relay(&req) {
+                    self.stats.recovered += 1;
+                    self.consume(&m);
+                    return Ok(m);
+                }
+                let now = Instant::now();
+                if now >= deadline || retries >= self.cfg.max_retries {
+                    return Err(self.timeout_error(&req, start));
+                }
+                retries += 1;
+                let slice = self.cfg.retry_interval.min(deadline - now);
+                queue = lock_queue(&inbox, self.rank, "wait");
+                let (guard, _) = inbox
+                    .arrived
+                    .wait_timeout(queue, slice)
+                    .unwrap_or_else(|_| {
+                        panic!(
+                            "rank {}: mailbox condvar poisoned during wait (a peer rank panicked)",
+                            self.rank
+                        )
+                    });
+                queue = guard;
+            } else {
+                let now = Instant::now();
+                if now >= deadline {
+                    drop(queue);
+                    return Err(self.timeout_error(&req, start));
+                }
+                let (guard, _) = inbox
+                    .arrived
+                    .wait_timeout(queue, deadline - now)
+                    .unwrap_or_else(|_| {
+                        panic!(
+                            "rank {}: mailbox condvar poisoned during wait (a peer rank panicked)",
+                            self.rank
+                        )
+                    });
+                queue = guard;
             }
-            let (guard, _) =
-                inbox.arrived.wait_timeout(queue, deadline - now).expect("mailbox poisoned");
-            queue = guard;
         }
     }
 
     /// Blocking receive (`irecv` + `wait`).
-    pub fn recv(&mut self, source: usize, tag: u64) -> Message {
+    pub fn recv(&mut self, source: usize, tag: u64) -> Result<Message, CommError> {
         let req = self.irecv(source, tag);
         self.wait(req)
+    }
+
+    fn timeout_error(&self, req: &RecvRequest, start: Instant) -> CommError {
+        CommError::Timeout {
+            rank: self.rank,
+            source: req.source,
+            tag: req.tag,
+            unmatched: self.unmatched(),
+            waited_ms: start.elapsed().as_millis() as u64,
+        }
     }
 
     fn matches(m: &Message, req: &RecvRequest) -> bool {
         (req.source == ANY_SOURCE || m.source == req.source) && m.tag == req.tag
     }
 
-    fn account_recv(&mut self, m: &Message) {
+    /// Account a consumed message and advance the per-source watermark so
+    /// any later copy of it is recognized as stale.
+    fn consume(&mut self, m: &Message) {
         self.stats.recvs += 1;
         self.stats.bytes_received += (m.data.len() * 8) as u64;
+        if self.reliable {
+            let wm = &mut self.watermark[m.source];
+            *wm = (*wm).max(m.tag + 1);
+        }
     }
 
-    /// Messages that have arrived but not been matched yet.
+    #[inline]
+    fn is_stale(&self, m: &Message) -> bool {
+        m.tag < self.watermark[m.source]
+    }
+
+    fn discard_stale(&mut self, m: Message) {
+        self.stats.stale_dropped += 1;
+        self.recycle(m.data);
+    }
+
+    fn take_from_relay(&mut self, req: &RecvRequest) -> Option<Message> {
+        let mut slot = self.lock_relay(self.rank, "retransmit-log scan");
+        let pos = slot
+            .iter()
+            .position(|m| Self::matches(m, req) && !(self.reliable && self.is_stale(m)))?;
+        Some(slot.swap_remove(pos))
+    }
+
+    /// Advance every per-source watermark to at least `floor` and discard
+    /// all held messages below it (pending list, mailbox, and this rank's
+    /// retransmit-log slot). Recovery protocols call this after restoring
+    /// a checkpoint with the new epoch's tag floor, so in-flight messages
+    /// from the aborted attempt can never be matched by the re-run.
+    /// Returns the number of messages purged.
+    pub fn purge_below(&mut self, floor: u64) -> usize {
+        for wm in &mut self.watermark {
+            *wm = (*wm).max(floor);
+        }
+        let mut purged = 0;
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].tag < floor {
+                let m = self.pending.remove(i).expect("position valid");
+                self.discard_stale(m);
+                purged += 1;
+            } else {
+                i += 1;
+            }
+        }
+        let inbox = Arc::clone(&self.inbox);
+        let mut stale: Vec<Message> = Vec::new();
+        {
+            let mut queue = lock_queue(&inbox, self.rank, "purge");
+            let mut keep: VecDeque<Message> = VecDeque::with_capacity(queue.len());
+            while let Some(m) = queue.pop_front() {
+                if m.tag < floor {
+                    stale.push(m);
+                } else {
+                    keep.push_back(m);
+                }
+            }
+            *queue = keep;
+        }
+        purged += stale.len();
+        for m in stale {
+            self.discard_stale(m);
+        }
+        let mut slot = self.lock_relay(self.rank, "retransmit-log purge");
+        let before = slot.len();
+        slot.retain(|m| m.tag >= floor);
+        purged + (before - slot.len())
+    }
+
+    /// Messages that have arrived but not been matched yet. In reliable
+    /// mode, stale (below-watermark) copies awaiting lazy discard are not
+    /// counted — they can never match anything.
     pub fn unmatched(&self) -> usize {
-        self.pending.len() + self.inbox.queue.lock().expect("mailbox poisoned").len()
+        let live = |m: &Message| !self.reliable || m.tag >= self.watermark[m.source];
+        let inbox = lock_queue(&self.inbox, self.rank, "unmatched scan");
+        self.pending.iter().filter(|m| live(m)).count()
+            + inbox.iter().filter(|m| live(m)).count()
+    }
+}
+
+impl Drop for Comm {
+    fn drop(&mut self) {
+        // A rank that exits while holding fault-delayed messages must put
+        // them on the wire — peers may still be blocked waiting for them.
+        self.flush_delayed();
     }
 }
 
@@ -255,7 +649,7 @@ mod tests {
         let mut c1 = world.pop().unwrap();
         let mut c0 = world.pop().unwrap();
         c0.send(1, 7, &[1.0, 2.0]);
-        let m = c1.recv(0, 7);
+        let m = c1.recv(0, 7).unwrap();
         assert_eq!(m.data, vec![1.0, 2.0]);
         assert_eq!(m.source, 0);
         assert_eq!(c0.stats().bytes_sent, 16);
@@ -270,9 +664,9 @@ mod tests {
         c0.send(1, 1, &[1.0]);
         c0.send(1, 2, &[2.0]);
         // Receive tag 2 first even though tag 1 arrived first.
-        assert_eq!(c1.recv(0, 2).data, vec![2.0]);
+        assert_eq!(c1.recv(0, 2).unwrap().data, vec![2.0]);
         assert_eq!(c1.unmatched(), 1);
-        assert_eq!(c1.recv(0, 1).data, vec![1.0]);
+        assert_eq!(c1.recv(0, 1).unwrap().data, vec![1.0]);
         assert_eq!(c1.unmatched(), 0);
     }
 
@@ -284,8 +678,8 @@ mod tests {
         let mut c0 = world.pop().unwrap();
         c0.send(2, 9, &[0.5]);
         c1.send(2, 9, &[1.5]);
-        let a = c2.recv(ANY_SOURCE, 9);
-        let b = c2.recv(ANY_SOURCE, 9);
+        let a = c2.recv(ANY_SOURCE, 9).unwrap();
+        let b = c2.recv(ANY_SOURCE, 9).unwrap();
         let mut sources = [a.source, b.source];
         sources.sort_unstable();
         assert_eq!(sources, [0, 1]);
@@ -298,7 +692,7 @@ mod tests {
         let mut c0 = world.pop().unwrap();
         let req = c1.irecv(0, 3);
         c0.send(1, 3, &[4.0]);
-        assert_eq!(c1.wait(req).data, vec![4.0]);
+        assert_eq!(c1.wait(req).unwrap().data, vec![4.0]);
     }
 
     #[test]
@@ -310,7 +704,7 @@ mod tests {
         buf.copy_from_slice(&[1.0, 2.0, 3.0]);
         let ptr = buf.as_ptr();
         c0.send_owned(1, 5, buf);
-        let m = c1.wait(c1.irecv(0, 5));
+        let m = c1.wait(c1.irecv(0, 5)).unwrap();
         assert_eq!(m.data, vec![1.0, 2.0, 3.0]);
         // The payload travelled by move: same backing storage end to end.
         assert_eq!(m.data.as_ptr(), ptr);
@@ -326,5 +720,106 @@ mod tests {
         let mut world = Comm::world(1);
         let mut c0 = world.pop().unwrap();
         c0.send(1, 0, &[]);
+    }
+
+    #[test]
+    fn recv_times_out_with_typed_error_and_unmatched_intact() {
+        let mut world = Comm::world(2);
+        let mut c1 = world.pop().unwrap();
+        let mut c0 = world.pop().unwrap();
+        c1.set_recv_timeout(Duration::from_millis(30));
+        // An unrelated message arrives but must not match — and must still
+        // be accounted as unmatched after the timeout fires.
+        c0.send(1, 99, &[3.0]);
+        let err = c1.recv(0, 7).unwrap_err();
+        match err {
+            CommError::Timeout { rank, source, tag, unmatched, .. } => {
+                assert_eq!(rank, 1);
+                assert_eq!(source, 0);
+                assert_eq!(tag, 7);
+                assert_eq!(unmatched, 1);
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert_eq!(c1.unmatched(), 1);
+        // The unrelated message is still deliverable afterwards.
+        assert_eq!(c1.recv(0, 99).unwrap().data, vec![3.0]);
+        assert_eq!(c1.unmatched(), 0);
+    }
+
+    #[test]
+    fn pool_stays_bounded_under_asymmetric_traffic() {
+        // Rank 0 sends far more than it receives; rank 1 recycles every
+        // payload. Neither pool may grow past its reserved capacity.
+        let mut world = Comm::world(2);
+        let mut c1 = world.pop().unwrap();
+        let mut c0 = world.pop().unwrap();
+        for round in 0..(8 * POOL_RESERVE) {
+            c0.send(1, round as u64, &[round as f64; 16]);
+            let m = c1.recv(0, round as u64).unwrap();
+            c1.recycle(m.data);
+        }
+        assert!(c0.pool_len() <= POOL_RESERVE, "sender pool grew to {}", c0.pool_len());
+        assert!(c1.pool_len() <= POOL_RESERVE, "receiver pool grew to {}", c1.pool_len());
+        assert_eq!(c1.pool_capacity(), POOL_RESERVE);
+        // The receiver's pool now feeds its own sends without allocating:
+        // buffers keep cycling, the count never exceeds the cap.
+        for round in 0..POOL_RESERVE {
+            c1.send(0, round as u64, &[1.0; 16]);
+            let m = c0.recv(1, round as u64).unwrap();
+            c0.recycle(m.data);
+        }
+        assert!(c0.pool_len() <= POOL_RESERVE);
+        assert!(c1.pool_len() <= POOL_RESERVE);
+    }
+
+    #[test]
+    fn dropped_message_is_recovered_from_relay() {
+        // Drop everything: every send is diverted to the retransmit log
+        // and must come back through the retry path, payload intact.
+        let plan = Arc::new(FaultPlan::seeded(3).drop_per_mille(1000));
+        let mut world = Comm::world_with(2, CommConfig::default(), Some(plan));
+        let mut c1 = world.pop().unwrap();
+        let mut c0 = world.pop().unwrap();
+        c0.send(1, 11, &[5.0, 6.0]);
+        let m = c1.recv(0, 11).unwrap();
+        assert_eq!(m.data, vec![5.0, 6.0]);
+        assert_eq!(c1.stats().recovered, 1);
+        assert_eq!(c1.unmatched(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_consumed_exactly_once() {
+        let plan = Arc::new(FaultPlan::seeded(3).duplicate_per_mille(1000));
+        let mut world = Comm::world_with(2, CommConfig::default(), Some(plan));
+        let mut c1 = world.pop().unwrap();
+        let mut c0 = world.pop().unwrap();
+        c0.send(1, 1, &[1.0]);
+        c0.send(1, 2, &[2.0]);
+        assert_eq!(c1.recv(0, 1).unwrap().data, vec![1.0]);
+        assert_eq!(c1.recv(0, 2).unwrap().data, vec![2.0]);
+        // The duplicate copies are stale and invisible to unmatched().
+        assert_eq!(c1.unmatched(), 0);
+        // A later wait sweeps them into the recycle pool.
+        c0.send(1, 3, &[3.0]);
+        assert_eq!(c1.recv(0, 3).unwrap().data, vec![3.0]);
+        assert_eq!(c1.stats().stale_dropped, 2);
+        assert_eq!(c1.unmatched(), 0);
+    }
+
+    #[test]
+    fn purge_below_discards_stale_epoch() {
+        let plan = Arc::new(FaultPlan::seeded(0)); // armed => reliable mode
+        let mut world = Comm::world_with(2, CommConfig::default(), Some(plan));
+        let mut c1 = world.pop().unwrap();
+        let mut c0 = world.pop().unwrap();
+        c0.send(1, 5, &[1.0]);
+        c0.send(1, 6, &[2.0]);
+        c0.send(1, 100, &[3.0]);
+        let purged = c1.purge_below(100);
+        assert_eq!(purged, 2);
+        assert_eq!(c1.unmatched(), 1);
+        assert_eq!(c1.recv(0, 100).unwrap().data, vec![3.0]);
+        assert_eq!(c1.unmatched(), 0);
     }
 }

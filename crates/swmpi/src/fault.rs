@@ -1,0 +1,223 @@
+//! Deterministic fault injection for the in-process rank world.
+//!
+//! On the paper's target machine (10M+ cores) message loss, duplication,
+//! delay and node failure are routine events, not exceptions. This module
+//! makes every one of those failure modes a *reproducible* test input: a
+//! seeded [`FaultPlan`] decides, purely as a function of `(seed, rank,
+//! send_index)`, what happens to each message a rank sends, and can
+//! additionally schedule one rank to stall or crash at a chosen step.
+//!
+//! Because the decision is a pure hash (no shared RNG state), the injected
+//! fault sequence is independent of thread interleaving: the same plan
+//! always perturbs the same sends, which is what lets the fault-injection
+//! tests assert bitwise-identical trajectories after recovery.
+//!
+//! The plan is armed per-world through
+//! [`run_ranks_with`](crate::runner::run_ranks_with); when no plan is armed
+//! the communicator's send/receive hot paths check a single `Option` and
+//! take the exact pre-existing code path (zero cost).
+
+use std::time::Duration;
+
+/// What happens to one message at its send point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver normally.
+    Deliver,
+    /// The message is "lost on the wire": it is diverted to the world's
+    /// retransmit log and only reaches the receiver when its retry path
+    /// fetches it (see `Comm::wait`).
+    Drop,
+    /// The message is delivered twice; the receiver's sequence-number
+    /// watermark must discard the second copy.
+    Duplicate,
+    /// Delivery is withheld until `n` further sends by the same rank (or
+    /// until the sender next blocks, whichever comes first) — this reorders
+    /// the message stream seen by the receivers.
+    Delay(u32),
+}
+
+/// A seeded, deterministic fault schedule for one rank world.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_per_mille: u16,
+    dup_per_mille: u16,
+    delay_per_mille: u16,
+    max_delay: u32,
+    crash: Option<(usize, u64)>,
+    stall: Option<(usize, u64, Duration)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given seed; combine with the
+    /// builder methods below.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan { seed, max_delay: 1, ..FaultPlan::default() }
+    }
+
+    /// Drop roughly `n`/1000 of all sent messages (recovered via retry).
+    pub fn drop_per_mille(mut self, n: u16) -> Self {
+        self.drop_per_mille = n;
+        self.check_rates();
+        self
+    }
+
+    /// Duplicate roughly `n`/1000 of all sent messages.
+    pub fn duplicate_per_mille(mut self, n: u16) -> Self {
+        self.dup_per_mille = n;
+        self.check_rates();
+        self
+    }
+
+    /// Delay (and thereby reorder) roughly `n`/1000 of all sent messages by
+    /// 1..=`max_delay` subsequent sends.
+    pub fn delay_per_mille(mut self, n: u16, max_delay: u32) -> Self {
+        assert!(max_delay >= 1, "max_delay must be at least 1");
+        self.delay_per_mille = n;
+        self.max_delay = max_delay;
+        self.check_rates();
+        self
+    }
+
+    /// Schedule `rank` to fail (once) at the start of `step`. The rank does
+    /// not compute or send anything for that step attempt; its peers time
+    /// out and the driver's recovery protocol takes over.
+    pub fn crash_rank(mut self, rank: usize, step: u64) -> Self {
+        self.crash = Some((rank, step));
+        self
+    }
+
+    /// Schedule `rank` to pause for `pause` (once) at the start of `step` —
+    /// a slow-node / OS-jitter model that recovery must tolerate without
+    /// rolling back.
+    pub fn stall_rank(mut self, rank: usize, step: u64, pause: Duration) -> Self {
+        self.stall = Some((rank, step, pause));
+        self
+    }
+
+    fn check_rates(&self) {
+        let total = self.drop_per_mille + self.dup_per_mille + self.delay_per_mille;
+        assert!(total <= 1000, "fault rates sum to {total}/1000 > 1000");
+    }
+
+    /// The scheduled crash, if any, as `(rank, step)`.
+    #[inline]
+    pub fn crash(&self) -> Option<(usize, u64)> {
+        self.crash
+    }
+
+    /// The scheduled stall, if any, as `(rank, step, pause)`.
+    #[inline]
+    pub fn stall(&self) -> Option<(usize, u64, Duration)> {
+        self.stall
+    }
+
+    /// True if any per-message fault rate is nonzero.
+    #[inline]
+    pub fn perturbs_messages(&self) -> bool {
+        self.drop_per_mille + self.dup_per_mille + self.delay_per_mille > 0
+    }
+
+    /// The fate of the `send_index`-th message sent by `rank`. Pure
+    /// function of the plan — independent of timing and interleaving.
+    pub fn message_action(&self, rank: usize, send_index: u64) -> FaultAction {
+        let total = self.drop_per_mille + self.dup_per_mille + self.delay_per_mille;
+        if total == 0 {
+            return FaultAction::Deliver;
+        }
+        let x = splitmix64(
+            self.seed
+                ^ (rank as u64).wrapping_mul(0xA24B_AED4_963E_E407)
+                ^ send_index.wrapping_mul(0x9FB2_1C65_1E98_DF25),
+        );
+        let draw = (x % 1000) as u16;
+        if draw < self.drop_per_mille {
+            FaultAction::Drop
+        } else if draw < self.drop_per_mille + self.dup_per_mille {
+            FaultAction::Duplicate
+        } else if draw < total {
+            FaultAction::Delay(1 + ((x >> 32) % self.max_delay as u64) as u32)
+        } else {
+            FaultAction::Deliver
+        }
+    }
+}
+
+/// SplitMix64 finalizer — a full-avalanche integer hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_always_delivers() {
+        let plan = FaultPlan::seeded(7);
+        for i in 0..1000 {
+            assert_eq!(plan.message_action(3, i), FaultAction::Deliver);
+        }
+        assert!(!plan.perturbs_messages());
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = FaultPlan::seeded(42).drop_per_mille(50).duplicate_per_mille(50).delay_per_mille(50, 3);
+        let b = a.clone();
+        for rank in 0..4 {
+            for i in 0..500 {
+                assert_eq!(a.message_action(rank, i), b.message_action(rank, i));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::seeded(1).drop_per_mille(500);
+        let b = FaultPlan::seeded(2).drop_per_mille(500);
+        let diff = (0..200).filter(|&i| a.message_action(0, i) != b.message_action(0, i)).count();
+        assert!(diff > 0, "seeds 1 and 2 produced identical schedules");
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let plan = FaultPlan::seeded(9).drop_per_mille(100).duplicate_per_mille(100).delay_per_mille(100, 4);
+        let n = 10_000u64;
+        let mut drops = 0;
+        let mut dups = 0;
+        let mut delays = 0;
+        for i in 0..n {
+            match plan.message_action(0, i) {
+                FaultAction::Drop => drops += 1,
+                FaultAction::Duplicate => dups += 1,
+                FaultAction::Delay(k) => {
+                    assert!((1..=4).contains(&k));
+                    delays += 1;
+                }
+                FaultAction::Deliver => {}
+            }
+        }
+        for count in [drops, dups, delays] {
+            assert!((700..1300).contains(&count), "rate off: {count}/10000 vs 1000 expected");
+        }
+    }
+
+    #[test]
+    fn crash_and_stall_are_recorded() {
+        let plan =
+            FaultPlan::seeded(0).crash_rank(2, 5).stall_rank(1, 3, Duration::from_millis(10));
+        assert_eq!(plan.crash(), Some((2, 5)));
+        assert_eq!(plan.stall(), Some((1, 3, Duration::from_millis(10))));
+    }
+
+    #[test]
+    #[should_panic(expected = "fault rates")]
+    fn overfull_rates_rejected() {
+        let _ = FaultPlan::seeded(0).drop_per_mille(600).duplicate_per_mille(600);
+    }
+}

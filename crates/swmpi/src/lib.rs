@@ -16,12 +16,14 @@
 
 pub mod collective;
 pub mod comm;
+pub mod fault;
 pub mod netmodel;
 pub mod runner;
 pub mod topology;
 
 pub use collective::{Collectives, ReduceOp};
-pub use comm::{Comm, CommStats, Message, RecvRequest, ANY_SOURCE};
+pub use comm::{Comm, CommConfig, CommError, CommStats, Message, RecvRequest, ANY_SOURCE};
+pub use fault::{FaultAction, FaultPlan};
 pub use netmodel::{Locality, NetworkModel};
 pub use topology::{census, sfc_neighbor_pairs, LocalityCensus, Placement};
-pub use runner::{run_ranks, RankCtx};
+pub use runner::{run_ranks, run_ranks_with, try_run_ranks, RankCtx, RankError, WorldOptions};

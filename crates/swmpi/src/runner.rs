@@ -1,7 +1,45 @@
 //! Threaded rank harness: run one closure per rank, collect results.
+//!
+//! [`run_ranks`] is the plain harness; [`run_ranks_with`] additionally
+//! takes [`WorldOptions`] (communicator config + an optional seeded
+//! [`FaultPlan`]); [`try_run_ranks`] is the fallible variant that joins
+//! *all* rank threads even when some panic and reports every failure with
+//! its rank id and last-announced step.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::collective::Collectives;
-use crate::comm::Comm;
+use crate::comm::{Comm, CommConfig};
+use crate::fault::FaultPlan;
+
+/// Per-world run options for [`run_ranks_with`] / [`try_run_ranks`].
+#[derive(Debug, Clone, Default)]
+pub struct WorldOptions {
+    /// Communicator tuning (receive timeout, retry cadence).
+    pub comm: CommConfig,
+    /// Optional seeded fault schedule; arming one switches the
+    /// communicators into reliable (sequence-numbered) mode.
+    pub faults: Option<FaultPlan>,
+}
+
+/// One rank's failure, as reported by [`try_run_ranks`].
+#[derive(Debug, Clone)]
+pub struct RankError {
+    /// The rank whose thread panicked.
+    pub rank: usize,
+    /// The last step the rank announced via [`RankCtx::set_step`] (0 if it
+    /// never announced one).
+    pub step: u64,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+impl std::fmt::Display for RankError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {} panicked at step {}: {}", self.rank, self.step, self.message)
+    }
+}
 
 /// Everything one rank needs: point-to-point plus collectives.
 pub struct RankCtx {
@@ -9,6 +47,10 @@ pub struct RankCtx {
     pub comm: Comm,
     /// Collective machinery shared by the world.
     pub coll: Collectives,
+    step: Arc<AtomicU64>,
+    faults: Option<Arc<FaultPlan>>,
+    crashed: bool,
+    stalled: bool,
 }
 
 impl RankCtx {
@@ -21,41 +63,143 @@ impl RankCtx {
     pub fn size(&self) -> usize {
         self.comm.size()
     }
+
+    /// Announce the step this rank is working on, so a panic anywhere in
+    /// the world can be attributed to `rank N at step S`.
+    pub fn set_step(&self, step: u64) {
+        self.step.store(step, Ordering::Relaxed);
+    }
+
+    /// The last step announced via [`RankCtx::set_step`].
+    pub fn step(&self) -> u64 {
+        self.step.load(Ordering::Relaxed)
+    }
+
+    /// Step-boundary fault hook for resilient drivers: records the step,
+    /// serves any scheduled stall (sleeps in place, once), and returns
+    /// `true` if the armed plan kills this rank at this step (once) — the
+    /// caller must then skip the step attempt and report itself failed.
+    pub fn begin_step(&mut self, step: u64) -> bool {
+        self.set_step(step);
+        let Some(plan) = &self.faults else { return false };
+        if let Some((rank, at, pause)) = plan.stall() {
+            if rank == self.rank() && at == step && !self.stalled {
+                self.stalled = true;
+                std::thread::sleep(pause);
+            }
+        }
+        if let Some((rank, at)) = plan.crash() {
+            if rank == self.rank() && at == step && !self.crashed {
+                self.crashed = true;
+                return true;
+            }
+        }
+        false
+    }
 }
 
 /// Run an `n`-rank job: `body` is invoked once per rank on its own thread.
 /// Returns the per-rank results in rank order.
 ///
 /// # Panics
-/// Propagates the first rank panic.
+/// If any rank panics, all remaining ranks are still joined, then a single
+/// panic is raised naming every failed rank and its last announced step.
 pub fn run_ranks<T, F>(n: usize, body: F) -> Vec<T>
 where
     T: Send,
     F: Fn(&mut RankCtx) -> T + Sync,
 {
+    run_ranks_with(n, WorldOptions::default(), body)
+}
+
+/// [`run_ranks`] with explicit [`WorldOptions`] (comm config, fault plan).
+///
+/// # Panics
+/// Same contract as [`run_ranks`].
+pub fn run_ranks_with<T, F>(n: usize, opts: WorldOptions, body: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut RankCtx) -> T + Sync,
+{
+    match try_run_ranks(n, opts, body) {
+        Ok(results) => results,
+        Err(failures) => {
+            let list: Vec<String> = failures.iter().map(|e| e.to_string()).collect();
+            panic!("{} of {} ranks panicked: {}", failures.len(), n, list.join("; "));
+        }
+    }
+}
+
+/// Fallible rank harness: every rank thread is joined even when some
+/// panic, and all failures are returned together, each naming its rank
+/// and last announced step.
+pub fn try_run_ranks<T, F>(n: usize, opts: WorldOptions, body: F) -> Result<Vec<T>, Vec<RankError>>
+where
+    T: Send,
+    F: Fn(&mut RankCtx) -> T + Sync,
+{
     let coll = Collectives::new(n);
-    let world = Comm::world(n);
-    let results: Vec<T> = std::thread::scope(|scope| {
+    let faults = opts.faults.map(Arc::new);
+    let world = Comm::world_with(n, opts.comm, faults.clone());
+    let steps: Vec<Arc<AtomicU64>> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    std::thread::scope(|scope| {
         let handles: Vec<_> = world
             .into_iter()
-            .map(|comm| {
+            .zip(&steps)
+            .map(|(comm, step)| {
                 let coll = coll.clone();
                 let body = &body;
+                let step = Arc::clone(step);
+                let faults = faults.clone();
                 scope.spawn(move || {
-                    let mut ctx = RankCtx { comm, coll };
+                    let mut ctx = RankCtx {
+                        comm,
+                        coll,
+                        step,
+                        faults,
+                        crashed: false,
+                        stalled: false,
+                    };
                     body(&mut ctx)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
-    });
-    results
+        let mut results = Vec::with_capacity(n);
+        let mut failures = Vec::new();
+        for (rank, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(value) => results.push(value),
+                Err(payload) => failures.push(RankError {
+                    rank,
+                    step: steps[rank].load(Ordering::Relaxed),
+                    message: panic_message(payload),
+                }),
+            }
+        }
+        if failures.is_empty() {
+            Ok(results)
+        } else {
+            Err(failures)
+        }
+    })
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::collective::ReduceOp;
+    use crate::fault::FaultPlan;
+    use std::time::Duration;
 
     #[test]
     fn ring_pass() {
@@ -69,7 +213,7 @@ mod tests {
             let prev = (ctx.rank() + n - 1) % n;
             for hop in 0..n - 1 {
                 ctx.comm.send(next, hop as u64, &[token]);
-                token = ctx.comm.recv(prev, hop as u64).data[0];
+                token = ctx.comm.recv(prev, hop as u64).expect("ring recv").data[0];
                 acc += token;
             }
             acc
@@ -92,7 +236,7 @@ mod tests {
             ctx.comm.send(next, 0, &[ctx.rank() as f64]);
             // "Interior computation" while the message is in flight.
             let local: f64 = (0..1000).map(|i| (i as f64).sqrt()).sum();
-            let msg = ctx.comm.wait(req);
+            let msg = ctx.comm.wait(req).expect("overlap recv");
             (local, msg.data[0])
         });
         for (r, (local, got)) in results.into_iter().enumerate() {
@@ -107,5 +251,90 @@ mod tests {
             ctx.coll.allreduce_scalar(ctx.rank() as f64 * 2.0, ReduceOp::Max)
         });
         assert!(maxes.into_iter().all(|m| m == 8.0));
+    }
+
+    #[test]
+    fn all_ranks_joined_when_one_panics() {
+        // Rank 1 panics at step 3; the others finish normally. The
+        // harness must join everyone and name the failing rank and step.
+        let err = try_run_ranks(3, WorldOptions::default(), |ctx| {
+            ctx.set_step(3);
+            if ctx.rank() == 1 {
+                panic!("injected failure");
+            }
+            ctx.rank()
+        })
+        .unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert_eq!(err[0].rank, 1);
+        assert_eq!(err[0].step, 3);
+        assert!(err[0].message.contains("injected failure"), "got: {}", err[0].message);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 panicked at step 7")]
+    fn run_ranks_names_failing_rank_and_step() {
+        run_ranks(4, |ctx| {
+            ctx.set_step(7);
+            if ctx.rank() == 2 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn ring_survives_message_faults() {
+        // Drop, duplicate and delay a large fraction of all messages; the
+        // ring must still deliver every payload exactly once.
+        let n = 5;
+        let opts = WorldOptions {
+            comm: CommConfig {
+                recv_timeout: Duration::from_secs(5),
+                ..CommConfig::default()
+            },
+            faults: Some(
+                FaultPlan::seeded(1234)
+                    .drop_per_mille(150)
+                    .duplicate_per_mille(150)
+                    .delay_per_mille(150, 2),
+            ),
+        };
+        let sums = run_ranks_with(n, opts, |ctx| {
+            let mut token = ctx.rank() as f64;
+            let mut acc = token;
+            let next = (ctx.rank() + 1) % n;
+            let prev = (ctx.rank() + n - 1) % n;
+            for hop in 0..200u64 {
+                ctx.comm.send(next, hop, &[token]);
+                token = ctx.comm.recv(prev, hop).expect("faulty ring recv").data[0];
+                acc += token;
+            }
+            assert_eq!(ctx.comm.unmatched(), 0);
+            acc
+        });
+        assert_eq!(sums.len(), n);
+    }
+
+    #[test]
+    fn begin_step_fires_crash_once() {
+        let opts = WorldOptions {
+            faults: Some(FaultPlan::seeded(0).crash_rank(1, 2)),
+            ..WorldOptions::default()
+        };
+        let hits = run_ranks_with(2, opts, |ctx| {
+            let mut crashes = 0;
+            for step in 0..5u64 {
+                if ctx.begin_step(step) {
+                    crashes += 1;
+                }
+                // Re-visiting the same step (post-rollback) must not
+                // re-fire the one-shot crash.
+                if ctx.begin_step(step) {
+                    crashes += 1;
+                }
+            }
+            crashes
+        });
+        assert_eq!(hits, vec![0, 1]);
     }
 }

@@ -32,7 +32,7 @@ proptest! {
             let next = (ctx.rank() + 1) % n;
             let prev = (ctx.rank() + n - 1) % n;
             ctx.comm.send(next, 42, &data2);
-            ctx.comm.recv(prev, 42).data
+            ctx.comm.recv(prev, 42).expect("ring recv").data
         });
         for r in results {
             prop_assert_eq!(&r, &data);

@@ -22,6 +22,16 @@ cargo test -q -p homme --lib dist
 cargo test -q -p homme --test dist_alloc
 cargo test -q -p swcam-bench --test distributed_step
 
+# Fault-injection group: the seeded fault plan and reliable-mode machinery
+# in swmpi, the checkpoint codec, the health guards, and the end-to-end
+# recovery suite (message faults, checkpoint restart, rank crash + rollback).
+echo "== fault-injection test group"
+cargo test -q -p swmpi --lib fault
+cargo test -q -p swmpi --lib comm
+cargo test -q -p swcam-core --lib checkpoint
+cargo test -q -p homme --lib health
+cargo test -q -p swcam-bench --test fault_injection
+
 # Clippy is not part of every toolchain install; lint when present.
 if cargo clippy --version >/dev/null 2>&1; then
     echo "== cargo clippy --workspace --all-targets -- -D warnings"

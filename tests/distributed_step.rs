@@ -52,7 +52,8 @@ fn multilevel_distributed_dss_matches_serial() {
                         .iter()
                         .map(|f| f[k * NPTS..(k + 1) * NPTS].to_vec())
                         .collect();
-                    plan.dss_level(ctx, &mut level, mode, k as u64, || {}, &mut stats);
+                    plan.dss_level(ctx, &mut level, mode, k as u64, || {}, &mut stats)
+                        .expect("dss level");
                     for (f, l) in full.iter_mut().zip(&level) {
                         f[k * NPTS..(k + 1) * NPTS].copy_from_slice(l);
                     }
@@ -108,7 +109,8 @@ fn redesigned_mode_overlaps_useful_interior_work() {
                 }
             },
             &mut stats,
-        );
+        )
+        .expect("dss level");
         (plan.owned.clone(), fields, interior_sum)
     });
     for (owned, fields, interior_sum) in results {
