@@ -132,6 +132,23 @@ pub fn run_resilient(
     nsteps: u64,
     cfg: &ResilienceConfig,
 ) -> Result<ResilientReport, ResilienceExhausted> {
+    run_resilient_with(ctx, dist, state, nsteps, cfg, |_, _, _| {})
+}
+
+/// [`run_resilient`] with a hook run just before every step *attempt*
+/// (crashed attempts excluded), receiving the driver, the local state and
+/// the step about to run. Fault-injection tests use it to corrupt state
+/// mid-run; keying the injection off [`DistDycore::epoch`] makes it
+/// one-shot, so the post-rollback replay runs clean and the test can
+/// assert recovery rather than retry exhaustion.
+pub fn run_resilient_with(
+    ctx: &mut RankCtx,
+    dist: &mut DistDycore,
+    state: &mut State,
+    nsteps: u64,
+    cfg: &ResilienceConfig,
+    mut before_attempt: impl FnMut(&mut DistDycore, &mut State, u64),
+) -> Result<ResilientReport, ResilienceExhausted> {
     assert!(cfg.checkpoint_interval > 0, "checkpoint interval must be positive");
     let rank = ctx.rank() as u32;
     let mut report = ResilientReport::default();
@@ -155,6 +172,7 @@ pub fn run_resilient(
         let mut failed = crashed;
         let mut local = StepHealth::unchecked();
         if !crashed {
+            before_attempt(dist, state, step);
             match dist.step_checked(ctx, state) {
                 Ok(h) => local = h,
                 Err(_) => failed = true,

@@ -32,9 +32,15 @@
 use crate::bndry::{CopyStats, ExchangeBuffers, ExchangeMode, ExchangePlan};
 use crate::deriv::ElemOps;
 use crate::euler::{limit_tracer_arena, tracer_flux_divergence};
-use crate::health::{commit_scan, scan_stage, DegradePolicy, HealthConfig, HealthError, StepHealth};
+use crate::health::{
+    commit_scan, scan_stage, DegradePolicy, HealthConfig, HealthError, StepHealth, TRACER_STAGE,
+};
+use crate::kernels::blocked::{
+    build_blocked_ops, element_rhs_apply_blocked, euler_stage_element_blocked,
+    laplace_levels_blocked, vlaplace_levels_blocked, BlockedOps, KernelPath, StageCombine,
+};
 use crate::prim::{DycoreConfig, KG5_COEFFS};
-use crate::remap::remap_column_ppm_with;
+use crate::remap::{remap_element_blocked, remap_element_scalar};
 use crate::rhs::{element_rhs_raw, Rhs};
 use crate::state::{Dims, State};
 use crate::vert::VertCoord;
@@ -101,6 +107,10 @@ pub struct DistDycore {
     pub health: HealthConfig,
     /// What a CFL breach does to the following steps.
     pub degrade: DegradePolicy,
+    /// Which kernel implementation the step pipeline dispatches to
+    /// (blocked by default; the scalar path is the parity oracle).
+    pub kernels: KernelPath,
+    bops: Vec<BlockedOps>,
     /// Stability-derived hyperviscosity subcycles (identical on every rank
     /// and to the serial driver: computed from global element 0).
     subcycles: usize,
@@ -135,6 +145,7 @@ impl DistDycore {
             .iter()
             .map(|&e| ElemOps::new(&grid.elements[e], &grid.basis))
             .collect();
+        let bops = build_blocked_ops(&ops);
         let vert = VertCoord::standard(dims.nlev, ptop);
         let el0 = &grid.elements[0];
         let subcycles = cfg.hypervis.stable_subcycles(el0.dab, el0.metric[0].metdet, cfg.dt);
@@ -155,6 +166,8 @@ impl DistDycore {
             stats: CopyStats::default(),
             health: HealthConfig::default(),
             degrade: DegradePolicy::default(),
+            kernels: KernelPath::default(),
+            bops,
             subcycles,
             subcycles_half,
             ws,
@@ -194,14 +207,16 @@ impl DistDycore {
     /// `Redesigned` mode.
     pub fn dynamics_step(&mut self, ctx: &mut RankCtx, state: &mut State) -> Result<(), CommError> {
         let dt = self.cfg.dt;
-        let DistDycore { plan, ops, rhs, dims, mode, stats, ws, tag, .. } = self;
+        let DistDycore { plan, ops, rhs, dims, mode, stats, ws, tag, kernels, bops, .. } = self;
         let DistWorkspace { base, stage, next, scratch, ex, .. } = ws;
         base.copy_from_state(state);
         stage.copy_from_state(state);
         for &c in &KG5_COEFFS {
             rk_substep(
+                *kernels,
                 plan,
                 ops,
+                bops,
                 rhs,
                 *dims,
                 *mode,
@@ -235,14 +250,16 @@ impl DistDycore {
     ) -> Result<(), DistError> {
         let dt = self.cfg.dt;
         let hcfg = self.health;
-        let DistDycore { plan, ops, rhs, dims, mode, stats, ws, tag, .. } = self;
+        let DistDycore { plan, ops, rhs, dims, mode, stats, ws, tag, kernels, bops, .. } = self;
         let DistWorkspace { base, stage, next, scratch, ex, .. } = ws;
         base.copy_from_state(state);
         stage.copy_from_state(state);
         for (stage_ix, &c) in KG5_COEFFS.iter().enumerate() {
             rk_substep(
+                *kernels,
                 plan,
                 ops,
+                bops,
                 rhs,
                 *dims,
                 *mode,
@@ -257,7 +274,7 @@ impl DistDycore {
                 stats,
                 tag,
             )?;
-            let scan = scan_stage(&next.u, &next.v, &next.t, &next.dp3d);
+            let scan = scan_stage(&next.u, &next.v, &next.t, &next.dp3d, &[]);
             commit_scan(health, &hcfg, stage_ix, scan)?;
             std::mem::swap(stage, next);
         }
@@ -294,7 +311,8 @@ impl DistDycore {
             return Ok(());
         }
         let dt = self.cfg.dt;
-        let DistDycore { plan, ops, dims, mode, stats, ws, tag, .. } = self;
+        let DistDycore { plan, ops, dims, mode, stats, ws, tag, kernels, bops, .. } = self;
+        let kernels = *kernels;
         let nlev = dims.nlev;
         let fl = dims.field_len();
         let nelem = ops.len();
@@ -309,8 +327,8 @@ impl DistDycore {
                 ws.sponge_t[e * sl..(e + 1) * sl]
                     .copy_from_slice(&state.t[e * fl..e * fl + sl]);
             }
-            vlaplace_elems(ops, ks, &mut ws.sponge_u, &mut ws.sponge_v);
-            laplace_elems(ops, ks, &mut ws.sponge_t);
+            vlaplace_elems_path(kernels, ops, bops, ks, &mut ws.sponge_u, &mut ws.sponge_v);
+            laplace_elems_path(kernels, ops, bops, ks, &mut ws.sponge_t);
             {
                 let mut arenas: [&mut [f64]; 3] =
                     [&mut ws.sponge_u, &mut ws.sponge_v, &mut ws.sponge_t];
@@ -335,9 +353,9 @@ impl DistDycore {
             // del^4 via two Laplacians with a DSS after each application
             // (vector Laplacian for wind, weak-form scalar for T, dp3d).
             for _ in 0..2 {
-                vlaplace_elems(ops, nlev, &mut ws.hyp.u, &mut ws.hyp.v);
-                laplace_elems(ops, nlev, &mut ws.hyp.t);
-                laplace_elems(ops, nlev, &mut ws.hyp.dp3d);
+                vlaplace_elems_path(kernels, ops, bops, nlev, &mut ws.hyp.u, &mut ws.hyp.v);
+                laplace_elems_path(kernels, ops, bops, nlev, &mut ws.hyp.t);
+                laplace_elems_path(kernels, ops, bops, nlev, &mut ws.hyp.dp3d);
                 let mut arenas: [&mut [f64]; NFIELDS] =
                     [&mut ws.hyp.u, &mut ws.hyp.v, &mut ws.hyp.t, &mut ws.hyp.dp3d];
                 dss_arenas(plan, *mode, ctx, &mut arenas, nlev, &mut ws.ex, stats, tag)?;
@@ -372,82 +390,103 @@ impl DistDycore {
         }
         let dt = self.cfg.dt;
         let limiter = self.cfg.limiter;
-        let DistDycore { plan, ops, dims, mode, stats, ws, tag, .. } = self;
+        let DistDycore { plan, ops, dims, mode, stats, ws, tag, kernels, bops, .. } = self;
         ws.qdp0.copy_from_slice(&state.qdp);
-        // Stage 1: q1 = q0 + dt L(q0)
-        tracer_substep(ops, *dims, &state.u, &state.v, &state.dp3d, &ws.qdp0, dt, &mut ws.q1);
-        finish_stage(plan, ops, *dims, *mode, limiter, ctx, &mut ws.q1, &mut ws.ex, stats, tag)?;
-        // Stage 2: q2 = 3/4 q0 + 1/4 (q1 + dt L(q1))
-        tracer_substep(ops, *dims, &state.u, &state.v, &state.dp3d, &ws.q1, dt, &mut ws.qtmp);
-        for (q2, (q0, t)) in ws.q2.iter_mut().zip(ws.qdp0.iter().zip(&ws.qtmp)) {
-            *q2 = 0.75 * q0 + 0.25 * t;
+        match kernels {
+            KernelPath::Blocked => {
+                // Fused stages: advect + SSP combine in one pass, with the
+                // mass fluxes hoisted across the tracer loop.
+                // Stage 1: q1 = q0 + dt L(q0)
+                tracer_stage_blocked(
+                    bops, *dims, &state.u, &state.v, &state.dp3d, &ws.qdp0, &ws.qdp0, dt,
+                    StageCombine::Replace, &mut ws.q1,
+                );
+                finish_stage(plan, ops, *dims, *mode, limiter, ctx, &mut ws.q1, &mut ws.ex, stats, tag)?;
+                // Stage 2: q2 = 3/4 q0 + 1/4 (q1 + dt L(q1))
+                tracer_stage_blocked(
+                    bops, *dims, &state.u, &state.v, &state.dp3d, &ws.q1, &ws.qdp0, dt,
+                    StageCombine::Ssp2, &mut ws.q2,
+                );
+                finish_stage(plan, ops, *dims, *mode, limiter, ctx, &mut ws.q2, &mut ws.ex, stats, tag)?;
+                // Stage 3: q^{n+1} = 1/3 q0 + 2/3 (q2 + dt L(q2))
+                tracer_stage_blocked(
+                    bops, *dims, &state.u, &state.v, &state.dp3d, &ws.q2, &ws.qdp0, dt,
+                    StageCombine::Ssp3, &mut state.qdp,
+                );
+                finish_stage(plan, ops, *dims, *mode, limiter, ctx, &mut state.qdp, &mut ws.ex, stats, tag)
+            }
+            KernelPath::Scalar => {
+                // Stage 1: q1 = q0 + dt L(q0)
+                tracer_substep(ops, *dims, &state.u, &state.v, &state.dp3d, &ws.qdp0, dt, &mut ws.q1);
+                finish_stage(plan, ops, *dims, *mode, limiter, ctx, &mut ws.q1, &mut ws.ex, stats, tag)?;
+                // Stage 2: q2 = 3/4 q0 + 1/4 (q1 + dt L(q1))
+                tracer_substep(ops, *dims, &state.u, &state.v, &state.dp3d, &ws.q1, dt, &mut ws.qtmp);
+                for (q2, (q0, t)) in ws.q2.iter_mut().zip(ws.qdp0.iter().zip(&ws.qtmp)) {
+                    *q2 = 0.75 * q0 + 0.25 * t;
+                }
+                finish_stage(plan, ops, *dims, *mode, limiter, ctx, &mut ws.q2, &mut ws.ex, stats, tag)?;
+                // Stage 3: q^{n+1} = 1/3 q0 + 2/3 (q2 + dt L(q2))
+                tracer_substep(ops, *dims, &state.u, &state.v, &state.dp3d, &ws.q2, dt, &mut ws.qtmp);
+                for (qf, (q0, t)) in state.qdp.iter_mut().zip(ws.qdp0.iter().zip(&ws.qtmp)) {
+                    *qf = q0 / 3.0 + 2.0 / 3.0 * t;
+                }
+                finish_stage(plan, ops, *dims, *mode, limiter, ctx, &mut state.qdp, &mut ws.ex, stats, tag)
+            }
         }
-        finish_stage(plan, ops, *dims, *mode, limiter, ctx, &mut ws.q2, &mut ws.ex, stats, tag)?;
-        // Stage 3: q^{n+1} = 1/3 q0 + 2/3 (q2 + dt L(q2))
-        tracer_substep(ops, *dims, &state.u, &state.v, &state.dp3d, &ws.q2, dt, &mut ws.qtmp);
-        for (qf, (q0, t)) in state.qdp.iter_mut().zip(ws.qdp0.iter().zip(&ws.qtmp)) {
-            *qf = q0 / 3.0 + 2.0 / 3.0 * t;
-        }
-        finish_stage(plan, ops, *dims, *mode, limiter, ctx, &mut state.qdp, &mut ws.ex, stats, tag)
     }
 
     /// Element-local vertical remap (no communication needed). Columns
     /// come from the workspace scratch — allocation-free.
-    pub fn vertical_remap(&mut self, state: &mut State) {
-        let DistDycore { rhs, dims, ws, .. } = self;
+    ///
+    /// # Errors
+    /// A collapsed Lagrangian layer or mass-inconsistent column surfaces as
+    /// [`HealthError::Remap`] instead of panicking the rank thread (which
+    /// would abort the whole process from under `try_run_ranks`); the
+    /// resilient driver rolls back to a checkpoint. On `Err` the state may
+    /// hold partially remapped elements.
+    pub fn vertical_remap(&mut self, state: &mut State) -> Result<(), HealthError> {
+        let DistDycore { rhs, dims, ws, kernels, .. } = self;
         let nlev = dims.nlev;
         let qsize = dims.qsize;
         let vert = &rhs.vert;
-        let ptop = vert.ptop();
-        let WorkerScratch { remap, col_src, col_dst, col_val, col_out, .. } = &mut ws.scratch;
+        let scratch = &mut ws.scratch;
         for es in state.elems_mut() {
-            for p in 0..NPTS {
-                let mut ps = ptop;
-                for k in 0..nlev {
-                    col_src[k] = es.dp3d[k * NPTS + p];
-                    ps += col_src[k];
-                }
-                for k in 0..nlev {
-                    col_dst[k] = vert.dp_ref(k, ps);
-                }
-                // Momentum, heat: conserve integral(f dp).
-                for field in [&mut *es.u, &mut *es.v, &mut *es.t] {
-                    for k in 0..nlev {
-                        col_val[k] = field[k * NPTS + p];
-                    }
-                    remap_column_ppm_with(col_src, col_val, col_dst, col_out, remap);
-                    for k in 0..nlev {
-                        field[k * NPTS + p] = col_out[k];
-                    }
-                }
-                // Tracers: remap mixing ratio, rebuild mass.
-                for q in 0..qsize {
-                    for k in 0..nlev {
-                        col_val[k] = es.qdp[(q * nlev + k) * NPTS + p] / col_src[k];
-                    }
-                    remap_column_ppm_with(col_src, col_val, col_dst, col_out, remap);
-                    for k in 0..nlev {
-                        es.qdp[(q * nlev + k) * NPTS + p] = col_out[k] * col_dst[k];
-                    }
-                }
-                for k in 0..nlev {
-                    es.dp3d[k * NPTS + p] = col_dst[k];
+            match kernels {
+                KernelPath::Blocked => remap_element_blocked(
+                    vert,
+                    nlev,
+                    qsize,
+                    es.u,
+                    es.v,
+                    es.t,
+                    es.dp3d,
+                    es.qdp,
+                    &mut scratch.cols,
+                    &mut scratch.remap,
+                )?,
+                KernelPath::Scalar => {
+                    let WorkerScratch { remap, col_src, col_dst, col_val, col_out, .. } = scratch;
+                    remap_element_scalar(
+                        vert, nlev, qsize, es.u, es.v, es.t, es.dp3d, es.qdp, col_src, col_dst,
+                        col_val, col_out, remap,
+                    )?
                 }
             }
         }
+        Ok(())
     }
 
     /// One full distributed model step mirroring
     /// [`Dycore::step`](crate::prim::Dycore::step): dynamics RK +
     /// hyperviscosity + tracer advection + (every `rsplit` steps)
     /// vertical remap.
-    pub fn step(&mut self, ctx: &mut RankCtx, state: &mut State) -> Result<(), CommError> {
+    pub fn step(&mut self, ctx: &mut RankCtx, state: &mut State) -> Result<(), DistError> {
         self.dynamics_step(ctx, state)?;
         self.apply_hypervis(ctx, state)?;
         self.euler_step_tracers(ctx, state)?;
         self.steps_since_remap += 1;
         if self.steps_since_remap >= self.cfg.rsplit {
-            self.vertical_remap(state);
+            self.vertical_remap(state)?;
             self.steps_since_remap = 0;
         }
         Ok(())
@@ -496,11 +535,18 @@ impl DistDycore {
                 self.cfg.dt = full_dt;
                 return Err(e.into());
             }
+            // Post-advection scan covers the tracer arenas, which the RK
+            // stage scans never see.
+            let scan = scan_stage(&state.u, &state.v, &state.t, &state.dp3d, &state.qdp);
+            if let Err(e) = commit_scan(&mut health, &self.health, TRACER_STAGE, scan) {
+                self.cfg.dt = full_dt;
+                return Err(e.into());
+            }
         }
         self.cfg.dt = full_dt;
         self.steps_since_remap += 1;
         if self.steps_since_remap >= self.cfg.rsplit {
-            self.vertical_remap(state);
+            self.vertical_remap(state)?;
             self.steps_since_remap = 0;
         }
         // CFL against the nominal dt, from the LOCAL max wind. Unlike the
@@ -557,10 +603,14 @@ impl DistDycore {
     }
 }
 
-/// `out[li] = base[li] + c_dt RHS(eval[li])` for one owned element.
+/// `out[li] = base[li] + c_dt RHS(eval[li])` for one owned element,
+/// through the fused blocked kernel or the scalar raw-tendency + apply
+/// pair (bitwise identical).
 #[allow(clippy::too_many_arguments)]
 fn update_element(
+    kernels: KernelPath,
     ops: &[ElemOps],
+    bops: &[BlockedOps],
     rhs: &Rhs,
     dims: Dims,
     li: usize,
@@ -574,26 +624,58 @@ fn update_element(
     let fl = dims.field_len();
     let r = li * fl..(li + 1) * fl;
     let WorkerScratch { tend, rhs: rhs_scratch, .. } = scratch;
-    element_rhs_raw(
-        &ops[li],
-        dims.nlev,
-        rhs.vert.ptop(),
-        &eval.u[r.clone()],
-        &eval.v[r.clone()],
-        &eval.t[r.clone()],
-        &eval.dp3d[r.clone()],
-        &phis[li * NPTS..(li + 1) * NPTS],
-        &mut tend.u,
-        &mut tend.v,
-        &mut tend.t,
-        &mut tend.dp3d,
-        rhs_scratch,
-    );
-    for i in 0..fl {
-        out.u[r.start + i] = base.u[r.start + i] + c_dt * tend.u[i];
-        out.v[r.start + i] = base.v[r.start + i] + c_dt * tend.v[i];
-        out.t[r.start + i] = base.t[r.start + i] + c_dt * tend.t[i];
-        out.dp3d[r.start + i] = base.dp3d[r.start + i] + c_dt * tend.dp3d[i];
+    match kernels {
+        KernelPath::Blocked => {
+            let (ou, ov, ot, odp) = (
+                &mut out.u[r.clone()],
+                &mut out.v[r.clone()],
+                &mut out.t[r.clone()],
+                &mut out.dp3d[r.clone()],
+            );
+            element_rhs_apply_blocked(
+                &bops[li],
+                dims.nlev,
+                rhs.vert.ptop(),
+                &eval.u[r.clone()],
+                &eval.v[r.clone()],
+                &eval.t[r.clone()],
+                &eval.dp3d[r.clone()],
+                &phis[li * NPTS..(li + 1) * NPTS],
+                &base.u[r.clone()],
+                &base.v[r.clone()],
+                &base.t[r.clone()],
+                &base.dp3d[r.clone()],
+                c_dt,
+                ou,
+                ov,
+                ot,
+                odp,
+                rhs_scratch,
+            );
+        }
+        KernelPath::Scalar => {
+            element_rhs_raw(
+                &ops[li],
+                dims.nlev,
+                rhs.vert.ptop(),
+                &eval.u[r.clone()],
+                &eval.v[r.clone()],
+                &eval.t[r.clone()],
+                &eval.dp3d[r.clone()],
+                &phis[li * NPTS..(li + 1) * NPTS],
+                &mut tend.u,
+                &mut tend.v,
+                &mut tend.t,
+                &mut tend.dp3d,
+                rhs_scratch,
+            );
+            for i in 0..fl {
+                out.u[r.start + i] = base.u[r.start + i] + c_dt * tend.u[i];
+                out.v[r.start + i] = base.v[r.start + i] + c_dt * tend.v[i];
+                out.t[r.start + i] = base.t[r.start + i] + c_dt * tend.t[i];
+                out.dp3d[r.start + i] = base.dp3d[r.start + i] + c_dt * tend.dp3d[i];
+            }
+        }
     }
 }
 
@@ -601,8 +683,10 @@ fn update_element(
 /// four prognostics.
 #[allow(clippy::too_many_arguments)]
 fn rk_substep(
+    kernels: KernelPath,
     plan: &ExchangePlan,
     ops: &[ElemOps],
+    bops: &[BlockedOps],
     rhs: &Rhs,
     dims: Dims,
     mode: ExchangeMode,
@@ -623,7 +707,7 @@ fn rk_substep(
             // Legacy schedule: all compute, then one staged exchange per
             // (field, level).
             for li in 0..plan.owned.len() {
-                update_element(ops, rhs, dims, li, base, eval, phis, c_dt, out, scratch);
+                update_element(kernels, ops, bops, rhs, dims, li, base, eval, phis, c_dt, out, scratch);
             }
             let mut arenas: [&mut [f64]; NFIELDS] =
                 [&mut out.u, &mut out.v, &mut out.t, &mut out.dp3d];
@@ -632,7 +716,7 @@ fn rk_substep(
         ExchangeMode::Redesigned => {
             // 1. boundary elements first.
             for &li in &plan.boundary {
-                update_element(ops, rhs, dims, li, base, eval, phis, c_dt, out, scratch);
+                update_element(kernels, ops, bops, rhs, dims, li, base, eval, phis, c_dt, out, scratch);
             }
             // 2. one aggregated message per peer: all fields, all levels.
             *tag += 1;
@@ -646,7 +730,7 @@ fn rk_substep(
             );
             // 3. interior elements overlap the communication.
             for &li in &plan.interior {
-                update_element(ops, rhs, dims, li, base, eval, phis, c_dt, out, scratch);
+                update_element(kernels, ops, bops, rhs, dims, li, base, eval, phis, c_dt, out, scratch);
             }
             // 4. accumulate straight from the receive buffers.
             let mut arenas: [&mut [f64]; NFIELDS] =
@@ -754,6 +838,85 @@ fn tracer_substep(
                 for (p, o) in qdp_out[rq.clone()].iter_mut().enumerate() {
                     *o = qdp_in[rq.start + p] + dt * tend[p];
                 }
+            }
+        }
+    }
+}
+
+/// One fused blocked tracer stage over the owned elements: flux
+/// divergence, Euler update and SSP combine in a single pass per element,
+/// bitwise identical to [`tracer_substep`] + the driver's combine loop.
+#[allow(clippy::too_many_arguments)]
+fn tracer_stage_blocked(
+    bops: &[BlockedOps],
+    dims: Dims,
+    u: &[f64],
+    v: &[f64],
+    dp: &[f64],
+    qdp_in: &[f64],
+    q0: &[f64],
+    dt: f64,
+    combine: StageCombine,
+    qdp_out: &mut [f64],
+) {
+    let fl = dims.field_len();
+    let tl = dims.tracer_len();
+    for (e, bop) in bops.iter().enumerate() {
+        euler_stage_element_blocked(
+            bop,
+            dims.nlev,
+            dims.qsize,
+            &u[e * fl..(e + 1) * fl],
+            &v[e * fl..(e + 1) * fl],
+            &dp[e * fl..(e + 1) * fl],
+            &qdp_in[e * tl..(e + 1) * tl],
+            &q0[e * tl..(e + 1) * tl],
+            dt,
+            combine,
+            &mut qdp_out[e * tl..(e + 1) * tl],
+        );
+    }
+}
+
+/// Dispatch the element-local weak Laplacian to the scalar or blocked path.
+fn laplace_elems_path(
+    kernels: KernelPath,
+    ops: &[ElemOps],
+    bops: &[BlockedOps],
+    nlev: usize,
+    field: &mut [f64],
+) {
+    match kernels {
+        KernelPath::Scalar => laplace_elems(ops, nlev, field),
+        KernelPath::Blocked => {
+            let fl = nlev * NPTS;
+            for (e, bop) in bops.iter().enumerate() {
+                laplace_levels_blocked(bop, nlev, &mut field[e * fl..(e + 1) * fl]);
+            }
+        }
+    }
+}
+
+/// Dispatch the element-local vector Laplacian to the scalar or blocked path.
+fn vlaplace_elems_path(
+    kernels: KernelPath,
+    ops: &[ElemOps],
+    bops: &[BlockedOps],
+    nlev: usize,
+    u: &mut [f64],
+    v: &mut [f64],
+) {
+    match kernels {
+        KernelPath::Scalar => vlaplace_elems(ops, nlev, u, v),
+        KernelPath::Blocked => {
+            let fl = nlev * NPTS;
+            for (e, bop) in bops.iter().enumerate() {
+                vlaplace_levels_blocked(
+                    bop,
+                    nlev,
+                    &mut u[e * fl..(e + 1) * fl],
+                    &mut v[e * fl..(e + 1) * fl],
+                );
             }
         }
     }

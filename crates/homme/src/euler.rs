@@ -8,6 +8,7 @@
 //! whose communication cost Section 7.6 attacks.
 
 use crate::deriv::ElemOps;
+use crate::kernels::blocked::{euler_stage_element_blocked, BlockedOps, StageCombine};
 use crate::sched::{ArenaMut, ElemScheduler};
 use crate::state::Dims;
 use cubesphere::NPTS;
@@ -117,6 +118,48 @@ pub fn euler_substep_flat(
                 }
             }
         }
+    });
+}
+
+/// One full blocked Euler stage over a flat tracer arena: flux divergence,
+/// forward-Euler update and SSP stage combination fused per element, with
+/// mass fluxes hoisted across the tracer loop (see
+/// [`euler_stage_element_blocked`]). Elements run across the scheduler's
+/// workers; the call is allocation-free and bitwise identical to
+/// [`euler_substep_flat`] followed by the driver's combination loop.
+#[allow(clippy::too_many_arguments)]
+pub fn euler_stage_flat_blocked(
+    bops: &[BlockedOps],
+    dims: Dims,
+    sched: &ElemScheduler,
+    u: &[f64],
+    v: &[f64],
+    dp: &[f64],
+    qdp_in: &[f64],
+    q0: &[f64],
+    dt: f64,
+    combine: StageCombine,
+    qdp_out: &mut [f64],
+) {
+    let fl = dims.field_len();
+    let tl = dims.tracer_len();
+    let arena_out = ArenaMut::new(qdp_out);
+    sched.run(bops.len(), &|_w, e| {
+        // Disjoint per-element window of the output arena.
+        let qout = unsafe { arena_out.slice(e * tl, tl) };
+        euler_stage_element_blocked(
+            &bops[e],
+            dims.nlev,
+            dims.qsize,
+            &u[e * fl..(e + 1) * fl],
+            &v[e * fl..(e + 1) * fl],
+            &dp[e * fl..(e + 1) * fl],
+            &qdp_in[e * tl..(e + 1) * tl],
+            &q0[e * tl..(e + 1) * tl],
+            dt,
+            combine,
+            qout,
+        );
     });
 }
 

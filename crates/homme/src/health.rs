@@ -17,7 +17,12 @@
 //! report and a degradation policy (halve `dt`, extra hyperviscosity
 //! subcycles) instead of producing silent garbage.
 
+use crate::remap::RemapError;
 use swmpi::{Collectives, ReduceOp};
+
+/// Stage index used for the post-tracer-advection scan (the five RK stages
+/// are 0..=4), so guard failures name the phase that produced them.
+pub const TRACER_STAGE: usize = 5;
 
 /// Guard configuration. Disabled by default; [`HealthConfig::on`] gives
 /// production-style settings.
@@ -136,6 +141,22 @@ pub enum HealthError {
         /// The offending minimum `dp3d`.
         min_dp3d: f64,
     },
+    /// NaN or infinity in the tracer-mass arena after a scanned stage.
+    TracerNonFinite {
+        /// Stage index (see [`TRACER_STAGE`]).
+        stage: usize,
+        /// How many non-finite tracer values the scan saw.
+        count: u64,
+    },
+    /// The vertical remap rejected a column (collapsed Lagrangian layer or
+    /// mass-inconsistent totals).
+    Remap(RemapError),
+}
+
+impl From<RemapError> for HealthError {
+    fn from(e: RemapError) -> Self {
+        HealthError::Remap(e)
+    }
 }
 
 impl std::fmt::Display for HealthError {
@@ -147,6 +168,10 @@ impl std::fmt::Display for HealthError {
             HealthError::ThinLayer { stage, min_dp3d } => {
                 write!(f, "dp3d collapsed to {min_dp3d:.3e} Pa after RK stage {stage}")
             }
+            HealthError::TracerNonFinite { stage, count } => {
+                write!(f, "{count} non-finite tracer values after stage {stage}")
+            }
+            HealthError::Remap(e) => write!(f, "vertical remap rejected: {e}"),
         }
     }
 }
@@ -156,16 +181,21 @@ impl std::error::Error for HealthError {}
 /// Result of one stage scan.
 #[derive(Debug, Clone, Copy)]
 pub struct StageScan {
-    /// Non-finite values across the scanned arenas.
+    /// Non-finite values across the scanned dynamics arenas.
     pub nonfinite: u64,
     /// Minimum `dp3d` seen.
     pub min_dp3d: f64,
     /// Maximum `u^2 + v^2` seen.
     pub max_speed2: f64,
+    /// Non-finite values across the scanned tracer arena.
+    pub tracer_nonfinite: u64,
 }
 
-/// Scan one RK stage's prognostics. Pure reads, no allocation.
-pub fn scan_stage(u: &[f64], v: &[f64], t: &[f64], dp3d: &[f64]) -> StageScan {
+/// Scan one stage's prognostics, *including* the tracer-mass arena — a NaN
+/// born in `qdp` must trip the guards before DSS spreads it, exactly like
+/// one in the dynamics fields. Pass an empty `qdp` for RK stages where the
+/// tracers have not been touched. Pure reads, no allocation.
+pub fn scan_stage(u: &[f64], v: &[f64], t: &[f64], dp3d: &[f64], qdp: &[f64]) -> StageScan {
     let mut nonfinite = 0u64;
     let mut min_dp = f64::INFINITY;
     let mut max_speed2 = 0.0f64;
@@ -181,7 +211,13 @@ pub fn scan_stage(u: &[f64], v: &[f64], t: &[f64], dp3d: &[f64]) -> StageScan {
             max_speed2 = s2;
         }
     }
-    StageScan { nonfinite, min_dp3d: min_dp, max_speed2 }
+    let mut tracer_nonfinite = 0u64;
+    for &qi in qdp {
+        if !qi.is_finite() {
+            tracer_nonfinite += 1;
+        }
+    }
+    StageScan { nonfinite, min_dp3d: min_dp, max_speed2, tracer_nonfinite }
 }
 
 /// Fold one stage scan into the step report, failing fast on hard errors.
@@ -195,6 +231,10 @@ pub fn commit_scan(
     if scan.nonfinite > 0 {
         health.nonfinite += scan.nonfinite;
         return Err(HealthError::NonFinite { stage, count: scan.nonfinite });
+    }
+    if scan.tracer_nonfinite > 0 {
+        health.nonfinite += scan.tracer_nonfinite;
+        return Err(HealthError::TracerNonFinite { stage, count: scan.tracer_nonfinite });
     }
     health.min_dp3d = health.min_dp3d.min(scan.min_dp3d);
     if scan.min_dp3d <= cfg.min_dp3d {
@@ -217,7 +257,7 @@ mod tests {
         let v = [2.0; 8];
         let t = [300.0; 8];
         let dp = [50.0; 8];
-        let scan = scan_stage(&u, &v, &t, &dp);
+        let scan = scan_stage(&u, &v, &t, &dp, &[]);
         assert_eq!(scan.nonfinite, 0);
         assert_eq!(scan.min_dp3d, 50.0);
         assert_eq!(scan.max_speed2, 5.0);
@@ -233,7 +273,7 @@ mod tests {
         let v = [0.0; 3];
         let t = [300.0; 3];
         let dp = [50.0; 3];
-        let scan = scan_stage(&u, &v, &t, &dp);
+        let scan = scan_stage(&u, &v, &t, &dp, &[]);
         assert_eq!(scan.nonfinite, 1);
         let mut health = StepHealth::default();
         let err = commit_scan(&mut health, &HealthConfig::on(), 2, scan).unwrap_err();
@@ -246,10 +286,35 @@ mod tests {
         let v = [0.0; 4];
         let t = [300.0; 4];
         let dp = [50.0, -2.0, 50.0, 50.0];
-        let scan = scan_stage(&u, &v, &t, &dp);
+        let scan = scan_stage(&u, &v, &t, &dp, &[]);
         let mut health = StepHealth { min_dp3d: f64::INFINITY, ..StepHealth::default() };
         let err = commit_scan(&mut health, &HealthConfig::on(), 1, scan).unwrap_err();
         assert_eq!(err, HealthError::ThinLayer { stage: 1, min_dp3d: -2.0 });
+    }
+
+    #[test]
+    fn tracer_nan_is_a_hard_error() {
+        let u = [1.0; 4];
+        let v = [0.0; 4];
+        let t = [300.0; 4];
+        let dp = [50.0; 4];
+        let qdp = [0.5, f64::NAN, 0.25, f64::INFINITY];
+        let scan = scan_stage(&u, &v, &t, &dp, &qdp);
+        assert_eq!(scan.nonfinite, 0);
+        assert_eq!(scan.tracer_nonfinite, 2);
+        let mut health = StepHealth::begin();
+        let err = commit_scan(&mut health, &HealthConfig::on(), TRACER_STAGE, scan).unwrap_err();
+        assert_eq!(err, HealthError::TracerNonFinite { stage: TRACER_STAGE, count: 2 });
+        // The verdict reduce must carry the poison so every rank rolls back.
+        assert_eq!(health.nonfinite, 2);
+    }
+
+    #[test]
+    fn remap_error_converts_to_health_error() {
+        let e = RemapError::NonPositiveSource { layer: 3, dp: -1.0 };
+        let h: HealthError = e.into();
+        assert_eq!(h, HealthError::Remap(e));
+        assert!(format!("{h}").contains("non-positive source thickness"));
     }
 
     #[test]

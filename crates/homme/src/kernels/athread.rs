@@ -535,7 +535,7 @@ pub fn vertical_remap(cluster: &CpeCluster, data: &mut KernelData) -> KernelRepo
                             cv[k] /= cdp[k];
                         }
                     }
-                    remap_column_ppm(cdp, cv, &dst_dp, &mut col_out[..nlev]);
+                    remap_column_ppm(cdp, cv, &dst_dp, &mut col_out[..nlev]).expect("remap");
                     if f >= 4 {
                         for k in 0..nlev {
                             col_out[k] *= dst_dp[k];

@@ -1,0 +1,738 @@
+//! Host-side 4-wide blocked kernels — the vectorized kernel layer.
+//!
+//! The paper's redesign (Sections 5–6) vectorizes CAM-SE's element kernels
+//! over the 256-bit lanes of the SW26010 CPE and keeps per-element operator
+//! tables resident in LDM across the tracer loop. This module is the host
+//! analogue: every horizontal operator and both vertical scans are expressed
+//! over [`V4F64`] rows of the 4x4 GLL quadrature grid, with **lanes mapped to
+//! independent columns** (the four points of one `i`-row). Because a lane
+//! never mixes with its neighbours except through the same reduction order
+//! the scalar operators use, every kernel here is **bitwise identical** to
+//! its scalar reference in [`crate::deriv::ElemOps`] / [`crate::rhs`] — the
+//! scalar path stays in the tree as the parity oracle, and the proptest
+//! suite pins the equivalence across shapes.
+//!
+//! On top of the lane mapping, the layer fuses the way the paper fuses:
+//!
+//! * [`element_rhs_apply_blocked`] runs both column scans, every horizontal
+//!   operator, the omega scan, and the `state += dt * tend` apply in **one
+//!   pass per level**, eliminating the `divdp`/`vgrad_p`/`omega_p` arrays,
+//!   the per-element tendency buffers, and a duplicated `grad(p_mid)`
+//!   evaluation of the scalar pipeline.
+//! * [`euler_stage_element_blocked`] hoists the `u*dp`/`v*dp` mass fluxes
+//!   out of the `qsize` loop (the paper's LDM data reuse across tracers)
+//!   and folds the SSP Runge–Kutta stage combination into the same pass.
+//!
+//! All of it is pure data movement plus reorderings that IEEE-754 makes
+//! exact (multiplication commutes bitwise; identical expressions evaluate
+//! to identical bits), so the blocked path can be the **default** without
+//! perturbing a single pinned trajectory.
+
+use crate::deriv::ElemOps;
+use crate::rhs::{geopotential_scan_blocked, pressure_scan_blocked, RhsScratch};
+use cubesphere::consts::{CP, RD};
+use cubesphere::{pidx, NP, NPTS};
+use sw26010::{transpose4x4, V4F64};
+
+/// Which kernel implementation a dycore driver dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelPath {
+    /// Scalar reference kernels — retained as the bitwise parity oracle.
+    Scalar,
+    /// 4-wide blocked kernels (bitwise identical to `Scalar`).
+    #[default]
+    Blocked,
+}
+
+/// How a blocked Euler tracer stage combines its advected value with the
+/// stage-0 tracer mass (the SSP RK3 stage weights of the scalar driver).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageCombine {
+    /// Stage 1: `out = t`.
+    Replace,
+    /// Stage 2: `out = 3/4 q0 + 1/4 t`.
+    Ssp2,
+    /// Stage 3: `out = q0/3 + 2/3 t`.
+    Ssp3,
+}
+
+/// Load a 16-point field as four row vectors (`rows[i]`, lanes `j`).
+#[inline(always)]
+pub fn load_rows(s: &[f64]) -> [V4F64; NP] {
+    [
+        V4F64::load(&s[0..]),
+        V4F64::load(&s[NP..]),
+        V4F64::load(&s[2 * NP..]),
+        V4F64::load(&s[3 * NP..]),
+    ]
+}
+
+/// Store four row vectors back to a 16-point field.
+#[inline(always)]
+pub fn store_rows(rows: &[V4F64; NP], dst: &mut [f64]) {
+    for (i, r) in rows.iter().enumerate() {
+        r.store(&mut dst[i * NP..]);
+    }
+}
+
+/// Per-element operator tables repacked for row-blocked evaluation: the
+/// metric tensors become four-lane vectors indexed `[..][row]`, and the GLL
+/// derivative matrix is kept in both row-major (`dvv`) and transposed
+/// (`dvvt`) form so either tensor contraction direction is a row operation.
+#[derive(Debug, Clone)]
+pub struct BlockedOps {
+    /// Derivative matrix rows: `dvv[i]` lane `k` = `L_k'(x_i)`.
+    pub dvv: [V4F64; NP],
+    /// Transposed derivative matrix: `dvvt[k]` lane `j` = `dvv[j][k]`.
+    pub dvvt: [V4F64; NP],
+    /// Reference-to-cube derivative scale.
+    pub dscale: f64,
+    /// `dinv[a][b][row]` lane `j` = `ElemOps::dinv[pidx(row, j)][a][b]`.
+    pub dinv: [[[V4F64; NP]; 2]; 2],
+    /// `d[a][b][row]` likewise.
+    pub d: [[[V4F64; NP]; 2]; 2],
+    /// Jacobian determinant rows.
+    pub metdet: [V4F64; NP],
+    /// `1 / metdet` rows.
+    pub rmetdet: [V4F64; NP],
+    /// Coriolis parameter rows.
+    pub fcor: [V4F64; NP],
+    /// DSS/quadrature weight rows.
+    pub spheremp: [V4F64; NP],
+}
+
+impl BlockedOps {
+    /// Repack one element's scalar operator tables.
+    pub fn new(op: &ElemOps) -> Self {
+        let dvv = load_rows(&op.dvv);
+        let dvvt = transpose4x4(dvv);
+        let mut dinv = [[[V4F64::zero(); NP]; 2]; 2];
+        let mut d = [[[V4F64::zero(); NP]; 2]; 2];
+        for a in 0..2 {
+            for b in 0..2 {
+                for r in 0..NP {
+                    for j in 0..NP {
+                        dinv[a][b][r][j] = op.dinv[pidx(r, j)][a][b];
+                        d[a][b][r][j] = op.d[pidx(r, j)][a][b];
+                    }
+                }
+            }
+        }
+        let pack = |src: &[f64; NPTS]| load_rows(src);
+        BlockedOps {
+            dvv,
+            dvvt,
+            dscale: op.dscale,
+            dinv,
+            d,
+            metdet: pack(&op.metdet),
+            rmetdet: pack(&op.rmetdet),
+            fcor: pack(&op.fcor),
+            spheremp: pack(&op.spheremp),
+        }
+    }
+
+    /// `d/dalpha` and `d/dbeta` of a row-blocked nodal field.
+    ///
+    /// Lane-exact image of [`ElemOps::deriv_ab`]: the alpha contraction uses
+    /// a lane-invariant coefficient (`dvv[i][k]` splatted), the beta
+    /// contraction a lane-varying one (`dvvt[k]`), each accumulated in the
+    /// scalar order `k = 0..NP`.
+    #[inline]
+    pub fn deriv_ab(&self, s: &[V4F64; NP]) -> ([V4F64; NP], [V4F64; NP]) {
+        let mut da = [V4F64::zero(); NP];
+        let mut db = [V4F64::zero(); NP];
+        for i in 0..NP {
+            let mut acc_a = V4F64::zero();
+            let mut acc_b = V4F64::zero();
+            for k in 0..NP {
+                acc_a = acc_a + V4F64::splat(self.dvv[i][k]) * s[k];
+                acc_b = acc_b + self.dvvt[k] * V4F64::splat(s[i][k]);
+            }
+            da[i] = acc_a * self.dscale;
+            db[i] = acc_b * self.dscale;
+        }
+        (da, db)
+    }
+
+    /// Physical gradient of a row-blocked scalar ([`ElemOps::gradient_sphere`]).
+    #[inline]
+    pub fn gradient(&self, s: &[V4F64; NP]) -> ([V4F64; NP], [V4F64; NP]) {
+        let (da, db) = self.deriv_ab(s);
+        let mut gx = [V4F64::zero(); NP];
+        let mut gy = [V4F64::zero(); NP];
+        for r in 0..NP {
+            gx[r] = self.dinv[0][0][r] * da[r] + self.dinv[1][0][r] * db[r];
+            gy[r] = self.dinv[0][1][r] * da[r] + self.dinv[1][1][r] * db[r];
+        }
+        (gx, gy)
+    }
+
+    /// Divergence of a row-blocked vector field ([`ElemOps::divergence_sphere`]).
+    ///
+    /// The scalar kernel interleaves both contraction directions in a single
+    /// accumulator per `k`; that exact order is preserved.
+    #[inline]
+    pub fn divergence(&self, u: &[V4F64; NP], v: &[V4F64; NP]) -> [V4F64; NP] {
+        let mut gv1 = [V4F64::zero(); NP];
+        let mut gv2 = [V4F64::zero(); NP];
+        for r in 0..NP {
+            let c1 = self.dinv[0][0][r] * u[r] + self.dinv[0][1][r] * v[r];
+            let c2 = self.dinv[1][0][r] * u[r] + self.dinv[1][1][r] * v[r];
+            gv1[r] = self.metdet[r] * c1;
+            gv2[r] = self.metdet[r] * c2;
+        }
+        let mut div = [V4F64::zero(); NP];
+        for i in 0..NP {
+            let mut acc = V4F64::zero();
+            for k in 0..NP {
+                acc = acc + V4F64::splat(self.dvv[i][k]) * gv1[k];
+                acc = acc + self.dvvt[k] * V4F64::splat(gv2[i][k]);
+            }
+            div[i] = acc * self.dscale * self.rmetdet[i];
+        }
+        div
+    }
+
+    /// Relative vorticity of a row-blocked vector field
+    /// ([`ElemOps::vorticity_sphere`]): separate accumulators per direction.
+    #[inline]
+    pub fn vorticity(&self, u: &[V4F64; NP], v: &[V4F64; NP]) -> [V4F64; NP] {
+        let mut ucov = [V4F64::zero(); NP];
+        let mut vcov = [V4F64::zero(); NP];
+        for r in 0..NP {
+            ucov[r] = self.d[0][0][r] * u[r] + self.d[1][0][r] * v[r];
+            vcov[r] = self.d[0][1][r] * u[r] + self.d[1][1][r] * v[r];
+        }
+        let mut vort = [V4F64::zero(); NP];
+        for i in 0..NP {
+            let mut dv_da = V4F64::zero();
+            let mut du_db = V4F64::zero();
+            for k in 0..NP {
+                dv_da = dv_da + V4F64::splat(self.dvv[i][k]) * vcov[k];
+                du_db = du_db + self.dvvt[k] * V4F64::splat(ucov[i][k]);
+            }
+            vort[i] = (dv_da - du_db) * self.dscale * self.rmetdet[i];
+        }
+        vort
+    }
+
+    /// Weak-form scalar Laplacian ([`ElemOps::laplace_sphere_wk`]): the two
+    /// contraction loops stay sequential (all `i` terms, then all `j`
+    /// terms), matching the scalar accumulation order.
+    #[inline]
+    pub fn laplace_wk(&self, s: &[V4F64; NP]) -> [V4F64; NP] {
+        let (gx, gy) = self.gradient(s);
+        let mut c1 = [V4F64::zero(); NP];
+        let mut c2 = [V4F64::zero(); NP];
+        for r in 0..NP {
+            c1[r] = self.spheremp[r] * (self.dinv[0][0][r] * gx[r] + self.dinv[0][1][r] * gy[r]);
+            c2[r] = self.spheremp[r] * (self.dinv[1][0][r] * gx[r] + self.dinv[1][1][r] * gy[r]);
+        }
+        let mut out = [V4F64::zero(); NP];
+        for a in 0..NP {
+            let mut acc = V4F64::zero();
+            for i in 0..NP {
+                acc = acc + V4F64::splat(self.dvv[i][a]) * c1[i];
+            }
+            for j in 0..NP {
+                acc = acc + self.dvv[j] * V4F64::splat(c2[a][j]);
+            }
+            out[a] = acc * (-self.dscale) / self.spheremp[a];
+        }
+        out
+    }
+
+    /// Curl of a row-blocked scalar field ([`ElemOps::curl_sphere`]).
+    #[inline]
+    pub fn curl(&self, psi: &[V4F64; NP]) -> ([V4F64; NP], [V4F64; NP]) {
+        let (da, db) = self.deriv_ab(psi);
+        let mut cx = [V4F64::zero(); NP];
+        let mut cy = [V4F64::zero(); NP];
+        for r in 0..NP {
+            let c1 = db[r] * self.rmetdet[r];
+            let c2 = -da[r] * self.rmetdet[r];
+            cx[r] = self.d[0][0][r] * c1 + self.d[0][1][r] * c2;
+            cy[r] = self.d[1][0][r] * c1 + self.d[1][1][r] * c2;
+        }
+        (cx, cy)
+    }
+
+    /// Vector Laplacian via `grad(div) - curl(vort)` ([`ElemOps::vlaplace_sphere`]).
+    #[inline]
+    pub fn vlaplace(&self, u: &[V4F64; NP], v: &[V4F64; NP]) -> ([V4F64; NP], [V4F64; NP]) {
+        let div = self.divergence(u, v);
+        let vort = self.vorticity(u, v);
+        let (gdx, gdy) = self.gradient(&div);
+        let (cx, cy) = self.curl(&vort);
+        let mut lu = [V4F64::zero(); NP];
+        let mut lv = [V4F64::zero(); NP];
+        for r in 0..NP {
+            lu[r] = gdx[r] - cx[r];
+            lv[r] = gdy[r] - cy[r];
+        }
+        (lu, lv)
+    }
+}
+
+/// Repack the operator tables of every element.
+pub fn build_blocked_ops(ops: &[ElemOps]) -> Vec<BlockedOps> {
+    ops.iter().map(BlockedOps::new).collect()
+}
+
+/// Fused blocked RHS: scans + horizontal operators + omega scan + tendency
+/// apply for one element, in one pass per level.
+///
+/// Replaces `element_rhs_raw` followed by the `out = base + c_dt * tend`
+/// apply loop. Only the scan buffers of `scratch` are used; the
+/// `divdp`/`vgrad_p`/`omega_p` arrays and the tendency buffers of the
+/// scalar pipeline never materialize.
+#[allow(clippy::too_many_arguments)]
+pub fn element_rhs_apply_blocked(
+    bop: &BlockedOps,
+    nlev: usize,
+    ptop: f64,
+    eval_u: &[f64],
+    eval_v: &[f64],
+    eval_t: &[f64],
+    eval_dp3d: &[f64],
+    phis: &[f64],
+    base_u: &[f64],
+    base_v: &[f64],
+    base_t: &[f64],
+    base_dp3d: &[f64],
+    c_dt: f64,
+    out_u: &mut [f64],
+    out_v: &mut [f64],
+    out_t: &mut [f64],
+    out_dp3d: &mut [f64],
+    scratch: &mut RhsScratch,
+) {
+    pressure_scan_blocked(nlev, ptop, eval_dp3d, &mut scratch.p_int, &mut scratch.p_mid);
+    geopotential_scan_blocked(
+        nlev,
+        phis,
+        eval_t,
+        &scratch.p_int,
+        &scratch.p_mid,
+        &mut scratch.phi_mid,
+    );
+
+    let kappa = RD / CP;
+    let half = V4F64::splat(0.5);
+    // Running omega accumulator: sum of divdp over the levels above.
+    let mut acc = [V4F64::zero(); NP];
+    for k in 0..nlev {
+        let o = k * NPTS;
+        let u = load_rows(&eval_u[o..]);
+        let v = load_rows(&eval_v[o..]);
+        let t = load_rows(&eval_t[o..]);
+        let dp = load_rows(&eval_dp3d[o..]);
+        let pm = load_rows(&scratch.p_mid[o..]);
+        let phi = load_rows(&scratch.phi_mid[o..]);
+
+        let mut energy = [V4F64::zero(); NP];
+        let mut gv1 = [V4F64::zero(); NP];
+        let mut gv2 = [V4F64::zero(); NP];
+        let mut ucov = [V4F64::zero(); NP];
+        let mut vcov = [V4F64::zero(); NP];
+        for r in 0..NP {
+            let udp = u[r] * dp[r];
+            let vdp = v[r] * dp[r];
+            energy[r] = phi[r] + half * (u[r] * u[r] + v[r] * v[r]);
+            let c1 = bop.dinv[0][0][r] * udp + bop.dinv[0][1][r] * vdp;
+            let c2 = bop.dinv[1][0][r] * udp + bop.dinv[1][1][r] * vdp;
+            gv1[r] = bop.metdet[r] * c1;
+            gv2[r] = bop.metdet[r] * c2;
+            ucov[r] = bop.d[0][0][r] * u[r] + bop.d[1][0][r] * v[r];
+            vcov[r] = bop.d[0][1][r] * u[r] + bop.d[1][1][r] * v[r];
+        }
+        // Fused contraction: the five operator evaluations of the level
+        // body (divergence of the mass flux, vorticity, and the gradients
+        // of p_mid, energy and t — one grad(p_mid) feeds both the omega
+        // term and the pressure force, which the scalar pipeline evaluates
+        // twice) share a single (i, k) coefficient walk. Each output keeps
+        // its own accumulators updated in the standalone operator's exact
+        // order, so the committed bits are unchanged; fusing amortizes the
+        // coefficient broadcasts and hands the CPU nine independent
+        // dependency chains to pipeline instead of one or two.
+        let mut divdp = [V4F64::zero(); NP];
+        let mut vort = [V4F64::zero(); NP];
+        let mut gpx = [V4F64::zero(); NP];
+        let mut gpy = [V4F64::zero(); NP];
+        let mut gex = [V4F64::zero(); NP];
+        let mut gey = [V4F64::zero(); NP];
+        let mut gtx = [V4F64::zero(); NP];
+        let mut gty = [V4F64::zero(); NP];
+        for i in 0..NP {
+            let mut acc_div = V4F64::zero();
+            let mut dv_da = V4F64::zero();
+            let mut du_db = V4F64::zero();
+            let mut pm_a = V4F64::zero();
+            let mut pm_b = V4F64::zero();
+            let mut en_a = V4F64::zero();
+            let mut en_b = V4F64::zero();
+            let mut t_a = V4F64::zero();
+            let mut t_b = V4F64::zero();
+            for kk in 0..NP {
+                let ca = V4F64::splat(bop.dvv[i][kk]);
+                let cb = bop.dvvt[kk];
+                acc_div = acc_div + ca * gv1[kk];
+                acc_div = acc_div + cb * V4F64::splat(gv2[i][kk]);
+                dv_da = dv_da + ca * vcov[kk];
+                du_db = du_db + cb * V4F64::splat(ucov[i][kk]);
+                pm_a = pm_a + ca * pm[kk];
+                pm_b = pm_b + cb * V4F64::splat(pm[i][kk]);
+                en_a = en_a + ca * energy[kk];
+                en_b = en_b + cb * V4F64::splat(energy[i][kk]);
+                t_a = t_a + ca * t[kk];
+                t_b = t_b + cb * V4F64::splat(t[i][kk]);
+            }
+            divdp[i] = acc_div * bop.dscale * bop.rmetdet[i];
+            vort[i] = (dv_da - du_db) * bop.dscale * bop.rmetdet[i];
+            let (da, db) = (pm_a * bop.dscale, pm_b * bop.dscale);
+            gpx[i] = bop.dinv[0][0][i] * da + bop.dinv[1][0][i] * db;
+            gpy[i] = bop.dinv[0][1][i] * da + bop.dinv[1][1][i] * db;
+            let (da, db) = (en_a * bop.dscale, en_b * bop.dscale);
+            gex[i] = bop.dinv[0][0][i] * da + bop.dinv[1][0][i] * db;
+            gey[i] = bop.dinv[0][1][i] * da + bop.dinv[1][1][i] * db;
+            let (da, db) = (t_a * bop.dscale, t_b * bop.dscale);
+            gtx[i] = bop.dinv[0][0][i] * da + bop.dinv[1][0][i] * db;
+            gty[i] = bop.dinv[0][1][i] * da + bop.dinv[1][1][i] * db;
+        }
+
+        for r in 0..NP {
+            let ro = o + r * NP;
+            let vgrad = u[r] * gpx[r] + v[r] * gpy[r];
+            let omega = (vgrad - acc[r] - half * divdp[r]) / pm[r];
+            acc[r] = acc[r] + divdp[r];
+            let abs_vort = bop.fcor[r] + vort[r];
+            let rtp = V4F64::splat(RD) * t[r] / pm[r];
+            let tend_u = abs_vort * v[r] - gex[r] - rtp * gpx[r];
+            let tend_v = -abs_vort * u[r] - gey[r] - rtp * gpy[r];
+            let tend_t = -(u[r] * gtx[r] + v[r] * gty[r]) + V4F64::splat(kappa) * t[r] * omega;
+            let tend_dp = -divdp[r];
+            (V4F64::load(&base_u[ro..]) + tend_u * c_dt).store(&mut out_u[ro..]);
+            (V4F64::load(&base_v[ro..]) + tend_v * c_dt).store(&mut out_v[ro..]);
+            (V4F64::load(&base_t[ro..]) + tend_t * c_dt).store(&mut out_t[ro..]);
+            (V4F64::load(&base_dp3d[ro..]) + tend_dp * c_dt).store(&mut out_dp3d[ro..]);
+        }
+    }
+}
+
+/// One blocked Euler tracer stage over one element: flux divergence,
+/// forward-Euler update, and SSP stage combination fused into a single
+/// pass, with the `u*dp`/`v*dp` mass fluxes hoisted out of the tracer loop.
+///
+/// `qdp_in` is the stage input, `q0` the stage-0 tracer mass (ignored for
+/// [`StageCombine::Replace`]), `qdp_out` the combined stage output. Slices
+/// are `[qsize][nlev][NPTS]` for the tracer arenas and `[nlev][NPTS]` for
+/// the dynamics fields.
+#[allow(clippy::too_many_arguments)]
+pub fn euler_stage_element_blocked(
+    bop: &BlockedOps,
+    nlev: usize,
+    qsize: usize,
+    u: &[f64],
+    v: &[f64],
+    dp: &[f64],
+    qdp_in: &[f64],
+    q0: &[f64],
+    dt: f64,
+    combine: StageCombine,
+    qdp_out: &mut [f64],
+) {
+    for k in 0..nlev {
+        let o = k * NPTS;
+        let ur = load_rows(&u[o..]);
+        let vr = load_rows(&v[o..]);
+        let dpr = load_rows(&dp[o..]);
+        let mut udp = [V4F64::zero(); NP];
+        let mut vdp = [V4F64::zero(); NP];
+        for r in 0..NP {
+            udp[r] = ur[r] * dpr[r];
+            vdp[r] = vr[r] * dpr[r];
+        }
+        // Tracers go through the divergence QCHUNK at a time so one
+        // (i, k) coefficient walk contracts several flux fields at once.
+        // Each tracer keeps its own interleaved accumulator updated in the
+        // one-tracer kernel's exact order — the committed bits don't move —
+        // while the batch amortizes the coefficient broadcasts and overlaps
+        // the chunk's dependency chains.
+        const QCHUNK: usize = 4;
+        let mut q = 0;
+        while q < qsize {
+            let m = (qsize - q).min(QCHUNK);
+            let mut qin = [[V4F64::zero(); NP]; QCHUNK];
+            let mut gv1 = [[V4F64::zero(); NP]; QCHUNK];
+            let mut gv2 = [[V4F64::zero(); NP]; QCHUNK];
+            for t in 0..m {
+                let qo = ((q + t) * nlev + k) * NPTS;
+                let qr = load_rows(&qdp_in[qo..]);
+                for r in 0..NP {
+                    let qv = qr[r] / dpr[r];
+                    let fx = udp[r] * qv;
+                    let fy = vdp[r] * qv;
+                    let c1 = bop.dinv[0][0][r] * fx + bop.dinv[0][1][r] * fy;
+                    let c2 = bop.dinv[1][0][r] * fx + bop.dinv[1][1][r] * fy;
+                    gv1[t][r] = bop.metdet[r] * c1;
+                    gv2[t][r] = bop.metdet[r] * c2;
+                }
+                qin[t] = qr;
+            }
+            for i in 0..NP {
+                let mut acc = [V4F64::zero(); QCHUNK];
+                for kk in 0..NP {
+                    let ca = V4F64::splat(bop.dvv[i][kk]);
+                    let cb = bop.dvvt[kk];
+                    for (t, a) in acc.iter_mut().enumerate().take(m) {
+                        *a = *a + ca * gv1[t][kk];
+                        *a = *a + cb * V4F64::splat(gv2[t][i][kk]);
+                    }
+                }
+                for (t, a) in acc.iter().enumerate().take(m) {
+                    let div = *a * bop.dscale * bop.rmetdet[i];
+                    let stage = qin[t][i] + (-div) * dt;
+                    let qo = ((q + t) * nlev + k) * NPTS + i * NP;
+                    let out = match combine {
+                        StageCombine::Replace => stage,
+                        StageCombine::Ssp2 => {
+                            let q0r = V4F64::load(&q0[qo..]);
+                            q0r * 0.75 + stage * 0.25
+                        }
+                        StageCombine::Ssp3 => {
+                            let q0r = V4F64::load(&q0[qo..]);
+                            q0r / V4F64::splat(3.0) + stage * (2.0 / 3.0)
+                        }
+                    };
+                    out.store(&mut qdp_out[qo..]);
+                }
+            }
+            q += m;
+        }
+    }
+}
+
+/// In-place blocked weak Laplacian over every level of one element field.
+pub fn laplace_levels_blocked(bop: &BlockedOps, nlev: usize, field: &mut [f64]) {
+    for k in 0..nlev {
+        let o = k * NPTS;
+        let rows = load_rows(&field[o..]);
+        let lap = bop.laplace_wk(&rows);
+        store_rows(&lap, &mut field[o..]);
+    }
+}
+
+/// In-place blocked vector Laplacian over every level of one element's
+/// `(u, v)` fields.
+pub fn vlaplace_levels_blocked(bop: &BlockedOps, nlev: usize, u: &mut [f64], v: &mut [f64]) {
+    for k in 0..nlev {
+        let o = k * NPTS;
+        let ur = load_rows(&u[o..]);
+        let vr = load_rows(&v[o..]);
+        let (lu, lv) = bop.vlaplace(&ur, &vr);
+        store_rows(&lu, &mut u[o..]);
+        store_rows(&lv, &mut v[o..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deriv::build_ops;
+    use crate::euler::tracer_flux_divergence;
+    use crate::rhs::element_rhs_raw;
+    use cubesphere::CubedSphere;
+
+    /// Deterministic pseudo-random field values in a physical-ish range.
+    fn lcg_field(n: usize, seed: &mut u64, lo: f64, hi: f64) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let u = ((*seed >> 11) as f64) / ((1u64 << 53) as f64);
+                lo + u * (hi - lo)
+            })
+            .collect()
+    }
+
+    fn test_ops() -> Vec<ElemOps> {
+        build_ops(&CubedSphere::new(2))
+    }
+
+    #[test]
+    fn horizontal_operators_match_scalar_bitwise() {
+        let ops = test_ops();
+        let mut seed = 0x1234_5678_9abc_def0u64;
+        for op in &ops {
+            let bop = BlockedOps::new(op);
+            let s = lcg_field(NPTS, &mut seed, -50.0, 50.0);
+            let u = lcg_field(NPTS, &mut seed, -40.0, 40.0);
+            let v = lcg_field(NPTS, &mut seed, -40.0, 40.0);
+
+            let mut da = [0.0; NPTS];
+            let mut db = [0.0; NPTS];
+            op.deriv_ab(&s, &mut da, &mut db);
+            let srows = load_rows(&s);
+            let (bda, bdb) = bop.deriv_ab(&srows);
+            let mut got = [0.0; NPTS];
+            store_rows(&bda, &mut got);
+            assert_eq!(da.map(f64::to_bits), got.map(f64::to_bits), "deriv da");
+            store_rows(&bdb, &mut got);
+            assert_eq!(db.map(f64::to_bits), got.map(f64::to_bits), "deriv db");
+
+            let mut gx = [0.0; NPTS];
+            let mut gy = [0.0; NPTS];
+            op.gradient_sphere(&s, &mut gx, &mut gy);
+            let (bgx, bgy) = bop.gradient(&srows);
+            store_rows(&bgx, &mut got);
+            assert_eq!(gx.map(f64::to_bits), got.map(f64::to_bits), "grad x");
+            store_rows(&bgy, &mut got);
+            assert_eq!(gy.map(f64::to_bits), got.map(f64::to_bits), "grad y");
+
+            let urows = load_rows(&u);
+            let vrows = load_rows(&v);
+            let mut div = [0.0; NPTS];
+            op.divergence_sphere(&u, &v, &mut div);
+            store_rows(&bop.divergence(&urows, &vrows), &mut got);
+            assert_eq!(div.map(f64::to_bits), got.map(f64::to_bits), "div");
+
+            let mut vort = [0.0; NPTS];
+            op.vorticity_sphere(&u, &v, &mut vort);
+            store_rows(&bop.vorticity(&urows, &vrows), &mut got);
+            assert_eq!(vort.map(f64::to_bits), got.map(f64::to_bits), "vort");
+
+            let mut lap = [0.0; NPTS];
+            op.laplace_sphere_wk(&s, &mut lap);
+            store_rows(&bop.laplace_wk(&srows), &mut got);
+            assert_eq!(lap.map(f64::to_bits), got.map(f64::to_bits), "laplace_wk");
+
+            let mut cx = [0.0; NPTS];
+            let mut cy = [0.0; NPTS];
+            op.curl_sphere(&s, &mut cx, &mut cy);
+            let (bcx, bcy) = bop.curl(&srows);
+            store_rows(&bcx, &mut got);
+            assert_eq!(cx.map(f64::to_bits), got.map(f64::to_bits), "curl x");
+            store_rows(&bcy, &mut got);
+            assert_eq!(cy.map(f64::to_bits), got.map(f64::to_bits), "curl y");
+
+            let mut lu = [0.0; NPTS];
+            let mut lv = [0.0; NPTS];
+            op.vlaplace_sphere(&u, &v, &mut lu, &mut lv);
+            let (blu, blv) = bop.vlaplace(&urows, &vrows);
+            store_rows(&blu, &mut got);
+            assert_eq!(lu.map(f64::to_bits), got.map(f64::to_bits), "vlaplace u");
+            store_rows(&blv, &mut got);
+            assert_eq!(lv.map(f64::to_bits), got.map(f64::to_bits), "vlaplace v");
+        }
+    }
+
+    #[test]
+    fn fused_rhs_matches_scalar_raw_plus_apply_bitwise() {
+        let ops = test_ops();
+        let mut seed = 0xfeed_cafe_d00d_f00du64;
+        for nlev in [1usize, 3, 26] {
+            let n = nlev * NPTS;
+            let op = &ops[seed as usize % ops.len()];
+            let bop = BlockedOps::new(op);
+            let u = lcg_field(n, &mut seed, -30.0, 30.0);
+            let v = lcg_field(n, &mut seed, -30.0, 30.0);
+            let t = lcg_field(n, &mut seed, 220.0, 310.0);
+            let dp = lcg_field(n, &mut seed, 200.0, 900.0);
+            let phis = lcg_field(NPTS, &mut seed, 0.0, 5000.0);
+            let base_u = lcg_field(n, &mut seed, -30.0, 30.0);
+            let base_v = lcg_field(n, &mut seed, -30.0, 30.0);
+            let base_t = lcg_field(n, &mut seed, 220.0, 310.0);
+            let base_dp = lcg_field(n, &mut seed, 200.0, 900.0);
+            let (ptop, c_dt) = (225.0, 37.5);
+
+            let mut scratch = RhsScratch::new(nlev);
+            let mut tu = vec![0.0; n];
+            let mut tv = vec![0.0; n];
+            let mut tt = vec![0.0; n];
+            let mut tdp = vec![0.0; n];
+            element_rhs_raw(
+                op, nlev, ptop, &u, &v, &t, &dp, &phis, &mut tu, &mut tv, &mut tt, &mut tdp,
+                &mut scratch,
+            );
+            let apply = |b: &[f64], tn: &[f64]| -> Vec<f64> {
+                b.iter().zip(tn).map(|(&b, &t)| b + c_dt * t).collect()
+            };
+            let (eu, ev, et, edp) =
+                (apply(&base_u, &tu), apply(&base_v, &tv), apply(&base_t, &tt), apply(&base_dp, &tdp));
+
+            let mut ou = vec![0.0; n];
+            let mut ov = vec![0.0; n];
+            let mut ot = vec![0.0; n];
+            let mut odp = vec![0.0; n];
+            element_rhs_apply_blocked(
+                &bop, nlev, ptop, &u, &v, &t, &dp, &phis, &base_u, &base_v, &base_t, &base_dp,
+                c_dt, &mut ou, &mut ov, &mut ot, &mut odp, &mut scratch,
+            );
+            let bits = |x: &[f64]| x.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&eu), bits(&ou), "nlev={nlev} u");
+            assert_eq!(bits(&ev), bits(&ov), "nlev={nlev} v");
+            assert_eq!(bits(&et), bits(&ot), "nlev={nlev} t");
+            assert_eq!(bits(&edp), bits(&odp), "nlev={nlev} dp3d");
+        }
+    }
+
+    #[test]
+    fn euler_stage_matches_scalar_substep_and_combines_bitwise() {
+        let ops = test_ops();
+        let mut seed = 0x0dd_ba11u64;
+        for (nlev, qsize) in [(1usize, 1usize), (3, 4), (26, 2)] {
+            let n = nlev * NPTS;
+            let tn = qsize * n;
+            let op = &ops[(seed as usize) % ops.len()];
+            let bop = BlockedOps::new(op);
+            let u = lcg_field(n, &mut seed, -25.0, 25.0);
+            let v = lcg_field(n, &mut seed, -25.0, 25.0);
+            let dp = lcg_field(n, &mut seed, 300.0, 800.0);
+            let qdp_in = lcg_field(tn, &mut seed, 0.0, 5.0);
+            let q0 = lcg_field(tn, &mut seed, 0.0, 5.0);
+            let dt = 45.0;
+
+            // Scalar reference: per-tracer flux divergence, Euler update,
+            // then the driver's stage-combination loop.
+            let mut expect = vec![0.0; tn];
+            for q in 0..qsize {
+                for k in 0..nlev {
+                    let r = k * NPTS..(k + 1) * NPTS;
+                    let qo = (q * nlev + k) * NPTS;
+                    let mut tend = [0.0; NPTS];
+                    tracer_flux_divergence(
+                        op,
+                        &u[r.clone()],
+                        &v[r.clone()],
+                        &dp[r.clone()],
+                        &qdp_in[qo..qo + NPTS],
+                        &mut tend,
+                    );
+                    for p in 0..NPTS {
+                        expect[qo + p] = qdp_in[qo + p] + dt * tend[p];
+                    }
+                }
+            }
+            for combine in [StageCombine::Replace, StageCombine::Ssp2, StageCombine::Ssp3] {
+                let combined: Vec<f64> = match combine {
+                    StageCombine::Replace => expect.clone(),
+                    StageCombine::Ssp2 => {
+                        q0.iter().zip(&expect).map(|(&q0, &t)| 0.75 * q0 + 0.25 * t).collect()
+                    }
+                    StageCombine::Ssp3 => {
+                        q0.iter().zip(&expect).map(|(&q0, &t)| q0 / 3.0 + 2.0 / 3.0 * t).collect()
+                    }
+                };
+                let mut got = vec![0.0; tn];
+                euler_stage_element_blocked(
+                    &bop, nlev, qsize, &u, &v, &dp, &qdp_in, &q0, dt, combine, &mut got,
+                );
+                assert_eq!(
+                    combined.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "nlev={nlev} qsize={qsize} {combine:?}"
+                );
+            }
+        }
+    }
+}

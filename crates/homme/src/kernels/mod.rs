@@ -24,6 +24,7 @@
 //! [`verify`]); they differ in the modeled time and traffic.
 
 pub mod athread;
+pub mod blocked;
 pub mod openacc;
 pub mod reference;
 pub mod verify;

@@ -294,7 +294,7 @@ pub fn vertical_remap(cluster: &CpeCluster, data: &mut KernelData) -> KernelRepo
             for k in 0..nlev {
                 col[k] = input.get(at(k));
             }
-            remap_column_ppm(&src, &col, &dst, &mut out);
+            remap_column_ppm(&src, &col, &dst, &mut out).expect("remap");
             for k in 0..nlev {
                 output.set(at(k), out[k], ctx.id());
             }
@@ -304,7 +304,7 @@ pub fn vertical_remap(cluster: &CpeCluster, data: &mut KernelData) -> KernelRepo
             for k in 0..nlev {
                 col[k] = qdp.get(atq(k)) / src[k];
             }
-            remap_column_ppm(&src, &col, &dst, &mut out);
+            remap_column_ppm(&src, &col, &dst, &mut out).expect("remap");
             for k in 0..nlev {
                 out_q.set(atq(k), out[k] * dst[k], ctx.id());
             }

@@ -101,7 +101,7 @@ pub fn vertical_remap(data: &mut KernelData) {
                         _ => data.t[data.at(e, k, p)],
                     };
                 }
-                remap_column_ppm(&src, &col, &dst, &mut out);
+                remap_column_ppm(&src, &col, &dst, &mut out).expect("remap");
                 for k in 0..nlev {
                     let i = data.at(e, k, p);
                     match f {
@@ -116,7 +116,7 @@ pub fn vertical_remap(data: &mut KernelData) {
                 for k in 0..nlev {
                     col[k] = data.qdp[data.atq(e, q, k, p)] / src[k];
                 }
-                remap_column_ppm(&src, &col, &dst, &mut out);
+                remap_column_ppm(&src, &col, &dst, &mut out).expect("remap");
                 for k in 0..nlev {
                     let i = data.atq(e, q, k, p);
                     data.out_a[i] = out[k] * dst[k];

@@ -47,9 +47,11 @@ pub use deriv::{build_ops, ElemOps};
 pub use diagnostics::{budgets, Budgets};
 pub use dist::{DistDycore, DistError, EPOCH_SHIFT};
 pub use dss::Dss;
-pub use health::{DegradePolicy, HealthConfig, HealthError, StepHealth};
+pub use health::{DegradePolicy, HealthConfig, HealthError, StepHealth, TRACER_STAGE};
 pub use hypervis::HypervisConfig;
+pub use kernels::blocked::{BlockedOps, KernelPath, StageCombine};
 pub use prim::{Dycore, DycoreConfig, KG5_COEFFS};
+pub use remap::RemapError;
 pub use rhs::{ElemTend, Rhs, RhsScratch};
 pub use sched::ElemScheduler;
 pub use seedref::SeedStepper;

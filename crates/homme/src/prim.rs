@@ -16,16 +16,22 @@
 
 use crate::deriv::{build_ops, ElemOps};
 use crate::dss::Dss;
-use crate::euler::{euler_substep_flat, limit_tracer_arena};
-use crate::health::{commit_scan, scan_stage, DegradePolicy, HealthConfig, HealthError, StepHealth};
-use crate::hypervis::{biharmonic_flat, laplace_flat, vlaplace_flat, HypervisConfig};
-use crate::remap::remap_column_ppm_with;
+use crate::euler::{euler_stage_flat_blocked, euler_substep_flat, limit_tracer_arena};
+use crate::health::{
+    commit_scan, scan_stage, DegradePolicy, HealthConfig, HealthError, StepHealth, TRACER_STAGE,
+};
+use crate::hypervis::{biharmonic_flat_path, laplace_flat_path, vlaplace_flat_path, HypervisConfig};
+use crate::kernels::blocked::{
+    build_blocked_ops, element_rhs_apply_blocked, BlockedOps, KernelPath, StageCombine,
+};
+use crate::remap::{remap_element_blocked, remap_element_scalar, RemapError};
 use crate::rhs::{element_rhs_raw, Rhs};
 use crate::sched::{ArenaMut, ElemScheduler};
 use crate::state::{Dims, State};
 use crate::vert::VertCoord;
 use crate::workspace::{DynFields, StepWorkspace, WorkerScratch};
 use cubesphere::{CubedSphere, NPTS};
+use std::sync::Mutex;
 
 /// Kinnmark–Gray 5-stage RK coefficients: stage `i` computes
 /// `u_i = u_0 + c_i dt RHS(u_{i-1})`.
@@ -77,6 +83,10 @@ pub struct Dycore {
     pub health: HealthConfig,
     /// What a CFL breach does to the following steps.
     pub degrade: DegradePolicy,
+    /// Which kernel implementation the step pipeline dispatches to
+    /// (blocked by default; the scalar path is the parity oracle).
+    pub kernels: KernelPath,
+    bops: Vec<BlockedOps>,
     ws: StepWorkspace,
     steps_since_remap: usize,
     degrade_pending: usize,
@@ -107,6 +117,7 @@ impl Dycore {
     /// grid.
     pub fn from_grid(grid: CubedSphere, dims: Dims, ptop: f64, cfg: DycoreConfig) -> Self {
         let ops = build_ops(&grid);
+        let bops = build_blocked_ops(&ops);
         let dss = Dss::new(&grid);
         let vert = VertCoord::standard(dims.nlev, ptop);
         let rhs = Rhs::new(vert, dims);
@@ -128,6 +139,8 @@ impl Dycore {
             sched,
             health: HealthConfig::default(),
             degrade: DegradePolicy::default(),
+            kernels: KernelPath::default(),
+            bops,
             ws,
             steps_since_remap: 0,
             degrade_pending: 0,
@@ -155,12 +168,14 @@ impl Dycore {
     /// Advance the dynamics (u, v, T, dp3d) by one dt with the 5-stage RK.
     pub fn dynamics_step(&mut self, state: &mut State) {
         let dt = self.cfg.dt;
-        let Dycore { ops, dss, rhs, dims, sched, ws, .. } = self;
+        let Dycore { ops, dss, rhs, dims, sched, ws, kernels, bops, .. } = self;
         ws.base.copy_from_state(state);
         ws.stage.copy_from_state(state);
         for &c in &KG5_COEFFS {
             rk_substep(
+                *kernels,
                 ops,
+                bops,
                 dss,
                 rhs,
                 *dims,
@@ -200,7 +215,8 @@ impl Dycore {
         if hv.nu == 0.0 && hv.nu_p == 0.0 {
             return;
         }
-        let Dycore { ops, dss, dims, cfg, sched, ws, .. } = self;
+        let Dycore { ops, dss, dims, cfg, sched, ws, kernels, bops, .. } = self;
+        let kernels = *kernels;
         let nlev = dims.nlev;
         let fl = dims.field_len();
         // Top-of-model sponge: ordinary Laplacian damping on the top
@@ -213,8 +229,8 @@ impl Dycore {
                 ws.sponge_v[e * sl..(e + 1) * sl].copy_from_slice(&state.v[e * fl..e * fl + sl]);
                 ws.sponge_t[e * sl..(e + 1) * sl].copy_from_slice(&state.t[e * fl..e * fl + sl]);
             }
-            vlaplace_flat(ops, dss, sched, ks, &mut ws.sponge_u, &mut ws.sponge_v);
-            laplace_flat(ops, dss, sched, ks, &mut ws.sponge_t);
+            vlaplace_flat_path(kernels, ops, bops, dss, sched, ks, &mut ws.sponge_u, &mut ws.sponge_v);
+            laplace_flat_path(kernels, ops, bops, dss, sched, ks, &mut ws.sponge_t);
             for e in 0..ops.len() {
                 for (k_rel, damp) in (0..ks).map(|k| (k, 1.0 / (1 << k) as f64)) {
                     for p in 0..NPTS {
@@ -232,10 +248,10 @@ impl Dycore {
         for _ in 0..subcycles {
             ws.hyp.copy_from_state(state);
             // del^4 via two Laplacians with DSS (vector Laplacian for wind).
-            vlaplace_flat(ops, dss, sched, nlev, &mut ws.hyp.u, &mut ws.hyp.v);
-            vlaplace_flat(ops, dss, sched, nlev, &mut ws.hyp.u, &mut ws.hyp.v);
-            biharmonic_flat(ops, dss, sched, nlev, &mut ws.hyp.t);
-            biharmonic_flat(ops, dss, sched, nlev, &mut ws.hyp.dp3d);
+            vlaplace_flat_path(kernels, ops, bops, dss, sched, nlev, &mut ws.hyp.u, &mut ws.hyp.v);
+            vlaplace_flat_path(kernels, ops, bops, dss, sched, nlev, &mut ws.hyp.u, &mut ws.hyp.v);
+            biharmonic_flat_path(kernels, ops, bops, dss, sched, nlev, &mut ws.hyp.t);
+            biharmonic_flat_path(kernels, ops, bops, dss, sched, nlev, &mut ws.hyp.dp3d);
             for (x, l) in state.u.iter_mut().zip(&ws.hyp.u) {
                 *x -= dt_sub * hv.nu * l;
             }
@@ -257,36 +273,71 @@ impl Dycore {
             return;
         }
         let dt = self.cfg.dt;
-        let Dycore { ops, dss, dims, cfg, sched, ws, .. } = self;
+        let Dycore { ops, dss, dims, cfg, sched, ws, kernels, bops, .. } = self;
         ws.qdp0.copy_from_slice(&state.qdp);
 
-        // Stage 1: q1 = q0 + dt L(q0)
-        euler_substep_flat(ops, *dims, sched, &state.u, &state.v, &state.dp3d, &ws.qdp0, dt, &mut ws.q1);
-        finish_tracer_stage(ops, dss, *dims, cfg.limiter, &mut ws.q1);
-        // Stage 2: q2 = 3/4 q0 + 1/4 (q1 + dt L(q1))
-        euler_substep_flat(ops, *dims, sched, &state.u, &state.v, &state.dp3d, &ws.q1, dt, &mut ws.qtmp);
-        for (q2, (q0, t)) in ws.q2.iter_mut().zip(ws.qdp0.iter().zip(&ws.qtmp)) {
-            *q2 = 0.75 * q0 + 0.25 * t;
+        match kernels {
+            KernelPath::Blocked => {
+                // Fused stages: advect + SSP combine in one pass, with the
+                // mass fluxes hoisted across the tracer loop.
+                // Stage 1: q1 = q0 + dt L(q0)
+                euler_stage_flat_blocked(
+                    bops, *dims, sched, &state.u, &state.v, &state.dp3d, &ws.qdp0, &ws.qdp0, dt,
+                    StageCombine::Replace, &mut ws.q1,
+                );
+                finish_tracer_stage(ops, dss, *dims, cfg.limiter, &mut ws.q1);
+                // Stage 2: q2 = 3/4 q0 + 1/4 (q1 + dt L(q1))
+                euler_stage_flat_blocked(
+                    bops, *dims, sched, &state.u, &state.v, &state.dp3d, &ws.q1, &ws.qdp0, dt,
+                    StageCombine::Ssp2, &mut ws.q2,
+                );
+                finish_tracer_stage(ops, dss, *dims, cfg.limiter, &mut ws.q2);
+                // Stage 3: q^{n+1} = 1/3 q0 + 2/3 (q2 + dt L(q2))
+                euler_stage_flat_blocked(
+                    bops, *dims, sched, &state.u, &state.v, &state.dp3d, &ws.q2, &ws.qdp0, dt,
+                    StageCombine::Ssp3, &mut state.qdp,
+                );
+                finish_tracer_stage(ops, dss, *dims, cfg.limiter, &mut state.qdp);
+            }
+            KernelPath::Scalar => {
+                // Stage 1: q1 = q0 + dt L(q0)
+                euler_substep_flat(ops, *dims, sched, &state.u, &state.v, &state.dp3d, &ws.qdp0, dt, &mut ws.q1);
+                finish_tracer_stage(ops, dss, *dims, cfg.limiter, &mut ws.q1);
+                // Stage 2: q2 = 3/4 q0 + 1/4 (q1 + dt L(q1))
+                euler_substep_flat(ops, *dims, sched, &state.u, &state.v, &state.dp3d, &ws.q1, dt, &mut ws.qtmp);
+                for (q2, (q0, t)) in ws.q2.iter_mut().zip(ws.qdp0.iter().zip(&ws.qtmp)) {
+                    *q2 = 0.75 * q0 + 0.25 * t;
+                }
+                finish_tracer_stage(ops, dss, *dims, cfg.limiter, &mut ws.q2);
+                // Stage 3: q^{n+1} = 1/3 q0 + 2/3 (q2 + dt L(q2))
+                euler_substep_flat(ops, *dims, sched, &state.u, &state.v, &state.dp3d, &ws.q2, dt, &mut ws.qtmp);
+                for (qf, (q0, t)) in state.qdp.iter_mut().zip(ws.qdp0.iter().zip(&ws.qtmp)) {
+                    *qf = q0 / 3.0 + 2.0 / 3.0 * t;
+                }
+                finish_tracer_stage(ops, dss, *dims, cfg.limiter, &mut state.qdp);
+            }
         }
-        finish_tracer_stage(ops, dss, *dims, cfg.limiter, &mut ws.q2);
-        // Stage 3: q^{n+1} = 1/3 q0 + 2/3 (q2 + dt L(q2))
-        euler_substep_flat(ops, *dims, sched, &state.u, &state.v, &state.dp3d, &ws.q2, dt, &mut ws.qtmp);
-        for (qf, (q0, t)) in state.qdp.iter_mut().zip(ws.qdp0.iter().zip(&ws.qtmp)) {
-            *qf = q0 / 3.0 + 2.0 / 3.0 * t;
-        }
-        finish_tracer_stage(ops, dss, *dims, cfg.limiter, &mut state.qdp);
     }
 
     /// Remap the column back to reference hybrid levels (`vertical_remap`).
-    pub fn vertical_remap(&mut self, state: &mut State) {
-        let Dycore { ops, rhs, dims, sched, ws, .. } = self;
+    ///
+    /// # Errors
+    /// A collapsed Lagrangian layer or mass-inconsistent column surfaces as
+    /// [`HealthError::Remap`] instead of panicking a worker thread, so the
+    /// resilient driver can roll back to a checkpoint. On `Err` the state
+    /// may hold partially remapped elements.
+    pub fn vertical_remap(&mut self, state: &mut State) -> Result<(), HealthError> {
+        let Dycore { ops, rhs, dims, sched, ws, kernels, .. } = self;
+        let kernels = *kernels;
         let nlev = dims.nlev;
         let qsize = dims.qsize;
         let fl = dims.field_len();
         let tl = dims.tracer_len();
         let vert = &rhs.vert;
-        let ptop = vert.ptop();
         let workers = &ws.workers;
+        // First remap failure observed by any worker (workers cannot
+        // propagate `?` through the scheduler closure).
+        let failure: Mutex<Option<RemapError>> = Mutex::new(None);
         let au = ArenaMut::new(&mut state.u);
         let av = ArenaMut::new(&mut state.v);
         let at = ArenaMut::new(&mut state.t);
@@ -295,46 +346,40 @@ impl Dycore {
         sched.run(ops.len(), &|w, e| {
             // One scratch slot per worker; windows are element-disjoint.
             let scratch = unsafe { workers.get(w) };
-            let WorkerScratch { remap, col_src, col_dst, col_val, col_out, .. } = scratch;
             let u = unsafe { au.slice(e * fl, fl) };
             let v = unsafe { av.slice(e * fl, fl) };
             let t = unsafe { at.slice(e * fl, fl) };
             let dp3d = unsafe { adp.slice(e * fl, fl) };
             let qdp = unsafe { aq.slice(e * tl, tl) };
-            for p in 0..NPTS {
-                let mut ps = ptop;
-                for k in 0..nlev {
-                    col_src[k] = dp3d[k * NPTS + p];
-                    ps += col_src[k];
+            let res = match kernels {
+                KernelPath::Blocked => remap_element_blocked(
+                    vert,
+                    nlev,
+                    qsize,
+                    u,
+                    v,
+                    t,
+                    dp3d,
+                    qdp,
+                    &mut scratch.cols,
+                    &mut scratch.remap,
+                ),
+                KernelPath::Scalar => {
+                    let WorkerScratch { remap, col_src, col_dst, col_val, col_out, .. } = scratch;
+                    remap_element_scalar(
+                        vert, nlev, qsize, u, v, t, dp3d, qdp, col_src, col_dst, col_val, col_out,
+                        remap,
+                    )
                 }
-                for k in 0..nlev {
-                    col_dst[k] = vert.dp_ref(k, ps);
-                }
-                // Momentum, heat: conserve integral(f dp).
-                for field in [&mut *u, &mut *v, &mut *t] {
-                    for k in 0..nlev {
-                        col_val[k] = field[k * NPTS + p];
-                    }
-                    remap_column_ppm_with(col_src, col_val, col_dst, col_out, remap);
-                    for k in 0..nlev {
-                        field[k * NPTS + p] = col_out[k];
-                    }
-                }
-                // Tracers: remap mixing ratio, rebuild mass.
-                for q in 0..qsize {
-                    for k in 0..nlev {
-                        col_val[k] = qdp[(q * nlev + k) * NPTS + p] / col_src[k];
-                    }
-                    remap_column_ppm_with(col_src, col_val, col_dst, col_out, remap);
-                    for k in 0..nlev {
-                        qdp[(q * nlev + k) * NPTS + p] = col_out[k] * col_dst[k];
-                    }
-                }
-                for k in 0..nlev {
-                    dp3d[k * NPTS + p] = col_dst[k];
-                }
+            };
+            if let Err(e) = res {
+                *failure.lock().unwrap() = Some(e);
             }
         });
+        match failure.into_inner().unwrap() {
+            Some(e) => Err(HealthError::from(e)),
+            None => Ok(()),
+        }
     }
 
     /// One full model step: dynamics RK + hyperviscosity + tracer advection
@@ -345,7 +390,9 @@ impl Dycore {
         self.euler_step_tracers(state);
         self.steps_since_remap += 1;
         if self.steps_since_remap >= self.cfg.rsplit {
-            self.vertical_remap(state);
+            // The unguarded driver has no rollback path to route the
+            // verdict into; a broken column is fatal here.
+            self.vertical_remap(state).expect("vertical remap failed");
             self.steps_since_remap = 0;
         }
     }
@@ -382,11 +429,18 @@ impl Dycore {
             let subcycles = self.hypervis_subcycles() + extra;
             self.apply_hypervis_n(state, subcycles);
             self.euler_step_tracers(state);
+            // Post-advection scan covers the tracer arenas, which the RK
+            // stage scans never see.
+            let scan = scan_stage(&state.u, &state.v, &state.t, &state.dp3d, &state.qdp);
+            if let Err(e) = commit_scan(&mut health, &self.health, TRACER_STAGE, scan) {
+                self.cfg.dt = full_dt;
+                return Err(e);
+            }
         }
         self.cfg.dt = full_dt;
         self.steps_since_remap += 1;
         if self.steps_since_remap >= self.cfg.rsplit {
-            self.vertical_remap(state);
+            self.vertical_remap(state)?;
             self.steps_since_remap = 0;
         }
         // CFL is judged against the nominal dt: while winds stay too fast
@@ -406,12 +460,14 @@ impl Dycore {
     ) -> Result<(), HealthError> {
         let dt = self.cfg.dt;
         let hcfg = self.health;
-        let Dycore { ops, dss, rhs, dims, sched, ws, .. } = self;
+        let Dycore { ops, dss, rhs, dims, sched, ws, kernels, bops, .. } = self;
         ws.base.copy_from_state(state);
         ws.stage.copy_from_state(state);
         for (stage, &c) in KG5_COEFFS.iter().enumerate() {
             rk_substep(
+                *kernels,
                 ops,
+                bops,
                 dss,
                 rhs,
                 *dims,
@@ -423,7 +479,7 @@ impl Dycore {
                 c * dt,
                 &mut ws.next,
             );
-            let scan = scan_stage(&ws.next.u, &ws.next.v, &ws.next.t, &ws.next.dp3d);
+            let scan = scan_stage(&ws.next.u, &ws.next.v, &ws.next.t, &ws.next.dp3d, &[]);
             commit_scan(health, &hcfg, stage, scan)?;
             std::mem::swap(&mut ws.stage, &mut ws.next);
         }
@@ -490,11 +546,14 @@ impl Dycore {
 
 /// One explicit sub-step across all elements: `out = base + c dt
 /// RHS(eval)`, then DSS. RHS evaluations run on the scheduler with
-/// per-worker scratch; the DSS is serial and bitwise identical to the
-/// per-element path.
+/// per-worker scratch — the fused blocked kernel or the scalar
+/// raw-tendency + apply pair, bitwise identical either way; the DSS is
+/// serial and bitwise identical to the per-element path.
 #[allow(clippy::too_many_arguments)]
 fn rk_substep(
+    kernels: KernelPath,
     ops: &[ElemOps],
+    bops: &[BlockedOps],
     dss: &mut Dss,
     rhs: &Rhs,
     dims: Dims,
@@ -518,30 +577,54 @@ fn rk_substep(
             let scratch = unsafe { workers.get(w) };
             let WorkerScratch { tend, rhs: rhs_scratch, .. } = scratch;
             let r = e * fl..(e + 1) * fl;
-            element_rhs_raw(
-                &ops[e],
-                nlev,
-                ptop,
-                &eval.u[r.clone()],
-                &eval.v[r.clone()],
-                &eval.t[r.clone()],
-                &eval.dp3d[r.clone()],
-                &phis[e * NPTS..(e + 1) * NPTS],
-                &mut tend.u,
-                &mut tend.v,
-                &mut tend.t,
-                &mut tend.dp3d,
-                rhs_scratch,
-            );
             let ou = unsafe { ou.slice(e * fl, fl) };
             let ov = unsafe { ov.slice(e * fl, fl) };
             let ot = unsafe { ot.slice(e * fl, fl) };
             let odp = unsafe { odp.slice(e * fl, fl) };
-            for i in 0..fl {
-                ou[i] = base.u[r.start + i] + c_dt * tend.u[i];
-                ov[i] = base.v[r.start + i] + c_dt * tend.v[i];
-                ot[i] = base.t[r.start + i] + c_dt * tend.t[i];
-                odp[i] = base.dp3d[r.start + i] + c_dt * tend.dp3d[i];
+            match kernels {
+                KernelPath::Blocked => element_rhs_apply_blocked(
+                    &bops[e],
+                    nlev,
+                    ptop,
+                    &eval.u[r.clone()],
+                    &eval.v[r.clone()],
+                    &eval.t[r.clone()],
+                    &eval.dp3d[r.clone()],
+                    &phis[e * NPTS..(e + 1) * NPTS],
+                    &base.u[r.clone()],
+                    &base.v[r.clone()],
+                    &base.t[r.clone()],
+                    &base.dp3d[r.clone()],
+                    c_dt,
+                    ou,
+                    ov,
+                    ot,
+                    odp,
+                    rhs_scratch,
+                ),
+                KernelPath::Scalar => {
+                    element_rhs_raw(
+                        &ops[e],
+                        nlev,
+                        ptop,
+                        &eval.u[r.clone()],
+                        &eval.v[r.clone()],
+                        &eval.t[r.clone()],
+                        &eval.dp3d[r.clone()],
+                        &phis[e * NPTS..(e + 1) * NPTS],
+                        &mut tend.u,
+                        &mut tend.v,
+                        &mut tend.t,
+                        &mut tend.dp3d,
+                        rhs_scratch,
+                    );
+                    for i in 0..fl {
+                        ou[i] = base.u[r.start + i] + c_dt * tend.u[i];
+                        ov[i] = base.v[r.start + i] + c_dt * tend.v[i];
+                        ot[i] = base.t[r.start + i] + c_dt * tend.t[i];
+                        odp[i] = base.dp3d[r.start + i] + c_dt * tend.dp3d[i];
+                    }
+                }
             }
         });
     }
@@ -744,6 +827,40 @@ mod tests {
         st.u[0] = f64::NAN;
         let err = dy.step_checked(&mut st).unwrap_err();
         assert!(matches!(err, HealthError::NonFinite { stage: 0, .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn guarded_step_rejects_tracer_nan() {
+        let dims = Dims { nlev: 4, qsize: 2 };
+        let cfg = DycoreConfig::for_ne(2);
+        let mut dy = Dycore::new(2, dims, 200.0, cfg);
+        dy.health = HealthConfig::on();
+        let mut st = resting_state(&dy);
+        // A NaN born in the tracer arena is invisible to the RK stage
+        // scans; the post-advection scan must still catch it.
+        st.qdp[3] = f64::NAN;
+        let err = dy.step_checked(&mut st).unwrap_err();
+        assert!(
+            matches!(err, HealthError::TracerNonFinite { stage: TRACER_STAGE, .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn guarded_step_surfaces_remap_rejection_as_typed_error() {
+        let dims = Dims { nlev: 4, qsize: 0 };
+        let cfg = DycoreConfig::for_ne(2);
+        let mut dy = Dycore::new(2, dims, 200.0, cfg);
+        // Disarm the ThinLayer stage guard so the collapsed layer reaches
+        // the vertical remap, which rejects it with a typed error instead
+        // of a bare assert.
+        dy.health = HealthConfig { min_dp3d: f64::NEG_INFINITY, ..HealthConfig::on() };
+        let mut st = resting_state(&dy);
+        for p in 0..NPTS {
+            st.dp3d[NPTS + p] = -5000.0;
+        }
+        let err = dy.step_checked(&mut st).unwrap_err();
+        assert!(matches!(err, HealthError::Remap(_)), "got {err:?}");
     }
 
     #[test]

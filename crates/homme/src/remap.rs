@@ -7,7 +7,71 @@
 //! levels with a monotone piecewise-parabolic (PPM) reconstruction, exactly
 //! conserving column mass, momentum, internal energy and tracer mass.
 
+use crate::vert::VertCoord;
 use cubesphere::NPTS;
+use sw26010::transpose_blocked;
+
+/// A rejected remap precondition — a collapsed Lagrangian layer or a
+/// mass-inconsistent column. These are *recoverable* state-health verdicts,
+/// not programming errors: the distributed driver routes them through the
+/// health plumbing into the rollback protocol instead of panicking a rank
+/// thread (which would abort the whole process from under `try_run_ranks`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RemapError {
+    /// Value/thickness slice lengths disagree.
+    LengthMismatch {
+        /// `vals.len()`.
+        vals: usize,
+        /// `src_dp.len()`.
+        src: usize,
+        /// `dst_dp.len()`.
+        dst: usize,
+        /// `out.len()`.
+        out: usize,
+    },
+    /// A source layer has collapsed (`dp <= 0` or NaN).
+    NonPositiveSource {
+        /// Layer index (top first).
+        layer: usize,
+        /// The offending thickness.
+        dp: f64,
+    },
+    /// A target layer is non-positive or NaN.
+    NonPositiveTarget {
+        /// Layer index (top first).
+        layer: usize,
+        /// The offending thickness.
+        dp: f64,
+    },
+    /// Source and target column totals differ beyond relative `1e-10`.
+    TotalMismatch {
+        /// Source column total.
+        src: f64,
+        /// Target column total.
+        dst: f64,
+    },
+}
+
+impl std::fmt::Display for RemapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RemapError::LengthMismatch { vals, src, dst, out } => {
+                write!(f, "remap length mismatch: vals {vals} vs src {src}, dst {dst} vs out {out}")
+            }
+            RemapError::NonPositiveSource { layer, dp } => {
+                write!(f, "non-positive source thickness at layer {layer}: {dp}")
+            }
+            RemapError::NonPositiveTarget { layer, dp } => {
+                write!(f, "non-positive target thickness at layer {layer}: {dp}")
+            }
+            RemapError::TotalMismatch { src, dst } => {
+                write!(f, "column totals differ: {src} vs {dst}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RemapError {}
 
 /// Reusable buffers for the PPM reconstruction of one column. A scratch
 /// sized once for `nlev` serves every column of a run — the zero-alloc
@@ -47,9 +111,14 @@ impl RemapScratch {
 
 /// Conservatively remap one column (allocating convenience wrapper around
 /// [`remap_column_ppm_with`]).
-pub fn remap_column_ppm(src_dp: &[f64], vals: &[f64], dst_dp: &[f64], out: &mut [f64]) {
+pub fn remap_column_ppm(
+    src_dp: &[f64],
+    vals: &[f64],
+    dst_dp: &[f64],
+    out: &mut [f64],
+) -> Result<(), RemapError> {
     let mut scratch = RemapScratch::new(src_dp.len());
-    remap_column_ppm_with(src_dp, vals, dst_dp, out, &mut scratch);
+    remap_column_ppm_with(src_dp, vals, dst_dp, out, &mut scratch)
 }
 
 /// Conservatively remap one column.
@@ -60,27 +129,45 @@ pub fn remap_column_ppm(src_dp: &[f64], vals: &[f64], dst_dp: &[f64], out: &mut 
 /// fully overwritten; a sufficiently-sized scratch makes the call
 /// allocation-free.
 ///
-/// # Panics
-/// Panics if lengths disagree, any thickness is non-positive, or the column
-/// totals differ by more than a relative `1e-10`.
+/// # Errors
+/// Returns a [`RemapError`] (leaving `out` untouched) if lengths disagree,
+/// any thickness is non-positive or NaN, or the column totals differ by
+/// more than a relative `1e-10`.
+// Negated comparisons are deliberate: `!(d > 0.0)` is true for NaN where
+// `d <= 0.0` is not, and NaN thicknesses must be rejected.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
 pub fn remap_column_ppm_with(
     src_dp: &[f64],
     vals: &[f64],
     dst_dp: &[f64],
     out: &mut [f64],
     scratch: &mut RemapScratch,
-) {
+) -> Result<(), RemapError> {
     let n = src_dp.len();
-    assert_eq!(vals.len(), n);
-    assert_eq!(dst_dp.len(), out.len());
-    assert!(src_dp.iter().all(|&d| d > 0.0), "non-positive source thickness");
-    assert!(dst_dp.iter().all(|&d| d > 0.0), "non-positive target thickness");
+    if vals.len() != n || dst_dp.len() != out.len() {
+        return Err(RemapError::LengthMismatch {
+            vals: vals.len(),
+            src: n,
+            dst: dst_dp.len(),
+            out: out.len(),
+        });
+    }
+    // `!(d > 0.0)` (rather than `d <= 0.0`) also rejects NaN thicknesses.
+    for (layer, &d) in src_dp.iter().enumerate() {
+        if !(d > 0.0) {
+            return Err(RemapError::NonPositiveSource { layer, dp: d });
+        }
+    }
+    for (layer, &d) in dst_dp.iter().enumerate() {
+        if !(d > 0.0) {
+            return Err(RemapError::NonPositiveTarget { layer, dp: d });
+        }
+    }
     let total_src: f64 = src_dp.iter().sum();
     let total_dst: f64 = dst_dp.iter().sum();
-    assert!(
-        (total_src - total_dst).abs() <= 1e-10 * total_src,
-        "column totals differ: {total_src} vs {total_dst}"
-    );
+    if !((total_src - total_dst).abs() <= 1e-10 * total_src) {
+        return Err(RemapError::TotalMismatch { src: total_src, dst: total_dst });
+    }
 
     scratch.ensure(n);
     let RemapScratch { zs, ae, a_l, a_r } = scratch;
@@ -155,11 +242,17 @@ pub fn remap_column_ppm_with(
         *oj = mass / dpj;
         zt_lo = zt_hi;
     }
+    Ok(())
 }
 
 /// Remap a `[nlev][NPTS]` field in place for one element: for each GLL
 /// point, the column moves from `src_dp` to `dst_dp` (both `[nlev][NPTS]`).
-pub fn remap_field(nlev: usize, src_dp: &[f64], dst_dp: &[f64], field: &mut [f64]) {
+pub fn remap_field(
+    nlev: usize,
+    src_dp: &[f64],
+    dst_dp: &[f64],
+    field: &mut [f64],
+) -> Result<(), RemapError> {
     let mut col_src = vec![0.0; nlev];
     let mut col_dst = vec![0.0; nlev];
     let mut col_val = vec![0.0; nlev];
@@ -170,11 +263,164 @@ pub fn remap_field(nlev: usize, src_dp: &[f64], dst_dp: &[f64], field: &mut [f64
             col_dst[k] = dst_dp[k * NPTS + p];
             col_val[k] = field[k * NPTS + p];
         }
-        remap_column_ppm(&col_src, &col_val, &col_dst, &mut col_out);
+        remap_column_ppm(&col_src, &col_val, &col_dst, &mut col_out)?;
         for k in 0..nlev {
             field[k * NPTS + p] = col_out[k];
         }
     }
+    Ok(())
+}
+
+/// Scalar per-element vertical remap of the full prognostic set — the
+/// reference path shared by the serial and distributed drivers. For every
+/// GLL point: rebuild the target thicknesses from the reference hybrid
+/// coordinate at the column's surface pressure, remap `u`/`v`/`t` (cell
+/// averages) and every tracer (as mixing ratio, so tracer *mass* is
+/// conserved), then install the target thicknesses as the new `dp3d`.
+#[allow(clippy::too_many_arguments)]
+pub fn remap_element_scalar(
+    vert: &VertCoord,
+    nlev: usize,
+    qsize: usize,
+    u: &mut [f64],
+    v: &mut [f64],
+    t: &mut [f64],
+    dp3d: &mut [f64],
+    qdp: &mut [f64],
+    col_src: &mut [f64],
+    col_dst: &mut [f64],
+    col_val: &mut [f64],
+    col_out: &mut [f64],
+    scratch: &mut RemapScratch,
+) -> Result<(), RemapError> {
+    for p in 0..NPTS {
+        let mut ps = vert.ptop();
+        for k in 0..nlev {
+            col_src[k] = dp3d[k * NPTS + p];
+            ps += col_src[k];
+        }
+        for k in 0..nlev {
+            col_dst[k] = vert.dp_ref(k, ps);
+        }
+        for field in [&mut *u, &mut *v, &mut *t] {
+            for k in 0..nlev {
+                col_val[k] = field[k * NPTS + p];
+            }
+            remap_column_ppm_with(col_src, col_val, col_dst, col_out, scratch)?;
+            for k in 0..nlev {
+                field[k * NPTS + p] = col_out[k];
+            }
+        }
+        for q in 0..qsize {
+            for k in 0..nlev {
+                col_val[k] = qdp[(q * nlev + k) * NPTS + p] / col_src[k];
+            }
+            remap_column_ppm_with(col_src, col_val, col_dst, col_out, scratch)?;
+            for k in 0..nlev {
+                qdp[(q * nlev + k) * NPTS + p] = col_out[k] * col_dst[k];
+            }
+        }
+        for k in 0..nlev {
+            dp3d[k * NPTS + p] = col_dst[k];
+        }
+    }
+    Ok(())
+}
+
+/// Transposed-column buffers for [`remap_element_blocked`]: each holds one
+/// element field in `[NPTS][nlev]` (column-contiguous) order.
+#[derive(Debug, Clone, Default)]
+pub struct RemapColumns {
+    /// Source thicknesses, transposed.
+    pub src_t: Vec<f64>,
+    /// Target thicknesses, transposed.
+    pub dst_t: Vec<f64>,
+    /// Field values, transposed.
+    pub val_t: Vec<f64>,
+    /// Remapped values, transposed.
+    pub out_t: Vec<f64>,
+}
+
+impl RemapColumns {
+    /// Buffers sized for columns of `nlev` cells.
+    pub fn new(nlev: usize) -> Self {
+        RemapColumns {
+            src_t: vec![0.0; NPTS * nlev],
+            dst_t: vec![0.0; NPTS * nlev],
+            val_t: vec![0.0; NPTS * nlev],
+            out_t: vec![0.0; NPTS * nlev],
+        }
+    }
+}
+
+/// Blocked per-element vertical remap: the host analogue of the paper's
+/// register-communication transposition (Section 6). Each `[nlev][NPTS]`
+/// field is turned into `[NPTS][nlev]` with the 4x4-tiled
+/// [`transpose_blocked`], so the PPM reconstruction walks 16 *contiguous*
+/// columns instead of stride-16 gathers, then transposed back. The per-column
+/// arithmetic is byte-for-byte the scalar path's, so results are bitwise
+/// identical to [`remap_element_scalar`].
+#[allow(clippy::too_many_arguments)]
+pub fn remap_element_blocked(
+    vert: &VertCoord,
+    nlev: usize,
+    qsize: usize,
+    u: &mut [f64],
+    v: &mut [f64],
+    t: &mut [f64],
+    dp3d: &mut [f64],
+    qdp: &mut [f64],
+    cols: &mut RemapColumns,
+    scratch: &mut RemapScratch,
+) -> Result<(), RemapError> {
+    transpose_blocked(dp3d, nlev, NPTS, &mut cols.src_t);
+    for p in 0..NPTS {
+        let col_src = &cols.src_t[p * nlev..(p + 1) * nlev];
+        let mut ps = vert.ptop();
+        for &d in col_src {
+            ps += d;
+        }
+        for k in 0..nlev {
+            cols.dst_t[p * nlev + k] = vert.dp_ref(k, ps);
+        }
+    }
+    for field in [&mut *u, &mut *v, &mut *t] {
+        transpose_blocked(field, nlev, NPTS, &mut cols.val_t);
+        for p in 0..NPTS {
+            let c = p * nlev..(p + 1) * nlev;
+            remap_column_ppm_with(
+                &cols.src_t[c.clone()],
+                &cols.val_t[c.clone()],
+                &cols.dst_t[c.clone()],
+                &mut cols.out_t[c],
+                scratch,
+            )?;
+        }
+        transpose_blocked(&cols.out_t, NPTS, nlev, field);
+    }
+    for q in 0..qsize {
+        let qf = &mut qdp[q * nlev * NPTS..(q + 1) * nlev * NPTS];
+        transpose_blocked(qf, nlev, NPTS, &mut cols.val_t);
+        for p in 0..NPTS {
+            let c = p * nlev..(p + 1) * nlev;
+            for k in 0..nlev {
+                cols.val_t[p * nlev + k] /= cols.src_t[p * nlev + k];
+            }
+            remap_column_ppm_with(
+                &cols.src_t[c.clone()],
+                &cols.val_t[c.clone()],
+                &cols.dst_t[c.clone()],
+                &mut cols.out_t[c.clone()],
+                scratch,
+            )?;
+            for k in 0..nlev {
+                cols.out_t[p * nlev + k] *= cols.dst_t[p * nlev + k];
+            }
+        }
+        transpose_blocked(&cols.out_t, NPTS, nlev, qf);
+    }
+    transpose_blocked(&cols.dst_t, NPTS, nlev, dp3d);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -191,7 +437,7 @@ mod tests {
         let vals = [7.5; 4];
         let dst = [140.0, 140.0, 140.0, 150.0];
         let mut out = [0.0; 4];
-        remap_column_ppm(&src, &vals, &dst, &mut out);
+        remap_column_ppm(&src, &vals, &dst, &mut out).unwrap();
         for &o in &out {
             assert!((o - 7.5).abs() < 1e-12, "{o}");
         }
@@ -202,7 +448,7 @@ mod tests {
         let src = [100.0, 150.0, 200.0, 120.0, 80.0];
         let vals = [1.0, 3.0, 2.0, 5.0, 4.0];
         let mut out = [0.0; 5];
-        remap_column_ppm(&src, &vals, &src, &mut out);
+        remap_column_ppm(&src, &vals, &src, &mut out).unwrap();
         for (o, v) in out.iter().zip(&vals) {
             assert!((o - v).abs() < 1e-12, "{o} vs {v}");
         }
@@ -217,7 +463,7 @@ mod tests {
         // Target: uniform thicknesses with the same total.
         let dst = vec![total / n as f64; n];
         let mut out = vec![0.0; n];
-        remap_column_ppm(&src, &vals, &dst, &mut out);
+        remap_column_ppm(&src, &vals, &dst, &mut out).unwrap();
         let m0 = mass(&src, &vals);
         let m1 = mass(&dst, &out);
         assert!((m0 - m1).abs() < 1e-9 * m0.abs().max(1.0), "{m0} vs {m1}");
@@ -231,7 +477,7 @@ mod tests {
         let vals: Vec<f64> = (0..n).map(|k| (k as f64).powi(2)).collect();
         let dst = vec![total / n as f64; n];
         let mut out = vec![0.0; n];
-        remap_column_ppm(&src, &vals, &dst, &mut out);
+        remap_column_ppm(&src, &vals, &dst, &mut out).unwrap();
         let lo = vals.iter().cloned().fold(f64::MAX, f64::min);
         let hi = vals.iter().cloned().fold(f64::MIN, f64::max);
         for &o in &out {
@@ -262,7 +508,7 @@ mod tests {
         }
         dst.push(left);
         let mut out = vec![0.0; n];
-        remap_column_ppm(&src, &vals, &dst, &mut out);
+        remap_column_ppm(&src, &vals, &dst, &mut out).unwrap();
         let mut z = 0.0;
         for (j, &o) in out.iter().enumerate() {
             let expect = avg(z, z + dst[j]);
@@ -286,17 +532,88 @@ mod tests {
             let vals: Vec<f64> = (0..n).map(|k| ((k * 5 + round * 3) % 11) as f64).collect();
             let mut out_fresh = vec![0.0; n];
             let mut out_reused = vec![0.0; n];
-            remap_column_ppm(&src, &vals, &dst, &mut out_fresh);
-            remap_column_ppm_with(&src, &vals, &dst, &mut out_reused, &mut scratch);
+            remap_column_ppm(&src, &vals, &dst, &mut out_fresh).unwrap();
+            remap_column_ppm_with(&src, &vals, &dst, &mut out_reused, &mut scratch).unwrap();
             assert_eq!(out_fresh, out_reused, "round {round}");
         }
     }
 
     #[test]
-    #[should_panic(expected = "column totals differ")]
     fn rejects_mismatched_totals() {
         let mut out = [0.0; 2];
-        remap_column_ppm(&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.5], &mut out);
+        let err = remap_column_ppm(&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.5], &mut out).unwrap_err();
+        assert_eq!(err, RemapError::TotalMismatch { src: 2.0, dst: 2.5 });
+        assert!(format!("{err}").contains("column totals differ"));
+        assert_eq!(out, [0.0; 2], "out must stay untouched on error");
+    }
+
+    #[test]
+    fn rejects_collapsed_and_nan_layers_with_typed_errors() {
+        let mut out = [0.0; 3];
+        let err = remap_column_ppm(&[1.0, 0.0, 1.0], &[1.0; 3], &[1.0; 3], &mut out).unwrap_err();
+        assert_eq!(err, RemapError::NonPositiveSource { layer: 1, dp: 0.0 });
+        let err =
+            remap_column_ppm(&[1.0, f64::NAN, 1.0], &[1.0; 3], &[1.0; 3], &mut out).unwrap_err();
+        assert!(matches!(err, RemapError::NonPositiveSource { layer: 1, dp } if dp.is_nan()));
+        let err = remap_column_ppm(&[1.0; 3], &[1.0; 3], &[1.0, -2.0, 4.0], &mut out).unwrap_err();
+        assert_eq!(err, RemapError::NonPositiveTarget { layer: 1, dp: -2.0 });
+        let err = remap_column_ppm(&[1.0; 3], &[1.0; 2], &[1.0; 3], &mut out).unwrap_err();
+        assert_eq!(err, RemapError::LengthMismatch { vals: 2, src: 3, dst: 3, out: 3 });
+    }
+
+    #[test]
+    fn blocked_element_remap_matches_scalar_bitwise() {
+        use crate::vert::VertCoord;
+        for (nlev, qsize) in [(1usize, 0usize), (3, 1), (26, 4), (128, 1)] {
+            let vert = VertCoord::standard(nlev, 200.0);
+            let n = nlev * NPTS;
+            let mk = |s: usize, len: usize, lo: f64, hi: f64| -> Vec<f64> {
+                (0..len)
+                    .map(|i| lo + (hi - lo) * (((i * 2654435761 + s * 97) % 1009) as f64 / 1009.0))
+                    .collect()
+            };
+            let u0 = mk(1, n, -30.0, 30.0);
+            let v0 = mk(2, n, -30.0, 30.0);
+            let t0 = mk(3, n, 220.0, 310.0);
+            // Reference thicknesses, perturbed a little so the remap is
+            // non-trivial but columns stay valid.
+            let mut dp0 = vec![0.0; n];
+            for p in 0..NPTS {
+                for k in 0..nlev {
+                    let jitter = 1.0 + 0.05 * ((((k * 31 + p * 7) % 11) as f64 - 5.0) / 5.0);
+                    dp0[k * NPTS + p] = vert.dp_ref(k, 101325.0) * jitter;
+                }
+            }
+            let q0 = mk(4, qsize * n, 0.0, 5.0);
+
+            let (mut us, mut vs, mut ts, mut dps, mut qs) =
+                (u0.clone(), v0.clone(), t0.clone(), dp0.clone(), q0.clone());
+            let mut scratch = RemapScratch::new(nlev);
+            let mut cs = vec![0.0; nlev];
+            let mut cd = vec![0.0; nlev];
+            let mut cv = vec![0.0; nlev];
+            let mut co = vec![0.0; nlev];
+            remap_element_scalar(
+                &vert, nlev, qsize, &mut us, &mut vs, &mut ts, &mut dps, &mut qs, &mut cs,
+                &mut cd, &mut cv, &mut co, &mut scratch,
+            )
+            .unwrap();
+
+            let (mut ub, mut vb, mut tb, mut dpb, mut qb) = (u0, v0, t0, dp0, q0);
+            let mut cols = RemapColumns::new(nlev);
+            remap_element_blocked(
+                &vert, nlev, qsize, &mut ub, &mut vb, &mut tb, &mut dpb, &mut qb, &mut cols,
+                &mut scratch,
+            )
+            .unwrap();
+
+            let bits = |x: &[f64]| x.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&us), bits(&ub), "u nlev={nlev} qsize={qsize}");
+            assert_eq!(bits(&vs), bits(&vb), "v nlev={nlev} qsize={qsize}");
+            assert_eq!(bits(&ts), bits(&tb), "t nlev={nlev} qsize={qsize}");
+            assert_eq!(bits(&dps), bits(&dpb), "dp3d nlev={nlev} qsize={qsize}");
+            assert_eq!(bits(&qs), bits(&qb), "qdp nlev={nlev} qsize={qsize}");
+        }
     }
 
     #[test]
@@ -318,7 +635,7 @@ mod tests {
         let before: Vec<f64> = (0..NPTS)
             .map(|p| (0..nlev).map(|k| src_dp[k * NPTS + p] * field[k * NPTS + p]).sum())
             .collect();
-        remap_field(nlev, &src_dp, &dst_dp, &mut field);
+        remap_field(nlev, &src_dp, &dst_dp, &mut field).unwrap();
         for p in 0..NPTS {
             let after: f64 = (0..nlev).map(|k| dst_dp[k * NPTS + p] * field[k * NPTS + p]).sum();
             assert!((before[p] - after).abs() < 1e-9 * before[p].abs().max(1.0));

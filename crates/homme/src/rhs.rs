@@ -18,10 +18,12 @@
 //! worker in the parallel driver).
 
 use crate::deriv::ElemOps;
+use crate::kernels::blocked::{load_rows, store_rows};
 use crate::state::{Dims, ElemRef};
 use crate::vert::VertCoord;
 use cubesphere::consts::{CP, RD};
-use cubesphere::NPTS;
+use cubesphere::{NP, NPTS};
+use sw26010::V4F64;
 
 /// Tendencies of one element's prognostic dynamics fields.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,6 +100,36 @@ pub fn pressure_scan(nlev: usize, ptop: f64, dp: &[f64], p_int: &mut [f64], p_mi
     }
 }
 
+/// Blocked pressure scan: the same recurrence as [`pressure_scan`] with the
+/// running interface pressure held in four row registers across the whole
+/// column, so each level is one load of `dp` and two stores — the host
+/// analogue of keeping the scan state in CPE registers (Section 7.4).
+/// Bitwise identical to the scalar scan.
+pub fn pressure_scan_blocked(
+    nlev: usize,
+    ptop: f64,
+    dp: &[f64],
+    p_int: &mut [f64],
+    p_mid: &mut [f64],
+) {
+    debug_assert_eq!(dp.len(), nlev * NPTS);
+    debug_assert_eq!(p_int.len(), (nlev + 1) * NPTS);
+    debug_assert_eq!(p_mid.len(), nlev * NPTS);
+    let half = V4F64::splat(0.5);
+    let mut pint = [V4F64::splat(ptop); NP];
+    store_rows(&pint, p_int);
+    for k in 0..nlev {
+        let o = k * NPTS;
+        let dpr = load_rows(&dp[o..]);
+        for r in 0..NP {
+            let pm = pint[r] + half * dpr[r];
+            pm.store(&mut p_mid[o + r * NP..]);
+            pint[r] = pint[r] + dpr[r];
+        }
+        store_rows(&pint, &mut p_int[o + NPTS..]);
+    }
+}
+
 /// Reverse column scan: hydrostatic geopotential at layer midpoints.
 ///
 /// `phi_mid(k) = phis + sum_{l>k} Rd T(l) ln(p_int(l+1)/p_int(l))
@@ -119,6 +151,35 @@ pub fn geopotential_scan(
             let tk = t[i];
             phi_mid[i] = phi_below[p] + RD * tk * (p_int[(k + 1) * NPTS + p] / p_mid[i]).ln();
             phi_below[p] += RD * tk * (p_int[(k + 1) * NPTS + p] / p_int[k * NPTS + p]).ln();
+        }
+    }
+}
+
+/// Blocked geopotential scan: the running `phi_below` accumulator lives in
+/// four row registers across the reverse sweep. Bitwise identical to
+/// [`geopotential_scan`] (the shared `Rd T` product is computed once; IEEE
+/// evaluation of the identical expression yields identical bits).
+pub fn geopotential_scan_blocked(
+    nlev: usize,
+    phis: &[f64],
+    t: &[f64],
+    p_int: &[f64],
+    p_mid: &[f64],
+    phi_mid: &mut [f64],
+) {
+    debug_assert_eq!(phis.len(), NPTS);
+    let rd = V4F64::splat(RD);
+    let mut phi_below = load_rows(phis);
+    for k in (0..nlev).rev() {
+        let o = k * NPTS;
+        let tr = load_rows(&t[o..]);
+        let pm = load_rows(&p_mid[o..]);
+        let pi_k = load_rows(&p_int[o..]);
+        let pi_next = load_rows(&p_int[o + NPTS..]);
+        for r in 0..NP {
+            let rdt = rd * tr[r];
+            (phi_below[r] + rdt * (pi_next[r] / pm[r]).ln()).store(&mut phi_mid[o + r * NP..]);
+            phi_below[r] = phi_below[r] + rdt * (pi_next[r] / pi_k[r]).ln();
         }
     }
 }
@@ -301,6 +362,34 @@ mod tests {
                 acc += dp[k * NPTS + p];
             }
             assert!((p_int[nlev * NPTS + p] - acc).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn blocked_scans_match_scalar_scans_bitwise() {
+        for nlev in [1usize, 3, 26, 128] {
+            let dp: Vec<f64> =
+                (0..nlev * NPTS).map(|i| 150.0 + 37.0 * ((i * 2654435761) % 97) as f64).collect();
+            let t: Vec<f64> =
+                (0..nlev * NPTS).map(|i| 230.0 + ((i * 40503) % 80) as f64).collect();
+            let phis: Vec<f64> = (0..NPTS).map(|p| 11.0 * p as f64).collect();
+            let ptop = 225.0;
+
+            let mut p_int_s = vec![0.0; (nlev + 1) * NPTS];
+            let mut p_mid_s = vec![0.0; nlev * NPTS];
+            pressure_scan(nlev, ptop, &dp, &mut p_int_s, &mut p_mid_s);
+            let mut p_int_b = vec![0.0; (nlev + 1) * NPTS];
+            let mut p_mid_b = vec![0.0; nlev * NPTS];
+            pressure_scan_blocked(nlev, ptop, &dp, &mut p_int_b, &mut p_mid_b);
+            let bits = |x: &[f64]| x.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&p_int_s), bits(&p_int_b), "p_int nlev={nlev}");
+            assert_eq!(bits(&p_mid_s), bits(&p_mid_b), "p_mid nlev={nlev}");
+
+            let mut phi_s = vec![0.0; nlev * NPTS];
+            geopotential_scan(nlev, &phis, &t, &p_int_s, &p_mid_s, &mut phi_s);
+            let mut phi_b = vec![0.0; nlev * NPTS];
+            geopotential_scan_blocked(nlev, &phis, &t, &p_int_b, &p_mid_b, &mut phi_b);
+            assert_eq!(bits(&phi_s), bits(&phi_b), "phi_mid nlev={nlev}");
         }
     }
 

@@ -196,7 +196,7 @@ impl SeedStepper {
                     for k in 0..nlev {
                         col[k] = field[k * NPTS + p];
                     }
-                    remap_column_ppm(&src, &col, &dst, &mut out);
+                    remap_column_ppm(&src, &col, &dst, &mut out).expect("remap");
                     for k in 0..nlev {
                         field[k * NPTS + p] = out[k];
                     }
@@ -205,7 +205,7 @@ impl SeedStepper {
                     for k in 0..nlev {
                         col[k] = es.qdp[(q * nlev + k) * NPTS + p] / src[k];
                     }
-                    remap_column_ppm(&src, &col, &dst, &mut out);
+                    remap_column_ppm(&src, &col, &dst, &mut out).expect("remap");
                     for k in 0..nlev {
                         es.qdp[(q * nlev + k) * NPTS + p] = out[k] * dst[k];
                     }

@@ -14,7 +14,7 @@
 //! that a dirtied workspace reproduces a fresh one bitwise.
 
 use crate::bndry::ExchangeBuffers;
-use crate::remap::RemapScratch;
+use crate::remap::{RemapColumns, RemapScratch};
 use crate::rhs::{ElemTend, RhsScratch};
 use crate::sched::PerWorker;
 use crate::state::{Dims, State};
@@ -68,6 +68,8 @@ pub struct WorkerScratch {
     pub col_val: Vec<f64>,
     /// Remapped value column, `[nlev]`.
     pub col_out: Vec<f64>,
+    /// Transposed `[NPTS][nlev]` buffers for the blocked remap.
+    pub cols: RemapColumns,
 }
 
 impl WorkerScratch {
@@ -81,6 +83,7 @@ impl WorkerScratch {
             col_dst: vec![0.0; dims.nlev],
             col_val: vec![0.0; dims.nlev],
             col_out: vec![0.0; dims.nlev],
+            cols: RemapColumns::new(dims.nlev),
         }
     }
 }

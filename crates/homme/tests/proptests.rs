@@ -27,7 +27,7 @@ proptest! {
         for _ in 0..n1 { dst.push(t1 / n1 as f64); }
         for _ in n1..n { dst.push((total - t1) / (n - n1) as f64); }
         let mut out = vec![0.0; n];
-        remap_column_ppm(&src_dp, &vals, &dst, &mut out);
+        remap_column_ppm(&src_dp, &vals, &dst, &mut out).unwrap();
 
         let m0: f64 = src_dp.iter().zip(&vals).map(|(d, v)| d * v).sum();
         let m1: f64 = dst.iter().zip(&out).map(|(d, v)| d * v).sum();
@@ -51,7 +51,7 @@ proptest! {
         let dst = vec![total / n as f64; n];
         let vals = vec![c; n];
         let mut out = vec![0.0; n];
-        remap_column_ppm(&src_dp, &vals, &dst, &mut out);
+        remap_column_ppm(&src_dp, &vals, &dst, &mut out).unwrap();
         for &o in &out {
             prop_assert!((o - c).abs() < 1e-10 * c.abs().max(1.0));
         }

@@ -82,6 +82,15 @@ impl V4F64 {
         ])
     }
 
+    /// Lane-wise natural logarithm. The CPE has no vector `ln`; the host
+    /// blocked kernels use this for the geopotential scan, and because it
+    /// applies scalar `f64::ln` per lane the result is bitwise identical
+    /// to the scalar code path.
+    #[inline]
+    pub fn ln(self) -> Self {
+        V4F64([self.0[0].ln(), self.0[1].ln(), self.0[2].ln(), self.0[3].ln()])
+    }
+
     /// The SW26010 `Shuffle(a, b, mask)` instruction.
     ///
     /// The result takes two lanes from `a` and two lanes from `b`:
@@ -229,6 +238,48 @@ pub fn transpose4x4(rows: [V4F64; 4]) -> [V4F64; 4] {
 /// operations").
 pub const TRANSPOSE4X4_SHUFFLES: usize = 8;
 
+/// Cache-blocked out-of-place transposition of a row-major `rows x cols`
+/// matrix: `dst[c * rows + r] = src[r * cols + c]`.
+///
+/// The bulk runs over 4x4 tiles through [`transpose4x4`] — the host
+/// analogue of the paper's register shuffle transposition (Section 7.5) —
+/// with a scalar loop for the ragged edges. Pure data movement: every
+/// value is copied, never recomputed, so the result is bitwise exact.
+///
+/// # Panics
+/// Panics if `src.len()` or `dst.len()` differ from `rows * cols`.
+pub fn transpose_blocked(src: &[f64], rows: usize, cols: usize, dst: &mut [f64]) {
+    assert_eq!(src.len(), rows * cols, "transpose_blocked: bad src length");
+    assert_eq!(dst.len(), rows * cols, "transpose_blocked: bad dst length");
+    let r4 = rows & !3;
+    let c4 = cols & !3;
+    for r0 in (0..r4).step_by(4) {
+        for c0 in (0..c4).step_by(4) {
+            let tile = transpose4x4([
+                V4F64::load(&src[r0 * cols + c0..]),
+                V4F64::load(&src[(r0 + 1) * cols + c0..]),
+                V4F64::load(&src[(r0 + 2) * cols + c0..]),
+                V4F64::load(&src[(r0 + 3) * cols + c0..]),
+            ]);
+            for (j, t) in tile.iter().enumerate() {
+                t.store(&mut dst[(c0 + j) * rows + r0..]);
+            }
+        }
+        // Remaining columns of this row band.
+        for c in c4..cols {
+            for r in r0..r0 + 4 {
+                dst[c * rows + r] = src[r * cols + c];
+            }
+        }
+    }
+    // Remaining rows.
+    for r in r4..rows {
+        for c in 0..cols {
+            dst[c * rows + r] = src[r * cols + c];
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +356,40 @@ mod tests {
             V4F64([5.0, 1.0, 2.5, 3.5]),
         ];
         assert_eq!(transpose4x4(transpose4x4(rows)), rows);
+    }
+
+    #[test]
+    fn ln_is_lanewise_scalar_ln() {
+        let a = V4F64([1.0, 2.5, 10.0, 0.125]);
+        let r = a.ln();
+        for i in 0..4 {
+            assert_eq!(r[i].to_bits(), a[i].ln().to_bits());
+        }
+    }
+
+    #[test]
+    fn transpose_blocked_matches_naive_for_odd_shapes() {
+        for &(rows, cols) in &[(1, 1), (3, 5), (4, 4), (16, 26), (26, 16), (7, 128), (128, 16)] {
+            let src: Vec<f64> = (0..rows * cols).map(|i| i as f64 * 0.5 - 3.0).collect();
+            let mut dst = vec![0.0; rows * cols];
+            transpose_blocked(&src, rows, cols, &mut dst);
+            for r in 0..rows {
+                for c in 0..cols {
+                    assert_eq!(dst[c * rows + r].to_bits(), src[r * cols + c].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_blocked_involutive() {
+        let (rows, cols) = (6, 10);
+        let src: Vec<f64> = (0..rows * cols).map(|i| (i as f64).sin()).collect();
+        let mut once = vec![0.0; rows * cols];
+        let mut twice = vec![0.0; rows * cols];
+        transpose_blocked(&src, rows, cols, &mut once);
+        transpose_blocked(&once, cols, rows, &mut twice);
+        assert_eq!(src, twice);
     }
 
     #[test]

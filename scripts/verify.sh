@@ -32,6 +32,22 @@ cargo test -q -p swcam-core --lib checkpoint
 cargo test -q -p homme --lib health
 cargo test -q -p swcam-bench --test fault_injection
 
+# Kernel-parity group: the blocked (default) kernel path must stay bitwise
+# identical to the scalar oracle, per operator and over whole serial and
+# distributed trajectories.
+echo "== kernel-parity test group"
+cargo test -q -p homme --lib kernels
+cargo test -q -p homme --test blocked_parity
+cargo test -q -p swcam-bench --test distributed_step
+
+# Every table/figure/bench binary must keep building against the current
+# APIs, and the kernels bench must run end-to-end (its in-bench asserts pin
+# blocked==scalar bitwise before any timing). --smoke does one untimed
+# sweep per kernel.
+echo "== bench binaries build + kernels smoke"
+cargo build --release -p swcam-bench --bins
+./target/release/kernels --smoke
+
 # Clippy is not part of every toolchain install; lint when present.
 if cargo clippy --version >/dev/null 2>&1; then
     echo "== cargo clippy --workspace --all-targets -- -D warnings"

@@ -18,7 +18,7 @@ use cubesphere::consts::P0;
 use cubesphere::{CubedSphere, Partition, NPTS};
 use homme::hypervis::HypervisConfig;
 use homme::{Dims, DistDycore, Dycore, DycoreConfig, ExchangeMode, HealthConfig, State};
-use swcam_core::{run_resilient, ResilienceConfig};
+use swcam_core::{run_resilient, run_resilient_with, ResilienceConfig};
 use swmpi::{run_ranks_with, CommConfig, FaultPlan, WorldOptions};
 
 const NE: usize = 3;
@@ -285,6 +285,108 @@ fn crashed_rank_rolls_back_and_recovers() {
     assert!(report.rollbacks >= 1, "the crash must force at least one rollback");
     assert!(report.final_epoch >= 1, "recovery must bump the rollback epoch");
     assert_bitwise(&clean, &crashed, "crashed vs clean");
+}
+
+/// Run `NSTEPS` committed steps through the resilient driver with a
+/// per-attempt state-corruption hook and a shared health config. The hook
+/// receives `(rank, dist, state, step)` and is expected to key off
+/// `dist.epoch()` so the injection is one-shot.
+fn run_resilient_steps_with(
+    grid: &CubedSphere,
+    part: &Partition,
+    init: &State,
+    health: HealthConfig,
+    hook: impl Fn(usize, &mut homme::DistDycore, &mut State, u64) + Send + Sync,
+) -> (RankStates, swcam_core::ResilientReport) {
+    let cfg = config();
+    let rcfg = ResilienceConfig { checkpoint_interval: 2, max_rollbacks_per_step: 3 };
+    let hook = &hook;
+    let mut out = run_ranks_with(NRANKS, WorldOptions::default(), |ctx| {
+        let mut dist =
+            DistDycore::new(grid, part, ctx.rank(), dims(), 2000.0, cfg, ExchangeMode::Redesigned);
+        dist.health = health;
+        let mut local = dist.local_state(init);
+        let rank = ctx.rank();
+        let report = run_resilient_with(ctx, &mut dist, &mut local, NSTEPS as u64, &rcfg, |d, s, step| {
+            hook(rank, d, s, step)
+        })
+        .expect("resilient run must recover from a one-shot injection");
+        (dist.plan.owned.clone(), local, report)
+    });
+    let report = out[0].2;
+    for (rank, (_, _, r)) in out.iter().enumerate() {
+        assert_eq!(*r, report, "rank {rank} reports a different run than rank 0");
+    }
+    (out.drain(..).map(|(o, s, _)| (o, s)).collect(), report)
+}
+
+/// A NaN injected into the tracer-mass arena mid-run trips the post-
+/// advection guard (`TRACER_STAGE` scan), the global verdict rolls every
+/// rank back to the last snapshot, and the replay — where the one-shot
+/// injection no longer fires — commits the same bits as a clean run.
+#[test]
+fn injected_tracer_nan_rolls_back_and_recovers() {
+    let grid = CubedSphere::new(NE);
+    let part = Partition::new(&grid, NRANKS);
+    let serial = Dycore::new(NE, dims(), 2000.0, config());
+    let init = initial_state(&serial);
+
+    let no_inject = |_: usize, _: &mut homme::DistDycore, _: &mut State, _: u64| {};
+    let (clean, clean_report) =
+        run_resilient_steps_with(&grid, &part, &init, HealthConfig::on(), no_inject);
+    assert_eq!(clean_report.rollbacks, 0);
+
+    let (poisoned, report) = run_resilient_steps_with(
+        &grid,
+        &part,
+        &init,
+        HealthConfig::on(),
+        |rank, dist, state, step| {
+            // One-shot: only in the original epoch; the replay is clean.
+            if rank == 0 && step == 3 && dist.epoch() == 0 {
+                state.qdp[0] = f64::NAN;
+            }
+        },
+    );
+    assert!(report.rollbacks >= 1, "the tracer NaN must force a rollback");
+    assert!(report.steps > NSTEPS as u64, "replayed commits must show in the report");
+    assert!(report.final_epoch >= 1, "recovery must bump the rollback epoch");
+    assert_bitwise(&clean, &poisoned, "tracer-NaN injection vs clean");
+}
+
+/// A collapsed (negative) Lagrangian layer that slips past the relaxed
+/// stage guards is still caught by the vertical remap's typed error
+/// ([`homme::RemapError`]), which routes into the same rollback path —
+/// the run recovers instead of panicking on a bare assert.
+#[test]
+fn injected_remap_failure_rolls_back_instead_of_panicking() {
+    let grid = CubedSphere::new(NE);
+    let part = Partition::new(&grid, NRANKS);
+    let serial = Dycore::new(NE, dims(), 2000.0, config());
+    let init = initial_state(&serial);
+
+    // Disarm the ThinLayer stage guard so the corrupted column reaches the
+    // remap, which must reject it with a typed error (not an assert).
+    let health = HealthConfig { min_dp3d: f64::NEG_INFINITY, ..HealthConfig::on() };
+
+    let no_inject = |_: usize, _: &mut homme::DistDycore, _: &mut State, _: u64| {};
+    let (clean, clean_report) = run_resilient_steps_with(&grid, &part, &init, health, no_inject);
+    assert_eq!(clean_report.rollbacks, 0);
+
+    let (poisoned, report) =
+        run_resilient_steps_with(&grid, &part, &init, health, |rank, dist, state, step| {
+            if rank == 0 && step == 3 && dist.epoch() == 0 {
+                // Collapse one whole element level: interior GLL points are
+                // untouched by DSS and the in-element tendency is O(1) Pa,
+                // so the layer is still negative when the remap sees it.
+                for p in 0..NPTS {
+                    state.dp3d[NPTS + p] = -5000.0;
+                }
+            }
+        });
+    assert!(report.rollbacks >= 1, "the collapsed layer must force a rollback");
+    assert!(report.final_epoch >= 1, "recovery must bump the rollback epoch");
+    assert_bitwise(&clean, &poisoned, "remap-failure injection vs clean");
 }
 
 /// A stalled (slow) rank is NOT a failure: peers wait it out through the
