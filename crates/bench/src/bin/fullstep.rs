@@ -10,7 +10,11 @@
 //!
 //! Emits `BENCH_fullstep.json` in the working directory. The refactor's
 //! target is >= 2x speedup of (3) over (1); the JSON records whether this
-//! run met it. Run with `cargo run --release -p swcam-bench --bin fullstep`.
+//! run met it, plus a per-phase breakdown of the serial flat step (RK
+//! dynamics / hyperviscosity / tracer advection / vertical remap) so the
+//! next optimization pass can see where the remaining time lives, and a
+//! comparison against the committed pre-plan serial baseline. Run with
+//! `cargo run --release -p swcam-bench --bin fullstep`.
 
 use std::time::Instant;
 
@@ -24,6 +28,10 @@ const QSIZE: usize = 4;
 const WARMUP_STEPS: usize = 1;
 const MEASURE_STEPS: usize = 3;
 const TARGET_SPEEDUP: f64 = 2.0;
+/// `flat_serial_ms_per_step` recorded on the development host before the
+/// remap plan landed (blocked kernel layer, transposition-based remap) —
+/// the bar the geometry-reuse remap has to beat.
+const BASELINE_FLAT_SERIAL_MS: f64 = 469.361;
 
 fn build() -> Dycore {
     let dims = Dims { nlev: NLEV, qsize: QSIZE };
@@ -88,6 +96,40 @@ fn main() {
     let flat1_ms = time_per_step(|| dy.step(&mut flat1_state));
     println!("  flat, 1 thread   : {flat1_ms:9.2} ms/step  ({:.2}x vs seed)", seed_ms / flat1_ms);
 
+    // Per-phase breakdown of the serial flat step: run each pipeline phase
+    // by hand on a fresh trajectory and time it separately. The phases are
+    // the exact calls `Dycore::step` makes (remap every step — this
+    // config's rsplit is 1), so the shares sum to ~the full step time.
+    let mut phase_state = init.clone();
+    let (mut rk_ms, mut hv_ms, mut tr_ms, mut rm_ms) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for step in 0..WARMUP_STEPS + MEASURE_STEPS {
+        let measured = step >= WARMUP_STEPS;
+        let lap = |acc: &mut f64, t0: Instant| {
+            if measured {
+                *acc += t0.elapsed().as_secs_f64() * 1e3 / MEASURE_STEPS as f64;
+            }
+        };
+        let t0 = Instant::now();
+        dy.dynamics_step(&mut phase_state);
+        lap(&mut rk_ms, t0);
+        let t0 = Instant::now();
+        dy.apply_hypervis(&mut phase_state);
+        lap(&mut hv_ms, t0);
+        let t0 = Instant::now();
+        dy.euler_step_tracers(&mut phase_state);
+        lap(&mut tr_ms, t0);
+        let t0 = Instant::now();
+        dy.vertical_remap(&mut phase_state).expect("vertical remap");
+        lap(&mut rm_ms, t0);
+    }
+    let phase_total = rk_ms + hv_ms + tr_ms + rm_ms;
+    println!("  phases (serial)  : rk {rk_ms:.2}  hypervis {hv_ms:.2}  tracer {tr_ms:.2}  remap {rm_ms:.2} ms/step");
+    for (name, ms) in
+        [("rk_dynamics", rk_ms), ("hypervis", hv_ms), ("tracer", tr_ms), ("remap", rm_ms)]
+    {
+        println!("    {name:<12}: {:5.1}% of step", 100.0 * ms / phase_total);
+    }
+
     dy.set_threads(threads);
     let mut flatn_state = init.clone();
     let flatn_ms = time_per_step(|| dy.step(&mut flatn_state));
@@ -105,6 +147,12 @@ fn main() {
         "  target {TARGET_SPEEDUP:.1}x vs seed serial: {}",
         if meets { "met" } else { "NOT met" }
     );
+    let beats_baseline = flat1_ms < BASELINE_FLAT_SERIAL_MS;
+    println!(
+        "  vs committed pre-plan serial baseline {BASELINE_FLAT_SERIAL_MS:.1} ms/step: \
+         {flat1_ms:.1} ms/step ({})",
+        if beats_baseline { "improved" } else { "NOT improved" }
+    );
 
     let json = format!(
         "{{\n  \"bench\": \"fullstep\",\n  \"ne\": {NE},\n  \"nlev\": {NLEV},\n  \"qsize\": {QSIZE},\n  \
@@ -112,9 +160,19 @@ fn main() {
          \"seed_serial_ms_per_step\": {seed_ms:.3},\n  \
          \"flat_serial_ms_per_step\": {flat1_ms:.3},\n  \
          \"flat_parallel_ms_per_step\": {flatn_ms:.3},\n  \
+         \"phases_serial_ms_per_step\": {{\n    \"rk_dynamics\": {rk_ms:.3},\n    \
+         \"hypervis\": {hv_ms:.3},\n    \"tracer\": {tr_ms:.3},\n    \"remap\": {rm_ms:.3}\n  }},\n  \
+         \"phase_share_pct\": {{\n    \"rk_dynamics\": {:.1},\n    \"hypervis\": {:.1},\n    \
+         \"tracer\": {:.1},\n    \"remap\": {:.1}\n  }},\n  \
+         \"baseline_flat_serial_ms_per_step\": {BASELINE_FLAT_SERIAL_MS},\n  \
+         \"beats_baseline\": {beats_baseline},\n  \
          \"speedup_flat_serial_vs_seed\": {:.3},\n  \
          \"speedup_parallel_vs_seed\": {speedup:.3},\n  \
          \"target_speedup\": {TARGET_SPEEDUP},\n  \"meets_target\": {meets}\n}}\n",
+        100.0 * rk_ms / phase_total,
+        100.0 * hv_ms / phase_total,
+        100.0 * tr_ms / phase_total,
+        100.0 * rm_ms / phase_total,
         seed_ms / flat1_ms,
     );
     std::fs::write("BENCH_fullstep.json", &json).expect("write BENCH_fullstep.json");

@@ -40,7 +40,8 @@ use crate::kernels::blocked::{
     laplace_levels_blocked, vlaplace_levels_blocked, BlockedOps, KernelPath, StageCombine,
 };
 use crate::prim::{DycoreConfig, KG5_COEFFS};
-use crate::remap::{remap_element_blocked, remap_element_scalar};
+use crate::kernels::blocked::remap_element_planned;
+use crate::remap::remap_element_scalar;
 use crate::rhs::{element_rhs_raw, Rhs};
 use crate::state::{Dims, State};
 use crate::vert::VertCoord;
@@ -452,18 +453,15 @@ impl DistDycore {
         let scratch = &mut ws.scratch;
         for es in state.elems_mut() {
             match kernels {
-                KernelPath::Blocked => remap_element_blocked(
-                    vert,
-                    nlev,
-                    qsize,
-                    es.u,
-                    es.v,
-                    es.t,
-                    es.dp3d,
-                    es.qdp,
-                    &mut scratch.cols,
-                    &mut scratch.remap,
-                )?,
+                KernelPath::Blocked => {
+                    // Build the dp3d-only plan once, then stream u/v/t and
+                    // every tracer through its coefficient-apply pass.
+                    let WorkerScratch { plan, apply, .. } = scratch;
+                    plan.build(vert, nlev, es.dp3d)?;
+                    remap_element_planned(
+                        plan, nlev, qsize, es.u, es.v, es.t, es.dp3d, es.qdp, apply,
+                    )
+                }
                 KernelPath::Scalar => {
                     let WorkerScratch { remap, col_src, col_dst, col_val, col_out, .. } = scratch;
                     remap_element_scalar(

@@ -29,6 +29,7 @@
 //! perturbing a single pinned trajectory.
 
 use crate::deriv::ElemOps;
+use crate::remap::{ElemRemapPlan, RemapApplyScratch, REMAP_CHUNK};
 use crate::rhs::{geopotential_scan_blocked, pressure_scan_blocked, RhsScratch};
 use cubesphere::consts::{CP, RD};
 use cubesphere::{pidx, NP, NPTS};
@@ -534,6 +535,250 @@ pub fn vlaplace_levels_blocked(bop: &BlockedOps, nlev: usize, u: &mut [f64], v: 
         store_rows(&lu, &mut u[o..]);
         store_rows(&lv, &mut v[o..]);
     }
+}
+
+/// PPM reconstruction coefficients of one field from a prebuilt
+/// [`ElemRemapPlan`], 4-wide over the GLL points: the interface values come
+/// from the plan's precomputed interpolation weights (the per-interface
+/// division the oracle repeats for every field is already paid), then the
+/// monotonicity limiter runs per lane and the parabola is stored in the
+/// apply form `a_l` / `0.5*(a_r - a_l)` / `a6` — exactly the products the
+/// oracle's `cell_mass` forms first, so the walk stays bitwise identical.
+fn ppm_coeffs_planned(
+    plan: &ElemRemapPlan,
+    nlev: usize,
+    vals: &[f64],
+    ae: &mut [f64],
+    a_l: &mut [f64],
+    hda: &mut [f64],
+    a6: &mut [f64],
+) {
+    // Interface values: ae[0]/ae[nlev] copy the boundary cells; interior
+    // interfaces are the thickness-weighted interpolation, one V4F64 row at
+    // a time in the native [nlev][NPTS] layout (no transposition needed —
+    // four adjacent GLL points are already contiguous).
+    ae[..NPTS].copy_from_slice(&vals[..NPTS]);
+    ae[nlev * NPTS..(nlev + 1) * NPTS].copy_from_slice(&vals[(nlev - 1) * NPTS..nlev * NPTS]);
+    for k in 1..nlev {
+        let o = k * NPTS;
+        for r in 0..NP {
+            let wl = V4F64::load(&plan.wl[o + r * NP..]);
+            let wr = V4F64::load(&plan.wr[o + r * NP..]);
+            let above = V4F64::load(&vals[o - NPTS + r * NP..]);
+            let below = V4F64::load(&vals[o + r * NP..]);
+            (wl * above + wr * below).store(&mut ae[o + r * NP..]);
+        }
+    }
+    // Monotonicity limiter + coefficient extraction (branchy, so per lane;
+    // the expressions are the oracle's character for character).
+    for i in 0..nlev * NPTS {
+        let a = vals[i];
+        let mut l = ae[i];
+        let mut r = ae[i + NPTS];
+        if (r - a) * (a - l) <= 0.0 {
+            // Local extremum: flatten.
+            l = a;
+            r = a;
+        } else {
+            let d = r - l;
+            let c = a - 0.5 * (l + r);
+            if d * c > d * d / 6.0 {
+                l = 3.0 * a - 2.0 * r;
+            } else if -(d * d) / 6.0 > d * c {
+                r = 3.0 * a - 2.0 * l;
+            }
+        }
+        a_l[i] = l;
+        hda[i] = 0.5 * (r - l);
+        a6[i] = 6.0 * (a - 0.5 * (l + r));
+    }
+}
+
+/// Mass of source cell `k` (thickness `sdp`) from its top down to local
+/// coordinate `xi`, with the geometry polynomial `q` pre-evaluated by the
+/// plan: `sdp * ((a_l*xi + (0.5*da*xi)*xi) + a6*q)` — the oracle's
+/// `cell_mass` with identical association.
+#[inline(always)]
+fn seg_mass(sdp: f64, al: f64, hd: f64, a6: f64, xi: f64, q: f64) -> f64 {
+    sdp * ((al * xi + (hd * xi) * xi) + a6 * q)
+}
+
+/// Integrate up to [`REMAP_CHUNK`] dynamics fields through one shared
+/// geometry walk: every overlap segment is visited once and its `cell_mass`
+/// difference applied to all batched fields (the paper's §6 tracer-loop
+/// data reuse). `outs[t]` receives `mass/dp_dst` in place.
+fn apply_walk_fields(
+    plan: &ElemRemapPlan,
+    nlev: usize,
+    src_dp: &[f64],
+    a_l: &[f64],
+    hda: &[f64],
+    a6: &[f64],
+    outs: &mut [&mut [f64]],
+) {
+    let m = outs.len();
+    debug_assert!(m <= REMAP_CHUNK);
+    let fl = nlev * NPTS;
+    let mut s0 = 0usize;
+    for p in 0..NPTS {
+        for j in 0..nlev {
+            let end = plan.seg_end[p * nlev + j] as usize;
+            let mut mass = [0.0f64; REMAP_CHUNK];
+            for seg in &plan.segs[s0..end] {
+                let i = seg.k as usize * NPTS + p;
+                let sdp = src_dp[i];
+                for (t, acc) in mass[..m].iter_mut().enumerate() {
+                    let o = t * fl + i;
+                    *acc += seg_mass(sdp, a_l[o], hda[o], a6[o], seg.xi2, seg.q2)
+                        - seg_mass(sdp, a_l[o], hda[o], a6[o], seg.xi1, seg.q1);
+                }
+            }
+            s0 = end;
+            let o = j * NPTS + p;
+            let dpj = plan.dst_dp[o];
+            for (t, out) in outs.iter_mut().enumerate() {
+                out[o] = mass[t] / dpj;
+            }
+        }
+    }
+}
+
+/// Tracer variant of [`apply_walk_fields`]: `out` is a contiguous
+/// `[m][nlev][NPTS]` tracer-mass window and each remapped mixing ratio is
+/// scaled back to mass by the target thickness, exactly as the oracle does
+/// (`(mass/dp) * dp` is kept as division-then-multiply for bit parity).
+#[allow(clippy::too_many_arguments)]
+fn apply_walk_tracers(
+    plan: &ElemRemapPlan,
+    nlev: usize,
+    src_dp: &[f64],
+    m: usize,
+    a_l: &[f64],
+    hda: &[f64],
+    a6: &[f64],
+    out: &mut [f64],
+) {
+    debug_assert!(m <= REMAP_CHUNK);
+    let fl = nlev * NPTS;
+    let mut s0 = 0usize;
+    for p in 0..NPTS {
+        for j in 0..nlev {
+            let end = plan.seg_end[p * nlev + j] as usize;
+            let mut mass = [0.0f64; REMAP_CHUNK];
+            for seg in &plan.segs[s0..end] {
+                let i = seg.k as usize * NPTS + p;
+                let sdp = src_dp[i];
+                for (t, acc) in mass[..m].iter_mut().enumerate() {
+                    let o = t * fl + i;
+                    *acc += seg_mass(sdp, a_l[o], hda[o], a6[o], seg.xi2, seg.q2)
+                        - seg_mass(sdp, a_l[o], hda[o], a6[o], seg.xi1, seg.q1);
+                }
+            }
+            s0 = end;
+            let o = j * NPTS + p;
+            let dpj = plan.dst_dp[o];
+            for (t, &acc) in mass[..m].iter().enumerate() {
+                out[t * fl + o] = (acc / dpj) * dpj;
+            }
+        }
+    }
+}
+
+/// Planned per-element vertical remap: the coefficient-apply pass over a
+/// prebuilt [`ElemRemapPlan`]. `u`/`v`/`t` share one geometry walk; tracers
+/// are divided to mixing ratio 4-wide, batched [`REMAP_CHUNK`] at a time
+/// through further shared walks (mirroring
+/// [`euler_stage_element_blocked`]'s tracer chunking), and scaled back to
+/// mass; finally the plan's target thicknesses become the new `dp3d`.
+/// Infallible — every verdict was raised by [`ElemRemapPlan::build`].
+/// Bitwise identical to [`crate::remap::remap_element_scalar`].
+#[allow(clippy::too_many_arguments)]
+pub fn remap_element_planned(
+    plan: &ElemRemapPlan,
+    nlev: usize,
+    qsize: usize,
+    u: &mut [f64],
+    v: &mut [f64],
+    t: &mut [f64],
+    dp3d: &mut [f64],
+    qdp: &mut [f64],
+    s: &mut RemapApplyScratch,
+) {
+    debug_assert_eq!(plan.nlev, nlev);
+    let fl = nlev * NPTS;
+    // Dynamics fields: three coefficient passes, one shared geometry walk.
+    // The walk reads only the extracted coefficients and `dp3d` (still the
+    // source grid), so writing u/v/t in place is safe.
+    ppm_coeffs_planned(plan, nlev, u, &mut s.ae, &mut s.a_l[..fl], &mut s.hda[..fl], &mut s.a6[..fl]);
+    ppm_coeffs_planned(
+        plan,
+        nlev,
+        v,
+        &mut s.ae,
+        &mut s.a_l[fl..2 * fl],
+        &mut s.hda[fl..2 * fl],
+        &mut s.a6[fl..2 * fl],
+    );
+    ppm_coeffs_planned(
+        plan,
+        nlev,
+        t,
+        &mut s.ae,
+        &mut s.a_l[2 * fl..3 * fl],
+        &mut s.hda[2 * fl..3 * fl],
+        &mut s.a6[2 * fl..3 * fl],
+    );
+    apply_walk_fields(plan, nlev, dp3d, &s.a_l, &s.hda, &s.a6, &mut [u, v, t]);
+    // Tracers, REMAP_CHUNK per walk, remapped as mixing ratio so tracer
+    // *mass* is conserved.
+    let mut q0 = 0;
+    while q0 < qsize {
+        let m = REMAP_CHUNK.min(qsize - q0);
+        for c in 0..m {
+            let val = &mut s.val[c * fl..(c + 1) * fl];
+            let qsrc = &qdp[(q0 + c) * fl..(q0 + c + 1) * fl];
+            for ((o, &qv), &dv) in val.iter_mut().zip(qsrc).zip(dp3d.iter()) {
+                *o = qv / dv;
+            }
+        }
+        for c in 0..m {
+            let (al, hd, a6) = (
+                &mut s.a_l[c * fl..(c + 1) * fl],
+                &mut s.hda[c * fl..(c + 1) * fl],
+                &mut s.a6[c * fl..(c + 1) * fl],
+            );
+            ppm_coeffs_planned(plan, nlev, &s.val[c * fl..(c + 1) * fl], &mut s.ae, al, hd, a6);
+        }
+        apply_walk_tracers(
+            plan,
+            nlev,
+            dp3d,
+            m,
+            &s.a_l,
+            &s.hda,
+            &s.a6,
+            &mut qdp[q0 * fl..(q0 + m) * fl],
+        );
+        q0 += m;
+    }
+    // Install the target grid.
+    dp3d.copy_from_slice(&plan.dst_dp[..fl]);
+}
+
+/// Single-field planned apply (the [`crate::remap::remap_field_with`]
+/// back end): one coefficient pass, one walk, in place. `src_dp` must be
+/// the `[nlev][NPTS]` source-thickness arena the plan was built from.
+pub fn remap_field_planned(
+    plan: &ElemRemapPlan,
+    nlev: usize,
+    src_dp: &[f64],
+    field: &mut [f64],
+    s: &mut RemapApplyScratch,
+) {
+    debug_assert_eq!(plan.nlev, nlev);
+    let fl = nlev * NPTS;
+    ppm_coeffs_planned(plan, nlev, field, &mut s.ae, &mut s.a_l[..fl], &mut s.hda[..fl], &mut s.a6[..fl]);
+    apply_walk_fields(plan, nlev, src_dp, &s.a_l, &s.hda, &s.a6, &mut [field]);
 }
 
 #[cfg(test)]

@@ -51,7 +51,7 @@ pub use health::{DegradePolicy, HealthConfig, HealthError, StepHealth, TRACER_ST
 pub use hypervis::HypervisConfig;
 pub use kernels::blocked::{BlockedOps, KernelPath, StageCombine};
 pub use prim::{Dycore, DycoreConfig, KG5_COEFFS};
-pub use remap::RemapError;
+pub use remap::{ElemRemapPlan, RemapApplyScratch, RemapError};
 pub use rhs::{ElemTend, Rhs, RhsScratch};
 pub use sched::ElemScheduler;
 pub use seedref::SeedStepper;

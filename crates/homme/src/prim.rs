@@ -24,7 +24,8 @@ use crate::hypervis::{biharmonic_flat_path, laplace_flat_path, vlaplace_flat_pat
 use crate::kernels::blocked::{
     build_blocked_ops, element_rhs_apply_blocked, BlockedOps, KernelPath, StageCombine,
 };
-use crate::remap::{remap_element_blocked, remap_element_scalar, RemapError};
+use crate::kernels::blocked::remap_element_planned;
+use crate::remap::{remap_element_scalar, RemapError};
 use crate::rhs::{element_rhs_raw, Rhs};
 use crate::sched::{ArenaMut, ElemScheduler};
 use crate::state::{Dims, State};
@@ -352,18 +353,14 @@ impl Dycore {
             let dp3d = unsafe { adp.slice(e * fl, fl) };
             let qdp = unsafe { aq.slice(e * tl, tl) };
             let res = match kernels {
-                KernelPath::Blocked => remap_element_blocked(
-                    vert,
-                    nlev,
-                    qsize,
-                    u,
-                    v,
-                    t,
-                    dp3d,
-                    qdp,
-                    &mut scratch.cols,
-                    &mut scratch.remap,
-                ),
+                KernelPath::Blocked => {
+                    // Build the dp3d-only plan once, then stream u/v/t and
+                    // every tracer through its coefficient-apply pass.
+                    let WorkerScratch { plan, apply, .. } = scratch;
+                    plan.build(vert, nlev, dp3d).map(|()| {
+                        remap_element_planned(plan, nlev, qsize, u, v, t, dp3d, qdp, apply)
+                    })
+                }
                 KernelPath::Scalar => {
                     let WorkerScratch { remap, col_src, col_dst, col_val, col_out, .. } = scratch;
                     remap_element_scalar(

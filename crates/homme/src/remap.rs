@@ -9,7 +9,6 @@
 
 use crate::vert::VertCoord;
 use cubesphere::NPTS;
-use sw26010::transpose_blocked;
 
 /// A rejected remap precondition — a collapsed Lagrangian layer or a
 /// mass-inconsistent column. These are *recoverable* state-health verdicts,
@@ -247,28 +246,17 @@ pub fn remap_column_ppm_with(
 
 /// Remap a `[nlev][NPTS]` field in place for one element: for each GLL
 /// point, the column moves from `src_dp` to `dst_dp` (both `[nlev][NPTS]`).
+/// Allocating convenience wrapper around [`remap_field_with`]; callers on a
+/// hot path should hold a plan and scratch and use that directly.
 pub fn remap_field(
     nlev: usize,
     src_dp: &[f64],
     dst_dp: &[f64],
     field: &mut [f64],
 ) -> Result<(), RemapError> {
-    let mut col_src = vec![0.0; nlev];
-    let mut col_dst = vec![0.0; nlev];
-    let mut col_val = vec![0.0; nlev];
-    let mut col_out = vec![0.0; nlev];
-    for p in 0..NPTS {
-        for k in 0..nlev {
-            col_src[k] = src_dp[k * NPTS + p];
-            col_dst[k] = dst_dp[k * NPTS + p];
-            col_val[k] = field[k * NPTS + p];
-        }
-        remap_column_ppm(&col_src, &col_val, &col_dst, &mut col_out)?;
-        for k in 0..nlev {
-            field[k * NPTS + p] = col_out[k];
-        }
-    }
-    Ok(())
+    let mut plan = ElemRemapPlan::new(nlev);
+    let mut scratch = RemapApplyScratch::new(nlev);
+    remap_field_with(nlev, src_dp, dst_dp, field, &mut plan, &mut scratch)
 }
 
 /// Scalar per-element vertical remap of the full prognostic set — the
@@ -327,99 +315,316 @@ pub fn remap_element_scalar(
     Ok(())
 }
 
-/// Transposed-column buffers for [`remap_element_blocked`]: each holds one
-/// element field in `[NPTS][nlev]` (column-contiguous) order.
-#[derive(Debug, Clone, Default)]
-pub struct RemapColumns {
-    /// Source thicknesses, transposed.
-    pub src_t: Vec<f64>,
-    /// Target thicknesses, transposed.
-    pub dst_t: Vec<f64>,
-    /// Field values, transposed.
-    pub val_t: Vec<f64>,
-    /// Remapped values, transposed.
-    pub out_t: Vec<f64>,
+/// How many fields the planned remap streams through one geometry walk —
+/// the same batch width [`crate::kernels::blocked::euler_stage_element_blocked`]
+/// uses for its flux-divergence tracer chunks.
+pub const REMAP_CHUNK: usize = 4;
+
+/// One overlap interval between a source cell and a target cell of the
+/// remap: target cell `j` of column `p` receives the mass of source cell
+/// `k` between local coordinates `xi1` and `xi2`. The parabola geometry
+/// polynomial `q(xi) = xi²/2 − xi³/3` is pre-evaluated at both endpoints —
+/// it depends only on the grids, never on the field being remapped.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanSegment {
+    /// Source cell index (top first).
+    pub k: u32,
+    /// Lower integration bound in the source cell's local coordinate.
+    pub xi1: f64,
+    /// Upper integration bound.
+    pub xi2: f64,
+    /// `0.5*xi1*xi1 - xi1*xi1*xi1/3.0` (the scalar oracle's expression).
+    pub q1: f64,
+    /// `0.5*xi2*xi2 - xi2*xi2*xi2/3.0`.
+    pub q2: f64,
 }
 
-impl RemapColumns {
-    /// Buffers sized for columns of `nlev` cells.
+/// `q(xi)` exactly as [`remap_column_ppm_with`]'s `cell_mass` spells it, so
+/// the pre-evaluated value is bit-identical to the oracle's inline one.
+#[inline(always)]
+fn ppm_q(xi: f64) -> f64 {
+    0.5 * xi * xi - xi * xi * xi / 3.0
+}
+
+/// Per-element remap plan: everything about the PPM vertical remap that
+/// depends only on the layer thicknesses `dp3d`, computed **once** per
+/// element and reused for `u`, `v`, `T` and every tracer (the paper's §6
+/// tracer-loop data reuse). Holds the target grid, the interface
+/// interpolation weights, and the source/target overlap-interval map with
+/// pre-evaluated parabola geometry, so remapping a field degenerates into
+/// the coefficient-apply pass of
+/// [`crate::kernels::blocked::remap_element_planned`].
+///
+/// Building the plan follows the paper's §6.3 three-stage scan structure in
+/// its host form: a blocked local accumulate of the 16 columns' thickness
+/// sums (surface pressure + totals), the per-column partial-sum chain for
+/// the interface positions (kept sequential — reassociating it would break
+/// the bitwise pin against the scalar oracle), and a fix-up pass that
+/// derives the interpolation weights and overlap segments.
+#[derive(Debug, Clone, Default)]
+pub struct ElemRemapPlan {
+    /// Column depth the plan is built for.
+    pub(crate) nlev: usize,
+    /// Target thicknesses, `[nlev][NPTS]`.
+    pub(crate) dst_dp: Vec<f64>,
+    /// Interface interpolation weight on `vals[k-1]`, `[nlev][NPTS]`
+    /// (interface `k` in row `k`; row 0 unused).
+    pub(crate) wl: Vec<f64>,
+    /// `1.0 - wl`, the weight on `vals[k]`.
+    pub(crate) wr: Vec<f64>,
+    /// Overlap segments of all columns, concatenated in `p` order.
+    pub(crate) segs: Vec<PlanSegment>,
+    /// `seg_end[p*nlev + j]`: exclusive end in `segs` of target cell `j`
+    /// of column `p` (cumulative across columns).
+    pub(crate) seg_end: Vec<u32>,
+    /// Source interface positions of the column being built, `[nlev+1]`.
+    zs: Vec<f64>,
+}
+
+impl ElemRemapPlan {
+    /// A plan sized for columns of `nlev` cells (no further allocation as
+    /// long as it is rebuilt for the same or a smaller depth).
     pub fn new(nlev: usize) -> Self {
-        RemapColumns {
-            src_t: vec![0.0; NPTS * nlev],
-            dst_t: vec![0.0; NPTS * nlev],
-            val_t: vec![0.0; NPTS * nlev],
-            out_t: vec![0.0; NPTS * nlev],
+        let mut plan = ElemRemapPlan::default();
+        plan.ensure(nlev);
+        plan
+    }
+
+    fn ensure(&mut self, nlev: usize) {
+        self.nlev = nlev;
+        if self.dst_dp.len() < nlev * NPTS {
+            self.dst_dp.resize(nlev * NPTS, 0.0);
+            self.wl.resize(nlev * NPTS, 0.0);
+            self.wr.resize(nlev * NPTS, 0.0);
+            self.seg_end.resize(nlev * NPTS, 0);
+            self.zs.resize(nlev + 1, 0.0);
+            // Each walk iteration either finishes a target cell (nlev per
+            // column) or crosses a source interface (nlev-1 per column), so
+            // 2*nlev+2 segments per column bounds the walk with slack.
+            self.segs.reserve(NPTS * (2 * nlev + 2));
         }
     }
-}
 
-/// Blocked per-element vertical remap: the host analogue of the paper's
-/// register-communication transposition (Section 6). Each `[nlev][NPTS]`
-/// field is turned into `[NPTS][nlev]` with the 4x4-tiled
-/// [`transpose_blocked`], so the PPM reconstruction walks 16 *contiguous*
-/// columns instead of stride-16 gathers, then transposed back. The per-column
-/// arithmetic is byte-for-byte the scalar path's, so results are bitwise
-/// identical to [`remap_element_scalar`].
-#[allow(clippy::too_many_arguments)]
-pub fn remap_element_blocked(
-    vert: &VertCoord,
-    nlev: usize,
-    qsize: usize,
-    u: &mut [f64],
-    v: &mut [f64],
-    t: &mut [f64],
-    dp3d: &mut [f64],
-    qdp: &mut [f64],
-    cols: &mut RemapColumns,
-    scratch: &mut RemapScratch,
-) -> Result<(), RemapError> {
-    transpose_blocked(dp3d, nlev, NPTS, &mut cols.src_t);
-    for p in 0..NPTS {
-        let col_src = &cols.src_t[p * nlev..(p + 1) * nlev];
-        let mut ps = vert.ptop();
-        for &d in col_src {
-            ps += d;
+    /// Build the plan for one element from the reference hybrid coordinate:
+    /// the target grid is `vert.dp_ref` at each column's surface pressure,
+    /// exactly as [`remap_element_scalar`] derives it.
+    ///
+    /// # Errors
+    /// The same [`RemapError`] verdicts, in the same column/layer order, as
+    /// the scalar oracle: source layers checked first, then target layers,
+    /// then column totals, column-by-column.
+    pub fn build(
+        &mut self,
+        vert: &VertCoord,
+        nlev: usize,
+        dp3d: &[f64],
+    ) -> Result<(), RemapError> {
+        self.ensure(nlev);
+        debug_assert_eq!(dp3d.len(), nlev * NPTS);
+        // Stage 1 — blocked local accumulate: per-lane running sums of the
+        // source thicknesses give every column's surface pressure in one
+        // pass (lanes stay independent; the per-lane addition order is the
+        // scalar oracle's).
+        let mut ps = [vert.ptop(); NPTS];
+        for row in dp3d.chunks_exact(NPTS) {
+            for (s, &d) in ps.iter_mut().zip(row) {
+                *s += d;
+            }
         }
         for k in 0..nlev {
-            cols.dst_t[p * nlev + k] = vert.dp_ref(k, ps);
-        }
-    }
-    for field in [&mut *u, &mut *v, &mut *t] {
-        transpose_blocked(field, nlev, NPTS, &mut cols.val_t);
-        for p in 0..NPTS {
-            let c = p * nlev..(p + 1) * nlev;
-            remap_column_ppm_with(
-                &cols.src_t[c.clone()],
-                &cols.val_t[c.clone()],
-                &cols.dst_t[c.clone()],
-                &mut cols.out_t[c],
-                scratch,
-            )?;
-        }
-        transpose_blocked(&cols.out_t, NPTS, nlev, field);
-    }
-    for q in 0..qsize {
-        let qf = &mut qdp[q * nlev * NPTS..(q + 1) * nlev * NPTS];
-        transpose_blocked(qf, nlev, NPTS, &mut cols.val_t);
-        for p in 0..NPTS {
-            let c = p * nlev..(p + 1) * nlev;
-            for k in 0..nlev {
-                cols.val_t[p * nlev + k] /= cols.src_t[p * nlev + k];
-            }
-            remap_column_ppm_with(
-                &cols.src_t[c.clone()],
-                &cols.val_t[c.clone()],
-                &cols.dst_t[c.clone()],
-                &mut cols.out_t[c.clone()],
-                scratch,
-            )?;
-            for k in 0..nlev {
-                cols.out_t[p * nlev + k] *= cols.dst_t[p * nlev + k];
+            let dst = &mut self.dst_dp[k * NPTS..(k + 1) * NPTS];
+            for (o, &s) in dst.iter_mut().zip(&ps) {
+                *o = vert.dp_ref(k, s);
             }
         }
-        transpose_blocked(&cols.out_t, NPTS, nlev, qf);
+        build_plan_core(
+            nlev,
+            dp3d,
+            &self.dst_dp,
+            &mut self.wl,
+            &mut self.wr,
+            &mut self.zs,
+            &mut self.segs,
+            &mut self.seg_end,
+        )
     }
-    transpose_blocked(&cols.dst_t, NPTS, nlev, dp3d);
+
+    /// Build the plan for an explicitly given target grid (the
+    /// [`remap_field`] shape). `src_dp`/`dst_dp` are `[nlev][NPTS]` arenas;
+    /// the target thicknesses are copied into the plan.
+    ///
+    /// # Errors
+    /// Same verdicts and ordering as [`ElemRemapPlan::build`].
+    pub fn build_with_dst(
+        &mut self,
+        nlev: usize,
+        src_dp: &[f64],
+        dst_dp: &[f64],
+    ) -> Result<(), RemapError> {
+        self.ensure(nlev);
+        debug_assert_eq!(src_dp.len(), nlev * NPTS);
+        debug_assert_eq!(dst_dp.len(), nlev * NPTS);
+        self.dst_dp[..nlev * NPTS].copy_from_slice(dst_dp);
+        build_plan_core(
+            nlev,
+            src_dp,
+            &self.dst_dp,
+            &mut self.wl,
+            &mut self.wr,
+            &mut self.zs,
+            &mut self.segs,
+            &mut self.seg_end,
+        )
+    }
+}
+
+/// Shared plan construction: validate every column, scan the source
+/// interface positions, record the overlap segments, and derive the
+/// interface interpolation weights. Column order, check order and every
+/// floating-point expression replicate [`remap_column_ppm_with`] so the
+/// apply pass can be bitwise identical to the oracle.
+#[allow(clippy::too_many_arguments, clippy::neg_cmp_op_on_partial_ord)]
+fn build_plan_core(
+    nlev: usize,
+    src_dp: &[f64],
+    dst_dp: &[f64],
+    wl: &mut [f64],
+    wr: &mut [f64],
+    zs: &mut [f64],
+    segs: &mut Vec<PlanSegment>,
+    seg_end: &mut [u32],
+) -> Result<(), RemapError> {
+    segs.clear();
+    for p in 0..NPTS {
+        // --- validation, replicating the oracle's order ---------------------
+        // `!(d > 0.0)` (rather than `d <= 0.0`) also rejects NaN thicknesses.
+        for layer in 0..nlev {
+            let d = src_dp[layer * NPTS + p];
+            if !(d > 0.0) {
+                return Err(RemapError::NonPositiveSource { layer, dp: d });
+            }
+        }
+        for layer in 0..nlev {
+            let d = dst_dp[layer * NPTS + p];
+            if !(d > 0.0) {
+                return Err(RemapError::NonPositiveTarget { layer, dp: d });
+            }
+        }
+        let mut total_src = 0.0f64;
+        let mut total_dst = 0.0f64;
+        for k in 0..nlev {
+            total_src += src_dp[k * NPTS + p];
+        }
+        for k in 0..nlev {
+            total_dst += dst_dp[k * NPTS + p];
+        }
+        if !((total_src - total_dst).abs() <= 1e-10 * total_src) {
+            return Err(RemapError::TotalMismatch { src: total_src, dst: total_dst });
+        }
+
+        // --- stage 2: the sequential partial-sum chain ----------------------
+        // Source interface positions (mass coordinate, 0 at the top). The
+        // carry is deliberately sequential: a reassociated parallel scan
+        // would change low-order bits and break the oracle pin.
+        zs[0] = 0.0;
+        for k in 0..nlev {
+            zs[k + 1] = zs[k] + src_dp[k * NPTS + p];
+        }
+
+        // --- stage 3: fix-up — record the overlap segments ------------------
+        // The walk is character-for-character the oracle's integration loop,
+        // with `cell_mass` evaluations replaced by segment records.
+        let mut zt_lo = 0.0f64;
+        let mut k = 0usize;
+        for j in 0..nlev {
+            let dpj = dst_dp[j * NPTS + p];
+            let zt_hi = if j == nlev - 1 { total_src } else { (zt_lo + dpj).min(total_src) };
+            let mut lo = zt_lo;
+            while lo < zt_hi - 1e-14 * total_src {
+                while k + 1 < nlev && zs[k + 1] <= lo {
+                    k += 1;
+                }
+                let hi = zt_hi.min(zs[k + 1]).max(lo);
+                let xi1 = ((lo - zs[k]) / src_dp[k * NPTS + p]).clamp(0.0, 1.0);
+                let xi2 = ((hi - zs[k]) / src_dp[k * NPTS + p]).clamp(0.0, 1.0);
+                segs.push(PlanSegment { k: k as u32, xi1, xi2, q1: ppm_q(xi1), q2: ppm_q(xi2) });
+                if hi >= zs[k + 1] - 1e-300 && k + 1 < nlev {
+                    k += 1;
+                }
+                if hi <= lo {
+                    break;
+                }
+                lo = hi;
+            }
+            seg_end[p * nlev + j] = segs.len() as u32;
+            zt_lo = zt_hi;
+        }
+    }
+    debug_assert!(segs.len() <= NPTS * (2 * nlev + 2), "segment bound exceeded: {}", segs.len());
+
+    // Interface interpolation weights (one division per interface for the
+    // whole element, where the oracle pays it once per interface per field).
+    for k in 1..nlev {
+        let o = k * NPTS;
+        for p in 0..NPTS {
+            let w = src_dp[o + p] / (src_dp[o - NPTS + p] + src_dp[o + p]);
+            wl[o + p] = w;
+            wr[o + p] = 1.0 - w;
+        }
+    }
+    Ok(())
+}
+
+/// Apply-pass arenas of the planned remap: PPM interface values and limited
+/// parabola coefficients for up to [`REMAP_CHUNK`] fields at once, plus the
+/// tracer mixing-ratio buffer. Sized once, reused every element.
+#[derive(Debug, Clone, Default)]
+pub struct RemapApplyScratch {
+    /// Interface values of the field being reconstructed, `[nlev+1][NPTS]`.
+    pub(crate) ae: Vec<f64>,
+    /// Tracer mixing ratios, `[REMAP_CHUNK][nlev][NPTS]`.
+    pub(crate) val: Vec<f64>,
+    /// Limited left parabola edge per cell, `[REMAP_CHUNK][nlev][NPTS]`.
+    pub(crate) a_l: Vec<f64>,
+    /// Half the limited edge difference `0.5*(a_r - a_l)`.
+    pub(crate) hda: Vec<f64>,
+    /// Parabola curvature coefficient `6*(a - 0.5*(a_l + a_r))`.
+    pub(crate) a6: Vec<f64>,
+}
+
+impl RemapApplyScratch {
+    /// Scratch sized for columns of `nlev` cells.
+    pub fn new(nlev: usize) -> Self {
+        let mut s = RemapApplyScratch::default();
+        s.ensure(nlev);
+        s
+    }
+
+    pub(crate) fn ensure(&mut self, nlev: usize) {
+        if self.ae.len() < (nlev + 1) * NPTS {
+            self.ae.resize((nlev + 1) * NPTS, 0.0);
+            self.val.resize(REMAP_CHUNK * nlev * NPTS, 0.0);
+            self.a_l.resize(REMAP_CHUNK * nlev * NPTS, 0.0);
+            self.hda.resize(REMAP_CHUNK * nlev * NPTS, 0.0);
+            self.a6.resize(REMAP_CHUNK * nlev * NPTS, 0.0);
+        }
+    }
+}
+
+/// Scratch-reusing [`remap_field`]: build the plan for the given grids and
+/// run the planned apply pass on the single field. Allocation-free once
+/// `plan` and `scratch` are sized for `nlev` (the counting-allocator gate
+/// enforces this); bitwise identical to the per-column oracle path.
+pub fn remap_field_with(
+    nlev: usize,
+    src_dp: &[f64],
+    dst_dp: &[f64],
+    field: &mut [f64],
+    plan: &mut ElemRemapPlan,
+    scratch: &mut RemapApplyScratch,
+) -> Result<(), RemapError> {
+    plan.build_with_dst(nlev, src_dp, dst_dp)?;
+    crate::kernels::blocked::remap_field_planned(plan, nlev, src_dp, field, scratch);
     Ok(())
 }
 
@@ -562,9 +767,10 @@ mod tests {
     }
 
     #[test]
-    fn blocked_element_remap_matches_scalar_bitwise() {
+    fn planned_element_remap_matches_scalar_bitwise() {
+        use crate::kernels::blocked::remap_element_planned;
         use crate::vert::VertCoord;
-        for (nlev, qsize) in [(1usize, 0usize), (3, 1), (26, 4), (128, 1)] {
+        for (nlev, qsize) in [(1usize, 0usize), (2, 1), (3, 1), (26, 4), (128, 1)] {
             let vert = VertCoord::standard(nlev, 200.0);
             let n = nlev * NPTS;
             let mk = |s: usize, len: usize, lo: f64, hi: f64| -> Vec<f64> {
@@ -600,12 +806,12 @@ mod tests {
             .unwrap();
 
             let (mut ub, mut vb, mut tb, mut dpb, mut qb) = (u0, v0, t0, dp0, q0);
-            let mut cols = RemapColumns::new(nlev);
-            remap_element_blocked(
-                &vert, nlev, qsize, &mut ub, &mut vb, &mut tb, &mut dpb, &mut qb, &mut cols,
-                &mut scratch,
-            )
-            .unwrap();
+            let mut plan = ElemRemapPlan::new(nlev);
+            let mut apply = RemapApplyScratch::new(nlev);
+            plan.build(&vert, nlev, &dpb).unwrap();
+            remap_element_planned(
+                &plan, nlev, qsize, &mut ub, &mut vb, &mut tb, &mut dpb, &mut qb, &mut apply,
+            );
 
             let bits = |x: &[f64]| x.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
             assert_eq!(bits(&us), bits(&ub), "u nlev={nlev} qsize={qsize}");
@@ -614,6 +820,83 @@ mod tests {
             assert_eq!(bits(&dps), bits(&dpb), "dp3d nlev={nlev} qsize={qsize}");
             assert_eq!(bits(&qs), bits(&qb), "qdp nlev={nlev} qsize={qsize}");
         }
+    }
+
+    #[test]
+    fn plan_build_reports_oracle_identical_errors() {
+        use crate::vert::VertCoord;
+        let nlev = 4;
+        let vert = VertCoord::standard(nlev, 200.0);
+        let mut plan = ElemRemapPlan::new(nlev);
+        let mut dp = vec![0.0; nlev * NPTS];
+        for p in 0..NPTS {
+            for k in 0..nlev {
+                dp[k * NPTS + p] = vert.dp_ref(k, 101325.0);
+            }
+        }
+        plan.build(&vert, nlev, &dp).unwrap();
+
+        // Collapsed layer: first failing (p, layer) in the oracle's order.
+        let mut bad = dp.clone();
+        bad[2 * NPTS + 5] = 0.0;
+        bad[NPTS + 9] = -3.0;
+        let err = plan.build(&vert, nlev, &bad).unwrap_err();
+        assert_eq!(err, RemapError::NonPositiveSource { layer: 2, dp: 0.0 });
+
+        // NaN layer rejected (a NaN surface pressure also poisons the
+        // target grid, but the source check fires first, like the oracle).
+        let mut bad = dp.clone();
+        bad[3 * NPTS + 1] = f64::NAN;
+        let err = plan.build(&vert, nlev, &bad).unwrap_err();
+        assert!(matches!(err, RemapError::NonPositiveSource { layer: 3, dp } if dp.is_nan()));
+
+        // Mismatched totals through the explicit-target entry point.
+        let mut dst = dp.clone();
+        for k in 0..nlev {
+            dst[k * NPTS] *= 1.5;
+        }
+        let err = plan.build_with_dst(nlev, &dp, &dst).unwrap_err();
+        assert!(matches!(err, RemapError::TotalMismatch { .. }));
+    }
+
+    #[test]
+    fn remap_field_with_matches_per_column_oracle_bitwise() {
+        let nlev = 13;
+        let mut src_dp = vec![0.0; nlev * NPTS];
+        let mut dst_dp = vec![0.0; nlev * NPTS];
+        let mut field = vec![0.0; nlev * NPTS];
+        for p in 0..NPTS {
+            for k in 0..nlev {
+                src_dp[k * NPTS + p] = 100.0 + ((k * 17 + p * 5) % 13) as f64;
+                field[k * NPTS + p] = ((k * 7 + p * 3) % 19) as f64 - 6.0;
+            }
+            let total: f64 = (0..nlev).map(|k| src_dp[k * NPTS + p]).sum();
+            for k in 0..nlev {
+                dst_dp[k * NPTS + p] = total / nlev as f64;
+            }
+        }
+        // Per-column oracle.
+        let mut expect = field.clone();
+        let mut cs = vec![0.0; nlev];
+        let mut cd = vec![0.0; nlev];
+        let mut cv = vec![0.0; nlev];
+        let mut co = vec![0.0; nlev];
+        for p in 0..NPTS {
+            for k in 0..nlev {
+                cs[k] = src_dp[k * NPTS + p];
+                cd[k] = dst_dp[k * NPTS + p];
+                cv[k] = expect[k * NPTS + p];
+            }
+            remap_column_ppm(&cs, &cv, &cd, &mut co).unwrap();
+            for k in 0..nlev {
+                expect[k * NPTS + p] = co[k];
+            }
+        }
+        let mut plan = ElemRemapPlan::new(nlev);
+        let mut scratch = RemapApplyScratch::new(nlev);
+        remap_field_with(nlev, &src_dp, &dst_dp, &mut field, &mut plan, &mut scratch).unwrap();
+        let bits = |x: &[f64]| x.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&expect), bits(&field));
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! worker in the parallel driver).
 
 use crate::deriv::ElemOps;
-use crate::kernels::blocked::{load_rows, store_rows};
+use crate::kernels::blocked::load_rows;
 use crate::state::{Dims, ElemRef};
 use crate::vert::VertCoord;
 use cubesphere::consts::{CP, RD};
@@ -100,11 +100,16 @@ pub fn pressure_scan(nlev: usize, ptop: f64, dp: &[f64], p_int: &mut [f64], p_mi
     }
 }
 
-/// Blocked pressure scan: the same recurrence as [`pressure_scan`] with the
-/// running interface pressure held in four row registers across the whole
-/// column, so each level is one load of `dp` and two stores — the host
-/// analogue of keeping the scan state in CPE registers (Section 7.4).
-/// Bitwise identical to the scalar scan.
+/// Blocked pressure scan, structured as the host form of the paper's
+/// three-stage scan (§6.3): per level-tile, (1) a bounds-check-free load of
+/// the 16-lane thickness row, (2) the sequential partial-sum chain with the
+/// carry resident in one 16-lane register tile across the whole column, and
+/// (3) the fix-up stores of the interface/midpoint rows. The carry chain is
+/// deliberately *not* reassociated across levels — the paper's CPE scan
+/// trades bit-reproducibility for parallelism, but this layer's contract is
+/// bitwise identity with [`pressure_scan`], so the win comes from the
+/// register-resident carry and the elided bounds checks (the earlier
+/// 4-wide-struct formulation lost to the scalar loop's autovectorization).
 pub fn pressure_scan_blocked(
     nlev: usize,
     ptop: f64,
@@ -115,18 +120,20 @@ pub fn pressure_scan_blocked(
     debug_assert_eq!(dp.len(), nlev * NPTS);
     debug_assert_eq!(p_int.len(), (nlev + 1) * NPTS);
     debug_assert_eq!(p_mid.len(), nlev * NPTS);
-    let half = V4F64::splat(0.5);
-    let mut pint = [V4F64::splat(ptop); NP];
-    store_rows(&pint, p_int);
-    for k in 0..nlev {
-        let o = k * NPTS;
-        let dpr = load_rows(&dp[o..]);
-        for r in 0..NP {
-            let pm = pint[r] + half * dpr[r];
-            pm.store(&mut p_mid[o + r * NP..]);
-            pint[r] = pint[r] + dpr[r];
+    let mut carry = [ptop; NPTS];
+    p_int[..NPTS].copy_from_slice(&carry);
+    for ((dpk, pik), pmk) in dp
+        .chunks_exact(NPTS)
+        .zip(p_int[NPTS..].chunks_exact_mut(NPTS))
+        .zip(p_mid.chunks_exact_mut(NPTS))
+    {
+        for p in 0..NPTS {
+            // Midpoint before the carry update: `p_int[k] + 0.5*dp`, then
+            // `p_int[k+1] = p_int[k] + dp` — the scalar scan's exact order.
+            pmk[p] = carry[p] + 0.5 * dpk[p];
+            carry[p] += dpk[p];
         }
-        store_rows(&pint, &mut p_int[o + NPTS..]);
+        pik.copy_from_slice(&carry);
     }
 }
 

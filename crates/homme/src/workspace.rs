@@ -14,7 +14,7 @@
 //! that a dirtied workspace reproduces a fresh one bitwise.
 
 use crate::bndry::ExchangeBuffers;
-use crate::remap::{RemapColumns, RemapScratch};
+use crate::remap::{ElemRemapPlan, RemapApplyScratch, RemapScratch};
 use crate::rhs::{ElemTend, RhsScratch};
 use crate::sched::PerWorker;
 use crate::state::{Dims, State};
@@ -68,8 +68,11 @@ pub struct WorkerScratch {
     pub col_val: Vec<f64>,
     /// Remapped value column, `[nlev]`.
     pub col_out: Vec<f64>,
-    /// Transposed `[NPTS][nlev]` buffers for the blocked remap.
-    pub cols: RemapColumns,
+    /// Per-element remap plan (geometry + PPM weights), rebuilt from
+    /// `dp3d` for each element and reused across all fields and tracers.
+    pub plan: ElemRemapPlan,
+    /// Coefficient arenas of the planned remap's apply pass.
+    pub apply: RemapApplyScratch,
 }
 
 impl WorkerScratch {
@@ -83,7 +86,8 @@ impl WorkerScratch {
             col_dst: vec![0.0; dims.nlev],
             col_val: vec![0.0; dims.nlev],
             col_out: vec![0.0; dims.nlev],
-            cols: RemapColumns::new(dims.nlev),
+            plan: ElemRemapPlan::new(dims.nlev),
+            apply: RemapApplyScratch::new(dims.nlev),
         }
     }
 }

@@ -14,7 +14,8 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use cubesphere::consts::P0;
 use cubesphere::NPTS;
 use homme::hypervis::HypervisConfig;
-use homme::{Dims, Dycore, DycoreConfig, HealthConfig};
+use homme::remap::remap_field_with;
+use homme::{Dims, Dycore, DycoreConfig, ElemRemapPlan, HealthConfig, RemapApplyScratch};
 
 /// Counts every allocation (from any thread, scheduler workers included)
 /// while armed; forwards everything to the system allocator.
@@ -83,10 +84,34 @@ fn step_allocates_nothing_after_warmup() {
     // Warm-up: first step may lazily touch thread-local / libstd caches.
     dy.step_checked(&mut st).expect("warm-up step");
 
+    // Standalone remap_field_with: warm plan + scratch sized for nlev must
+    // also be allocation-free on reuse (segment capacity is reserved up
+    // front, so rebuilding the plan for new grids never grows the Vecs).
+    let mut plan = ElemRemapPlan::new(dims.nlev);
+    let mut apply = RemapApplyScratch::new(dims.nlev);
+    let fl = dims.nlev * NPTS;
+    let mut src = vec![0.0; fl];
+    let mut dst = vec![0.0; fl];
+    let mut field = vec![0.0; fl];
+    for i in 0..fl {
+        src[i] = vert.dp_ref(i / NPTS, P0);
+        dst[i] = src[i] * (1.0 + 0.01 * ((i % 5) as f64 - 2.0));
+        field[i] = 1.0 + 0.1 * (i % 3) as f64;
+    }
+    let total: f64 = src.chunks_exact(NPTS).map(|r| r[0]).sum();
+    for p in 0..NPTS {
+        let drift: f64 = (0..dims.nlev).map(|k| dst[k * NPTS + p]).sum::<f64>() - total;
+        dst[(dims.nlev - 1) * NPTS + p] -= drift;
+    }
+    remap_field_with(dims.nlev, &src, &dst, &mut field, &mut plan, &mut apply)
+        .expect("warm-up remap_field_with");
+
     ALLOCS.store(0, Ordering::SeqCst);
     ARMED.store(true, Ordering::SeqCst);
     dy.step_checked(&mut st).expect("armed step");
     dy.step_checked(&mut st).expect("armed step");
+    remap_field_with(dims.nlev, &src, &dst, &mut field, &mut plan, &mut apply)
+        .expect("armed remap_field_with");
     ARMED.store(false, Ordering::SeqCst);
 
     let n = ALLOCS.load(Ordering::SeqCst);

@@ -77,12 +77,13 @@ fn assert_state_bitwise(a: &State, b: &State, what: &str) {
 }
 
 /// Sweep the dimension space the kernels specialize over: every level
-/// count the blocked vertical scans and transposed remap must handle
-/// (including a single level and a deep 128-level column) crossed with
-/// every tracer-loop shape (none, one, several).
+/// count the blocked vertical scans and planned remap must handle
+/// (including a single level, the two-level edge the PPM interior-interface
+/// loop skips, and a deep 128-level column) crossed with every tracer-loop
+/// shape (none, one, several).
 #[test]
 fn blocked_path_matches_scalar_across_dims_bitwise() {
-    for &nlev in &[1usize, 3, 26, 128] {
+    for &nlev in &[1usize, 2, 3, 26, 128] {
         for &qsize in &[0usize, 1, 4] {
             let dims = Dims { nlev, qsize };
             let nsteps = if nlev >= 128 { 1 } else { 2 };

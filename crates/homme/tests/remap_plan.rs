@@ -1,0 +1,256 @@
+//! Property tests of the geometry-reuse remap plan: the planned (blocked,
+//! lane-vectorized) element remap must be *bitwise* identical to the scalar
+//! per-column oracle — same outputs, same rejections — and both conserve
+//! column mass, momentum and tracer mass. The plan is the production path
+//! (`KernelPath::Blocked` is the default), so these properties are what the
+//! serial and distributed parity pins rest on.
+
+use cubesphere::consts::P0;
+use cubesphere::NPTS;
+use homme::kernels::blocked::remap_element_planned;
+use homme::remap::{
+    remap_column_ppm, remap_element_scalar, remap_field_with, RemapError, RemapScratch,
+};
+use homme::{Dims, Dycore, DycoreConfig, ElemRemapPlan, HealthConfig, HealthError, RemapApplyScratch, VertCoord};
+use proptest::prelude::*;
+
+/// Deterministic per-element fields from a jitter pool: positive layer
+/// thicknesses around the reference profile plus smooth-ish u/v/t/qdp.
+#[allow(clippy::type_complexity)]
+fn element_fields(
+    vert: &VertCoord,
+    nlev: usize,
+    qsize: usize,
+    jitter: &[f64],
+) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+    let fl = nlev * NPTS;
+    let j = |i: usize| jitter[i % jitter.len()];
+    let mut dp3d = vec![0.0; fl];
+    let mut u = vec![0.0; fl];
+    let mut v = vec![0.0; fl];
+    let mut t = vec![0.0; fl];
+    let mut qdp = vec![0.0; qsize * fl];
+    for k in 0..nlev {
+        for p in 0..NPTS {
+            let i = k * NPTS + p;
+            dp3d[i] = vert.dp_ref(k, P0) * (1.0 + 0.3 * j(k * 31 + p * 7));
+            u[i] = 25.0 * j(i * 13 + 1);
+            v[i] = 25.0 * j(i * 17 + 2);
+            t[i] = 300.0 + 15.0 * j(i * 19 + 3);
+            for q in 0..qsize {
+                qdp[q * fl + i] = 0.01 * dp3d[i] * (1.0 + 0.5 * j(i * 23 + q * 5));
+            }
+        }
+    }
+    (dp3d, u, v, t, qdp)
+}
+
+/// Column mass of a `[nlev][NPTS]` cell-average field at GLL point `p`.
+fn col_mass(nlev: usize, dp: &[f64], f: &[f64], p: usize) -> f64 {
+    (0..nlev).map(|k| dp[k * NPTS + p] * f[k * NPTS + p]).sum()
+}
+
+/// Column total of a `[nlev][NPTS]` per-layer mass field at GLL point `p`.
+fn col_sum(nlev: usize, f: &[f64], p: usize) -> f64 {
+    (0..nlev).map(|k| f[k * NPTS + p]).sum()
+}
+
+fn run_scalar(
+    vert: &VertCoord,
+    nlev: usize,
+    qsize: usize,
+    u: &mut [f64],
+    v: &mut [f64],
+    t: &mut [f64],
+    dp3d: &mut [f64],
+    qdp: &mut [f64],
+) -> Result<(), RemapError> {
+    let mut col_src = vec![0.0; nlev];
+    let mut col_dst = vec![0.0; nlev];
+    let mut col_val = vec![0.0; nlev];
+    let mut col_out = vec![0.0; nlev];
+    let mut scratch = RemapScratch::new(nlev);
+    remap_element_scalar(
+        vert, nlev, qsize, u, v, t, dp3d, qdp, &mut col_src, &mut col_dst, &mut col_val,
+        &mut col_out, &mut scratch,
+    )
+}
+
+proptest! {
+    /// The planned element remap is bitwise identical to the scalar oracle
+    /// across every production shape, and both conserve column momentum,
+    /// internal energy and tracer mass.
+    #[test]
+    fn planned_remap_bitwise_and_conservative(
+        nlev in proptest::sample::select(vec![1usize, 2, 3, 26, 128]),
+        qsize in proptest::sample::select(vec![0usize, 1, 4]),
+        jitter in proptest::collection::vec(-1.0f64..1.0, 64),
+    ) {
+        let vert = VertCoord::standard(nlev, 200.0);
+        let (dp3d, u, v, t, qdp) = element_fields(&vert, nlev, qsize, &jitter);
+
+        let (mut su, mut sv, mut st, mut sdp, mut sq) =
+            (u.clone(), v.clone(), t.clone(), dp3d.clone(), qdp.clone());
+        run_scalar(&vert, nlev, qsize, &mut su, &mut sv, &mut st, &mut sdp, &mut sq)
+            .expect("scalar remap");
+
+        let (mut pu, mut pv, mut pt, mut pdp, mut pq) =
+            (u.clone(), v.clone(), t.clone(), dp3d.clone(), qdp.clone());
+        let mut plan = ElemRemapPlan::new(nlev);
+        let mut apply = RemapApplyScratch::new(nlev);
+        plan.build(&vert, nlev, &pdp).expect("plan build");
+        remap_element_planned(
+            &plan, nlev, qsize, &mut pu, &mut pv, &mut pt, &mut pdp, &mut pq, &mut apply,
+        );
+
+        for (name, a, b) in [
+            ("u", &su, &pu), ("v", &sv, &pv), ("t", &st, &pt),
+            ("dp3d", &sdp, &pdp), ("qdp", &sq, &pq),
+        ] {
+            for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                prop_assert_eq!(
+                    x.to_bits(), y.to_bits(),
+                    "{}[{}]: scalar {} vs planned {}", name, i, x, y
+                );
+            }
+        }
+
+        // Conservation, judged against the pre-remap state.
+        for p in 0..NPTS {
+            for (name, f0, f1) in [("u", &u, &pu), ("v", &v, &pv), ("t", &t, &pt)] {
+                let m0 = col_mass(nlev, &dp3d, f0, p);
+                let m1 = col_mass(nlev, &pdp, f1, p);
+                prop_assert!(
+                    (m0 - m1).abs() <= 1e-9 * m0.abs().max(1.0),
+                    "{} column {} mass {} -> {}", name, p, m0, m1
+                );
+            }
+            let fl = nlev * NPTS;
+            for q in 0..qsize {
+                let m0 = col_sum(nlev, &qdp[q * fl..(q + 1) * fl], p);
+                let m1 = col_sum(nlev, &pq[q * fl..(q + 1) * fl], p);
+                prop_assert!(
+                    (m0 - m1).abs() <= 1e-10 * m0.abs().max(1e-10),
+                    "tracer {} column {} mass {} -> {}", q, p, m0, m1
+                );
+            }
+        }
+    }
+
+    /// Degenerate geometry — target grid equal to the source grid — is an
+    /// identity: the planned field remap reproduces the input and stays
+    /// bitwise identical to the per-column oracle.
+    #[test]
+    fn planned_identity_remap_reproduces_input(
+        nlev in proptest::sample::select(vec![1usize, 2, 3, 26, 128]),
+        jitter in proptest::collection::vec(-1.0f64..1.0, 64),
+    ) {
+        let vert = VertCoord::standard(nlev, 200.0);
+        let (dp3d, _, _, t, _) = element_fields(&vert, nlev, 0, &jitter);
+
+        let mut field = t.clone();
+        let mut plan = ElemRemapPlan::new(nlev);
+        let mut apply = RemapApplyScratch::new(nlev);
+        remap_field_with(nlev, &dp3d, &dp3d, &mut field, &mut plan, &mut apply)
+            .expect("identity remap");
+
+        let mut col_src = vec![0.0; nlev];
+        let mut col_val = vec![0.0; nlev];
+        let mut col_out = vec![0.0; nlev];
+        for p in 0..NPTS {
+            for k in 0..nlev {
+                col_src[k] = dp3d[k * NPTS + p];
+                col_val[k] = t[k * NPTS + p];
+            }
+            remap_column_ppm(&col_src, &col_val, &col_src, &mut col_out).expect("oracle");
+            for k in 0..nlev {
+                let i = k * NPTS + p;
+                prop_assert_eq!(field[i].to_bits(), col_out[k].to_bits(),
+                    "col {} lev {}: planned {} vs oracle {}", p, k, field[i], col_out[k]);
+                prop_assert!(
+                    (field[i] - t[i]).abs() <= 1e-12 * t[i].abs().max(1.0),
+                    "identity drifted at col {} lev {}: {} -> {}", p, k, t[i], field[i]
+                );
+            }
+        }
+    }
+
+    /// A corrupted layer — collapsed (`dp <= 0`) or NaN — is rejected by the
+    /// plan build with the *same* typed error, at the same layer, as the
+    /// scalar oracle reports. Rejection happens before any state is written.
+    #[test]
+    fn plan_rejects_corrupt_layers_like_the_oracle(
+        nlev in proptest::sample::select(vec![2usize, 3, 26, 128]),
+        qsize in proptest::sample::select(vec![0usize, 1]),
+        bad_lev_seed in 0usize..128,
+        bad_pt in 0usize..NPTS,
+        corrupt in proptest::sample::select(vec![0.0f64, -12.5, f64::NAN]),
+        jitter in proptest::collection::vec(-1.0f64..1.0, 64),
+    ) {
+        let bad_lev = bad_lev_seed % nlev;
+        let vert = VertCoord::standard(nlev, 200.0);
+        let (mut dp3d, mut u, mut v, mut t, mut qdp) =
+            element_fields(&vert, nlev, qsize, &jitter);
+        dp3d[bad_lev * NPTS + bad_pt] = corrupt;
+
+        // The plan validates *every* column before any apply pass runs, so
+        // a rejection leaves the element untouched (build borrows dp3d
+        // immutably); the scalar oracle only discovers the bad column
+        // mid-walk. Both report the same typed verdict.
+        let mut plan = ElemRemapPlan::new(nlev);
+        let planned_err =
+            plan.build(&vert, nlev, &dp3d).expect_err("corrupt layer must be rejected");
+        let scalar_err =
+            run_scalar(&vert, nlev, qsize, &mut u, &mut v, &mut t, &mut dp3d, &mut qdp)
+                .expect_err("oracle must reject too");
+        match planned_err {
+            RemapError::NonPositiveSource { layer, dp } => {
+                prop_assert_eq!(layer, bad_lev);
+                prop_assert_eq!(dp.to_bits(), corrupt.to_bits());
+            }
+            other => prop_assert!(false, "unexpected rejection {:?}", other),
+        }
+        // Same verdict (NaN payloads compared via Debug, not PartialEq).
+        prop_assert_eq!(format!("{planned_err:?}"), format!("{scalar_err:?}"));
+    }
+}
+
+/// End-to-end rollback routing: a collapsed layer reaching the vertical
+/// remap surfaces as `HealthError::Remap` from `Dycore::step_checked` (the
+/// blocked/planned path is the default), and restoring the pre-step
+/// checkpoint lets integration continue — the distributed driver's
+/// checkpoint/rollback protocol in miniature.
+#[test]
+fn remap_rejection_routes_into_rollback() {
+    let dims = Dims { nlev: 4, qsize: 2 };
+    let cfg = DycoreConfig::for_ne(2);
+    let mut dy = Dycore::new(2, dims, 200.0, cfg);
+    // Disarm the ThinLayer stage guard so the bad column reaches the remap.
+    dy.health = HealthConfig { min_dp3d: f64::NEG_INFINITY, ..HealthConfig::on() };
+
+    let vert = dy.rhs.vert.clone();
+    let mut st = dy.zero_state();
+    for es in st.elems_mut() {
+        for k in 0..dims.nlev {
+            for p in 0..NPTS {
+                let i = k * NPTS + p;
+                es.t[i] = 300.0;
+                es.dp3d[i] = vert.dp_ref(k, P0);
+                for q in 0..dims.qsize {
+                    es.qdp[(q * dims.nlev + k) * NPTS + p] = 0.01 * es.dp3d[i];
+                }
+            }
+        }
+    }
+
+    let checkpoint = st.clone();
+    for p in 0..NPTS {
+        st.dp3d[NPTS + p] = -5000.0;
+    }
+    let err = dy.step_checked(&mut st).unwrap_err();
+    assert!(matches!(err, HealthError::Remap(_)), "got {err:?}");
+
+    // Roll back to the checkpoint and carry on.
+    st = checkpoint;
+    dy.step_checked(&mut st).expect("post-rollback step");
+}

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Bench-regression guard over the kernel bench artifact.
+#
+# Reads BENCH_kernels.json from the most recent full `kernels` bench run
+# (BENCH_*.json is gitignored, so the artifact is always locally produced)
+# and fails if any blocked kernel lost to its scalar oracle (speedup < 1.0)
+# or the planned vertical remap slipped under its 1.5x acceptance bar.
+# Smoke runs never write the artifact (and a hand-kept "smoke": true one
+# only gets structural checks), so on a fresh checkout — CI included —
+# there is nothing to judge and the guard skips; the timing floors bind on
+# every development-host tier-1 run, where the full artifact lives
+# alongside the tree. awk-only: CI and the offline dev container both
+# lack jq.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ARTIFACT="${1:-BENCH_kernels.json}"
+REMAP_TARGET=1.5
+
+if [[ ! -f "$ARTIFACT" ]]; then
+    echo "bench guard: $ARTIFACT not present (smoke runs don't write it);" \
+         "run 'cargo run --release -p swcam-bench --bin kernels' to enforce the speedup floors"
+    exit 0
+fi
+
+awk -F'"' -v target="$REMAP_TARGET" '
+  /"smoke": true/ { smoke = 1 }
+  /\{"name":/ {
+    name = $4
+    sp = $0
+    sub(/.*"speedup": /, "", sp)
+    sub(/[^0-9.].*/, "", sp)
+    speedup[name] = sp + 0
+    nrows++
+  }
+  END {
+    if (nrows == 0) { print "bench guard: no kernel rows parsed"; exit 1 }
+    if (!("vertical_remap" in speedup)) {
+      print "bench guard: vertical_remap row missing"; exit 1
+    }
+    if (!("vertical_remap_planned" in speedup)) {
+      print "bench guard: vertical_remap_planned row missing"; exit 1
+    }
+    if (smoke) { printf "bench guard: smoke artifact, %d rows, skipping speedup floors\n", nrows; exit 0 }
+    bad = 0
+    for (name in speedup) {
+      if (speedup[name] < 1.0) {
+        printf "bench guard: %s speedup %.3f < 1.0 (blocked path lost to scalar)\n", name, speedup[name]
+        bad = 1
+      }
+    }
+    if (speedup["vertical_remap"] < target) {
+      printf "bench guard: vertical_remap speedup %.3f < %.1f target\n", speedup["vertical_remap"], target
+      bad = 1
+    }
+    if (!bad) printf "bench guard: OK (%d kernels >= 1.0x, vertical_remap %.3fx >= %.1fx)\n", nrows, speedup["vertical_remap"], target
+    exit bad
+  }
+' "$ARTIFACT"

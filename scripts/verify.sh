@@ -48,6 +48,14 @@ echo "== bench binaries build + kernels smoke"
 cargo build --release -p swcam-bench --bins
 ./target/release/kernels --smoke
 
+# Bench-regression guard over whatever BENCH_kernels.json the last kernels
+# run produced. A smoke artifact (the line above; BENCH_*.json is
+# gitignored, so CI only ever sees smoke rows) gets structural checks; a
+# full-sweep dev-host artifact must show no blocked kernel losing to its
+# scalar oracle and the planned vertical remap holding its 1.5x bar.
+echo "== bench-regression guard"
+./scripts/bench_guard.sh
+
 # Clippy is not part of every toolchain install; lint when present.
 if cargo clippy --version >/dev/null 2>&1; then
     echo "== cargo clippy --workspace --all-targets -- -D warnings"

@@ -248,6 +248,30 @@ pub mod collection {
     }
 }
 
+// ---- sample::select ---------------------------------------------------
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Uniform choice from a fixed option list (subset of
+    /// `proptest::sample::Select`).
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "empty select strategy");
+        Select { options }
+    }
+}
+
 // ---- array::uniformN --------------------------------------------------
 
 pub mod array {
