@@ -115,6 +115,77 @@ impl Dss {
     pub fn nglobal(&self) -> usize {
         self.nglobal
     }
+
+    /// Global point ids of element `e` (the assembly map row).
+    pub fn element_gids(&self, e: usize) -> &[usize] {
+        &self.gids[e * NPTS..(e + 1) * NPTS]
+    }
+}
+
+/// Per-element DSS accumulation plan for the task-graph step: for every
+/// (element, point) it lists all sharing (element, point) pairs — itself
+/// included — in the *canonical* order [`Dss::apply_flat`] accumulates
+/// them (element-ascending, point-ascending), with their spheremp weights.
+/// Summing a point's sharers in this fixed order and scaling by the
+/// point's inverse mass reproduces the barrier DSS bitwise, no matter
+/// which task performs the gather or when its inputs arrived.
+#[derive(Debug, Clone)]
+pub struct DssGather {
+    /// CSR offsets, one slot per (element, point): `nelem * NPTS + 1`.
+    off: Vec<u32>,
+    /// Sharer codes `elem * NPTS + point`, canonical order.
+    codes: Vec<u32>,
+    /// spheremp weight of each sharer entry.
+    w: Vec<f64>,
+    /// Inverse global mass per (element, point).
+    inv: Vec<f64>,
+}
+
+impl DssGather {
+    /// Build the plan from the serial DSS assembly map.
+    pub fn new(dss: &Dss) -> Self {
+        let npoints = dss.gids.len();
+        // gid -> sharer codes; insertion order (e asc, p asc) is already
+        // canonical because we scan points in that order.
+        let mut by_gid: std::collections::HashMap<usize, Vec<u32>> =
+            std::collections::HashMap::new();
+        for (code, &g) in dss.gids.iter().enumerate() {
+            by_gid.entry(g).or_default().push(code as u32);
+        }
+        let mut off = Vec::with_capacity(npoints + 1);
+        let mut codes = Vec::new();
+        let mut w = Vec::new();
+        let mut inv = Vec::with_capacity(npoints);
+        off.push(0u32);
+        for &g in &dss.gids {
+            for &c in &by_gid[&g] {
+                codes.push(c);
+                w.push(dss.spheremp[c as usize]);
+            }
+            off.push(codes.len() as u32);
+            inv.push(dss.inv_mass[g]);
+        }
+        DssGather { off, codes, w, inv }
+    }
+
+    /// Number of elements covered.
+    pub fn nelem(&self) -> usize {
+        self.inv.len() / NPTS
+    }
+
+    /// Sharer codes + weights of flat point `pi = e * NPTS + p`, and the
+    /// point's inverse mass. `read(code)` must yield the raw (pre-DSS)
+    /// value of the sharer at `elem = code / NPTS`, `point = code % NPTS`.
+    #[inline]
+    pub fn gather_point(&self, pi: usize, read: impl Fn(usize) -> f64) -> f64 {
+        let lo = self.off[pi] as usize;
+        let hi = self.off[pi + 1] as usize;
+        let mut acc = 0.0;
+        for i in lo..hi {
+            acc += self.w[i] * read(self.codes[i] as usize);
+        }
+        acc * self.inv[pi]
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +326,38 @@ mod tests {
         for (e, pe) in per_elem.iter().enumerate() {
             let fl = &flat[e * nlev * NPTS..(e + 1) * nlev * NPTS];
             assert_eq!(pe.as_slice(), fl, "element {e}");
+        }
+    }
+
+    /// The per-point gather plan reproduces `apply_flat` bitwise: same
+    /// additions in the same canonical order, just grouped per point.
+    #[test]
+    fn gather_plan_is_bitwise_identical_to_apply_flat() {
+        let grid = CubedSphere::new(3);
+        let mut dss = Dss::new(&grid);
+        let plan = DssGather::new(&dss);
+        let nelem = grid.nelem();
+        assert_eq!(plan.nelem(), nelem);
+        let nlev = 3;
+        let estride = nlev * NPTS;
+        let raw: Vec<f64> = (0..nelem * estride)
+            .map(|i| ((i * 131) % 97) as f64 / 7.0 - 6.5)
+            .collect();
+        let mut flat = raw.clone();
+        dss.apply_flat(&mut flat, nlev);
+        for e in 0..nelem {
+            for k in 0..nlev {
+                for p in 0..NPTS {
+                    let got = plan.gather_point(e * NPTS + p, |code| {
+                        raw[(code / NPTS) * estride + k * NPTS + (code % NPTS)]
+                    });
+                    let want = flat[e * estride + k * NPTS + p];
+                    assert!(
+                        got.to_bits() == want.to_bits(),
+                        "elem {e} lev {k} pt {p}: {got:e} vs {want:e}"
+                    );
+                }
+            }
         }
     }
 

@@ -15,22 +15,27 @@
 //! preserved in [`crate::seedref`] as the equivalence oracle.
 
 use crate::deriv::{build_ops, ElemOps};
-use crate::dss::Dss;
-use crate::euler::{euler_stage_flat_blocked, euler_substep_flat, limit_tracer_arena};
+use crate::dss::{Dss, DssGather};
+use crate::euler::{
+    euler_stage_flat_blocked, euler_substep_flat, limit_nonnegative, limit_tracer_arena,
+    tracer_flux_divergence,
+};
 use crate::health::{
     commit_scan, scan_stage, DegradePolicy, HealthConfig, HealthError, StepHealth, TRACER_STAGE,
 };
 use crate::hypervis::{biharmonic_flat_path, laplace_flat_path, vlaplace_flat_path, HypervisConfig};
 use crate::kernels::blocked::{
-    build_blocked_ops, element_rhs_apply_blocked, BlockedOps, KernelPath, StageCombine,
+    build_blocked_ops, element_rhs_apply_blocked, euler_stage_element_blocked,
+    laplace_levels_blocked, vlaplace_levels_blocked, BlockedOps, KernelPath, StageCombine,
 };
 use crate::kernels::blocked::remap_element_planned;
 use crate::remap::{remap_element_scalar, RemapError};
 use crate::rhs::{element_rhs_raw, Rhs};
 use crate::sched::{ArenaMut, ElemScheduler};
 use crate::state::{Dims, State};
+use crate::taskgraph::{Neighbors, PipelineStage, StepPath};
 use crate::vert::VertCoord;
-use crate::workspace::{DynFields, StepWorkspace, WorkerScratch};
+use crate::workspace::{DynFields, StepWorkspace, WorkerScratch, EMPTY_SCAN};
 use cubesphere::{CubedSphere, NPTS};
 use std::sync::Mutex;
 
@@ -87,6 +92,16 @@ pub struct Dycore {
     /// Which kernel implementation the step pipeline dispatches to
     /// (blocked by default; the scalar path is the parity oracle).
     pub kernels: KernelPath,
+    /// Which step schedule drives the pipeline: bulk-synchronous stage
+    /// barriers, or the message-driven element task graph (bitwise
+    /// identical results; mirrors [`KernelPath`] for the kernel layer).
+    pub step_path: StepPath,
+    /// Seed keying the task graph's stage-0 injection order (0 = element
+    /// order). Shuffling it exercises arbitrary task arrival orders
+    /// without changing the answer.
+    pub taskgraph_seed: u64,
+    gather: DssGather,
+    neighbors: Neighbors,
     bops: Vec<BlockedOps>,
     ws: StepWorkspace,
     steps_since_remap: usize,
@@ -120,6 +135,8 @@ impl Dycore {
         let ops = build_ops(&grid);
         let bops = build_blocked_ops(&ops);
         let dss = Dss::new(&grid);
+        let gather = DssGather::new(&dss);
+        let neighbors = Neighbors::from_gids(grid.nelem(), |e| dss.element_gids(e));
         let vert = VertCoord::standard(dims.nlev, ptop);
         let rhs = Rhs::new(vert, dims);
         let sched = ElemScheduler::new(default_threads());
@@ -141,6 +158,10 @@ impl Dycore {
             health: HealthConfig::default(),
             degrade: DegradePolicy::default(),
             kernels: KernelPath::default(),
+            step_path: StepPath::default(),
+            taskgraph_seed: 0,
+            gather,
+            neighbors,
             bops,
             ws,
             steps_since_remap: 0,
@@ -382,9 +403,18 @@ impl Dycore {
     /// One full model step: dynamics RK + hyperviscosity + tracer advection
     /// + (every `rsplit` steps) vertical remap. Heap-allocation-free.
     pub fn step(&mut self, state: &mut State) {
-        self.dynamics_step(state);
-        self.apply_hypervis(state);
-        self.euler_step_tracers(state);
+        match self.step_path {
+            StepPath::Bulk => {
+                self.dynamics_step(state);
+                self.apply_hypervis(state);
+                self.euler_step_tracers(state);
+            }
+            StepPath::TaskGraph => {
+                let subcycles = self.hypervis_subcycles();
+                self.taskgraph_pipeline(state, subcycles, None)
+                    .expect("unchecked pipeline cannot fail");
+            }
+        }
         self.steps_since_remap += 1;
         if self.steps_since_remap >= self.cfg.rsplit {
             // The unguarded driver has no rollback path to route the
@@ -419,19 +449,31 @@ impl Dycore {
         health.degraded = splits > 1;
         self.cfg.dt = full_dt / splits as f64;
         for _ in 0..splits {
-            if let Err(e) = self.dynamics_step_guarded(state, &mut health) {
-                self.cfg.dt = full_dt;
-                return Err(e);
-            }
-            let subcycles = self.hypervis_subcycles() + extra;
-            self.apply_hypervis_n(state, subcycles);
-            self.euler_step_tracers(state);
-            // Post-advection scan covers the tracer arenas, which the RK
-            // stage scans never see.
-            let scan = scan_stage(&state.u, &state.v, &state.t, &state.dp3d, &state.qdp);
-            if let Err(e) = commit_scan(&mut health, &self.health, TRACER_STAGE, scan) {
-                self.cfg.dt = full_dt;
-                return Err(e);
+            match self.step_path {
+                StepPath::Bulk => {
+                    if let Err(e) = self.dynamics_step_guarded(state, &mut health) {
+                        self.cfg.dt = full_dt;
+                        return Err(e);
+                    }
+                    let subcycles = self.hypervis_subcycles() + extra;
+                    self.apply_hypervis_n(state, subcycles);
+                    self.euler_step_tracers(state);
+                    // Post-advection scan covers the tracer arenas, which
+                    // the RK stage scans never see.
+                    let scan =
+                        scan_stage(&state.u, &state.v, &state.t, &state.dp3d, &state.qdp);
+                    if let Err(e) = commit_scan(&mut health, &self.health, TRACER_STAGE, scan) {
+                        self.cfg.dt = full_dt;
+                        return Err(e);
+                    }
+                }
+                StepPath::TaskGraph => {
+                    let subcycles = self.hypervis_subcycles() + extra;
+                    if let Err(e) = self.taskgraph_pipeline(state, subcycles, Some(&mut health)) {
+                        self.cfg.dt = full_dt;
+                        return Err(e);
+                    }
+                }
             }
         }
         self.cfg.dt = full_dt;
@@ -484,6 +526,582 @@ impl Dycore {
         state.v.copy_from_slice(&ws.stage.v);
         state.t.copy_from_slice(&ws.stage.t);
         state.dp3d.copy_from_slice(&ws.stage.dp3d);
+        Ok(())
+    }
+
+    /// One complete pipeline pass — RK dynamics, sponge, hyperviscosity
+    /// subcycles and tracer advection (the vertical remap stays a separate
+    /// phase) — executed as a single task-graph run: per-element compute
+    /// and canonical-order gather substages advance the moment their
+    /// neighbor contributions land, instead of marching through stage
+    /// barriers. Bitwise identical to the bulk pipeline for any worker
+    /// count and any seed order (DESIGN.md §5.6).
+    ///
+    /// With `health`, RK stage scans accumulate per worker inside the
+    /// gathers and commit in bulk stage order afterwards, so the first
+    /// error (stage and value) matches the bulk path's. On `Err` the
+    /// state may hold a fully advanced unvetted pipeline result where the
+    /// bulk path would have stopped mid-step; either way the contract is
+    /// "restore from a checkpoint before continuing".
+    fn taskgraph_pipeline(
+        &mut self,
+        state: &mut State,
+        subcycles: usize,
+        health: Option<&mut StepHealth>,
+    ) -> Result<(), HealthError> {
+        let seed = self.taskgraph_seed;
+        let hcfg = self.health;
+        let hv = self.cfg.hypervis;
+        let hyp_on = !(hv.nu == 0.0 && hv.nu_p == 0.0);
+        let checked = health.is_some();
+        let Dycore { ops, rhs, dims, cfg, sched, ws, kernels, bops, gather, neighbors, .. } = self;
+        let kernels = *kernels;
+        let dims = *dims;
+        let nlev = dims.nlev;
+        let qsize = dims.qsize;
+        let fl = dims.field_len();
+        let tl = dims.tracer_len();
+        let nelem = ops.len();
+        let ptop = rhs.vert.ptop();
+        let dt = cfg.dt;
+        let limiter = cfg.limiter;
+        let ks = hv.sponge_layers.min(nlev);
+        let sl = ks * NPTS;
+        let dt_sub = dt / subcycles as f64;
+
+        let StepWorkspace {
+            stage, next, hyp, qdp0, q1, q2, workers, graph, raw0, raw1, rawcap, stages, scans, ..
+        } = ws;
+        let rawcap = *rawcap;
+        let workers: &crate::sched::PerWorker<WorkerScratch> = workers;
+        let scans: &crate::sched::PerWorker<[crate::health::StageScan; 5]> = scans;
+
+        // Stage list mirroring the bulk phase order exactly.
+        stages.clear();
+        for s in 0..KG5_COEFFS.len() {
+            stages.push(PipelineStage::Rk(s));
+        }
+        if hyp_on {
+            if hv.nu_top > 0.0 && ks > 0 {
+                stages.push(PipelineStage::Sponge);
+            }
+            for _ in 0..subcycles {
+                stages.push(PipelineStage::HypLap { pass: 0 });
+                stages.push(PipelineStage::HypLap { pass: 1 });
+            }
+        }
+        if qsize > 0 {
+            for s in 0..3 {
+                stages.push(PipelineStage::Tracer(s));
+            }
+        }
+        let stages: &[PipelineStage] = stages;
+        let nstages = stages.len();
+
+        if checked {
+            for w in 0..sched.nthreads() {
+                *unsafe { scans.get(w) } = [EMPTY_SCAN; 5];
+            }
+        }
+        graph.ensure(nelem);
+        graph.shuffle_seed(nelem, seed);
+
+        {
+            // Arenas. Safety of the unchecked windows: every substage
+            // writes only element-`e` windows; cross-element *reads* in
+            // gathers are ordered after the writes they need by the
+            // graph's eligibility rules, and the write-after-read hazard
+            // on raw windows is excluded by the alternating stage parity
+            // (DESIGN.md §5.6).
+            let su = ArenaMut::new(&mut state.u);
+            let sv = ArenaMut::new(&mut state.v);
+            let st = ArenaMut::new(&mut state.t);
+            let sdp = ArenaMut::new(&mut state.dp3d);
+            let sq = ArenaMut::new(&mut state.qdp);
+            let phis: &[f64] = &state.phis;
+            // DSS'd RK stage `s` lands in parity arena `s % 2`.
+            let du = [ArenaMut::new(&mut next.u), ArenaMut::new(&mut stage.u)];
+            let dv = [ArenaMut::new(&mut next.v), ArenaMut::new(&mut stage.v)];
+            let dtt = [ArenaMut::new(&mut next.t), ArenaMut::new(&mut stage.t)];
+            let ddp = [ArenaMut::new(&mut next.dp3d), ArenaMut::new(&mut stage.dp3d)];
+            let hu = ArenaMut::new(&mut hyp.u);
+            let hvv = ArenaMut::new(&mut hyp.v);
+            let ht = ArenaMut::new(&mut hyp.t);
+            let hdp = ArenaMut::new(&mut hyp.dp3d);
+            let aq0 = ArenaMut::new(qdp0);
+            let aq1 = ArenaMut::new(q1);
+            let aq2 = ArenaMut::new(q2);
+            let raws = [ArenaMut::new(raw0), ArenaMut::new(raw1)];
+
+            let exec = |w: usize, e: usize, sub: usize| {
+                let sidx = sub >> 1;
+                let is_gather = sub & 1 == 1;
+                // Raw (pre-DSS) windows alternate by stage parity.
+                let raw = raws[sidx & 1];
+                let ro = e * rawcap;
+                match stages[sidx] {
+                    PipelineStage::Rk(s) => {
+                        if !is_gather {
+                            // out = state + c dt RHS(eval), pre-DSS.
+                            let c_dt = KG5_COEFFS[s] * dt;
+                            let (ou, ov, ot, odp) = unsafe {
+                                (
+                                    raw.slice(ro, fl),
+                                    raw.slice(ro + fl, fl),
+                                    raw.slice(ro + 2 * fl, fl),
+                                    raw.slice(ro + 3 * fl, fl),
+                                )
+                            };
+                            // The state is untouched during dynamics, so it
+                            // doubles as the RK base (bulk copies it).
+                            let (bu, bv, bt, bdp) = unsafe {
+                                (
+                                    &*su.slice(e * fl, fl),
+                                    &*sv.slice(e * fl, fl),
+                                    &*st.slice(e * fl, fl),
+                                    &*sdp.slice(e * fl, fl),
+                                )
+                            };
+                            let (evu, evv, evt, evdp): (&[f64], &[f64], &[f64], &[f64]) =
+                                if s == 0 {
+                                    (bu, bv, bt, bdp)
+                                } else {
+                                    let pr = (s - 1) & 1;
+                                    unsafe {
+                                        (
+                                            &*du[pr].slice(e * fl, fl),
+                                            &*dv[pr].slice(e * fl, fl),
+                                            &*dtt[pr].slice(e * fl, fl),
+                                            &*ddp[pr].slice(e * fl, fl),
+                                        )
+                                    }
+                                };
+                            let phis_e = &phis[e * NPTS..(e + 1) * NPTS];
+                            let scratch = unsafe { workers.get(w) };
+                            match kernels {
+                                KernelPath::Blocked => element_rhs_apply_blocked(
+                                    &bops[e], nlev, ptop, evu, evv, evt, evdp, phis_e, bu, bv,
+                                    bt, bdp, c_dt, ou, ov, ot, odp, &mut scratch.rhs,
+                                ),
+                                KernelPath::Scalar => {
+                                    let WorkerScratch { tend, rhs: rhs_scratch, .. } = scratch;
+                                    element_rhs_raw(
+                                        &ops[e],
+                                        nlev,
+                                        ptop,
+                                        evu,
+                                        evv,
+                                        evt,
+                                        evdp,
+                                        phis_e,
+                                        &mut tend.u,
+                                        &mut tend.v,
+                                        &mut tend.t,
+                                        &mut tend.dp3d,
+                                        rhs_scratch,
+                                    );
+                                    for i in 0..fl {
+                                        ou[i] = bu[i] + c_dt * tend.u[i];
+                                        ov[i] = bv[i] + c_dt * tend.v[i];
+                                        ot[i] = bt[i] + c_dt * tend.t[i];
+                                        odp[i] = bdp[i] + c_dt * tend.dp3d[i];
+                                    }
+                                }
+                            }
+                        } else {
+                            // Canonical-order DSS of the four prognostics;
+                            // the final stage lands directly in the state.
+                            let (ou, ov, ot, odp) = if s == 4 {
+                                unsafe {
+                                    (
+                                        su.slice(e * fl, fl),
+                                        sv.slice(e * fl, fl),
+                                        st.slice(e * fl, fl),
+                                        sdp.slice(e * fl, fl),
+                                    )
+                                }
+                            } else {
+                                let pr = s & 1;
+                                unsafe {
+                                    (
+                                        du[pr].slice(e * fl, fl),
+                                        dv[pr].slice(e * fl, fl),
+                                        dtt[pr].slice(e * fl, fl),
+                                        ddp[pr].slice(e * fl, fl),
+                                    )
+                                }
+                            };
+                            let mut part = EMPTY_SCAN;
+                            for k in 0..nlev {
+                                let ko = k * NPTS;
+                                for p in 0..NPTS {
+                                    let pi = e * NPTS + p;
+                                    let gu = gather.gather_point(pi, |c| unsafe {
+                                        raw.read((c / NPTS) * rawcap + ko + c % NPTS)
+                                    });
+                                    let gv = gather.gather_point(pi, |c| unsafe {
+                                        raw.read((c / NPTS) * rawcap + fl + ko + c % NPTS)
+                                    });
+                                    let gt = gather.gather_point(pi, |c| unsafe {
+                                        raw.read((c / NPTS) * rawcap + 2 * fl + ko + c % NPTS)
+                                    });
+                                    let gdp = gather.gather_point(pi, |c| unsafe {
+                                        raw.read((c / NPTS) * rawcap + 3 * fl + ko + c % NPTS)
+                                    });
+                                    ou[ko + p] = gu;
+                                    ov[ko + p] = gv;
+                                    ot[ko + p] = gt;
+                                    odp[ko + p] = gdp;
+                                    if checked {
+                                        // Same predicate as `scan_stage`.
+                                        if !(gu.is_finite()
+                                            && gv.is_finite()
+                                            && gt.is_finite()
+                                            && gdp.is_finite())
+                                        {
+                                            part.nonfinite += 1;
+                                        }
+                                        if gdp < part.min_dp3d {
+                                            part.min_dp3d = gdp;
+                                        }
+                                        let s2 = gu * gu + gv * gv;
+                                        if s2 > part.max_speed2 {
+                                            part.max_speed2 = s2;
+                                        }
+                                    }
+                                }
+                            }
+                            if checked {
+                                let acc = &mut unsafe { scans.get(w) }[s];
+                                acc.nonfinite += part.nonfinite;
+                                if part.min_dp3d < acc.min_dp3d {
+                                    acc.min_dp3d = part.min_dp3d;
+                                }
+                                if part.max_speed2 > acc.max_speed2 {
+                                    acc.max_speed2 = part.max_speed2;
+                                }
+                            }
+                        }
+                    }
+                    PipelineStage::Sponge => {
+                        if !is_gather {
+                            // vlaplace(u, v) and lap(T) of the state's top
+                            // `ks` levels into the raw window.
+                            let (ru, rv, rt) = unsafe {
+                                (
+                                    raw.slice(ro, sl),
+                                    raw.slice(ro + sl, sl),
+                                    raw.slice(ro + 2 * sl, sl),
+                                )
+                            };
+                            let (bu, bv, bt) = unsafe {
+                                (
+                                    &*su.slice(e * fl, fl),
+                                    &*sv.slice(e * fl, fl),
+                                    &*st.slice(e * fl, fl),
+                                )
+                            };
+                            match kernels {
+                                KernelPath::Blocked => {
+                                    ru.copy_from_slice(&bu[..sl]);
+                                    rv.copy_from_slice(&bv[..sl]);
+                                    rt.copy_from_slice(&bt[..sl]);
+                                    vlaplace_levels_blocked(&bops[e], ks, ru, rv);
+                                    laplace_levels_blocked(&bops[e], ks, rt);
+                                }
+                                KernelPath::Scalar => {
+                                    for k in 0..ks {
+                                        let r = k * NPTS..(k + 1) * NPTS;
+                                        let mut lu = [0.0; NPTS];
+                                        let mut lv = [0.0; NPTS];
+                                        ops[e].vlaplace_sphere(
+                                            &bu[r.clone()],
+                                            &bv[r.clone()],
+                                            &mut lu,
+                                            &mut lv,
+                                        );
+                                        ru[r.clone()].copy_from_slice(&lu);
+                                        rv[r.clone()].copy_from_slice(&lv);
+                                        let mut lt = [0.0; NPTS];
+                                        ops[e].laplace_sphere_wk(&bt[r.clone()], &mut lt);
+                                        rt[r].copy_from_slice(&lt);
+                                    }
+                                }
+                            }
+                        } else {
+                            // Gather + fused sponge damping increment.
+                            let (ou, ov, ot) = unsafe {
+                                (
+                                    su.slice(e * fl, fl),
+                                    sv.slice(e * fl, fl),
+                                    st.slice(e * fl, fl),
+                                )
+                            };
+                            for k in 0..ks {
+                                let damp = 1.0 / (1 << k) as f64;
+                                let ko = k * NPTS;
+                                for p in 0..NPTS {
+                                    let pi = e * NPTS + p;
+                                    let gu = gather.gather_point(pi, |c| unsafe {
+                                        raw.read((c / NPTS) * rawcap + ko + c % NPTS)
+                                    });
+                                    let gv = gather.gather_point(pi, |c| unsafe {
+                                        raw.read((c / NPTS) * rawcap + sl + ko + c % NPTS)
+                                    });
+                                    let gt = gather.gather_point(pi, |c| unsafe {
+                                        raw.read((c / NPTS) * rawcap + 2 * sl + ko + c % NPTS)
+                                    });
+                                    ou[ko + p] += dt * hv.nu_top * damp * gu;
+                                    ov[ko + p] += dt * hv.nu_top * damp * gv;
+                                    ot[ko + p] += dt * hv.nu_top * damp * gt;
+                                }
+                            }
+                        }
+                    }
+                    PipelineStage::HypLap { pass } => {
+                        if !is_gather {
+                            // One Laplacian of (u, v, T, dp3d): of the
+                            // state on pass 0, of the first-pass result on
+                            // pass 1 (del^4 = lap(lap)).
+                            let (ru, rv, rt, rdp) = unsafe {
+                                (
+                                    raw.slice(ro, fl),
+                                    raw.slice(ro + fl, fl),
+                                    raw.slice(ro + 2 * fl, fl),
+                                    raw.slice(ro + 3 * fl, fl),
+                                )
+                            };
+                            let (iu, iv, it, idp) = if pass == 0 {
+                                unsafe {
+                                    (
+                                        &*su.slice(e * fl, fl),
+                                        &*sv.slice(e * fl, fl),
+                                        &*st.slice(e * fl, fl),
+                                        &*sdp.slice(e * fl, fl),
+                                    )
+                                }
+                            } else {
+                                unsafe {
+                                    (
+                                        &*hu.slice(e * fl, fl),
+                                        &*hvv.slice(e * fl, fl),
+                                        &*ht.slice(e * fl, fl),
+                                        &*hdp.slice(e * fl, fl),
+                                    )
+                                }
+                            };
+                            match kernels {
+                                KernelPath::Blocked => {
+                                    ru.copy_from_slice(iu);
+                                    rv.copy_from_slice(iv);
+                                    rt.copy_from_slice(it);
+                                    rdp.copy_from_slice(idp);
+                                    vlaplace_levels_blocked(&bops[e], nlev, ru, rv);
+                                    laplace_levels_blocked(&bops[e], nlev, rt);
+                                    laplace_levels_blocked(&bops[e], nlev, rdp);
+                                }
+                                KernelPath::Scalar => {
+                                    for k in 0..nlev {
+                                        let r = k * NPTS..(k + 1) * NPTS;
+                                        let mut lu = [0.0; NPTS];
+                                        let mut lv = [0.0; NPTS];
+                                        ops[e].vlaplace_sphere(
+                                            &iu[r.clone()],
+                                            &iv[r.clone()],
+                                            &mut lu,
+                                            &mut lv,
+                                        );
+                                        ru[r.clone()].copy_from_slice(&lu);
+                                        rv[r.clone()].copy_from_slice(&lv);
+                                        let mut lt = [0.0; NPTS];
+                                        ops[e].laplace_sphere_wk(&it[r.clone()], &mut lt);
+                                        rt[r.clone()].copy_from_slice(&lt);
+                                        let mut ldp = [0.0; NPTS];
+                                        ops[e].laplace_sphere_wk(&idp[r.clone()], &mut ldp);
+                                        rdp[r].copy_from_slice(&ldp);
+                                    }
+                                }
+                            }
+                        } else if pass == 0 {
+                            let (ou, ov, ot, odp) = unsafe {
+                                (
+                                    hu.slice(e * fl, fl),
+                                    hvv.slice(e * fl, fl),
+                                    ht.slice(e * fl, fl),
+                                    hdp.slice(e * fl, fl),
+                                )
+                            };
+                            for k in 0..nlev {
+                                let ko = k * NPTS;
+                                for p in 0..NPTS {
+                                    let pi = e * NPTS + p;
+                                    ou[ko + p] = gather.gather_point(pi, |c| unsafe {
+                                        raw.read((c / NPTS) * rawcap + ko + c % NPTS)
+                                    });
+                                    ov[ko + p] = gather.gather_point(pi, |c| unsafe {
+                                        raw.read((c / NPTS) * rawcap + fl + ko + c % NPTS)
+                                    });
+                                    ot[ko + p] = gather.gather_point(pi, |c| unsafe {
+                                        raw.read((c / NPTS) * rawcap + 2 * fl + ko + c % NPTS)
+                                    });
+                                    odp[ko + p] = gather.gather_point(pi, |c| unsafe {
+                                        raw.read((c / NPTS) * rawcap + 3 * fl + ko + c % NPTS)
+                                    });
+                                }
+                            }
+                        } else {
+                            // Gather + fused damping subtraction.
+                            let (ou, ov, ot, odp) = unsafe {
+                                (
+                                    su.slice(e * fl, fl),
+                                    sv.slice(e * fl, fl),
+                                    st.slice(e * fl, fl),
+                                    sdp.slice(e * fl, fl),
+                                )
+                            };
+                            for k in 0..nlev {
+                                let ko = k * NPTS;
+                                for p in 0..NPTS {
+                                    let pi = e * NPTS + p;
+                                    let gu = gather.gather_point(pi, |c| unsafe {
+                                        raw.read((c / NPTS) * rawcap + ko + c % NPTS)
+                                    });
+                                    let gv = gather.gather_point(pi, |c| unsafe {
+                                        raw.read((c / NPTS) * rawcap + fl + ko + c % NPTS)
+                                    });
+                                    let gt = gather.gather_point(pi, |c| unsafe {
+                                        raw.read((c / NPTS) * rawcap + 2 * fl + ko + c % NPTS)
+                                    });
+                                    let gdp = gather.gather_point(pi, |c| unsafe {
+                                        raw.read((c / NPTS) * rawcap + 3 * fl + ko + c % NPTS)
+                                    });
+                                    ou[ko + p] -= dt_sub * hv.nu * gu;
+                                    ov[ko + p] -= dt_sub * hv.nu * gv;
+                                    ot[ko + p] -= dt_sub * hv.nu * gt;
+                                    odp[ko + p] -= dt_sub * hv.nu_p * gdp;
+                                }
+                            }
+                        }
+                    }
+                    PipelineStage::Tracer(s) => {
+                        if !is_gather {
+                            let q0m = unsafe { aq0.slice(e * tl, tl) };
+                            if s == 0 {
+                                // First touch: snapshot the step-input
+                                // tracer mass (bulk copies the full arena
+                                // up front).
+                                q0m.copy_from_slice(unsafe { &*sq.slice(e * tl, tl) });
+                            }
+                            let q0: &[f64] = q0m;
+                            let qin: &[f64] = match s {
+                                0 => q0,
+                                1 => unsafe { &*aq1.slice(e * tl, tl) },
+                                _ => unsafe { &*aq2.slice(e * tl, tl) },
+                            };
+                            let (uu, vv, dp) = unsafe {
+                                (
+                                    &*su.slice(e * fl, fl),
+                                    &*sv.slice(e * fl, fl),
+                                    &*sdp.slice(e * fl, fl),
+                                )
+                            };
+                            let qout = unsafe { raw.slice(ro, tl) };
+                            match kernels {
+                                KernelPath::Blocked => {
+                                    let combine = match s {
+                                        0 => StageCombine::Replace,
+                                        1 => StageCombine::Ssp2,
+                                        _ => StageCombine::Ssp3,
+                                    };
+                                    euler_stage_element_blocked(
+                                        &bops[e], nlev, qsize, uu, vv, dp, qin, q0, dt, combine,
+                                        qout,
+                                    );
+                                }
+                                KernelPath::Scalar => {
+                                    for q in 0..qsize {
+                                        for k in 0..nlev {
+                                            let r = k * NPTS..(k + 1) * NPTS;
+                                            let rq = (q * nlev + k) * NPTS
+                                                ..(q * nlev + k + 1) * NPTS;
+                                            let mut tend = [0.0; NPTS];
+                                            tracer_flux_divergence(
+                                                &ops[e],
+                                                &uu[r.clone()],
+                                                &vv[r.clone()],
+                                                &dp[r],
+                                                &qin[rq.clone()],
+                                                &mut tend,
+                                            );
+                                            for p in 0..NPTS {
+                                                let i = rq.start + p;
+                                                let t1 = qin[i] + dt * tend[p];
+                                                qout[i] = match s {
+                                                    0 => t1,
+                                                    1 => 0.75 * q0[i] + 0.25 * t1,
+                                                    _ => q0[i] / 3.0 + 2.0 / 3.0 * t1,
+                                                };
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        } else {
+                            let dest = match s {
+                                0 => unsafe { aq1.slice(e * tl, tl) },
+                                1 => unsafe { aq2.slice(e * tl, tl) },
+                                _ => unsafe { sq.slice(e * tl, tl) },
+                            };
+                            for q in 0..qsize {
+                                for k in 0..nlev {
+                                    let qo = (q * nlev + k) * NPTS;
+                                    for p in 0..NPTS {
+                                        let pi = e * NPTS + p;
+                                        dest[qo + p] = gather.gather_point(pi, |c| unsafe {
+                                            raw.read((c / NPTS) * rawcap + qo + c % NPTS)
+                                        });
+                                    }
+                                }
+                            }
+                            if limiter {
+                                let mut spheremp = [0.0; NPTS];
+                                spheremp.copy_from_slice(&ops[e].spheremp);
+                                for q in 0..qsize {
+                                    for k in 0..nlev {
+                                        let r = (q * nlev + k) * NPTS
+                                            ..(q * nlev + k + 1) * NPTS;
+                                        limit_nonnegative(&spheremp, &mut dest[r]);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+            graph.run(sched, neighbors, nstages, &exec);
+        }
+
+        // Commit the scans in bulk order: RK stages 0..5, then the
+        // post-advection tracer scan over the final state.
+        if let Some(health) = health {
+            for s in 0..KG5_COEFFS.len() {
+                let mut merged = EMPTY_SCAN;
+                for w in 0..sched.nthreads() {
+                    let part = unsafe { scans.get(w) }[s];
+                    merged.nonfinite += part.nonfinite;
+                    merged.tracer_nonfinite += part.tracer_nonfinite;
+                    if part.min_dp3d < merged.min_dp3d {
+                        merged.min_dp3d = part.min_dp3d;
+                    }
+                    if part.max_speed2 > merged.max_speed2 {
+                        merged.max_speed2 = part.max_speed2;
+                    }
+                }
+                commit_scan(health, &hcfg, s, merged)?;
+            }
+            let scan = scan_stage(&state.u, &state.v, &state.t, &state.dp3d, &state.qdp);
+            commit_scan(health, &hcfg, TRACER_STAGE, scan)?;
+        }
         Ok(())
     }
 
@@ -910,5 +1528,126 @@ mod tests {
                 "threads={threads} diverged from serial"
             );
         }
+    }
+
+    /// Full physics config for the task-graph parity tests: hypervis +
+    /// sponge + limiter + tracers + mid-run vertical remap all on.
+    fn taskgraph_cfg() -> DycoreConfig {
+        DycoreConfig {
+            dt: 100.0,
+            hypervis: HypervisConfig {
+                nu: 1.0e15,
+                nu_p: 1.0e15,
+                subcycles: 2,
+                nu_top: 2.5e5,
+                sponge_layers: 2,
+            },
+            limiter: true,
+            rsplit: 2,
+        }
+    }
+
+    fn taskgraph_run(path: StepPath, threads: usize, seed: u64, checked: bool) -> State {
+        let dims = Dims { nlev: 4, qsize: 2 };
+        let mut dy = Dycore::new(3, dims, 200.0, taskgraph_cfg());
+        dy.step_path = path;
+        dy.taskgraph_seed = seed;
+        dy.set_threads(threads);
+        if checked {
+            dy.health = HealthConfig::on();
+        }
+        let mut st = resting_state(&dy);
+        for es in st.elems_mut() {
+            for (i, t) in es.t.iter_mut().enumerate() {
+                *t += ((i % 7) as f64 - 3.0) * 0.5;
+            }
+            for (i, u) in es.u.iter_mut().enumerate() {
+                *u += ((i % 5) as f64 - 2.0) * 0.1;
+            }
+        }
+        for _ in 0..4 {
+            if checked {
+                dy.step_checked(&mut st).expect("healthy step");
+            } else {
+                dy.step(&mut st);
+            }
+        }
+        st
+    }
+
+    #[test]
+    fn taskgraph_step_matches_bulk_bitwise() {
+        let oracle = taskgraph_run(StepPath::Bulk, 1, 0, false);
+        assert!(oracle.u.iter().any(|x| *x != 0.0), "oracle run did nothing");
+        for threads in [1, 2, 4] {
+            for seed in [0u64, 1, 0xBEEF] {
+                let tg = taskgraph_run(StepPath::TaskGraph, threads, seed, false);
+                assert_eq!(
+                    oracle.max_abs_diff(&tg),
+                    0.0,
+                    "task graph diverged from bulk (threads={threads}, seed={seed:#x})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn taskgraph_checked_step_matches_bulk_bitwise() {
+        let oracle = taskgraph_run(StepPath::Bulk, 1, 0, true);
+        for threads in [1, 4] {
+            let tg = taskgraph_run(StepPath::TaskGraph, threads, 0x5EED, true);
+            assert_eq!(
+                oracle.max_abs_diff(&tg),
+                0.0,
+                "checked task graph diverged from bulk (threads={threads})"
+            );
+        }
+    }
+
+    #[test]
+    fn taskgraph_checked_step_reports_same_error_as_bulk() {
+        let dims = Dims { nlev: 4, qsize: 2 };
+        let run = |path: StepPath| -> HealthError {
+            let mut dy = Dycore::new(2, dims, 200.0, taskgraph_cfg());
+            dy.step_path = path;
+            dy.health = HealthConfig::on();
+            let mut st = resting_state(&dy);
+            st.u[5] = f64::NAN;
+            dy.step_checked(&mut st).unwrap_err()
+        };
+        let bulk = run(StepPath::Bulk);
+        let tg = run(StepPath::TaskGraph);
+        assert_eq!(format!("{bulk:?}"), format!("{tg:?}"), "error mismatch");
+    }
+
+    #[test]
+    fn taskgraph_step_without_hypervis_or_tracers() {
+        // Degenerate stage lists (no sponge/hyp/tracer stages) must still
+        // agree with the bulk path.
+        let dims = Dims { nlev: 4, qsize: 0 };
+        let cfg = DycoreConfig {
+            dt: 150.0,
+            hypervis: HypervisConfig::off(),
+            limiter: false,
+            rsplit: 1,
+        };
+        let run = |path: StepPath| -> State {
+            let mut dy = Dycore::new(2, dims, 200.0, cfg);
+            dy.step_path = path;
+            dy.set_threads(2);
+            let mut st = resting_state(&dy);
+            for es in st.elems_mut() {
+                for (i, t) in es.t.iter_mut().enumerate() {
+                    *t += ((i % 7) as f64 - 3.0) * 0.5;
+                }
+            }
+            for _ in 0..3 {
+                dy.step(&mut st);
+            }
+            st
+        };
+        let bulk = run(StepPath::Bulk);
+        let tg = run(StepPath::TaskGraph);
+        assert_eq!(bulk.max_abs_diff(&tg), 0.0);
     }
 }

@@ -1,0 +1,117 @@
+//! Determinism sweep for the message-driven task-graph step: the result
+//! must be bitwise independent of the worker count AND of the order in
+//! which element tasks become ready (seeded shuffles of the initial ready
+//! queue stand in for message-arrival races), pinned against the bulk
+//! barrier-path oracle over a 10-step run.
+//!
+//! This is the heart of the task-graph contract: per-point DSS
+//! accumulation always applies contributions in canonical (element id,
+//! point) order, so scheduling freedom never leaks into the physics.
+
+use cubesphere::consts::P0;
+use cubesphere::NPTS;
+use homme::hypervis::HypervisConfig;
+use homme::{Dims, Dycore, DycoreConfig, State, StepPath};
+use proptest::TestRng;
+
+const NE: usize = 4;
+const NSTEPS: usize = 10;
+
+fn dims() -> Dims {
+    Dims { nlev: 26, qsize: 4 }
+}
+
+fn config() -> DycoreConfig {
+    DycoreConfig {
+        dt: 100.0,
+        hypervis: HypervisConfig {
+            nu: 1.0e15,
+            nu_p: 1.7e15,
+            subcycles: 2,
+            nu_top: 2.5e5,
+            sponge_layers: 3,
+        },
+        limiter: true,
+        rsplit: 2,
+    }
+}
+
+fn initial_state(dy: &Dycore) -> State {
+    let dims = dy.dims;
+    let vert = dy.rhs.vert.clone();
+    let elems = dy.grid.elements.clone();
+    let mut st = dy.zero_state();
+    for (es, el) in st.elems_mut().zip(&elems) {
+        for p in 0..NPTS {
+            let lat = el.metric[p].lat;
+            let lon = el.metric[p].lon;
+            let ps = P0 * (1.0 - 0.001 * (2.0 * lat).sin());
+            for k in 0..dims.nlev {
+                es.u[k * NPTS + p] = 12.0 * lat.cos();
+                es.v[k * NPTS + p] = 2.0 * lon.sin();
+                es.t[k * NPTS + p] = 280.0 + 5.0 * lat.cos() + 0.5 * k as f64;
+                es.dp3d[k * NPTS + p] = vert.dp_ref(k, ps);
+                for q in 0..dims.qsize {
+                    es.qdp[(q * dims.nlev + k) * NPTS + p] =
+                        0.004 * es.dp3d[k * NPTS + p] * (1.0 + 0.3 * lat.sin() + 0.1 * q as f64);
+                }
+            }
+        }
+    }
+    st
+}
+
+fn run(path: StepPath, threads: usize, seed: u64) -> State {
+    let mut dy = Dycore::new(NE, dims(), 2000.0, config());
+    dy.set_threads(threads);
+    dy.step_path = path;
+    dy.taskgraph_seed = seed;
+    let mut st = initial_state(&dy);
+    for _ in 0..NSTEPS {
+        dy.step(&mut st);
+    }
+    st
+}
+
+fn assert_bitwise(label: &str, got: &State, want: &State) {
+    for (name, g, w) in [
+        ("u", &got.u, &want.u),
+        ("v", &got.v, &want.v),
+        ("t", &got.t, &want.t),
+        ("dp3d", &got.dp3d, &want.dp3d),
+        ("qdp", &got.qdp, &want.qdp),
+    ] {
+        for i in 0..g.len() {
+            assert_eq!(
+                g[i].to_bits(),
+                w[i].to_bits(),
+                "{label}: {name}[{i}] = {} differs from oracle {}",
+                g[i],
+                w[i]
+            );
+        }
+    }
+}
+
+/// Thread counts {1, 2, 4} and randomly seeded ready-queue shuffles all
+/// reproduce the bulk path bit for bit.
+#[test]
+fn taskgraph_step_is_schedule_independent() {
+    let oracle = run(StepPath::Bulk, 1, 0);
+
+    // Identity seed across the SWCAM_THREADS matrix.
+    for threads in [1usize, 2, 4] {
+        let st = run(StepPath::TaskGraph, threads, 0);
+        assert_bitwise(&format!("threads={threads} seed=0"), &st, &oracle);
+    }
+
+    // Seeded arrival shuffles: derive seeds the same way the proptest
+    // harness does so the sweep is deterministic yet arbitrary-looking.
+    let mut rng = TestRng::from_name("taskgraph_step_is_schedule_independent");
+    for case in 0..3u32 {
+        let seed = rng.next_u64() | 1; // nonzero: actually shuffled
+        let threads = [1usize, 2, 4][case as usize % 3];
+        let st = run(StepPath::TaskGraph, threads, seed);
+        assert_bitwise(&format!("threads={threads} seed={seed:#x}"), &st, &oracle);
+    }
+}

@@ -314,14 +314,55 @@ impl Comm {
     /// falling back to a fresh allocation when the pool is dry. Pair with
     /// [`Comm::send_owned`] to send without copying, and [`Comm::recycle`]
     /// on the receiving side to keep the pools stocked.
+    ///
+    /// Selection prefers an exact capacity match, then the smallest buffer
+    /// that fits. Exact-fit matters for determinism, not just footprint:
+    /// link message sizes are symmetric (both directions of a link carry
+    /// the same per-stage payload widths), so per-rank pool levels are
+    /// invariant per size class across a step — but only if a small
+    /// request never walks off with a larger class's buffer. First-fit let
+    /// exactly that happen, and the resulting cross-rank size-class drift
+    /// made steady-state allocations timing-dependent.
     pub fn take_buffer(&mut self, len: usize) -> Vec<f64> {
-        if let Some(pos) = self.pool.iter().position(|b| b.capacity() >= len) {
+        let mut pick: Option<(usize, usize)> = None;
+        for (i, b) in self.pool.iter().enumerate() {
+            let cap = b.capacity();
+            if cap == len {
+                pick = Some((i, cap));
+                break;
+            }
+            if cap > len && pick.is_none_or(|(_, c)| cap < c) {
+                pick = Some((i, cap));
+            }
+        }
+        if let Some((pos, _)) = pick {
             let mut buf = self.pool.swap_remove(pos);
             buf.clear();
             buf.resize(len, 0.0);
             buf
         } else {
             vec![0.0; len]
+        }
+    }
+
+    /// Ensure the pool holds at least `count` buffers of capacity exactly
+    /// `len`, allocating the shortfall up front (bounded by
+    /// [`Comm::pool_capacity`]). Drivers whose send timing is
+    /// thread-schedule-dependent (the task-graph step) call this at setup
+    /// with one buffer per (link, distinct payload width) class: the
+    /// in-order link protocol bounds each class's transient take/recycle
+    /// deficit at one, so a stocked class never goes dry mid-step and
+    /// steady-state sends stay allocation-free regardless of timing.
+    pub fn stock_buffers(&mut self, len: usize, count: usize) {
+        if len == 0 {
+            return;
+        }
+        let have = self.pool.iter().filter(|b| b.capacity() == len).count();
+        for _ in have..count {
+            if self.pool.len() >= self.pool.capacity() {
+                break;
+            }
+            self.pool.push(vec![0.0; len]);
         }
     }
 
@@ -524,6 +565,58 @@ impl Comm {
                 queue = guard;
             }
         }
+    }
+
+    /// Nonblocking completion probe for a posted receive: returns
+    /// `Ok(Some(..))` if a matching message is already here, `Ok(None)`
+    /// otherwise — never blocks and never times out. The event-driven step
+    /// drivers poll with this while useful work remains and fall back to
+    /// [`Comm::wait`] only when the task graph runs dry.
+    ///
+    /// In reliable mode the probe also sweeps stale arrivals and checks
+    /// the retransmit log, so dropped messages can be recovered without a
+    /// blocking wait.
+    pub fn try_wait(&mut self, req: RecvRequest) -> Result<Option<Message>, CommError> {
+        self.flush_delayed();
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.reliable && self.is_stale(&self.pending[i]) {
+                let m = self.pending.remove(i).expect("position valid");
+                self.discard_stale(m);
+                continue;
+            }
+            if Self::matches(&self.pending[i], &req) {
+                let m = self.pending.remove(i).expect("position valid");
+                self.consume(&m);
+                return Ok(Some(m));
+            }
+            i += 1;
+        }
+        // Drain whatever has arrived; keep non-matching live messages.
+        loop {
+            let m = {
+                let mut queue = lock_queue(&self.inbox, self.rank, "try_wait");
+                queue.pop_front()
+            };
+            let Some(m) = m else { break };
+            if self.reliable && self.is_stale(&m) {
+                self.discard_stale(m);
+                continue;
+            }
+            if Self::matches(&m, &req) {
+                self.consume(&m);
+                return Ok(Some(m));
+            }
+            self.pending.push_back(m);
+        }
+        if self.reliable {
+            if let Some(m) = self.take_from_relay(&req) {
+                self.stats.recovered += 1;
+                self.consume(&m);
+                return Ok(Some(m));
+            }
+        }
+        Ok(None)
     }
 
     /// Blocking receive (`irecv` + `wait`).
@@ -774,6 +867,37 @@ mod tests {
     }
 
     #[test]
+    fn take_buffer_prefers_exact_fit_and_stock_prevents_class_drift() {
+        let mut world = Comm::world(1);
+        let mut c = world.pop().unwrap();
+        // Stock two size classes; the pool records the shortfall exactly.
+        c.stock_buffers(8, 1);
+        c.stock_buffers(32, 1);
+        assert_eq!(c.pool_len(), 2);
+        // A request for the small class must take the 8-capacity buffer,
+        // not walk off with the 32-capacity one (first-fit used to).
+        let small = c.take_buffer(8);
+        assert_eq!(small.capacity(), 8);
+        // The large class is still intact for its own request.
+        let large = c.take_buffer(32);
+        assert_eq!(large.capacity(), 32);
+        assert_eq!(c.pool_len(), 0);
+        c.recycle(small);
+        c.recycle(large);
+        // With no exact match, the smallest adequate buffer is picked.
+        let mid = c.take_buffer(16);
+        assert_eq!(mid.capacity(), 32);
+        c.recycle(mid);
+        // Re-stocking an already-stocked class allocates nothing new.
+        c.stock_buffers(8, 1);
+        c.stock_buffers(32, 1);
+        assert_eq!(c.pool_len(), 2);
+        // Zero-length classes are ignored.
+        c.stock_buffers(0, 4);
+        assert_eq!(c.pool_len(), 2);
+    }
+
+    #[test]
     fn dropped_message_is_recovered_from_relay() {
         // Drop everything: every send is diverted to the retransmit log
         // and must come back through the retry path, payload intact.
@@ -805,6 +929,44 @@ mod tests {
         assert_eq!(c1.recv(0, 3).unwrap().data, vec![3.0]);
         assert_eq!(c1.stats().stale_dropped, 2);
         assert_eq!(c1.unmatched(), 0);
+    }
+
+    #[test]
+    fn try_wait_is_nonblocking_and_matches_when_ready() {
+        let mut world = Comm::world(2);
+        let mut c1 = world.pop().unwrap();
+        let mut c0 = world.pop().unwrap();
+        let req = c1.irecv(0, 4);
+        // Nothing there yet: immediate None, no timeout.
+        assert!(c1.try_wait(req).unwrap().is_none());
+        c0.send(1, 4, &[8.0]);
+        assert_eq!(c1.try_wait(req).unwrap().unwrap().data, vec![8.0]);
+        // Non-matching arrivals are parked, not lost.
+        c0.send(1, 77, &[9.0]);
+        assert!(c1.try_wait(c1.irecv(0, 5)).unwrap().is_none());
+        assert_eq!(c1.unmatched(), 1);
+        assert_eq!(c1.recv(0, 77).unwrap().data, vec![9.0]);
+    }
+
+    #[test]
+    fn try_wait_recovers_dropped_message_from_relay() {
+        let plan = Arc::new(FaultPlan::seeded(3).drop_per_mille(1000));
+        let mut world = Comm::world_with(2, CommConfig::default(), Some(plan));
+        let mut c1 = world.pop().unwrap();
+        let mut c0 = world.pop().unwrap();
+        c0.send(1, 11, &[5.0]);
+        let m = c1.try_wait(c1.irecv(0, 11)).unwrap().expect("relayed");
+        assert_eq!(m.data, vec![5.0]);
+        assert_eq!(c1.stats().recovered, 1);
+        // A duplicate of a consumed tag is swept as stale by the probe.
+        let plan = Arc::new(FaultPlan::seeded(3).duplicate_per_mille(1000));
+        let mut world = Comm::world_with(2, CommConfig::default(), Some(plan));
+        let mut c1 = world.pop().unwrap();
+        let mut c0 = world.pop().unwrap();
+        c0.send(1, 1, &[1.0]);
+        assert_eq!(c1.recv(0, 1).unwrap().data, vec![1.0]);
+        assert!(c1.try_wait(c1.irecv(0, 2)).unwrap().is_none());
+        assert_eq!(c1.stats().stale_dropped, 1);
     }
 
     #[test]
