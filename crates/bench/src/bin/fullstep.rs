@@ -115,7 +115,7 @@ fn main() {
         dy.dynamics_step(&mut phase_state);
         lap(&mut rk_ms, t0);
         let t0 = Instant::now();
-        dy.apply_hypervis(&mut phase_state);
+        dy.apply_hypervis(&mut phase_state).expect("hyperviscosity plan");
         lap(&mut hv_ms, t0);
         let t0 = Instant::now();
         dy.euler_step_tracers(&mut phase_state);
@@ -125,7 +125,15 @@ fn main() {
         lap(&mut rm_ms, t0);
     }
     let phase_total = rk_ms + hv_ms + tr_ms + rm_ms;
+    // Per-subcycle view of the hypervis wall: the subcycle count is fixed
+    // by the stability bound, so ms/subcycle is the unit the fused-sweep
+    // optimisation actually moves.
+    let hv_subcycles = dy.hypervis_subcycles();
+    let hv_ms_sub = hv_ms / hv_subcycles as f64;
     println!("  phases (serial)  : rk {rk_ms:.2}  hypervis {hv_ms:.2}  tracer {tr_ms:.2}  remap {rm_ms:.2} ms/step");
+    println!(
+        "    hypervis     : {hv_subcycles} subcycles, {hv_ms_sub:.2} ms/subcycle (incl. sponge share)"
+    );
     for (name, ms) in
         [("rk_dynamics", rk_ms), ("hypervis", hv_ms), ("tracer", tr_ms), ("remap", rm_ms)]
     {
@@ -154,7 +162,7 @@ fn main() {
         dy.dynamics_step(&mut pphase_state);
         lap(&mut prk_ms, t0);
         let t0 = Instant::now();
-        dy.apply_hypervis(&mut pphase_state);
+        dy.apply_hypervis(&mut pphase_state).expect("hyperviscosity plan");
         lap(&mut phv_ms, t0);
         let t0 = Instant::now();
         dy.euler_step_tracers(&mut pphase_state);
@@ -163,9 +171,13 @@ fn main() {
         dy.vertical_remap(&mut pphase_state).expect("vertical remap");
         lap(&mut prm_ms, t0);
     }
+    let phv_ms_sub = phv_ms / hv_subcycles as f64;
     println!(
         "  phases ({threads} threads): rk {prk_ms:.2}  hypervis {phv_ms:.2}  \
          tracer {ptr_ms:.2}  remap {prm_ms:.2} ms/step"
+    );
+    println!(
+        "    hypervis     : {hv_subcycles} subcycles, {phv_ms_sub:.2} ms/subcycle (incl. sponge share)"
     );
 
     // The message-driven task-graph step on the same worker pool: DSS as
@@ -214,6 +226,9 @@ fn main() {
          \"tracer\": {:.1},\n    \"remap\": {:.1}\n  }},\n  \
          \"phases_parallel_ms_per_step\": {{\n    \"rk_dynamics\": {prk_ms:.3},\n    \
          \"hypervis\": {phv_ms:.3},\n    \"tracer\": {ptr_ms:.3},\n    \"remap\": {prm_ms:.3}\n  }},\n  \
+         \"hypervis_subcycles\": {hv_subcycles},\n  \
+         \"hypervis_serial_ms_per_subcycle\": {hv_ms_sub:.3},\n  \
+         \"hypervis_parallel_ms_per_subcycle\": {phv_ms_sub:.3},\n  \
          \"taskgraph_parallel_ms_per_step\": {graph_ms:.3},\n  \
          \"taskgraph_speedup_vs_bulk_parallel\": {graph_vs_bulk:.3},\n  \
          \"step_path_chosen\": \"{chosen_path}\",\n  \

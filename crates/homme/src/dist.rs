@@ -35,9 +35,11 @@ use crate::euler::{limit_nonnegative, limit_tracer_arena, tracer_flux_divergence
 use crate::health::{
     commit_scan, scan_stage, DegradePolicy, HealthConfig, HealthError, StepHealth, TRACER_STAGE,
 };
+use crate::hypervis::{ElemHypervisPlan, MIN_GLL_GAP_METERS};
 use crate::kernels::blocked::{
     build_blocked_ops, element_rhs_apply_blocked, euler_stage_element_blocked,
-    laplace_levels_blocked, vlaplace_levels_blocked, BlockedOps, KernelPath, StageCombine,
+    hypervis_pass_element_blocked, hypervis_pass_levels_blocked, laplace_levels_blocked,
+    sponge_pass_element_blocked, vlaplace_levels_blocked, BlockedOps, KernelPath, StageCombine,
 };
 use crate::prim::{DycoreConfig, KG5_COEFFS};
 use crate::kernels::blocked::remap_element_planned;
@@ -164,9 +166,11 @@ impl DistDycore {
         let subcycles_half =
             cfg.hypervis.stable_subcycles(el0.dab, el0.metric[0].metdet, cfg.dt / 2.0);
         // Same CFL length scale as the serial driver: smallest GLL gap on
-        // global element 0, so every rank judges CFL identically.
+        // global element 0, floored at [`MIN_GLL_GAP_METERS`], so every
+        // rank judges CFL identically.
         let ref_gap = 1.0 - 1.0 / 5.0_f64.sqrt();
-        let char_dx = (ref_gap * 0.5 * el0.dab * el0.metric[0].metdet.sqrt()).max(1.0);
+        let char_dx =
+            (ref_gap * 0.5 * el0.dab * el0.metric[0].metdet.sqrt()).max(MIN_GLL_GAP_METERS);
         let ws = DistWorkspace::new(dims, plan.owned.len(), cfg.hypervis.sponge_layers);
         let gplan = GatherPlan::new(&plan);
         let nbr = Neighbors::from_gids(plan.owned.len(), |li| &plan.gids[li][..]);
@@ -317,19 +321,26 @@ impl DistDycore {
     /// biharmonic with `nu` on u/v/T and `nu_p` on dp3d. Each Laplacian
     /// application DSSes all participating fields in one aggregated
     /// exchange.
-    pub fn apply_hypervis(&mut self, ctx: &mut RankCtx, state: &mut State) -> Result<(), CommError> {
+    pub fn apply_hypervis(&mut self, ctx: &mut RankCtx, state: &mut State) -> Result<(), DistError> {
         let subcycles = self.subcycles;
         self.apply_hypervis_n(ctx, state, subcycles)
     }
 
     /// [`DistDycore::apply_hypervis`] with an explicit subcycle count (the
     /// degradation policy adds extra subcycles on top of the stable count).
+    ///
+    /// Like the serial driver, both kernel paths build the per-step
+    /// [`ElemHypervisPlan`] first — a corrupt element metric or non-finite
+    /// coefficient surfaces as [`DistError::Health`] before any field or
+    /// message is touched. The blocked path runs the fused per-element
+    /// sweeps with the plan's hoisted coefficients; the exchange schedule
+    /// (one aggregated DSS per Laplacian application) is unchanged.
     pub fn apply_hypervis_n(
         &mut self,
         ctx: &mut RankCtx,
         state: &mut State,
         subcycles: usize,
-    ) -> Result<(), CommError> {
+    ) -> Result<(), DistError> {
         let hv = self.cfg.hypervis;
         if hv.nu == 0.0 && hv.nu_p == 0.0 {
             return Ok(());
@@ -340,6 +351,105 @@ impl DistDycore {
         let nlev = dims.nlev;
         let fl = dims.field_len();
         let nelem = ops.len();
+        ws.hv_plan.build(&hv, dt, subcycles, nlev, ops).map_err(HealthError::from)?;
+        if let KernelPath::Blocked = kernels {
+            let hvp = &ws.hv_plan;
+            if hv.nu_top > 0.0 && hv.sponge_layers > 0 {
+                let ks = hvp.ks;
+                let sl = ks * NPTS;
+                // Fused sponge Laplacian straight out of the state (the
+                // staging copies are gone), one aggregated DSS, then the
+                // apply with the plan's hoisted `dt * nu_top * 2^-k`.
+                for e in 0..nelem {
+                    sponge_pass_element_blocked(
+                        &bops[e],
+                        ks,
+                        &state.u[e * fl..e * fl + sl],
+                        &state.v[e * fl..e * fl + sl],
+                        &state.t[e * fl..e * fl + sl],
+                        &mut ws.sponge_u[e * sl..(e + 1) * sl],
+                        &mut ws.sponge_v[e * sl..(e + 1) * sl],
+                        &mut ws.sponge_t[e * sl..(e + 1) * sl],
+                    );
+                }
+                {
+                    let mut arenas: [&mut [f64]; 3] =
+                        [&mut ws.sponge_u, &mut ws.sponge_v, &mut ws.sponge_t];
+                    dss_arenas(plan, *mode, ctx, &mut arenas, ks, &mut ws.ex, stats, tag)?;
+                }
+                for e in 0..nelem {
+                    for k in 0..ks {
+                        let cs = hvp.sponge[k];
+                        for p in 0..NPTS {
+                            let i = k * NPTS + p;
+                            let si = e * sl + i;
+                            let gi = e * fl + i;
+                            state.u[gi] += cs * ws.sponge_u[si];
+                            state.v[gi] += cs * ws.sponge_v[si];
+                            state.t[gi] += cs * ws.sponge_t[si];
+                        }
+                    }
+                }
+            }
+            for _ in 0..subcycles {
+                // First Laplacian of all four fields in one fused
+                // coefficient walk per element, straight from the state
+                // into the hyp arenas (the per-subcycle copy is gone).
+                for e in 0..nelem {
+                    let er = e * fl..(e + 1) * fl;
+                    hypervis_pass_element_blocked(
+                        &bops[e],
+                        nlev,
+                        &state.u[er.clone()],
+                        &state.v[er.clone()],
+                        &state.t[er.clone()],
+                        &state.dp3d[er.clone()],
+                        &mut ws.hyp.u[er.clone()],
+                        &mut ws.hyp.v[er.clone()],
+                        &mut ws.hyp.t[er.clone()],
+                        &mut ws.hyp.dp3d[er],
+                    );
+                }
+                {
+                    let mut arenas: [&mut [f64]; NFIELDS] =
+                        [&mut ws.hyp.u, &mut ws.hyp.v, &mut ws.hyp.t, &mut ws.hyp.dp3d];
+                    dss_arenas(plan, *mode, ctx, &mut arenas, nlev, &mut ws.ex, stats, tag)?;
+                }
+                // Second Laplacian in place (del^4 = lap(lap)).
+                for e in 0..nelem {
+                    let er = e * fl..(e + 1) * fl;
+                    let (hu, hv_, ht, hdp) = (
+                        &mut ws.hyp.u[er.clone()],
+                        &mut ws.hyp.v[er.clone()],
+                        &mut ws.hyp.t[er.clone()],
+                        &mut ws.hyp.dp3d[er.clone()],
+                    );
+                    hypervis_pass_levels_blocked(&bops[e], nlev, hu, hv_, ht, hdp);
+                }
+                {
+                    let mut arenas: [&mut [f64]; NFIELDS] =
+                        [&mut ws.hyp.u, &mut ws.hyp.v, &mut ws.hyp.t, &mut ws.hyp.dp3d];
+                    dss_arenas(plan, *mode, ctx, &mut arenas, nlev, &mut ws.ex, stats, tag)?;
+                }
+                // Forward-Euler apply with the plan's hoisted `dt_sub * nu`
+                // products (bitwise the same as the scalar oracle's).
+                let cu = hvp.coef_u;
+                let cdp = hvp.coef_dp;
+                for (x, l) in state.u.iter_mut().zip(&ws.hyp.u) {
+                    *x -= cu * l;
+                }
+                for (x, l) in state.v.iter_mut().zip(&ws.hyp.v) {
+                    *x -= cu * l;
+                }
+                for (x, l) in state.t.iter_mut().zip(&ws.hyp.t) {
+                    *x -= cu * l;
+                }
+                for (x, l) in state.dp3d.iter_mut().zip(&ws.hyp.dp3d) {
+                    *x -= cdp * l;
+                }
+            }
+            return Ok(());
+        }
         if hv.nu_top > 0.0 && hv.sponge_layers > 0 {
             let ks = hv.sponge_layers.min(nlev);
             let sl = ks * NPTS;
@@ -560,7 +670,7 @@ impl DistDycore {
                     }
                     if let Err(e) = self.apply_hypervis_n(ctx, state, base_subcycles + extra) {
                         self.cfg.dt = full_dt;
-                        return Err(e.into());
+                        return Err(e);
                     }
                     if let Err(e) = self.euler_step_tracers(ctx, state) {
                         self.cfg.dt = full_dt;
@@ -644,11 +754,16 @@ impl DistDycore {
         let limiter = cfg.limiter;
         let ks = hv.sponge_layers.min(nlev);
         let sl = ks * NPTS;
-        let dt_sub = dt / subcycles as f64;
         let rawcap = crate::workspace::raw_capacity(dims);
         let nlinks = plan.links.len();
 
-        let DistWorkspace { stage, next, hyp, qdp0, q1, q2, scratch, graph: g, .. } = ws;
+        let DistWorkspace { stage, next, hyp, qdp0, q1, q2, scratch, graph: g, hv_plan, .. } = ws;
+        // Same hoisted plan as the bulk drivers; a corrupt element aborts
+        // before any stage computes or any message is posted.
+        if hyp_on {
+            hv_plan.build(&hv, dt, subcycles, nlev, ops).map_err(HealthError::from)?;
+        }
+        let hv_plan: &ElemHypervisPlan = hv_plan;
 
         // Stage schedule and per-point payload widths, mirroring the bulk
         // exchange sequence exactly.
@@ -838,11 +953,9 @@ impl DistDycore {
                             let bt = &state.t[er.clone()];
                             match kernels {
                                 KernelPath::Blocked => {
-                                    ru.copy_from_slice(&bu[..sl]);
-                                    rv.copy_from_slice(&bv[..sl]);
-                                    rt.copy_from_slice(&bt[..sl]);
-                                    vlaplace_levels_blocked(&bops[e], ks, ru, rv);
-                                    laplace_levels_blocked(&bops[e], ks, rt);
+                                    sponge_pass_element_blocked(
+                                        &bops[e], ks, &bu[..sl], &bv[..sl], &bt[..sl], ru, rv, rt,
+                                    );
                                 }
                                 KernelPath::Scalar => {
                                     for k in 0..ks {
@@ -885,13 +998,9 @@ impl DistDycore {
                             };
                             match kernels {
                                 KernelPath::Blocked => {
-                                    ru.copy_from_slice(iu);
-                                    rv.copy_from_slice(iv);
-                                    rt.copy_from_slice(it);
-                                    rdp.copy_from_slice(idp);
-                                    vlaplace_levels_blocked(&bops[e], nlev, ru, rv);
-                                    laplace_levels_blocked(&bops[e], nlev, rt);
-                                    laplace_levels_blocked(&bops[e], nlev, rdp);
+                                    hypervis_pass_element_blocked(
+                                        &bops[e], nlev, iu, iv, it, idp, ru, rv, rt, rdp,
+                                    );
                                 }
                                 KernelPath::Scalar => {
                                     for k in 0..nlev {
@@ -1062,7 +1171,9 @@ impl DistDycore {
                         }
                         PipelineStage::Sponge => {
                             for k in 0..ks {
-                                let damp = 1.0 / (1 << k) as f64;
+                                // Hoisted `dt * nu_top * 2^-k` (bitwise the
+                                // same product the bulk sponge forms).
+                                let cs = hv_plan.sponge[k];
                                 let ko = k * NPTS;
                                 for p in 0..NPTS {
                                     let pi = e * NPTS + p;
@@ -1081,13 +1192,18 @@ impl DistDycore {
                                         |c| read_v(2 * ks + k, c),
                                         |l, j| recv_v(2 * ks + k, l, j),
                                     );
-                                    state.u[er.start + ko + p] += dt * hv.nu_top * damp * gu;
-                                    state.v[er.start + ko + p] += dt * hv.nu_top * damp * gv;
-                                    state.t[er.start + ko + p] += dt * hv.nu_top * damp * gt;
+                                    state.u[er.start + ko + p] += cs * gu;
+                                    state.v[er.start + ko + p] += cs * gv;
+                                    state.t[er.start + ko + p] += cs * gt;
                                 }
                             }
                         }
                         PipelineStage::HypLap { pass } => {
+                            // Hoisted `dt_sub * nu` / `dt_sub * nu_p`
+                            // (bitwise the same products the bulk apply
+                            // loops form).
+                            let cu = hv_plan.coef_u;
+                            let cdp = hv_plan.coef_dp;
                             for k in 0..nlev {
                                 let ko = k * NPTS;
                                 for p in 0..NPTS {
@@ -1119,10 +1235,10 @@ impl DistDycore {
                                         hyp.t[i] = gt;
                                         hyp.dp3d[i] = gdp;
                                     } else {
-                                        state.u[i] -= dt_sub * hv.nu * gu;
-                                        state.v[i] -= dt_sub * hv.nu * gv;
-                                        state.t[i] -= dt_sub * hv.nu * gt;
-                                        state.dp3d[i] -= dt_sub * hv.nu_p * gdp;
+                                        state.u[i] -= cu * gu;
+                                        state.v[i] -= cu * gv;
+                                        state.t[i] -= cu * gt;
+                                        state.dp3d[i] -= cdp * gdp;
                                     }
                                 }
                             }

@@ -19,6 +19,8 @@ pub struct Dss {
     spheremp: Vec<f64>,
     /// Scratch accumulator.
     accum: Vec<f64>,
+    /// Four-lane scratch accumulator for the fused four-field walks.
+    accum4: Vec<f64>,
 }
 
 impl Dss {
@@ -36,6 +38,7 @@ impl Dss {
             gids,
             spheremp,
             accum: vec![0.0; grid.nglobal],
+            accum4: vec![0.0; 4 * grid.nglobal],
         }
     }
 
@@ -106,6 +109,157 @@ impl Dss {
                 for p in 0..NPTS {
                     let g = self.gids[base + p];
                     field[off + p] = self.accum[g] * self.inv_mass[g];
+                }
+            }
+        }
+    }
+
+    /// Fused DSS + scaled forward-Euler apply: assemble `field` (layout
+    /// `[nelem][levels][NPTS]`, *left unchanged* — it is dead scratch
+    /// afterwards) and add `coefs[k]` times the assembled value into
+    /// `target`, whose per-element stride is `tstride` (`target` may hold
+    /// more levels than `field`, e.g. a full-depth state arena receiving a
+    /// sponge-depth Laplacian).
+    ///
+    /// Per point this computes `target += coefs[k] * (accum * inv_mass)` —
+    /// the assembled value is bitwise the one [`Dss::apply_flat`] would
+    /// have written (same accumulation order), and the scaled add matches
+    /// the drivers' separate apply loops when `coefs[k]` carries the
+    /// hoisted (possibly negated) coefficient product. Fusing removes a
+    /// full write-back + reread sweep of the Laplacian arena per field per
+    /// subcycle. Allocation-free.
+    pub fn apply_flat_scaled_add(
+        &mut self,
+        field: &[f64],
+        levels: usize,
+        coefs: &[f64],
+        target: &mut [f64],
+        tstride: usize,
+    ) {
+        let nelem = self.gids.len() / NPTS;
+        debug_assert_eq!(field.len(), nelem * levels * NPTS);
+        debug_assert_eq!(target.len(), nelem * tstride);
+        debug_assert!(coefs.len() >= levels);
+        let estride = levels * NPTS;
+        for (k, &c) in coefs[..levels].iter().enumerate() {
+            for a in &mut self.accum {
+                *a = 0.0;
+            }
+            for e in 0..nelem {
+                let base = e * NPTS;
+                let off = e * estride + k * NPTS;
+                for p in 0..NPTS {
+                    self.accum[self.gids[base + p]] += self.spheremp[base + p] * field[off + p];
+                }
+            }
+            for e in 0..nelem {
+                let base = e * NPTS;
+                let off = e * tstride + k * NPTS;
+                for p in 0..NPTS {
+                    let g = self.gids[base + p];
+                    target[off + p] += c * (self.accum[g] * self.inv_mass[g]);
+                }
+            }
+        }
+    }
+
+    /// [`Dss::apply_flat`] on four equal-shape arenas in ONE walk of the
+    /// assembly map per level: the `gids`/`spheremp` loads and index
+    /// arithmetic are shared across the four fields instead of re-walked
+    /// per field. Each field accumulates in its own lane in the exact
+    /// element-ascending, point-ascending order of the single-field walk,
+    /// so the result is bitwise identical to four `apply_flat` calls.
+    /// Allocation-free.
+    pub fn apply_flat4(&mut self, fields: [&mut [f64]; 4], levels: usize) {
+        let nelem = self.gids.len() / NPTS;
+        let estride = levels * NPTS;
+        let n = self.nglobal;
+        let [f0, f1, f2, f3] = fields;
+        debug_assert!([&f0, &f1, &f2, &f3].iter().all(|f| f.len() == nelem * estride));
+        for k in 0..levels {
+            for a in &mut self.accum4 {
+                *a = 0.0;
+            }
+            let (a01, a23) = self.accum4.split_at_mut(2 * n);
+            let (a0, a1) = a01.split_at_mut(n);
+            let (a2, a3) = a23.split_at_mut(n);
+            for e in 0..nelem {
+                let base = e * NPTS;
+                let off = e * estride + k * NPTS;
+                for p in 0..NPTS {
+                    let g = self.gids[base + p];
+                    let w = self.spheremp[base + p];
+                    a0[g] += w * f0[off + p];
+                    a1[g] += w * f1[off + p];
+                    a2[g] += w * f2[off + p];
+                    a3[g] += w * f3[off + p];
+                }
+            }
+            for e in 0..nelem {
+                let base = e * NPTS;
+                let off = e * estride + k * NPTS;
+                for p in 0..NPTS {
+                    let g = self.gids[base + p];
+                    let m = self.inv_mass[g];
+                    f0[off + p] = a0[g] * m;
+                    f1[off + p] = a1[g] * m;
+                    f2[off + p] = a2[g] * m;
+                    f3[off + p] = a3[g] * m;
+                }
+            }
+        }
+    }
+
+    /// [`Dss::apply_flat_scaled_add`] on four fields in ONE walk of the
+    /// assembly map per level, one coefficient table per field. Bitwise
+    /// identical to four single-field calls (per-field accumulation order
+    /// unchanged). Allocation-free.
+    pub fn apply_flat_scaled_add4(
+        &mut self,
+        fields: [&[f64]; 4],
+        levels: usize,
+        coefs: [&[f64]; 4],
+        targets: [&mut [f64]; 4],
+        tstride: usize,
+    ) {
+        let nelem = self.gids.len() / NPTS;
+        let estride = levels * NPTS;
+        let n = self.nglobal;
+        let [f0, f1, f2, f3] = fields;
+        let [t0, t1, t2, t3] = targets;
+        debug_assert!([f0, f1, f2, f3].iter().all(|f| f.len() == nelem * estride));
+        debug_assert!([&t0, &t1, &t2, &t3].iter().all(|t| t.len() == nelem * tstride));
+        debug_assert!(coefs.iter().all(|c| c.len() >= levels));
+        for k in 0..levels {
+            let (c0, c1, c2, c3) = (coefs[0][k], coefs[1][k], coefs[2][k], coefs[3][k]);
+            for a in &mut self.accum4 {
+                *a = 0.0;
+            }
+            let (a01, a23) = self.accum4.split_at_mut(2 * n);
+            let (a0, a1) = a01.split_at_mut(n);
+            let (a2, a3) = a23.split_at_mut(n);
+            for e in 0..nelem {
+                let base = e * NPTS;
+                let off = e * estride + k * NPTS;
+                for p in 0..NPTS {
+                    let g = self.gids[base + p];
+                    let w = self.spheremp[base + p];
+                    a0[g] += w * f0[off + p];
+                    a1[g] += w * f1[off + p];
+                    a2[g] += w * f2[off + p];
+                    a3[g] += w * f3[off + p];
+                }
+            }
+            for e in 0..nelem {
+                let base = e * NPTS;
+                let off = e * tstride + k * NPTS;
+                for p in 0..NPTS {
+                    let g = self.gids[base + p];
+                    let m = self.inv_mass[g];
+                    t0[off + p] += c0 * (a0[g] * m);
+                    t1[off + p] += c1 * (a1[g] * m);
+                    t2[off + p] += c2 * (a2[g] * m);
+                    t3[off + p] += c3 * (a3[g] * m);
                 }
             }
         }
@@ -326,6 +480,105 @@ mod tests {
         for (e, pe) in per_elem.iter().enumerate() {
             let fl = &flat[e * nlev * NPTS..(e + 1) * nlev * NPTS];
             assert_eq!(pe.as_slice(), fl, "element {e}");
+        }
+    }
+
+    /// The fused DSS + scaled apply matches `apply_flat` followed by a
+    /// manual `target += coef * assembled` loop, bit for bit — including a
+    /// target arena deeper than the assembled field (the sponge shape).
+    #[test]
+    fn scaled_add_matches_apply_flat_plus_manual_apply_bitwise() {
+        let grid = CubedSphere::new(2);
+        let mut dss = Dss::new(&grid);
+        let nelem = grid.nelem();
+        let (nlev, ks) = (4usize, 2usize);
+        let estride = nlev * NPTS;
+        let raw: Vec<f64> = (0..nelem * ks * NPTS)
+            .map(|i| ((i * 193) % 101) as f64 / 9.0 - 5.0)
+            .collect();
+        let target0: Vec<f64> = (0..nelem * estride)
+            .map(|i| ((i * 37) % 53) as f64 / 3.0 - 8.0)
+            .collect();
+        let coefs = [-1.75e-3, 0.5e-3];
+
+        // Reference: assemble a copy, then the drivers' separate apply loop.
+        let mut assembled = raw.clone();
+        dss.apply_flat(&mut assembled, ks);
+        let mut expect = target0.clone();
+        for e in 0..nelem {
+            for k in 0..ks {
+                for p in 0..NPTS {
+                    expect[e * estride + k * NPTS + p] +=
+                        coefs[k] * assembled[e * ks * NPTS + k * NPTS + p];
+                }
+            }
+        }
+
+        let mut got = target0.clone();
+        dss.apply_flat_scaled_add(&raw, ks, &coefs, &mut got, estride);
+        for (i, (a, b)) in expect.iter().zip(&got).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "slot {i}: {a:e} vs {b:e}");
+        }
+    }
+
+    /// The fused four-field walk is bitwise four single-field walks.
+    #[test]
+    fn four_field_apply_matches_four_single_applies_bitwise() {
+        let grid = CubedSphere::new(2);
+        let mut dss = Dss::new(&grid);
+        let nelem = grid.nelem();
+        let nlev = 3;
+        let mk = |seed: usize| -> Vec<f64> {
+            (0..nelem * nlev * NPTS)
+                .map(|i| ((i * 131 + seed * 17) % 97) as f64 / 7.0 - 6.5)
+                .collect()
+        };
+        let mut single: [Vec<f64>; 4] = std::array::from_fn(mk);
+        let mut fused = single.clone();
+        for f in &mut single {
+            dss.apply_flat(f, nlev);
+        }
+        let [f0, f1, f2, f3] = &mut fused;
+        dss.apply_flat4([f0, f1, f2, f3], nlev);
+        for (f, (a, b)) in single.iter().zip(&fused).enumerate() {
+            for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "field {f} slot {i}: {x:e} vs {y:e}");
+            }
+        }
+    }
+
+    /// Same for the fused DSS + scaled apply: four coefficient tables,
+    /// four targets, one map walk — bitwise four single-field calls.
+    #[test]
+    fn four_field_scaled_add_matches_four_single_calls_bitwise() {
+        let grid = CubedSphere::new(2);
+        let mut dss = Dss::new(&grid);
+        let nelem = grid.nelem();
+        let (nlev, ks) = (4usize, 2usize);
+        let estride = nlev * NPTS;
+        let mk = |seed: usize, len: usize| -> Vec<f64> {
+            (0..len).map(|i| ((i * 193 + seed * 29) % 101) as f64 / 9.0 - 5.0).collect()
+        };
+        let raw: [Vec<f64>; 4] = std::array::from_fn(|f| mk(f, nelem * ks * NPTS));
+        let mut single: [Vec<f64>; 4] = std::array::from_fn(|f| mk(f + 4, nelem * estride));
+        let mut fused = single.clone();
+        let coefs =
+            [[-1.75e-3, 0.5e-3], [2.5e-4, -9.0e-4], [1.0e-3, 1.0e-3], [-3.0e-5, 7.0e-4]];
+        for f in 0..4 {
+            dss.apply_flat_scaled_add(&raw[f], ks, &coefs[f], &mut single[f], estride);
+        }
+        let [t0, t1, t2, t3] = &mut fused;
+        dss.apply_flat_scaled_add4(
+            [&raw[0], &raw[1], &raw[2], &raw[3]],
+            ks,
+            [&coefs[0], &coefs[1], &coefs[2], &coefs[3]],
+            [t0, t1, t2, t3],
+            estride,
+        );
+        for (f, (a, b)) in single.iter().zip(&fused).enumerate() {
+            for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "field {f} slot {i}: {x:e} vs {y:e}");
+            }
         }
     }
 

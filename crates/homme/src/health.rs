@@ -17,6 +17,7 @@
 //! report and a degradation policy (halve `dt`, extra hyperviscosity
 //! subcycles) instead of producing silent garbage.
 
+use crate::hypervis::HypervisError;
 use crate::remap::RemapError;
 use swmpi::{Collectives, ReduceOp};
 
@@ -151,11 +152,20 @@ pub enum HealthError {
     /// The vertical remap rejected a column (collapsed Lagrangian layer or
     /// mass-inconsistent totals).
     Remap(RemapError),
+    /// The hyperviscosity plan rejected the step (corrupt element metric
+    /// or non-finite step coefficient).
+    Hypervis(HypervisError),
 }
 
 impl From<RemapError> for HealthError {
     fn from(e: RemapError) -> Self {
         HealthError::Remap(e)
+    }
+}
+
+impl From<HypervisError> for HealthError {
+    fn from(e: HypervisError) -> Self {
+        HealthError::Hypervis(e)
     }
 }
 
@@ -172,6 +182,7 @@ impl std::fmt::Display for HealthError {
                 write!(f, "{count} non-finite tracer values after stage {stage}")
             }
             HealthError::Remap(e) => write!(f, "vertical remap rejected: {e}"),
+            HealthError::Hypervis(e) => write!(f, "hyperviscosity rejected: {e}"),
         }
     }
 }

@@ -17,6 +17,21 @@ use crate::kernels::blocked::{
 use crate::sched::{ArenaMut, ElemScheduler};
 use cubesphere::NPTS;
 
+/// Floor on the smallest GLL gap used in the subcycle stability estimate,
+/// in **meters**.
+///
+/// [`HypervisConfig::stable_subcycles`] divides by the gap to form the grid
+/// Nyquist wavenumber; a degenerate metric (zero or NaN `metdet`, a
+/// collapsed element of a synthetic test grid) would otherwise drive
+/// `k_max -> inf` and saturate the subcycle count. One meter is ~5 orders
+/// of magnitude below any physical GLL spacing this model resolves (ne120
+/// is ~25 km), so the floor is inert on real grids and only guards the
+/// degenerate ones. Serial ([`crate::prim::Dycore`]) and distributed
+/// ([`crate::dist::DistDycore`]) drivers both route their characteristic
+/// grid spacing through this same constant so their subcycle counts always
+/// agree.
+pub const MIN_GLL_GAP_METERS: f64 = 1.0;
+
 /// Hyperviscosity configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HypervisConfig {
@@ -65,10 +80,143 @@ impl HypervisConfig {
         // metdet ~ (physical area)/(dalpha dbeta): sqrt gives the length
         // scale per unit angle.
         let scale = metdet0.sqrt();
-        let gap = (ref_gap * 0.5 * dab * scale).max(1.0);
+        let gap = (ref_gap * 0.5 * dab * scale).max(MIN_GLL_GAP_METERS);
         let k_max = 2.0 * std::f64::consts::PI / gap;
         let needed = (nu * k_max.powi(4) * dt / 0.4).ceil() as usize;
         needed.max(self.subcycles).max(1)
+    }
+}
+
+/// Why a hyperviscosity plan build rejected the step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HypervisError {
+    /// An element's metric tables are unusable (non-finite or non-positive
+    /// `metdet`/`rmetdet`/`spheremp` at the given GLL point) — the fused
+    /// sweeps would silently propagate garbage through every field.
+    BadGeometry { elem: usize, point: usize },
+    /// A step coefficient (`dt_sub * nu`, `dt * nu_top`, ...) came out
+    /// non-finite, e.g. from a NaN timestep after a corrupted rollback.
+    NonFiniteCoef { coef: f64 },
+}
+
+impl std::fmt::Display for HypervisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HypervisError::BadGeometry { elem, point } => write!(
+                f,
+                "hyperviscosity plan rejected element {elem}: degenerate metric at GLL point {point}"
+            ),
+            HypervisError::NonFiniteCoef { coef } => {
+                write!(f, "hyperviscosity plan rejected non-finite step coefficient {coef}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HypervisError {}
+
+/// Per-step hyperviscosity plan: every coefficient the subcycle loop and
+/// the sponge apply need, hoisted out of the sweeps and validated once.
+///
+/// The paper's Table-1 hypervis kernels earn their speedup from data reuse
+/// across the two Laplacian passes and the coefficient applies; the host
+/// analogue is this plan plus the fused kernels in
+/// [`crate::kernels::blocked`]. The geometry itself already lives hoisted
+/// in [`BlockedOps`]; what the plan adds is
+///
+/// * the forward-Euler damping coefficients per level, **negated** so the
+///   fused DSS-and-apply sweep ([`Dss::apply_flat_scaled_add`]) is a single
+///   `+=` for both the subcycle applies (`x -= c*l  ==  x += (-c)*l`
+///   bitwise — IEEE negation of the exact product) and the sponge,
+/// * the per-layer sponge coefficients `(dt*nu_top) * 2^-k`, and
+/// * a fail-fast validation pass over the step coefficients and every
+///   element's metric rows, so a corrupt element rejects the step through
+///   the typed-error rollback path instead of poisoning the trajectory.
+///
+/// Buffers are presized by [`ElemHypervisPlan::new`]; a steady-state
+/// [`ElemHypervisPlan::build`] never allocates.
+#[derive(Debug, Clone)]
+pub struct ElemHypervisPlan {
+    /// Subcycle count the coefficients were built for.
+    pub subcycles: usize,
+    /// Clamped sponge depth `sponge_layers.min(nlev)`.
+    pub ks: usize,
+    /// `dt_sub * nu` (u, v, T applies — the bulk drivers' hoisted form).
+    pub coef_u: f64,
+    /// `dt_sub * nu_p` (dp3d apply).
+    pub coef_dp: f64,
+    /// Per-level `-(dt_sub * nu)` for the fused `+=` apply, `[nlev]`.
+    pub damp_u: Vec<f64>,
+    /// Per-level `-(dt_sub * nu_p)`, `[nlev]`.
+    pub damp_dp: Vec<f64>,
+    /// Per-layer sponge coefficient `(dt * nu_top) * 2^-k`, `[ks]`.
+    pub sponge: Vec<f64>,
+}
+
+impl ElemHypervisPlan {
+    /// Presize for a problem shape (allocates; `build` then never does).
+    pub fn new(nlev: usize, sponge_layers: usize) -> Self {
+        ElemHypervisPlan {
+            subcycles: 0,
+            ks: sponge_layers.min(nlev),
+            coef_u: 0.0,
+            coef_dp: 0.0,
+            damp_u: vec![0.0; nlev],
+            damp_dp: vec![0.0; nlev],
+            sponge: vec![0.0; sponge_layers.min(nlev)],
+        }
+    }
+
+    /// Build the step coefficients and validate the geometry. Grow-only on
+    /// the presized buffers; steady-state rebuilds are allocation-free.
+    pub fn build(
+        &mut self,
+        hv: &HypervisConfig,
+        dt: f64,
+        subcycles: usize,
+        nlev: usize,
+        ops: &[ElemOps],
+    ) -> Result<(), HypervisError> {
+        let dt_sub = dt / subcycles as f64;
+        let coef_u = dt_sub * hv.nu;
+        let coef_dp = dt_sub * hv.nu_p;
+        let sponge0 = dt * hv.nu_top;
+        for coef in [coef_u, coef_dp, sponge0] {
+            if !coef.is_finite() {
+                return Err(HypervisError::NonFiniteCoef { coef });
+            }
+        }
+        // The fused sweeps divide by spheremp and multiply by
+        // metdet/rmetdet in every walk; reject any element whose metric
+        // rows could turn the whole-step sweep into NaN soup — NaN as
+        // well as zero/negative.
+        let bad = |x: f64| x.is_nan() || x <= 0.0;
+        for (e, op) in ops.iter().enumerate() {
+            for p in 0..NPTS {
+                if bad(op.metdet[p]) || bad(op.rmetdet[p]) || bad(op.spheremp[p]) {
+                    return Err(HypervisError::BadGeometry { elem: e, point: p });
+                }
+            }
+        }
+        self.subcycles = subcycles;
+        self.ks = hv.sponge_layers.min(nlev);
+        self.coef_u = coef_u;
+        self.coef_dp = coef_dp;
+        if self.damp_u.len() < nlev {
+            self.damp_u.resize(nlev, 0.0);
+            self.damp_dp.resize(nlev, 0.0);
+        }
+        for k in 0..nlev {
+            self.damp_u[k] = -coef_u;
+            self.damp_dp[k] = -coef_dp;
+        }
+        if self.sponge.len() < self.ks {
+            self.sponge.resize(self.ks, 0.0);
+        }
+        for (k, c) in self.sponge[..self.ks].iter_mut().enumerate() {
+            *c = sponge0 * (1.0 / (1u64 << k) as f64);
+        }
+        Ok(())
     }
 }
 

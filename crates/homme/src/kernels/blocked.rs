@@ -537,6 +537,214 @@ pub fn vlaplace_levels_blocked(bop: &BlockedOps, nlev: usize, u: &mut [f64], v: 
     }
 }
 
+/// Fused hyperviscosity Laplacian: the vector Laplacian of `(u, v)` and
+/// `NS` scalar weak Laplacians through **two** shared coefficient walks
+/// instead of the 2 + 2·NS walks of the standalone operators.
+///
+/// This is the paper's `hypervis_dp1/dp2` data-reuse move on the host: one
+/// subcycle pass touches four fields (u, v, t, dp3d), and every one of them
+/// contracts against the same `dvv`/`dvvt` tables and the same
+/// metric rows. Walk 1 evaluates the divergence/vorticity contractions and
+/// each scalar's `deriv_ab` under one `(i, kk)` coefficient broadcast, then
+/// finishes the scalars' first weak-form contraction (`spheremp`-weighted
+/// contravariant flux) per output row. Walk 2 evaluates the scalars' second
+/// weak-form contraction together with `grad(div)` and `curl(vort)` under
+/// one `(a, i)` broadcast (plus the scalars' trailing `j` contraction).
+///
+/// Every accumulator is private to one output and is updated in its
+/// standalone operator's exact term order — `divergence` and `vorticity`
+/// interleave their two contraction directions per `kk`, `laplace_wk` keeps
+/// its `i`-terms strictly before its `j`-terms, `deriv_ab` interleaves per
+/// `k` — so the committed bits are identical to calling [`BlockedOps::vlaplace`]
+/// and [`BlockedOps::laplace_wk`] back to back. The fusion only amortizes
+/// coefficient broadcasts and hands the CPU 2 + 3·NS independent dependency
+/// chains per walk.
+#[inline]
+pub fn vlaplace_scalars_blocked<const NS: usize>(
+    bop: &BlockedOps,
+    u: &[V4F64; NP],
+    v: &[V4F64; NP],
+    s: &[[V4F64; NP]; NS],
+) -> ([V4F64; NP], [V4F64; NP], [[V4F64; NP]; NS]) {
+    // Walk-1 prologue: contravariant mass flux of (u, v) for the divergence
+    // and the covariant components for the vorticity, per row.
+    let mut gv1 = [V4F64::zero(); NP];
+    let mut gv2 = [V4F64::zero(); NP];
+    let mut ucov = [V4F64::zero(); NP];
+    let mut vcov = [V4F64::zero(); NP];
+    for r in 0..NP {
+        let c1 = bop.dinv[0][0][r] * u[r] + bop.dinv[0][1][r] * v[r];
+        let c2 = bop.dinv[1][0][r] * u[r] + bop.dinv[1][1][r] * v[r];
+        gv1[r] = bop.metdet[r] * c1;
+        gv2[r] = bop.metdet[r] * c2;
+        ucov[r] = bop.d[0][0][r] * u[r] + bop.d[1][0][r] * v[r];
+        vcov[r] = bop.d[0][1][r] * u[r] + bop.d[1][1][r] * v[r];
+    }
+    // Walk 1: div + vort + every scalar's weak-gradient fluxes under one
+    // coefficient broadcast.
+    let mut div = [V4F64::zero(); NP];
+    let mut vort = [V4F64::zero(); NP];
+    let mut c1s = [[V4F64::zero(); NP]; NS];
+    let mut c2s = [[V4F64::zero(); NP]; NS];
+    for i in 0..NP {
+        let mut acc_div = V4F64::zero();
+        let mut dv_da = V4F64::zero();
+        let mut du_db = V4F64::zero();
+        let mut s_a = [V4F64::zero(); NS];
+        let mut s_b = [V4F64::zero(); NS];
+        for kk in 0..NP {
+            let ca = V4F64::splat(bop.dvv[i][kk]);
+            let cb = bop.dvvt[kk];
+            acc_div = acc_div + ca * gv1[kk];
+            acc_div = acc_div + cb * V4F64::splat(gv2[i][kk]);
+            dv_da = dv_da + ca * vcov[kk];
+            du_db = du_db + cb * V4F64::splat(ucov[i][kk]);
+            for t in 0..NS {
+                s_a[t] = s_a[t] + ca * s[t][kk];
+                s_b[t] = s_b[t] + cb * V4F64::splat(s[t][i][kk]);
+            }
+        }
+        div[i] = acc_div * bop.dscale * bop.rmetdet[i];
+        vort[i] = (dv_da - du_db) * bop.dscale * bop.rmetdet[i];
+        for t in 0..NS {
+            let (da, db) = (s_a[t] * bop.dscale, s_b[t] * bop.dscale);
+            let gx = bop.dinv[0][0][i] * da + bop.dinv[1][0][i] * db;
+            let gy = bop.dinv[0][1][i] * da + bop.dinv[1][1][i] * db;
+            c1s[t][i] = bop.spheremp[i] * (bop.dinv[0][0][i] * gx + bop.dinv[0][1][i] * gy);
+            c2s[t][i] = bop.spheremp[i] * (bop.dinv[1][0][i] * gx + bop.dinv[1][1][i] * gy);
+        }
+    }
+    // Walk 2: the scalars' second weak-form contraction, grad(div) and
+    // curl(vort) under one coefficient broadcast. The scalar `laplace_wk`
+    // keeps its two contraction loops sequential (all `i` terms, then all
+    // `j` terms) — `acc` honours that; `grad`/`curl` interleave per index
+    // exactly as `deriv_ab` does.
+    let mut lu = [V4F64::zero(); NP];
+    let mut lv = [V4F64::zero(); NP];
+    let mut ls = [[V4F64::zero(); NP]; NS];
+    for a in 0..NP {
+        let mut acc = [V4F64::zero(); NS];
+        let mut d_a = V4F64::zero();
+        let mut d_b = V4F64::zero();
+        let mut v_a = V4F64::zero();
+        let mut v_b = V4F64::zero();
+        for i in 0..NP {
+            let ci = V4F64::splat(bop.dvv[i][a]);
+            for t in 0..NS {
+                acc[t] = acc[t] + ci * c1s[t][i];
+            }
+            let ca = V4F64::splat(bop.dvv[a][i]);
+            let cb = bop.dvvt[i];
+            d_a = d_a + ca * div[i];
+            d_b = d_b + cb * V4F64::splat(div[a][i]);
+            v_a = v_a + ca * vort[i];
+            v_b = v_b + cb * V4F64::splat(vort[a][i]);
+        }
+        for j in 0..NP {
+            let cj = bop.dvv[j];
+            for t in 0..NS {
+                acc[t] = acc[t] + cj * V4F64::splat(c2s[t][a][j]);
+            }
+        }
+        for t in 0..NS {
+            ls[t][a] = acc[t] * (-bop.dscale) / bop.spheremp[a];
+        }
+        let (da, db) = (d_a * bop.dscale, d_b * bop.dscale);
+        let gdx = bop.dinv[0][0][a] * da + bop.dinv[1][0][a] * db;
+        let gdy = bop.dinv[0][1][a] * da + bop.dinv[1][1][a] * db;
+        let (da, db) = (v_a * bop.dscale, v_b * bop.dscale);
+        let cc1 = db * bop.rmetdet[a];
+        let cc2 = -da * bop.rmetdet[a];
+        let cx = bop.d[0][0][a] * cc1 + bop.d[0][1][a] * cc2;
+        let cy = bop.d[1][0][a] * cc1 + bop.d[1][1][a] * cc2;
+        lu[a] = gdx - cx;
+        lv[a] = gdy - cy;
+    }
+    (lu, lv, ls)
+}
+
+/// One fused hyperviscosity Laplacian pass over every level of one element,
+/// out of place: `(ou, ov, ot, odp) = (vlaplace(su, sv), lap(st), lap(sdp))`
+/// with all four fields batched through the two shared coefficient walks of
+/// [`vlaplace_scalars_blocked`]. Bitwise identical to
+/// [`vlaplace_levels_blocked`] + 2× [`laplace_levels_blocked`] on copies.
+#[allow(clippy::too_many_arguments)]
+pub fn hypervis_pass_element_blocked(
+    bop: &BlockedOps,
+    nlev: usize,
+    su: &[f64],
+    sv: &[f64],
+    st: &[f64],
+    sdp: &[f64],
+    ou: &mut [f64],
+    ov: &mut [f64],
+    ot: &mut [f64],
+    odp: &mut [f64],
+) {
+    for k in 0..nlev {
+        let o = k * NPTS;
+        let u = load_rows(&su[o..]);
+        let v = load_rows(&sv[o..]);
+        let s = [load_rows(&st[o..]), load_rows(&sdp[o..])];
+        let (lu, lv, ls) = vlaplace_scalars_blocked(bop, &u, &v, &s);
+        store_rows(&lu, &mut ou[o..]);
+        store_rows(&lv, &mut ov[o..]);
+        store_rows(&ls[0], &mut ot[o..]);
+        store_rows(&ls[1], &mut odp[o..]);
+    }
+}
+
+/// In-place variant of [`hypervis_pass_element_blocked`] for the second
+/// (biharmonic) pass, where the DSS'd first-pass Laplacians are overwritten
+/// with their own Laplacians.
+pub fn hypervis_pass_levels_blocked(
+    bop: &BlockedOps,
+    nlev: usize,
+    u: &mut [f64],
+    v: &mut [f64],
+    t: &mut [f64],
+    dp: &mut [f64],
+) {
+    for k in 0..nlev {
+        let o = k * NPTS;
+        let ur = load_rows(&u[o..]);
+        let vr = load_rows(&v[o..]);
+        let s = [load_rows(&t[o..]), load_rows(&dp[o..])];
+        let (lu, lv, ls) = vlaplace_scalars_blocked(bop, &ur, &vr, &s);
+        store_rows(&lu, &mut u[o..]);
+        store_rows(&lv, &mut v[o..]);
+        store_rows(&ls[0], &mut t[o..]);
+        store_rows(&ls[1], &mut dp[o..]);
+    }
+}
+
+/// Fused sponge-layer Laplacian over the top `ks` levels of one element,
+/// out of place: the vector Laplacian of `(su, sv)` and the weak Laplacian
+/// of `st` share the two coefficient walks (`NS = 1`). Bitwise identical to
+/// [`vlaplace_levels_blocked`] + [`laplace_levels_blocked`] on copies.
+#[allow(clippy::too_many_arguments)]
+pub fn sponge_pass_element_blocked(
+    bop: &BlockedOps,
+    ks: usize,
+    su: &[f64],
+    sv: &[f64],
+    st: &[f64],
+    ou: &mut [f64],
+    ov: &mut [f64],
+    ot: &mut [f64],
+) {
+    for k in 0..ks {
+        let o = k * NPTS;
+        let u = load_rows(&su[o..]);
+        let v = load_rows(&sv[o..]);
+        let s = [load_rows(&st[o..])];
+        let (lu, lv, ls) = vlaplace_scalars_blocked(bop, &u, &v, &s);
+        store_rows(&lu, &mut ou[o..]);
+        store_rows(&lv, &mut ov[o..]);
+        store_rows(&ls[0], &mut ot[o..]);
+    }
+}
+
 /// PPM reconstruction coefficients of one field from a prebuilt
 /// [`ElemRemapPlan`], 4-wide over the GLL points: the interface values come
 /// from the plan's precomputed interpolation weights (the per-interface
@@ -918,6 +1126,67 @@ mod tests {
             assert_eq!(bits(&ev), bits(&ov), "nlev={nlev} v");
             assert_eq!(bits(&et), bits(&ot), "nlev={nlev} t");
             assert_eq!(bits(&edp), bits(&odp), "nlev={nlev} dp3d");
+        }
+    }
+
+    /// The fused 4-field hypervis pass and the 3-field sponge pass are
+    /// bitwise identical to the standalone blocked Laplacians they replace
+    /// (which are themselves pinned against the scalar oracle above).
+    #[test]
+    fn fused_hypervis_pass_matches_unfused_blocked_bitwise() {
+        let ops = test_ops();
+        let mut seed = 0xbadc_ab1e_5eedu64;
+        for nlev in [1usize, 3, 26] {
+            let n = nlev * NPTS;
+            let op = &ops[seed as usize % ops.len()];
+            let bop = BlockedOps::new(op);
+            let u = lcg_field(n, &mut seed, -40.0, 40.0);
+            let v = lcg_field(n, &mut seed, -40.0, 40.0);
+            let t = lcg_field(n, &mut seed, 220.0, 310.0);
+            let dp = lcg_field(n, &mut seed, 200.0, 900.0);
+
+            let (mut eu, mut ev, mut et, mut edp) =
+                (u.clone(), v.clone(), t.clone(), dp.clone());
+            vlaplace_levels_blocked(&bop, nlev, &mut eu, &mut ev);
+            laplace_levels_blocked(&bop, nlev, &mut et);
+            laplace_levels_blocked(&bop, nlev, &mut edp);
+
+            let bits = |x: &[f64]| x.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+
+            // Out-of-place pass.
+            let mut ou = vec![0.0; n];
+            let mut ov = vec![0.0; n];
+            let mut ot = vec![0.0; n];
+            let mut odp = vec![0.0; n];
+            hypervis_pass_element_blocked(
+                &bop, nlev, &u, &v, &t, &dp, &mut ou, &mut ov, &mut ot, &mut odp,
+            );
+            assert_eq!(bits(&eu), bits(&ou), "nlev={nlev} u");
+            assert_eq!(bits(&ev), bits(&ov), "nlev={nlev} v");
+            assert_eq!(bits(&et), bits(&ot), "nlev={nlev} t");
+            assert_eq!(bits(&edp), bits(&odp), "nlev={nlev} dp3d");
+
+            // In-place pass.
+            let (mut iu, mut iv, mut it, mut idp) =
+                (u.clone(), v.clone(), t.clone(), dp.clone());
+            hypervis_pass_levels_blocked(&bop, nlev, &mut iu, &mut iv, &mut it, &mut idp);
+            assert_eq!(bits(&eu), bits(&iu), "in-place nlev={nlev} u");
+            assert_eq!(bits(&ev), bits(&iv), "in-place nlev={nlev} v");
+            assert_eq!(bits(&et), bits(&it), "in-place nlev={nlev} t");
+            assert_eq!(bits(&edp), bits(&idp), "in-place nlev={nlev} dp3d");
+
+            // Sponge pass (3 fields, top `ks` levels only).
+            for ks in [1usize, nlev] {
+                let mut su = vec![0.0; ks * NPTS];
+                let mut sv = vec![0.0; ks * NPTS];
+                let mut stf = vec![0.0; ks * NPTS];
+                sponge_pass_element_blocked(
+                    &bop, ks, &u, &v, &t, &mut su, &mut sv, &mut stf,
+                );
+                assert_eq!(bits(&eu[..ks * NPTS]), bits(&su), "sponge nlev={nlev} ks={ks} u");
+                assert_eq!(bits(&ev[..ks * NPTS]), bits(&sv), "sponge nlev={nlev} ks={ks} v");
+                assert_eq!(bits(&et[..ks * NPTS]), bits(&stf), "sponge nlev={nlev} ks={ks} t");
+            }
         }
     }
 

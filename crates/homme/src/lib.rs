@@ -49,7 +49,7 @@ pub use diagnostics::{budgets, Budgets};
 pub use dist::{DistDycore, DistError, EPOCH_SHIFT};
 pub use dss::Dss;
 pub use health::{DegradePolicy, HealthConfig, HealthError, StepHealth, TRACER_STAGE};
-pub use hypervis::HypervisConfig;
+pub use hypervis::{ElemHypervisPlan, HypervisConfig, HypervisError, MIN_GLL_GAP_METERS};
 pub use kernels::blocked::{BlockedOps, KernelPath, StageCombine};
 pub use prim::{Dycore, DycoreConfig, KG5_COEFFS};
 pub use remap::{ElemRemapPlan, RemapApplyScratch, RemapError};

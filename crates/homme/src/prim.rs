@@ -23,10 +23,14 @@ use crate::euler::{
 use crate::health::{
     commit_scan, scan_stage, DegradePolicy, HealthConfig, HealthError, StepHealth, TRACER_STAGE,
 };
-use crate::hypervis::{biharmonic_flat_path, laplace_flat_path, vlaplace_flat_path, HypervisConfig};
+use crate::hypervis::{
+    biharmonic_flat_path, laplace_flat_path, vlaplace_flat_path, ElemHypervisPlan,
+    HypervisConfig, MIN_GLL_GAP_METERS,
+};
 use crate::kernels::blocked::{
     build_blocked_ops, element_rhs_apply_blocked, euler_stage_element_blocked,
-    laplace_levels_blocked, vlaplace_levels_blocked, BlockedOps, KernelPath, StageCombine,
+    hypervis_pass_element_blocked, hypervis_pass_levels_blocked, sponge_pass_element_blocked,
+    BlockedOps, KernelPath, StageCombine,
 };
 use crate::kernels::blocked::remap_element_planned;
 use crate::remap::{remap_element_scalar, RemapError};
@@ -143,10 +147,13 @@ impl Dycore {
         let ws = StepWorkspace::new(dims, grid.nelem(), cfg.hypervis.sponge_layers, sched.nthreads());
         // Characteristic grid spacing for the advective CFL estimate: the
         // smallest GLL gap on a representative element (same geometry as
-        // [`HypervisConfig::stable_subcycles`], identical on every rank).
+        // [`HypervisConfig::stable_subcycles`], identical on every rank),
+        // floored at [`MIN_GLL_GAP_METERS`] so a degenerate metric cannot
+        // zero the CFL denominator.
         let el = &grid.elements[0];
         let ref_gap = 1.0 - 1.0 / 5.0_f64.sqrt();
-        let char_dx = (ref_gap * 0.5 * el.dab * el.metric[0].metdet.sqrt()).max(1.0);
+        let char_dx =
+            (ref_gap * 0.5 * el.dab * el.metric[0].metdet.sqrt()).max(MIN_GLL_GAP_METERS);
         Dycore {
             grid,
             ops,
@@ -225,22 +232,149 @@ impl Dycore {
     }
 
     /// Apply subcycled biharmonic hyperviscosity to u, v, T, dp3d.
-    pub fn apply_hypervis(&mut self, state: &mut State) {
+    ///
+    /// # Errors
+    /// [`HealthError::Hypervis`] when the per-step plan rejects a corrupt
+    /// element metric or a non-finite step coefficient; the state is
+    /// untouched on `Err` (the plan is built before any field is written).
+    pub fn apply_hypervis(&mut self, state: &mut State) -> Result<(), HealthError> {
         let subcycles = self.hypervis_subcycles();
-        self.apply_hypervis_n(state, subcycles);
+        self.apply_hypervis_n(state, subcycles)
     }
 
     /// [`Dycore::apply_hypervis`] with an explicit subcycle count (the
     /// degradation policy adds extra subcycles on top of the stable count).
-    pub fn apply_hypervis_n(&mut self, state: &mut State, subcycles: usize) {
+    ///
+    /// Both kernel paths vet the grid and hoist the subcycle/sponge
+    /// coefficient products through [`ElemHypervisPlan`] once per step, so
+    /// a corrupt element is rejected identically either way. The blocked
+    /// path then runs each subcycle as fused per-element sweeps — one
+    /// coefficient walk produces the Laplacians of all four fields — with
+    /// the forward-Euler damping folded into the DSS scatter
+    /// ([`Dss::apply_flat_scaled_add`]); the scalar path keeps the seed's
+    /// copy + per-field Laplacian + separate apply structure as the
+    /// bitwise oracle.
+    pub fn apply_hypervis_n(
+        &mut self,
+        state: &mut State,
+        subcycles: usize,
+    ) -> Result<(), HealthError> {
         let hv = self.cfg.hypervis;
         if hv.nu == 0.0 && hv.nu_p == 0.0 {
-            return;
+            return Ok(());
         }
         let Dycore { ops, dss, dims, cfg, sched, ws, kernels, bops, .. } = self;
         let kernels = *kernels;
         let nlev = dims.nlev;
         let fl = dims.field_len();
+        ws.hv_plan.build(&hv, cfg.dt, subcycles, nlev, ops)?;
+        if let KernelPath::Blocked = kernels {
+            let plan = &ws.hv_plan;
+            let nelem = ops.len();
+            // Top-of-model sponge: ordinary Laplacian damping on the top
+            // layers (sign +nu_top lap, i.e. diffusion). The fused element
+            // pass reads the state directly (no staging copy) and the
+            // damping increment rides the DSS scatter.
+            if hv.nu_top > 0.0 && hv.sponge_layers > 0 {
+                let ks = plan.ks;
+                let sl = ks * NPTS;
+                {
+                    let ou = ArenaMut::new(&mut ws.sponge_u);
+                    let ov = ArenaMut::new(&mut ws.sponge_v);
+                    let ot = ArenaMut::new(&mut ws.sponge_t);
+                    let (su, sv, st): (&[f64], &[f64], &[f64]) =
+                        (&state.u, &state.v, &state.t);
+                    sched.run(nelem, &|_w, e| {
+                        let (ou, ov, ot) = unsafe {
+                            (ou.slice(e * sl, sl), ov.slice(e * sl, sl), ot.slice(e * sl, sl))
+                        };
+                        sponge_pass_element_blocked(
+                            &bops[e],
+                            ks,
+                            &su[e * fl..e * fl + sl],
+                            &sv[e * fl..e * fl + sl],
+                            &st[e * fl..e * fl + sl],
+                            ou,
+                            ov,
+                            ot,
+                        );
+                    });
+                }
+                dss.apply_flat_scaled_add(&ws.sponge_u, ks, &plan.sponge, &mut state.u, fl);
+                dss.apply_flat_scaled_add(&ws.sponge_v, ks, &plan.sponge, &mut state.v, fl);
+                dss.apply_flat_scaled_add(&ws.sponge_t, ks, &plan.sponge, &mut state.t, fl);
+            }
+            for _ in 0..subcycles {
+                // First Laplacian of (u, v, T, dp3d): one fused coefficient
+                // walk per element, straight from the state into the hyp
+                // arenas (the per-subcycle state copy is gone).
+                {
+                    let ou = ArenaMut::new(&mut ws.hyp.u);
+                    let ov = ArenaMut::new(&mut ws.hyp.v);
+                    let ot = ArenaMut::new(&mut ws.hyp.t);
+                    let odp = ArenaMut::new(&mut ws.hyp.dp3d);
+                    let (su, sv, st, sdp): (&[f64], &[f64], &[f64], &[f64]) =
+                        (&state.u, &state.v, &state.t, &state.dp3d);
+                    sched.run(nelem, &|_w, e| {
+                        let r = e * fl..(e + 1) * fl;
+                        let (ou, ov, ot, odp) = unsafe {
+                            (
+                                ou.slice(e * fl, fl),
+                                ov.slice(e * fl, fl),
+                                ot.slice(e * fl, fl),
+                                odp.slice(e * fl, fl),
+                            )
+                        };
+                        hypervis_pass_element_blocked(
+                            &bops[e],
+                            nlev,
+                            &su[r.clone()],
+                            &sv[r.clone()],
+                            &st[r.clone()],
+                            &sdp[r],
+                            ou,
+                            ov,
+                            ot,
+                            odp,
+                        );
+                    });
+                }
+                dss.apply_flat4(
+                    [&mut ws.hyp.u, &mut ws.hyp.v, &mut ws.hyp.t, &mut ws.hyp.dp3d],
+                    nlev,
+                );
+                // Second Laplacian in place (del^4 = lap(lap)).
+                {
+                    let au = ArenaMut::new(&mut ws.hyp.u);
+                    let av = ArenaMut::new(&mut ws.hyp.v);
+                    let at = ArenaMut::new(&mut ws.hyp.t);
+                    let adp = ArenaMut::new(&mut ws.hyp.dp3d);
+                    sched.run(nelem, &|_w, e| {
+                        let (u, v, t, dp) = unsafe {
+                            (
+                                au.slice(e * fl, fl),
+                                av.slice(e * fl, fl),
+                                at.slice(e * fl, fl),
+                                adp.slice(e * fl, fl),
+                            )
+                        };
+                        hypervis_pass_levels_blocked(&bops[e], nlev, u, v, t, dp);
+                    });
+                }
+                // Final DSS fused with the forward-Euler apply: the plan's
+                // negated `dt_sub * nu` coefficients turn `x -= c * lap`
+                // into the scatter's `x += (-c) * lap` bitwise-identically,
+                // and all four fields ride one walk of the assembly map.
+                dss.apply_flat_scaled_add4(
+                    [&ws.hyp.u, &ws.hyp.v, &ws.hyp.t, &ws.hyp.dp3d],
+                    nlev,
+                    [&plan.damp_u, &plan.damp_u, &plan.damp_u, &plan.damp_dp],
+                    [&mut state.u, &mut state.v, &mut state.t, &mut state.dp3d],
+                    fl,
+                );
+            }
+            return Ok(());
+        }
         // Top-of-model sponge: ordinary Laplacian damping on the top
         // layers (sign +nu_top lap, i.e. diffusion).
         if hv.nu_top > 0.0 && hv.sponge_layers > 0 {
@@ -287,6 +421,7 @@ impl Dycore {
                 *x -= dt_sub * hv.nu_p * l;
             }
         }
+        Ok(())
     }
 
     /// Advance tracers by one dt with 3-stage SSP-RK2 (`euler_step`).
@@ -406,13 +541,17 @@ impl Dycore {
         match self.step_path {
             StepPath::Bulk => {
                 self.dynamics_step(state);
-                self.apply_hypervis(state);
+                // The unguarded driver has no rollback path; a grid the
+                // hyperviscosity plan rejects is fatal here.
+                self.apply_hypervis(state).expect("hyperviscosity plan rejected");
                 self.euler_step_tracers(state);
             }
             StepPath::TaskGraph => {
                 let subcycles = self.hypervis_subcycles();
+                // Without health guards the only pipeline error left is a
+                // hyperviscosity plan rejection, fatal like the bulk arm.
                 self.taskgraph_pipeline(state, subcycles, None)
-                    .expect("unchecked pipeline cannot fail");
+                    .expect("hyperviscosity plan rejected");
             }
         }
         self.steps_since_remap += 1;
@@ -456,7 +595,10 @@ impl Dycore {
                         return Err(e);
                     }
                     let subcycles = self.hypervis_subcycles() + extra;
-                    self.apply_hypervis_n(state, subcycles);
+                    if let Err(e) = self.apply_hypervis_n(state, subcycles) {
+                        self.cfg.dt = full_dt;
+                        return Err(e);
+                    }
                     self.euler_step_tracers(state);
                     // Post-advection scan covers the tracer arenas, which
                     // the RK stage scans never see.
@@ -567,11 +709,30 @@ impl Dycore {
         let limiter = cfg.limiter;
         let ks = hv.sponge_layers.min(nlev);
         let sl = ks * NPTS;
-        let dt_sub = dt / subcycles as f64;
 
         let StepWorkspace {
-            stage, next, hyp, qdp0, q1, q2, workers, graph, raw0, raw1, rawcap, stages, scans, ..
+            stage,
+            next,
+            hyp,
+            qdp0,
+            q1,
+            q2,
+            workers,
+            graph,
+            raw0,
+            raw1,
+            rawcap,
+            stages,
+            scans,
+            hv_plan,
+            ..
         } = ws;
+        // The pipeline reads the same hoisted plan as the bulk drivers; a
+        // corrupt element aborts before any stage runs.
+        if hyp_on {
+            hv_plan.build(&hv, dt, subcycles, nlev, ops)?;
+        }
+        let hv_plan: &ElemHypervisPlan = hv_plan;
         let rawcap = *rawcap;
         let workers: &crate::sched::PerWorker<WorkerScratch> = workers;
         let scans: &crate::sched::PerWorker<[crate::health::StageScan; 5]> = scans;
@@ -803,11 +964,9 @@ impl Dycore {
                             };
                             match kernels {
                                 KernelPath::Blocked => {
-                                    ru.copy_from_slice(&bu[..sl]);
-                                    rv.copy_from_slice(&bv[..sl]);
-                                    rt.copy_from_slice(&bt[..sl]);
-                                    vlaplace_levels_blocked(&bops[e], ks, ru, rv);
-                                    laplace_levels_blocked(&bops[e], ks, rt);
+                                    sponge_pass_element_blocked(
+                                        &bops[e], ks, &bu[..sl], &bv[..sl], &bt[..sl], ru, rv, rt,
+                                    );
                                 }
                                 KernelPath::Scalar => {
                                     for k in 0..ks {
@@ -838,7 +997,9 @@ impl Dycore {
                                 )
                             };
                             for k in 0..ks {
-                                let damp = 1.0 / (1 << k) as f64;
+                                // Hoisted `dt * nu_top * 2^-k` (bitwise the
+                                // same product the bulk sponge forms).
+                                let cs = hv_plan.sponge[k];
                                 let ko = k * NPTS;
                                 for p in 0..NPTS {
                                     let pi = e * NPTS + p;
@@ -851,9 +1012,9 @@ impl Dycore {
                                     let gt = gather.gather_point(pi, |c| unsafe {
                                         raw.read((c / NPTS) * rawcap + 2 * sl + ko + c % NPTS)
                                     });
-                                    ou[ko + p] += dt * hv.nu_top * damp * gu;
-                                    ov[ko + p] += dt * hv.nu_top * damp * gv;
-                                    ot[ko + p] += dt * hv.nu_top * damp * gt;
+                                    ou[ko + p] += cs * gu;
+                                    ov[ko + p] += cs * gv;
+                                    ot[ko + p] += cs * gt;
                                 }
                             }
                         }
@@ -892,13 +1053,9 @@ impl Dycore {
                             };
                             match kernels {
                                 KernelPath::Blocked => {
-                                    ru.copy_from_slice(iu);
-                                    rv.copy_from_slice(iv);
-                                    rt.copy_from_slice(it);
-                                    rdp.copy_from_slice(idp);
-                                    vlaplace_levels_blocked(&bops[e], nlev, ru, rv);
-                                    laplace_levels_blocked(&bops[e], nlev, rt);
-                                    laplace_levels_blocked(&bops[e], nlev, rdp);
+                                    hypervis_pass_element_blocked(
+                                        &bops[e], nlev, iu, iv, it, idp, ru, rv, rt, rdp,
+                                    );
                                 }
                                 KernelPath::Scalar => {
                                     for k in 0..nlev {
@@ -959,6 +1116,11 @@ impl Dycore {
                                     sdp.slice(e * fl, fl),
                                 )
                             };
+                            // Hoisted `dt_sub * nu` / `dt_sub * nu_p`
+                            // (bitwise the same products the bulk apply
+                            // loops form).
+                            let cu = hv_plan.coef_u;
+                            let cdp = hv_plan.coef_dp;
                             for k in 0..nlev {
                                 let ko = k * NPTS;
                                 for p in 0..NPTS {
@@ -975,10 +1137,10 @@ impl Dycore {
                                     let gdp = gather.gather_point(pi, |c| unsafe {
                                         raw.read((c / NPTS) * rawcap + 3 * fl + ko + c % NPTS)
                                     });
-                                    ou[ko + p] -= dt_sub * hv.nu * gu;
-                                    ov[ko + p] -= dt_sub * hv.nu * gv;
-                                    ot[ko + p] -= dt_sub * hv.nu * gt;
-                                    odp[ko + p] -= dt_sub * hv.nu_p * gdp;
+                                    ou[ko + p] -= cu * gu;
+                                    ov[ko + p] -= cu * gv;
+                                    ot[ko + p] -= cu * gt;
+                                    odp[ko + p] -= cdp * gdp;
                                 }
                             }
                         }
@@ -1397,7 +1559,7 @@ mod tests {
         };
         let n0 = noise(&st);
         for _ in 0..10 {
-            dy.apply_hypervis(&mut st);
+            dy.apply_hypervis(&mut st).expect("plan accepted");
         }
         let n1 = noise(&st);
         assert!(n1 < 0.8 * n0, "noise not damped: {n0} -> {n1}");

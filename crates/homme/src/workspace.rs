@@ -15,6 +15,7 @@
 
 use crate::bndry::ExchangeBuffers;
 use crate::health::StageScan;
+use crate::hypervis::ElemHypervisPlan;
 use crate::remap::{ElemRemapPlan, RemapApplyScratch, RemapScratch};
 use crate::rhs::{ElemTend, RhsScratch};
 use crate::sched::PerWorker;
@@ -147,6 +148,9 @@ pub struct StepWorkspace {
     pub stages: Vec<PipelineStage>,
     /// Per-worker RK stage-scan partials for the checked task-graph step.
     pub scans: PerWorker<[StageScan; 5]>,
+    /// Hyperviscosity step plan (hoisted subcycle/sponge coefficients),
+    /// rebuilt per step without allocating.
+    pub hv_plan: ElemHypervisPlan,
 }
 
 impl StepWorkspace {
@@ -178,6 +182,7 @@ impl StepWorkspace {
             rawcap,
             stages: Vec::with_capacity(64),
             scans: PerWorker::new(nworkers, || [EMPTY_SCAN; 5]),
+            hv_plan: ElemHypervisPlan::new(dims.nlev, sponge_layers),
         }
     }
 }
@@ -220,6 +225,9 @@ pub struct DistWorkspace {
     pub ex: ExchangeBuffers,
     /// Event-loop state of the distributed task-graph step.
     pub graph: DistGraphBufs,
+    /// Hyperviscosity step plan (hoisted subcycle/sponge coefficients),
+    /// rebuilt per step without allocating.
+    pub hv_plan: ElemHypervisPlan,
 }
 
 /// Buffers of the distributed task-graph event loop. The loop is
@@ -326,6 +334,7 @@ impl DistWorkspace {
             scratch: WorkerScratch::new(dims),
             ex: ExchangeBuffers::new(),
             graph: DistGraphBufs::default(),
+            hv_plan: ElemHypervisPlan::new(dims.nlev, sponge_layers),
         }
     }
 }

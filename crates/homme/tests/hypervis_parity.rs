@@ -1,0 +1,269 @@
+//! Driver-level contracts of the per-element hyperviscosity plan
+//! (DESIGN.md §5.7): the fused Blocked path is a bitwise re-expression of
+//! the scalar oracle across level counts and sponge depths, the subcycled
+//! del^4 damping conserves dp3d mass, the stability-derived subcycle
+//! counts are pinned and rank-invariant, and a corrupt element is
+//! rejected by the plan build as a typed error before any state is
+//! touched.
+
+use cubesphere::consts::P0;
+use cubesphere::{CubedSphere, Partition, NPTS};
+use homme::{
+    Dims, DistDycore, Dycore, DycoreConfig, ExchangeMode, HealthConfig, HealthError,
+    HypervisConfig, HypervisError, KernelPath, State,
+};
+use swmpi::run_ranks;
+
+const NE: usize = 2;
+
+/// A full dissipation config: distinct `nu`/`nu_p`, active sponge when
+/// `sponge_layers > 0`, a fixed subcycle floor.
+fn hv_config(sponge_layers: usize) -> DycoreConfig {
+    DycoreConfig {
+        dt: 300.0,
+        hypervis: HypervisConfig {
+            nu: 1.0e15,
+            nu_p: 1.7e15,
+            subcycles: 3,
+            nu_top: 2.5e5,
+            sponge_layers,
+        },
+        limiter: false,
+        rsplit: 1,
+    }
+}
+
+fn initial_state(dy: &Dycore) -> State {
+    let d = dy.dims;
+    let vert = dy.rhs.vert.clone();
+    let elems = dy.grid.elements.clone();
+    let mut st = dy.zero_state();
+    for (es, el) in st.elems_mut().zip(&elems) {
+        for p in 0..NPTS {
+            let lat = el.metric[p].lat;
+            let lon = el.metric[p].lon;
+            let ps = P0 * (1.0 - 0.001 * (2.0 * lat).sin());
+            for k in 0..d.nlev {
+                let i = k * NPTS + p;
+                es.u[i] = 20.0 * lat.cos();
+                es.v[i] = 2.0 * lon.sin();
+                es.t[i] = 300.0 + 2.0 * (3.0 * lon).sin() * lat.cos();
+                es.dp3d[i] = vert.dp_ref(k, ps);
+            }
+        }
+    }
+    st
+}
+
+fn assert_fields_bitwise(a: &State, b: &State, what: &str) {
+    for (name, fa, fb) in
+        [("u", &a.u, &b.u), ("v", &a.v, &b.v), ("t", &a.t, &b.t), ("dp3d", &a.dp3d, &b.dp3d)]
+    {
+        for (i, (x, y)) in fa.iter().zip(fb.iter()).enumerate() {
+            assert!(x.to_bits() == y.to_bits(), "{what}: {name}[{i}] differs: {x:e} vs {y:e}");
+        }
+    }
+}
+
+/// The planned Blocked path against the scalar oracle over the dimension
+/// space the plan specializes on: every level count the fused sweeps must
+/// handle (single level, the two-level edge, a deep 128-level column)
+/// crossed with sponge off and a sponge deeper than the shallow columns
+/// (the `ks = min(sponge_layers, nlev)` clamp). Ten subcycled
+/// applications stay bitwise identical.
+#[test]
+fn planned_hypervis_matches_scalar_across_dims_bitwise() {
+    for &nlev in &[1usize, 2, 3, 26, 128] {
+        for &sponge in &[0usize, 3] {
+            let dims = Dims { nlev, qsize: 0 };
+            let run = |path: KernelPath| {
+                let mut dy = Dycore::new(NE, dims, 2000.0, hv_config(sponge));
+                dy.kernels = path;
+                let mut st = initial_state(&dy);
+                for _ in 0..10 {
+                    dy.apply_hypervis_n(&mut st, 3).expect("plan accepted");
+                }
+                st
+            };
+            let scalar = run(KernelPath::Scalar);
+            let blocked = run(KernelPath::Blocked);
+            assert_fields_bitwise(&scalar, &blocked, &format!("nlev={nlev} sponge={sponge}"));
+        }
+    }
+}
+
+/// The weak-form del^4 damping of dp3d is a pure redistribution: the
+/// DSS-assembled weak Laplacian sums to zero over the closed sphere, so
+/// total `spheremp`-weighted mass survives ten subcycled applications to
+/// round-off on both kernel paths.
+#[test]
+fn subcycled_hypervis_conserves_dp3d_mass() {
+    let dims = Dims { nlev: 8, qsize: 0 };
+    for path in [KernelPath::Scalar, KernelPath::Blocked] {
+        let mut dy = Dycore::new(NE, dims, 2000.0, hv_config(3));
+        dy.kernels = path;
+        let mut st = initial_state(&dy);
+        let mass = |dy: &Dycore, st: &State| -> f64 {
+            let fl = dims.field_len();
+            let mut total = 0.0;
+            for (e, ops) in dy.ops.iter().enumerate() {
+                for k in 0..dims.nlev {
+                    for p in 0..NPTS {
+                        total += ops.spheremp[p] * st.dp3d[e * fl + k * NPTS + p];
+                    }
+                }
+            }
+            total
+        };
+        let m0 = mass(&dy, &st);
+        for _ in 0..10 {
+            dy.apply_hypervis(&mut st).expect("plan accepted");
+        }
+        let m1 = mass(&dy, &st);
+        let rel = ((m1 - m0) / m0).abs();
+        assert!(rel < 1e-12, "{path:?}: dp3d mass drifted by {rel:e} ({m0} -> {m1})");
+    }
+}
+
+/// Shallow-column regression (serial + distributed): a sponge deeper than
+/// the column (`sponge_layers = 3`, `nlev` in {1, 2}) clamps to the
+/// available levels instead of indexing past them, actually damps, and
+/// the distributed driver tracks the serial one.
+#[test]
+fn shallow_level_sponge_clamps_serial_and_distributed() {
+    let ne = 3;
+    for &nlev in &[1usize, 2] {
+        let dims = Dims { nlev, qsize: 0 };
+        let cfg = hv_config(3);
+        let mut serial = Dycore::new(ne, dims, 2000.0, cfg);
+        let mut st = initial_state(&serial);
+        let initial = st.clone();
+        serial.apply_hypervis_n(&mut st, 3).expect("plan accepted");
+        assert!(st.t.iter().all(|x| x.is_finite()), "nlev={nlev}: non-finite after sponge");
+        assert!(
+            st.t.iter().zip(&initial.t).any(|(a, b)| a != b),
+            "nlev={nlev}: hyperviscosity was a no-op"
+        );
+
+        let grid = CubedSphere::new(ne);
+        let part = Partition::new(&grid, 4);
+        let results = run_ranks(4, |ctx| {
+            let mut dist =
+                DistDycore::new(&grid, &part, ctx.rank(), dims, 2000.0, cfg, ExchangeMode::Redesigned);
+            let mut local = dist.local_state(&initial);
+            dist.apply_hypervis_n(ctx, &mut local, 3).expect("plan accepted");
+            assert_eq!(ctx.comm.unmatched(), 0, "orphaned messages on rank {}", ctx.rank());
+            (dist.plan.owned.clone(), local)
+        });
+        for (owned, local) in results {
+            for (li, &e) in owned.iter().enumerate() {
+                let es = local.elem(li);
+                let rs = st.elem(e);
+                for i in 0..dims.field_len() {
+                    assert!(
+                        (es.u[i] - rs.u[i]).abs() < 1e-9
+                            && (es.v[i] - rs.v[i]).abs() < 1e-9
+                            && (es.t[i] - rs.t[i]).abs() < 1e-9
+                            && (es.dp3d[i] - rs.dp3d[i]).abs() < 1e-9,
+                        "nlev={nlev} elem {e}[{i}] diverged from serial"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Stability-derived subcycle counts, pinned at the paper's resolutions.
+/// Both drivers evaluate `HypervisConfig::stable_subcycles` on global
+/// element 0, so the counts are resolution functions only — the pins
+/// catch any drift in the CFL formula or the `MIN_GLL_GAP_METERS` floor.
+#[test]
+fn stable_subcycle_counts_pinned_across_resolutions() {
+    // `for_ne` couples nu ~ ne^-3.2 and dt ~ ne^-1 against a GLL gap
+    // ~ ne^-1, so the count shrinks slowly with refinement.
+    for &(ne, want) in &[(4usize, 41usize), (8, 36), (30, 28), (120, 21)] {
+        let cfg = DycoreConfig::for_ne(ne);
+        let grid = CubedSphere::new(ne);
+        let el = &grid.elements[0];
+        let got = cfg.hypervis.stable_subcycles(el.dab, el.metric[0].metdet, cfg.dt);
+        assert_eq!(got, want, "ne{ne} subcycle count drifted");
+    }
+}
+
+/// Serial and distributed drivers agree on the subcycle count on every
+/// rank of every partition — the count is part of the exchange schedule,
+/// so a disagreement would deadlock the fused hyperviscosity exchanges.
+#[test]
+fn subcycle_count_agrees_between_serial_and_distributed() {
+    for &ne in &[4usize, 8] {
+        let dims = Dims { nlev: 3, qsize: 0 };
+        let cfg = DycoreConfig::for_ne(ne);
+        let serial = Dycore::new(ne, dims, 2000.0, cfg);
+        let want = serial.hypervis_subcycles();
+        let grid = CubedSphere::new(ne);
+        for nranks in [2usize, 5] {
+            let part = Partition::new(&grid, nranks);
+            let counts = run_ranks(nranks, |ctx| {
+                let dist = DistDycore::new(
+                    &grid,
+                    &part,
+                    ctx.rank(),
+                    dims,
+                    2000.0,
+                    cfg,
+                    ExchangeMode::Redesigned,
+                );
+                dist.hypervis_subcycles()
+            });
+            for (rank, got) in counts.into_iter().enumerate() {
+                assert_eq!(got, want, "ne{ne} rank {rank}/{nranks} disagrees with serial");
+            }
+        }
+    }
+}
+
+/// A corrupt element is rejected by the plan build as a typed
+/// [`HypervisError::BadGeometry`] naming the element and GLL point —
+/// before any sweep runs, so the state is bitwise untouched and the
+/// caller can retry from it after repairing the geometry.
+#[test]
+fn corrupt_geometry_rejected_before_any_state_mutation() {
+    let dims = Dims { nlev: 4, qsize: 0 };
+    let mut dy = Dycore::new(NE, dims, 2000.0, hv_config(3));
+    let mut st = initial_state(&dy);
+    dy.ops[5].spheremp[7] = f64::NAN;
+    let before = st.clone();
+    let err = dy.apply_hypervis(&mut st).unwrap_err();
+    assert!(
+        matches!(err, HealthError::Hypervis(HypervisError::BadGeometry { elem: 5, point: 7 })),
+        "got {err:?}"
+    );
+    assert_fields_bitwise(&before, &st, "state after rejected plan");
+}
+
+/// The same rejection routes through the guarded step driver as a typed
+/// [`HealthError::Hypervis`], the rollback signal `step_checked` callers
+/// act on (restore from checkpoint, repair, retry).
+#[test]
+fn guarded_step_surfaces_hypervis_rejection_as_typed_error() {
+    let dims = Dims { nlev: 4, qsize: 0 };
+    let mut dy = Dycore::new(NE, dims, 2000.0, hv_config(3));
+    dy.health = HealthConfig::on();
+    let mut st = initial_state(&dy);
+    dy.ops[2].spheremp[0] = -1.0;
+    let err = dy.step_checked(&mut st).unwrap_err();
+    assert!(matches!(err, HealthError::Hypervis(HypervisError::BadGeometry { elem: 2, .. })), "got {err:?}");
+}
+
+/// A non-finite timestep (e.g. inherited from a corrupted restart) is
+/// caught as [`HypervisError::NonFiniteCoef`] instead of silently
+/// poisoning every field through the damping coefficients.
+#[test]
+fn non_finite_dt_rejected_as_typed_coef_error() {
+    let dims = Dims { nlev: 4, qsize: 0 };
+    let mut dy = Dycore::new(NE, dims, 2000.0, hv_config(0));
+    let mut st = initial_state(&dy);
+    dy.cfg.dt = f64::NAN;
+    let err = dy.apply_hypervis(&mut st).unwrap_err();
+    assert!(matches!(err, HealthError::Hypervis(HypervisError::NonFiniteCoef { .. })), "got {err:?}");
+}

@@ -4,8 +4,9 @@
 # Section 1 reads BENCH_kernels.json from the most recent full `kernels`
 # bench run (BENCH_*.json is gitignored, so the artifact is always locally
 # produced) and fails if any blocked kernel lost to its scalar oracle
-# (speedup < 1.0) or the planned vertical remap slipped under its 1.5x
-# acceptance bar. Smoke runs never write the artifact (and a hand-kept
+# (speedup < 1.0), the planned vertical remap slipped under its 1.5x
+# acceptance bar, or the planned hyperviscosity full pass slipped under
+# its own 1.5x bar. Smoke runs never write the artifact (and a hand-kept
 # "smoke": true one only gets structural checks), so on a fresh checkout —
 # CI included — there is nothing to judge and the section skips; the
 # timing floors bind on every development-host tier-1 run, where the full
@@ -19,9 +20,10 @@ cd "$(dirname "$0")/.."
 
 ARTIFACT="${1:-BENCH_kernels.json}"
 REMAP_TARGET=1.5
+HYPERVIS_TARGET=1.5
 
 if [[ -f "$ARTIFACT" ]]; then
-    awk -F'"' -v target="$REMAP_TARGET" '
+    awk -F'"' -v target="$REMAP_TARGET" -v hv_target="$HYPERVIS_TARGET" '
       /"smoke": true/ { smoke = 1 }
       /\{"name":/ {
         name = $4
@@ -39,6 +41,12 @@ if [[ -f "$ARTIFACT" ]]; then
         if (!("vertical_remap_planned" in speedup)) {
           print "bench guard: vertical_remap_planned row missing"; exit 1
         }
+        if (!("biharmonic_planned" in speedup)) {
+          print "bench guard: biharmonic_planned row missing"; exit 1
+        }
+        if (!("hypervis_fullpass" in speedup)) {
+          print "bench guard: hypervis_fullpass row missing"; exit 1
+        }
         if (smoke) { printf "bench guard: smoke artifact, %d rows, skipping speedup floors\n", nrows; exit 0 }
         bad = 0
         for (name in speedup) {
@@ -51,7 +59,11 @@ if [[ -f "$ARTIFACT" ]]; then
           printf "bench guard: vertical_remap speedup %.3f < %.1f target\n", speedup["vertical_remap"], target
           bad = 1
         }
-        if (!bad) printf "bench guard: OK (%d kernels >= 1.0x, vertical_remap %.3fx >= %.1fx)\n", nrows, speedup["vertical_remap"], target
+        if (speedup["hypervis_fullpass"] < hv_target) {
+          printf "bench guard: hypervis_fullpass speedup %.3f < %.1f target\n", speedup["hypervis_fullpass"], hv_target
+          bad = 1
+        }
+        if (!bad) printf "bench guard: OK (%d kernels >= 1.0x, vertical_remap %.3fx >= %.1fx, hypervis_fullpass %.3fx >= %.1fx)\n", nrows, speedup["vertical_remap"], target, speedup["hypervis_fullpass"], hv_target
         exit bad
       }
     ' "$ARTIFACT"

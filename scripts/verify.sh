@@ -53,6 +53,15 @@ cargo test -q -p homme --lib kernels
 cargo test -q -p homme --test blocked_parity
 cargo test -q -p swcam-bench --test distributed_step
 
+# Hypervis group: the per-element hyperviscosity plan (DESIGN.md §5.7) —
+# plan build/validation units, the fused-sweep bitwise parity across
+# level/sponge shapes, mass conservation, shallow-column sponge clamps
+# (serial + distributed), pinned rank-invariant subcycle counts, and the
+# typed-rejection rollback routing.
+echo "== hypervis test group"
+cargo test -q -p homme --lib hypervis
+cargo test -q -p homme --test hypervis_parity
+
 # Every table/figure/bench binary must keep building against the current
 # APIs, and the kernels bench must run end-to-end (its in-bench asserts pin
 # blocked==scalar bitwise before any timing). --smoke does one untimed
