@@ -11,6 +11,10 @@
 //! * staged bytes — pack/unpack staging copies, zero after the redesign;
 //! * wall time per step.
 //!
+//! A third row runs the redesigned schedule over the loopback **TCP
+//! backend** (every message framed, CRC'd and crossing a real socket) to
+//! price the byte-oriented wire against the pooled in-process mailbox.
+//!
 //! Emits `BENCH_exchange.json`. Run with
 //! `cargo run --release -p swcam-bench --bin exchange`.
 
@@ -20,7 +24,7 @@ use cubesphere::consts::P0;
 use cubesphere::{CubedSphere, Partition, NPTS};
 use homme::hypervis::HypervisConfig;
 use homme::{Dims, DistDycore, Dycore, DycoreConfig, ExchangeMode, State};
-use swmpi::run_ranks;
+use swmpi::{run_ranks, run_ranks_tcp, WorldOptions};
 
 const NE: usize = 8;
 const NLEV: usize = 26;
@@ -70,10 +74,27 @@ struct ModeResult {
     ms_per_step: f64,
 }
 
+/// Which transport carries the exchange's messages.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    Mailbox,
+    Tcp,
+}
+
 fn run_mode(grid: &CubedSphere, part: &Partition, init: &State, mode: ExchangeMode) -> ModeResult {
+    run_mode_on(grid, part, init, mode, Backend::Mailbox)
+}
+
+fn run_mode_on(
+    grid: &CubedSphere,
+    part: &Partition,
+    init: &State,
+    mode: ExchangeMode,
+    backend: Backend,
+) -> ModeResult {
     let dims = Dims { nlev: NLEV, qsize: QSIZE };
     let cfg = config();
-    let results = run_ranks(NRANKS, |ctx| {
+    let body = |ctx: &mut swmpi::RankCtx| {
         let mut dist = DistDycore::new(grid, part, ctx.rank(), dims, 200.0, cfg, mode);
         let mut local = dist.local_state(init);
         // Warm-up grows workspace and communicator buffer pools.
@@ -93,7 +114,11 @@ fn run_mode(grid: &CubedSphere, part: &Partition, init: &State, mode: ExchangeMo
             dist.stats.staged_bytes - base.staged_bytes,
             elapsed,
         )
-    });
+    };
+    let results = match backend {
+        Backend::Mailbox => run_ranks(NRANKS, body),
+        Backend::Tcp => run_ranks_tcp(NRANKS, WorldOptions::default(), body),
+    };
     let steps = MEASURE_STEPS as f64;
     let mut msgs = 0u64;
     let mut payload = 0u64;
@@ -135,8 +160,16 @@ fn main() {
         redesigned.ms_per_step
     );
 
+    let tcp = run_mode_on(&grid, &part, &init, ExchangeMode::Redesigned, Backend::Tcp);
+    println!(
+        "  tcp (redesigned): {:8.0} msgs/step, {:11.0} payload B/step, {:11.0} staged B/step, {:8.2} ms/step",
+        tcp.msgs_per_step, tcp.payload_bytes_per_step, tcp.staged_bytes_per_step, tcp.ms_per_step
+    );
+
     let msg_reduction = orig.msgs_per_step / redesigned.msgs_per_step;
+    let tcp_overhead = tcp.ms_per_step / redesigned.ms_per_step;
     println!("  message reduction: {msg_reduction:.1}x; redesigned staging: {} B", redesigned.staged_bytes_per_step);
+    println!("  tcp wire overhead: {tcp_overhead:.2}x vs in-process mailbox");
     assert_eq!(redesigned.staged_bytes_per_step, 0.0, "redesign must not stage");
 
     let json = format!(
@@ -146,7 +179,9 @@ fn main() {
          \"staged_bytes_per_step\": {:.0},\n    \"ms_per_step\": {:.3}\n  }},\n  \
          \"redesigned\": {{\n    \"msgs_per_step\": {:.1},\n    \"payload_bytes_per_step\": {:.0},\n    \
          \"staged_bytes_per_step\": {:.0},\n    \"ms_per_step\": {:.3}\n  }},\n  \
-         \"message_reduction\": {msg_reduction:.2}\n}}\n",
+         \"redesigned_tcp\": {{\n    \"msgs_per_step\": {:.1},\n    \"payload_bytes_per_step\": {:.0},\n    \
+         \"staged_bytes_per_step\": {:.0},\n    \"ms_per_step\": {:.3}\n  }},\n  \
+         \"message_reduction\": {msg_reduction:.2},\n  \"tcp_overhead\": {tcp_overhead:.2}\n}}\n",
         orig.msgs_per_step,
         orig.payload_bytes_per_step,
         orig.staged_bytes_per_step,
@@ -155,6 +190,10 @@ fn main() {
         redesigned.payload_bytes_per_step,
         redesigned.staged_bytes_per_step,
         redesigned.ms_per_step,
+        tcp.msgs_per_step,
+        tcp.payload_bytes_per_step,
+        tcp.staged_bytes_per_step,
+        tcp.ms_per_step,
     );
     std::fs::write("BENCH_exchange.json", &json).expect("write BENCH_exchange.json");
     println!("wrote BENCH_exchange.json");

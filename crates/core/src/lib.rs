@@ -40,7 +40,8 @@ pub use coupling::{apply_physics, extract_column, insert_column};
 pub use history::{surface_temperature_raster, History};
 pub use model::Swcam;
 pub use resilient::{
-    run_resilient, run_resilient_with, ResilienceConfig, ResilienceExhausted, ResilientReport,
+    run_resilient, run_resilient_elastic, run_resilient_with, ResilienceConfig,
+    ResilienceExhausted, ResilientReport,
 };
 
 // Re-export the substrate crates so downstream users need only one import.

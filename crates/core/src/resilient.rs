@@ -27,6 +27,9 @@
 //! duplicates, delays, a crashed rank) commits the **same bits** as an
 //! undisturbed run — the property the `fault_injection` tests pin down.
 
+use std::path::Path;
+use std::sync::Arc;
+
 use crate::checkpoint::{self, CheckpointMeta};
 use homme::{DistDycore, State, StepHealth};
 use swmpi::{RankCtx, ReduceOp};
@@ -220,6 +223,168 @@ pub fn run_resilient_with(
         }
         if step.is_multiple_of(cfg.checkpoint_interval) {
             take_snapshot(dist, state, step, &mut snapshot);
+        }
+    }
+    report.final_epoch = dist.epoch();
+    Ok(report)
+}
+
+fn verdict_elastic(ctx: &RankCtx, failed: bool, local: &StepHealth) -> (bool, StepHealth) {
+    let contrib = [
+        failed as u64 as f64,
+        local.checked as u64 as f64,
+        local.nonfinite as f64,
+        -local.min_dp3d,
+        local.max_wind,
+        local.cfl,
+        local.degraded as u64 as f64,
+    ];
+    let mut out = [0.0; VERDICT_LEN];
+    // A hub failure is unrecoverable for a child process: panic and let
+    // the supervisor account for this rank.
+    let absent = ctx
+        .coll
+        .allreduce_checked(&contrib, ReduceOp::Max, &mut out)
+        .expect("hub verdict reduction");
+    let global = StepHealth {
+        checked: out[1] > 0.0,
+        nonfinite: out[2] as u64,
+        min_dp3d: -out[3],
+        max_wind: out[4],
+        cfl: out[5],
+        degraded: out[6] > 0.0,
+    };
+    // An absent rank means the round completed without a dead peer's
+    // contribution — the step cannot commit, exactly like a local failure.
+    (out[0] > 0.0 || absent > 0, global)
+}
+
+fn write_elastic_checkpoint(path: &Path, dist: &DistDycore, state: &State, step: u64, rank: u32) {
+    let meta = CheckpointMeta {
+        step,
+        remap_phase: dist.remap_phase() as u32,
+        rank,
+        epoch: dist.epoch(),
+        time: step as f64 * dist.cfg.dt,
+    };
+    checkpoint::write_file(path, state, &meta)
+        .unwrap_or_else(|e| panic!("rank {rank}: checkpoint write failed: {e:?}"));
+}
+
+/// [`run_resilient`] for the **elastic multi-process world**
+/// ([`swmpi::process_world`]): ranks are real child processes, checkpoints
+/// live in `SWCKPT01` *files* (they must outlive the process), and rank
+/// death is survivable — not just message faults.
+///
+/// Differences from the in-process protocol:
+///
+/// * **Checkpoints are files** under the supervisor's checkpoint directory
+///   ([`swmpi::ElasticLink::checkpoint_path`]), written atomically
+///   (tmp + rename) at the same committed steps on every rank, so any
+///   incarnation of any rank restores a mutually consistent cut.
+/// * **The verdict tolerates the dead**: the hub completes the reduction
+///   among live admitted ranks and reports how many were absent
+///   ([`swmpi::Collectives::allreduce_checked`]); `absent > 0` fails the
+///   step like any local failure, so survivors roll back instead of
+///   deadlocking on a rank that no longer exists.
+/// * **The rollback barrier is the re-admission round**: instead of a
+///   plain barrier + local epoch bump, every rank enters
+///   [`swmpi::ElasticLink::readmit`], which completes only when ALL `n`
+///   ranks are present — including a freshly respawned one — and returns
+///   the world-agreed epoch to tag-purge against. The respawned rank
+///   enters the same round from its bootstrap path, restores its own
+///   checkpoint file, and replays alongside the survivors.
+///
+/// Because survivors and the respawned rank restore the same committed
+/// cut and replay under one agreed epoch, a run that loses a whole
+/// process to SIGKILL commits the same bits as an undisturbed run.
+///
+/// Per-rank [`ResilientReport`]s are **not** identical across ranks in a
+/// killed run (a respawned rank never saw the rollbacks before its
+/// death), so callers should compare state, not reports.
+pub fn run_resilient_elastic(
+    ctx: &mut RankCtx,
+    dist: &mut DistDycore,
+    state: &mut State,
+    nsteps: u64,
+    cfg: &ResilienceConfig,
+) -> Result<ResilientReport, ResilienceExhausted> {
+    assert!(cfg.checkpoint_interval > 0, "checkpoint interval must be positive");
+    let link = Arc::clone(
+        ctx.elastic()
+            .expect("run_resilient_elastic requires a process_world rank (elastic link)"),
+    );
+    let path = link.checkpoint_path();
+    let rank = ctx.rank() as u32;
+    let mut report = ResilientReport::default();
+    let mut step = 0u64;
+    if link.is_respawned() {
+        // This process replaces a dead incarnation: rejoin the world at
+        // the agreed epoch, then resume from the checkpoint the previous
+        // incarnation committed.
+        let world_epoch = link.readmit().expect("respawn re-admission");
+        dist.set_epoch(world_epoch);
+        ctx.comm.purge_below(dist.tag_floor());
+        let meta = checkpoint::read_file(&path, state)
+            .unwrap_or_else(|e| panic!("rank {rank}: respawn restore failed: {e:?}"));
+        dist.set_remap_phase(meta.remap_phase as usize);
+        step = meta.step;
+    } else {
+        write_elastic_checkpoint(&path, dist, state, 0, rank);
+    }
+
+    let mut consecutive_rollbacks = 0u32;
+    while step < nsteps {
+        // In a first-incarnation child a scheduled kill_process fires
+        // here and never returns (SIGKILL).
+        let crashed = ctx.begin_step(step);
+        let mut failed = crashed;
+        let mut local = StepHealth::unchecked();
+        if !crashed {
+            match dist.step_checked(ctx, state) {
+                Ok(h) => local = h,
+                Err(_) => failed = true,
+            }
+        }
+        let (any_failed, global) = verdict_elastic(ctx, failed, &local);
+        if any_failed {
+            consecutive_rollbacks += 1;
+            report.rollbacks += 1;
+            if consecutive_rollbacks > cfg.max_rollbacks_per_step {
+                return Err(ResilienceExhausted {
+                    rank: rank as usize,
+                    step,
+                    rollbacks: consecutive_rollbacks,
+                });
+            }
+            ctx.comm.flush_delayed();
+            // The admit round doubles as the rollback barrier AND the
+            // respawn rendezvous: it completes only when all n ranks are
+            // in, so a killed rank's replacement is already meshed and
+            // admitted when this returns.
+            let world_epoch = link.readmit().expect("rollback re-admission");
+            dist.set_epoch(world_epoch);
+            ctx.comm.purge_below(dist.tag_floor());
+            let meta = checkpoint::read_file(&path, state)
+                .unwrap_or_else(|e| panic!("rank {rank}: rollback restore failed: {e:?}"));
+            dist.set_remap_phase(meta.remap_phase as usize);
+            step = meta.step;
+            continue;
+        }
+        consecutive_rollbacks = 0;
+        step += 1;
+        report.steps += 1;
+        if global.degraded {
+            report.degraded_steps += 1;
+        }
+        if global.cfl > report.worst_cfl {
+            report.worst_cfl = global.cfl;
+        }
+        if global.checked && global.cfl > dist.health.cfl_limit {
+            dist.arm_degradation();
+        }
+        if step.is_multiple_of(cfg.checkpoint_interval) {
+            write_elastic_checkpoint(&path, dist, state, step, rank);
         }
     }
     report.final_epoch = dist.epoch();

@@ -1,12 +1,24 @@
-//! Collective operations over an in-process rank world.
+//! Collective operations over a rank world.
 //!
-//! Barrier and allreduce are implemented with a shared generation-counted
-//! rendezvous (the in-process analog of the TaihuLight's hardware-assisted
-//! collectives). Every rank holds an [`Collectives`] handle cloned from the
-//! same world.
+//! Two backends share one [`Collectives`] handle type:
+//!
+//! * **Shared-memory rendezvous** (the default, [`Collectives::new`]):
+//!   barrier and allreduce via a generation-counted rendezvous — the
+//!   in-process analog of the TaihuLight's hardware-assisted collectives.
+//!   Allocation-free at steady state (the health-verdict reduction runs
+//!   inside the zero-allocation step gates).
+//! * **Reduce link** ([`Collectives::over_link`]): each call is one
+//!   round-trip through an external reduction fabric implementing
+//!   [`ReduceLink`] — in the multi-process world this is a star topology
+//!   through the supervisor hub ([`crate::process`]), which also knows
+//!   which ranks are currently *absent* (dead, awaiting respawn) and
+//!   reports their count so resilient drivers can treat an incomplete
+//!   reduction as a failed step instead of deadlocking on a dead peer.
 
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
+
+use crate::comm::CommError;
 
 /// Reduction operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,7 +29,7 @@ pub enum ReduceOp {
 }
 
 impl ReduceOp {
-    fn identity(self) -> f64 {
+    pub(crate) fn identity(self) -> f64 {
         match self {
             ReduceOp::Sum => 0.0,
             ReduceOp::Max => f64::NEG_INFINITY,
@@ -25,13 +37,43 @@ impl ReduceOp {
         }
     }
 
-    fn combine(self, a: f64, b: f64) -> f64 {
+    pub(crate) fn combine(self, a: f64, b: f64) -> f64 {
         match self {
             ReduceOp::Sum => a + b,
             ReduceOp::Max => a.max(b),
             ReduceOp::Min => a.min(b),
         }
     }
+
+    /// Stable wire encoding for link-backed reductions.
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            ReduceOp::Sum => 0,
+            ReduceOp::Max => 1,
+            ReduceOp::Min => 2,
+        }
+    }
+
+    pub(crate) fn from_code(code: u8) -> Option<ReduceOp> {
+        match code {
+            0 => Some(ReduceOp::Sum),
+            1 => Some(ReduceOp::Max),
+            2 => Some(ReduceOp::Min),
+            _ => None,
+        }
+    }
+}
+
+/// An external reduction fabric: one call performs one world-wide
+/// reduction round and reports how many ranks were *absent* from it
+/// (dead or not yet re-admitted). The multi-process backend implements
+/// this as a star through the supervisor hub.
+pub trait ReduceLink: Send + Sync {
+    /// Contribute `contrib` to the current reduction round, block for the
+    /// combined result, and return the number of absent ranks. `out` must
+    /// be the same length as `contrib` (a zero-length reduction is a
+    /// barrier).
+    fn reduce(&self, op: ReduceOp, contrib: &[f64], out: &mut [f64]) -> Result<u32, CommError>;
 }
 
 struct Shared {
@@ -46,20 +88,27 @@ struct State {
     result: Vec<f64>,
 }
 
-/// Handle to the world's collective machinery; clone one per rank.
+#[derive(Clone)]
+enum Backend {
+    Shared(Arc<Shared>),
+    Link(Arc<dyn ReduceLink>),
+}
+
+/// Handle to the world's collective machinery; clone one per rank
+/// (shared-memory backend) or build one per process over a reduce link.
 #[derive(Clone)]
 pub struct Collectives {
     size: usize,
-    shared: Arc<Shared>,
+    backend: Backend,
 }
 
 impl Collectives {
-    /// Machinery for an `n`-rank world.
+    /// Shared-memory machinery for an `n`-rank world.
     pub fn new(n: usize) -> Self {
         assert!(n > 0);
         Collectives {
             size: n,
-            shared: Arc::new(Shared {
+            backend: Backend::Shared(Arc::new(Shared {
                 state: Mutex::new(State {
                     arrived: 0,
                     generation: 0,
@@ -67,8 +116,15 @@ impl Collectives {
                     result: Vec::new(),
                 }),
                 cv: Condvar::new(),
-            }),
+            })),
         }
+    }
+
+    /// Machinery for an `n`-rank world whose reductions travel through an
+    /// external [`ReduceLink`] (the multi-process supervisor hub).
+    pub fn over_link(n: usize, link: Arc<dyn ReduceLink>) -> Self {
+        assert!(n > 0);
+        Collectives { size: n, backend: Backend::Link(link) }
     }
 
     /// Block until all ranks have entered. Allocation-free.
@@ -84,13 +140,48 @@ impl Collectives {
     }
 
     /// Element-wise allreduce writing the result into a caller-provided
-    /// buffer. The shared accumulator is reused across generations, so
-    /// steady-state reductions allocate nothing — this is the path the
-    /// per-step health-verdict reduction takes inside the zero-allocation
-    /// gates.
+    /// buffer. On the shared-memory backend the accumulator is reused
+    /// across generations, so steady-state reductions allocate nothing —
+    /// this is the path the per-step health-verdict reduction takes inside
+    /// the zero-allocation gates.
+    ///
+    /// # Panics
+    /// On a link backend, panics if the link fails or any rank was absent
+    /// — callers that can *recover* from either use
+    /// [`Collectives::allreduce_checked`] instead.
     pub fn allreduce_into(&self, contrib: &[f64], op: ReduceOp, out: &mut [f64]) {
+        match self.allreduce_checked(contrib, op, out) {
+            Ok(0) => {}
+            Ok(absent) => panic!("allreduce incomplete: {absent} ranks absent"),
+            Err(e) => panic!("allreduce failed: {e}"),
+        }
+    }
+
+    /// Element-wise allreduce that reports, instead of panicking on,
+    /// link failures and absent ranks. On the shared-memory backend this
+    /// always returns `Ok(0)` — every rank is a live thread by
+    /// construction. Resilient drivers in the multi-process world treat
+    /// `Ok(absent > 0)` as a failed step verdict: the round completed
+    /// among the survivors, but a dead rank's contribution is missing, so
+    /// the step must be rolled back and retried once the rank is
+    /// respawned and re-admitted.
+    pub fn allreduce_checked(
+        &self,
+        contrib: &[f64],
+        op: ReduceOp,
+        out: &mut [f64],
+    ) -> Result<u32, CommError> {
         assert_eq!(contrib.len(), out.len(), "allreduce output length mismatch");
-        let shared = &*self.shared;
+        match &self.backend {
+            Backend::Shared(shared) => {
+                self.rendezvous(shared, contrib, op, out);
+                Ok(0)
+            }
+            Backend::Link(link) => link.reduce(op, contrib, out),
+        }
+    }
+
+    fn rendezvous(&self, shared: &Shared, contrib: &[f64], op: ReduceOp, out: &mut [f64]) {
         let mut st = shared.state.lock();
         let my_gen = st.generation;
         if st.arrived == 0 {
@@ -203,5 +294,49 @@ mod tests {
         assert_eq!(coll.allreduce_scalar(5.0, ReduceOp::Sum), 5.0);
         coll.barrier();
         assert_eq!(coll.size(), 1);
+    }
+
+    #[test]
+    fn shared_backend_checked_reports_no_absentees() {
+        let coll = Collectives::new(1);
+        let mut out = [0.0];
+        assert_eq!(coll.allreduce_checked(&[3.0], ReduceOp::Sum, &mut out), Ok(0));
+        assert_eq!(out, [3.0]);
+    }
+
+    #[test]
+    fn link_backend_routes_and_reports_absentees() {
+        struct FakeHub {
+            absent: u32,
+        }
+        impl ReduceLink for FakeHub {
+            fn reduce(
+                &self,
+                op: ReduceOp,
+                contrib: &[f64],
+                out: &mut [f64],
+            ) -> Result<u32, CommError> {
+                // A 1-member "world": combine with the identity.
+                for (o, &c) in out.iter_mut().zip(contrib) {
+                    *o = op.combine(op.identity(), c);
+                }
+                Ok(self.absent)
+            }
+        }
+        let coll = Collectives::over_link(4, Arc::new(FakeHub { absent: 0 }));
+        assert_eq!(coll.allreduce_scalar(2.5, ReduceOp::Max), 2.5);
+        assert_eq!(coll.size(), 4);
+
+        let coll = Collectives::over_link(4, Arc::new(FakeHub { absent: 1 }));
+        let mut out = [0.0];
+        assert_eq!(coll.allreduce_checked(&[1.0], ReduceOp::Sum, &mut out), Ok(1));
+    }
+
+    #[test]
+    fn op_wire_codes_roundtrip() {
+        for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min] {
+            assert_eq!(ReduceOp::from_code(op.code()), Some(op));
+        }
+        assert_eq!(ReduceOp::from_code(9), None);
     }
 }

@@ -1,32 +1,40 @@
-//! Point-to-point communication between in-process ranks.
+//! Point-to-point communication between ranks.
 //!
-//! The reproduction runs "MPI processes" as threads inside one OS process:
-//! each rank owns a [`Comm`] handle with a mailbox. Sends are buffered
-//! (eager) and never block; receives match on `(source, tag)` and may be
-//! posted as nonblocking requests — which is the property the paper's
-//! redesigned `bndry_exchangev` relies on ("start the asynchronous MPI
-//! communication on the MPE with an MPI wait in the end", Section 7.6).
+//! Each rank owns a [`Comm`] handle. Sends are buffered (eager) and never
+//! block; receives match on `(source, tag)` and may be posted as
+//! nonblocking requests — which is the property the paper's redesigned
+//! `bndry_exchangev` relies on ("start the asynchronous MPI communication
+//! on the MPE with an MPI wait in the end", Section 7.6).
 //!
-//! The mailbox is a plain `Mutex<VecDeque>` + `Condvar` rather than a
-//! channel so that the steady-state hot path allocates nothing: payload
-//! buffers are pooled per rank ([`Comm::take_buffer`] /
-//! [`Comm::send_owned`] / [`Comm::recycle`]) and travel by move, and the
-//! queue storage is reserved up front. Symmetric exchange patterns (every
-//! halo exchange in this codebase) keep the pools balanced: each rank
-//! recycles exactly as many buffers as it hands out.
+//! `Comm` is transport-agnostic: all protocol state (matching, pooled
+//! payload buffers, sequence watermarks, the fault layer, retry/backoff)
+//! lives here, and raw delivery goes through the [`Transport`] seam
+//! ([`crate::transport`]). The default backend is the in-process pooled
+//! mailbox (ranks are threads; a send is a queue push and payloads travel
+//! by move, so the steady-state hot path allocates nothing); the
+//! [`crate::tcp`] backend speaks length-prefixed CRC-framed messages over
+//! one `TcpStream` per peer pair and is what the multi-process world
+//! ([`crate::process`]) runs on.
 //!
 //! # Failure semantics
 //!
 //! Receives are fallible: [`Comm::wait`] and [`Comm::recv`] return
 //! `Result<Message, CommError>` and time out after the configurable
-//! [`CommConfig::recv_timeout`] instead of killing the process. When a
-//! [`FaultPlan`] is armed on the world the communicator additionally runs
-//! in *reliable* mode:
+//! [`CommConfig::recv_timeout`] instead of killing the process. A receive
+//! whose source rank is known dead fails fast with
+//! [`CommError::ConnectionLost`] (TCP: the peer's socket closed) or
+//! [`CommError::RankFailed`] (thread world: the peer's thread panicked —
+//! the runner flags the world and wakes every blocked waiter).
+//!
+//! When a [`FaultPlan`] is armed on the world the communicator
+//! additionally runs in *reliable* mode:
 //!
 //! * messages the plan "drops" are diverted to a world-shared retransmit
-//!   log; the receiver's wait loop polls that log every
-//!   [`CommConfig::retry_interval`] (bounded by
-//!   [`CommConfig::max_retries`]) and recovers the exact payload — the
+//!   log; the receiver's wait loop polls that log on every retry —
+//!   retries pace themselves with exponential backoff plus deterministic
+//!   jitter from [`CommConfig::retry_interval`] up to
+//!   [`CommConfig::retry_max_interval`], bounded by
+//!   [`CommConfig::max_retries`] — and recovers the exact payload: the
 //!   in-process model of a sender-side retransmission protocol;
 //! * every consumed message advances a per-source sequence watermark
 //!   (exchange tags are strictly increasing per sender), and any message
@@ -38,14 +46,19 @@
 //!
 //! Reliable mode requires tags to be unique and non-decreasing per sender
 //! — the distributed dycore's monotone exchange counter satisfies this.
-//! Without an armed plan, none of this machinery is consulted: the hot
-//! path costs one `Option` check.
+//! The TCP backend always runs in reliable mode (process death and
+//! reconnection make stale in-flight messages a real possibility), but
+//! does not support the message-perturbation faults (drop/duplicate/
+//! delay): those model an unreliable wire, and TCP *is* the reliable
+//! wire. Without an armed plan on the mailbox backend, none of this
+//! machinery is consulted: the hot path costs one `Option` check.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use crate::fault::{FaultAction, FaultPlan};
+use crate::fault::{splitmix64, FaultAction, FaultPlan};
+use crate::transport::{MailboxTransport, Transport};
 
 /// Wildcard source for receives.
 pub const ANY_SOURCE: usize = usize::MAX;
@@ -54,8 +67,8 @@ pub const ANY_SOURCE: usize = usize::MAX;
 /// waits before reporting the job deadlocked.
 pub const RECV_TIMEOUT: Duration = Duration::from_secs(60);
 
-/// Queue storage reserved per mailbox / unmatched list so steady-state
-/// traffic never grows them.
+/// Queue storage reserved for the unmatched list so steady-state traffic
+/// never grows it.
 const QUEUE_RESERVE: usize = 256;
 
 /// Pooled payload buffers kept per rank.
@@ -68,9 +81,13 @@ pub struct CommConfig {
     /// How long [`Comm::wait`] blocks before returning
     /// [`CommError::Timeout`]. Replaces the old hard-coded 60 s const.
     pub recv_timeout: Duration,
-    /// In reliable mode, how often a blocked receive re-checks the
-    /// retransmit log for a dropped-then-recovered message.
+    /// In reliable mode, the *initial* pause between retransmit-log polls
+    /// of a blocked receive. Subsequent polls back off exponentially
+    /// (doubling per attempt, plus deterministic jitter) up to
+    /// [`CommConfig::retry_max_interval`].
     pub retry_interval: Duration,
+    /// Ceiling of the exponential retry backoff.
+    pub retry_max_interval: Duration,
     /// In reliable mode, how many retransmit-log polls a single wait may
     /// make before giving up (bounds retry work even under a long
     /// `recv_timeout`).
@@ -82,9 +99,28 @@ impl Default for CommConfig {
         CommConfig {
             recv_timeout: RECV_TIMEOUT,
             retry_interval: Duration::from_millis(2),
+            retry_max_interval: Duration::from_millis(50),
             max_retries: 100_000,
         }
     }
+}
+
+/// The retry pause before reliable-mode poll number `attempt` (0-based):
+/// `retry_interval · 2^attempt`, capped at `retry_max_interval`, plus a
+/// deterministic jitter of up to 25% drawn from `(rank, attempt)` — so
+/// colliding ranks de-synchronize their polls without any shared RNG, and
+/// the schedule is reproducible for a given world shape.
+pub(crate) fn backoff_slice(cfg: &CommConfig, rank: usize, attempt: u32) -> Duration {
+    let base = cfg.retry_interval.max(Duration::from_micros(50));
+    let exp = attempt.min(20); // 2^20 · anything sane already exceeds the cap
+    let grown = base
+        .checked_mul(1u32 << exp)
+        .map_or(cfg.retry_max_interval, |d| d.min(cfg.retry_max_interval));
+    let jitter_room = (grown.as_nanos() / 4) as u64;
+    let draw = splitmix64(
+        (rank as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93) ^ u64::from(attempt) ^ 0xB0FF_5EED,
+    );
+    grown + Duration::from_nanos(if jitter_room == 0 { 0 } else { draw % (jitter_room + 1) })
 }
 
 /// Typed communication failure, surfaced instead of a panic so drivers can
@@ -112,6 +148,25 @@ pub enum CommError {
         /// The step at which it failed.
         step: u64,
     },
+    /// The connection to `peer` is down (TCP backend: the peer's socket
+    /// closed or reset — typically a dead process). The peer may come
+    /// back: a supervisor respawn re-establishes the connection and
+    /// subsequent receives succeed again.
+    ConnectionLost {
+        /// Receiving rank.
+        rank: usize,
+        /// The unreachable peer.
+        peer: usize,
+    },
+    /// A transport-level I/O failure that is not a clean connection loss
+    /// (socket errors on control channels, malformed frames, filesystem
+    /// errors in process bootstrap).
+    Io {
+        /// Rank reporting the failure.
+        rank: usize,
+        /// Human-readable description.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CommError {
@@ -125,6 +180,10 @@ impl std::fmt::Display for CommError {
             CommError::RankFailed { rank, step } => {
                 write!(f, "rank {rank} failed at step {step}")
             }
+            CommError::ConnectionLost { rank, peer } => {
+                write!(f, "rank {rank}: connection to rank {peer} lost")
+            }
+            CommError::Io { rank, detail } => write!(f, "rank {rank}: transport I/O failed: {detail}"),
         }
     }
 }
@@ -159,6 +218,9 @@ pub struct CommStats {
     /// Stale (duplicated or superseded-epoch) messages discarded by the
     /// sequence watermark (reliable mode).
     pub stale_dropped: u64,
+    /// Reliable-mode retry polls performed by blocked receives (each poll
+    /// re-checks the retransmit log after one backoff pause).
+    pub retry_attempts: u64,
 }
 
 /// A nonblocking receive request. Call [`Comm::wait`] on the owning rank's
@@ -167,31 +229,6 @@ pub struct CommStats {
 pub struct RecvRequest {
     source: usize,
     tag: u64,
-}
-
-/// One rank's incoming message queue, shared with every sender.
-#[derive(Debug)]
-struct Mailbox {
-    queue: Mutex<VecDeque<Message>>,
-    arrived: Condvar,
-}
-
-impl Mailbox {
-    fn new() -> Self {
-        Mailbox {
-            queue: Mutex::new(VecDeque::with_capacity(QUEUE_RESERVE)),
-            arrived: Condvar::new(),
-        }
-    }
-}
-
-/// Lock a mailbox queue, reporting rank/tag context if the mutex was
-/// poisoned (i.e. some rank thread panicked mid-send — the poison is a
-/// symptom, the original panic is the disease, so name the scene).
-fn lock_queue<'a>(mb: &'a Mailbox, rank: usize, what: &str) -> MutexGuard<'a, VecDeque<Message>> {
-    mb.queue.lock().unwrap_or_else(|_| {
-        panic!("rank {rank}: mailbox mutex poisoned during {what} (a peer rank panicked)")
-    })
 }
 
 /// Per-rank message-fault machinery; only present when a plan that
@@ -208,22 +245,24 @@ struct FaultLayer {
 pub struct Comm {
     rank: usize,
     size: usize,
-    peers: Vec<Arc<Mailbox>>,
-    inbox: Arc<Mailbox>,
+    /// Raw delivery backend (mailbox or TCP).
+    link: Box<dyn Transport>,
     /// Arrived-but-unmatched messages.
     pending: VecDeque<Message>,
     /// Recycled payload buffers, reused by [`Comm::take_buffer`].
     pool: Vec<Vec<f64>>,
     stats: CommStats,
     cfg: CommConfig,
-    /// Sequence-numbered idempotent delivery active (armed fault plan).
+    /// Sequence-numbered idempotent delivery active (armed fault plan, or
+    /// always on the TCP backend).
     reliable: bool,
     /// Per-source watermark: tags `< watermark[src]` have been consumed or
     /// superseded and are discarded on sight. Only advanced in reliable mode.
     watermark: Vec<u64>,
     /// World-shared retransmit log, indexed by destination rank: messages
     /// the fault plan "drops" land here and are recovered by the
-    /// receiver's retry path.
+    /// receiver's retry path. Mailbox worlds share one; TCP worlds hold an
+    /// always-empty private one (the wire itself is reliable).
     relay: Arc<Vec<Mutex<Vec<Message>>>>,
     faults: Option<FaultLayer>,
 }
@@ -233,25 +272,27 @@ impl Comm {
     /// config and no fault plan.
     #[cfg(test)]
     pub(crate) fn world(n: usize) -> Vec<Comm> {
-        Self::world_with(n, CommConfig::default(), None)
+        Self::world_with(n, CommConfig::default(), None).0
     }
 
-    /// Build an `n`-rank world with explicit config and an optional armed
-    /// fault plan.
+    /// Build an `n`-rank in-process (mailbox) world with explicit config
+    /// and an optional armed fault plan. Also returns the world-failure
+    /// alarm the runner uses to wake blocked receivers when a rank dies.
     pub(crate) fn world_with(
         n: usize,
         cfg: CommConfig,
         faults: Option<Arc<FaultPlan>>,
-    ) -> Vec<Comm> {
-        let boxes: Vec<Arc<Mailbox>> = (0..n).map(|_| Arc::new(Mailbox::new())).collect();
+    ) -> (Vec<Comm>, crate::runner::WorldAlarm) {
+        let (transports, boxes, monitor) = MailboxTransport::world(n);
         let relay: Arc<Vec<Mutex<Vec<Message>>>> =
             Arc::new((0..n).map(|_| Mutex::new(Vec::new())).collect());
-        (0..n)
-            .map(|rank| Comm {
+        let comms = transports
+            .into_iter()
+            .enumerate()
+            .map(|(rank, link)| Comm {
                 rank,
                 size: n,
-                peers: boxes.clone(),
-                inbox: Arc::clone(&boxes[rank]),
+                link: Box::new(link),
                 pending: VecDeque::with_capacity(QUEUE_RESERVE),
                 pool: Vec::with_capacity(POOL_RESERVE),
                 stats: CommStats::default(),
@@ -265,7 +306,36 @@ impl Comm {
                     delayed: Vec::new(),
                 }),
             })
-            .collect()
+            .collect();
+        (comms, crate::runner::WorldAlarm::new(boxes, monitor))
+    }
+
+    /// Build one communicator over an arbitrary transport (the TCP
+    /// backend). Always reliable (sequence watermarks armed): process
+    /// death, reconnection and epoch rollback make stale in-flight
+    /// messages a real possibility on a socket world. Message-perturbation
+    /// fault plans are not supported here — the TCP stream *is* the
+    /// reliable wire; process-level faults (kill, stall) live in the
+    /// runner/supervisor instead.
+    pub(crate) fn from_transport(
+        rank: usize,
+        size: usize,
+        link: Box<dyn Transport>,
+        cfg: CommConfig,
+    ) -> Comm {
+        Comm {
+            rank,
+            size,
+            link,
+            pending: VecDeque::with_capacity(QUEUE_RESERVE),
+            pool: Vec::with_capacity(POOL_RESERVE),
+            stats: CommStats::default(),
+            cfg,
+            reliable: true,
+            watermark: vec![0; size],
+            relay: Arc::new((0..size).map(|_| Mutex::new(Vec::new())).collect()),
+            faults: None,
+        }
     }
 
     /// This rank's id.
@@ -388,6 +458,11 @@ impl Comm {
     /// Zero-copy send: the caller hands over the payload buffer (typically
     /// obtained from [`Comm::take_buffer`]) and it travels by move.
     ///
+    /// Sends never report delivery failure: on a dead TCP peer the payload
+    /// is dropped and the peer flagged lost — the receive side (here or at
+    /// the peer) surfaces the failure as a typed error, which is what the
+    /// rollback protocols key off.
+    ///
     /// # Panics
     /// Panics if `dest` is out of range.
     pub fn send_owned(&mut self, dest: usize, tag: u64, data: Vec<f64>) {
@@ -397,17 +472,8 @@ impl Comm {
         if self.faults.is_some() {
             self.send_through_faults(dest, tag, data);
         } else {
-            self.deliver(dest, Message { source: self.rank, tag, data });
+            self.link.send(dest, Message { source: self.rank, tag, data });
         }
-    }
-
-    /// Put a message in `dest`'s mailbox and wake it.
-    fn deliver(&self, dest: usize, m: Message) {
-        let mailbox = &self.peers[dest];
-        let mut queue = lock_queue(mailbox, self.rank, "send");
-        queue.push_back(m);
-        drop(queue);
-        mailbox.arrived.notify_one();
     }
 
     /// Fault-layer send path: consult the plan, then deliver / divert /
@@ -433,19 +499,19 @@ impl Comm {
             layer.plan.message_action(self.rank, idx)
         };
         for (d, m) in due {
-            self.deliver(d, m);
+            self.link.send(d, m);
         }
         let msg = Message { source: self.rank, tag, data };
         match action {
-            FaultAction::Deliver => self.deliver(dest, msg),
+            FaultAction::Deliver => self.link.send(dest, msg),
             FaultAction::Drop => {
                 // Lost on the wire: park in the retransmit log for the
                 // receiver's retry path.
                 self.lock_relay(dest, "retransmit-log push").push(msg);
             }
             FaultAction::Duplicate => {
-                self.deliver(dest, msg.clone());
-                self.deliver(dest, msg);
+                self.link.send(dest, msg.clone());
+                self.link.send(dest, msg);
             }
             FaultAction::Delay(k) => {
                 let layer = self.faults.as_mut().expect("fault layer present");
@@ -465,7 +531,7 @@ impl Comm {
         let due: Vec<(usize, Message)> =
             layer.delayed.drain(..).map(|(_, d, m)| (d, m)).collect();
         for (d, m) in due {
-            self.deliver(d, m);
+            self.link.send(d, m);
         }
     }
 
@@ -481,16 +547,9 @@ impl Comm {
         RecvRequest { source, tag }
     }
 
-    /// Complete a posted receive, blocking until a matching message
-    /// arrives or the configured timeout expires.
-    ///
-    /// In reliable mode (armed fault plan) the wait also polls the
-    /// retransmit log every [`CommConfig::retry_interval`] to recover
-    /// dropped messages, and discards stale (below-watermark) arrivals so
-    /// duplicates accumulate exactly once.
-    pub fn wait(&mut self, req: RecvRequest) -> Result<Message, CommError> {
-        self.flush_delayed();
-        // First check messages that already arrived out of order.
+    /// Scan the pending list for a match, sweeping stale entries along the
+    /// way (reliable mode).
+    fn match_pending(&mut self, req: &RecvRequest) -> Option<Message> {
         let mut i = 0;
         while i < self.pending.len() {
             if self.reliable && self.is_stale(&self.pending[i]) {
@@ -498,72 +557,78 @@ impl Comm {
                 self.discard_stale(m);
                 continue;
             }
-            if Self::matches(&self.pending[i], &req) {
+            if Self::matches(&self.pending[i], req) {
                 let m = self.pending.remove(i).expect("position valid");
                 self.consume(&m);
-                return Ok(m);
+                return Some(m);
             }
             i += 1;
         }
-        let inbox = Arc::clone(&self.inbox);
+        None
+    }
+
+    /// World-fatal or source-specific failure that should abort this
+    /// receive, if any.
+    fn dead_peer_error(&self, req: &RecvRequest) -> Option<CommError> {
+        if let Some((rank, step)) = self.link.failed_peer() {
+            return Some(CommError::RankFailed { rank, step });
+        }
+        if req.source != ANY_SOURCE && !self.link.peer_alive(req.source) {
+            return Some(CommError::ConnectionLost { rank: self.rank, peer: req.source });
+        }
+        None
+    }
+
+    /// Complete a posted receive, blocking until a matching message
+    /// arrives or the configured timeout expires.
+    ///
+    /// In reliable mode (armed fault plan, or the TCP backend) the wait
+    /// also polls the retransmit log to recover dropped messages — pacing
+    /// the polls with exponential backoff + deterministic jitter — and
+    /// discards stale (below-watermark) arrivals so duplicates accumulate
+    /// exactly once. A receive from a known-dead source fails fast with
+    /// [`CommError::ConnectionLost`] / [`CommError::RankFailed`] instead
+    /// of burning the whole timeout.
+    pub fn wait(&mut self, req: RecvRequest) -> Result<Message, CommError> {
+        self.flush_delayed();
+        if let Some(m) = self.match_pending(&req) {
+            return Ok(m);
+        }
         let start = Instant::now();
         let deadline = start + self.cfg.recv_timeout;
-        let mut retries = 0u32;
-        let mut queue = lock_queue(&inbox, self.rank, "wait");
+        let mut attempts = 0u32;
         loop {
-            while let Some(m) = queue.pop_front() {
-                if self.reliable && self.is_stale(&m) {
-                    self.discard_stale(m);
-                    continue;
-                }
-                if Self::matches(&m, &req) {
-                    drop(queue);
-                    self.consume(&m);
-                    return Ok(m);
-                }
-                self.pending.push_back(m);
+            // Pull in whatever has arrived since we last looked.
+            let mut sink = std::mem::take(&mut self.pending);
+            self.link.drain(&mut sink);
+            self.pending = sink;
+            if let Some(m) = self.match_pending(&req) {
+                return Ok(m);
             }
             if self.reliable {
-                drop(queue);
                 if let Some(m) = self.take_from_relay(&req) {
                     self.stats.recovered += 1;
                     self.consume(&m);
                     return Ok(m);
                 }
-                let now = Instant::now();
-                if now >= deadline || retries >= self.cfg.max_retries {
-                    return Err(self.timeout_error(&req, start));
-                }
-                retries += 1;
-                let slice = self.cfg.retry_interval.min(deadline - now);
-                queue = lock_queue(&inbox, self.rank, "wait");
-                let (guard, _) = inbox
-                    .arrived
-                    .wait_timeout(queue, slice)
-                    .unwrap_or_else(|_| {
-                        panic!(
-                            "rank {}: mailbox condvar poisoned during wait (a peer rank panicked)",
-                            self.rank
-                        )
-                    });
-                queue = guard;
-            } else {
-                let now = Instant::now();
-                if now >= deadline {
-                    drop(queue);
-                    return Err(self.timeout_error(&req, start));
-                }
-                let (guard, _) = inbox
-                    .arrived
-                    .wait_timeout(queue, deadline - now)
-                    .unwrap_or_else(|_| {
-                        panic!(
-                            "rank {}: mailbox condvar poisoned during wait (a peer rank panicked)",
-                            self.rank
-                        )
-                    });
-                queue = guard;
             }
+            if let Some(err) = self.dead_peer_error(&req) {
+                return Err(err);
+            }
+            let now = Instant::now();
+            if now >= deadline || (self.reliable && attempts >= self.cfg.max_retries) {
+                return Err(self.timeout_error(&req, start));
+            }
+            let slice = if self.reliable {
+                self.stats.retry_attempts += 1;
+                backoff_slice(&self.cfg, self.rank, attempts).min(deadline - now)
+            } else {
+                deadline - now
+            };
+            attempts += 1;
+            let mut sink = std::mem::take(&mut self.pending);
+            self.link.drain_wait(slice, &mut sink);
+            self.pending = sink;
         }
     }
 
@@ -575,39 +640,18 @@ impl Comm {
     ///
     /// In reliable mode the probe also sweeps stale arrivals and checks
     /// the retransmit log, so dropped messages can be recovered without a
-    /// blocking wait.
+    /// blocking wait. A known-dead source surfaces as an error, exactly as
+    /// in [`Comm::wait`].
     pub fn try_wait(&mut self, req: RecvRequest) -> Result<Option<Message>, CommError> {
         self.flush_delayed();
-        let mut i = 0;
-        while i < self.pending.len() {
-            if self.reliable && self.is_stale(&self.pending[i]) {
-                let m = self.pending.remove(i).expect("position valid");
-                self.discard_stale(m);
-                continue;
-            }
-            if Self::matches(&self.pending[i], &req) {
-                let m = self.pending.remove(i).expect("position valid");
-                self.consume(&m);
-                return Ok(Some(m));
-            }
-            i += 1;
+        if let Some(m) = self.match_pending(&req) {
+            return Ok(Some(m));
         }
-        // Drain whatever has arrived; keep non-matching live messages.
-        loop {
-            let m = {
-                let mut queue = lock_queue(&self.inbox, self.rank, "try_wait");
-                queue.pop_front()
-            };
-            let Some(m) = m else { break };
-            if self.reliable && self.is_stale(&m) {
-                self.discard_stale(m);
-                continue;
-            }
-            if Self::matches(&m, &req) {
-                self.consume(&m);
-                return Ok(Some(m));
-            }
-            self.pending.push_back(m);
+        let mut sink = std::mem::take(&mut self.pending);
+        self.link.drain(&mut sink);
+        self.pending = sink;
+        if let Some(m) = self.match_pending(&req) {
+            return Ok(Some(m));
         }
         if self.reliable {
             if let Some(m) = self.take_from_relay(&req) {
@@ -615,6 +659,9 @@ impl Comm {
                 self.consume(&m);
                 return Ok(Some(m));
             }
+        }
+        if let Some(err) = self.dead_peer_error(&req) {
+            return Err(err);
         }
         Ok(None)
     }
@@ -669,15 +716,18 @@ impl Comm {
     }
 
     /// Advance every per-source watermark to at least `floor` and discard
-    /// all held messages below it (pending list, mailbox, and this rank's
-    /// retransmit-log slot). Recovery protocols call this after restoring
-    /// a checkpoint with the new epoch's tag floor, so in-flight messages
-    /// from the aborted attempt can never be matched by the re-run.
-    /// Returns the number of messages purged.
+    /// all held messages below it (pending list, transport inbox, and this
+    /// rank's retransmit-log slot). Recovery protocols call this after
+    /// restoring a checkpoint with the new epoch's tag floor, so in-flight
+    /// messages from the aborted attempt can never be matched by the
+    /// re-run. Returns the number of messages purged.
     pub fn purge_below(&mut self, floor: u64) -> usize {
         for wm in &mut self.watermark {
             *wm = (*wm).max(floor);
         }
+        let mut sink = std::mem::take(&mut self.pending);
+        self.link.drain(&mut sink);
+        self.pending = sink;
         let mut purged = 0;
         let mut i = 0;
         while i < self.pending.len() {
@@ -688,24 +738,6 @@ impl Comm {
             } else {
                 i += 1;
             }
-        }
-        let inbox = Arc::clone(&self.inbox);
-        let mut stale: Vec<Message> = Vec::new();
-        {
-            let mut queue = lock_queue(&inbox, self.rank, "purge");
-            let mut keep: VecDeque<Message> = VecDeque::with_capacity(queue.len());
-            while let Some(m) = queue.pop_front() {
-                if m.tag < floor {
-                    stale.push(m);
-                } else {
-                    keep.push_back(m);
-                }
-            }
-            *queue = keep;
-        }
-        purged += stale.len();
-        for m in stale {
-            self.discard_stale(m);
         }
         let mut slot = self.lock_relay(self.rank, "retransmit-log purge");
         let before = slot.len();
@@ -718,9 +750,13 @@ impl Comm {
     /// counted — they can never match anything.
     pub fn unmatched(&self) -> usize {
         let live = |m: &Message| !self.reliable || m.tag >= self.watermark[m.source];
-        let inbox = lock_queue(&self.inbox, self.rank, "unmatched scan");
-        self.pending.iter().filter(|m| live(m)).count()
-            + inbox.iter().filter(|m| live(m)).count()
+        let mut queued = 0usize;
+        self.link.for_each_queued(&mut |m| {
+            if live(m) {
+                queued += 1;
+            }
+        });
+        self.pending.iter().filter(|m| live(m)).count() + queued
     }
 }
 
@@ -902,7 +938,7 @@ mod tests {
         // Drop everything: every send is diverted to the retransmit log
         // and must come back through the retry path, payload intact.
         let plan = Arc::new(FaultPlan::seeded(3).drop_per_mille(1000));
-        let mut world = Comm::world_with(2, CommConfig::default(), Some(plan));
+        let (mut world, _alarm) = Comm::world_with(2, CommConfig::default(), Some(plan));
         let mut c1 = world.pop().unwrap();
         let mut c0 = world.pop().unwrap();
         c0.send(1, 11, &[5.0, 6.0]);
@@ -915,7 +951,7 @@ mod tests {
     #[test]
     fn duplicates_are_consumed_exactly_once() {
         let plan = Arc::new(FaultPlan::seeded(3).duplicate_per_mille(1000));
-        let mut world = Comm::world_with(2, CommConfig::default(), Some(plan));
+        let (mut world, _alarm) = Comm::world_with(2, CommConfig::default(), Some(plan));
         let mut c1 = world.pop().unwrap();
         let mut c0 = world.pop().unwrap();
         c0.send(1, 1, &[1.0]);
@@ -951,7 +987,7 @@ mod tests {
     #[test]
     fn try_wait_recovers_dropped_message_from_relay() {
         let plan = Arc::new(FaultPlan::seeded(3).drop_per_mille(1000));
-        let mut world = Comm::world_with(2, CommConfig::default(), Some(plan));
+        let (mut world, _alarm) = Comm::world_with(2, CommConfig::default(), Some(plan));
         let mut c1 = world.pop().unwrap();
         let mut c0 = world.pop().unwrap();
         c0.send(1, 11, &[5.0]);
@@ -960,7 +996,7 @@ mod tests {
         assert_eq!(c1.stats().recovered, 1);
         // A duplicate of a consumed tag is swept as stale by the probe.
         let plan = Arc::new(FaultPlan::seeded(3).duplicate_per_mille(1000));
-        let mut world = Comm::world_with(2, CommConfig::default(), Some(plan));
+        let (mut world, _alarm) = Comm::world_with(2, CommConfig::default(), Some(plan));
         let mut c1 = world.pop().unwrap();
         let mut c0 = world.pop().unwrap();
         c0.send(1, 1, &[1.0]);
@@ -972,7 +1008,7 @@ mod tests {
     #[test]
     fn purge_below_discards_stale_epoch() {
         let plan = Arc::new(FaultPlan::seeded(0)); // armed => reliable mode
-        let mut world = Comm::world_with(2, CommConfig::default(), Some(plan));
+        let (mut world, _alarm) = Comm::world_with(2, CommConfig::default(), Some(plan));
         let mut c1 = world.pop().unwrap();
         let mut c0 = world.pop().unwrap();
         c0.send(1, 5, &[1.0]);
@@ -983,5 +1019,47 @@ mod tests {
         assert_eq!(c1.unmatched(), 1);
         assert_eq!(c1.recv(0, 100).unwrap().data, vec![3.0]);
         assert_eq!(c1.unmatched(), 0);
+    }
+
+    #[test]
+    fn reliable_retries_back_off_and_are_counted() {
+        // Reliable mode (armed empty plan) with nothing arriving: the wait
+        // must make several backoff-paced retry polls, count them in the
+        // stats, and still time out with the typed error.
+        let plan = Arc::new(FaultPlan::seeded(0));
+        let cfg = CommConfig {
+            recv_timeout: Duration::from_millis(60),
+            retry_interval: Duration::from_millis(1),
+            retry_max_interval: Duration::from_millis(8),
+            max_retries: 1000,
+        };
+        let (mut world, _alarm) = Comm::world_with(2, cfg, Some(plan));
+        let mut c1 = world.pop().unwrap();
+        let err = c1.recv(0, 7).unwrap_err();
+        assert!(matches!(err, CommError::Timeout { .. }), "got {err:?}");
+        let polls = c1.stats().retry_attempts;
+        // 1+2+4+8+8+... ms covers 60 ms in well under 15 polls; a fixed
+        // 1 ms cadence would need ~60. The backoff must show in the count.
+        assert!((3..20).contains(&polls), "retry polls: {polls}");
+    }
+
+    #[test]
+    fn backoff_slice_is_deterministic_and_bounded() {
+        let cfg = CommConfig::default();
+        for rank in 0..4 {
+            for attempt in 0..24 {
+                let a = backoff_slice(&cfg, rank, attempt);
+                let b = backoff_slice(&cfg, rank, attempt);
+                assert_eq!(a, b, "jitter must be deterministic");
+                assert!(a >= cfg.retry_interval);
+                // Cap plus 25% jitter headroom.
+                assert!(a <= cfg.retry_max_interval + cfg.retry_max_interval / 4 + Duration::from_nanos(1));
+            }
+        }
+        // Different ranks de-synchronize: not all slices identical.
+        let r0 = backoff_slice(&cfg, 0, 3);
+        let r1 = backoff_slice(&cfg, 1, 3);
+        let r2 = backoff_slice(&cfg, 2, 3);
+        assert!(r0 != r1 || r1 != r2, "jitter should separate ranks");
     }
 }

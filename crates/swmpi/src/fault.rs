@@ -47,6 +47,7 @@ pub struct FaultPlan {
     max_delay: u32,
     crash: Option<(usize, u64)>,
     stall: Option<(usize, u64, Duration)>,
+    kill: Option<(usize, u64)>,
 }
 
 impl FaultPlan {
@@ -88,6 +89,19 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule `rank`'s *process* to be SIGKILLed (once) at the start of
+    /// `step`. In the multi-process world ([`crate::process`]) this kills
+    /// the real PID — peers observe a closed socket, the supervisor
+    /// observes the exit and respawns the rank from its last checkpoint.
+    /// Only the first incarnation fires the kill (a respawned rank must
+    /// not re-kill itself when it replays the same step). In the
+    /// in-process thread world the kill degrades to a [`FaultPlan::crash_rank`]
+    /// crash: there is no real PID per rank to kill.
+    pub fn kill_process(mut self, rank: usize, step: u64) -> Self {
+        self.kill = Some((rank, step));
+        self
+    }
+
     /// Schedule `rank` to pause for `pause` (once) at the start of `step` —
     /// a slow-node / OS-jitter model that recovery must tolerate without
     /// rolling back.
@@ -111,6 +125,12 @@ impl FaultPlan {
     #[inline]
     pub fn stall(&self) -> Option<(usize, u64, Duration)> {
         self.stall
+    }
+
+    /// The scheduled process kill, if any, as `(rank, step)`.
+    #[inline]
+    pub fn kill(&self) -> Option<(usize, u64)> {
+        self.kill
     }
 
     /// True if any per-message fault rate is nonzero.
@@ -144,8 +164,9 @@ impl FaultPlan {
     }
 }
 
-/// SplitMix64 finalizer — a full-avalanche integer hash.
-fn splitmix64(mut x: u64) -> u64 {
+/// SplitMix64 finalizer — a full-avalanche integer hash. Also used by the
+/// communicator's retry backoff to derive deterministic jitter.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -213,6 +234,13 @@ mod tests {
             FaultPlan::seeded(0).crash_rank(2, 5).stall_rank(1, 3, Duration::from_millis(10));
         assert_eq!(plan.crash(), Some((2, 5)));
         assert_eq!(plan.stall(), Some((1, 3, Duration::from_millis(10))));
+    }
+
+    #[test]
+    fn kill_is_recorded_and_does_not_perturb_messages() {
+        let plan = FaultPlan::seeded(0).kill_process(3, 4);
+        assert_eq!(plan.kill(), Some((3, 4)));
+        assert!(!plan.perturbs_messages());
     }
 
     #[test]

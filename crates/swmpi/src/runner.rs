@@ -4,14 +4,31 @@
 //! takes [`WorldOptions`] (communicator config + an optional seeded
 //! [`FaultPlan`]); [`try_run_ranks`] is the fallible variant that joins
 //! *all* rank threads even when some panic and reports every failure with
-//! its rank id and last-announced step.
+//! its rank id and last-announced step. A panicking rank is flagged on the
+//! world-failure monitor and every mailbox is interrupted, so peers
+//! blocked in a receive fail fast with
+//! [`CommError::RankFailed`](crate::CommError::RankFailed) instead of
+//! waiting out their full receive timeout — no rank thread can outlive the
+//! harness.
+//!
+//! [`run_ranks_tcp`] runs the same shape of world over the loopback TCP
+//! backend ([`crate::tcp`]) — ranks are still threads (collectives stay
+//! shared-memory), but every point-to-point message crosses a real socket.
+//! This is the harness the TCP↔mailbox parity tests and the exchange
+//! bench's TCP row use; the fully multi-process world lives in
+//! [`crate::process`].
 
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::collective::Collectives;
 use crate::comm::{Comm, CommConfig};
 use crate::fault::FaultPlan;
+use crate::process::ElasticLink;
+use crate::tcp::TcpTransport;
+use crate::transport::{Mailbox, WorldMonitor};
 
 /// Per-world run options for [`run_ranks_with`] / [`try_run_ranks`].
 #[derive(Debug, Clone, Default)]
@@ -41,6 +58,27 @@ impl std::fmt::Display for RankError {
     }
 }
 
+/// World-failure alarm for the in-process world: the failure monitor plus
+/// every rank's mailbox, so flagging a death also wakes all blocked
+/// receivers (they re-check the monitor and error out promptly).
+pub(crate) struct WorldAlarm {
+    boxes: Vec<Arc<Mailbox>>,
+    monitor: Arc<WorldMonitor>,
+}
+
+impl WorldAlarm {
+    pub(crate) fn new(boxes: Vec<Arc<Mailbox>>, monitor: Arc<WorldMonitor>) -> Self {
+        WorldAlarm { boxes, monitor }
+    }
+
+    fn flag(&self, rank: usize, step: u64) {
+        self.monitor.flag_failure(rank, step);
+        for b in &self.boxes {
+            b.interrupt();
+        }
+    }
+}
+
 /// Everything one rank needs: point-to-point plus collectives.
 pub struct RankCtx {
     /// Point-to-point communicator.
@@ -51,9 +89,29 @@ pub struct RankCtx {
     faults: Option<Arc<FaultPlan>>,
     crashed: bool,
     stalled: bool,
+    killed: bool,
+    elastic: Option<Arc<ElasticLink>>,
 }
 
 impl RankCtx {
+    pub(crate) fn assemble(
+        comm: Comm,
+        coll: Collectives,
+        faults: Option<Arc<FaultPlan>>,
+        elastic: Option<Arc<ElasticLink>>,
+    ) -> RankCtx {
+        RankCtx {
+            comm,
+            coll,
+            step: Arc::new(AtomicU64::new(0)),
+            faults,
+            crashed: false,
+            stalled: false,
+            killed: false,
+            elastic,
+        }
+    }
+
     /// This rank's id.
     pub fn rank(&self) -> usize {
         self.comm.rank()
@@ -62,6 +120,14 @@ impl RankCtx {
     /// World size.
     pub fn size(&self) -> usize {
         self.comm.size()
+    }
+
+    /// The elastic-world link, present only when this rank is a child
+    /// process under a supervisor ([`crate::process::process_world`]).
+    /// Resilient drivers use it for checkpoint placement and epoch
+    /// re-admission after a process death.
+    pub fn elastic(&self) -> Option<&Arc<ElasticLink>> {
+        self.elastic.as_ref()
     }
 
     /// Announce the step this rank is working on, so a panic anywhere in
@@ -79,6 +145,15 @@ impl RankCtx {
     /// serves any scheduled stall (sleeps in place, once), and returns
     /// `true` if the armed plan kills this rank at this step (once) — the
     /// caller must then skip the step attempt and report itself failed.
+    ///
+    /// A scheduled [`FaultPlan::kill_process`] behaves differently per
+    /// world: in a supervised child process (first incarnation) it
+    /// SIGKILLs the real PID and never returns — peers see a dead socket
+    /// and the supervisor respawns the rank from its checkpoint. A
+    /// respawned incarnation ignores it (the kill already happened). In
+    /// the in-process thread world there is no PID per rank, so it
+    /// degrades to a simulated crash, exactly like
+    /// [`FaultPlan::crash_rank`].
     pub fn begin_step(&mut self, step: u64) -> bool {
         self.set_step(step);
         let Some(plan) = &self.faults else { return false };
@@ -86,6 +161,16 @@ impl RankCtx {
             if rank == self.rank() && at == step && !self.stalled {
                 self.stalled = true;
                 std::thread::sleep(pause);
+            }
+        }
+        if let Some((rank, at)) = plan.kill() {
+            if rank == self.rank() && at == step && !self.killed {
+                self.killed = true;
+                match &self.elastic {
+                    Some(link) if link.incarnation() == 0 => crate::process::kill_self(),
+                    Some(_) => {} // respawned: the kill already happened
+                    None => return true,
+                }
             }
         }
         if let Some((rank, at)) = plan.crash() {
@@ -132,7 +217,12 @@ where
 
 /// Fallible rank harness: every rank thread is joined even when some
 /// panic, and all failures are returned together, each naming its rank
-/// and last announced step.
+/// and last announced step. A panicking rank immediately flags the world
+/// monitor and interrupts every mailbox, so surviving ranks blocked in a
+/// receive get [`CommError::RankFailed`](crate::CommError::RankFailed)
+/// right away — the join loop below therefore never waits out a surviving
+/// rank's full receive timeout, and no rank thread can leak past this
+/// function.
 pub fn try_run_ranks<T, F>(n: usize, opts: WorldOptions, body: F) -> Result<Vec<T>, Vec<RankError>>
 where
     T: Send,
@@ -140,8 +230,9 @@ where
 {
     let coll = Collectives::new(n);
     let faults = opts.faults.map(Arc::new);
-    let world = Comm::world_with(n, opts.comm, faults.clone());
+    let (world, alarm) = Comm::world_with(n, opts.comm, faults.clone());
     let steps: Vec<Arc<AtomicU64>> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let alarm = &alarm;
     std::thread::scope(|scope| {
         let handles: Vec<_> = world
             .into_iter()
@@ -152,22 +243,34 @@ where
                 let step = Arc::clone(step);
                 let faults = faults.clone();
                 scope.spawn(move || {
+                    let rank = comm.rank();
                     let mut ctx = RankCtx {
                         comm,
                         coll,
-                        step,
+                        step: Arc::clone(&step),
                         faults,
                         crashed: false,
                         stalled: false,
+                        killed: false,
+                        elastic: None,
                     };
-                    body(&mut ctx)
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut ctx)));
+                    if result.is_err() {
+                        // Fail fast: wake every blocked receiver in the
+                        // world before this thread exits.
+                        alarm.flag(rank, step.load(Ordering::Relaxed));
+                    }
+                    result
                 })
             })
             .collect();
         let mut results = Vec::with_capacity(n);
         let mut failures = Vec::new();
         for (rank, handle) in handles.into_iter().enumerate() {
-            match handle.join() {
+            // The body's panic was caught inside the thread; join itself
+            // only fails if harness code outside catch_unwind panicked.
+            match handle.join().expect("rank harness thread") {
                 Ok(value) => results.push(value),
                 Err(payload) => failures.push(RankError {
                     rank,
@@ -181,6 +284,80 @@ where
         } else {
             Err(failures)
         }
+    })
+}
+
+/// [`run_ranks_with`], but every point-to-point message crosses a real
+/// loopback TCP socket ([`crate::tcp`]): ranks are still threads in this
+/// process (collectives stay shared-memory), each owning a bound listener
+/// and a full socket mesh. This is the apples-to-apples harness for
+/// proving the TCP backend bitwise-equal to the mailbox backend.
+///
+/// Message-perturbation fault plans (drop/duplicate/delay) are rejected:
+/// they model an unreliable wire and TCP *is* the reliable wire. Crash /
+/// stall schedules are fine — they live above the transport.
+///
+/// # Panics
+/// Same contract as [`run_ranks`], plus on socket setup failure.
+pub fn run_ranks_tcp<T, F>(n: usize, opts: WorldOptions, body: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut RankCtx) -> T + Sync,
+{
+    if let Some(plan) = &opts.faults {
+        assert!(
+            !plan.perturbs_messages(),
+            "message-perturbation faults are mailbox-only; TCP is the reliable wire"
+        );
+    }
+    let coll = Collectives::new(n);
+    let faults = opts.faults.map(Arc::new);
+    // Bind every listener first so the full address vector exists before
+    // anyone dials.
+    let transports: Vec<TcpTransport> = (0..n)
+        .map(|r| TcpTransport::bind(r, n, 0, opts.comm).expect("bind tcp rank listener"))
+        .collect();
+    let addrs: Vec<SocketAddr> = transports.iter().map(|t| t.local_addr()).collect();
+    let addrs = &addrs;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = transports
+            .into_iter()
+            .enumerate()
+            .map(|(rank, transport)| {
+                let coll = coll.clone();
+                let body = &body;
+                let faults = faults.clone();
+                scope.spawn(move || {
+                    transport
+                        .connect_mesh(addrs, Duration::from_secs(30))
+                        .unwrap_or_else(|e| panic!("rank {rank}: tcp mesh failed: {e}"));
+                    let comm = Comm::from_transport(rank, n, Box::new(transport), opts.comm);
+                    let mut ctx = RankCtx::assemble(comm, coll, faults, None);
+                    let out = body(&mut ctx);
+                    // Sync before teardown so no rank closes its sockets
+                    // while a peer still expects traffic from it.
+                    ctx.coll.barrier();
+                    out
+                })
+            })
+            .collect();
+        let mut results = Vec::with_capacity(n);
+        let mut failures = Vec::new();
+        for (rank, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(value) => results.push(value),
+                Err(payload) => failures.push(RankError {
+                    rank,
+                    step: 0,
+                    message: panic_message(payload),
+                }),
+            }
+        }
+        if !failures.is_empty() {
+            let list: Vec<String> = failures.iter().map(|e| e.to_string()).collect();
+            panic!("{} of {n} tcp ranks panicked: {}", failures.len(), list.join("; "));
+        }
+        results
     })
 }
 
@@ -198,8 +375,9 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 mod tests {
     use super::*;
     use crate::collective::ReduceOp;
+    use crate::comm::CommError;
     use crate::fault::FaultPlan;
-    use std::time::Duration;
+    use std::time::{Duration, Instant};
 
     #[test]
     fn ring_pass() {
@@ -272,6 +450,38 @@ mod tests {
     }
 
     #[test]
+    fn blocked_peers_fail_fast_when_a_rank_dies() {
+        // Rank 0 panics immediately; ranks 1 and 2 are blocked in receives
+        // with a LONG timeout. The world alarm must wake them with
+        // RankFailed well before that timeout — previously each would
+        // burn the full window before the harness could join them.
+        let opts = WorldOptions {
+            comm: CommConfig { recv_timeout: Duration::from_secs(60), ..CommConfig::default() },
+            ..WorldOptions::default()
+        };
+        let started = Instant::now();
+        let err = try_run_ranks(3, opts, |ctx| {
+            ctx.set_step(9);
+            if ctx.rank() == 0 {
+                panic!("early death");
+            }
+            match ctx.comm.recv(0, 1) {
+                Err(CommError::RankFailed { rank, step }) => (rank, step),
+                other => panic!("expected RankFailed, got {other:?}"),
+            }
+        })
+        .unwrap_err();
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "survivors waited out the timeout: {:?}",
+            started.elapsed()
+        );
+        assert_eq!(err.len(), 1);
+        assert_eq!(err[0].rank, 0);
+        assert_eq!(err[0].step, 9);
+    }
+
+    #[test]
     #[should_panic(expected = "rank 2 panicked at step 7")]
     fn run_ranks_names_failing_rank_and_step() {
         run_ranks(4, |ctx| {
@@ -336,5 +546,61 @@ mod tests {
             crashes
         });
         assert_eq!(hits, vec![0, 1]);
+    }
+
+    #[test]
+    fn kill_degrades_to_crash_in_thread_world() {
+        // Without a real process per rank, kill_process must behave
+        // exactly like crash_rank: one-shot, at the scheduled step.
+        let opts = WorldOptions {
+            faults: Some(FaultPlan::seeded(0).kill_process(1, 2)),
+            ..WorldOptions::default()
+        };
+        let hits = run_ranks_with(2, opts, |ctx| {
+            let mut kills = 0;
+            for step in 0..5u64 {
+                if ctx.begin_step(step) {
+                    kills += 1;
+                }
+                if ctx.begin_step(step) {
+                    kills += 1;
+                }
+            }
+            kills
+        });
+        assert_eq!(hits, vec![0, 1]);
+    }
+
+    #[test]
+    fn tcp_ring_pass_over_loopback() {
+        // The run_ranks ring, but every hop crosses a real socket.
+        let n = 4;
+        let sums = run_ranks_tcp(n, WorldOptions::default(), |ctx| {
+            let mut token = ctx.rank() as f64;
+            let mut acc = token;
+            let next = (ctx.rank() + 1) % n;
+            let prev = (ctx.rank() + n - 1) % n;
+            for hop in 0..n - 1 {
+                ctx.comm.send(next, hop as u64, &[token]);
+                token = ctx.comm.recv(prev, hop as u64).expect("tcp ring recv").data[0];
+                acc += token;
+            }
+            assert_eq!(ctx.comm.unmatched(), 0);
+            acc
+        });
+        let expected = (0..n).sum::<usize>() as f64;
+        for s in sums {
+            assert_eq!(s, expected);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mailbox-only")]
+    fn tcp_world_rejects_message_perturbation_plans() {
+        let opts = WorldOptions {
+            faults: Some(FaultPlan::seeded(1).drop_per_mille(10)),
+            ..WorldOptions::default()
+        };
+        run_ranks_tcp(2, opts, |_| ());
     }
 }

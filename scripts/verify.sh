@@ -53,6 +53,18 @@ cargo test -q -p homme --lib kernels
 cargo test -q -p homme --test blocked_parity
 cargo test -q -p swcam-bench --test distributed_step
 
+# Process-backend group: the transport seam (DESIGN.md §5.8) — the TCP
+# frame codec property suite, the socket transport and elastic-process
+# units in swmpi, the loopback TCP↔mailbox bitwise parity run, the
+# multi-process supervisor world, and the kill-and-respawn recovery
+# scenario (real SIGKILL, checkpoint respawn, epoch re-admission).
+echo "== process-backend test group"
+cargo test -q -p swmpi --lib tcp
+cargo test -q -p swmpi --lib transport
+cargo test -q -p swmpi --lib process
+cargo test -q -p swmpi --test tcp_frame
+cargo test -q -p swcam-bench --test process_backend
+
 # Hypervis group: the per-element hyperviscosity plan (DESIGN.md §5.7) —
 # plan build/validation units, the fused-sweep bitwise parity across
 # level/sponge shapes, mass conservation, shallow-column sponge clamps
