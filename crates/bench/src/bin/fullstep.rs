@@ -77,12 +77,24 @@ fn time_per_step(mut step: impl FnMut()) -> f64 {
 
 fn main() {
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let threads = cores.max(4);
+    // One worker per real core: `cores.max(4)` used to force 4 workers on
+    // smaller hosts, which oversubscribes the cores and times scheduler
+    // contention instead of the kernels. `SWCAM_BENCH_THREADS` overrides
+    // (e.g. to reproduce the old oversubscribed numbers deliberately).
+    let threads = std::env::var("SWCAM_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(cores);
+    let oversubscribed = threads > cores;
     println!(
         "fullstep: ne{NE}, nlev {NLEV}, qsize {QSIZE}; {cores} cores, parallel run uses {threads} threads"
     );
-    if cores < 4 {
-        println!("  note: < 4 cores available; the parallel target needs real cores, not threads");
+    if oversubscribed {
+        println!(
+            "  note: {threads} threads on {cores} cores is oversubscribed; \
+             parallel-speedup numbers measure contention, not kernels"
+        );
     }
 
     let mut dy = build();
@@ -217,6 +229,7 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"fullstep\",\n  \"ne\": {NE},\n  \"nlev\": {NLEV},\n  \"qsize\": {QSIZE},\n  \
          \"steps_measured\": {MEASURE_STEPS},\n  \"cores\": {cores},\n  \"threads\": {threads},\n  \
+         \"oversubscribed\": {oversubscribed},\n  \
          \"seed_serial_ms_per_step\": {seed_ms:.3},\n  \
          \"flat_serial_ms_per_step\": {flat1_ms:.3},\n  \
          \"flat_parallel_ms_per_step\": {flatn_ms:.3},\n  \

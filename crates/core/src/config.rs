@@ -1,7 +1,17 @@
-//! Model configuration ("namelist").
+//! Model configuration ("namelist") and the scenario registry.
+//!
+//! The registry (ROADMAP item 4) turns the named workloads of this
+//! reproduction — aquaplanet, Held–Suarez, the NGGPS-style baroclinic
+//! benchmark, the Katrina hindcast (registered by the `katrina` crate) —
+//! into **data**: a [`ScenarioSpec`] is a [`ModelConfig`] plus an
+//! initial-condition builder plus a seeded-perturbation amplitude, so a new
+//! workload is a registry entry, not code, and the ensemble driver can
+//! admit members of any scenario through one interface.
 
-use homme::{DycoreConfig, HypervisConfig};
+use crate::model::{init_columns, reset_state, resting_init, Swcam};
+use homme::{Dycore, DycoreConfig, HypervisConfig, State};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Planet geometry: Earth by default; small-planet runs divide the radius
 /// by `reduction` and multiply the rotation rate by the same factor
@@ -133,6 +143,227 @@ impl ModelConfig {
     }
 }
 
+/// An initial-condition builder: writes a scenario's analytic initial
+/// state onto a bare `(dycore, state)` pair. Must not allocate — ensemble
+/// member admission runs inside the zero-alloc step gate.
+pub type InitFn = dyn Fn(&Dycore, &ModelConfig, &mut State) + Send + Sync;
+
+/// A named workload as data: configuration + initial-condition builder +
+/// the amplitude of the seeded per-member temperature perturbation that
+/// distinguishes ensemble members.
+#[derive(Clone)]
+pub struct ScenarioSpec {
+    /// Registry key (kebab-case).
+    pub name: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    /// The model configuration this scenario runs with. Callers may clone
+    /// and shrink it (fewer levels, coarser `ne`) for tests and smoke
+    /// benches; the initial condition is resolution-independent.
+    pub config: ModelConfig,
+    /// Seeded temperature-perturbation amplitude, K (0 = members are
+    /// identical apart from what the initializer does with the seed).
+    pub perturb_t: f64,
+    /// Initial-condition builder, run after the resting baseline.
+    pub init: Arc<InitFn>,
+}
+
+impl std::fmt::Debug for ScenarioSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioSpec")
+            .field("name", &self.name)
+            .field("summary", &self.summary)
+            .field("config", &self.config)
+            .field("perturb_t", &self.perturb_t)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ScenarioSpec {
+    /// Write this scenario's seeded initial condition onto `state` in
+    /// place: zero, resting baseline, the scenario initializer, then the
+    /// seeded temperature perturbation. Allocation-free, so ensemble
+    /// admission can re-initialize a retired member lane mid-run.
+    ///
+    /// The standalone [`ScenarioSpec::build_model`] path runs this exact
+    /// function, which is what makes member *m* of an ensemble bitwise
+    /// equal to a standalone run with the same seed.
+    pub fn apply(&self, dycore: &Dycore, state: &mut State, seed: u64) {
+        reset_state(state);
+        resting_init(dycore, self.config.nlev, state);
+        (self.init)(dycore, &self.config, state);
+        if self.perturb_t != 0.0 {
+            perturb_temperature(state, seed, self.perturb_t);
+        }
+    }
+
+    /// Build a standalone [`Swcam`] of this scenario with member seed
+    /// `seed` — the serial baseline an ensemble member is pinned against.
+    pub fn build_model(&self, seed: u64) -> Swcam {
+        let mut model = Swcam::new(self.config.clone());
+        let Swcam { dycore, state, .. } = &mut model;
+        self.apply(dycore, state, seed);
+        model
+    }
+}
+
+/// SplitMix64: the standard 64-bit finalizer-based generator — one
+/// multiply-xor-shift chain per index, no state, so perturbations are
+/// random-access (member seed + arena index -> value) and identical
+/// between the standalone and ensemble paths by construction.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic uniform draw in `(-1, 1)` for `(seed, index)`.
+pub fn seeded_unit(seed: u64, index: u64) -> f64 {
+    let r = splitmix64(seed ^ index.wrapping_mul(0xA076_1D64_78BD_642F));
+    ((r >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+}
+
+/// Add the seeded member perturbation to the temperature arena:
+/// `t[i] += amp * seeded_unit(seed, i)`. Allocation-free.
+pub fn perturb_temperature(state: &mut State, seed: u64, amp: f64) {
+    for (i, t) in state.t.iter_mut().enumerate() {
+        *t += amp * seeded_unit(seed, i as u64);
+    }
+}
+
+/// The scenario registry: named [`ScenarioSpec`]s, preloaded with the
+/// built-in workloads and extensible by downstream crates (the `katrina`
+/// crate registers the hindcast scenario).
+pub struct ScenarioRegistry {
+    entries: Vec<ScenarioSpec>,
+}
+
+impl ScenarioRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        ScenarioRegistry { entries: Vec::new() }
+    }
+
+    /// Registry preloaded with the built-in scenarios: `resting`,
+    /// `aquaplanet`, `held-suarez`, `nggps`.
+    pub fn builtin() -> Self {
+        let mut reg = ScenarioRegistry::new();
+
+        // Adiabatic resting atmosphere: the dycore-only smoke workload.
+        let mut resting = ModelConfig::for_ne(2);
+        resting.nlev = 6;
+        resting.qsize = 0;
+        resting.suite = SuiteChoice::None;
+        reg.register(ScenarioSpec {
+            name: "resting",
+            summary: "adiabatic resting isothermal atmosphere (dycore only)",
+            config: resting,
+            perturb_t: 0.5,
+            init: Arc::new(|_, _, _| {}),
+        });
+
+        // Aquaplanet: moist lower atmosphere over a uniform warm ocean,
+        // Reed–Jablonowski simple physics.
+        let aqua = ModelConfig::for_ne(4);
+        reg.register(ScenarioSpec {
+            name: "aquaplanet",
+            summary: "moist aquaplanet with simple physics over uniform SST",
+            config: aqua,
+            perturb_t: 0.1,
+            init: Arc::new(|dy, cfg, st| {
+                init_columns(
+                    dy,
+                    cfg.nlev,
+                    cfg.qsize,
+                    st,
+                    &|_, _| cubesphere::P0,
+                    &|lat, _, _k, pm| {
+                        let t = (300.0 * (pm / cubesphere::P0).powf(0.19).max(0.6)).max(200.0);
+                        let qv = 0.015 * (pm / cubesphere::P0).powi(3);
+                        (5.0 * lat.cos(), 0.0, t, qv)
+                    },
+                );
+            }),
+        });
+
+        // Held–Suarez: dry climatology forcing, spun up from a perturbed
+        // resting state (the perturbation breaks the symmetry).
+        let mut hs = ModelConfig::for_ne(4);
+        hs.qsize = 0;
+        hs.suite = SuiteChoice::HeldSuarez;
+        reg.register(ScenarioSpec {
+            name: "held-suarez",
+            summary: "Held–Suarez dry climate forcing from a perturbed rest state",
+            config: hs,
+            perturb_t: 1.0,
+            init: Arc::new(|_, _, _| {}),
+        });
+
+        // NGGPS-style baroclinic benchmark: deeper column, a mid-latitude
+        // jet in thermal-wind-ish balance with a zonal temperature wave to
+        // trigger baroclinic growth.
+        let mut nggps = ModelConfig::for_ne(8);
+        nggps.nlev = 26;
+        nggps.qsize = 4;
+        reg.register(ScenarioSpec {
+            name: "nggps",
+            summary: "NGGPS-style baroclinic wave benchmark (jet + thermal wave)",
+            config: nggps,
+            perturb_t: 0.01,
+            init: Arc::new(|dy, cfg, st| {
+                init_columns(
+                    dy,
+                    cfg.nlev,
+                    cfg.qsize,
+                    st,
+                    &|_, _| cubesphere::P0,
+                    &|lat, lon, _k, pm| {
+                        let sigma = pm / cubesphere::P0;
+                        let u = 20.0 * lat.cos() * (1.0 - sigma).max(0.0).sqrt();
+                        let t = (300.0 * sigma.powf(0.19).max(0.6)).max(200.0)
+                            + 2.0 * (3.0 * lon).sin() * lat.cos();
+                        let qv = 0.01 * sigma.powi(3);
+                        (u, 0.0, t, qv)
+                    },
+                );
+            }),
+        });
+
+        reg
+    }
+
+    /// Add (or replace, by name) a scenario.
+    pub fn register(&mut self, spec: ScenarioSpec) {
+        if let Some(slot) = self.entries.iter_mut().find(|s| s.name == spec.name) {
+            *slot = spec;
+        } else {
+            self.entries.push(spec);
+        }
+    }
+
+    /// Look a scenario up by name.
+    pub fn get(&self, name: &str) -> Option<&ScenarioSpec> {
+        self.entries.iter().find(|s| s.name == name)
+    }
+
+    /// All registered scenarios, registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &ScenarioSpec> {
+        self.entries.iter()
+    }
+
+    /// Registered scenario names, registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|s| s.name).collect()
+    }
+}
+
+impl Default for ScenarioRegistry {
+    fn default() -> Self {
+        ScenarioRegistry::builtin()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,5 +405,44 @@ mod tests {
             assert!(cfg.validate().is_ok(), "ne = {ne}");
             assert!(cfg.dycore_config().dt > 0.0);
         }
+    }
+
+    #[test]
+    fn builtin_scenarios_are_valid_and_named() {
+        let reg = ScenarioRegistry::builtin();
+        let names = reg.names();
+        for expect in ["resting", "aquaplanet", "held-suarez", "nggps"] {
+            assert!(names.contains(&expect), "missing scenario {expect}");
+        }
+        for spec in reg.iter() {
+            spec.config.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert!(spec.perturb_t >= 0.0);
+        }
+        assert!(reg.get("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn register_replaces_by_name() {
+        let mut reg = ScenarioRegistry::builtin();
+        let n = reg.names().len();
+        let mut spec = reg.get("resting").unwrap().clone();
+        spec.perturb_t = 9.0;
+        reg.register(spec);
+        assert_eq!(reg.names().len(), n, "replace must not grow the registry");
+        assert_eq!(reg.get("resting").unwrap().perturb_t, 9.0);
+    }
+
+    #[test]
+    fn seeded_perturbation_is_deterministic_and_seed_sensitive() {
+        let a1 = seeded_unit(7, 42);
+        let a2 = seeded_unit(7, 42);
+        assert_eq!(a1.to_bits(), a2.to_bits());
+        assert!(a1 > -1.0 && a1 < 1.0);
+        assert_ne!(seeded_unit(7, 42).to_bits(), seeded_unit(8, 42).to_bits());
+        assert_ne!(seeded_unit(7, 42).to_bits(), seeded_unit(7, 43).to_bits());
+        // Roughly centered: the mean over many draws stays small.
+        let mean: f64 =
+            (0..10_000).map(|i| seeded_unit(3, i)).sum::<f64>() / 10_000.0;
+        assert!(mean.abs() < 0.05, "biased perturbation: mean {mean}");
     }
 }

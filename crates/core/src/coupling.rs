@@ -4,8 +4,8 @@
 //! Tracer convention: tracer 0 = water vapour `qv`, 1 = cloud water `qc`,
 //! 2 = rain water `qr` (all stored as mass `q * dp3d`).
 
-use homme::{Dycore, State};
-use swphysics::{Column, PhysicsDiag, PhysicsSuite};
+use homme::{Dycore, HealthError, PhysicsFault, State};
+use swphysics::{Column, PhysicsDiag, PhysicsError, PhysicsSuite};
 use cubesphere::NPTS;
 
 /// Extract the column at `(element, point)` from the state.
@@ -66,7 +66,9 @@ pub fn insert_column(dy: &Dycore, state: &mut State, e: usize, p: usize, col: &C
 }
 
 /// Run the physics suite over every column; returns per-(element, point)
-/// diagnostics.
+/// diagnostics. [`PhysicsSuite::None`] short-circuits: no columns are
+/// extracted, so the state is untouched bitwise (the extract/insert
+/// round-trip would otherwise re-quantize `qdp` through `(q/dp)*dp`).
 pub fn apply_physics(
     dy: &Dycore,
     state: &mut State,
@@ -75,6 +77,9 @@ pub fn apply_physics(
     sst: f64,
 ) -> Vec<PhysicsDiag> {
     let nelem = state.nelem();
+    if matches!(suite, PhysicsSuite::None) {
+        return vec![PhysicsDiag::default(); nelem * NPTS];
+    }
     let mut diags = Vec::with_capacity(nelem * NPTS);
     for e in 0..nelem {
         for p in 0..NPTS {
@@ -84,6 +89,62 @@ pub fn apply_physics(
         }
     }
     diags
+}
+
+/// Translate a physics column rejection into the dycore's rollback-capable
+/// error type (the `RemapError` precedent: a typed error the health
+/// machinery can snapshot-restore on).
+pub fn physics_health_error(e: usize, p: usize, err: &PhysicsError) -> HealthError {
+    let fault = match err {
+        PhysicsError::NonFinite { .. } => PhysicsFault::NonFinite,
+        PhysicsError::NegativeMoisture { .. } => PhysicsFault::NegativeMoisture,
+    };
+    HealthError::Physics { elem: e, point: p, fault }
+}
+
+/// Checked [`apply_physics`]: every column is vetted before and after its
+/// physics step ([`PhysicsSuite::step_checked`]), and a rejected column is
+/// **not** inserted — the bad values never reach the state, so neighboring
+/// columns stay uncorrupted. Diagnostics are written into the caller's
+/// `diags` slice (`nelem * NPTS` long) instead of a fresh `Vec`, so the
+/// suite-`None` fast path performs no heap allocation (the ensemble step
+/// gate rides on this).
+///
+/// On `Err` the columns processed *before* the rejected one have already
+/// been updated; the caller must treat the state as partially stepped and
+/// roll back (exactly what the ensemble driver and the resilient runner
+/// do — the same contract as [`Dycore::vertical_remap`]).
+///
+/// # Errors
+/// The first rejected column as [`HealthError::Physics`].
+///
+/// # Panics
+/// Panics if `diags` is shorter than `nelem * NPTS`.
+pub fn apply_physics_checked(
+    dy: &Dycore,
+    state: &mut State,
+    suite: &PhysicsSuite,
+    dt: f64,
+    sst: f64,
+    diags: &mut [PhysicsDiag],
+) -> Result<(), HealthError> {
+    let nelem = state.nelem();
+    assert!(diags.len() >= nelem * NPTS, "diags slice too short");
+    if matches!(suite, PhysicsSuite::None) {
+        diags[..nelem * NPTS].fill(PhysicsDiag::default());
+        return Ok(());
+    }
+    for e in 0..nelem {
+        for p in 0..NPTS {
+            let mut col = extract_column(dy, state, e, p, sst);
+            match suite.step_checked(&mut col, dt) {
+                Ok(d) => diags[e * NPTS + p] = d,
+                Err(err) => return Err(physics_health_error(e, p, &err)),
+            }
+            insert_column(dy, state, e, p, &col);
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -147,6 +208,68 @@ mod tests {
         let before = st.clone();
         apply_physics(&dy, &mut st, &PhysicsSuite::None, 600.0, 300.0);
         assert!(st.max_abs_diff(&before) < 1e-14);
+    }
+
+    #[test]
+    fn physics_none_is_bitwise_identity_and_checked_agrees() {
+        let (dy, mut st) = test_dycore();
+        let before = st.clone();
+        apply_physics(&dy, &mut st, &PhysicsSuite::None, 600.0, 300.0);
+        assert_eq!(st.max_abs_diff(&before), 0.0, "None suite must not touch bits");
+        let mut diags = vec![PhysicsDiag::default(); st.nelem() * NPTS];
+        apply_physics_checked(&dy, &mut st, &PhysicsSuite::None, 600.0, 300.0, &mut diags)
+            .expect("None suite never rejects");
+        assert_eq!(st.max_abs_diff(&before), 0.0);
+    }
+
+    #[test]
+    fn checked_physics_matches_unchecked_on_healthy_state() {
+        let (dy, mut a) = test_dycore();
+        let mut b = a.clone();
+        let suite = PhysicsSuite::Simple(swphysics::SimplePhysics::default());
+        let da = apply_physics(&dy, &mut a, &suite, 1800.0, 302.15);
+        let mut db = vec![PhysicsDiag::default(); b.nelem() * NPTS];
+        apply_physics_checked(&dy, &mut b, &suite, 1800.0, 302.15, &mut db)
+            .expect("healthy state must pass");
+        assert_eq!(a.max_abs_diff(&b), 0.0, "checked path must be bitwise identical");
+        assert_eq!(da, db);
+    }
+
+    #[test]
+    fn checked_physics_rejects_poisoned_column_without_inserting_it() {
+        let (dy, mut st) = test_dycore();
+        let (bad_e, bad_p) = (3, 5);
+        st.elem_mut(bad_e).t[2 * NPTS + bad_p] = f64::NAN;
+        let before = st.clone();
+        let suite = PhysicsSuite::Simple(swphysics::SimplePhysics::default());
+        let mut diags = vec![PhysicsDiag::default(); st.nelem() * NPTS];
+        let err = apply_physics_checked(&dy, &mut st, &suite, 1800.0, 302.15, &mut diags)
+            .expect_err("NaN column must be rejected");
+        assert_eq!(
+            err,
+            HealthError::Physics { elem: bad_e, point: bad_p, fault: PhysicsFault::NonFinite }
+        );
+        // The rejected column itself was never written back.
+        let es = st.elem(bad_e);
+        let was = before.elem(bad_e);
+        for k in 0..dy.dims.nlev {
+            assert_eq!(es.u[k * NPTS + bad_p].to_bits(), was.u[k * NPTS + bad_p].to_bits());
+        }
+    }
+
+    #[test]
+    fn checked_physics_rejects_corrupt_moisture() {
+        let (dy, mut st) = test_dycore();
+        let dp = st.elem(1).dp3d[4 * NPTS + 7];
+        st.elem_mut(1).qdp[4 * NPTS + 7] = -0.5 * dp; // qv = -0.5 kg/kg
+        let suite = PhysicsSuite::Simple(swphysics::SimplePhysics::default());
+        let mut diags = vec![PhysicsDiag::default(); st.nelem() * NPTS];
+        let err = apply_physics_checked(&dy, &mut st, &suite, 1800.0, 302.15, &mut diags)
+            .expect_err("corrupt moisture must be rejected");
+        assert_eq!(
+            err,
+            HealthError::Physics { elem: 1, point: 7, fault: PhysicsFault::NegativeMoisture }
+        );
     }
 
     #[test]

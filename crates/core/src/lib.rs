@@ -30,15 +30,21 @@
 pub mod checkpoint;
 pub mod config;
 pub mod coupling;
+pub mod ensemble;
 pub mod history;
 pub mod model;
 pub mod resilient;
 
 pub use checkpoint::{CheckpointError, CheckpointMeta};
-pub use config::{ModelConfig, Planet, SuiteChoice};
-pub use coupling::{apply_physics, extract_column, insert_column};
+pub use config::{
+    seeded_unit, InitFn, ModelConfig, Planet, ScenarioRegistry, ScenarioSpec, SuiteChoice,
+};
+pub use coupling::{
+    apply_physics, apply_physics_checked, extract_column, insert_column, physics_health_error,
+};
+pub use ensemble::{Ensemble, EnsembleConfig, MemberReport, MemberStatus};
 pub use history::{surface_temperature_raster, History};
-pub use model::Swcam;
+pub use model::{build_dycore, build_suite, init_columns, reset_state, resting_init, Swcam};
 pub use resilient::{
     run_resilient, run_resilient_elastic, run_resilient_with, ResilienceConfig,
     ResilienceExhausted, ResilientReport,

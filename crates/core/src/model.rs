@@ -4,7 +4,7 @@
 
 use crate::checkpoint::{self, CheckpointError, CheckpointMeta};
 use crate::config::{ModelConfig, SuiteChoice};
-use crate::coupling::apply_physics;
+use crate::coupling::apply_physics_checked;
 use cubesphere::{CubedSphere, NPTS};
 use homme::{Dims, Dycore, State};
 use std::path::{Path, PathBuf};
@@ -24,6 +24,7 @@ pub struct Swcam {
     pub time: f64,
     /// Accumulated precipitation per (element, point), kg/m^2.
     pub precip_accum: Vec<f64>,
+    phys_diags: Vec<swphysics::PhysicsDiag>,
     steps: usize,
     checkpointing: Option<(usize, PathBuf)>,
 }
@@ -36,37 +37,11 @@ impl Swcam {
     /// Panics if the configuration fails validation.
     pub fn new(config: ModelConfig) -> Self {
         config.validate().expect("invalid model configuration");
-        let dims = Dims { nlev: config.nlev, qsize: config.qsize };
-        let grid = CubedSphere::new_planet(config.ne, config.planet.radius, config.planet.omega);
-        let dycore = Dycore::from_grid(grid, dims, config.ptop, config.dycore_config());
-        let suite = match config.suite {
-            SuiteChoice::None => PhysicsSuite::None,
-            SuiteChoice::HeldSuarez => PhysicsSuite::HeldSuarez(HeldSuarez::default()),
-            SuiteChoice::Simple => {
-                let sp = SimplePhysics { sst: config.sst, ..Default::default() };
-                PhysicsSuite::Simple(sp)
-            }
-            SuiteChoice::Full => {
-                let sp = SimplePhysics { sst: config.sst, ..Default::default() };
-                PhysicsSuite::Full {
-                    simple: sp,
-                    convection: swphysics::BettsMiller::default(),
-                    kessler: Kessler::default(),
-                    radiation: GrayRadiation::default(),
-                }
-            }
-        };
+        let dycore = build_dycore(&config);
+        let suite = build_suite(&config);
         let mut state = dycore.zero_state();
         // Resting isothermal default initial condition.
-        let vert = dycore.rhs.vert.clone();
-        for es in state.elems_mut() {
-            for k in 0..config.nlev {
-                for p in 0..NPTS {
-                    es.t[k * NPTS + p] = 285.0;
-                    es.dp3d[k * NPTS + p] = vert.dp_ref(k, cubesphere::P0);
-                }
-            }
-        }
+        resting_init(&dycore, config.nlev, &mut state);
         let npts = state.nelem() * NPTS;
         let checkpointing = if config.checkpoint_interval > 0 {
             Some((config.checkpoint_interval, PathBuf::from(&config.checkpoint_dir)))
@@ -80,6 +55,7 @@ impl Swcam {
             state,
             time: 0.0,
             precip_accum: vec![0.0; npts],
+            phys_diags: vec![swphysics::PhysicsDiag::default(); npts],
             steps: 0,
             checkpointing,
         }
@@ -92,27 +68,7 @@ impl Swcam {
         ps: impl Fn(f64, f64) -> f64,
         f: impl Fn(f64, f64, usize, f64) -> (f64, f64, f64, f64),
     ) {
-        let nlev = self.config.nlev;
-        let vert = self.dycore.rhs.vert.clone();
-        let grid_elems = self.dycore.grid.elements.clone();
-        for (es, el) in self.state.elems_mut().zip(&grid_elems) {
-            for p in 0..NPTS {
-                let (lat, lon) = (el.metric[p].lat, el.metric[p].lon);
-                let psv = ps(lat, lon);
-                for k in 0..nlev {
-                    let dp = vert.dp_ref(k, psv);
-                    es.dp3d[k * NPTS + p] = dp;
-                    let pm = vert.p_mid(k, psv);
-                    let (u, v, t, qv) = f(lat, lon, k, pm);
-                    es.u[k * NPTS + p] = u;
-                    es.v[k * NPTS + p] = v;
-                    es.t[k * NPTS + p] = t;
-                    if self.config.qsize > 0 {
-                        es.qdp[k * NPTS + p] = qv * dp;
-                    }
-                }
-            }
-        }
+        init_columns(&self.dycore, self.config.nlev, self.config.qsize, &mut self.state, &ps, &f);
     }
 
     /// Install surface topography: `phis(lat, lon)` in m^2/s^2 (geopotential
@@ -158,14 +114,17 @@ impl Swcam {
             let phys_dt = self.dycore.cfg.dt
                 * self.config.nsplit as f64
                 * self.config.planet.reduction();
-            let diags = apply_physics(
+            if let Err(e) = apply_physics_checked(
                 &self.dycore,
                 &mut self.state,
                 &self.suite,
                 phys_dt,
                 self.config.sst,
-            );
-            for (acc, d) in self.precip_accum.iter_mut().zip(&diags) {
+                &mut self.phys_diags,
+            ) {
+                panic!("step {} aborted by physics guard: {e}", self.steps);
+            }
+            for (acc, d) in self.precip_accum.iter_mut().zip(&self.phys_diags) {
                 *acc += d.precip;
             }
         }
@@ -276,6 +235,98 @@ impl Swcam {
             .iter()
             .flat_map(|el| el.metric.iter().map(|m| (m.lat, m.lon)))
             .collect()
+    }
+}
+
+/// The dynamical core implied by a namelist (grid + dims + vertical grid +
+/// kernel path). Shared by [`Swcam::new`] and the ensemble driver so both
+/// paths run on an identically-constructed dycore.
+pub fn build_dycore(config: &ModelConfig) -> Dycore {
+    let dims = Dims { nlev: config.nlev, qsize: config.qsize };
+    let grid = CubedSphere::new_planet(config.ne, config.planet.radius, config.planet.omega);
+    Dycore::from_grid(grid, dims, config.ptop, config.dycore_config())
+}
+
+/// The physics suite implied by a namelist (shared by [`Swcam::new`] and
+/// the ensemble driver).
+pub fn build_suite(config: &ModelConfig) -> PhysicsSuite {
+    match config.suite {
+        SuiteChoice::None => PhysicsSuite::None,
+        SuiteChoice::HeldSuarez => PhysicsSuite::HeldSuarez(HeldSuarez::default()),
+        SuiteChoice::Simple => {
+            let sp = SimplePhysics { sst: config.sst, ..Default::default() };
+            PhysicsSuite::Simple(sp)
+        }
+        SuiteChoice::Full => {
+            let sp = SimplePhysics { sst: config.sst, ..Default::default() };
+            PhysicsSuite::Full {
+                simple: sp,
+                convection: swphysics::BettsMiller::default(),
+                kessler: Kessler::default(),
+                radiation: GrayRadiation::default(),
+            }
+        }
+    }
+}
+
+/// Zero every prognostic arena of `state` in place (no reallocation — the
+/// ensemble driver re-initializes retired member lanes through this).
+pub fn reset_state(state: &mut State) {
+    state.u.fill(0.0);
+    state.v.fill(0.0);
+    state.t.fill(0.0);
+    state.dp3d.fill(0.0);
+    state.qdp.fill(0.0);
+    state.phis.fill(0.0);
+}
+
+/// The resting isothermal default initial condition ([`Swcam::new`]'s
+/// baseline, shared with the scenario registry): T = 285 K everywhere,
+/// hydrostatic reference thickness at `P0`, winds and tracers untouched.
+pub fn resting_init(dycore: &Dycore, nlev: usize, state: &mut State) {
+    let vert = &dycore.rhs.vert;
+    for es in state.elems_mut() {
+        for k in 0..nlev {
+            for p in 0..NPTS {
+                es.t[k * NPTS + p] = 285.0;
+                es.dp3d[k * NPTS + p] = vert.dp_ref(k, cubesphere::P0);
+            }
+        }
+    }
+}
+
+/// Column-wise analytic initialization on a bare dycore + state pair (the
+/// free-function form of [`Swcam::init_with`], so scenario initializers can
+/// run against an ensemble member lane without building a model): `f(lat,
+/// lon, k, p_mid) -> (u, v, t, qv)` with hydrostatic `dp3d` from `ps(lat,
+/// lon)`. Performs no heap allocation.
+pub fn init_columns(
+    dycore: &Dycore,
+    nlev: usize,
+    qsize: usize,
+    state: &mut State,
+    ps: &dyn Fn(f64, f64) -> f64,
+    f: &dyn Fn(f64, f64, usize, f64) -> (f64, f64, f64, f64),
+) {
+    let vert = &dycore.rhs.vert;
+    let grid_elems = &dycore.grid.elements;
+    for (es, el) in state.elems_mut().zip(grid_elems.iter()) {
+        for p in 0..NPTS {
+            let (lat, lon) = (el.metric[p].lat, el.metric[p].lon);
+            let psv = ps(lat, lon);
+            for k in 0..nlev {
+                let dp = vert.dp_ref(k, psv);
+                es.dp3d[k * NPTS + p] = dp;
+                let pm = vert.p_mid(k, psv);
+                let (u, v, t, qv) = f(lat, lon, k, pm);
+                es.u[k * NPTS + p] = u;
+                es.v[k * NPTS + p] = v;
+                es.t[k * NPTS + p] = t;
+                if qsize > 0 {
+                    es.qdp[k * NPTS + p] = qv * dp;
+                }
+            }
+        }
     }
 }
 

@@ -155,6 +155,30 @@ pub enum HealthError {
     /// The hyperviscosity plan rejected the step (corrupt element metric
     /// or non-finite step coefficient).
     Hypervis(HypervisError),
+    /// A physics column scheme produced (or was handed) an unusable
+    /// column. The dycore never raises this itself — the coupling layer
+    /// converts its typed physics error into this variant so a bad column
+    /// routes through the same rollback machinery as [`RemapError`]
+    /// instead of being silently inserted next to healthy neighbors.
+    Physics {
+        /// Element index of the rejected column.
+        elem: usize,
+        /// GLL point index within the element.
+        point: usize,
+        /// What was wrong with the column.
+        fault: PhysicsFault,
+    },
+}
+
+/// What a physics column validation found (the dycore-side mirror of the
+/// physics crate's typed error — kept payload-free so [`HealthError`] stays
+/// `Copy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhysicsFault {
+    /// NaN or infinity in a column field.
+    NonFinite,
+    /// Moisture below the corruption threshold (beyond numerical noise).
+    NegativeMoisture,
 }
 
 impl From<RemapError> for HealthError {
@@ -183,6 +207,13 @@ impl std::fmt::Display for HealthError {
             }
             HealthError::Remap(e) => write!(f, "vertical remap rejected: {e}"),
             HealthError::Hypervis(e) => write!(f, "hyperviscosity rejected: {e}"),
+            HealthError::Physics { elem, point, fault } => {
+                let what = match fault {
+                    PhysicsFault::NonFinite => "non-finite column",
+                    PhysicsFault::NegativeMoisture => "negative moisture",
+                };
+                write!(f, "physics rejected element {elem} point {point}: {what}")
+            }
         }
     }
 }

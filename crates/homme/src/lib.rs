@@ -48,7 +48,7 @@ pub use deriv::{build_ops, ElemOps};
 pub use diagnostics::{budgets, Budgets};
 pub use dist::{DistDycore, DistError, EPOCH_SHIFT};
 pub use dss::Dss;
-pub use health::{DegradePolicy, HealthConfig, HealthError, StepHealth, TRACER_STAGE};
+pub use health::{DegradePolicy, HealthConfig, HealthError, PhysicsFault, StepHealth, TRACER_STAGE};
 pub use hypervis::{ElemHypervisPlan, HypervisConfig, HypervisError, MIN_GLL_GAP_METERS};
 pub use kernels::blocked::{BlockedOps, KernelPath, StageCombine};
 pub use prim::{Dycore, DycoreConfig, KG5_COEFFS};
@@ -59,4 +59,4 @@ pub use seedref::SeedStepper;
 pub use state::{Dims, ElemMut, ElemRef, State};
 pub use taskgraph::{Neighbors, PipelineStage, StepPath, TaskGraph};
 pub use vert::VertCoord;
-pub use workspace::{DistWorkspace, StepWorkspace};
+pub use workspace::{DistWorkspace, EnsembleWorkspace, StepWorkspace};

@@ -29,8 +29,9 @@ use crate::hypervis::{
 };
 use crate::kernels::blocked::{
     build_blocked_ops, element_rhs_apply_blocked, euler_stage_element_blocked,
-    hypervis_pass_element_blocked, hypervis_pass_levels_blocked, sponge_pass_element_blocked,
-    BlockedOps, KernelPath, StageCombine,
+    hypervis_pass_element_blocked, hypervis_pass_element_members_blocked,
+    hypervis_pass_levels_blocked, hypervis_pass_levels_members_blocked,
+    sponge_pass_element_blocked, BlockedOps, KernelPath, StageCombine,
 };
 use crate::kernels::blocked::remap_element_planned;
 use crate::remap::{remap_element_scalar, RemapError};
@@ -420,6 +421,97 @@ impl Dycore {
             for (x, l) in state.dp3d.iter_mut().zip(&ws.hyp.dp3d) {
                 *x -= dt_sub * hv.nu_p * l;
             }
+        }
+        Ok(())
+    }
+
+    /// Member-batched hyperviscosity: apply the subcycled biharmonic
+    /// operator to the listed `members` of `states` with the step plan
+    /// built **once** and every coefficient walk shared across pairs of
+    /// members (ROADMAP item 4's "lane dimension = member"; pair-wise
+    /// because wider chunks spill registers — see the chunk-width comment
+    /// in the body).
+    ///
+    /// `members` must be strictly increasing indices into `states`, at most
+    /// `ens.lanes()` of them. Member `m`'s result is bitwise identical to
+    /// [`Dycore::apply_hypervis_n`] on member `m` alone: the batched kernels
+    /// keep each member's accumulation order unchanged, the shared
+    /// [`ElemHypervisPlan`] depends only on the grid and step configuration
+    /// (never on member state), and the per-member DSS applies run in the
+    /// standalone order. On the scalar kernel path this falls back to the
+    /// per-member oracle loop.
+    ///
+    /// # Errors
+    /// [`HealthError::Hypervis`] when the shared plan rejects a corrupt
+    /// element metric or non-finite coefficient; no member is touched on
+    /// `Err` (the plan is built before any field is written).
+    pub fn apply_hypervis_members(
+        &mut self,
+        states: &mut [State],
+        members: &[usize],
+        ens: &mut crate::workspace::EnsembleWorkspace,
+        subcycles: usize,
+    ) -> Result<(), HealthError> {
+        let hv = self.cfg.hypervis;
+        if members.is_empty() || (hv.nu == 0.0 && hv.nu_p == 0.0) {
+            return Ok(());
+        }
+        assert!(members.len() <= ens.lanes(), "more members than ensemble lanes");
+        assert!(
+            members.windows(2).all(|w| w[0] < w[1]) && *members.last().unwrap() < states.len(),
+            "members must be strictly increasing indices into states"
+        );
+        if let KernelPath::Scalar = self.kernels {
+            for &m in members {
+                self.apply_hypervis_n(&mut states[m], subcycles)?;
+            }
+            return Ok(());
+        }
+        let Dycore { ops, dss, dims, cfg, sched, ws, bops, .. } = self;
+        let nlev = dims.nlev;
+        let fl = dims.field_len();
+        ws.hv_plan.build(&hv, cfg.dt, subcycles, nlev, ops)?;
+        let nelem = ops.len();
+        // Disjointness: `members` is strictly increasing (asserted above),
+        // so the raw-pointer reborrows below hand out non-aliasing `&mut`s.
+        let base = states.as_mut_ptr();
+        let mut done = 0;
+        while done < members.len() {
+            let left = members.len() - done;
+            // Chunk width is capped at 2: the M=4 variant keeps four members'
+            // [[V4F64; NP]; M] working sets live through each fused Laplacian
+            // pass, which spills out of the 16 ymm registers and runs ~2x
+            // slower *per member* than M=2 on this target (measured on the
+            // ne4 aquaplanet: 118 ms/member at M=4 vs 55 ms at M=2 vs 60 ms
+            // serial). M=2 shares the coefficient walk without spilling.
+            let take = if left >= 2 { 2 } else { 1 };
+            let idx = &members[done..done + take];
+            let (lanes_head, _) = ens.lanes.split_at_mut(done + take);
+            let lanes = &mut lanes_head[done..];
+            match take {
+                2 => {
+                    let chunk: [&mut State; 2] =
+                        core::array::from_fn(|m| unsafe { &mut *base.add(idx[m]) });
+                    let mut it = lanes.iter_mut();
+                    let hyps: [&mut DynFields; 2] = core::array::from_fn(|_| it.next().unwrap());
+                    hypervis_members_chunk::<2>(
+                        sched, dss, bops, &ws.hv_plan, &hv, nlev, fl, nelem,
+                        (&mut ws.sponge_u, &mut ws.sponge_v, &mut ws.sponge_t),
+                        chunk, hyps, subcycles,
+                    );
+                }
+                _ => {
+                    let chunk: [&mut State; 1] = [unsafe { &mut *base.add(idx[0]) }];
+                    let mut it = lanes.iter_mut();
+                    let hyps: [&mut DynFields; 1] = core::array::from_fn(|_| it.next().unwrap());
+                    hypervis_members_chunk::<1>(
+                        sched, dss, bops, &ws.hv_plan, &hv, nlev, fl, nelem,
+                        (&mut ws.sponge_u, &mut ws.sponge_v, &mut ws.sponge_t),
+                        chunk, hyps, subcycles,
+                    );
+                }
+            }
+            done += take;
         }
         Ok(())
     }
@@ -1420,6 +1512,167 @@ fn finish_tracer_stage(ops: &[ElemOps], dss: &mut Dss, dims: Dims, limiter: bool
     }
 }
 
+/// One member's borrowed `(u, v, t, dp3d)` element slices.
+type UvtdpRef<'a> = (&'a [f64], &'a [f64], &'a [f64], &'a [f64]);
+
+/// Per-member mutable `(u, v, t, dp3d)` element slices for an `M`-chunk.
+type UvtdpMut<'a, const M: usize> =
+    ([&'a mut [f64]; M], [&'a mut [f64]; M], [&'a mut [f64]; M], [&'a mut [f64]; M]);
+
+/// Subcycled biharmonic hyperviscosity for one chunk of `M` ensemble
+/// members, mirroring the blocked arm of [`Dycore::apply_hypervis_n`]
+/// phase for phase: sponge sweep, then per subcycle a fused first Laplacian
+/// straight from each member's state into its hyp lane, one DSS per member,
+/// the in-place second Laplacian, and the damping folded into the DSS
+/// scatter. The element sweeps batch all `M` members through shared
+/// coefficient walks ([`hypervis_pass_element_members_blocked`]); the
+/// serial DSS phases run per member in the standalone order, so member `m`
+/// stays bitwise identical to the single-member path.
+#[allow(clippy::too_many_arguments)]
+fn hypervis_members_chunk<const M: usize>(
+    sched: &ElemScheduler,
+    dss: &mut Dss,
+    bops: &[BlockedOps],
+    plan: &ElemHypervisPlan,
+    hv: &HypervisConfig,
+    nlev: usize,
+    fl: usize,
+    nelem: usize,
+    sponge: (&mut [f64], &mut [f64], &mut [f64]),
+    mut states: [&mut State; M],
+    mut hyps: [&mut DynFields; M],
+    subcycles: usize,
+) {
+    // Top-of-model sponge, per member (the sponge is `ks * NPTS` of the
+    // column — too thin to amortize a batched walk — and shares the step
+    // workspace's single staging arena set).
+    if hv.nu_top > 0.0 && hv.sponge_layers > 0 {
+        let ks = plan.ks;
+        let sl = ks * NPTS;
+        let (sp_u, sp_v, sp_t) = sponge;
+        for st_m in states.iter_mut() {
+            {
+                let ou = ArenaMut::new(sp_u);
+                let ov = ArenaMut::new(sp_v);
+                let ot = ArenaMut::new(sp_t);
+                let (su, sv, st): (&[f64], &[f64], &[f64]) = (&st_m.u, &st_m.v, &st_m.t);
+                sched.run(nelem, &|_w, e| {
+                    let (ou, ov, ot) = unsafe {
+                        (ou.slice(e * sl, sl), ov.slice(e * sl, sl), ot.slice(e * sl, sl))
+                    };
+                    sponge_pass_element_blocked(
+                        &bops[e],
+                        ks,
+                        &su[e * fl..e * fl + sl],
+                        &sv[e * fl..e * fl + sl],
+                        &st[e * fl..e * fl + sl],
+                        ou,
+                        ov,
+                        ot,
+                    );
+                });
+            }
+            dss.apply_flat_scaled_add(sp_u, ks, &plan.sponge, &mut st_m.u, fl);
+            dss.apply_flat_scaled_add(sp_v, ks, &plan.sponge, &mut st_m.v, fl);
+            dss.apply_flat_scaled_add(sp_t, ks, &plan.sponge, &mut st_m.t, fl);
+        }
+    }
+    for _ in 0..subcycles {
+        // First Laplacian of every member's (u, v, T, dp3d): the fused
+        // member-batched coefficient walk, state -> hyp lanes.
+        {
+            struct Lane<'a> {
+                u: ArenaMut<'a>,
+                v: ArenaMut<'a>,
+                t: ArenaMut<'a>,
+                dp: ArenaMut<'a>,
+            }
+            let lanes: [Lane; M] = {
+                let mut it = hyps.iter_mut();
+                core::array::from_fn(|_| {
+                    let h = it.next().unwrap();
+                    Lane {
+                        u: ArenaMut::new(&mut h.u),
+                        v: ArenaMut::new(&mut h.v),
+                        t: ArenaMut::new(&mut h.t),
+                        dp: ArenaMut::new(&mut h.dp3d),
+                    }
+                })
+            };
+            let srcs: [UvtdpRef; M] = {
+                let mut it = states.iter();
+                core::array::from_fn(|_| {
+                    let s = it.next().unwrap();
+                    (&s.u[..], &s.v[..], &s.t[..], &s.dp3d[..])
+                })
+            };
+            sched.run(nelem, &|_w, e| {
+                let r = e * fl..(e + 1) * fl;
+                let su: [&[f64]; M] = core::array::from_fn(|m| &srcs[m].0[r.clone()]);
+                let sv: [&[f64]; M] = core::array::from_fn(|m| &srcs[m].1[r.clone()]);
+                let st: [&[f64]; M] = core::array::from_fn(|m| &srcs[m].2[r.clone()]);
+                let sdp: [&[f64]; M] = core::array::from_fn(|m| &srcs[m].3[r.clone()]);
+                let (mut ou, mut ov, mut ot, mut odp): UvtdpMut<M> = unsafe {
+                    (
+                        core::array::from_fn(|m| lanes[m].u.slice(e * fl, fl)),
+                        core::array::from_fn(|m| lanes[m].v.slice(e * fl, fl)),
+                        core::array::from_fn(|m| lanes[m].t.slice(e * fl, fl)),
+                        core::array::from_fn(|m| lanes[m].dp.slice(e * fl, fl)),
+                    )
+                };
+                hypervis_pass_element_members_blocked::<M>(
+                    &bops[e], nlev, &su, &sv, &st, &sdp, &mut ou, &mut ov, &mut ot, &mut odp,
+                );
+            });
+        }
+        for h in hyps.iter_mut() {
+            dss.apply_flat4([&mut h.u, &mut h.v, &mut h.t, &mut h.dp3d], nlev);
+        }
+        // Second Laplacian in place (del^4 = lap(lap)), again batched.
+        {
+            struct Lane<'a> {
+                u: ArenaMut<'a>,
+                v: ArenaMut<'a>,
+                t: ArenaMut<'a>,
+                dp: ArenaMut<'a>,
+            }
+            let lanes: [Lane; M] = {
+                let mut it = hyps.iter_mut();
+                core::array::from_fn(|_| {
+                    let h = it.next().unwrap();
+                    Lane {
+                        u: ArenaMut::new(&mut h.u),
+                        v: ArenaMut::new(&mut h.v),
+                        t: ArenaMut::new(&mut h.t),
+                        dp: ArenaMut::new(&mut h.dp3d),
+                    }
+                })
+            };
+            sched.run(nelem, &|_w, e| {
+                let (mut u, mut v, mut t, mut dp): UvtdpMut<M> = unsafe {
+                    (
+                        core::array::from_fn(|m| lanes[m].u.slice(e * fl, fl)),
+                        core::array::from_fn(|m| lanes[m].v.slice(e * fl, fl)),
+                        core::array::from_fn(|m| lanes[m].t.slice(e * fl, fl)),
+                        core::array::from_fn(|m| lanes[m].dp.slice(e * fl, fl)),
+                    )
+                };
+                hypervis_pass_levels_members_blocked::<M>(&bops[e], nlev, &mut u, &mut v, &mut t, &mut dp);
+            });
+        }
+        // Damping folded into the DSS scatter, per member.
+        for (h, st_m) in hyps.iter().zip(states.iter_mut()) {
+            dss.apply_flat_scaled_add4(
+                [&h.u, &h.v, &h.t, &h.dp3d],
+                nlev,
+                [&plan.damp_u, &plan.damp_u, &plan.damp_u, &plan.damp_dp],
+                [&mut st_m.u, &mut st_m.v, &mut st_m.t, &mut st_m.dp3d],
+                fl,
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1460,6 +1713,51 @@ mod tests {
         }
         assert!(dy.max_wind(&st) < 1e-10, "wind grew: {}", dy.max_wind(&st));
         assert!(st.max_abs_diff(&ref_st) < 1e-8, "state drifted: {}", st.max_abs_diff(&ref_st));
+    }
+
+    /// The member-batched hypervis driver is bitwise identical to the
+    /// single-member path run member by member, across chunk shapes
+    /// (1, 2, 3 = 2+1, 4, 5 = 4+1) and with the sponge active.
+    #[test]
+    fn hypervis_members_matches_per_member_bitwise() {
+        let dims = Dims { nlev: 6, qsize: 0 };
+        let mut cfg = DycoreConfig::for_ne(4);
+        cfg.dt = 100.0;
+        cfg.hypervis.sponge_layers = 2;
+        cfg.hypervis.nu_top = 2.5e5;
+        let mut dy = Dycore::new(2, dims, 200.0, cfg);
+        let subcycles = dy.hypervis_subcycles();
+
+        let make_members = |dy: &Dycore, n: usize| -> Vec<State> {
+            (0..n)
+                .map(|m| {
+                    let mut st = resting_state(dy);
+                    for (i, t) in st.t.iter_mut().enumerate() {
+                        *t += 2.0 * (((i + 7 * m) % 13) as f64 / 13.0 - 0.5);
+                    }
+                    for (i, u) in st.u.iter_mut().enumerate() {
+                        *u += 0.5 * (((i + 3 * m) % 7) as f64 / 7.0 - 0.5);
+                    }
+                    st
+                })
+                .collect()
+        };
+
+        for n in [1usize, 2, 3, 4, 5] {
+            let mut expect = make_members(&dy, n);
+            for st in expect.iter_mut() {
+                dy.apply_hypervis_n(st, subcycles).unwrap();
+            }
+
+            let mut got = make_members(&dy, n);
+            let members: Vec<usize> = (0..n).collect();
+            let mut ens = crate::workspace::EnsembleWorkspace::new(dims, dy.ops.len(), n);
+            dy.apply_hypervis_members(&mut got, &members, &mut ens, subcycles).unwrap();
+
+            for (m, (e, g)) in expect.iter().zip(&got).enumerate() {
+                assert_eq!(e.max_abs_diff(g), 0.0, "n={n} member={m} diverged");
+            }
+        }
     }
 
     #[test]

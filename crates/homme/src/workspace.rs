@@ -187,6 +187,33 @@ impl StepWorkspace {
     }
 }
 
+/// Per-lane hyperviscosity scratch for the member-batched ensemble path:
+/// one full-depth Laplacian arena set per in-flight ensemble member, so
+/// [`crate::prim::Dycore::apply_hypervis_members`] can run the biharmonic
+/// passes of up to `lanes` members through shared coefficient walks without
+/// the members' scratch aliasing. Allocated once by the ensemble driver at
+/// construction and reused every step (the ensemble alloc gate rides on
+/// this), same reuse contract as [`StepWorkspace`]: every slot is written
+/// before it is read within a pass.
+#[derive(Debug)]
+pub struct EnsembleWorkspace {
+    /// One hyp arena set (`u`, `v`, `t`, `dp3d`) per member lane.
+    pub lanes: Vec<DynFields>,
+}
+
+impl EnsembleWorkspace {
+    /// Lane buffers sized for `nelem` elements of `dims`, `lanes` members.
+    pub fn new(dims: Dims, nelem: usize, lanes: usize) -> Self {
+        let fl = nelem * dims.field_len();
+        EnsembleWorkspace { lanes: (0..lanes).map(|_| DynFields::zeros(fl)).collect() }
+    }
+
+    /// Number of member lanes this workspace can batch.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+}
+
 /// Persistent per-rank scratch owned by [`crate::dist::DistDycore`] — the
 /// distributed analog of [`StepWorkspace`]. Holds the RK stage arenas
 /// (sized for the rank's owned elements), hyperviscosity/sponge/tracer

@@ -16,9 +16,10 @@
 //!   model-internal drift`.
 
 use crate::besttrack::{observed_steering, KT_PER_MS, OBSERVED};
+use crate::scenario::model_config;
 use crate::tracker::{find_storm, TrackPoint};
 use crate::vortex::VortexParams;
-use swcam_core::{ModelConfig, Planet, SuiteChoice, Swcam};
+use swcam_core::Swcam;
 
 /// Configuration of one Katrina run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,13 +89,7 @@ pub struct KatrinaResult {
 
 /// Run the experiment.
 pub fn run(config: KatrinaConfig) -> KatrinaResult {
-    let mut mc = ModelConfig::for_ne(config.ne);
-    mc.nlev = config.nlev;
-    mc.qsize = 3;
-    mc.suite = SuiteChoice::Simple;
-    mc.planet = Planet::small(config.reduction);
-    mc.sst = 302.15;
-    let mut model = Swcam::new(mc);
+    let mut model = Swcam::new(model_config(&config));
 
     // Seed the vortex at Katrina's genesis position.
     let planet = model.config.planet;

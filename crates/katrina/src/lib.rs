@@ -14,10 +14,12 @@
 
 pub mod besttrack;
 pub mod experiment;
+pub mod scenario;
 pub mod tracker;
 pub mod vortex;
 
 pub use besttrack::{observed_position, observed_steering, BestTrackPoint, KT_PER_MS, OBSERVED};
 pub use experiment::{run, EarthFix, KatrinaConfig, KatrinaResult};
+pub use scenario::{model_config, register_scenario, scenario};
 pub use tracker::{find_storm, TrackPoint};
 pub use vortex::VortexParams;

@@ -1,0 +1,102 @@
+//! The Katrina hindcast as a [`ScenarioSpec`]: the experiment's namelist +
+//! vortex seeding packaged as registry data, so the ensemble engine can
+//! batch Katrina members exactly like the built-in workloads.
+
+use crate::besttrack::OBSERVED;
+use crate::experiment::KatrinaConfig;
+use crate::vortex::VortexParams;
+use std::sync::Arc;
+use swcam_core::{
+    init_columns, ModelConfig, Planet, ScenarioRegistry, ScenarioSpec, SuiteChoice,
+};
+
+/// The model namelist a [`KatrinaConfig`] implies (shared by the
+/// standalone experiment and the registry entry).
+pub fn model_config(config: &KatrinaConfig) -> ModelConfig {
+    let mut mc = ModelConfig::for_ne(config.ne);
+    mc.nlev = config.nlev;
+    mc.qsize = 3;
+    mc.suite = SuiteChoice::Simple;
+    mc.planet = Planet::small(config.reduction);
+    mc.sst = 302.15;
+    mc
+}
+
+/// Package a [`KatrinaConfig`] as a registry scenario: Reed–Jablonowski
+/// vortex at Katrina's observed genesis position over a 302.15 K ocean on
+/// the reduced-radius planet. `perturb_t` seeds ensemble spread around the
+/// deterministic hindcast (0.1 K — small against the storm's warm core).
+pub fn scenario(config: &KatrinaConfig) -> ScenarioSpec {
+    let mc = model_config(config);
+    let (lat0, lon0) = (OBSERVED[0].lat.to_radians(), OBSERVED[0].lon.to_radians());
+    let vp = VortexParams::reed_jablonowski(lat0, lon0, mc.planet.radius, mc.planet.omega);
+    ScenarioSpec {
+        name: "katrina",
+        summary: "hurricane-Katrina hindcast: balanced RJ vortex, warm ocean, small planet",
+        config: mc,
+        perturb_t: 0.1,
+        init: Arc::new(move |dy, cfg, st| {
+            let radius = cfg.planet.radius;
+            init_columns(
+                dy,
+                cfg.nlev,
+                cfg.qsize,
+                st,
+                &|lat, lon| vp.ps(vp.distance(lat, lon, radius)),
+                &|lat, lon, _k, pm| vp.state_at(lat, lon, pm, radius),
+            );
+        }),
+    }
+}
+
+/// Register the ne30-class hindcast under the name `katrina`.
+pub fn register_scenario(reg: &mut ScenarioRegistry) {
+    reg.register(scenario(&KatrinaConfig::ne30_class()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swcam_core::{Ensemble, EnsembleConfig, MemberStatus};
+
+    #[test]
+    fn katrina_scenario_registers_and_builds() {
+        let mut reg = ScenarioRegistry::builtin();
+        register_scenario(&mut reg);
+        let spec = reg.get("katrina").expect("registered");
+        spec.config.validate().expect("valid namelist");
+        assert_eq!(spec.config.suite, SuiteChoice::Simple);
+        assert!(spec.config.planet.reduction() > 1.0);
+        // The seeded vortex is present: a central pressure deficit.
+        let model = spec.build_model(1);
+        let ps = model.surface_pressure();
+        let min = ps.iter().cloned().fold(f64::MAX, f64::min);
+        let max = ps.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(min < cubesphere::P0 - 500.0, "no pressure deficit: min {min}");
+        assert!(max > min + 500.0);
+    }
+
+    #[test]
+    fn katrina_ensemble_member_matches_standalone_bitwise() {
+        // Shrunk hindcast through the batch driver, pinned against the
+        // standalone model.
+        let small =
+            KatrinaConfig { ne: 2, reduction: 7.5, nlev: 6, earth_hours: 1.0, output_every: 1.0 };
+        let spec = scenario(&small);
+        let mut ens = Ensemble::new(spec.clone(), EnsembleConfig { lanes: 2, max_rollbacks: 2 });
+        ens.submit(3, 2);
+        ens.submit(4, 2);
+        let reports = ens.run_all().expect("batch runs");
+        assert_eq!(reports.len(), 2);
+        for (r, seed) in reports.iter().zip([3u64, 4]) {
+            assert_eq!(r.status, MemberStatus::Finished);
+            let mut oracle = spec.build_model(seed);
+            oracle.run_steps(2);
+            assert_eq!(
+                r.state.max_abs_diff(&oracle.state),
+                0.0,
+                "katrina member seed {seed} diverged from standalone"
+            );
+        }
+    }
+}

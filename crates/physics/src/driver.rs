@@ -38,6 +38,87 @@ pub struct PhysicsDiag {
     pub olr: f64,
 }
 
+/// Why a physics column was rejected by [`PhysicsSuite::step_checked`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PhysicsError {
+    /// NaN or infinity in a column field, named by `field`.
+    NonFinite {
+        /// Which column field held the non-finite value.
+        field: &'static str,
+        /// Layer index of the first offending value.
+        level: usize,
+    },
+    /// A moisture field below [`MOISTURE_FLOOR`] — past numerical noise,
+    /// into corruption.
+    NegativeMoisture {
+        /// Which moisture field went negative.
+        field: &'static str,
+        /// Layer index of the first offending value.
+        level: usize,
+        /// The offending mixing ratio, kg/kg.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for PhysicsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PhysicsError::NonFinite { field, level } => {
+                write!(f, "non-finite {field} at level {level}")
+            }
+            PhysicsError::NegativeMoisture { field, level, value } => {
+                write!(f, "negative moisture {field} = {value:.3e} kg/kg at level {level}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PhysicsError {}
+
+/// Most-negative mixing ratio (kg/kg) a column may carry before it counts
+/// as corrupt rather than numerical noise. Healthy advection without the
+/// limiter produces undershoots many orders of magnitude smaller; a value
+/// past this floor means something upstream wrote garbage.
+pub const MOISTURE_FLOOR: f64 = -1.0e-6;
+
+/// Validate every field of `col`: finite everywhere, moisture no lower
+/// than [`MOISTURE_FLOOR`].
+///
+/// # Errors
+/// The first offending field/level as a [`PhysicsError`].
+pub fn validate_column(col: &Column) -> Result<(), PhysicsError> {
+    let finite = |field: &'static str, vals: &[f64]| -> Result<(), PhysicsError> {
+        match vals.iter().position(|v| !v.is_finite()) {
+            Some(level) => Err(PhysicsError::NonFinite { field, level }),
+            None => Ok(()),
+        }
+    };
+    finite("p_mid", &col.p_mid)?;
+    finite("p_int", &col.p_int)?;
+    finite("dp", &col.dp)?;
+    finite("t", &col.t)?;
+    finite("u", &col.u)?;
+    finite("v", &col.v)?;
+    finite("qv", &col.qv)?;
+    finite("qc", &col.qc)?;
+    finite("qr", &col.qr)?;
+    if !col.ts.is_finite() {
+        return Err(PhysicsError::NonFinite { field: "ts", level: 0 });
+    }
+    let moist = |field: &'static str, vals: &[f64]| -> Result<(), PhysicsError> {
+        match vals.iter().position(|&v| v < MOISTURE_FLOOR) {
+            Some(level) => {
+                Err(PhysicsError::NegativeMoisture { field, level, value: vals[level] })
+            }
+            None => Ok(()),
+        }
+    };
+    moist("qv", &col.qv)?;
+    moist("qc", &col.qc)?;
+    moist("qr", &col.qr)?;
+    Ok(())
+}
+
 impl PhysicsSuite {
     /// Apply one physics step of length `dt` to a column.
     pub fn step(&self, col: &mut Column, dt: f64) -> PhysicsDiag {
@@ -58,6 +139,26 @@ impl PhysicsSuite {
             }
         }
         diag
+    }
+
+    /// [`PhysicsSuite::step`] with the column vetted before **and** after
+    /// the schemes run.
+    ///
+    /// The unchecked `step` silently propagates NaN or corrupt-moisture
+    /// columns — the input check catches garbage handed in by the caller
+    /// (so a poisoned column is rejected before any scheme reads it), and
+    /// the output check catches a scheme blowing up on an extreme-but-
+    /// finite input. On `Err` the column may hold partially stepped
+    /// values; the caller is expected to discard it and roll back, which
+    /// is exactly what the coupling layer's checked path does.
+    ///
+    /// # Errors
+    /// The first [`PhysicsError`] found on the way in or out.
+    pub fn step_checked(&self, col: &mut Column, dt: f64) -> Result<PhysicsDiag, PhysicsError> {
+        validate_column(col)?;
+        let diag = self.step(col, dt);
+        validate_column(col)?;
+        Ok(diag)
     }
 }
 
@@ -94,6 +195,43 @@ mod tests {
         assert!(col.t.iter().all(|&t| (150.0..360.0).contains(&t)));
         assert!(col.qv.iter().all(|&q| (0.0..0.1).contains(&q)));
         assert!(total_precip >= 0.0);
+    }
+
+    #[test]
+    fn step_checked_accepts_healthy_and_matches_unchecked() {
+        let suite = PhysicsSuite::Simple(SimplePhysics::default());
+        let mut a = Column::isothermal(12, 1500.0, 101_000.0, 290.0);
+        a.ts = 302.15;
+        let mut b = a.clone();
+        let da = suite.step(&mut a, 900.0);
+        let db = suite.step_checked(&mut b, 900.0).expect("healthy column must pass");
+        assert_eq!(a, b, "checked path must not perturb the column");
+        assert_eq!(da, db);
+    }
+
+    #[test]
+    fn step_checked_rejects_nan_input_before_schemes_run() {
+        let suite = PhysicsSuite::Simple(SimplePhysics::default());
+        let mut col = Column::isothermal(8, 1000.0, 101_000.0, 280.0);
+        col.t[3] = f64::NAN;
+        let err = suite.step_checked(&mut col, 600.0).unwrap_err();
+        assert_eq!(err, PhysicsError::NonFinite { field: "t", level: 3 });
+    }
+
+    #[test]
+    fn step_checked_rejects_corrupt_moisture_but_tolerates_noise() {
+        let suite = PhysicsSuite::None;
+        let mut col = Column::isothermal(8, 1000.0, 101_000.0, 280.0);
+        // Numerical undershoot well inside the floor: accepted.
+        col.qv[2] = 0.5 * MOISTURE_FLOOR;
+        suite.step_checked(&mut col, 600.0).expect("noise-level undershoot must pass");
+        // Corruption-scale negative moisture: rejected.
+        col.qv[2] = -0.5;
+        let err = suite.step_checked(&mut col, 600.0).unwrap_err();
+        assert!(
+            matches!(err, PhysicsError::NegativeMoisture { field: "qv", level: 2, .. }),
+            "got {err:?}"
+        );
     }
 
     #[test]

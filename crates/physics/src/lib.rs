@@ -29,7 +29,7 @@ pub mod simple;
 
 pub use column::{sat_mixing_ratio, sat_vapor_pressure, saturation_adjust, Column};
 pub use convection::BettsMiller;
-pub use driver::{PhysicsDiag, PhysicsSuite};
+pub use driver::{validate_column, PhysicsDiag, PhysicsError, PhysicsSuite, MOISTURE_FLOOR};
 pub use held_suarez::HeldSuarez;
 pub use kessler::Kessler;
 pub use radiation::GrayRadiation;

@@ -13,28 +13,47 @@
 # artifact lives alongside the tree.
 #
 # Section 2 reads BENCH_fullstep.json and enforces the task-graph parallel
-# floor (see below). Each section skips independently when its artifact is
-# absent. awk-only: CI and the offline dev container both lack jq.
+# floor (see below). Section 3 reads BENCH_ensemble.json and enforces the
+# ensemble-engine floors. Each section skips independently when its
+# artifact is absent. awk-only: CI and the offline dev container both
+# lack jq.
+#
+# Number extraction uses match() on a full float pattern (sign, decimals,
+# exponent) rather than stripping trailing non-digits: `sub(/[^0-9.].*/,
+# "", s)` reads "9.5e-1" as 9.5 — a 10x misparse that once let a losing
+# speedup sail past the floor. scripts/bench_guard_selftest.sh pins the
+# fixed behaviour with synthetic artifacts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# awk body shared by every section: parse the leading float of s,
+# exponent form included; flag = 0 when nothing numeric is there.
+NUM_FN='
+  function num(s) {
+    if (match(s, /^-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?/))
+      return substr(s, RSTART, RLENGTH) + 0
+    num_bad = 1
+    return 0
+  }
+'
 
 ARTIFACT="${1:-BENCH_kernels.json}"
 REMAP_TARGET=1.5
 HYPERVIS_TARGET=1.5
 
 if [[ -f "$ARTIFACT" ]]; then
-    awk -F'"' -v target="$REMAP_TARGET" -v hv_target="$HYPERVIS_TARGET" '
+    awk -F'"' -v target="$REMAP_TARGET" -v hv_target="$HYPERVIS_TARGET" "$NUM_FN"'
       /"smoke": true/ { smoke = 1 }
       /\{"name":/ {
         name = $4
         sp = $0
         sub(/.*"speedup": /, "", sp)
-        sub(/[^0-9.].*/, "", sp)
-        speedup[name] = sp + 0
+        speedup[name] = num(sp)
         nrows++
       }
       END {
         if (nrows == 0) { print "bench guard: no kernel rows parsed"; exit 1 }
+        if (num_bad) { print "bench guard: unparseable speedup value"; exit 1 }
         if (!("vertical_remap" in speedup)) {
           print "bench guard: vertical_remap row missing"; exit 1
         }
@@ -77,38 +96,110 @@ fi
 # once real cores are available (the graph's whole point is erasing the
 # DSS barriers). On hosts without >= 4 cores the comparison is noise —
 # worker threads just time-slice one core — so the floor is structurally
-# skipped with the reason logged, never silently.
+# skipped with the reason logged, never silently. The same goes for an
+# artifact that records "oversubscribed": true (SWCAM_BENCH_THREADS
+# forced more workers than cores): its parallel timings measure
+# time-slicing, not parallelism.
 FULLSTEP="${2:-BENCH_fullstep.json}"
 TASKGRAPH_FLOOR=1.2
 
-if [[ ! -f "$FULLSTEP" ]]; then
+if [[ -f "$FULLSTEP" ]]; then
+    awk -v floor="$TASKGRAPH_FLOOR" "$NUM_FN"'
+      /"cores":/ { c = $0; sub(/.*"cores": /, "", c); cores = num(c) }
+      /"oversubscribed": true/ { oversub = 1 }
+      /"taskgraph_speedup_vs_bulk_parallel":/ {
+        s = $0
+        sub(/.*"taskgraph_speedup_vs_bulk_parallel": /, "", s)
+        ratio = num(s)
+        seen = 1
+      }
+      END {
+        if (!seen) {
+          print "bench guard: fullstep artifact predates the task-graph fields; re-run the fullstep bench"
+          exit 1
+        }
+        if (num_bad) { print "bench guard: unparseable fullstep value"; exit 1 }
+        if (cores < 4) {
+          printf "bench guard: SKIP task-graph parallel floor — only %d core(s); the floor needs >= 4 real cores\n", cores
+          exit 0
+        }
+        if (oversub) {
+          print "bench guard: SKIP task-graph parallel floor — artifact marked oversubscribed (threads forced past cores)"
+          exit 0
+        }
+        if (ratio < floor) {
+          printf "bench guard: task-graph parallel step %.3fx vs bulk < %.1fx floor\n", ratio, floor
+          exit 1
+        }
+        printf "bench guard: OK task-graph parallel step %.3fx >= %.1fx floor (%d cores)\n", ratio, floor, cores
+      }
+    ' "$FULLSTEP"
+else
     echo "bench guard: $FULLSTEP not present;" \
          "run 'cargo run --release -p swcam-bench --bin fullstep' to enforce the task-graph parallel floor"
+fi
+
+# Ensemble-engine guard: BENCH_ensemble.json comes from `--bin ensemble`.
+# Hard requirements on any artifact (smoke included): the bitwise pin held
+# (every batched member identical to its standalone run) and the speedup
+# fields parse. Floors bind on full artifacts only: end-to-end and
+# steady-state members/sec must clear ENSEMBLE_FLOOR (default 0.9 — the
+# batch driver must never cost more than it saves; the register-spill
+# regression this floor exists for measured 0.55x). The ROADMAP-4 3x
+# aspiration is recorded in the artifact (target_speedup/target_met) and
+# reported here, but not enforced: on one core with bitwise-identical
+# kernels the measured ceiling is ~1.1x (see DESIGN.md section 5.9), so a
+# 3x floor would only institutionalise a permanently red check.
+ENSEMBLE="${3:-BENCH_ensemble.json}"
+ENSEMBLE_FLOOR="${ENSEMBLE_FLOOR:-0.9}"
+
+if [[ ! -f "$ENSEMBLE" ]]; then
+    echo "bench guard: $ENSEMBLE not present;" \
+         "run 'cargo run --release -p swcam-bench --bin ensemble' to enforce the ensemble floors"
     exit 0
 fi
 
-awk -v floor="$TASKGRAPH_FLOOR" '
-  /"cores":/ { c = $0; sub(/.*"cores": /, "", c); sub(/[^0-9].*/, "", c); cores = c + 0 }
-  /"taskgraph_speedup_vs_bulk_parallel":/ {
-    s = $0
-    sub(/.*"taskgraph_speedup_vs_bulk_parallel": /, "", s)
-    sub(/[^0-9.].*/, "", s)
-    ratio = s + 0
-    seen = 1
+awk -v floor="$ENSEMBLE_FLOOR" "$NUM_FN"'
+  /"mode": "smoke"/ { smoke = 1 }
+  /"bitwise_ok": true/ { bitwise = 1; bitwise_seen = 1 }
+  /"bitwise_ok": false/ { bitwise = 0; bitwise_seen = 1 }
+  /"speedup_end_to_end":/ {
+    s = $0; sub(/.*"speedup_end_to_end": /, "", s); e2e = num(s); e2e_seen = 1
   }
+  /"speedup_steady_state":/ {
+    s = $0; sub(/.*"speedup_steady_state": /, "", s); steady = num(s); steady_seen = 1
+  }
+  /"target_speedup":/ {
+    s = $0; sub(/.*"target_speedup": /, "", s); tgt = num(s); tgt_seen = 1
+  }
+  /"target_met": true/ { met = 1 }
   END {
-    if (!seen) {
-      print "bench guard: fullstep artifact predates the task-graph fields; re-run the fullstep bench"
+    if (!bitwise_seen || !e2e_seen || !steady_seen || !tgt_seen) {
+      print "bench guard: ensemble artifact missing bitwise_ok/speedup/target fields; re-run the ensemble bench"
       exit 1
     }
-    if (cores < 4) {
-      printf "bench guard: SKIP task-graph parallel floor — only %d core(s); the floor needs >= 4 real cores\n", cores
+    if (num_bad) { print "bench guard: unparseable ensemble value"; exit 1 }
+    if (!bitwise) {
+      print "bench guard: ensemble bitwise pin FAILED — a batched member diverged from its standalone run"
+      exit 1
+    }
+    if (smoke) {
+      print "bench guard: ensemble smoke artifact, bitwise pin ok, skipping speedup floors"
       exit 0
     }
-    if (ratio < floor) {
-      printf "bench guard: task-graph parallel step %.3fx vs bulk < %.1fx floor\n", ratio, floor
-      exit 1
+    bad = 0
+    if (e2e < floor) {
+      printf "bench guard: ensemble end-to-end %.3fx < %.2fx floor (batch driver costs more than it saves)\n", e2e, floor
+      bad = 1
     }
-    printf "bench guard: OK task-graph parallel step %.3fx >= %.1fx floor (%d cores)\n", ratio, floor, cores
+    if (steady < floor) {
+      printf "bench guard: ensemble steady-state %.3fx < %.2fx floor (member batching lost to serial stepping)\n", steady, floor
+      bad = 1
+    }
+    if (!bad) {
+      printf "bench guard: OK ensemble end-to-end %.3fx, steady-state %.3fx >= %.2fx floor, bitwise pin held\n", e2e, steady, floor
+      if (!met) printf "bench guard: note — recorded %.1fx members/sec target not met (end-to-end %.3fx); see DESIGN.md section 5.9\n", tgt, e2e
+    }
+    exit bad
   }
-' "$FULLSTEP"
+' "$ENSEMBLE"

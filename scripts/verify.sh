@@ -74,20 +74,38 @@ echo "== hypervis test group"
 cargo test -q -p homme --lib hypervis
 cargo test -q -p homme --test hypervis_parity
 
+# Ensemble group: the member-batched batch driver (DESIGN.md §5.9) — the
+# scenario registry units, the checked physics coupling, the driver's own
+# queue/collect units, the member-vs-standalone bitwise pins (admission,
+# retirement, rollback isolation included), the zero-allocation gates for
+# steady ensemble stepping, and the Katrina registry adapter.
+echo "== ensemble test group"
+cargo test -q -p swcam-core --lib config
+cargo test -q -p swcam-core --lib coupling
+cargo test -q -p swcam-core --lib ensemble
+cargo test -q -p swcam-core --test ensemble_parity
+cargo test -q -p swcam-core --test ensemble_alloc
+cargo test -q -p katrina --lib scenario
+
 # Every table/figure/bench binary must keep building against the current
 # APIs, and the kernels bench must run end-to-end (its in-bench asserts pin
 # blocked==scalar bitwise before any timing). --smoke does one untimed
 # sweep per kernel.
-echo "== bench binaries build + kernels smoke"
+echo "== bench binaries build + kernels/ensemble smoke"
 cargo build --release -p swcam-bench --bins
 ./target/release/kernels --smoke
+./target/release/ensemble --smoke
 
 # Bench-regression guard over whatever BENCH_kernels.json the last kernels
 # run produced. A smoke artifact (the line above; BENCH_*.json is
 # gitignored, so CI only ever sees smoke rows) gets structural checks; a
 # full-sweep dev-host artifact must show no blocked kernel losing to its
 # scalar oracle and the planned vertical remap holding its 1.5x bar.
-echo "== bench-regression guard"
+# The guard's own selftest runs first: the guard is awk over
+# hand-formatted JSON and once misparsed exponent-form floats
+# (see scripts/bench_guard_selftest.sh).
+echo "== bench-regression guard + selftest"
+./scripts/bench_guard_selftest.sh
 ./scripts/bench_guard.sh
 
 # Clippy is not part of every toolchain install; lint when present.
