@@ -6,15 +6,20 @@
 //! blocked operators), initialize, integrate, tear down. The engine serves
 //! the same requests from one warm [`Ensemble`]: geometry and scratch are
 //! shared, members step in lockstep with the hyperviscosity plan built once
-//! per step and its coefficient walks batched across members.
+//! per step and the RK + hypervis kernels batched across member lanes
+//! (`member_kernel_path = "lanes"`: one `V4F64` per grid value, lanes are
+//! members; `"chunked"` keeps the pair-wise row kernels as the A/B
+//! baseline — select with `SWCAM_BENCH_MEMBER_KERNELS=chunked`).
 //!
-//! Measures, per batch width N in {1, 2, 4}:
+//! Measures, per batch width N up to the lane count (default 4, override
+//! with `SWCAM_BENCH_MEMBERS`):
 //!
 //! * end-to-end members/sec, serial-cold vs warm-engine (the headline:
 //!   target >= 3x at N = 4 on one core — *work reduction*, not
 //!   parallelism), and
 //! * the steady-state per-member-step ratio (the pure batched-kernel win,
-//!   reported separately; construction amortization excluded).
+//!   reported separately; construction amortization excluded and the
+//!   engine's one-time construction cost split out as `construction_ms`).
 //!
 //! Every batch member is asserted bitwise equal to its standalone run
 //! before any number is reported. Emits `BENCH_ensemble.json` (also in
@@ -24,10 +29,14 @@
 
 use std::time::Instant;
 
-use swcam_core::{Ensemble, EnsembleConfig, MemberStatus, ScenarioRegistry, ScenarioSpec};
+use swcam_core::{
+    Ensemble, EnsembleConfig, MemberKernelPath, MemberStatus, ScenarioRegistry, ScenarioSpec,
+};
 
 const TARGET_SPEEDUP: f64 = 3.0;
-const BATCHES: [usize; 3] = [1, 2, 4];
+/// Floor the guard enforces on the steady-state per-member-step ratio at
+/// the full lane count when the lane kernel path is armed.
+const STEADY_TARGET_SPEEDUP: f64 = 1.8;
 
 fn seed_for(n: usize, m: usize) -> u64 {
     (100 * n + m) as u64
@@ -53,9 +62,31 @@ fn main() {
     } else {
         4
     };
-    let lanes = *BATCHES.iter().max().unwrap();
+    let lanes = std::env::var("SWCAM_BENCH_MEMBERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| (1..=32).contains(&n))
+        .unwrap_or(4);
+    let path = match std::env::var("SWCAM_BENCH_MEMBER_KERNELS").ok().as_deref() {
+        Some("chunked") => MemberKernelPath::Chunked,
+        _ => MemberKernelPath::Lanes,
+    };
+    let path_name = match path {
+        MemberKernelPath::Lanes => "lanes",
+        MemberKernelPath::Chunked => "chunked",
+    };
+    // Widest member batch one kernel sweep serves on this path.
+    let chunk_width = match path {
+        MemberKernelPath::Lanes => 4.min(lanes),
+        MemberKernelPath::Chunked => 2.min(lanes),
+    };
+    let mut batches: Vec<usize> = [1, 2, lanes].into_iter().filter(|&b| b <= lanes).collect();
+    batches.sort_unstable();
+    batches.dedup();
+    let ecfg = EnsembleConfig { lanes, max_rollbacks: 2, member_kernel_path: path };
     println!(
-        "ensemble: scenario {}, ne{}, nlev {}, qsize {}, {steps} steps/member{}",
+        "ensemble: scenario {}, ne{}, nlev {}, qsize {}, {steps} steps/member, \
+         {lanes} lanes, {path_name} kernels{}",
         spec.name,
         spec.config.ne,
         spec.config.nlev,
@@ -63,11 +94,15 @@ fn main() {
         if smoke { " (smoke)" } else { "" }
     );
 
-    // The warm engine: built once, serves every batch below. One throwaway
-    // member faults in lazy allocations before anything is timed.
-    let mut engine = Ensemble::new(spec.clone(), EnsembleConfig { lanes, max_rollbacks: 2 });
+    // The warm engine: built once, serves every batch below. Construction
+    // is timed once and split out; one throwaway member faults in lazy
+    // allocations before anything else is timed.
+    let t0 = Instant::now();
+    let mut engine = Ensemble::new(spec.clone(), ecfg);
+    let construction_ms = t0.elapsed().as_secs_f64() * 1e3;
     engine.submit(0, 1);
     engine.run_all().expect("warm-up member");
+    println!("  engine construction: {construction_ms:.1} ms (one-time, shared by every batch)");
 
     // Each side is timed `reps` times and the fastest rep kept: on a shared
     // 1-core host the run-to-run spread otherwise swamps the few-percent
@@ -75,7 +110,7 @@ fn main() {
     let reps = if smoke { 1 } else { 3 };
     let mut rows: Vec<BatchRow> = Vec::new();
     let mut bitwise_ok = true;
-    for &n in &BATCHES {
+    for &n in &batches {
         // Serial-cold baseline: each request pays full model construction.
         let mut serial_s = f64::MAX;
         let mut serial_states = Vec::new();
@@ -135,7 +170,7 @@ fn main() {
 
     // Steady-state per-member-step cost: construction excluded on both
     // sides, so the ratio isolates the batched-kernel win (shared per-step
-    // hyperviscosity plan + member-vectorized coefficient walks).
+    // hyperviscosity plan + member-lane coefficient walks).
     let steady_steps = if smoke { 1 } else { 4 };
     let mut model = spec.build_model(1);
     model.run_steps(1); // warm
@@ -147,7 +182,7 @@ fn main() {
             serial_step_ms.min(t0.elapsed().as_secs_f64() * 1e3 / steady_steps as f64);
     }
 
-    let mut steady = Ensemble::new(spec.clone(), EnsembleConfig { lanes, max_rollbacks: 2 });
+    let mut steady = Ensemble::new(spec.clone(), ecfg);
     for m in 0..lanes {
         steady.submit(m as u64, usize::MAX);
     }
@@ -162,9 +197,12 @@ fn main() {
             .min(t0.elapsed().as_secs_f64() * 1e3 / (steady_steps * lanes) as f64);
     }
     let speedup_steady = serial_step_ms / engine_member_step_ms;
+    let steady_target_met = speedup_steady >= STEADY_TARGET_SPEEDUP && bitwise_ok;
     println!(
         "  steady state: serial {serial_step_ms:.2} ms/member-step, \
-         engine {engine_member_step_ms:.2} ms/member-step at {lanes} members ({speedup_steady:.2}x)"
+         engine {engine_member_step_ms:.2} ms/member-step at {lanes} members ({speedup_steady:.2}x, \
+         floor {STEADY_TARGET_SPEEDUP:.1}x {})",
+        if steady_target_met { "met" } else { "NOT met" }
     );
 
     let headline = rows.last().expect("batches non-empty");
@@ -198,10 +236,16 @@ fn main() {
         "{{\n  \"bench\": \"ensemble\",\n  \"mode\": \"{mode}\",\n  \
          \"scenario\": \"{scenario}\",\n  \"ne\": {ne},\n  \"nlev\": {nlev},\n  \
          \"qsize\": {qsize},\n  \"steps_per_member\": {steps},\n  \
+         \"members\": {lanes},\n  \
+         \"member_kernel_path\": \"{path_name}\",\n  \
+         \"member_chunk_width\": {chunk_width},\n  \
+         \"construction_ms\": {construction_ms:.3},\n  \
          \"batches\": [\n{batches_json}\n  ],\n  \
          \"steady_serial_ms_per_member_step\": {serial_step_ms:.3},\n  \
          \"steady_engine_ms_per_member_step\": {engine_member_step_ms:.3},\n  \
          \"speedup_steady_state\": {speedup_steady:.3},\n  \
+         \"steady_target_speedup\": {STEADY_TARGET_SPEEDUP},\n  \
+         \"steady_target_met\": {steady_target_met},\n  \
          \"speedup_end_to_end\": {speedup_end_to_end:.3},\n  \
          \"bitwise_ok\": {bitwise_ok},\n  \
          \"target_speedup\": {TARGET_SPEEDUP},\n  \"target_met\": {target_met}\n}}\n",

@@ -33,7 +33,7 @@ use crate::config::ScenarioSpec;
 use crate::coupling::apply_physics_checked;
 use crate::model::{build_dycore, build_suite};
 use cubesphere::NPTS;
-use homme::{Dycore, EnsembleWorkspace, HealthError, State};
+use homme::{Dycore, EnsembleWorkspace, HealthError, MemberKernelPath, State};
 use std::collections::VecDeque;
 use swphysics::{PhysicsDiag, PhysicsSuite};
 
@@ -46,11 +46,20 @@ pub struct EnsembleConfig {
     /// Consecutive failed steps a member may roll back before it is marked
     /// [`MemberStatus::Failed`] and retired.
     pub max_rollbacks: usize,
+    /// Which member-batched kernel family the shared dycore runs when two
+    /// or more members are resident: the lane-transposed tiles (default)
+    /// or the pair-wise chunked row kernels kept as the A/B baseline.
+    /// Bitwise-identical results either way.
+    pub member_kernel_path: MemberKernelPath,
 }
 
 impl Default for EnsembleConfig {
     fn default() -> Self {
-        EnsembleConfig { lanes: 4, max_rollbacks: 2 }
+        EnsembleConfig {
+            lanes: 4,
+            max_rollbacks: 2,
+            member_kernel_path: MemberKernelPath::default(),
+        }
     }
 }
 
@@ -162,7 +171,8 @@ impl Ensemble {
     pub fn new(spec: ScenarioSpec, cfg: EnsembleConfig) -> Self {
         assert!(cfg.lanes > 0, "ensemble needs at least one lane");
         spec.config.validate().expect("invalid scenario configuration");
-        let dycore = build_dycore(&spec.config);
+        let mut dycore = build_dycore(&spec.config);
+        dycore.member_kernels = cfg.member_kernel_path;
         let suite = build_suite(&spec.config);
         let nelem = dycore.grid.elements.len();
         let npts = nelem * NPTS;
@@ -294,15 +304,17 @@ impl Ensemble {
             return Ok(());
         }
 
-        // Snapshot, hook, dynamics — member by member. The dycore's RK
-        // scratch is consumed within each `dynamics_step` call, so
-        // interleaving members is safe.
+        // Snapshot and hook member by member, then batched dynamics: with
+        // the lane path armed and at least two members resident, every RK
+        // substep's coefficient walk and DSS assembly walk are shared
+        // across up to four members at once (falls back to the per-member
+        // step otherwise — bitwise identical either way).
         for &s in idx.iter() {
             snaps[s].copy_from(&states[s]);
             saved[s] = slots[s].meta;
             hook(slots[s].id, &mut states[s]);
-            dycore.dynamics_step(&mut states[s]);
         }
+        dycore.dynamics_step_members(states, idx, ens_ws);
 
         // Batched hyperviscosity: one plan build, coefficient walks shared
         // across members. An error here is member-independent
@@ -422,7 +434,10 @@ mod tests {
     #[test]
     fn queue_admits_up_to_lanes_and_backfills() {
         let mut ens =
-            Ensemble::new(resting_spec(), EnsembleConfig { lanes: 2, max_rollbacks: 2 });
+            Ensemble::new(
+                resting_spec(),
+                EnsembleConfig { lanes: 2, ..EnsembleConfig::default() },
+            );
         let ids: Vec<u64> = (0..3).map(|m| ens.submit(100 + m, 2)).collect();
         assert_eq!(ids, vec![0, 1, 2]);
         assert_eq!(ens.pending(), 3);

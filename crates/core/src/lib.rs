@@ -43,6 +43,7 @@ pub use coupling::{
     apply_physics, apply_physics_checked, extract_column, insert_column, physics_health_error,
 };
 pub use ensemble::{Ensemble, EnsembleConfig, MemberReport, MemberStatus};
+pub use homme::MemberKernelPath;
 pub use history::{surface_temperature_raster, History};
 pub use model::{build_dycore, build_suite, init_columns, reset_state, resting_init, Swcam};
 pub use resilient::{

@@ -55,7 +55,7 @@ fn ensemble_step_allocates_nothing_after_warmup() {
     // so the entire coupled step (admission, dynamics, batched hypervis,
     // remap, physics cadence, snapshotting) stays off the heap.
     let spec = ScenarioRegistry::builtin().get("resting").expect("builtin").clone();
-    let mut ens = Ensemble::new(spec, EnsembleConfig { lanes: 2, max_rollbacks: 2 });
+    let mut ens = Ensemble::new(spec, EnsembleConfig { lanes: 2, ..EnsembleConfig::default() });
     let targets = [3usize, 20, 20];
     for (m, &steps) in targets.iter().enumerate() {
         ens.submit(m as u64, steps);

@@ -30,7 +30,7 @@ fn standalone(spec: &ScenarioSpec, seed: u64, steps: usize) -> Swcam {
 
 /// One batch of `n` members against `n` standalone runs, bit for bit.
 fn pin_batch(spec: &ScenarioSpec, n: usize, steps: usize) {
-    let mut ens = Ensemble::new(spec.clone(), EnsembleConfig { lanes: n, max_rollbacks: 2 });
+    let mut ens = Ensemble::new(spec.clone(), EnsembleConfig { lanes: n, ..EnsembleConfig::default() });
     let seeds: Vec<u64> = (0..n as u64).map(|m| 1000 + 17 * m).collect();
     for &seed in &seeds {
         ens.submit(seed, steps);
@@ -88,7 +88,7 @@ fn admit_and_retire_mid_run_is_deterministic() {
     // trajectory bitwise — admission order must not leak into the math.
     let spec = shrunk("resting");
     let jobs: [(u64, usize); 5] = [(11, 2), (22, 4), (33, 3), (44, 2), (55, 3)];
-    let mut ens = Ensemble::new(spec.clone(), EnsembleConfig { lanes: 2, max_rollbacks: 2 });
+    let mut ens = Ensemble::new(spec.clone(), EnsembleConfig { lanes: 2, ..EnsembleConfig::default() });
     for &(seed, steps) in &jobs {
         ens.submit(seed, steps);
     }
@@ -117,7 +117,7 @@ fn poisoned_member_rolls_back_alone_and_recovers_bitwise() {
     // bit-identical to clean standalone runs.
     let spec = shrunk("aquaplanet");
     let steps = 3usize;
-    let mut ens = Ensemble::new(spec.clone(), EnsembleConfig { lanes: 2, max_rollbacks: 2 });
+    let mut ens = Ensemble::new(spec.clone(), EnsembleConfig { lanes: 2, ..EnsembleConfig::default() });
     let id0 = ens.submit(5, steps);
     let id1 = ens.submit(6, steps);
     let mut poisoned = false;
@@ -166,7 +166,7 @@ fn persistently_poisoned_member_fails_without_stopping_the_batch() {
     // after `max_rollbacks` consecutive rollbacks the member must be marked
     // Failed and retired while member 0 finishes normally.
     let spec = shrunk("aquaplanet");
-    let mut ens = Ensemble::new(spec.clone(), EnsembleConfig { lanes: 2, max_rollbacks: 1 });
+    let mut ens = Ensemble::new(spec.clone(), EnsembleConfig { lanes: 2, max_rollbacks: 1, ..EnsembleConfig::default() });
     ens.submit(5, 3);
     let id1 = ens.submit(6, 3);
     let mut calls = 0usize;

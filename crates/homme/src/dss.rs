@@ -8,6 +8,7 @@
 //! lives in [`crate::bndry`] and must agree with this one exactly.
 
 use cubesphere::{CubedSphere, NPTS};
+use sw26010::V4F64;
 
 /// Serial DSS engine for a grid.
 #[derive(Debug, Clone)]
@@ -21,6 +22,10 @@ pub struct Dss {
     accum: Vec<f64>,
     /// Four-lane scratch accumulator for the fused four-field walks.
     accum4: Vec<f64>,
+    /// Member-lane scratch accumulator: one `V4F64` per global point per
+    /// field of the fused four-tile walks (the single-tile walks use the
+    /// first `nglobal` slots).
+    accum_lanes: Vec<V4F64>,
 }
 
 impl Dss {
@@ -39,6 +44,7 @@ impl Dss {
             spheremp,
             accum: vec![0.0; grid.nglobal],
             accum4: vec![0.0; 4 * grid.nglobal],
+            accum_lanes: vec![V4F64::zero(); 4 * grid.nglobal],
         }
     }
 
@@ -260,6 +266,186 @@ impl Dss {
                     t1[off + p] += c1 * (a1[g] * m);
                     t2[off + p] += c2 * (a2[g] * m);
                     t3[off + p] += c3 * (a3[g] * m);
+                }
+            }
+        }
+    }
+
+    /// [`Dss::apply_flat`] on a member-lane tile (`[nelem][levels][NPTS]`
+    /// of `V4F64`, lanes are members): one walk of the assembly map
+    /// assembles four members at once. Lane `m` accumulates in the exact
+    /// element-ascending, point-ascending order of the single-member flat
+    /// walk, with the shared `spheremp`/`inv_mass` scalars splat across
+    /// lanes — so lane `m` is bitwise identical to `apply_flat` on member
+    /// `m`'s own arena. Allocation-free.
+    pub fn apply_lanes(&mut self, tile: &mut [V4F64], levels: usize) {
+        let nelem = self.gids.len() / NPTS;
+        debug_assert_eq!(tile.len(), nelem * levels * NPTS);
+        let estride = levels * NPTS;
+        let acc = &mut self.accum_lanes[..self.nglobal];
+        for k in 0..levels {
+            for a in acc.iter_mut() {
+                *a = V4F64::zero();
+            }
+            for e in 0..nelem {
+                let base = e * NPTS;
+                let off = e * estride + k * NPTS;
+                for p in 0..NPTS {
+                    let g = self.gids[base + p];
+                    acc[g] = acc[g] + V4F64::splat(self.spheremp[base + p]) * tile[off + p];
+                }
+            }
+            for e in 0..nelem {
+                let base = e * NPTS;
+                let off = e * estride + k * NPTS;
+                for p in 0..NPTS {
+                    let g = self.gids[base + p];
+                    tile[off + p] = acc[g] * V4F64::splat(self.inv_mass[g]);
+                }
+            }
+        }
+    }
+
+    /// [`Dss::apply_flat_scaled_add`] on member-lane tiles: assemble `tile`
+    /// (left unchanged) and add `coefs[k]` times the assembled value into
+    /// `target` (per-element stride `tstride` in `V4F64` units). Lane `m`
+    /// is bitwise `apply_flat_scaled_add` on member `m`. Allocation-free.
+    pub fn apply_lanes_scaled_add(
+        &mut self,
+        tile: &[V4F64],
+        levels: usize,
+        coefs: &[f64],
+        target: &mut [V4F64],
+        tstride: usize,
+    ) {
+        let nelem = self.gids.len() / NPTS;
+        debug_assert_eq!(tile.len(), nelem * levels * NPTS);
+        debug_assert_eq!(target.len(), nelem * tstride);
+        debug_assert!(coefs.len() >= levels);
+        let estride = levels * NPTS;
+        let acc = &mut self.accum_lanes[..self.nglobal];
+        for (k, &c) in coefs[..levels].iter().enumerate() {
+            for a in acc.iter_mut() {
+                *a = V4F64::zero();
+            }
+            for e in 0..nelem {
+                let base = e * NPTS;
+                let off = e * estride + k * NPTS;
+                for p in 0..NPTS {
+                    let g = self.gids[base + p];
+                    acc[g] = acc[g] + V4F64::splat(self.spheremp[base + p]) * tile[off + p];
+                }
+            }
+            let cs = V4F64::splat(c);
+            for e in 0..nelem {
+                let base = e * NPTS;
+                let off = e * tstride + k * NPTS;
+                for p in 0..NPTS {
+                    let g = self.gids[base + p];
+                    target[off + p] =
+                        target[off + p] + cs * (acc[g] * V4F64::splat(self.inv_mass[g]));
+                }
+            }
+        }
+    }
+
+    /// [`Dss::apply_lanes`] on four equal-shape member-lane tiles in ONE
+    /// walk of the assembly map per level (the hypervis `u, v, t, dp3d`
+    /// quartet). Bitwise four `apply_lanes` calls. Allocation-free.
+    pub fn apply_lanes4(&mut self, tiles: [&mut [V4F64]; 4], levels: usize) {
+        let nelem = self.gids.len() / NPTS;
+        let estride = levels * NPTS;
+        let n = self.nglobal;
+        let [f0, f1, f2, f3] = tiles;
+        debug_assert!([&f0, &f1, &f2, &f3].iter().all(|f| f.len() == nelem * estride));
+        for k in 0..levels {
+            for a in &mut self.accum_lanes {
+                *a = V4F64::zero();
+            }
+            let (a01, a23) = self.accum_lanes.split_at_mut(2 * n);
+            let (a0, a1) = a01.split_at_mut(n);
+            let (a2, a3) = a23.split_at_mut(n);
+            for e in 0..nelem {
+                let base = e * NPTS;
+                let off = e * estride + k * NPTS;
+                for p in 0..NPTS {
+                    let g = self.gids[base + p];
+                    let w = V4F64::splat(self.spheremp[base + p]);
+                    a0[g] = a0[g] + w * f0[off + p];
+                    a1[g] = a1[g] + w * f1[off + p];
+                    a2[g] = a2[g] + w * f2[off + p];
+                    a3[g] = a3[g] + w * f3[off + p];
+                }
+            }
+            for e in 0..nelem {
+                let base = e * NPTS;
+                let off = e * estride + k * NPTS;
+                for p in 0..NPTS {
+                    let g = self.gids[base + p];
+                    let m = V4F64::splat(self.inv_mass[g]);
+                    f0[off + p] = a0[g] * m;
+                    f1[off + p] = a1[g] * m;
+                    f2[off + p] = a2[g] * m;
+                    f3[off + p] = a3[g] * m;
+                }
+            }
+        }
+    }
+
+    /// [`Dss::apply_lanes_scaled_add`] on four member-lane tiles in ONE
+    /// walk of the assembly map per level, one coefficient table per tile.
+    /// Bitwise four single-tile calls. Allocation-free.
+    pub fn apply_lanes_scaled_add4(
+        &mut self,
+        tiles: [&[V4F64]; 4],
+        levels: usize,
+        coefs: [&[f64]; 4],
+        targets: [&mut [V4F64]; 4],
+        tstride: usize,
+    ) {
+        let nelem = self.gids.len() / NPTS;
+        let estride = levels * NPTS;
+        let n = self.nglobal;
+        let [f0, f1, f2, f3] = tiles;
+        let [t0, t1, t2, t3] = targets;
+        debug_assert!([f0, f1, f2, f3].iter().all(|f| f.len() == nelem * estride));
+        debug_assert!([&t0, &t1, &t2, &t3].iter().all(|t| t.len() == nelem * tstride));
+        debug_assert!(coefs.iter().all(|c| c.len() >= levels));
+        for k in 0..levels {
+            let (c0, c1, c2, c3) = (
+                V4F64::splat(coefs[0][k]),
+                V4F64::splat(coefs[1][k]),
+                V4F64::splat(coefs[2][k]),
+                V4F64::splat(coefs[3][k]),
+            );
+            for a in &mut self.accum_lanes {
+                *a = V4F64::zero();
+            }
+            let (a01, a23) = self.accum_lanes.split_at_mut(2 * n);
+            let (a0, a1) = a01.split_at_mut(n);
+            let (a2, a3) = a23.split_at_mut(n);
+            for e in 0..nelem {
+                let base = e * NPTS;
+                let off = e * estride + k * NPTS;
+                for p in 0..NPTS {
+                    let g = self.gids[base + p];
+                    let w = V4F64::splat(self.spheremp[base + p]);
+                    a0[g] = a0[g] + w * f0[off + p];
+                    a1[g] = a1[g] + w * f1[off + p];
+                    a2[g] = a2[g] + w * f2[off + p];
+                    a3[g] = a3[g] + w * f3[off + p];
+                }
+            }
+            for e in 0..nelem {
+                let base = e * NPTS;
+                let off = e * tstride + k * NPTS;
+                for p in 0..NPTS {
+                    let g = self.gids[base + p];
+                    let m = V4F64::splat(self.inv_mass[g]);
+                    t0[off + p] = t0[off + p] + c0 * (a0[g] * m);
+                    t1[off + p] = t1[off + p] + c1 * (a1[g] * m);
+                    t2[off + p] = t2[off + p] + c2 * (a2[g] * m);
+                    t3[off + p] = t3[off + p] + c3 * (a3[g] * m);
                 }
             }
         }
@@ -578,6 +764,114 @@ mod tests {
         for (f, (a, b)) in single.iter().zip(&fused).enumerate() {
             for (i, (x, y)) in a.iter().zip(b).enumerate() {
                 assert_eq!(x.to_bits(), y.to_bits(), "field {f} slot {i}: {x:e} vs {y:e}");
+            }
+        }
+    }
+
+    /// Every lane of the member-lane DSS walks is bitwise the single-member
+    /// flat walk on that member's own arena — for the single-tile apply,
+    /// the fused four-tile apply, and both scaled-add forms.
+    #[test]
+    fn lane_dss_walks_match_per_member_flat_walks_bitwise() {
+        use crate::kernels::member_lanes::{gather_member_tile, scatter_member_tile};
+        let grid = CubedSphere::new(2);
+        let mut dss = Dss::new(&grid);
+        let nelem = grid.nelem();
+        let (nlev, ks) = (3usize, 2usize);
+        let estride = nlev * NPTS;
+        let mk = |seed: usize, len: usize| -> Vec<f64> {
+            (0..len).map(|i| ((i * 131 + seed * 17) % 97) as f64 / 7.0 - 6.5).collect()
+        };
+        let members: Vec<Vec<f64>> = (0..4).map(|m| mk(m, nelem * estride)).collect();
+        let gather = |fields: &[Vec<f64>], n: usize| -> Vec<sw26010::V4F64> {
+            let mut tile = vec![sw26010::V4F64::zero(); n];
+            let srcs: Vec<&[f64]> = fields.iter().map(|f| f.as_slice()).collect();
+            gather_member_tile(&srcs, &mut tile);
+            tile
+        };
+        let scatter = |tile: &[sw26010::V4F64]| -> Vec<Vec<f64>> {
+            let mut outs = vec![vec![0.0f64; tile.len()]; 4];
+            let mut views: Vec<&mut [f64]> = outs.iter_mut().map(|o| o.as_mut_slice()).collect();
+            scatter_member_tile(tile, &mut views);
+            outs
+        };
+        let bits = |x: &[f64]| x.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+
+        // Single-tile apply.
+        let mut tile = gather(&members, nelem * estride);
+        dss.apply_lanes(&mut tile, nlev);
+        let mut expect = members.clone();
+        for e in &mut expect {
+            dss.apply_flat(e, nlev);
+        }
+        for (m, got) in scatter(&tile).iter().enumerate() {
+            assert_eq!(bits(&expect[m]), bits(got), "apply_lanes member {m}");
+        }
+
+        // Fused four-tile apply: four field quartets per member.
+        let quartets: Vec<Vec<Vec<f64>>> =
+            (0..4).map(|f| (0..4).map(|m| mk(f * 4 + m + 9, nelem * estride)).collect()).collect();
+        let mut tiles: Vec<Vec<sw26010::V4F64>> =
+            quartets.iter().map(|q| gather(q, nelem * estride)).collect();
+        {
+            let (t0, rest) = tiles.split_at_mut(1);
+            let (t1, rest) = rest.split_at_mut(1);
+            let (t2, t3) = rest.split_at_mut(1);
+            dss.apply_lanes4([&mut t0[0], &mut t1[0], &mut t2[0], &mut t3[0]], nlev);
+        }
+        for (f, q) in quartets.iter().enumerate() {
+            let mut expect = q.clone();
+            for e in &mut expect {
+                dss.apply_flat(e, nlev);
+            }
+            for (m, got) in scatter(&tiles[f]).iter().enumerate() {
+                assert_eq!(bits(&expect[m]), bits(got), "apply_lanes4 field {f} member {m}");
+            }
+        }
+
+        // Scaled-add forms (sponge/damp shape: shallow field, deep target).
+        let raws: Vec<Vec<f64>> = (0..4).map(|m| mk(m + 31, nelem * ks * NPTS)).collect();
+        let targets: Vec<Vec<f64>> = (0..4).map(|m| mk(m + 41, nelem * estride)).collect();
+        let coefs = [-1.75e-3, 0.5e-3];
+        let rtile = gather(&raws, nelem * ks * NPTS);
+        let mut ttile = gather(&targets, nelem * estride);
+        dss.apply_lanes_scaled_add(&rtile, ks, &coefs, &mut ttile, estride);
+        let mut expect = targets.clone();
+        for (r, t) in raws.iter().zip(&mut expect) {
+            dss.apply_flat_scaled_add(r, ks, &coefs, t, estride);
+        }
+        for (m, got) in scatter(&ttile).iter().enumerate() {
+            assert_eq!(bits(&expect[m]), bits(got), "apply_lanes_scaled_add member {m}");
+        }
+
+        let coefs4 =
+            [[-1.75e-3, 0.5e-3], [2.5e-4, -9.0e-4], [1.0e-3, 1.0e-3], [-3.0e-5, 7.0e-4]];
+        let rq: Vec<Vec<Vec<f64>>> =
+            (0..4).map(|f| (0..4).map(|m| mk(f * 4 + m + 51, nelem * ks * NPTS)).collect()).collect();
+        let tq: Vec<Vec<Vec<f64>>> =
+            (0..4).map(|f| (0..4).map(|m| mk(f * 4 + m + 71, nelem * estride)).collect()).collect();
+        let rtiles: Vec<Vec<sw26010::V4F64>> = rq.iter().map(|q| gather(q, nelem * ks * NPTS)).collect();
+        let mut ttiles: Vec<Vec<sw26010::V4F64>> =
+            tq.iter().map(|q| gather(q, nelem * estride)).collect();
+        {
+            let (t0, rest) = ttiles.split_at_mut(1);
+            let (t1, rest) = rest.split_at_mut(1);
+            let (t2, t3) = rest.split_at_mut(1);
+            dss.apply_lanes_scaled_add4(
+                [&rtiles[0], &rtiles[1], &rtiles[2], &rtiles[3]],
+                ks,
+                [&coefs4[0], &coefs4[1], &coefs4[2], &coefs4[3]],
+                [&mut t0[0], &mut t1[0], &mut t2[0], &mut t3[0]],
+                estride,
+            );
+        }
+        for f in 0..4 {
+            let mut expect = tq[f].clone();
+            for (r, t) in rq[f].iter().zip(&mut expect) {
+                dss.apply_flat_scaled_add(r, ks, &coefs4[f], t, estride);
+            }
+            for (m, got) in scatter(&ttiles[f]).iter().enumerate() {
+                assert_eq!(bits(&expect[m]), bits(got), "scaled_add4 field {f} member {m}");
             }
         }
     }

@@ -51,6 +51,7 @@ pub use dss::Dss;
 pub use health::{DegradePolicy, HealthConfig, HealthError, PhysicsFault, StepHealth, TRACER_STAGE};
 pub use hypervis::{ElemHypervisPlan, HypervisConfig, HypervisError, MIN_GLL_GAP_METERS};
 pub use kernels::blocked::{BlockedOps, KernelPath, StageCombine};
+pub use kernels::member_lanes::MemberKernelPath;
 pub use prim::{Dycore, DycoreConfig, KG5_COEFFS};
 pub use remap::{ElemRemapPlan, RemapApplyScratch, RemapError};
 pub use rhs::{ElemTend, Rhs, RhsScratch};

@@ -34,15 +34,20 @@ use crate::kernels::blocked::{
     sponge_pass_element_blocked, BlockedOps, KernelPath, StageCombine,
 };
 use crate::kernels::blocked::remap_element_planned;
+use crate::kernels::member_lanes::{
+    element_rhs_apply_member_lanes, gather_member_tile, hypervis_pass_levels_member_lanes,
+    hypervis_pass_member_lanes, scatter_member_tile, sponge_pass_member_lanes, MemberKernelPath,
+};
 use crate::remap::{remap_element_scalar, RemapError};
 use crate::rhs::{element_rhs_raw, Rhs};
 use crate::sched::{ArenaMut, ElemScheduler};
 use crate::state::{Dims, State};
 use crate::taskgraph::{Neighbors, PipelineStage, StepPath};
 use crate::vert::VertCoord;
-use crate::workspace::{DynFields, StepWorkspace, WorkerScratch, EMPTY_SCAN};
+use crate::workspace::{DynFields, MemberLanes, StepWorkspace, WorkerScratch, EMPTY_SCAN};
 use cubesphere::{CubedSphere, NPTS};
 use std::sync::Mutex;
+use sw26010::V4F64;
 
 /// Kinnmark–Gray 5-stage RK coefficients: stage `i` computes
 /// `u_i = u_0 + c_i dt RHS(u_{i-1})`.
@@ -97,6 +102,13 @@ pub struct Dycore {
     /// Which kernel implementation the step pipeline dispatches to
     /// (blocked by default; the scalar path is the parity oracle).
     pub kernels: KernelPath,
+    /// Which member-batched kernel family the ensemble drivers use when
+    /// several members are resident: the lane-transposed tiles (default —
+    /// `V4F64` lanes are members, coefficients splat) or the pair-wise
+    /// chunked row kernels kept as the A/B baseline. Single-member calls
+    /// always take the standalone path; the scalar [`KernelPath`] ignores
+    /// this knob entirely.
+    pub member_kernels: MemberKernelPath,
     /// Which step schedule drives the pipeline: bulk-synchronous stage
     /// barriers, or the message-driven element task graph (bitwise
     /// identical results; mirrors [`KernelPath`] for the kernel layer).
@@ -166,6 +178,7 @@ impl Dycore {
             health: HealthConfig::default(),
             degrade: DegradePolicy::default(),
             kernels: KernelPath::default(),
+            member_kernels: MemberKernelPath::default(),
             step_path: StepPath::default(),
             taskgraph_seed: 0,
             gather,
@@ -427,10 +440,17 @@ impl Dycore {
 
     /// Member-batched hyperviscosity: apply the subcycled biharmonic
     /// operator to the listed `members` of `states` with the step plan
-    /// built **once** and every coefficient walk shared across pairs of
-    /// members (ROADMAP item 4's "lane dimension = member"; pair-wise
-    /// because wider chunks spill registers — see the chunk-width comment
-    /// in the body).
+    /// built **once** and every coefficient walk shared across members
+    /// (ROADMAP item 4's "lane dimension = member"). With
+    /// [`MemberKernelPath::Lanes`] (the default), each *full* group of four
+    /// members runs on lane-transposed tiles — one `V4F64` per grid value
+    /// whose lanes are members, coefficients splat — so the per-output
+    /// working set never spills regardless of batch width; the ragged tail
+    /// (N mod 4 members) rides the width-proportional chunk kernels, since
+    /// a partial lane group pays the whole 4-wide arithmetic.
+    /// [`MemberKernelPath::Chunked`] keeps the pair-wise row kernels for
+    /// everything as the A/B baseline (wider row chunks spill registers —
+    /// see the chunk-width comment in the body).
     ///
     /// `members` must be strictly increasing indices into `states`, at most
     /// `ens.lanes()` of them. Member `m`'s result is bitwise identical to
@@ -467,6 +487,8 @@ impl Dycore {
             }
             return Ok(());
         }
+        let use_lanes =
+            matches!(self.member_kernels, MemberKernelPath::Lanes) && members.len() >= 4;
         let Dycore { ops, dss, dims, cfg, sched, ws, bops, .. } = self;
         let nlev = dims.nlev;
         let fl = dims.field_len();
@@ -476,6 +498,30 @@ impl Dycore {
         // so the raw-pointer reborrows below hand out non-aliasing `&mut`s.
         let base = states.as_mut_ptr();
         let mut done = 0;
+        if use_lanes {
+            // Lane-transposed path: sweep members in *full* groups of four,
+            // each sweep gathering its members into the shared lane tiles.
+            // A partial group would still pay the full 4-wide vector
+            // arithmetic (the dead lanes compute too — a 2-member lane
+            // sweep costs as much as a 4-member one), so the ragged tail
+            // falls through to the width-proportional chunk kernels below;
+            // the duplicated-dead-lane tail path stays available (and
+            // pinned by the kernel tests) for targets where a lane sweep
+            // is cheaper than a chunk pass at any width.
+            while members.len() - done >= 4 {
+                let idx = &members[done..done + 4];
+                let chunk: [&mut State; 4] =
+                    core::array::from_fn(|m| unsafe { &mut *base.add(idx[m]) });
+                hypervis_members_lanes::<4>(
+                    sched, dss, bops, &ws.hv_plan, &hv, nlev, fl, nelem, &mut ens.tiles, chunk,
+                    subcycles,
+                );
+                done += 4;
+            }
+            if done == members.len() {
+                return Ok(());
+            }
+        }
         while done < members.len() {
             let left = members.len() - done;
             // Chunk width is capped at 2: the M=4 variant keeps four members'
@@ -514,6 +560,72 @@ impl Dycore {
             done += take;
         }
         Ok(())
+    }
+
+    /// Member-batched dynamics: advance the listed `members` of `states`
+    /// by one dt of the 5-stage RK, batching up to four members per sweep
+    /// through the lane-transposed RHS kernel
+    /// ([`element_rhs_apply_member_lanes`]) so one coefficient walk and one
+    /// DSS assembly walk serve the whole sweep. Member `m`'s result is
+    /// bitwise identical to [`Dycore::dynamics_step`] on member `m` alone:
+    /// lane `m` replays the blocked kernel's exact per-member scalar
+    /// sequence and the lane DSS keeps the canonical accumulation order
+    /// per lane. Falls back to the per-member step on the scalar kernel
+    /// path, under [`MemberKernelPath::Chunked`], or with fewer than two
+    /// members.
+    pub fn dynamics_step_members(
+        &mut self,
+        states: &mut [State],
+        members: &[usize],
+        ens: &mut crate::workspace::EnsembleWorkspace,
+    ) {
+        if members.is_empty() {
+            return;
+        }
+        assert!(
+            members.windows(2).all(|w| w[0] < w[1]) && *members.last().unwrap() < states.len(),
+            "members must be strictly increasing indices into states"
+        );
+        let use_lanes = matches!(self.kernels, KernelPath::Blocked)
+            && matches!(self.member_kernels, MemberKernelPath::Lanes)
+            && members.len() >= 4;
+        let mut done = 0;
+        if use_lanes {
+            let dt = self.cfg.dt;
+            let Dycore { dss, rhs, dims, sched, ws, bops, .. } = self;
+            let nlev = dims.nlev;
+            let fl = dims.field_len();
+            let ptop = rhs.vert.ptop();
+            let nelem = bops.len();
+            // Disjointness: `members` is strictly increasing (asserted
+            // above), so the raw-pointer reborrows below hand out
+            // non-aliasing `&mut`s. Full groups of four only — a partial
+            // lane group pays the whole 4-wide arithmetic, so the ragged
+            // tail steps member-serially below instead.
+            let base = states.as_mut_ptr();
+            while members.len() - done >= 4 {
+                let idx = &members[done..done + 4];
+                let chunk: [&mut State; 4] =
+                    core::array::from_fn(|m| unsafe { &mut *base.add(idx[m]) });
+                dynamics_members_lanes::<4>(
+                    sched,
+                    dss,
+                    bops,
+                    &ws.workers,
+                    nlev,
+                    fl,
+                    nelem,
+                    ptop,
+                    dt,
+                    &mut ens.tiles,
+                    chunk,
+                );
+                done += 4;
+            }
+        }
+        for &m in &members[done..] {
+            self.dynamics_step(&mut states[m]);
+        }
     }
 
     /// Advance tracers by one dt with 3-stage SSP-RK2 (`euler_step`).
@@ -1673,6 +1785,293 @@ fn hypervis_members_chunk<const M: usize>(
     }
 }
 
+/// Subcycled biharmonic hyperviscosity for one lane sweep of `M` ensemble
+/// members (`1..=4`) on the lane-transposed tiles: gather the members'
+/// prognostics into the shared `stage` tile (a short sweep duplicates the
+/// last member into the dead lanes), run the sponge and subcycle phases of
+/// [`Dycore::apply_hypervis_n`]'s blocked arm entirely on tiles — one
+/// coefficient walk and one DSS assembly walk per phase serve every lane —
+/// and scatter the live lanes back. Lane `m` replays member `m`'s
+/// standalone scalar sequence at every point (kernels and DSS alike), so
+/// the committed bits match the single-member path per member.
+#[allow(clippy::too_many_arguments)]
+fn hypervis_members_lanes<const M: usize>(
+    sched: &ElemScheduler,
+    dss: &mut Dss,
+    bops: &[BlockedOps],
+    plan: &ElemHypervisPlan,
+    hv: &HypervisConfig,
+    nlev: usize,
+    fl: usize,
+    nelem: usize,
+    tiles: &mut MemberLanes,
+    mut states: [&mut State; M],
+    subcycles: usize,
+) {
+    {
+        let srcs: [&[f64]; M] = core::array::from_fn(|m| &states[m].u[..]);
+        gather_member_tile(&srcs, &mut tiles.stage.u);
+        let srcs: [&[f64]; M] = core::array::from_fn(|m| &states[m].v[..]);
+        gather_member_tile(&srcs, &mut tiles.stage.v);
+        let srcs: [&[f64]; M] = core::array::from_fn(|m| &states[m].t[..]);
+        gather_member_tile(&srcs, &mut tiles.stage.t);
+        let srcs: [&[f64]; M] = core::array::from_fn(|m| &states[m].dp3d[..]);
+        gather_member_tile(&srcs, &mut tiles.stage.dp3d);
+    }
+    hypervis_lanes_core(sched, dss, bops, plan, hv, nlev, fl, nelem, tiles, subcycles);
+    {
+        let mut it = states.iter_mut();
+        let mut dsts: [&mut [f64]; M] = core::array::from_fn(|_| &mut it.next().unwrap().u[..]);
+        scatter_member_tile(&tiles.stage.u, &mut dsts);
+        let mut it = states.iter_mut();
+        let mut dsts: [&mut [f64]; M] = core::array::from_fn(|_| &mut it.next().unwrap().v[..]);
+        scatter_member_tile(&tiles.stage.v, &mut dsts);
+        let mut it = states.iter_mut();
+        let mut dsts: [&mut [f64]; M] = core::array::from_fn(|_| &mut it.next().unwrap().t[..]);
+        scatter_member_tile(&tiles.stage.t, &mut dsts);
+        let mut it = states.iter_mut();
+        let mut dsts: [&mut [f64]; M] =
+            core::array::from_fn(|_| &mut it.next().unwrap().dp3d[..]);
+        scatter_member_tile(&tiles.stage.dp3d, &mut dsts);
+    }
+}
+
+/// The tile-resident phases of the lane hypervis sweep: top-of-model
+/// sponge, then per subcycle the fused first Laplacian (`stage` tile into
+/// the `hyp` tile), the lane DSS, the in-place second Laplacian, and the
+/// damping folded into the lane DSS scatter back onto `stage`. Mirrors the
+/// blocked arm of [`Dycore::apply_hypervis_n`] phase for phase.
+#[allow(clippy::too_many_arguments)]
+fn hypervis_lanes_core(
+    sched: &ElemScheduler,
+    dss: &mut Dss,
+    bops: &[BlockedOps],
+    plan: &ElemHypervisPlan,
+    hv: &HypervisConfig,
+    nlev: usize,
+    fl: usize,
+    nelem: usize,
+    tiles: &mut MemberLanes,
+    subcycles: usize,
+) {
+    if hv.nu_top > 0.0 && hv.sponge_layers > 0 {
+        let ks = plan.ks;
+        let sl = ks * NPTS;
+        {
+            let ou = ArenaMut::new(&mut tiles.sponge_u[..nelem * sl]);
+            let ov = ArenaMut::new(&mut tiles.sponge_v[..nelem * sl]);
+            let ot = ArenaMut::new(&mut tiles.sponge_t[..nelem * sl]);
+            let (su, sv, st): (&[V4F64], &[V4F64], &[V4F64]) =
+                (&tiles.stage.u, &tiles.stage.v, &tiles.stage.t);
+            sched.run(nelem, &|_w, e| {
+                let (ou, ov, ot) = unsafe {
+                    (ou.slice(e * sl, sl), ov.slice(e * sl, sl), ot.slice(e * sl, sl))
+                };
+                sponge_pass_member_lanes(
+                    &bops[e],
+                    ks,
+                    &su[e * fl..e * fl + sl],
+                    &sv[e * fl..e * fl + sl],
+                    &st[e * fl..e * fl + sl],
+                    ou,
+                    ov,
+                    ot,
+                );
+            });
+        }
+        dss.apply_lanes_scaled_add(
+            &tiles.sponge_u[..nelem * sl],
+            ks,
+            &plan.sponge,
+            &mut tiles.stage.u,
+            fl,
+        );
+        dss.apply_lanes_scaled_add(
+            &tiles.sponge_v[..nelem * sl],
+            ks,
+            &plan.sponge,
+            &mut tiles.stage.v,
+            fl,
+        );
+        dss.apply_lanes_scaled_add(
+            &tiles.sponge_t[..nelem * sl],
+            ks,
+            &plan.sponge,
+            &mut tiles.stage.t,
+            fl,
+        );
+    }
+    for _ in 0..subcycles {
+        // First Laplacian of (u, v, T, dp3d): one fused coefficient walk
+        // per element, straight from the stage tile into the hyp tile.
+        {
+            let ou = ArenaMut::new(&mut tiles.hyp.u);
+            let ov = ArenaMut::new(&mut tiles.hyp.v);
+            let ot = ArenaMut::new(&mut tiles.hyp.t);
+            let odp = ArenaMut::new(&mut tiles.hyp.dp3d);
+            let (su, sv, st, sdp): (&[V4F64], &[V4F64], &[V4F64], &[V4F64]) =
+                (&tiles.stage.u, &tiles.stage.v, &tiles.stage.t, &tiles.stage.dp3d);
+            sched.run(nelem, &|_w, e| {
+                let r = e * fl..(e + 1) * fl;
+                let (ou, ov, ot, odp) = unsafe {
+                    (
+                        ou.slice(e * fl, fl),
+                        ov.slice(e * fl, fl),
+                        ot.slice(e * fl, fl),
+                        odp.slice(e * fl, fl),
+                    )
+                };
+                hypervis_pass_member_lanes(
+                    &bops[e],
+                    nlev,
+                    &su[r.clone()],
+                    &sv[r.clone()],
+                    &st[r.clone()],
+                    &sdp[r],
+                    ou,
+                    ov,
+                    ot,
+                    odp,
+                );
+            });
+        }
+        dss.apply_lanes4(
+            [&mut tiles.hyp.u, &mut tiles.hyp.v, &mut tiles.hyp.t, &mut tiles.hyp.dp3d],
+            nlev,
+        );
+        // Second Laplacian in place (del^4 = lap(lap)).
+        {
+            let au = ArenaMut::new(&mut tiles.hyp.u);
+            let av = ArenaMut::new(&mut tiles.hyp.v);
+            let at = ArenaMut::new(&mut tiles.hyp.t);
+            let adp = ArenaMut::new(&mut tiles.hyp.dp3d);
+            sched.run(nelem, &|_w, e| {
+                let (u, v, t, dp) = unsafe {
+                    (
+                        au.slice(e * fl, fl),
+                        av.slice(e * fl, fl),
+                        at.slice(e * fl, fl),
+                        adp.slice(e * fl, fl),
+                    )
+                };
+                hypervis_pass_levels_member_lanes(&bops[e], nlev, u, v, t, dp);
+            });
+        }
+        // Damping folded into the lane DSS scatter, all four fields and
+        // every lane in one walk of the assembly map.
+        dss.apply_lanes_scaled_add4(
+            [&tiles.hyp.u, &tiles.hyp.v, &tiles.hyp.t, &tiles.hyp.dp3d],
+            nlev,
+            [&plan.damp_u, &plan.damp_u, &plan.damp_u, &plan.damp_dp],
+            [&mut tiles.stage.u, &mut tiles.stage.v, &mut tiles.stage.t, &mut tiles.stage.dp3d],
+            fl,
+        );
+    }
+}
+
+/// One dt of the 5-stage RK for one lane sweep of `M` ensemble members
+/// (`1..=4`) on the lane-transposed tiles: gather the members into the
+/// `base` tile (plus the splatted surface geopotential), run every RK
+/// substep as one element sweep of [`element_rhs_apply_member_lanes`]
+/// followed by one lane DSS over all four prognostics, and scatter the
+/// final stage back to the live lanes. The per-lane sequence matches
+/// [`Dycore::dynamics_step`] exactly, so each member stays bitwise
+/// identical to its standalone step.
+#[allow(clippy::too_many_arguments)]
+fn dynamics_members_lanes<const M: usize>(
+    sched: &ElemScheduler,
+    dss: &mut Dss,
+    bops: &[BlockedOps],
+    workers: &crate::sched::PerWorker<WorkerScratch>,
+    nlev: usize,
+    fl: usize,
+    nelem: usize,
+    ptop: f64,
+    dt: f64,
+    tiles: &mut MemberLanes,
+    mut states: [&mut State; M],
+) {
+    {
+        let srcs: [&[f64]; M] = core::array::from_fn(|m| &states[m].u[..]);
+        gather_member_tile(&srcs, &mut tiles.base.u);
+        let srcs: [&[f64]; M] = core::array::from_fn(|m| &states[m].v[..]);
+        gather_member_tile(&srcs, &mut tiles.base.v);
+        let srcs: [&[f64]; M] = core::array::from_fn(|m| &states[m].t[..]);
+        gather_member_tile(&srcs, &mut tiles.base.t);
+        let srcs: [&[f64]; M] = core::array::from_fn(|m| &states[m].dp3d[..]);
+        gather_member_tile(&srcs, &mut tiles.base.dp3d);
+        let srcs: [&[f64]; M] = core::array::from_fn(|m| &states[m].phis[..]);
+        gather_member_tile(&srcs, &mut tiles.phis);
+    }
+    tiles.stage.u.copy_from_slice(&tiles.base.u);
+    tiles.stage.v.copy_from_slice(&tiles.base.v);
+    tiles.stage.t.copy_from_slice(&tiles.base.t);
+    tiles.stage.dp3d.copy_from_slice(&tiles.base.dp3d);
+    for &c in &KG5_COEFFS {
+        {
+            let ou = ArenaMut::new(&mut tiles.next.u);
+            let ov = ArenaMut::new(&mut tiles.next.v);
+            let ot = ArenaMut::new(&mut tiles.next.t);
+            let odp = ArenaMut::new(&mut tiles.next.dp3d);
+            let eval = &tiles.stage;
+            let rk_base = &tiles.base;
+            let ph: &[V4F64] = &tiles.phis;
+            sched.run(nelem, &|w, e| {
+                let scratch = unsafe { workers.get(w) };
+                let r = e * fl..(e + 1) * fl;
+                let (ou, ov, ot, odp) = unsafe {
+                    (
+                        ou.slice(e * fl, fl),
+                        ov.slice(e * fl, fl),
+                        ot.slice(e * fl, fl),
+                        odp.slice(e * fl, fl),
+                    )
+                };
+                element_rhs_apply_member_lanes(
+                    &bops[e],
+                    nlev,
+                    ptop,
+                    &eval.u[r.clone()],
+                    &eval.v[r.clone()],
+                    &eval.t[r.clone()],
+                    &eval.dp3d[r.clone()],
+                    &ph[e * NPTS..(e + 1) * NPTS],
+                    &rk_base.u[r.clone()],
+                    &rk_base.v[r.clone()],
+                    &rk_base.t[r.clone()],
+                    &rk_base.dp3d[r],
+                    c * dt,
+                    ou,
+                    ov,
+                    ot,
+                    odp,
+                    &mut scratch.rhs_lanes,
+                );
+            });
+        }
+        dss.apply_lanes4(
+            [&mut tiles.next.u, &mut tiles.next.v, &mut tiles.next.t, &mut tiles.next.dp3d],
+            nlev,
+        );
+        std::mem::swap(&mut tiles.stage, &mut tiles.next);
+    }
+    {
+        let mut it = states.iter_mut();
+        let mut dsts: [&mut [f64]; M] = core::array::from_fn(|_| &mut it.next().unwrap().u[..]);
+        scatter_member_tile(&tiles.stage.u, &mut dsts);
+        let mut it = states.iter_mut();
+        let mut dsts: [&mut [f64]; M] = core::array::from_fn(|_| &mut it.next().unwrap().v[..]);
+        scatter_member_tile(&tiles.stage.v, &mut dsts);
+        let mut it = states.iter_mut();
+        let mut dsts: [&mut [f64]; M] = core::array::from_fn(|_| &mut it.next().unwrap().t[..]);
+        scatter_member_tile(&tiles.stage.t, &mut dsts);
+        let mut it = states.iter_mut();
+        let mut dsts: [&mut [f64]; M] =
+            core::array::from_fn(|_| &mut it.next().unwrap().dp3d[..]);
+        scatter_member_tile(&tiles.stage.dp3d, &mut dsts);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1743,19 +2142,71 @@ mod tests {
                 .collect()
         };
 
-        for n in [1usize, 2, 3, 4, 5] {
-            let mut expect = make_members(&dy, n);
-            for st in expect.iter_mut() {
-                dy.apply_hypervis_n(st, subcycles).unwrap();
+        for path in [MemberKernelPath::Chunked, MemberKernelPath::Lanes] {
+            dy.member_kernels = path;
+            for n in [1usize, 2, 3, 4, 5] {
+                let mut expect = make_members(&dy, n);
+                for st in expect.iter_mut() {
+                    dy.apply_hypervis_n(st, subcycles).unwrap();
+                }
+
+                let mut got = make_members(&dy, n);
+                let members: Vec<usize> = (0..n).collect();
+                let mut ens = crate::workspace::EnsembleWorkspace::new(dims, dy.ops.len(), n);
+                dy.apply_hypervis_members(&mut got, &members, &mut ens, subcycles).unwrap();
+
+                for (m, (e, g)) in expect.iter().zip(&got).enumerate() {
+                    assert_eq!(e.max_abs_diff(g), 0.0, "{path:?} n={n} member={m} diverged");
+                }
             }
+        }
+    }
 
-            let mut got = make_members(&dy, n);
-            let members: Vec<usize> = (0..n).collect();
-            let mut ens = crate::workspace::EnsembleWorkspace::new(dims, dy.ops.len(), n);
-            dy.apply_hypervis_members(&mut got, &members, &mut ens, subcycles).unwrap();
+    /// The member-batched RK driver is bitwise identical to the standalone
+    /// [`Dycore::dynamics_step`] run member by member, across batch shapes
+    /// (including the ragged 3 = 4-sweep-short and 5 = 4+1 tails) and on
+    /// both member kernel paths.
+    #[test]
+    fn dynamics_step_members_matches_per_member_bitwise() {
+        let dims = Dims { nlev: 6, qsize: 0 };
+        let mut cfg = DycoreConfig::for_ne(4);
+        cfg.dt = 100.0;
+        let mut dy = Dycore::new(2, dims, 200.0, cfg);
 
-            for (m, (e, g)) in expect.iter().zip(&got).enumerate() {
-                assert_eq!(e.max_abs_diff(g), 0.0, "n={n} member={m} diverged");
+        let make_members = |dy: &Dycore, n: usize| -> Vec<State> {
+            (0..n)
+                .map(|m| {
+                    let mut st = resting_state(dy);
+                    for (i, t) in st.t.iter_mut().enumerate() {
+                        *t += 2.0 * (((i + 11 * m) % 17) as f64 / 17.0 - 0.5);
+                    }
+                    for (i, u) in st.u.iter_mut().enumerate() {
+                        *u += 0.5 * (((i + 5 * m) % 9) as f64 / 9.0 - 0.5);
+                    }
+                    for (i, ph) in st.phis.iter_mut().enumerate() {
+                        *ph = 40.0 * ((i + m) % 5) as f64;
+                    }
+                    st
+                })
+                .collect()
+        };
+
+        for path in [MemberKernelPath::Chunked, MemberKernelPath::Lanes] {
+            dy.member_kernels = path;
+            for n in [1usize, 2, 3, 4, 5] {
+                let mut expect = make_members(&dy, n);
+                for st in expect.iter_mut() {
+                    dy.dynamics_step(st);
+                }
+
+                let mut got = make_members(&dy, n);
+                let members: Vec<usize> = (0..n).collect();
+                let mut ens = crate::workspace::EnsembleWorkspace::new(dims, dy.ops.len(), n);
+                dy.dynamics_step_members(&mut got, &members, &mut ens);
+
+                for (m, (e, g)) in expect.iter().zip(&got).enumerate() {
+                    assert_eq!(e.max_abs_diff(g), 0.0, "{path:?} n={n} member={m} diverged");
+                }
             }
         }
     }

@@ -255,20 +255,21 @@ impl<T: std::fmt::Debug> std::fmt::Debug for PerWorker<T> {
     }
 }
 
-/// Shared-mutable view of a flat `f64` arena for handing disjoint
-/// per-element windows to scheduler jobs.
+/// Shared-mutable view of a flat arena (an `f64` field arena by default,
+/// or a `V4F64` member-lane tile arena) for handing disjoint per-element
+/// windows to scheduler jobs.
 #[derive(Copy, Clone)]
-pub struct ArenaMut<'a> {
-    ptr: *mut f64,
+pub struct ArenaMut<'a, T = f64> {
+    ptr: *mut T,
     len: usize,
-    _marker: PhantomData<&'a mut [f64]>,
+    _marker: PhantomData<&'a mut [T]>,
 }
 
-unsafe impl Send for ArenaMut<'_> {}
-unsafe impl Sync for ArenaMut<'_> {}
+unsafe impl<T: Send> Send for ArenaMut<'_, T> {}
+unsafe impl<T: Sync> Sync for ArenaMut<'_, T> {}
 
-impl<'a> ArenaMut<'a> {
-    pub fn new(buf: &'a mut [f64]) -> Self {
+impl<'a, T> ArenaMut<'a, T> {
+    pub fn new(buf: &'a mut [T]) -> Self {
         ArenaMut { ptr: buf.as_mut_ptr(), len: buf.len(), _marker: PhantomData }
     }
 
@@ -289,7 +290,7 @@ impl<'a> ArenaMut<'a> {
     /// per-element ranges of the dycore loops are).
     #[inline]
     #[allow(clippy::mut_from_ref)]
-    pub unsafe fn slice(&self, start: usize, len: usize) -> &'a mut [f64] {
+    pub unsafe fn slice(&self, start: usize, len: usize) -> &'a mut [T] {
         debug_assert!(start + len <= self.len);
         std::slice::from_raw_parts_mut(self.ptr.add(start), len)
     }
@@ -302,7 +303,10 @@ impl<'a> ArenaMut<'a> {
     /// concurrently (the task graph's eligibility rules order every
     /// neighbor write before the gather that reads it).
     #[inline]
-    pub unsafe fn read(&self, i: usize) -> f64 {
+    pub unsafe fn read(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
         debug_assert!(i < self.len);
         std::ptr::read(self.ptr.add(i))
     }

@@ -16,12 +16,14 @@
 use crate::bndry::ExchangeBuffers;
 use crate::health::StageScan;
 use crate::hypervis::ElemHypervisPlan;
+use crate::kernels::member_lanes::MemberRhsScratch;
 use crate::remap::{ElemRemapPlan, RemapApplyScratch, RemapScratch};
 use crate::rhs::{ElemTend, RhsScratch};
 use crate::sched::PerWorker;
 use crate::state::{Dims, State};
 use crate::taskgraph::{PipelineStage, TaskGraph};
 use cubesphere::NPTS;
+use sw26010::V4F64;
 
 /// A stage scan accumulator in its identity state (what
 /// [`crate::health::scan_stage`] returns for empty arenas).
@@ -88,6 +90,9 @@ pub struct WorkerScratch {
     pub plan: ElemRemapPlan,
     /// Coefficient arenas of the planned remap's apply pass.
     pub apply: RemapApplyScratch,
+    /// Column temporaries of the member-lane RHS kernel (pressure and
+    /// geopotential scan tiles, one `V4F64` lane set per point).
+    pub rhs_lanes: MemberRhsScratch,
 }
 
 impl WorkerScratch {
@@ -103,6 +108,7 @@ impl WorkerScratch {
             col_out: vec![0.0; dims.nlev],
             plan: ElemRemapPlan::new(dims.nlev),
             apply: RemapApplyScratch::new(dims.nlev),
+            rhs_lanes: MemberRhsScratch::new(dims.nlev),
         }
     }
 }
@@ -187,25 +193,103 @@ impl StepWorkspace {
     }
 }
 
+/// The four dynamics prognostics as lane-interleaved tile arenas: one
+/// [`V4F64`] per `(elem, level, point)` slot whose four lanes hold the same
+/// scalar for four different ensemble members. The member-lane kernel
+/// family ([`crate::kernels::member_lanes`]) runs over these tiles.
+#[derive(Debug, Clone)]
+pub struct LaneFields {
+    /// Eastward wind tile.
+    pub u: Vec<V4F64>,
+    /// Northward wind tile.
+    pub v: Vec<V4F64>,
+    /// Temperature tile.
+    pub t: Vec<V4F64>,
+    /// Layer thickness tile.
+    pub dp3d: Vec<V4F64>,
+}
+
+impl LaneFields {
+    /// Zeroed tiles of `len` lane-sets per field.
+    pub fn zeros(len: usize) -> Self {
+        LaneFields {
+            u: vec![V4F64::zero(); len],
+            v: vec![V4F64::zero(); len],
+            t: vec![V4F64::zero(); len],
+            dp3d: vec![V4F64::zero(); len],
+        }
+    }
+}
+
+/// Tile scratch of the member-lane kernel path: lane-interleaved stage
+/// arenas for the batched RK substeps (`base`, `stage`, `next`), the
+/// hyperviscosity Laplacian tile set (`hyp`; the hypervis driver reuses
+/// `stage` as its in-place current-state tile), sponge-depth temporaries
+/// and the splatted surface geopotential. Sponge tiles are sized at full
+/// depth (an upper bound on any sponge) so sizing needs only `dims`.
+#[derive(Debug)]
+pub struct MemberLanes {
+    /// RK base state tile `u_0`.
+    pub base: LaneFields,
+    /// RK stage tile `u_{i-1}`; also the hypervis current-state tile.
+    pub stage: LaneFields,
+    /// RK stage tile being produced `u_i`.
+    pub next: LaneFields,
+    /// Hyperviscosity Laplacian input/output tile (full depth).
+    pub hyp: LaneFields,
+    /// Sponge-layer `u` tile, `[nelem][<= nlev][NPTS]`.
+    pub sponge_u: Vec<V4F64>,
+    /// Sponge-layer `v` tile.
+    pub sponge_v: Vec<V4F64>,
+    /// Sponge-layer `T` tile.
+    pub sponge_t: Vec<V4F64>,
+    /// Surface geopotential tile, `[nelem][NPTS]`.
+    pub phis: Vec<V4F64>,
+}
+
+impl MemberLanes {
+    /// Tiles sized for `nelem` elements of `dims`.
+    pub fn new(dims: Dims, nelem: usize) -> Self {
+        let fl = nelem * dims.field_len();
+        MemberLanes {
+            base: LaneFields::zeros(fl),
+            stage: LaneFields::zeros(fl),
+            next: LaneFields::zeros(fl),
+            hyp: LaneFields::zeros(fl),
+            sponge_u: vec![V4F64::zero(); fl],
+            sponge_v: vec![V4F64::zero(); fl],
+            sponge_t: vec![V4F64::zero(); fl],
+            phis: vec![V4F64::zero(); nelem * NPTS],
+        }
+    }
+}
+
 /// Per-lane hyperviscosity scratch for the member-batched ensemble path:
-/// one full-depth Laplacian arena set per in-flight ensemble member, so
-/// [`crate::prim::Dycore::apply_hypervis_members`] can run the biharmonic
-/// passes of up to `lanes` members through shared coefficient walks without
-/// the members' scratch aliasing. Allocated once by the ensemble driver at
-/// construction and reused every step (the ensemble alloc gate rides on
-/// this), same reuse contract as [`StepWorkspace`]: every slot is written
-/// before it is read within a pass.
+/// one full-depth Laplacian arena set per in-flight ensemble member (the
+/// chunked kernel path), plus the lane-interleaved tile scratch of the
+/// member-lane path, so [`crate::prim::Dycore::apply_hypervis_members`]
+/// can run the biharmonic passes of up to `lanes` members through shared
+/// coefficient walks without the members' scratch aliasing. Allocated once
+/// by the ensemble driver at construction and reused every step (the
+/// ensemble alloc gate rides on this), same reuse contract as
+/// [`StepWorkspace`]: every slot is written before it is read within a
+/// pass.
 #[derive(Debug)]
 pub struct EnsembleWorkspace {
     /// One hyp arena set (`u`, `v`, `t`, `dp3d`) per member lane.
     pub lanes: Vec<DynFields>,
+    /// Lane-interleaved member tiles of the member-lane kernel path.
+    pub tiles: MemberLanes,
 }
 
 impl EnsembleWorkspace {
     /// Lane buffers sized for `nelem` elements of `dims`, `lanes` members.
     pub fn new(dims: Dims, nelem: usize, lanes: usize) -> Self {
         let fl = nelem * dims.field_len();
-        EnsembleWorkspace { lanes: (0..lanes).map(|_| DynFields::zeros(fl)).collect() }
+        EnsembleWorkspace {
+            lanes: (0..lanes).map(|_| DynFields::zeros(fl)).collect(),
+            tiles: MemberLanes::new(dims, nelem),
+        }
     }
 
     /// Number of member lanes this workspace can batch.

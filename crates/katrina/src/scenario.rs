@@ -83,7 +83,10 @@ mod tests {
         let small =
             KatrinaConfig { ne: 2, reduction: 7.5, nlev: 6, earth_hours: 1.0, output_every: 1.0 };
         let spec = scenario(&small);
-        let mut ens = Ensemble::new(spec.clone(), EnsembleConfig { lanes: 2, max_rollbacks: 2 });
+        let mut ens = Ensemble::new(
+            spec.clone(),
+            EnsembleConfig { lanes: 2, max_rollbacks: 2, ..EnsembleConfig::default() },
+        );
         ens.submit(3, 2);
         ens.submit(4, 2);
         let reports = ens.run_all().expect("batch runs");

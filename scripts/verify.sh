@@ -77,13 +77,18 @@ cargo test -q -p homme --test hypervis_parity
 # Ensemble group: the member-batched batch driver (DESIGN.md §5.9) — the
 # scenario registry units, the checked physics coupling, the driver's own
 # queue/collect units, the member-vs-standalone bitwise pins (admission,
-# retirement, rollback isolation included), the zero-allocation gates for
-# steady ensemble stepping, and the Katrina registry adapter.
+# retirement, rollback isolation included), the member-lane kernel family
+# (DESIGN.md §5.10: lane kernel units + the N × nlev lane parity sweep
+# with ragged tails and rollback under the lane path), the
+# zero-allocation gates for steady ensemble stepping, and the Katrina
+# registry adapter.
 echo "== ensemble test group"
 cargo test -q -p swcam-core --lib config
 cargo test -q -p swcam-core --lib coupling
 cargo test -q -p swcam-core --lib ensemble
 cargo test -q -p swcam-core --test ensemble_parity
+cargo test -q -p homme --lib member_lanes
+cargo test -q -p swcam-core --test ensemble_lane_parity
 cargo test -q -p swcam-core --test ensemble_alloc
 cargo test -q -p katrina --lib scenario
 
